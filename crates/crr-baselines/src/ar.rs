@@ -1,0 +1,189 @@
+//! AR: autoregression for time series (\[37\]).
+//!
+//! `y_t = c + Σ_{i=1..p} a_i · y_{t−i}`, fitted by least squares over the
+//! series ordered by a time attribute. Prediction for a row uses the `p`
+//! preceding observed target values in time order (one-step-ahead).
+
+use crate::{BaselineError, BaselinePredictor, Result};
+use crr_data::{AttrId, RowSet, Table};
+use crr_linalg::{lstsq, Matrix};
+use std::collections::HashMap;
+
+/// AR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArConfig {
+    /// Autoregression order `p`.
+    pub order: usize,
+}
+
+impl Default for ArConfig {
+    fn default() -> Self {
+        ArConfig { order: 3 }
+    }
+}
+
+/// The AR baseline (fit entry point).
+#[derive(Debug, Clone, Default)]
+pub struct Ar;
+
+/// A fitted AR(p) model plus the time-ordered history it predicts from.
+#[derive(Debug, Clone)]
+pub struct FittedAr {
+    /// Coefficients `[c, a_1, …, a_p]`.
+    coef: Vec<f64>,
+    order: usize,
+    /// Row → position in the time-ordered series.
+    position: HashMap<usize, usize>,
+    /// Target values in time order.
+    series: Vec<f64>,
+}
+
+impl Ar {
+    /// Fits AR(p) on the target series of `rows` ordered by `time_attr`.
+    pub fn fit(
+        table: &Table,
+        rows: &RowSet,
+        time_attr: AttrId,
+        target: AttrId,
+        cfg: &ArConfig,
+    ) -> Result<FittedAr> {
+        let p = cfg.order.max(1);
+        // Order rows by the time attribute.
+        let mut ordered: Vec<(f64, usize, f64)> = rows
+            .iter()
+            .filter_map(|r| {
+                let t = table.value_f64(r, time_attr)?;
+                let y = table.value_f64(r, target)?;
+                Some((t, r, y))
+            })
+            .collect();
+        if ordered.len() < p + 2 {
+            return Err(BaselineError::TooFewRows { needed: p + 2, got: ordered.len() });
+        }
+        ordered.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let series: Vec<f64> = ordered.iter().map(|(_, _, y)| *y).collect();
+        let position: HashMap<usize, usize> =
+            ordered.iter().enumerate().map(|(pos, (_, r, _))| (*r, pos)).collect();
+        // Design: rows t = p..n, features [1, y_{t-1}, ..., y_{t-p}].
+        let n = series.len();
+        let mut data = Vec::with_capacity((n - p) * (p + 1));
+        let mut rhs = Vec::with_capacity(n - p);
+        for t in p..n {
+            data.push(1.0);
+            for i in 1..=p {
+                data.push(series[t - i]);
+            }
+            rhs.push(series[t]);
+        }
+        let a = Matrix::from_vec(n - p, p + 1, data);
+        let coef = lstsq(&a, &rhs)
+            .map_err(|e| BaselineError::Model(crr_models::ModelError::Solver(e.to_string())))?;
+        Ok(FittedAr { coef, order: p, position, series })
+    }
+}
+
+impl FittedAr {
+    /// The fitted coefficients `[c, a_1, …, a_p]`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+}
+
+impl BaselinePredictor for FittedAr {
+    fn name(&self) -> &'static str {
+        "AR"
+    }
+
+    fn predict_row(&self, _table: &Table, row: usize) -> Option<f64> {
+        let pos = *self.position.get(&row)?;
+        if pos < self.order {
+            return None; // no history yet
+        }
+        let mut pred = self.coef[0];
+        for i in 1..=self.order {
+            pred += self.coef[i] * self.series[pos - i];
+        }
+        Some(pred)
+    }
+
+    fn num_rules(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use crr_data::{AttrType, Schema, Value};
+
+    fn series_table(f: impl Fn(i64) -> f64, n: i64) -> Table {
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(vec![Value::Int(i), Value::Float(f(i))]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fits_linear_trend_exactly() {
+        // y_t = y_{t-1} + 2 is AR(1) with c = 2, a1 = 1.
+        let t = series_table(|i| 2.0 * i as f64, 50);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let ar = Ar::fit(&t, &t.all_rows(), time, y, &ArConfig { order: 1 }).unwrap();
+        assert!((ar.coefficients()[1] - 1.0).abs() < 1e-6);
+        assert!((ar.coefficients()[0] - 2.0).abs() < 1e-4);
+        let s = evaluate_predictor(&ar, &t, &t.all_rows(), y);
+        assert!(s.rmse < 1e-6);
+        // First `order` rows have no history.
+        assert_eq!(s.answered, 49);
+    }
+
+    #[test]
+    fn handles_unordered_rows() {
+        // Same series, rows inserted in reverse: ordering by time fixes it.
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in (0..30).rev() {
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+        }
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let ar = Ar::fit(&t, &t.all_rows(), time, y, &ArConfig { order: 1 }).unwrap();
+        let s = evaluate_predictor(&ar, &t, &t.all_rows(), y);
+        assert!(s.rmse < 1e-6, "rmse {}", s.rmse);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let t = series_table(|i| i as f64, 3);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        assert!(matches!(
+            Ar::fit(&t, &t.all_rows(), time, y, &ArConfig { order: 3 }),
+            Err(BaselineError::TooFewRows { .. })
+        ));
+    }
+
+    #[test]
+    fn recovers_true_ar2_process() {
+        // y_t = 1 + 0.5 y_{t-1} + 0.3 y_{t-2}, generated recursively.
+        let mut vals = vec![0.0f64, 1.0];
+        for i in 2..80 {
+            let v = 1.0 + 0.5 * vals[i - 1] + 0.3 * vals[i - 2];
+            vals.push(v);
+        }
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (i, v) in vals.iter().enumerate() {
+            t.push_row(vec![Value::Int(i as i64), Value::Float(*v)]).unwrap();
+        }
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let ar2 = Ar::fit(&t, &t.all_rows(), time, y, &ArConfig { order: 2 }).unwrap();
+        let s2 = evaluate_predictor(&ar2, &t, &t.all_rows(), y);
+        assert!(s2.rmse < 1e-6, "rmse {}", s2.rmse);
+    }
+}

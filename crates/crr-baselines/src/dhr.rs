@@ -1,0 +1,182 @@
+//! DHR: dynamic harmonic regression (\[22\]).
+//!
+//! Young et al. fit time series with a harmonic (Fourier) basis:
+//! `y_t = a₀ + a₁·t + Σ_{k=1..K} [c_k cos(2πkt/T) + s_k sin(2πkt/T)]`.
+//! Short- and long-term periodicity is captured by the number of
+//! harmonics `K`; unlike CRR there is no notion of conditions, so the one
+//! global harmonic model must average over regime changes — and fitting
+//! the `2K + 2`-column basis over the whole series is expensive, which is
+//! why DHR's training time blows up first in Figures 2–3.
+
+use crate::{BaselineError, BaselinePredictor, Result};
+use crr_data::{AttrId, RowSet, Table};
+use crr_linalg::{lstsq, Matrix};
+
+/// DHR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DhrConfig {
+    /// Fundamental period `T` in time-attribute units (e.g. 24 for hourly
+    /// data with daily seasonality).
+    pub period: f64,
+    /// Number of harmonics `K`.
+    pub harmonics: usize,
+}
+
+impl Default for DhrConfig {
+    fn default() -> Self {
+        DhrConfig { period: 24.0, harmonics: 4 }
+    }
+}
+
+/// The DHR baseline (fit entry point).
+#[derive(Debug, Clone, Default)]
+pub struct Dhr;
+
+/// A fitted harmonic regression.
+#[derive(Debug, Clone)]
+pub struct FittedDhr {
+    /// `[a₀, a₁, c₁, s₁, …, c_K, s_K]`.
+    coef: Vec<f64>,
+    period: f64,
+    harmonics: usize,
+    time_attr: AttrId,
+}
+
+fn basis_row(t: f64, period: f64, harmonics: usize, out: &mut Vec<f64>) {
+    out.push(1.0);
+    out.push(t);
+    for k in 1..=harmonics {
+        let w = 2.0 * std::f64::consts::PI * k as f64 * t / period;
+        out.push(w.cos());
+        out.push(w.sin());
+    }
+}
+
+impl Dhr {
+    /// Fits the harmonic basis to the target series over `rows`.
+    pub fn fit(
+        table: &Table,
+        rows: &RowSet,
+        time_attr: AttrId,
+        target: AttrId,
+        cfg: &DhrConfig,
+    ) -> Result<FittedDhr> {
+        let k = cfg.harmonics.max(1);
+        let cols = 2 + 2 * k;
+        let pairs: Vec<(f64, f64)> = rows
+            .iter()
+            .filter_map(|r| {
+                Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?))
+            })
+            .collect();
+        if pairs.len() < cols {
+            return Err(BaselineError::TooFewRows { needed: cols, got: pairs.len() });
+        }
+        let mut data = Vec::with_capacity(pairs.len() * cols);
+        let mut rhs = Vec::with_capacity(pairs.len());
+        for (t, y) in &pairs {
+            basis_row(*t, cfg.period, k, &mut data);
+            rhs.push(*y);
+        }
+        let a = Matrix::from_vec(pairs.len(), cols, data);
+        let coef = lstsq(&a, &rhs)
+            .map_err(|e| BaselineError::Model(crr_models::ModelError::Solver(e.to_string())))?;
+        Ok(FittedDhr { coef, period: cfg.period, harmonics: k, time_attr })
+    }
+}
+
+impl FittedDhr {
+    /// Predicts at an arbitrary time value.
+    pub fn predict_at(&self, t: f64) -> f64 {
+        let mut row = Vec::with_capacity(self.coef.len());
+        basis_row(t, self.period, self.harmonics, &mut row);
+        crr_linalg::dot(&row, &self.coef)
+    }
+}
+
+impl BaselinePredictor for FittedDhr {
+    fn name(&self) -> &'static str {
+        "DHR"
+    }
+
+    fn predict_row(&self, table: &Table, row: usize) -> Option<f64> {
+        Some(self.predict_at(table.value_f64(row, self.time_attr)?))
+    }
+
+    fn num_rules(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use crr_data::{AttrType, Schema, Value};
+
+    fn sine_table(period: f64, n: usize) -> Table {
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let y = 3.0
+                + 0.01 * i as f64
+                + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / period).cos();
+            t.push_row(vec![Value::Int(i as i64), Value::Float(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn recovers_pure_harmonic_signal() {
+        let t = sine_table(24.0, 240);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let m = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 2 })
+            .unwrap();
+        let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
+        assert!(s.rmse < 1e-8, "rmse {}", s.rmse);
+        assert_eq!(m.num_rules(), 1);
+    }
+
+    #[test]
+    fn wrong_period_fits_poorly() {
+        let t = sine_table(24.0, 240);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let m = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 7.0, harmonics: 2 })
+            .unwrap();
+        let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
+        assert!(s.rmse > 0.5, "rmse {}", s.rmse);
+    }
+
+    #[test]
+    fn more_harmonics_fit_sharper_shapes() {
+        // A square-ish wave needs higher harmonics.
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..240 {
+            let y = if (i / 12) % 2 == 0 { 1.0 } else { -1.0 };
+            t.push_row(vec![Value::Int(i as i64), Value::Float(y)]).unwrap();
+        }
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let low = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 1 })
+            .unwrap();
+        let high = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 7 })
+            .unwrap();
+        let sl = evaluate_predictor(&low, &t, &t.all_rows(), y);
+        let sh = evaluate_predictor(&high, &t, &t.all_rows(), y);
+        assert!(sh.rmse < sl.rmse);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let t = sine_table(24.0, 5);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        assert!(matches!(
+            Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 4 }),
+            Err(BaselineError::TooFewRows { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Forest: a (conditional) regression forest (\[21\]).
+//!
+//! Dantone et al. average the predictions of many regression trees, each
+//! trained on a bootstrap sample. The forest reaches good accuracy but
+//! holds `n_trees × leaves` rules — the "100× more rules than CRR"
+//! observation of Figure 3(d).
+
+use crate::regtree::{FittedRegTree, RegTree, RegTreeConfig};
+use crate::{BaselineError, BaselinePredictor, Result};
+use crr_data::{AttrId, RowSet, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: RegTreeConfig,
+    /// Bootstrap-sample fraction.
+    pub sample_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 20,
+            tree: RegTreeConfig::default(),
+            sample_frac: 0.7,
+            seed: 29,
+        }
+    }
+}
+
+/// The Forest baseline (fit entry point).
+#[derive(Debug, Clone, Default)]
+pub struct Forest;
+
+/// A fitted bagged forest.
+#[derive(Debug, Clone)]
+pub struct FittedForest {
+    trees: Vec<FittedRegTree>,
+}
+
+impl Forest {
+    /// Fits `n_trees` model trees on bootstrap samples of `rows`.
+    pub fn fit(
+        table: &Table,
+        rows: &RowSet,
+        inputs: &[AttrId],
+        condition_attrs: &[AttrId],
+        target: AttrId,
+        cfg: &ForestConfig,
+    ) -> Result<FittedForest> {
+        if rows.is_empty() {
+            return Err(BaselineError::TooFewRows { needed: 1, got: 0 });
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let all: Vec<u32> = rows.as_slice().to_vec();
+        let take = ((all.len() as f64 * cfg.sample_frac) as usize).max(1);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees.max(1) {
+            let sample: Vec<u32> =
+                (0..take).map(|_| all[rng.gen_range(0..all.len())]).collect();
+            let sample_rows = RowSet::from_indices(sample);
+            trees.push(RegTree::fit(
+                table,
+                &sample_rows,
+                inputs,
+                condition_attrs,
+                target,
+                &cfg.tree,
+            )?);
+        }
+        Ok(FittedForest { trees })
+    }
+}
+
+impl FittedForest {
+    /// The individual trees.
+    pub fn trees(&self) -> &[FittedRegTree] {
+        &self.trees
+    }
+}
+
+impl BaselinePredictor for FittedForest {
+    fn name(&self) -> &'static str {
+        "Forest"
+    }
+
+    fn predict_row(&self, table: &Table, row: usize) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for tree in &self.trees {
+            if let Some(p) = tree.predict_row(table, row) {
+                sum += p;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    fn num_rules(&self) -> usize {
+        self.trees.iter().map(FittedRegTree::num_rules).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use crr_data::{AttrType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..300 {
+            let x = i as f64;
+            let y = if x < 150.0 { x } else { 2.0 * x - 150.0 };
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn forest_fits_and_aggregates() {
+        let t = table();
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let f = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &ForestConfig::default())
+            .unwrap();
+        let s = evaluate_predictor(&f, &t, &t.all_rows(), y);
+        assert!(s.rmse < 5.0, "rmse {}", s.rmse);
+        // Rule blow-up: many more rules than the two regimes need.
+        assert!(f.num_rules() >= 2 * f.trees().len());
+    }
+
+    #[test]
+    fn rule_count_scales_with_trees() {
+        let t = table();
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let small = Forest::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            &[x],
+            y,
+            &ForestConfig { n_trees: 2, ..Default::default() },
+        )
+        .unwrap();
+        let large = Forest::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            &[x],
+            y,
+            &ForestConfig { n_trees: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert!(large.num_rules() > small.num_rules());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table();
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let cfg = ForestConfig { n_trees: 4, ..Default::default() };
+        let a = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
+        let b = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
+        assert_eq!(
+            evaluate_predictor(&a, &t, &t.all_rows(), y).rmse,
+            evaluate_predictor(&b, &t, &t.all_rows(), y).rmse
+        );
+    }
+}

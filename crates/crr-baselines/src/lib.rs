@@ -1,0 +1,42 @@
+//! Baseline comparators from the paper's evaluation (§VI-A4).
+//!
+//! Every baseline the paper compares against is implemented from scratch,
+//! following the cited construction:
+//!
+//! | Paper label | Type | Here |
+//! |---|---|---|
+//! | RegTree \[5\], \[12\] | regression/model tree | [`RegTree`] |
+//! | AR \[37\] | autoregression | [`Ar`] |
+//! | SampLR \[19\] | sampling-based conditional regression | [`SampLr`] |
+//! | MCLR \[20\] | Monte-Carlo conditional regression | [`Mclr`] |
+//! | Forest \[21\] | (conditional) regression forest | [`Forest`] |
+//! | DHR \[22\] | dynamic harmonic regression | [`Dhr`] |
+//! | Recur \[23\] | recurrence-time period models | [`Recur`] |
+//! | RR | one unconditional model (Figures 5–8's reference) | [`Rr`] |
+//!
+//! All fitted baselines implement [`BaselinePredictor`], so the experiment
+//! harness measures learning time, evaluation time, #rules and RMSE
+//! uniformly — the four panels of Figures 2–4.
+
+mod ar;
+mod common;
+mod dhr;
+mod forest;
+mod mclr;
+mod recur;
+mod regtree;
+mod rr;
+mod samplr;
+
+pub use ar::{Ar, ArConfig, FittedAr};
+pub use common::{evaluate_predictor, BaselineError, BaselinePredictor, EvalSummary};
+pub use dhr::{Dhr, DhrConfig, FittedDhr};
+pub use forest::{FittedForest, Forest, ForestConfig};
+pub use mclr::{FittedMclr, Mclr, MclrConfig};
+pub use recur::{FittedRecur, Recur, RecurConfig};
+pub use regtree::{FittedRegTree, RegTree, RegTreeConfig};
+pub use rr::{FittedRr, Rr};
+pub use samplr::{FittedSampLr, SampLr, SampLrConfig};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,205 @@
+//! Recur: recurrence-time modeling (\[23\]).
+//!
+//! Chang & Wang model the recurrence time `T_j` of events and fit a
+//! regression per recurrence period. Adapted to the paper's evaluation
+//! setting: the series is segmented into *periods* at recurrence *resets*
+//! — downward jumps larger than two standard deviations of the step sizes
+//! (a sawtooth restart, a bird returning south) — and an independent
+//! linear model of time is fitted per period. There is no sharing between
+//! periods — every period pays for its own model, which is exactly the
+//! redundancy CRR's Translation removes.
+
+use crate::{BaselineError, BaselinePredictor, Result};
+use crr_data::{AttrId, RowSet, Table};
+use crr_models::{fit_model, FitConfig, Model, ModelKind, Regressor};
+
+/// Recur hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecurConfig {
+    /// Minimum rows per period (shorter periods merge into the previous).
+    pub min_period: usize,
+}
+
+impl Default for RecurConfig {
+    fn default() -> Self {
+        RecurConfig { min_period: 6 }
+    }
+}
+
+/// The Recur baseline (fit entry point).
+#[derive(Debug, Clone, Default)]
+pub struct Recur;
+
+/// One fitted period: `[t_start, t_end)` in time units, with its model.
+#[derive(Debug, Clone)]
+struct Period {
+    t_start: f64,
+    t_end: f64,
+    model: Model,
+}
+
+/// A fitted recurrence model: one regression per detected period.
+#[derive(Debug, Clone)]
+pub struct FittedRecur {
+    periods: Vec<Period>,
+    time_attr: AttrId,
+}
+
+impl Recur {
+    /// Segments the target series at upward crossings of its mean and fits
+    /// one time-linear model per period.
+    pub fn fit(
+        table: &Table,
+        rows: &RowSet,
+        time_attr: AttrId,
+        target: AttrId,
+        cfg: &RecurConfig,
+    ) -> Result<FittedRecur> {
+        let mut pairs: Vec<(f64, f64)> = rows
+            .iter()
+            .filter_map(|r| {
+                Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?))
+            })
+            .collect();
+        if pairs.len() < 4 {
+            return Err(BaselineError::TooFewRows { needed: 4, got: pairs.len() });
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Step-size statistics: a "reset" is a downward jump well outside
+        // the typical step (two standard deviations below the mean step).
+        let steps: Vec<f64> =
+            pairs.windows(2).map(|w| w[1].1 - w[0].1).collect();
+        let step_mean = steps.iter().sum::<f64>() / steps.len() as f64;
+        let step_var = steps
+            .iter()
+            .map(|s| (s - step_mean) * (s - step_mean))
+            .sum::<f64>()
+            / steps.len() as f64;
+        let threshold = step_mean - 2.0 * step_var.sqrt();
+        let mut boundaries = vec![0usize];
+        for (i, step) in steps.iter().enumerate() {
+            if *step < threshold && *step < 0.0 {
+                let last = *boundaries.last().expect("non-empty");
+                if (i + 1) - last >= cfg.min_period.max(2) {
+                    boundaries.push(i + 1);
+                }
+            }
+        }
+        boundaries.push(pairs.len());
+        let mut periods = Vec::with_capacity(boundaries.len() - 1);
+        let fit_cfg = FitConfig::new(ModelKind::Linear);
+        for w in boundaries.windows(2) {
+            let segment = &pairs[w[0]..w[1]];
+            if segment.is_empty() {
+                continue;
+            }
+            let xs: Vec<Vec<f64>> = segment.iter().map(|(t, _)| vec![*t]).collect();
+            let y: Vec<f64> = segment.iter().map(|(_, v)| *v).collect();
+            let model = fit_model(&xs, &y, &fit_cfg)?;
+            periods.push(Period {
+                t_start: segment[0].0,
+                t_end: segment[segment.len() - 1].0,
+                model,
+            });
+        }
+        Ok(FittedRecur { periods, time_attr })
+    }
+}
+
+impl FittedRecur {
+    /// Number of detected periods.
+    pub fn num_periods(&self) -> usize {
+        self.periods.len()
+    }
+}
+
+impl BaselinePredictor for FittedRecur {
+    fn name(&self) -> &'static str {
+        "Recur"
+    }
+
+    fn predict_row(&self, table: &Table, row: usize) -> Option<f64> {
+        let t = table.value_f64(row, self.time_attr)?;
+        // Locate the period containing t (first/last extend to ±∞).
+        let period = self
+            .periods
+            .iter()
+            .find(|p| t >= p.t_start && t <= p.t_end)
+            .or_else(|| {
+                if t < self.periods.first()?.t_start {
+                    self.periods.first()
+                } else {
+                    self.periods.last()
+                }
+            })?;
+        Some(period.model.predict(&[t]))
+    }
+
+    fn num_rules(&self) -> usize {
+        self.periods.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use crr_data::{AttrType, Schema, Value};
+
+    /// A sawtooth: repeating linear ramps — one period per ramp.
+    fn sawtooth(n: usize, period: usize) -> Table {
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let phase = i % period;
+            t.push_row(vec![Value::Int(i as i64), Value::Float(phase as f64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn detects_periods_and_fits_each() {
+        let t = sawtooth(120, 20);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let m = Recur::fit(&t, &t.all_rows(), time, y, &RecurConfig::default()).unwrap();
+        // ~6 ramps: one model per ramp (no sharing — the paper's point).
+        assert!(m.num_periods() >= 4, "periods {}", m.num_periods());
+        let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
+        assert!(s.rmse < 2.0, "rmse {}", s.rmse);
+    }
+
+    #[test]
+    fn flat_series_is_one_period() {
+        let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..50 {
+            t.push_row(vec![Value::Int(i), Value::Float(5.0)]).unwrap();
+        }
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let m = Recur::fit(&t, &t.all_rows(), time, y, &RecurConfig::default()).unwrap();
+        assert_eq!(m.num_periods(), 1);
+    }
+
+    #[test]
+    fn predictions_cover_out_of_range_times() {
+        let t = sawtooth(60, 20);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let m = Recur::fit(&t, &t.all_rows(), time, y, &RecurConfig::default()).unwrap();
+        let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
+        assert_eq!(s.answered, 60); // every row answered
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let t = sawtooth(3, 2);
+        let time = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        assert!(matches!(
+            Recur::fit(&t, &t.all_rows(), time, y, &RecurConfig::default()),
+            Err(BaselineError::TooFewRows { .. })
+        ));
+    }
+}

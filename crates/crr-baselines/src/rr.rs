@@ -1,0 +1,124 @@
+//! RR: one unconditional regression model over all data — the reference
+//! the paper compares CRRs against in Figures 5–8 ("regression models
+//! without conditions").
+
+use crate::common::{fit_pairs, row_features};
+use crate::{BaselineError, BaselinePredictor, Result};
+use crr_data::{AttrId, RowSet, Table};
+use crr_models::{fit_model, FitConfig, Model, Regressor};
+
+/// The RR baseline (fit entry point).
+#[derive(Debug, Clone, Default)]
+pub struct Rr;
+
+/// A fitted unconditional model.
+#[derive(Debug, Clone)]
+pub struct FittedRr {
+    model: Model,
+    inputs: Vec<AttrId>,
+}
+
+impl Rr {
+    /// Fits one model of the configured family on all complete rows.
+    pub fn fit(
+        table: &Table,
+        rows: &RowSet,
+        inputs: &[AttrId],
+        target: AttrId,
+        cfg: &FitConfig,
+    ) -> Result<FittedRr> {
+        let (xs, y) = fit_pairs(table, rows, inputs, target);
+        if y.is_empty() {
+            return Err(BaselineError::TooFewRows { needed: 1, got: 0 });
+        }
+        Ok(FittedRr { model: fit_model(&xs, &y, cfg)?, inputs: inputs.to_vec() })
+    }
+
+    /// Convenience: fit and return the inner model.
+    pub fn fit_model_only(
+        table: &Table,
+        rows: &RowSet,
+        inputs: &[AttrId],
+        target: AttrId,
+        cfg: &FitConfig,
+    ) -> Result<Model> {
+        Ok(Rr::fit(table, rows, inputs, target, cfg)?.model)
+    }
+}
+
+impl FittedRr {
+    /// The fitted model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+}
+
+impl BaselinePredictor for FittedRr {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn predict_row(&self, table: &Table, row: usize) -> Option<f64> {
+        let x = row_features(table, row, &self.inputs)?;
+        Some(self.model.predict(&x))
+    }
+
+    fn num_rules(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_predictor;
+    use crr_data::{AttrType, Schema, Value};
+    use crr_models::ModelKind;
+
+    #[test]
+    fn single_model_fits_single_regime() {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..50 {
+            t.push_row(vec![Value::Float(i as f64), Value::Float(3.0 * i as f64 + 1.0)])
+                .unwrap();
+        }
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let rr =
+            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)).unwrap();
+        let s = evaluate_predictor(&rr, &t, &t.all_rows(), y);
+        assert!(s.rmse < 1e-9);
+        assert_eq!(rr.num_rules(), 1);
+    }
+
+    #[test]
+    fn single_model_underfits_mixed_regimes() {
+        // The motivating failure: one model over two regimes.
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..100 {
+            let x = i as f64;
+            let y = if x < 50.0 { x } else { -x + 200.0 };
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let rr =
+            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)).unwrap();
+        let s = evaluate_predictor(&rr, &t, &t.all_rows(), y);
+        assert!(s.rmse > 10.0, "rmse {}", s.rmse);
+    }
+
+    #[test]
+    fn empty_rows_rejected() {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let t = Table::new(schema);
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        assert!(matches!(
+            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)),
+            Err(BaselineError::TooFewRows { .. })
+        ));
+    }
+}

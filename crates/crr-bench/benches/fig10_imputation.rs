@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 10: imputation throughput with compacted
+//! vs. uncompacted rule sets — the downstream win of fewer rules (full
+//! comparison: `experiments -- fig10`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crr_baselines::{RegTree, RegTreeConfig};
+use crr_bench::*;
+use crr_discovery::compact_on_data;
+use crr_impute::{impute_with_rules, mask_random};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_imputation");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(3_000, 10);
+    let rows = sc.rows();
+    let tree = RegTree::fit(
+        sc.table(),
+        &rows,
+        &sc.inputs,
+        &sc.condition_attrs,
+        sc.target,
+        &RegTreeConfig::default(),
+    )
+    .expect("regtree");
+    let uncompacted = tree.to_ruleset().expect("export");
+    let (compacted, _) =
+        compact_on_data(&uncompacted, 0.2, sc.rho_max, sc.table(), &rows).expect("compact");
+
+    let mut masked = sc.table().clone();
+    let plan = mask_random(&mut masked, sc.target, 0.1, 10);
+    g.bench_function(format!("impute_uncompacted_{}rules", uncompacted.len()), |b| {
+        b.iter(|| impute_with_rules(&masked, &uncompacted, &plan))
+    });
+    g.bench_function(format!("impute_compacted_{}rules", compacted.len()), |b| {
+        b.iter(|| impute_with_rules(&masked, &compacted, &plan))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

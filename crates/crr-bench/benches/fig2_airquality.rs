@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 2: CRR discovery vs. the time-series
+//! baselines on AirQuality instances (reduced sizes; the full sweep is
+//! `experiments -- fig2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_airquality");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [500usize, 1_000, 2_000] {
+        let sc = airquality_scenario(n, 2);
+        let rows = sc.rows();
+        let opts = CrrOptions { predicates_per_attr: 127, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
+            b.iter(|| measure_crr(&sc, &rows, &opts))
+        });
+        for kind in [BaselineKind::RegTree, BaselineKind::Ar, BaselineKind::Dhr] {
+            g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &n, |b, _| {
+                b.iter(|| measure_baseline(&sc, &rows, kind))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

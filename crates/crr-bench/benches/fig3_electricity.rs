@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 3: instance scalability on Electricity —
+//! discovery cost as the minute-level series grows (reduced sizes; full
+//! sweep: `experiments -- fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crr_bench::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_electricity");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [1_440usize, 2_880, 5_760] {
+        let sc = electricity_scenario(n, 3);
+        let rows = sc.rows();
+        g.throughput(Throughput::Elements(n as u64));
+        let opts = CrrOptions { predicates_per_attr: 255, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
+            b.iter(|| measure_crr(&sc, &rows, &opts))
+        });
+        g.bench_with_input(BenchmarkId::new("Forest", n), &n, |b, _| {
+            b.iter(|| measure_baseline(&sc, &rows, BaselineKind::Forest))
+        });
+        g.bench_with_input(BenchmarkId::new("Recur", n), &n, |b, _| {
+            b.iter(|| measure_baseline(&sc, &rows, BaselineKind::Recur))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 4: the relational comparison on Tax —
+//! CRR vs. SampLR vs. MCLR vs. RegTree (reduced sizes; full sweep:
+//! `experiments -- fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_tax");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [1_000usize, 3_000] {
+        let sc = tax_scenario(n, 4);
+        let rows = sc.rows();
+        let opts = CrrOptions { predicates_per_attr: 15, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
+            b.iter(|| measure_crr(&sc, &rows, &opts))
+        });
+        for kind in BaselineKind::RELATIONAL {
+            g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &n, |b, _| {
+                b.iter(|| measure_baseline(&sc, &rows, kind))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

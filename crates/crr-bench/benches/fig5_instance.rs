@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 5: CRR vs. unconditional RR per model
+//! family on BirdMap (reduced sizes; full sweep: `experiments -- fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+use crr_models::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_instance");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(2_000, 5);
+    for n in [500usize, 1_000, 2_000] {
+        let rows = sc.instance(n);
+        for kind in [ModelKind::Linear, ModelKind::Ridge] {
+            let opts =
+                CrrOptions { kind, predicates_per_attr: 63, ..Default::default() };
+            g.bench_with_input(
+                BenchmarkId::new(format!("CRR-{}", kind.label()), n),
+                &n,
+                |b, _| b.iter(|| measure_crr(&sc, &rows, &opts)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("RR-{}", kind.label()), n),
+                &n,
+                |b, _| b.iter(|| measure_rr(&sc, &rows, kind)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

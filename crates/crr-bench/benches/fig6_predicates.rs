@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 6: discovery cost vs. predicate-space size
+//! |P| (full sweep: `experiments -- fig6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_predicates");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(1_500, 6);
+    let rows = sc.rows();
+    for per_attr in [8usize, 32, 128, 512] {
+        let opts = CrrOptions { predicates_per_attr: per_attr, ..Default::default() };
+        g.bench_with_input(
+            BenchmarkId::new("CRR-F1", 2 * per_attr),
+            &per_attr,
+            |b, _| b.iter(|| measure_crr(&sc, &rows, &opts)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 7: multi-target discovery cost vs. number
+//! of target columns (full sweep: `experiments -- fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+use crr_discovery::parallel::{discover_all, Task};
+use crr_discovery::{DiscoveryConfig, PredicateGen};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_columns");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = airquality_scenario(1_000, 7);
+    let table = sc.table();
+    let hour = sc.time_attr;
+    let sensors = ["no2", "co", "o3", "pm25"];
+    for k in [1usize, 2, 4] {
+        let tasks: Vec<Task> = sensors[..k]
+            .iter()
+            .map(|name| {
+                let target = table.attr(name).unwrap();
+                Task {
+                    config: DiscoveryConfig::new(vec![hour], target, sc.rho_max),
+                    space: PredicateGen::binary(127).generate(table, &[hour], target, 11),
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| discover_all(table, &sc.rows(), &tasks, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel4", k), &k, |b, _| {
+            b.iter(|| discover_all(table, &sc.rows(), &tasks, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 8: discovery cost vs. the maximum bias
+//! rho_M — smaller bias refines more conditions and costs more (full
+//! sweep: `experiments -- fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crr_bench::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_bias");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(1_500, 8);
+    let rows = sc.rows();
+    for rho in [0.2f64, 0.5, 1.0, 5.0] {
+        let opts = CrrOptions {
+            rho_max: Some(rho),
+            predicates_per_attr: 63,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("CRR", format!("rho{rho}")),
+            &rho,
+            |b, _| b.iter(|| measure_crr(&sc, &rows, &opts)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 9: Algorithm 2's cost compacting an
+//! exported regression tree vs. the tree fit itself (full comparison:
+//! `experiments -- fig9`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crr_baselines::{RegTree, RegTreeConfig};
+use crr_bench::*;
+use crr_discovery::compact_on_data;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_compaction");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(2_000, 9);
+    let rows = sc.rows();
+    let tree = RegTree::fit(
+        sc.table(),
+        &rows,
+        &sc.inputs,
+        &sc.condition_attrs,
+        sc.target,
+        &RegTreeConfig::default(),
+    )
+    .expect("regtree");
+    let tree_rules = tree.to_ruleset().expect("export");
+
+    g.bench_function("regtree_fit", |b| {
+        b.iter(|| {
+            RegTree::fit(
+                sc.table(),
+                &rows,
+                &sc.inputs,
+                &sc.condition_attrs,
+                sc.target,
+                &RegTreeConfig::default(),
+            )
+            .expect("regtree")
+        })
+    });
+    g.bench_function("tree_export", |b| b.iter(|| tree.to_ruleset().expect("export")));
+    g.bench_function("algorithm2_compact", |b| {
+        b.iter(|| {
+            compact_on_data(&tree_rules, 0.2, sc.rho_max, sc.table(), &rows)
+                .expect("compaction")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

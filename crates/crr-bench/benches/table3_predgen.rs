@@ -1,0 +1,33 @@
+//! Criterion bench for Table III: discovery cost under the three
+//! predicate-generation strategies (full comparison:
+//! `experiments -- table3`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crr_bench::*;
+use crr_discovery::PredicateGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_predgen");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(1_500, 1);
+    let rows = sc.rows();
+    let generators = [
+        ("expert", PredicateGen::expert(sc.expert_boundaries())),
+        ("binary", PredicateGen::binary(64)),
+        ("random", PredicateGen::random(64)),
+    ];
+    for (name, generator) in generators {
+        let opts = CrrOptions {
+            generator: Some(generator),
+            predicates_per_attr: 64,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| b.iter(|| measure_crr(&sc, &rows, &opts)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

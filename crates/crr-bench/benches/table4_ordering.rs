@@ -1,0 +1,28 @@
+//! Criterion bench for Table IV: discovery cost under the three queue
+//! orderings — Decrease should win by sharing models sooner (full
+//! comparison: `experiments -- table4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crr_bench::*;
+use crr_discovery::QueueOrder;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_ordering");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let sc = birdmap_scenario(1_500, 1);
+    let rows = sc.rows();
+    for (name, order) in [
+        ("decrease", QueueOrder::Decrease),
+        ("increase", QueueOrder::Increase),
+        ("random", QueueOrder::Random(7)),
+    ] {
+        let opts = CrrOptions { order, predicates_per_attr: 64, ..Default::default() };
+        g.bench_function(name, |b| b.iter(|| measure_crr(&sc, &rows, &opts)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

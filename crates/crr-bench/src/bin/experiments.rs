@@ -1,0 +1,637 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section (§VI).
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- all
+//! cargo run --release -p crr-bench --bin experiments -- fig2 fig9 table3
+//! cargo run --release -p crr-bench --bin experiments -- --scale 0.2 all
+//! ```
+//!
+//! Absolute numbers differ from the paper (different hardware, synthetic
+//! stand-in datasets); the *shape* — who wins, by what factor, where
+//! crossovers fall — is what EXPERIMENTS.md records and compares.
+
+use crr_bench::*;
+use crr_baselines::{RegTree, RegTreeConfig};
+use crr_core::LocateStrategy;
+use crr_datasets::{
+    abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig,
+};
+use crr_discovery::{compact_on_data, discover, PredicateGen, QueueOrder};
+use crr_impute::{impute_with_rules, mask_random};
+use crr_models::ModelKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = vec![
+            "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "table3", "table4", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+    let total = Instant::now();
+    for exp in &experiments {
+        let start = Instant::now();
+        match exp.as_str() {
+            "table2" => table2(scale),
+            "fig2" => fig2(scale),
+            "fig3" => fig3(scale),
+            "fig4" => fig4(scale),
+            "fig5" => fig5(scale),
+            "fig6" => fig6(scale),
+            "fig7" => fig7(scale),
+            "fig8" => fig8(scale),
+            "fig9" => fig9(scale),
+            "fig10" => fig10(scale),
+            "table3" => table3(scale),
+            "table4" => table4(scale),
+            "ablation" => ablation(scale),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        eprintln!("[{exp} took {:?}]", start.elapsed());
+    }
+    eprintln!("\n[all requested experiments took {:?}]", total.elapsed());
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(100)
+}
+
+/// Table II: dataset statistics.
+fn table2(scale: f64) {
+    let mut rows = Vec::new();
+    let gens: [(&str, fn(&GenConfig) -> crr_datasets::Dataset, usize); 5] = [
+        ("AirQuality", airquality, paper_sizes::AIRQUALITY),
+        ("Electricity", electricity, paper_sizes::ELECTRICITY),
+        ("BirdMap", birdmap, paper_sizes::BIRDMAP),
+        ("Tax", tax, paper_sizes::TAX),
+        ("Abalone", abalone, paper_sizes::ABALONE),
+    ];
+    for (_, make, full) in gens {
+        let ds = make(&GenConfig { rows: scaled(full, scale), seed: 42 });
+        let (name, r, c, cat) = ds.stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}k", r as f64 / 1e3),
+            c.to_string(),
+            cat.to_string(),
+        ]);
+    }
+    print_table(
+        "Table II: dataset statistics",
+        &["Dataset", "#Row", "#Column", "Category"],
+        &rows,
+    );
+}
+
+/// Shared runner for Figures 2–4: instance scalability vs. baselines.
+fn scalability_figure(
+    title: &str,
+    make: impl Fn(usize) -> Scenario,
+    sizes: &[usize],
+    baselines: &[BaselineKind],
+    crr_opts: &CrrOptions,
+) {
+    let mut rows = Vec::new();
+    let max = *sizes.last().expect("sizes non-empty");
+    let sc = make(max);
+    for &n in sizes {
+        let inst = sc.instance(n);
+        let (crr, _) = measure_crr(&sc, &inst, crr_opts);
+        rows.push(result_row(&crr, n));
+        for &b in baselines {
+            let r = measure_baseline(&sc, &inst, b);
+            rows.push(result_row(&r, n));
+        }
+    }
+    print_table(
+        title,
+        &["Method", "|I|", "Learn(s)", "Eval(ms)", "#Rules", "RMSE"],
+        &rows,
+    );
+}
+
+/// Figure 2: AirQuality, all time-series comparators.
+fn fig2(scale: f64) {
+    let sizes: Vec<usize> = [1_000, 2_500, 5_000, 7_500, paper_sizes::AIRQUALITY]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
+    scalability_figure(
+        "Figure 2: training/evaluation instance scalability, AirQuality",
+        |n| airquality_scenario(n, 2),
+        &sizes,
+        &BaselineKind::TIME_SERIES,
+        // ~2h predicate resolution over the 9.4k-hour domain (4-6h regimes).
+        &CrrOptions { predicates_per_attr: 4_095, ..Default::default() },
+    );
+}
+
+/// Figure 3: Electricity. The paper sweeps to 2M rows; the default here
+/// sweeps a scaled-down range (multiply with --scale to go bigger).
+fn fig3(scale: f64) {
+    let sizes: Vec<usize> =
+        [5_000, 10_000, 20_000, 40_000].iter().map(|&n| scaled(n, scale)).collect();
+    scalability_figure(
+        "Figure 3: training/evaluation instance scalability, Electricity",
+        |n| electricity_scenario(n, 3),
+        &sizes,
+        &BaselineKind::TIME_SERIES,
+        &CrrOptions { predicates_per_attr: 511, ..Default::default() },
+    );
+}
+
+/// Figure 4: Tax, relational comparators only.
+fn fig4(scale: f64) {
+    let sizes: Vec<usize> =
+        [10_000, 25_000, 50_000, 100_000].iter().map(|&n| scaled(n, scale)).collect();
+    scalability_figure(
+        "Figure 4: training/evaluation instance scalability, Tax",
+        |n| tax_scenario(n, 4),
+        &sizes,
+        &BaselineKind::RELATIONAL,
+        &CrrOptions { predicates_per_attr: 15, ..Default::default() },
+    );
+}
+
+/// Figure 5: CRR vs. unconditional RR across instance sizes, per model
+/// family, on BirdMap (one year per bird, per-bird predicates).
+fn fig5(scale: f64) {
+    let sizes: Vec<usize> =
+        [1_000, 2_000, 4_000, 8_000].iter().map(|&n| scaled(n, scale)).collect();
+    let sc = birdmap_scenario(*sizes.last().unwrap(), 5);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let inst = sc.instance(n);
+        for kind in ModelKind::ALL {
+            let opts = CrrOptions { kind, predicates_per_attr: 127, ..Default::default() };
+            let (crr, _) = measure_crr(&sc, &inst, &opts);
+            rows.push(vec![
+                format!("CRR-{}", kind.label()),
+                n.to_string(),
+                secs(crr.learn),
+                format!("{:.4}", crr.rmse),
+                crr.rules.to_string(),
+            ]);
+            let rr = measure_rr(&sc, &inst, kind);
+            rows.push(vec![
+                format!("RR-{}", kind.label()),
+                n.to_string(),
+                secs(rr.learn),
+                format!("{:.4}", rr.rmse),
+                rr.rules.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 5: instance scalability, RMSE and time, BirdMap",
+        &["Method", "|I|", "Learn(s)", "RMSE", "#Rules"],
+        &rows,
+    );
+}
+
+/// Figure 6: predicate scalability — RMSE and time vs. |P|.
+fn fig6(scale: f64) {
+    let n = scaled(6_000, scale);
+    let sc = birdmap_scenario(n, 6);
+    let rows_set = sc.rows();
+    let mut rows = Vec::new();
+    for per_attr in [4usize, 8, 16, 32, 64, 128, 256] {
+        for kind in ModelKind::ALL {
+            let opts = CrrOptions {
+                kind,
+                predicates_per_attr: per_attr,
+                ..Default::default()
+            };
+            let (crr, _) = measure_crr(&sc, &rows_set, &opts);
+            rows.push(vec![
+                format!("CRR-{}", kind.label()),
+                (2 * per_attr).to_string(), // >/<= pairs
+                secs(crr.learn),
+                format!("{:.4}", crr.rmse),
+                crr.rules.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 6: predicate scalability, BirdMap",
+        &["Method", "|P|", "Learn(s)", "RMSE", "#Rules"],
+        &rows,
+    );
+}
+
+/// Figure 7: column scalability — discover CRRs for 1..k target columns
+/// of AirQuality (in parallel), report per-column RMSE stability and the
+/// near-linear growth of total time.
+fn fig7(scale: f64) {
+    let n = scaled(4_000, scale);
+    let sc = airquality_scenario(n, 7);
+    let table = sc.table();
+    let hour = sc.time_attr;
+    let sensor_names = ["no2", "co", "o3", "pm25", "temp", "nox", "so2", "rh"];
+    let mut rows = Vec::new();
+    for k in 1..=sensor_names.len() {
+        let tasks: Vec<crr_discovery::parallel::Task> = sensor_names[..k]
+            .iter()
+            .map(|name| {
+                let target = table.attr(name).unwrap();
+                let space =
+                    PredicateGen::binary(2_047).generate(table, &[hour], target, 11);
+                let cfg =
+                    crr_discovery::DiscoveryConfig::new(vec![hour], target, sc.rho_max);
+                crr_discovery::parallel::Task { config: cfg, space }
+            })
+            .collect();
+        let start = Instant::now();
+        let results = crr_discovery::parallel::discover_all(table, &sc.rows(), &tasks, 4);
+        let elapsed = start.elapsed();
+        let mut rmse_sum = 0.0;
+        let mut rule_sum = 0usize;
+        for r in &results {
+            let d = r.as_ref().expect("discovery");
+            let report = d.rules.evaluate(table, &sc.rows(), LocateStrategy::First);
+            rmse_sum += report.rmse;
+            rule_sum += d.rules.len();
+        }
+        rows.push(vec![
+            k.to_string(),
+            secs(elapsed),
+            format!("{:.4}", rmse_sum / k as f64),
+            rule_sum.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 7: column scalability, AirQuality",
+        &["#TargetCols", "TotalLearn(s)", "AvgRMSE", "TotalRules"],
+        &rows,
+    );
+}
+
+/// Figure 8: sensitivity to the maximum bias rho_M. Beyond the paper, the
+/// runner also reports held-out RMSE (20% test split) so the
+/// over-refinement cost of tiny rho_M is visible out of sample.
+fn fig8(scale: f64) {
+    let mut rows = Vec::new();
+    let bird = birdmap_scenario(scaled(6_000, scale), 8);
+    let aba = abalone_scenario(scaled(4_200, scale), 8);
+    for (sc, name, rhos) in [
+        (&bird, "BirdMap", [0.1, 0.2, 0.5, 1.0, 2.0, 5.0]),
+        (&aba, "Abalone", [0.1, 0.25, 0.5, 1.0, 2.0, 5.0]),
+    ] {
+        let (train, test) = holdout_split(&sc.rows(), 0.2, 8);
+        for rho in rhos {
+            let opts = CrrOptions {
+                rho_max: Some(rho),
+                predicates_per_attr: 127,
+                ..Default::default()
+            };
+            let (crr, ruleset) = measure_crr(sc, &train, &opts);
+            let test_rep =
+                ruleset.evaluate(sc.table(), &test, LocateStrategy::First);
+            rows.push(vec![
+                name.to_string(),
+                format!("{rho}"),
+                secs(crr.learn),
+                format!("{:.4}", crr.rmse),
+                format!("{:.4}", test_rep.rmse),
+                crr.rules.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 8: parameter study on regression bias rho_M",
+        &["Dataset", "rho_M", "Learn(s)", "TrainRMSE", "TestRMSE", "#Rules"],
+        &rows,
+    );
+}
+
+/// Shared fig9/fig10 fixture: a regression tree, its compaction, and CRR
+/// searching, per model family and dataset.
+struct CompactionFixture {
+    dataset: String,
+    family: &'static str,
+    tree_rules: crr_core::RuleSet,
+    tree_compacted: crr_core::RuleSet,
+    crr_search: crr_core::RuleSet,
+    crr_compacted: crr_core::RuleSet,
+}
+
+fn compaction_fixtures(scale: f64) -> Vec<CompactionFixture> {
+    let mut out = Vec::new();
+    for (sc, name) in [
+        (birdmap_scenario(scaled(5_000, scale), 9), "BirdMap"),
+        (abalone_scenario(scaled(4_200, scale), 9), "Abalone"),
+    ] {
+        for kind in ModelKind::ALL {
+            let rows = sc.rows();
+            let mut tree_cfg = RegTreeConfig::with_kind(kind);
+            if kind == ModelKind::Mlp {
+                tree_cfg.fit.mlp.epochs = 60;
+                tree_cfg.fit.mlp.hidden = 6;
+            }
+            let tree = RegTree::fit(
+                sc.table(),
+                &rows,
+                &sc.inputs,
+                &sc.condition_attrs,
+                sc.target,
+                &tree_cfg,
+            )
+            .expect("regtree");
+            let tree_rules = tree.to_ruleset().expect("export");
+            let (tree_compacted, _) =
+                compact_on_data(&tree_rules, 0.2, sc.rho_max, sc.table(), &rows)
+                    .expect("compaction");
+            let opts = CrrOptions {
+                kind,
+                predicates_per_attr: 127,
+                compact: false,
+                ..Default::default()
+            };
+            let (cfg, space) = crr_inputs(&sc, &opts);
+            let search = discover(sc.table(), &rows, &cfg, &space).expect("crr");
+            let (crr_compacted, _) =
+                compact_on_data(&search.rules, 1e-6, sc.rho_max, sc.table(), &rows)
+                    .expect("crr compaction");
+            out.push(CompactionFixture {
+                dataset: name.to_string(),
+                family: kind.label(),
+                tree_rules,
+                tree_compacted,
+                crr_search: search.rules,
+                crr_compacted,
+            });
+        }
+    }
+    out
+}
+
+/// Figure 9: rule counts — RegTree vs. RegTree+compaction vs. CRR search.
+fn fig9(scale: f64) {
+    let rows: Vec<Vec<String>> = compaction_fixtures(scale)
+        .into_iter()
+        .map(|f| {
+            vec![
+                f.dataset,
+                f.family.to_string(),
+                f.tree_rules.len().to_string(),
+                f.tree_compacted.len().to_string(),
+                f.crr_search.len().to_string(),
+                f.crr_compacted.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 9: rule compaction via translation and fusion",
+        &["Dataset", "Model", "RegTree", "RegTree+Compact", "CRR-search", "CRR+Compact"],
+        &rows,
+    );
+}
+
+/// Figure 10: imputation RMSE and time, with vs. without compaction.
+fn fig10(scale: f64) {
+    let mut rows = Vec::new();
+    for f in compaction_fixtures(scale) {
+        // Rebuild the matching scenario to mask values.
+        let sc = match f.dataset.as_str() {
+            "BirdMap" => birdmap_scenario(scaled(5_000, scale), 9),
+            _ => abalone_scenario(scaled(4_200, scale), 9),
+        };
+        let mut masked = sc.table().clone();
+        let plan = mask_random(&mut masked, sc.target, 0.1, 10);
+        for (label, rules) in [
+            ("RegTree", &f.tree_rules),
+            ("RegTree+Compact", &f.tree_compacted),
+            ("CRR+Compact", &f.crr_compacted),
+        ] {
+            let rep = impute_with_rules(&masked, rules, &plan);
+            rows.push(vec![
+                f.dataset.clone(),
+                f.family.to_string(),
+                label.to_string(),
+                format!("{:.4}", rep.rmse),
+                millis(rep.time),
+                rules.len().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 10: missing-data imputation with/without compaction",
+        &["Dataset", "Model", "Rules", "RMSE", "Time(ms)", "#Rules"],
+        &rows,
+    );
+}
+
+/// Table III: predicate generation strategies (averaged over seeds).
+fn table3(scale: f64) {
+    let mut rows = Vec::new();
+    let datasets: [(fn(usize, u64) -> Scenario, &str); 2] =
+        [(birdmap_scenario, "BirdMap"), (abalone_scenario, "Abalone")];
+    for (make, name) in datasets {
+        let n = scaled(if name == "BirdMap" { 5_000 } else { 4_200 }, scale);
+        for gen_name in ["Expert", "Binary", "Random"] {
+            let (mut learn, mut eval, mut rmse, mut rules) = (0.0, 0.0, 0.0, 0.0);
+            let seeds = [1u64, 2, 3];
+            for &seed in &seeds {
+                let sc = make(n, seed);
+                let generator = match gen_name {
+                    "Expert" => PredicateGen::expert(sc.expert_boundaries()),
+                    "Binary" => PredicateGen::binary(64),
+                    _ => PredicateGen::random(64),
+                };
+                let opts = CrrOptions {
+                    generator: Some(generator),
+                    predicates_per_attr: 64,
+                    ..Default::default()
+                };
+                let (r, _) = measure_crr(&sc, &sc.rows(), &opts);
+                learn += r.learn.as_secs_f64();
+                eval += r.eval.as_secs_f64() * 1e3;
+                rmse += r.rmse;
+                rules += r.rules as f64;
+            }
+            let k = seeds.len() as f64;
+            rows.push(vec![
+                name.to_string(),
+                gen_name.to_string(),
+                format!("{:.3}", learn / k),
+                format!("{:.2}", eval / k),
+                format!("{:.4}", rmse / k),
+                format!("{:.1}", rules / k),
+            ]);
+        }
+    }
+    print_table(
+        "Table III: performance over varied predicate generators",
+        &["Data", "Method", "Learning(s)", "Evaluation(ms)", "RMSE", "#Rules"],
+        &rows,
+    );
+}
+
+/// Table IV: model-sharing priority (queue ordering).
+fn table4(scale: f64) {
+    let mut rows = Vec::new();
+    let datasets: [(fn(usize, u64) -> Scenario, &str); 2] =
+        [(birdmap_scenario, "BirdMap"), (abalone_scenario, "Abalone")];
+    for (make, name) in datasets {
+        let n = scaled(if name == "BirdMap" { 5_000 } else { 4_200 }, scale);
+        for (order, label) in [
+            (QueueOrder::Decrease, "Decrease"),
+            (QueueOrder::Increase, "Increase"),
+            (QueueOrder::Random(7), "Random"),
+        ] {
+            let (mut learn, mut eval, mut rmse, mut rules, mut trained) =
+                (0.0, 0.0, 0.0, 0.0, 0.0);
+            let seeds = [1u64, 2, 3];
+            for &seed in &seeds {
+                let sc = make(n, seed);
+                let opts =
+                    CrrOptions { order, predicates_per_attr: 64, ..Default::default() };
+                let (r, _) = measure_crr(&sc, &sc.rows(), &opts);
+                learn += r.learn.as_secs_f64();
+                eval += r.eval.as_secs_f64() * 1e3;
+                rmse += r.rmse;
+                rules += r.rules as f64;
+                trained += r.trained as f64;
+            }
+            let k = seeds.len() as f64;
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.3}", learn / k),
+                format!("{:.2}", eval / k),
+                format!("{:.4}", rmse / k),
+                format!("{:.1}", rules / k),
+                format!("{:.1}", trained / k),
+            ]);
+        }
+    }
+    print_table(
+        "Table IV: performance of model sharing priority",
+        &["Data", "Order", "Learning(s)", "Evaluation(ms)", "RMSE", "#Rules", "#Trained"],
+        &rows,
+    );
+}
+
+/// Ablations of the design choices DESIGN.md calls out (not a paper
+/// artifact): model sharing on/off, split criterion, data-validated vs.
+/// pure-inference compaction, and the interval rule index.
+fn ablation(scale: f64) {
+    use crr_core::RuleIndex;
+    use crr_discovery::{compact, SplitStrategy};
+
+    let n = scaled(8_000, scale);
+    let sc = birdmap_scenario(n, 40);
+    let rows = sc.rows();
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    // (a) Model sharing on/off: trained models and learning time.
+    for share in [true, false] {
+        let opts = CrrOptions { share, predicates_per_attr: 127, ..Default::default() };
+        let (r, _) = measure_crr(&sc, &rows, &opts);
+        out.push(vec![
+            format!("sharing={share}"),
+            secs(r.learn),
+            format!("{:.4}", r.rmse),
+            r.rules.to_string(),
+            r.trained.to_string(),
+        ]);
+    }
+
+    // (b) Split criterion: residual vs. raw-variance vs. first-applicable.
+    for (label, split) in [
+        ("split=residual", SplitStrategy::BestResidual),
+        ("split=variance", SplitStrategy::BestVariance),
+        ("split=first", SplitStrategy::FirstApplicable),
+    ] {
+        let opts = CrrOptions { predicates_per_attr: 127, ..Default::default() };
+        let (mut cfg, space) = crr_inputs(&sc, &opts);
+        cfg.split = split;
+        let start = Instant::now();
+        let d = discover(sc.table(), &rows, &cfg, &space).expect("discover");
+        let learn = start.elapsed();
+        let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+        out.push(vec![
+            label.to_string(),
+            secs(learn),
+            format!("{:.4}", rep.rmse),
+            d.rules.len().to_string(),
+            d.stats.models_trained.to_string(),
+        ]);
+    }
+
+    // (c) Compaction: data-validated vs. pure inference, on the same
+    //     discovered set.
+    let opts = CrrOptions { predicates_per_attr: 127, compact: false, ..Default::default() };
+    let (cfg, space) = crr_inputs(&sc, &opts);
+    let d = discover(sc.table(), &rows, &cfg, &space).expect("discover");
+    for (label, rules) in [
+        (
+            "compact=validated",
+            compact_on_data(&d.rules, 1e-6, cfg.rho_max, sc.table(), &rows)
+                .expect("compact")
+                .0,
+        ),
+        ("compact=pure", compact(&d.rules, 1e-6).expect("compact").0),
+        ("compact=none", d.rules.clone()),
+    ] {
+        let rep = rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+        out.push(vec![
+            label.to_string(),
+            "-".into(),
+            format!("{:.4}", rep.rmse),
+            rules.len().to_string(),
+            "-".into(),
+        ]);
+    }
+
+    // (d) Rule locating: linear scan vs. interval index, same rule set.
+    let (compacted, _) =
+        compact_on_data(&d.rules, 1e-6, cfg.rho_max, sc.table(), &rows).expect("compact");
+    let t0 = Instant::now();
+    let scan_rep = compacted.evaluate(sc.table(), &rows, LocateStrategy::First);
+    let scan_time = t0.elapsed();
+    let t1 = Instant::now();
+    let index = RuleIndex::build(&compacted, sc.table());
+    let idx_rep = index.evaluate(sc.table(), &rows);
+    let idx_time = t1.elapsed();
+    assert_eq!(scan_rep, idx_rep, "index must match the scan exactly");
+    out.push(vec![
+        "locate=scan".into(),
+        format!("eval {}ms", millis(scan_time)),
+        format!("{:.4}", scan_rep.rmse),
+        compacted.len().to_string(),
+        "-".into(),
+    ]);
+    out.push(vec![
+        "locate=index".into(),
+        format!("eval {}ms", millis(idx_time)),
+        format!("{:.4}", idx_rep.rmse),
+        compacted.len().to_string(),
+        "-".into(),
+    ]);
+
+    print_table(
+        "Ablations: sharing / split criterion / compaction / rule index (BirdMap)",
+        &["Variant", "Learn(s)", "RMSE", "#Rules", "#Trained"],
+        &out,
+    );
+}

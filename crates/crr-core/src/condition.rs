@@ -1,0 +1,653 @@
+use crate::{Op, Predicate};
+use crr_data::{AttrId, RowSet, Schema, Table, Value};
+use crr_models::Translation;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A conjunction `C = p₁ ∧ … ∧ pₖ` of predicates, optionally carrying the
+/// built-in predicates `x = Δ ∧ y = δ` (paper §III-A2/A3).
+///
+/// The built-in part does not constrain tuples — the paper assumes "t is
+/// satisfied by any built-in predicates" — it parametrizes *how the model is
+/// applied* to tuples matched by this conjunction: the prediction is
+/// `f(t.X + Δ) + δ`. `None` means the default identity `x = 0 ∧ y = 0`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Conjunction {
+    preds: Vec<Predicate>,
+    builtin: Option<Translation>,
+}
+
+impl Conjunction {
+    /// The empty conjunction `⊤` (the most general condition, `C = ∅` in
+    /// Algorithm 1 line 3).
+    pub fn top() -> Self {
+        Conjunction::default()
+    }
+
+    /// A conjunction of the given predicates with the default built-ins.
+    pub fn of(preds: Vec<Predicate>) -> Self {
+        Conjunction { preds, builtin: None }
+    }
+
+    /// A conjunction with explicit built-in predicates.
+    pub fn with_builtin(preds: Vec<Predicate>, builtin: Translation) -> Self {
+        Conjunction { preds, builtin: Some(builtin) }
+    }
+
+    /// The predicates of this conjunction.
+    pub fn preds(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// The built-in predicates, if non-default.
+    pub fn builtin(&self) -> Option<&Translation> {
+        self.builtin.as_ref()
+    }
+
+    /// Replaces the built-in predicates.
+    pub fn set_builtin(&mut self, t: Translation) {
+        self.builtin = if t.is_identity() { None } else { Some(t) };
+    }
+
+    /// Composes a further translation onto the built-ins (Proposition 9:
+    /// `x = Δ' + Δ, y = δ' + δ`). `arity` is the rule's `|X|`, needed when
+    /// the current built-in is the default identity.
+    pub fn compose_builtin(&mut self, t: &Translation, arity: usize) {
+        let cur = self
+            .builtin
+            .take()
+            .unwrap_or_else(|| Translation::identity(arity));
+        self.set_builtin(cur.compose(t));
+    }
+
+    /// Refines the conjunction with one more predicate (`C ∧ p`).
+    pub fn and(&self, p: Predicate) -> Conjunction {
+        let mut c = self.clone();
+        c.preds.push(p);
+        c
+    }
+
+    /// Whether tuple `row` satisfies every predicate (`t ⊨ C`).
+    pub fn eval(&self, table: &Table, row: usize) -> bool {
+        self.preds.iter().all(|p| p.eval(table, row))
+    }
+
+    /// Filters `rows` down to the tuples satisfying this conjunction
+    /// (`D_C`).
+    pub fn select(&self, table: &Table, rows: &RowSet) -> RowSet {
+        rows.filter(|r| self.eval(table, r))
+    }
+
+    /// The set of attributes mentioned by the data predicates.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut a: Vec<AttrId> = self.preds.iter().map(|p| p.attr).collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+
+    /// Conjunction implication `self ⊢ other`: every tuple satisfying
+    /// `self` satisfies `other` (the predicate-calculus refinement of \[7\]).
+    ///
+    /// Sound but not complete: it reasons per attribute over the interval /
+    /// equality / disequality summary implied by `self`, returning `false`
+    /// when it cannot *prove* implication. Built-in predicates must agree
+    /// (treating `None` as the identity), because CRR-level Induction
+    /// replaces a condition while keeping the model application fixed.
+    pub fn implies(&self, other: &Conjunction) -> bool {
+        if !builtin_eq(self.builtin(), other.builtin()) {
+            return false;
+        }
+        if self.is_provably_unsat() {
+            return true;
+        }
+        other.preds.iter().all(|p| self.implies_pred(p))
+    }
+
+    /// Whether the constraints of `self` prove the single predicate `p`.
+    fn implies_pred(&self, p: &Predicate) -> bool {
+        // Syntactic containment is the cheap common case (refinement chains
+        // share their prefix predicates).
+        if self.preds.contains(p) {
+            return true;
+        }
+        let s = AttrSummary::from_conjunction(self, p.attr);
+        s.implies(p.op, &p.value)
+    }
+
+    /// Whether this conjunction is provably unsatisfiable (empty interval
+    /// or an equality outside the allowed range). Conservative: `false`
+    /// means "unknown".
+    pub fn is_provably_unsat(&self) -> bool {
+        let mut attrs = self.attrs();
+        attrs.dedup();
+        attrs
+            .into_iter()
+            .any(|a| AttrSummary::from_conjunction(self, a).is_unsat())
+    }
+
+    /// Renders the conjunction with attribute names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Conjunction, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.preds.is_empty() && self.0.builtin.is_none() {
+                    return write!(f, "true");
+                }
+                let mut first = true;
+                for p in &self.0.preds {
+                    if !first {
+                        write!(f, " && ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", p.display(self.1))?;
+                }
+                if let Some(b) = &self.0.builtin {
+                    if !first {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "x={:?} && y={}", b.delta_x, b.delta_y)?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// Built-in equality where `None` stands for the identity translation.
+fn builtin_eq(a: Option<&Translation>, b: Option<&Translation>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(t), None) | (None, Some(t)) => t.is_identity(),
+        (Some(x), Some(y)) => x == y,
+    }
+}
+
+/// One bound of an interval: the constant plus whether it is exclusive.
+#[derive(Debug, Clone)]
+struct Bound {
+    value: Value,
+    strict: bool,
+}
+
+/// Per-attribute summary of a conjunction's constraints: implied interval,
+/// pinned equality and excluded values. The basis of the implication check.
+#[derive(Debug, Clone, Default)]
+struct AttrSummary {
+    lo: Option<Bound>,
+    hi: Option<Bound>,
+    eq: Option<Value>,
+    ne: Vec<Value>,
+    /// Constraints mixed incomparable value kinds; give up (prove nothing).
+    incomparable: bool,
+}
+
+impl AttrSummary {
+    fn from_conjunction(c: &Conjunction, attr: AttrId) -> AttrSummary {
+        let mut s = AttrSummary::default();
+        for p in c.preds() {
+            if p.attr != attr {
+                continue;
+            }
+            match p.op {
+                Op::Eq => match &s.eq {
+                    None => s.eq = Some(p.value.clone()),
+                    Some(v) if v == &p.value => {}
+                    // Two different pinned values: unsatisfiable. Model it
+                    // as an empty interval.
+                    Some(_) => {
+                        s.lo = Some(Bound { value: Value::Int(1), strict: true });
+                        s.hi = Some(Bound { value: Value::Int(0), strict: true });
+                    }
+                },
+                Op::Ne => s.ne.push(p.value.clone()),
+                Op::Gt => s.raise_lo(p.value.clone(), true),
+                Op::Ge => s.raise_lo(p.value.clone(), false),
+                Op::Lt => s.lower_hi(p.value.clone(), true),
+                Op::Le => s.lower_hi(p.value.clone(), false),
+            }
+        }
+        s
+    }
+
+    fn raise_lo(&mut self, v: Value, strict: bool) {
+        match &self.lo {
+            None => self.lo = Some(Bound { value: v, strict }),
+            Some(b) => match b.value.partial_cmp_sem(&v) {
+                Some(Ordering::Less) => self.lo = Some(Bound { value: v, strict }),
+                Some(Ordering::Equal) => {
+                    if strict {
+                        self.lo = Some(Bound { value: v, strict: true });
+                    }
+                }
+                Some(Ordering::Greater) => {}
+                None => self.incomparable = true,
+            },
+        }
+    }
+
+    fn lower_hi(&mut self, v: Value, strict: bool) {
+        match &self.hi {
+            None => self.hi = Some(Bound { value: v, strict }),
+            Some(b) => match b.value.partial_cmp_sem(&v) {
+                Some(Ordering::Greater) => self.hi = Some(Bound { value: v, strict }),
+                Some(Ordering::Equal) => {
+                    if strict {
+                        self.hi = Some(Bound { value: v, strict: true });
+                    }
+                }
+                Some(Ordering::Less) => {}
+                None => self.incomparable = true,
+            },
+        }
+    }
+
+    /// Provably empty: `lo > hi`, touching strict bounds, or a pinned value
+    /// outside the interval / in the excluded set.
+    fn is_unsat(&self) -> bool {
+        if self.incomparable {
+            return false;
+        }
+        if let (Some(lo), Some(hi)) = (&self.lo, &self.hi) {
+            match lo.value.partial_cmp_sem(&hi.value) {
+                Some(Ordering::Greater) => return true,
+                Some(Ordering::Equal) if lo.strict || hi.strict => return true,
+                _ => {}
+            }
+        }
+        if let Some(v) = &self.eq {
+            if self.ne.iter().any(|n| n == v) {
+                return true;
+            }
+            if let Some(lo) = &self.lo {
+                match v.partial_cmp_sem(&lo.value) {
+                    Some(Ordering::Less) => return true,
+                    Some(Ordering::Equal) if lo.strict => return true,
+                    _ => {}
+                }
+            }
+            if let Some(hi) = &self.hi {
+                match v.partial_cmp_sem(&hi.value) {
+                    Some(Ordering::Greater) => return true,
+                    Some(Ordering::Equal) if hi.strict => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// Does this summary prove `A op c`? Conservative: `false` = unknown.
+    fn implies(&self, op: Op, c: &Value) -> bool {
+        if self.is_unsat() {
+            return true;
+        }
+        if self.incomparable {
+            return false;
+        }
+        // A pinned equality answers every operator directly.
+        if let Some(v) = &self.eq {
+            return match v.partial_cmp_sem(c) {
+                Some(ord) => op.eval(ord),
+                None => false,
+            };
+        }
+        match op {
+            // Without a pinned value, an interval proves `=` only when it
+            // is a single closed point equal to c.
+            Op::Eq => match (&self.lo, &self.hi) {
+                (Some(lo), Some(hi)) => {
+                    !lo.strict
+                        && !hi.strict
+                        && lo.value == *c
+                        && hi.value == *c
+                }
+                _ => false,
+            },
+            Op::Ne => {
+                // c excluded explicitly, or outside the interval.
+                if self.ne.iter().any(|n| n == c) {
+                    return true;
+                }
+                if let Some(lo) = &self.lo {
+                    match c.partial_cmp_sem(&lo.value) {
+                        Some(Ordering::Less) => return true,
+                        Some(Ordering::Equal) if lo.strict => return true,
+                        _ => {}
+                    }
+                }
+                if let Some(hi) = &self.hi {
+                    match c.partial_cmp_sem(&hi.value) {
+                        Some(Ordering::Greater) => return true,
+                        Some(Ordering::Equal) if hi.strict => return true,
+                        _ => {}
+                    }
+                }
+                false
+            }
+            Op::Le => self.hi.as_ref().is_some_and(|hi| {
+                matches!(
+                    hi.value.partial_cmp_sem(c),
+                    Some(Ordering::Less) | Some(Ordering::Equal)
+                )
+            }),
+            Op::Lt => self.hi.as_ref().is_some_and(|hi| {
+                match hi.value.partial_cmp_sem(c) {
+                    Some(Ordering::Less) => true,
+                    Some(Ordering::Equal) => hi.strict,
+                    _ => false,
+                }
+            }),
+            Op::Ge => self.lo.as_ref().is_some_and(|lo| {
+                matches!(
+                    lo.value.partial_cmp_sem(c),
+                    Some(Ordering::Greater) | Some(Ordering::Equal)
+                )
+            }),
+            Op::Gt => self.lo.as_ref().is_some_and(|lo| {
+                match lo.value.partial_cmp_sem(c) {
+                    Some(Ordering::Greater) => true,
+                    Some(Ordering::Equal) => lo.strict,
+                    _ => false,
+                }
+            }),
+        }
+    }
+}
+
+/// A condition in disjunctive normal form `ℂ = C₁ ∨ … ∨ Cₙ`
+/// (paper §III-A2).
+///
+/// A tuple satisfies the DNF when it satisfies at least one conjunction.
+/// Note the edge cases: a DNF containing one empty conjunction is `⊤`
+/// (the most general condition), while a DNF with *no* conjunctions is `⊥`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dnf {
+    conjuncts: Vec<Conjunction>,
+}
+
+impl Dnf {
+    /// The always-true condition (one empty conjunction).
+    pub fn tautology() -> Self {
+        Dnf { conjuncts: vec![Conjunction::top()] }
+    }
+
+    /// A DNF of a single conjunction.
+    pub fn single(c: Conjunction) -> Self {
+        Dnf { conjuncts: vec![c] }
+    }
+
+    /// A DNF from several conjunctions.
+    pub fn of(conjuncts: Vec<Conjunction>) -> Self {
+        Dnf { conjuncts }
+    }
+
+    /// The conjunctions.
+    pub fn conjuncts(&self) -> &[Conjunction] {
+        &self.conjuncts
+    }
+
+    /// Mutable access for compaction (built-in rewriting).
+    pub fn conjuncts_mut(&mut self) -> &mut Vec<Conjunction> {
+        &mut self.conjuncts
+    }
+
+    /// `ℂ₁ ∨ ℂ₂` — the condition produced by Fusion (Proposition 3).
+    pub fn or(&self, other: &Dnf) -> Dnf {
+        let mut conjuncts = self.conjuncts.clone();
+        for c in &other.conjuncts {
+            if !conjuncts.contains(c) {
+                conjuncts.push(c.clone());
+            }
+        }
+        Dnf { conjuncts }
+    }
+
+    /// `t ⊨ ℂ`: some conjunction is satisfied.
+    pub fn eval(&self, table: &Table, row: usize) -> bool {
+        self.conjuncts.iter().any(|c| c.eval(table, row))
+    }
+
+    /// The satisfied conjunction a prediction should use (the first match,
+    /// matching the discovery order).
+    pub fn matching_conjunct(&self, table: &Table, row: usize) -> Option<&Conjunction> {
+        self.conjuncts.iter().find(|c| c.eval(table, row))
+    }
+
+    /// Filters `rows` down to `I_ℂ`.
+    pub fn select(&self, table: &Table, rows: &RowSet) -> RowSet {
+        rows.filter(|r| self.eval(table, r))
+    }
+
+    /// DNF implication (Definition 2): `self ⊢ other` iff every conjunction
+    /// of `self` implies some conjunction of `other`.
+    pub fn implies(&self, other: &Dnf) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|c1| other.conjuncts.iter().any(|c2| c1.implies(c2)))
+    }
+
+    /// All attributes mentioned by any conjunct.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut a: Vec<AttrId> = self.conjuncts.iter().flat_map(|c| c.attrs()).collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+
+    /// Renders the DNF with attribute names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Dnf, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.conjuncts.is_empty() {
+                    return write!(f, "false");
+                }
+                for (i, c) in self.0.conjuncts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "({})", c.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crr_data::{AttrType, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("date", AttrType::Int), ("bird", AttrType::Str)])
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new(schema());
+        for (d, b) in [(100, "maria"), (200, "maria"), (300, "raivo")] {
+            t.push_row(vec![Value::Int(d), Value::str(b)]).unwrap();
+        }
+        t
+    }
+
+    fn date() -> AttrId {
+        AttrId(0)
+    }
+
+    fn bird() -> AttrId {
+        AttrId(1)
+    }
+
+    #[test]
+    fn conjunction_eval_and_select() {
+        let t = table();
+        let c = Conjunction::of(vec![
+            Predicate::ge(date(), Value::Int(150)),
+            Predicate::eq(bird(), Value::str("maria")),
+        ]);
+        assert!(!c.eval(&t, 0));
+        assert!(c.eval(&t, 1));
+        assert!(!c.eval(&t, 2));
+        assert_eq!(c.select(&t, &t.all_rows()).as_slice(), &[1]);
+    }
+
+    #[test]
+    fn empty_conjunction_is_top() {
+        let t = table();
+        assert!(Conjunction::top().eval(&t, 0));
+        assert_eq!(Conjunction::top().select(&t, &t.all_rows()).len(), 3);
+    }
+
+    #[test]
+    fn dnf_eval_is_disjunction() {
+        let t = table();
+        let d = Dnf::of(vec![
+            Conjunction::of(vec![Predicate::lt(date(), Value::Int(150))]),
+            Conjunction::of(vec![Predicate::gt(date(), Value::Int(250))]),
+        ]);
+        assert!(d.eval(&t, 0));
+        assert!(!d.eval(&t, 1));
+        assert!(d.eval(&t, 2));
+    }
+
+    #[test]
+    fn empty_dnf_is_false_tautology_is_true() {
+        let t = table();
+        assert!(!Dnf::default().eval(&t, 0));
+        assert!(Dnf::tautology().eval(&t, 0));
+    }
+
+    #[test]
+    fn interval_implication() {
+        // date >= 100 && date < 200  ⊢  date >= 50.
+        let c1 = Conjunction::of(vec![
+            Predicate::ge(date(), Value::Int(100)),
+            Predicate::lt(date(), Value::Int(200)),
+        ]);
+        let c2 = Conjunction::of(vec![Predicate::ge(date(), Value::Int(50))]);
+        assert!(c1.implies(&c2));
+        assert!(!c2.implies(&c1));
+        // ... and date < 250, date <= 200, date != 200.
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::lt(date(), Value::Int(250))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(date(), Value::Int(200))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(date(), Value::Int(200))])));
+        // But not date > 100 (lower bound is inclusive).
+        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(date(), Value::Int(100))])));
+    }
+
+    #[test]
+    fn equality_implication() {
+        let c1 = Conjunction::of(vec![Predicate::eq(date(), Value::Int(150))]);
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ge(date(), Value::Int(100))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(date(), Value::Int(150))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(date(), Value::Int(151))])));
+        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(date(), Value::Int(150))])));
+    }
+
+    #[test]
+    fn string_equality_implication() {
+        let c1 = Conjunction::of(vec![Predicate::eq(bird(), Value::str("maria"))]);
+        let c2 = Conjunction::of(vec![Predicate::ne(bird(), Value::str("raivo"))]);
+        assert!(c1.implies(&c2));
+        assert!(!c2.implies(&c1));
+    }
+
+    #[test]
+    fn everything_implies_top_and_unsat_implies_everything() {
+        let c1 = Conjunction::of(vec![Predicate::eq(date(), Value::Int(1))]);
+        assert!(c1.implies(&Conjunction::top()));
+        let unsat = Conjunction::of(vec![
+            Predicate::gt(date(), Value::Int(10)),
+            Predicate::lt(date(), Value::Int(5)),
+        ]);
+        assert!(unsat.is_provably_unsat());
+        assert!(unsat.implies(&c1));
+    }
+
+    #[test]
+    fn conflicting_equalities_are_unsat() {
+        let c = Conjunction::of(vec![
+            Predicate::eq(date(), Value::Int(1)),
+            Predicate::eq(date(), Value::Int(2)),
+        ]);
+        assert!(c.is_provably_unsat());
+    }
+
+    #[test]
+    fn dnf_implication_definition2() {
+        // (date in [100,200)) ∨ (date in [300,400))  ⊢  date >= 100.
+        let d1 = Dnf::of(vec![
+            Conjunction::of(vec![
+                Predicate::ge(date(), Value::Int(100)),
+                Predicate::lt(date(), Value::Int(200)),
+            ]),
+            Conjunction::of(vec![
+                Predicate::ge(date(), Value::Int(300)),
+                Predicate::lt(date(), Value::Int(400)),
+            ]),
+        ]);
+        let d2 = Dnf::single(Conjunction::of(vec![Predicate::ge(date(), Value::Int(100))]));
+        assert!(d1.implies(&d2));
+        assert!(!d2.implies(&d1));
+        // Each disjunct implies a *different* conjunct here:
+        let d3 = Dnf::of(vec![
+            Conjunction::of(vec![Predicate::lt(date(), Value::Int(250))]),
+            Conjunction::of(vec![Predicate::ge(date(), Value::Int(250))]),
+        ]);
+        assert!(d1.implies(&d3));
+    }
+
+    #[test]
+    fn builtin_must_match_for_implication() {
+        let base = Conjunction::of(vec![Predicate::ge(date(), Value::Int(0))]);
+        let refined = Conjunction::with_builtin(
+            vec![Predicate::ge(date(), Value::Int(10))],
+            Translation { delta_x: vec![744.0], delta_y: 0.0 },
+        );
+        assert!(!refined.implies(&base));
+        let mut base2 = base.clone();
+        base2.set_builtin(Translation { delta_x: vec![744.0], delta_y: 0.0 });
+        assert!(refined.implies(&base2));
+        // Identity builtin equals the default None.
+        let explicit_id = Conjunction::with_builtin(vec![], Translation::identity(1));
+        assert!(Conjunction::top().implies(&explicit_id));
+    }
+
+    #[test]
+    fn compose_builtin_accumulates() {
+        let mut c = Conjunction::top();
+        c.compose_builtin(&Translation { delta_x: vec![10.0], delta_y: 1.0 }, 1);
+        c.compose_builtin(&Translation { delta_x: vec![-4.0], delta_y: 2.0 }, 1);
+        assert_eq!(
+            c.builtin(),
+            Some(&Translation { delta_x: vec![6.0], delta_y: 3.0 })
+        );
+    }
+
+    #[test]
+    fn or_dedups_conjuncts() {
+        let c = Conjunction::of(vec![Predicate::ge(date(), Value::Int(1))]);
+        let d1 = Dnf::single(c.clone());
+        let d2 = Dnf::of(vec![c, Conjunction::top()]);
+        let merged = d1.or(&d2);
+        assert_eq!(merged.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let s = schema();
+        let c = Conjunction::of(vec![
+            Predicate::ge(date(), Value::Int(100)),
+            Predicate::eq(bird(), Value::str("maria")),
+        ]);
+        let d = Dnf::of(vec![c, Conjunction::top()]);
+        assert_eq!(
+            d.display(&s).to_string(),
+            "(date >= 100 && bird = 'maria') || (true)"
+        );
+    }
+}

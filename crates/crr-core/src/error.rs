@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors from rule construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Definition 1 forbids predicates on the target attribute `Y` inside
+    /// the condition.
+    PredicateOnTarget { attr: usize },
+    /// Fusion (Proposition 3) needs both rules to use the same regression
+    /// model and bias.
+    FusionMismatch(String),
+    /// Generalization (Proposition 4) requires `ρ₂ ≥ ρ₁`.
+    BiasDecrease { from: f64, to: f64 },
+    /// Induction (Proposition 2) requires the refined condition to imply
+    /// the original one.
+    NotImplied,
+    /// Translation (Proposition 5) found no `(Δ, δ)` between the models.
+    NoTranslation,
+    /// Rules over different `X`/`Y` attribute sets cannot be combined.
+    SchemaMismatch(String),
+    /// Built-in predicate arity differs from the rule's `X` arity.
+    BuiltinArity { expected: usize, got: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::PredicateOnTarget { attr } => {
+                write!(f, "condition contains a predicate on the target attribute #{attr}")
+            }
+            CoreError::FusionMismatch(msg) => write!(f, "fusion mismatch: {msg}"),
+            CoreError::BiasDecrease { from, to } => {
+                write!(f, "generalization cannot decrease bias: {from} -> {to}")
+            }
+            CoreError::NotImplied => {
+                write!(f, "induction requires the refined condition to imply the original")
+            }
+            CoreError::NoTranslation => write!(f, "no translation exists between the models"),
+            CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            CoreError::BuiltinArity { expected, got } => {
+                write!(f, "built-in predicate arity {got} does not match |X| = {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

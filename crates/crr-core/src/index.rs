@@ -1,0 +1,416 @@
+//! Interval index for rule locating.
+//!
+//! Rule sets produced by discovery + compaction hold few rules but many
+//! conjunctions (one per shared data part), and [`crate::RuleSet`]'s
+//! locate is a linear scan over all of them. For the common case — most
+//! conjunctions bound one numeric attribute (the time axis, salary, …) —
+//! [`RuleIndex`] turns locating into a binary search:
+//!
+//! 1. pick the numeric attribute bounded by the most conjunctions;
+//! 2. extract each conjunction's (conservative, closed) interval on it;
+//! 3. flatten all interval endpoints into segments; each segment stores
+//!    the conjunctions overlapping it, in `(rule, conjunction)` order.
+//!
+//! A lookup binary-searches the segment for the row's value and then
+//! *fully evaluates* only the candidate conjunctions, so the result is
+//! exactly what the linear [`crate::LocateStrategy::First`] scan returns —
+//! the index is purely an accelerator, never a semantic change (asserted
+//! by the equivalence tests below and the property tests in
+//! `tests/proptest_index.rs`).
+
+use crate::{Conjunction, Crr, Op, RuleSet};
+use crr_data::{AttrId, RowSet, Table};
+use std::collections::HashMap;
+
+/// One candidate: indices of a rule and one of its conjunctions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Candidate {
+    rule: u32,
+    conj: u32,
+}
+
+/// An interval-indexed view of a rule set (see module docs).
+#[derive(Debug, Clone)]
+pub struct RuleIndex<'a> {
+    rules: &'a RuleSet,
+    /// The indexed attribute, if one was worth indexing.
+    attr: Option<AttrId>,
+    /// Sorted segment boundaries over the indexed attribute.
+    boundaries: Vec<f64>,
+    /// `segments[i]` holds candidates overlapping
+    /// `[boundaries[i], boundaries[i+1])`; `segments[boundaries.len()]`
+    /// is the right-open tail. Entry 0 is the left-open head.
+    segments: Vec<Vec<Candidate>>,
+    /// Conjunctions with no usable bound on `attr` — checked on every
+    /// lookup (merged in rule order).
+    unbounded: Vec<Candidate>,
+}
+
+/// Conservative closed interval of a conjunction on one attribute:
+/// `[lo, hi]` with ±∞ defaults. Equality pins both ends.
+fn interval_on(conj: &Conjunction, attr: AttrId) -> (f64, f64) {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for p in conj.preds() {
+        if p.attr != attr {
+            continue;
+        }
+        let Some(c) = p.value.as_f64() else { continue };
+        match p.op {
+            Op::Eq => {
+                lo = lo.max(c);
+                hi = hi.min(c);
+            }
+            Op::Gt | Op::Ge => lo = lo.max(c),
+            Op::Lt | Op::Le => hi = hi.min(c),
+            Op::Ne => {}
+        }
+    }
+    (lo, hi)
+}
+
+impl<'a> RuleIndex<'a> {
+    /// Builds the index. Falls back to pure scanning (still correct) when
+    /// no numeric attribute is bounded by at least half the conjunctions.
+    pub fn build(rules: &'a RuleSet, table: &Table) -> RuleIndex<'a> {
+        // Count bounded conjunctions per numeric attribute.
+        let mut bound_counts: HashMap<AttrId, usize> = HashMap::new();
+        let mut total_conjuncts = 0usize;
+        for rule in rules.rules() {
+            for conj in rule.condition().conjuncts() {
+                total_conjuncts += 1;
+                let mut seen: Vec<AttrId> = Vec::new();
+                for p in conj.preds() {
+                    if table.schema().attribute(p.attr).ty().is_numeric()
+                        && p.value.as_f64().is_some()
+                        && !seen.contains(&p.attr)
+                    {
+                        seen.push(p.attr);
+                        *bound_counts.entry(p.attr).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let attr = bound_counts
+            .into_iter()
+            .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a.0)))
+            .filter(|&(_, n)| 2 * n >= total_conjuncts && total_conjuncts > 4)
+            .map(|(a, _)| a);
+        let Some(attr) = attr else {
+            return RuleIndex {
+                rules,
+                attr: None,
+                boundaries: Vec::new(),
+                segments: Vec::new(),
+                unbounded: Vec::new(),
+            };
+        };
+
+        // Collect intervals and boundaries.
+        let mut entries: Vec<(Candidate, f64, f64)> = Vec::new();
+        let mut unbounded: Vec<Candidate> = Vec::new();
+        let mut boundaries: Vec<f64> = Vec::new();
+        for (ri, rule) in rules.rules().iter().enumerate() {
+            for (ci, conj) in rule.condition().conjuncts().iter().enumerate() {
+                let cand = Candidate { rule: ri as u32, conj: ci as u32 };
+                let (lo, hi) = interval_on(conj, attr);
+                if lo.is_infinite() && hi.is_infinite() {
+                    unbounded.push(cand);
+                    continue;
+                }
+                if lo > hi {
+                    continue; // provably empty on this attribute
+                }
+                if lo.is_finite() {
+                    boundaries.push(lo);
+                }
+                if hi.is_finite() {
+                    boundaries.push(hi);
+                }
+                entries.push((cand, lo, hi));
+            }
+        }
+        boundaries.sort_unstable_by(f64::total_cmp);
+        boundaries.dedup();
+        // Segment i covers [boundaries[i-1], boundaries[i]) with segment 0
+        // the open head (-inf, boundaries[0]) and a final open tail.
+        let mut segments: Vec<Vec<Candidate>> = vec![Vec::new(); boundaries.len() + 1];
+        for (cand, lo, hi) in entries {
+            // Closed interval [lo, hi] overlaps segment [b_{i-1}, b_i) when
+            // lo < b_i and hi >= b_{i-1}.
+            let first = boundaries.partition_point(|&b| b <= lo); // first seg with b_i > lo
+            let last = boundaries.partition_point(|&b| b <= hi); // hi's tail segment
+            for seg in segments.iter_mut().take(last + 1).skip(first) {
+                seg.push(cand);
+            }
+        }
+        for seg in &mut segments {
+            seg.sort_unstable();
+        }
+        unbounded.sort_unstable();
+        RuleIndex { rules, attr: Some(attr), boundaries, segments, unbounded }
+    }
+
+    /// The indexed attribute, if any.
+    pub fn indexed_attr(&self) -> Option<AttrId> {
+        self.attr
+    }
+
+    /// Locates the first (in rule-set order) rule + conjunction covering
+    /// `row` — identical to the linear `First` scan.
+    pub fn locate(&self, table: &Table, row: usize) -> Option<(&Crr, &Conjunction)> {
+        let Some(attr) = self.attr else {
+            return self.scan(table, row);
+        };
+        let Some(v) = table.value_f64(row, attr) else {
+            // Null on the indexed attribute: no bounded conjunction can
+            // match (predicates over null are false); check unbounded only.
+            return self.check_candidates(table, row, &self.unbounded, &[]);
+        };
+        let seg = self.boundaries.partition_point(|&b| b <= v);
+        self.check_candidates(table, row, &self.segments[seg], &self.unbounded)
+    }
+
+    /// Predicts for `row` using the located rule's conjunction built-ins.
+    pub fn predict(&self, table: &Table, row: usize) -> Option<f64> {
+        let (rule, conj) = self.locate(table, row)?;
+        let x: Vec<f64> = rule
+            .inputs()
+            .iter()
+            .map(|&a| table.value_f64(row, a))
+            .collect::<Option<Vec<f64>>>()?;
+        Some(match conj.builtin() {
+            Some(t) => rule.model().predict_translated(&x, t),
+            None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
+        })
+    }
+
+    /// RMSE evaluation over `rows` via the index — the accelerated
+    /// counterpart of [`RuleSet::evaluate`].
+    pub fn evaluate(&self, table: &Table, rows: &RowSet) -> crate::ruleset::EvalReport {
+        let target = self.rules.rules().first().map(Crr::target);
+        let mut sse = 0.0;
+        let mut sae = 0.0;
+        let mut covered = 0usize;
+        let mut scored = 0usize;
+        for row in rows.iter() {
+            let Some((rule, conj)) = self.locate(table, row) else { continue };
+            covered += 1;
+            let x: Option<Vec<f64>> =
+                rule.inputs().iter().map(|&a| table.value_f64(row, a)).collect();
+            let (Some(x), Some(actual)) =
+                (x, target.and_then(|t| table.value_f64(row, t)))
+            else {
+                continue;
+            };
+            let pred = match conj.builtin() {
+                Some(t) => rule.model().predict_translated(&x, t),
+                None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
+            };
+            scored += 1;
+            let e = pred - actual;
+            sse += e * e;
+            sae += e.abs();
+        }
+        crate::ruleset::EvalReport {
+            rmse: if scored > 0 { (sse / scored as f64).sqrt() } else { 0.0 },
+            mae: if scored > 0 { sae / scored as f64 } else { 0.0 },
+            covered,
+            scored,
+            total: rows.len(),
+        }
+    }
+
+    /// Evaluates two pre-sorted candidate lists in merged rule order.
+    fn check_candidates(
+        &self,
+        table: &Table,
+        row: usize,
+        a: &[Candidate],
+        b: &[Candidate],
+    ) -> Option<(&Crr, &Conjunction)> {
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        i += 1;
+                        x
+                    } else {
+                        j += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => return None,
+            };
+            let rule = &self.rules.rules()[next.rule as usize];
+            let conj = &rule.condition().conjuncts()[next.conj as usize];
+            if conj.eval(table, row) {
+                return Some((rule, conj));
+            }
+        }
+    }
+
+    /// Fallback linear scan (used when nothing was worth indexing).
+    fn scan(&self, table: &Table, row: usize) -> Option<(&Crr, &Conjunction)> {
+        for rule in self.rules.rules() {
+            if let Some(conj) = rule.condition().matching_conjunct(table, row) {
+                return Some((rule, conj));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dnf, LocateStrategy, Predicate};
+    use crr_data::{AttrType, Schema, Value};
+    use crr_models::{LinearModel, Model, Translation};
+    use std::sync::Arc;
+
+    fn x() -> AttrId {
+        AttrId(0)
+    }
+
+    fn y() -> AttrId {
+        AttrId(1)
+    }
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(vec![Value::Float(i as f64), Value::Float(2.0 * i as f64)])
+                .unwrap();
+        }
+        t
+    }
+
+    /// A rule set with many interval conjunctions on x.
+    fn segmented_rules(n_segments: usize, width: f64) -> RuleSet {
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+        let conjuncts: Vec<Conjunction> = (0..n_segments)
+            .map(|k| {
+                let lo = k as f64 * width;
+                Conjunction::with_builtin(
+                    vec![
+                        Predicate::ge(x(), Value::Float(lo)),
+                        Predicate::lt(x(), Value::Float(lo + width)),
+                    ],
+                    Translation { delta_x: vec![0.0], delta_y: 0.0 },
+                )
+            })
+            .collect();
+        RuleSet::from_rules(vec![Crr::new(
+            vec![x()],
+            y(),
+            model,
+            0.1,
+            Dnf::of(conjuncts),
+        )
+        .unwrap()])
+    }
+
+    #[test]
+    fn index_matches_linear_scan() {
+        let t = table(200);
+        let rules = segmented_rules(20, 10.0);
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), Some(x()));
+        for row in 0..t.num_rows() {
+            let scan = rules.predict(&t, row, LocateStrategy::First);
+            let fast = idx.predict(&t, row);
+            assert_eq!(scan, fast, "row {row}");
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_ruleset_evaluate() {
+        let t = table(150);
+        let rules = segmented_rules(15, 10.0);
+        let idx = RuleIndex::build(&rules, &t);
+        let a = rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+        let b = idx.evaluate(&t, &t.all_rows());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unbounded_conjunctions_still_match() {
+        let t = table(50);
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+        // First rule bounded, second rule tautological.
+        let bounded = Crr::new(
+            vec![x()],
+            y(),
+            Arc::clone(&model),
+            0.1,
+            Dnf::single(Conjunction::of(vec![Predicate::lt(x(), Value::Float(10.0))])),
+        )
+        .unwrap();
+        let catch_all =
+            Crr::new(vec![x()], y(), model, 0.5, Dnf::tautology()).unwrap();
+        // Pad with bounded rules so the index activates (needs >4 conjuncts).
+        let more: Vec<Crr> = (1..5)
+            .map(|k| {
+                let m = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+                Crr::new(
+                    vec![x()],
+                    y(),
+                    m,
+                    0.1,
+                    Dnf::single(Conjunction::of(vec![
+                        Predicate::ge(x(), Value::Float(10.0 * k as f64)),
+                        Predicate::lt(x(), Value::Float(10.0 * (k + 1) as f64)),
+                    ])),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut all = vec![bounded];
+        all.extend(more);
+        all.push(catch_all);
+        let rules = RuleSet::from_rules(all);
+        let idx = RuleIndex::build(&rules, &t);
+        for row in 0..t.num_rows() {
+            assert_eq!(
+                rules.predict(&t, row, LocateStrategy::First),
+                idx.predict(&t, row),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_or_unindexable_sets_fall_back_to_scan() {
+        let t = table(20);
+        let rules = segmented_rules(2, 10.0); // too few conjuncts to index
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), None);
+        for row in 0..t.num_rows() {
+            assert_eq!(
+                rules.predict(&t, row, LocateStrategy::First),
+                idx.predict(&t, row)
+            );
+        }
+    }
+
+    #[test]
+    fn null_on_indexed_attr_matches_scan() {
+        let mut t = table(100);
+        t.set_null(5, x());
+        let rules = segmented_rules(10, 10.0);
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(rules.predict(&t, 5, LocateStrategy::First), None);
+        assert_eq!(idx.predict(&t, 5), None);
+    }
+}

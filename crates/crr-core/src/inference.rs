@@ -1,0 +1,316 @@
+//! The five CRR inference rules of §IV, as executable operations.
+//!
+//! Each function implements one proposition and checks its premises,
+//! returning the implied rule. Soundness — "every tuple satisfying the
+//! premise rules satisfies the conclusion" — is asserted by the
+//! property-based tests in `tests/proptest_inference.rs`, mirroring the
+//! paper's proofs.
+
+use crate::{Conjunction, CoreError, Crr, Dnf, Result};
+use crr_data::AttrId;
+use crr_models::{LinearModel, Model};
+use std::sync::Arc;
+
+/// **Reflexivity** (Proposition 1). When `Y ∈ X`, the projection
+/// `f(X) = Y` holds with `ρ = 0` on every tuple. Returns that trivial rule,
+/// or `None` when `Y ∉ X` (no trivial rule exists).
+///
+/// Discovery uses this rule negatively: targets contained in the feature
+/// set are skipped, because the rules they would produce carry no
+/// information (see [`is_reflexive_trivial`]).
+pub fn reflexivity(inputs: &[AttrId], target: AttrId) -> Option<Crr> {
+    let pos = inputs.iter().position(|&a| a == target)?;
+    let mut w = vec![0.0; inputs.len()];
+    w[pos] = 1.0;
+    let model = Arc::new(Model::Linear(LinearModel::new(w, 0.0)));
+    Some(
+        Crr::new(inputs.to_vec(), target, model, 0.0, Dnf::tautology())
+            .expect("projection rule is always well-formed"),
+    )
+}
+
+/// True when `rule` is the trivial projection Reflexivity generates:
+/// `Y ∈ X` and the model is the identity on `Y`'s position.
+pub fn is_reflexive_trivial(rule: &Crr) -> bool {
+    let Some(pos) = rule.inputs().iter().position(|&a| a == rule.target()) else {
+        return false;
+    };
+    match rule.model().as_affine() {
+        Some((w, b)) => {
+            b == 0.0
+                && w.iter().enumerate().all(|(i, &wi)| {
+                    if i == pos {
+                        wi == 1.0
+                    } else {
+                        wi == 0.0
+                    }
+                })
+        }
+        None => false,
+    }
+}
+
+/// **Induction** (Proposition 2). If `ℂ₂ ⊢ ℂ₁`, then `φ₁ : (f, ρ, ℂ₁)`
+/// implies `φ₂ : (f, ρ, ℂ₂)` — the same model under a refined condition.
+pub fn induction(rule: &Crr, refined: Dnf) -> Result<Crr> {
+    if !refined.implies(rule.condition()) {
+        return Err(CoreError::NotImplied);
+    }
+    Crr::new(
+        rule.inputs().to_vec(),
+        rule.target(),
+        Arc::clone(rule.model()),
+        rule.rho(),
+        refined,
+    )
+}
+
+/// **Fusion** (Proposition 3). Two rules with the same model and bias imply
+/// the rule whose condition is the disjunction `ℂ₃ = ℂ₁ ∨ ℂ₂`.
+///
+/// "Same model" means the same shared function: either the same `Arc` or
+/// structurally equal parameters.
+pub fn fusion(r1: &Crr, r2: &Crr) -> Result<Crr> {
+    if r1.inputs() != r2.inputs() || r1.target() != r2.target() {
+        return Err(CoreError::SchemaMismatch(
+            "fusion requires identical X and Y".into(),
+        ));
+    }
+    let same_model =
+        Arc::ptr_eq(r1.model(), r2.model()) || r1.model().as_ref() == r2.model().as_ref();
+    if !same_model {
+        return Err(CoreError::FusionMismatch("different regression models".into()));
+    }
+    if (r1.rho() - r2.rho()).abs() > f64::EPSILON {
+        return Err(CoreError::FusionMismatch(format!(
+            "different biases: {} vs {} (apply Generalization first)",
+            r1.rho(),
+            r2.rho()
+        )));
+    }
+    Crr::new(
+        r1.inputs().to_vec(),
+        r1.target(),
+        Arc::clone(r1.model()),
+        r1.rho(),
+        r1.condition().or(r2.condition()),
+    )
+}
+
+/// **Generalization** (Proposition 4). `φ : (f, ρ₁, ℂ)` implies
+/// `(f, ρ₂, ℂ)` for any `ρ₂ ≥ ρ₁`.
+pub fn generalization(rule: &Crr, rho2: f64) -> Result<Crr> {
+    if rho2 < rule.rho() {
+        return Err(CoreError::BiasDecrease { from: rule.rho(), to: rho2 });
+    }
+    Ok(rule.with_model(Arc::clone(rule.model()), rho2))
+}
+
+/// **Translation** (Proposition 5). When `f₂(X) = f₁(X + Δ) + δ`, rules
+/// `φ₁ : (f₁, ρ, ℂ₁)` and `φ₂ : (f₂, ρ, ℂ₂)` imply
+/// `φ₃ : (f₁, ρ, ℂ₃)` with
+/// `ℂ₃ = (ℂ₁ ∧ x = 0 ∧ y = 0) ∨ (ℂ₂ ∧ x = Δ ∧ y = δ)`.
+///
+/// Conjunctions of `ℂ₂` that already carry built-ins `x = Δ', y = δ'`
+/// (from earlier sharing) compose per Proposition 9 to
+/// `x = Δ' + Δ, y = δ' + δ`.
+///
+/// `tol` is the parameter-comparison tolerance for detecting the
+/// translation between the fitted models.
+pub fn translation(r1: &Crr, r2: &Crr, tol: f64) -> Result<Crr> {
+    if r1.inputs() != r2.inputs() || r1.target() != r2.target() {
+        return Err(CoreError::SchemaMismatch(
+            "translation requires identical X and Y".into(),
+        ));
+    }
+    let t = r1
+        .model()
+        .translation_to(r2.model(), tol)
+        .ok_or(CoreError::NoTranslation)?;
+    let arity = r1.inputs().len();
+    let mut conjuncts: Vec<Conjunction> = r1.condition().conjuncts().to_vec();
+    for c in r2.condition().conjuncts() {
+        let mut c = c.clone();
+        c.compose_builtin(&t, arity);
+        if !conjuncts.contains(&c) {
+            conjuncts.push(c);
+        }
+    }
+    Crr::new(
+        r1.inputs().to_vec(),
+        r1.target(),
+        Arc::clone(r1.model()),
+        r1.rho().max(r2.rho()),
+        Dnf::of(conjuncts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Predicate;
+    use crr_data::{AttrType, Schema, Table, Value};
+    use crr_models::{Regressor, Translation};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ("date", AttrType::Int),
+            ("lat", AttrType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (d, l) in [(0, 10.0), (5, 15.0), (100, 25.0), (105, 30.0)] {
+            t.push_row(vec![Value::Int(d), Value::Float(l)]).unwrap();
+        }
+        t
+    }
+
+    fn date() -> AttrId {
+        AttrId(0)
+    }
+
+    fn lat() -> AttrId {
+        AttrId(1)
+    }
+
+    fn rule(w: f64, b: f64, rho: f64, cond: Dnf) -> Crr {
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![w], b)));
+        Crr::new(vec![date()], lat(), model, rho, cond).unwrap()
+    }
+
+    #[test]
+    fn reflexivity_builds_identity_projection() {
+        let r = reflexivity(&[date(), lat()], lat()).unwrap();
+        assert!(is_reflexive_trivial(&r));
+        assert_eq!(r.rho(), 0.0);
+        // f(date, lat) = lat exactly.
+        assert_eq!(r.model().predict(&[99.0, 42.5]), 42.5);
+        let t = table();
+        for row in 0..t.num_rows() {
+            assert!(r.satisfied_by(&t, row));
+        }
+        assert!(reflexivity(&[date()], lat()).is_none());
+    }
+
+    #[test]
+    fn induction_requires_refinement() {
+        let base = rule(1.0, 10.0, 0.5, Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(50)),
+        ])));
+        let refined = Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(50)),
+            Predicate::ge(date(), Value::Int(0)),
+        ]));
+        let r2 = induction(&base, refined).unwrap();
+        assert_eq!(r2.rho(), base.rho());
+        let not_refined = Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(60)),
+        ]));
+        assert!(matches!(induction(&base, not_refined), Err(CoreError::NotImplied)));
+    }
+
+    #[test]
+    fn induction_preserves_satisfaction() {
+        // Proposition 2's soundness on a concrete table.
+        let t = table();
+        let base = rule(1.0, 10.0, 0.0, Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(50)),
+        ])));
+        assert!(base.find_violation(&t, &t.all_rows()).is_none());
+        let refined = Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(50)),
+            Predicate::gt(date(), Value::Int(2)),
+        ]));
+        let implied = induction(&base, refined).unwrap();
+        assert!(implied.find_violation(&t, &t.all_rows()).is_none());
+    }
+
+    #[test]
+    fn fusion_unions_conditions() {
+        let m = Arc::new(Model::Linear(LinearModel::new(vec![1.0], 10.0)));
+        let c1 = Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(50))]));
+        let c2 = Dnf::single(Conjunction::of(vec![Predicate::ge(date(), Value::Int(90))]));
+        let r1 = Crr::new(vec![date()], lat(), Arc::clone(&m), 0.5, c1).unwrap();
+        let r2 = Crr::new(vec![date()], lat(), m, 0.5, c2).unwrap();
+        let fused = fusion(&r1, &r2).unwrap();
+        assert_eq!(fused.condition().conjuncts().len(), 2);
+        let t = table();
+        // Covers the union of the two parts.
+        assert!(fused.covers(&t, 0) && fused.covers(&t, 2));
+    }
+
+    #[test]
+    fn fusion_rejects_model_or_bias_mismatch() {
+        let r1 = rule(1.0, 10.0, 0.5, Dnf::tautology());
+        let r2 = rule(2.0, 10.0, 0.5, Dnf::tautology());
+        assert!(matches!(fusion(&r1, &r2), Err(CoreError::FusionMismatch(_))));
+        let r3 = rule(1.0, 10.0, 0.7, Dnf::tautology());
+        assert!(matches!(fusion(&r1, &r3), Err(CoreError::FusionMismatch(_))));
+    }
+
+    #[test]
+    fn fusion_accepts_structurally_equal_models() {
+        // Two separately-fitted but identical models fuse.
+        let r1 = rule(1.0, 10.0, 0.5, Dnf::tautology());
+        let r2 = rule(1.0, 10.0, 0.5, Dnf::default());
+        assert!(fusion(&r1, &r2).is_ok());
+    }
+
+    #[test]
+    fn generalization_relaxes_bias_only_upward() {
+        let r = rule(1.0, 10.0, 0.5, Dnf::tautology());
+        let g = generalization(&r, 1.0).unwrap();
+        assert_eq!(g.rho(), 1.0);
+        assert!(Arc::ptr_eq(r.model(), g.model()));
+        assert!(matches!(
+            generalization(&r, 0.2),
+            Err(CoreError::BiasDecrease { .. })
+        ));
+    }
+
+    #[test]
+    fn translation_builds_shared_rule() {
+        // f1 = x + 10 on date < 50; f2 = x + 15 on date >= 90.
+        let c1 = Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(50))]));
+        let c2 = Dnf::single(Conjunction::of(vec![Predicate::ge(date(), Value::Int(90))]));
+        let r1 = rule(1.0, 10.0, 0.5, c1);
+        let r2 = rule(1.0, 15.0, 0.5, c2);
+        let r3 = translation(&r1, &r2, 1e-9).unwrap();
+        assert!(Arc::ptr_eq(r3.model(), r1.model()));
+        assert_eq!(r3.condition().conjuncts().len(), 2);
+        // The second conjunct carries y = +5 so predictions match f2.
+        let t = table();
+        // Row 2 (date=100, lat=25): f2(100) = 115?? No — the fitted f2 here
+        // is synthetic; check the translated prediction equals f2's.
+        let f2_pred = r2.predict(&t, 2).unwrap();
+        let shared_pred = r3.predict(&t, 2).unwrap();
+        assert!((f2_pred - shared_pred).abs() < 1e-12);
+        assert!(r3.uses_translation());
+    }
+
+    #[test]
+    fn translation_composes_existing_builtins() {
+        // r2 already shares its model with a y = 2 builtin on its conjunct.
+        let c2 = Dnf::single(Conjunction::with_builtin(
+            vec![Predicate::ge(date(), Value::Int(90))],
+            Translation { delta_x: vec![0.0], delta_y: 2.0 },
+        ));
+        let r1 = rule(1.0, 10.0, 0.5, Dnf::single(Conjunction::of(vec![
+            Predicate::lt(date(), Value::Int(50)),
+        ])));
+        let r2 = rule(1.0, 15.0, 0.5, c2);
+        let r3 = translation(&r1, &r2, 1e-9).unwrap();
+        // Composed builtin: y = 2 + (15 - 10) = 7.
+        let b = r3.condition().conjuncts()[1].builtin().unwrap();
+        assert_eq!(b.delta_y, 7.0);
+        // Predictions still agree with r2's on covered rows.
+        let t = table();
+        assert!((r3.predict(&t, 2).unwrap() - r2.predict(&t, 2).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_requires_translatable_models() {
+        let r1 = rule(1.0, 10.0, 0.5, Dnf::tautology());
+        let r2 = rule(2.0, 15.0, 0.5, Dnf::tautology());
+        assert!(matches!(translation(&r1, &r2, 1e-9), Err(CoreError::NoTranslation)));
+    }
+}

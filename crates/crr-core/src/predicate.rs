@@ -1,0 +1,236 @@
+use crr_data::{AttrId, Schema, Table, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of a predicate (the paper's
+/// `Φ = {=, >, ≥, <, ≤}` plus `≠`, which denial-constraint-style predicate
+/// spaces conventionally include and which negated splits produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+}
+
+impl Op {
+    /// The logical negation (`¬(A > c) ≡ A ≤ c`), used to build the
+    /// complementary split predicate during top-down search.
+    pub fn negate(self) -> Op {
+        match self {
+            Op::Eq => Op::Ne,
+            Op::Ne => Op::Eq,
+            Op::Gt => Op::Le,
+            Op::Ge => Op::Lt,
+            Op::Lt => Op::Ge,
+            Op::Le => Op::Gt,
+        }
+    }
+
+    /// Evaluates the operator against a three-way comparison result.
+    #[inline]
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            Op::Eq => ord == Ordering::Equal,
+            Op::Ne => ord != Ordering::Equal,
+            Op::Gt => ord == Ordering::Greater,
+            Op::Ge => ord != Ordering::Less,
+            Op::Lt => ord == Ordering::Less,
+            Op::Le => ord != Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Eq => write!(f, "="),
+            Op::Ne => write!(f, "!="),
+            Op::Gt => write!(f, ">"),
+            Op::Ge => write!(f, ">="),
+            Op::Lt => write!(f, "<"),
+            Op::Le => write!(f, "<="),
+        }
+    }
+}
+
+/// A single-tuple predicate `A φ c` (paper §III-A1).
+///
+/// Satisfaction follows the value semantics of [`crr_data::Value`]: a null
+/// cell, or a cell incomparable with the constant (string vs. number),
+/// satisfies nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The attribute `A`.
+    pub attr: AttrId,
+    /// The operator `φ`.
+    pub op: Op,
+    /// The constant `c`.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: AttrId, op: Op, value: Value) -> Self {
+        Predicate { attr, op, value }
+    }
+
+    /// `A = c`.
+    pub fn eq(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Eq, value)
+    }
+
+    /// `A ≠ c`.
+    pub fn ne(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Ne, value)
+    }
+
+    /// `A > c`.
+    pub fn gt(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Gt, value)
+    }
+
+    /// `A ≥ c`.
+    pub fn ge(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Ge, value)
+    }
+
+    /// `A < c`.
+    pub fn lt(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Lt, value)
+    }
+
+    /// `A ≤ c`.
+    pub fn le(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, Op::Le, value)
+    }
+
+    /// The complementary predicate `¬p` on the same attribute.
+    pub fn negate(&self) -> Predicate {
+        Predicate::new(self.attr, self.op.negate(), self.value.clone())
+    }
+
+    /// Whether tuple `row` of `table` satisfies `t.A φ c`.
+    ///
+    /// Hot path of discovery and rule locating: compares directly against
+    /// the columnar storage without materializing a [`Value`] (no
+    /// `Arc<str>` clone per check).
+    #[inline]
+    pub fn eval(&self, table: &Table, row: usize) -> bool {
+        let col = table.column(self.attr);
+        let ord = match &self.value {
+            Value::Int(c) => col.cmp_f64(row, *c as f64),
+            Value::Float(c) => col.cmp_f64(row, *c),
+            Value::Str(s) => col.cmp_str(row, s),
+            Value::Null => None,
+        };
+        match ord {
+            Some(ord) => self.op.eval(ord),
+            None => false,
+        }
+    }
+
+    /// Renders the predicate with attribute names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Predicate, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let name = self.1.attribute(self.0.attr).name();
+                match &self.0.value {
+                    Value::Str(s) => write!(f, "{name} {} '{s}'", self.0.op),
+                    v => write!(f, "{name} {} {v}", self.0.op),
+                }
+            }
+        }
+        D(self, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crr_data::AttrType;
+
+    fn table() -> Table {
+        let schema = crr_data::Schema::new(vec![
+            ("v", AttrType::Float),
+            ("s", AttrType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Float(5.0), Value::str("IA")]).unwrap();
+        t.push_row(vec![Value::Null, Value::str("NY")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn numeric_operators() {
+        let t = table();
+        let v = t.attr("v").unwrap();
+        assert!(Predicate::eq(v, Value::Float(5.0)).eval(&t, 0));
+        assert!(Predicate::ge(v, Value::Int(5)).eval(&t, 0));
+        assert!(!Predicate::gt(v, Value::Int(5)).eval(&t, 0));
+        assert!(Predicate::lt(v, Value::Float(5.5)).eval(&t, 0));
+        assert!(Predicate::ne(v, Value::Float(4.0)).eval(&t, 0));
+    }
+
+    #[test]
+    fn null_satisfies_nothing() {
+        let t = table();
+        let v = t.attr("v").unwrap();
+        for op in [Op::Eq, Op::Ne, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+            assert!(!Predicate::new(v, op, Value::Float(0.0)).eval(&t, 1));
+        }
+    }
+
+    #[test]
+    fn string_predicates() {
+        let t = table();
+        let s = t.attr("s").unwrap();
+        assert!(Predicate::eq(s, Value::str("IA")).eval(&t, 0));
+        assert!(Predicate::lt(s, Value::str("NY")).eval(&t, 0));
+        // Cross-kind comparison is unsatisfied, not an error.
+        assert!(!Predicate::eq(s, Value::Int(1)).eval(&t, 0));
+    }
+
+    #[test]
+    fn negate_partitions_non_null_rows() {
+        let t = table();
+        let v = t.attr("v").unwrap();
+        let p = Predicate::gt(v, Value::Float(4.0));
+        assert!(p.eval(&t, 0));
+        assert!(!p.negate().eval(&t, 0));
+        // Null rows satisfy neither side.
+        assert!(!p.eval(&t, 1) && !p.negate().eval(&t, 1));
+    }
+
+    #[test]
+    fn op_negation_table() {
+        assert_eq!(Op::Gt.negate(), Op::Le);
+        assert_eq!(Op::Le.negate(), Op::Gt);
+        assert_eq!(Op::Eq.negate(), Op::Ne);
+        assert_eq!(Op::Ge.negate(), Op::Lt);
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let t = table();
+        let v = t.attr("v").unwrap();
+        let s = t.attr("s").unwrap();
+        assert_eq!(
+            Predicate::ge(v, Value::Float(1.5)).display(t.schema()).to_string(),
+            "v >= 1.5"
+        );
+        assert_eq!(
+            Predicate::eq(s, Value::str("IA")).display(t.schema()).to_string(),
+            "s = 'IA'"
+        );
+    }
+}

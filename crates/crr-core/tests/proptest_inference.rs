@@ -1,0 +1,252 @@
+//! Property-based soundness tests for the five CRR inference rules (§IV).
+//!
+//! Each proposition's statement — "any tuple satisfying the premise rules
+//! satisfies the conclusion" — is checked on randomly generated rules,
+//! conditions and tables. The implication relation `⊢` is additionally
+//! checked for consistency with tuple satisfaction and for
+//! reflexivity/transitivity.
+
+use crr_core::inference::{
+    fusion, generalization, induction, reflexivity, translation,
+};
+use crr_core::{Conjunction, Crr, Dnf, Op, Predicate};
+use crr_data::{AttrId, AttrType, Schema, Table, Value};
+use crr_models::{LinearModel, Model};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const X: AttrId = AttrId(0);
+const Y: AttrId = AttrId(1);
+
+fn schema() -> Schema {
+    Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)])
+}
+
+/// A table of random (x, y) tuples.
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..40).prop_map(|rows| {
+        let mut t = Table::new(schema());
+        for (x, y) in rows {
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        t
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Lt),
+        Just(Op::Le),
+    ]
+}
+
+/// A random conjunction of 0..3 predicates over the x attribute.
+fn arb_conjunction() -> impl Strategy<Value = Conjunction> {
+    prop::collection::vec((arb_op(), -40.0f64..40.0), 0..3).prop_map(|ps| {
+        Conjunction::of(
+            ps.into_iter()
+                .map(|(op, c)| Predicate::new(X, op, Value::Float(c)))
+                .collect(),
+        )
+    })
+}
+
+/// A random DNF of 1..3 conjunctions.
+fn arb_dnf() -> impl Strategy<Value = Dnf> {
+    prop::collection::vec(arb_conjunction(), 1..3).prop_map(Dnf::of)
+}
+
+/// A random affine rule x ↦ w·x + b with bias rho.
+fn arb_rule() -> impl Strategy<Value = Crr> {
+    (-3.0f64..3.0, -20.0f64..20.0, 0.0f64..10.0, arb_dnf()).prop_map(|(w, b, rho, cond)| {
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![w], b)));
+        Crr::new(vec![X], Y, model, rho, cond).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conjunction implication is consistent with satisfaction: if
+    /// `C1 ⊢ C2` then every tuple satisfying C1 satisfies C2.
+    #[test]
+    fn implication_consistent_with_satisfaction(
+        c1 in arb_conjunction(),
+        c2 in arb_conjunction(),
+        table in arb_table(),
+    ) {
+        if c1.implies(&c2) {
+            for row in 0..table.num_rows() {
+                if c1.eval(&table, row) {
+                    prop_assert!(
+                        c2.eval(&table, row),
+                        "row {row} satisfies C1 but not C2"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same consistency at the DNF level (Definition 2).
+    #[test]
+    fn dnf_implication_consistent(
+        d1 in arb_dnf(),
+        d2 in arb_dnf(),
+        table in arb_table(),
+    ) {
+        if d1.implies(&d2) {
+            for row in 0..table.num_rows() {
+                if d1.eval(&table, row) {
+                    prop_assert!(d2.eval(&table, row));
+                }
+            }
+        }
+    }
+
+    /// `⊢` is reflexive.
+    #[test]
+    fn implication_reflexive(c in arb_conjunction(), d in arb_dnf()) {
+        prop_assert!(c.implies(&c));
+        prop_assert!(d.implies(&d));
+    }
+
+    /// `⊢` is transitive (on the cases our checker can prove).
+    #[test]
+    fn implication_transitive(
+        c1 in arb_conjunction(),
+        c2 in arb_conjunction(),
+        c3 in arb_conjunction(),
+    ) {
+        if c1.implies(&c2) && c2.implies(&c3) {
+            prop_assert!(c1.implies(&c3));
+        }
+    }
+
+    /// Refining a conjunction with one more predicate always implies it.
+    #[test]
+    fn refinement_implies_parent(c in arb_conjunction(), op in arb_op(), k in -40.0f64..40.0) {
+        let refined = c.and(Predicate::new(X, op, Value::Float(k)));
+        prop_assert!(refined.implies(&c));
+    }
+
+    /// Proposition 1 (Reflexivity): the trivial projection rule is
+    /// satisfied by every tuple with ρ = 0.
+    #[test]
+    fn reflexivity_sound(table in arb_table()) {
+        let rule = reflexivity(&[X, Y], Y).unwrap();
+        prop_assert_eq!(rule.rho(), 0.0);
+        for row in 0..table.num_rows() {
+            prop_assert!(rule.satisfied_by(&table, row));
+        }
+    }
+
+    /// Proposition 2 (Induction): t ⊨ φ₁ implies t ⊨ φ₂ for refined ℂ₂.
+    #[test]
+    fn induction_sound(rule in arb_rule(), op in arb_op(), k in -40.0f64..40.0, table in arb_table()) {
+        // Build ℂ₂ by refining every conjunct — guaranteed ℂ₂ ⊢ ℂ₁.
+        let refined = Dnf::of(
+            rule.condition()
+                .conjuncts()
+                .iter()
+                .map(|c| c.and(Predicate::new(X, op, Value::Float(k))))
+                .collect(),
+        );
+        let implied = induction(&rule, refined).unwrap();
+        for row in 0..table.num_rows() {
+            if rule.satisfied_by(&table, row) {
+                prop_assert!(implied.satisfied_by(&table, row));
+            }
+        }
+    }
+
+    /// Proposition 3 (Fusion): t ⊨ φ₁ ∧ t ⊨ φ₂ implies t ⊨ φ₃ with
+    /// ℂ₃ = ℂ₁ ∨ ℂ₂.
+    #[test]
+    fn fusion_sound(
+        w in -3.0f64..3.0,
+        b in -20.0f64..20.0,
+        rho in 0.0f64..10.0,
+        d1 in arb_dnf(),
+        d2 in arb_dnf(),
+        table in arb_table(),
+    ) {
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![w], b)));
+        let r1 = Crr::new(vec![X], Y, Arc::clone(&model), rho, d1).unwrap();
+        let r2 = Crr::new(vec![X], Y, model, rho, d2).unwrap();
+        let fused = fusion(&r1, &r2).unwrap();
+        for row in 0..table.num_rows() {
+            if r1.satisfied_by(&table, row) && r2.satisfied_by(&table, row) {
+                prop_assert!(fused.satisfied_by(&table, row));
+            }
+        }
+    }
+
+    /// Proposition 4 (Generalization): t ⊨ (f, ρ₁, ℂ) implies
+    /// t ⊨ (f, ρ₂, ℂ) for ρ₂ ≥ ρ₁.
+    #[test]
+    fn generalization_sound(rule in arb_rule(), extra in 0.0f64..5.0, table in arb_table()) {
+        let relaxed = generalization(&rule, rule.rho() + extra).unwrap();
+        for row in 0..table.num_rows() {
+            if rule.satisfied_by(&table, row) {
+                prop_assert!(relaxed.satisfied_by(&table, row));
+            }
+        }
+    }
+
+    /// Proposition 5 (Translation): with f₂(X) = f₁(X + Δ) + δ,
+    /// t ⊨ φ₁ ∧ t ⊨ φ₂ implies t ⊨ φ₃.
+    #[test]
+    fn translation_sound(
+        w in -3.0f64..3.0,
+        b1 in -20.0f64..20.0,
+        b2 in -20.0f64..20.0,
+        rho in 0.0f64..10.0,
+        d1 in arb_dnf(),
+        d2 in arb_dnf(),
+        table in arb_table(),
+    ) {
+        let f1 = Arc::new(Model::Linear(LinearModel::new(vec![w], b1)));
+        let f2 = Arc::new(Model::Linear(LinearModel::new(vec![w], b2)));
+        let r1 = Crr::new(vec![X], Y, f1, rho, d1).unwrap();
+        let r2 = Crr::new(vec![X], Y, f2, rho, d2).unwrap();
+        let shared = translation(&r1, &r2, 1e-9).unwrap();
+        for row in 0..table.num_rows() {
+            if r1.satisfied_by(&table, row) && r2.satisfied_by(&table, row) {
+                prop_assert!(shared.satisfied_by(&table, row));
+            }
+        }
+    }
+
+    /// Unsatisfiable conjunctions select no tuples.
+    #[test]
+    fn provably_unsat_selects_nothing(c in arb_conjunction(), table in arb_table()) {
+        if c.is_provably_unsat() {
+            prop_assert!(c.select(&table, &table.all_rows()).is_empty());
+        }
+    }
+
+    /// Fusion covers exactly the union of the premises' coverage.
+    #[test]
+    fn fusion_coverage_is_union(
+        w in -3.0f64..3.0,
+        rho in 0.0f64..10.0,
+        d1 in arb_dnf(),
+        d2 in arb_dnf(),
+        table in arb_table(),
+    ) {
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![w], 0.0)));
+        let r1 = Crr::new(vec![X], Y, Arc::clone(&model), rho, d1).unwrap();
+        let r2 = Crr::new(vec![X], Y, model, rho, d2).unwrap();
+        let fused = fusion(&r1, &r2).unwrap();
+        for row in 0..table.num_rows() {
+            prop_assert_eq!(
+                fused.covers(&table, row),
+                r1.covers(&table, row) || r2.covers(&table, row)
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property test: text serialization round-trips arbitrary rule sets
+//! exactly — structure, parameters and predictions.
+
+use crr_core::{serialize, Conjunction, Crr, Dnf, Op, Predicate, RuleSet};
+use crr_data::{AttrId, Value};
+use crr_models::{ConstantModel, LinearModel, Model, RidgeModel, Translation};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|v| Value::Float(v as f64 / 7.0)),
+        "[a-z]{1,6}".prop_map(Value::str),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Lt),
+        Just(Op::Le),
+    ]
+}
+
+fn arb_conjunction(arity: usize) -> impl Strategy<Value = Conjunction> {
+    let preds = prop::collection::vec(
+        (0usize..4, arb_op(), arb_value())
+            .prop_map(|(a, op, v)| Predicate::new(AttrId(a + 2), op, v)),
+        0..4,
+    );
+    let builtin = prop::option::of(
+        (
+            prop::collection::vec(-100.0f64..100.0, arity..=arity),
+            -100.0f64..100.0,
+        )
+            .prop_map(|(delta_x, delta_y)| Translation { delta_x, delta_y }),
+    );
+    (preds, builtin).prop_map(|(p, b)| match b {
+        Some(b) => Conjunction::with_builtin(p, b),
+        None => Conjunction::of(p),
+    })
+}
+
+fn arb_model(arity: usize) -> impl Strategy<Value = Model> {
+    prop_oneof![
+        (prop::collection::vec(-9.0f64..9.0, arity..=arity), -50.0f64..50.0)
+            .prop_map(|(w, b)| Model::Linear(LinearModel::new(w, b))),
+        (
+            prop::collection::vec(-9.0f64..9.0, arity..=arity),
+            -50.0f64..50.0,
+            0.001f64..10.0
+        )
+            .prop_map(|(w, b, l)| Model::Ridge(RidgeModel::new(w, b, l))),
+        (-50.0f64..50.0).prop_map(move |v| Model::Constant(ConstantModel::new(v, arity))),
+    ]
+}
+
+fn arb_ruleset() -> impl Strategy<Value = RuleSet> {
+    (1usize..3).prop_flat_map(|arity| {
+        prop::collection::vec(
+            (
+                arb_model(arity),
+                0.0f64..10.0,
+                prop::collection::vec(arb_conjunction(arity), 1..3),
+            ),
+            1..5,
+        )
+        .prop_map(move |specs| {
+            RuleSet::from_rules(
+                specs
+                    .into_iter()
+                    .map(|(model, rho, conjuncts)| {
+                        // Inputs are attrs 0..arity; target is attr 10
+                        // (condition attrs start at 2, so Definition 1's
+                        // "no predicate on Y" holds by construction).
+                        Crr::new(
+                            (0..arity).map(AttrId).collect(),
+                            AttrId(10),
+                            Arc::new(model),
+                            rho,
+                            Dnf::of(conjuncts),
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// from_text(to_text(Σ)) reproduces every rule field exactly.
+    #[test]
+    fn roundtrip_is_exact(rules in arb_ruleset()) {
+        let text = serialize::to_text(&rules);
+        let back = serialize::from_text(&text).unwrap();
+        prop_assert_eq!(back.len(), rules.len());
+        for (a, b) in rules.rules().iter().zip(back.rules()) {
+            prop_assert_eq!(a.inputs(), b.inputs());
+            prop_assert_eq!(a.target(), b.target());
+            prop_assert_eq!(a.rho().to_bits(), b.rho().to_bits());
+            prop_assert_eq!(a.condition(), b.condition());
+            prop_assert_eq!(a.model().as_ref(), b.model().as_ref());
+        }
+    }
+
+    /// Serialization is stable: a second round trip yields identical text.
+    #[test]
+    fn second_roundtrip_is_fixed_point(rules in arb_ruleset()) {
+        let once = serialize::to_text(&rules);
+        let twice = serialize::to_text(&serialize::from_text(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

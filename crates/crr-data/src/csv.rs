@@ -1,0 +1,261 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports the subset of RFC 4180 the workspace needs: comma separation,
+//! double-quote quoting with `""` escapes, a header row, and empty fields as
+//! nulls. Type inference scans all rows: a column is `Int` if every non-null
+//! cell parses as `i64`, else `Float` if every non-null cell parses as
+//! `f64`, else `Str`.
+
+use crate::{AttrType, DataError, Result, Schema, Table, Value};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses one CSV record into fields. Handles quoted fields and `""`.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infers the narrowest [`AttrType`] covering every non-empty cell.
+fn infer_type(cells: &[&str]) -> AttrType {
+    let mut ty = AttrType::Int;
+    for cell in cells {
+        if cell.is_empty() {
+            continue;
+        }
+        match ty {
+            AttrType::Int => {
+                if cell.parse::<i64>().is_err() {
+                    ty = if cell.parse::<f64>().is_ok() { AttrType::Float } else { AttrType::Str };
+                }
+            }
+            AttrType::Float => {
+                if cell.parse::<f64>().is_err() {
+                    ty = AttrType::Str;
+                }
+            }
+            AttrType::Str => return AttrType::Str,
+        }
+    }
+    ty
+}
+
+fn parse_cell(cell: &str, ty: AttrType) -> Value {
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        AttrType::Int => cell.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        AttrType::Float => cell.parse::<f64>().map(Value::from).unwrap_or(Value::Null),
+        AttrType::Str => Value::str(cell),
+    }
+}
+
+/// Reads a table from CSV text with a header row, inferring column types.
+pub fn read_csv(reader: impl Read) -> Result<Table> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, line)) => parse_record(&line?, 1)?,
+        None => return Err(DataError::Csv { line: 0, message: "empty input".into() }),
+    };
+    let mut records: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        // Blank lines are skipped for multi-column schemas, but a
+        // single-column table legitimately serializes a null cell as an
+        // empty line — that must parse back as one null row.
+        if line.is_empty() && header.len() > 1 {
+            continue;
+        }
+        let rec = parse_record(&line, i + 1)?;
+        if rec.len() != header.len() {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!("expected {} fields, got {}", header.len(), rec.len()),
+            });
+        }
+        records.push(rec);
+    }
+    let types: Vec<AttrType> = (0..header.len())
+        .map(|c| {
+            let cells: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+            infer_type(&cells)
+        })
+        .collect();
+    let schema = Schema::new(header.into_iter().zip(types.iter().copied()).collect());
+    let mut table = Table::new(schema);
+    for rec in &records {
+        let row = rec
+            .iter()
+            .zip(types.iter())
+            .map(|(cell, &ty)| parse_cell(cell, ty))
+            .collect();
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Reads a table from a CSV file.
+pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Table> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+fn quote_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a table to CSV with a header row. Nulls become empty fields.
+pub fn write_csv(table: &Table, mut writer: impl Write) -> Result<()> {
+    let mut out = String::new();
+    let names: Vec<&str> = table.schema().iter().map(|(_, a)| a.name()).collect();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        quote_field(&mut out, name);
+    }
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        for (i, (id, _)) in table.schema().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = table.value(r, id);
+            if !v.is_null() {
+                let mut cell = String::new();
+                let _ = write!(cell, "{v}");
+                quote_field(&mut out, &cell);
+            }
+        }
+        out.push('\n');
+        // Flush in chunks so huge tables do not hold the whole file in memory.
+        if out.len() > 1 << 20 {
+            writer.write_all(out.as_bytes())?;
+            out.clear();
+        }
+    }
+    writer.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    write_csv(table, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_types_and_nulls() {
+        let src = "lat,date,bird\n56.2,218,maria\n,219,maria\n21.9,,raivo\n";
+        let t = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let lat = t.attr("lat").unwrap();
+        let date = t.attr("date").unwrap();
+        let bird = t.attr("bird").unwrap();
+        assert_eq!(t.schema().attribute(lat).ty(), AttrType::Float);
+        assert_eq!(t.schema().attribute(date).ty(), AttrType::Int);
+        assert_eq!(t.schema().attribute(bird).ty(), AttrType::Str);
+        assert!(t.value(1, lat).is_null());
+        assert!(t.value(2, date).is_null());
+
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(out.as_slice()).unwrap();
+        assert_eq!(t2.num_rows(), 3);
+        assert_eq!(t2.value(0, lat), Value::Float(56.2));
+        assert!(t2.value(1, lat).is_null());
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let src = "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n";
+        let t = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(t.value(0, t.attr("name").unwrap()), Value::str("a,b"));
+        assert_eq!(t.value(0, t.attr("note").unwrap()), Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn writer_quotes_when_needed() {
+        let schema = Schema::new(vec![("s", AttrType::Str)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::str("x,y")]).unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "s\n\"x,y\"\n");
+    }
+
+    #[test]
+    fn field_count_mismatch_is_an_error() {
+        let src = "a,b\n1\n";
+        assert!(matches!(
+            read_csv(src.as_bytes()),
+            Err(DataError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn int_column_with_float_cell_widens() {
+        let src = "v\n1\n2.5\n";
+        let t = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(t.schema().attribute(t.attr("v").unwrap()).ty(), AttrType::Float);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let src = "a\n\"open\n";
+        assert!(read_csv(src.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors from the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Referenced an attribute that the schema does not contain.
+    UnknownAttribute(String),
+    /// A row had the wrong number of cells for the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        attribute: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// CSV parse failure with row/column context.
+    Csv { line: usize, message: String },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+    /// A numeric view was requested of a non-numeric column.
+    NotNumeric(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} cells, got {got}")
+            }
+            DataError::TypeMismatch { attribute, expected, got } => write!(
+                f,
+                "type mismatch on attribute {attribute}: expected {expected}, got {got}"
+            ),
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+            DataError::NotNumeric(name) => {
+                write!(f, "attribute {name} is not numeric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}

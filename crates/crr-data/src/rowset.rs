@@ -1,0 +1,163 @@
+/// A subset of a table's rows, by index.
+///
+/// CRR discovery repeatedly refines conditions `C → C ∧ p`, each refinement
+/// selecting a subset `D_C` of the same underlying table. `RowSet` is that
+/// subset: a sorted list of `u32` row indices, cheap to filter and to hand
+/// to model fitting without copying any column data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    rows: Vec<u32>,
+}
+
+impl RowSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RowSet::default()
+    }
+
+    /// All rows `0..n`.
+    pub fn all(n: usize) -> Self {
+        RowSet { rows: (0..n as u32).collect() }
+    }
+
+    /// From raw indices. Sorts and deduplicates to maintain the invariant.
+    pub fn from_indices(mut rows: Vec<u32>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        RowSet { rows }
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates row indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rows.iter().map(|&r| r as usize)
+    }
+
+    /// Borrow of the raw indices.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Keeps only rows satisfying `keep`.
+    pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> RowSet {
+        RowSet { rows: self.rows.iter().copied().filter(|&r| keep(r as usize)).collect() }
+    }
+
+    /// Splits into `(satisfying, rest)` in one pass.
+    pub fn partition(&self, mut pred: impl FnMut(usize) -> bool) -> (RowSet, RowSet) {
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        for &r in &self.rows {
+            if pred(r as usize) {
+                yes.push(r);
+            } else {
+                no.push(r);
+            }
+        }
+        (RowSet { rows: yes }, RowSet { rows: no })
+    }
+
+    /// Set intersection (both inputs are sorted).
+    pub fn intersect(&self, other: &RowSet) -> RowSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.rows.len() && j < other.rows.len() {
+            match self.rows[i].cmp(&other.rows[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.rows[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RowSet { rows: out }
+    }
+
+    /// Set union (both inputs are sorted).
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        let mut out = Vec::with_capacity(self.rows.len() + other.rows.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.rows.len() && j < other.rows.len() {
+            match self.rows[i].cmp(&other.rows[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.rows[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.rows[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.rows[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.rows[i..]);
+        out.extend_from_slice(&other.rows[j..]);
+        RowSet { rows: out }
+    }
+}
+
+impl FromIterator<u32> for RowSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        RowSet::from_indices(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_row() {
+        let s = RowSet::all(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let s = RowSet::from_indices(vec![3, 1, 3, 0]);
+        assert_eq!(s.as_slice(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn filter_and_partition() {
+        let s = RowSet::all(6);
+        let even = s.filter(|r| r % 2 == 0);
+        assert_eq!(even.as_slice(), &[0, 2, 4]);
+        let (yes, no) = s.partition(|r| r < 2);
+        assert_eq!(yes.as_slice(), &[0, 1]);
+        assert_eq!(no.as_slice(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let a = RowSet::from_indices(vec![0, 2, 4, 6]);
+        let b = RowSet::from_indices(vec![2, 3, 4]);
+        assert_eq!(a.intersect(&b).as_slice(), &[2, 4]);
+        assert_eq!(a.union(&b).as_slice(), &[0, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = RowSet::new();
+        assert!(e.is_empty());
+        let a = RowSet::all(3);
+        assert_eq!(e.intersect(&a), e);
+        assert_eq!(e.union(&a), a);
+    }
+}

@@ -1,0 +1,174 @@
+use crate::{DataError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit integers (also dates encoded as day offsets).
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Dictionary-encoded strings (categorical attributes).
+    Str,
+}
+
+impl AttrType {
+    /// True for types that admit a numeric (`f64`) view.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Int => write!(f, "int"),
+            AttrType::Float => write!(f, "float"),
+            AttrType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// Index of an attribute within its schema.
+///
+/// A newtype rather than a bare `usize` so that row indices and attribute
+/// indices cannot be swapped silently — a classic source of off-by-one-table
+/// bugs in columnar code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared type.
+    pub fn ty(&self) -> AttrType {
+        self.ty
+    }
+}
+
+/// An ordered set of attributes with O(1) lookup by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate attribute names — a schema is a set.
+    pub fn new<N: Into<String>>(attrs: Vec<(N, AttrType)>) -> Self {
+        let attrs: Vec<Attribute> =
+            attrs.into_iter().map(|(n, t)| Attribute::new(n, t)).collect();
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            let prev = by_name.insert(a.name().to_string(), AttrId(i));
+            assert!(prev.is_none(), "duplicate attribute name: {}", a.name());
+        }
+        Schema { attrs, by_name }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; `AttrId`s should only come from this
+    /// schema.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.0]
+    }
+
+    /// Iterates `(AttrId, &Attribute)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// All ids of numeric attributes, in declaration order.
+    pub fn numeric_attrs(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, a)| a.ty().is_numeric())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ("lat", AttrType::Float),
+            ("date", AttrType::Int),
+            ("bird", AttrType::Str),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.attr("date").unwrap(), AttrId(1));
+        assert!(matches!(s.attr("nope"), Err(DataError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn numeric_attrs_skips_strings() {
+        let s = sample();
+        assert_eq!(s.numeric_attrs(), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![("a", AttrType::Int), ("a", AttrType::Float)]);
+    }
+
+    #[test]
+    fn iter_in_declaration_order() {
+        let s = sample();
+        let names: Vec<&str> = s.iter().map(|(_, a)| a.name()).collect();
+        assert_eq!(names, vec!["lat", "date", "bird"]);
+    }
+}

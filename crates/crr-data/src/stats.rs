@@ -1,0 +1,128 @@
+use crate::{AttrId, RowSet, Table};
+
+/// Summary statistics of one attribute over a row subset.
+///
+/// Predicate generation (paper §VI-D2) needs the domain of each attribute —
+/// min/max for numeric split constants and the distinct categories for
+/// equality predicates — and the discovery split heuristic needs means and
+/// variances. All are computed in a single pass here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Rows with a present value.
+    pub count: usize,
+    /// Rows with a null.
+    pub nulls: usize,
+    /// Minimum numeric value, if any numeric cell was seen.
+    pub min: Option<f64>,
+    /// Maximum numeric value, if any numeric cell was seen.
+    pub max: Option<f64>,
+    /// Mean of numeric values.
+    pub mean: f64,
+    /// Population variance of numeric values.
+    pub variance: f64,
+    /// Distinct dictionary codes, for string columns.
+    pub distinct_codes: Vec<u32>,
+}
+
+impl ColumnStats {
+    /// Computes statistics of `attr` over `rows` in one pass.
+    pub fn compute(table: &Table, attr: AttrId, rows: &RowSet) -> ColumnStats {
+        let col = table.column(attr);
+        let mut count = 0usize;
+        let mut nulls = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut codes: Vec<u32> = Vec::new();
+        for r in rows.iter() {
+            if col.is_null(r) {
+                nulls += 1;
+                continue;
+            }
+            count += 1;
+            if let Some(v) = col.get_f64(r) {
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+                sum_sq += v * v;
+            } else if let Some(code) = col.get_code(r) {
+                codes.push(code);
+            }
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        let (mean, variance) = if count > 0 && min.is_finite() {
+            let m = sum / count as f64;
+            (m, (sum_sq / count as f64 - m * m).max(0.0))
+        } else {
+            (0.0, 0.0)
+        };
+        ColumnStats {
+            count,
+            nulls,
+            min: min.is_finite().then_some(min),
+            max: max.is_finite().then_some(max),
+            mean,
+            variance,
+            distinct_codes: codes,
+        }
+    }
+
+    /// Width of the numeric domain (`max - min`), zero when degenerate.
+    pub fn range(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![("v", AttrType::Float), ("s", AttrType::Str)]);
+        let mut t = Table::new(schema);
+        for (v, s) in [(1.0, "a"), (3.0, "b"), (5.0, "a")] {
+            t.push_row(vec![Value::Float(v), Value::str(s)]).unwrap();
+        }
+        t.push_row(vec![Value::Null, Value::str("c")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let t = table();
+        let s = ColumnStats::compute(&t, t.attr("v").unwrap(), &t.all_rows());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(5.0));
+        assert_eq!(s.mean, 3.0);
+        assert!((s.variance - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.range(), 4.0);
+    }
+
+    #[test]
+    fn categorical_stats() {
+        let t = table();
+        let s = ColumnStats::compute(&t, t.attr("s").unwrap(), &t.all_rows());
+        assert_eq!(s.count, 4);
+        assert_eq!(s.distinct_codes.len(), 3);
+        assert_eq!(s.min, None);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn subset_stats() {
+        let t = table();
+        let rows = RowSet::from_indices(vec![0, 2]);
+        let s = ColumnStats::compute(&t, t.attr("v").unwrap(), &rows);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.variance, 4.0);
+    }
+}

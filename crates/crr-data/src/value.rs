@@ -1,0 +1,170 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// One typed cell of a relation.
+///
+/// Predicates `A φ c` (paper §III-A1) compare a tuple's cell against a
+/// constant, so `Value` carries exactly the comparison semantics the rule
+/// language needs: numeric values compare numerically across `Int`/`Float`,
+/// strings compare lexicographically, `Null` compares to nothing (any
+/// predicate over a null cell is unsatisfied).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value. Satisfies no predicate.
+    Null,
+    /// 64-bit integer (also used for dates as day offsets).
+    Int(i64),
+    /// 64-bit float. Never NaN — constructors normalize NaN to `Null`.
+    Float(f64),
+    /// Interned string; `Arc` keeps row materialization cheap.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True when this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: `Int` widens to `f64`, `Float` passes through,
+    /// everything else is `None`.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Name of this value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Three-way comparison following predicate semantics: numerics compare
+    /// across `Int`/`Float`, strings lexicographically; `Null` and
+    /// cross-kind pairs are incomparable (`None`).
+    pub fn partial_cmp_sem(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.partial_cmp_sem(other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.partial_cmp_sem(other)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_kind_numeric_comparison() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(3.0) > Value::Int(2));
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_ne!(Value::Null, Value::Null);
+        assert_eq!(Value::Null.partial_cmp(&Value::Int(0)), None);
+        assert_eq!(Value::Int(0).partial_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert!(Value::str("IA") < Value::str("NY"));
+        assert_eq!(Value::str("IA"), Value::str("IA"));
+        // Cross-kind string/number comparisons are undefined.
+        assert_eq!(Value::str("1").partial_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn nan_normalizes_to_null() {
+        assert!(Value::from(f64::NAN).is_null());
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_simply() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

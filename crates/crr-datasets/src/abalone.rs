@@ -1,0 +1,144 @@
+//! Abalone: physical measurements of abalone (stand-in for the UCI Abalone
+//! dataset \[30\]).
+//!
+//! 9 columns: sex plus 7 size/weight measurements and the ring count
+//! (age proxy). Within each sex group the measurements follow near-linear
+//! relations with group-specific slopes — infants grow differently from
+//! adults — and the two adult sexes (M, F) share the *same* growth slope
+//! with a constant offset, so their rules are `y = δ` translations.
+
+use crate::{noise, Dataset, GenConfig};
+use crr_data::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Sex categories: male, female, infant.
+pub const SEXES: [&str; 3] = ["M", "F", "I"];
+
+/// Ring-count law per sex: `rings = slope · length + offset`.
+/// M and F share the slope (translation pair); infants differ.
+pub fn ring_law(sex: usize) -> (f64, f64) {
+    match sex {
+        0 => (18.0, 1.0),  // M
+        1 => (18.0, 2.2),  // F: same slope, shifted
+        _ => (10.0, 2.0),  // I: different growth regime
+    }
+}
+
+/// Measurement noise amplitude.
+pub const NOISE: f64 = 0.25;
+
+/// Generates the Abalone stand-in.
+pub fn abalone(cfg: &GenConfig) -> Dataset {
+    let schema = Schema::new(vec![
+        ("sex", AttrType::Str),
+        ("length", AttrType::Float),
+        ("diameter", AttrType::Float),
+        ("height", AttrType::Float),
+        ("whole_weight", AttrType::Float),
+        ("shucked_weight", AttrType::Float),
+        ("viscera_weight", AttrType::Float),
+        ("shell_weight", AttrType::Float),
+        ("rings", AttrType::Float),
+    ]);
+    let mut table = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(4));
+    for _ in 0..cfg.rows {
+        let sex = rng.gen_range(0..3);
+        // Infants are smaller.
+        let length: f64 = if sex == 2 {
+            rng.gen_range(0.1..0.45)
+        } else {
+            rng.gen_range(0.3..0.8)
+        };
+        let diameter = 0.8 * length + noise(&mut rng, 0.01);
+        let height = 0.35 * length + noise(&mut rng, 0.008);
+        let whole = 1.9 * length - 0.3 + noise(&mut rng, 0.05);
+        let shucked = 0.43 * whole + noise(&mut rng, 0.02);
+        let viscera = 0.22 * whole + noise(&mut rng, 0.015);
+        let shell = 0.28 * whole + noise(&mut rng, 0.015);
+        let (slope, offset) = ring_law(sex);
+        let rings = slope * length + offset + noise(&mut rng, NOISE);
+        table
+            .push_row(vec![
+                Value::str(SEXES[sex]),
+                Value::Float(length),
+                Value::Float(diameter),
+                Value::Float(height),
+                Value::Float(whole.max(0.01)),
+                Value::Float(shucked.max(0.005)),
+                Value::Float(viscera.max(0.005)),
+                Value::Float(shell.max(0.005)),
+                Value::Float(rings.max(1.0)),
+            ])
+            .expect("schema match");
+    }
+    let mut expert = BTreeMap::new();
+    // Ground truth: the infant/adult size boundary region.
+    expert.insert("length", vec![0.3, 0.45, 0.6]);
+    Dataset {
+        table,
+        name: "Abalone",
+        category: "Relational",
+        default_target: "rings",
+        default_inputs: vec!["length"],
+        expert_boundaries: expert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_law_holds_per_sex() {
+        let ds = abalone(&GenConfig { rows: 1_000, seed: 13 });
+        let t = &ds.table;
+        let sex = t.attr("sex").unwrap();
+        let length = t.attr("length").unwrap();
+        let rings = t.attr("rings").unwrap();
+        for r in 0..t.num_rows() {
+            let s = t.value(r, sex);
+            let idx = SEXES.iter().position(|n| Some(*n) == s.as_str()).unwrap();
+            let (slope, offset) = ring_law(idx);
+            let expect = (slope * t.value_f64(r, length).unwrap() + offset).max(1.0);
+            let got = t.value_f64(r, rings).unwrap();
+            assert!((got - expect).abs() <= NOISE + 1e-9, "row {r}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn adult_sexes_share_slope() {
+        assert_eq!(ring_law(0).0, ring_law(1).0);
+        assert_ne!(ring_law(0).1, ring_law(1).1);
+        assert_ne!(ring_law(0).0, ring_law(2).0);
+    }
+
+    #[test]
+    fn infants_are_smaller() {
+        let ds = abalone(&GenConfig { rows: 2_000, seed: 17 });
+        let t = &ds.table;
+        let sex = t.attr("sex").unwrap();
+        let length = t.attr("length").unwrap();
+        let mut max_infant: f64 = 0.0;
+        let mut max_adult: f64 = 0.0;
+        for r in 0..t.num_rows() {
+            let l = t.value_f64(r, length).unwrap();
+            if t.value(r, sex) == Value::str("I") {
+                max_infant = max_infant.max(l);
+            } else {
+                max_adult = max_adult.max(l);
+            }
+        }
+        assert!(max_infant < 0.46);
+        assert!(max_adult > 0.6);
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let ds = abalone(&GenConfig { rows: 10, seed: 0 });
+        assert_eq!(ds.num_cols(), 9);
+        assert_eq!(ds.category, "Relational");
+    }
+}

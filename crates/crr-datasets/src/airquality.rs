@@ -1,0 +1,133 @@
+//! AirQuality: hourly multi-sensor air-quality measurements (stand-in for
+//! the UCI Air Quality dataset \[28\]).
+//!
+//! 18 columns: an hour index plus 17 sensor channels. The base pollutant
+//! follows a piecewise-linear *daily* profile (night low, morning rush
+//! ramp, midday decay, evening rush ramp) that repeats every 24 hours —
+//! so the same four linear models recur day after day, shifted in time:
+//! exactly the sharing structure CRR discovery merges via built-in
+//! predicates. The other sensor channels are affine responses to the base
+//! pollutant (cross-correlated columns), each with bounded sensor noise.
+
+use crate::{noise, Dataset, GenConfig};
+use crr_data::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Hours per day (regime period).
+pub const DAY: i64 = 24;
+/// Daily regime boundaries (hour-of-day).
+pub const REGIMES: [i64; 4] = [6, 10, 17, 21];
+/// Sensor noise amplitude.
+pub const NOISE: f64 = 0.2;
+
+/// Base pollutant level at hour-of-day, before noise: a piecewise-linear
+/// daily profile shared by all days.
+pub fn base_level(hour: i64) -> f64 {
+    let h = hour.rem_euclid(DAY);
+    let [rush_start, rush_peak, decay_end, evening_peak] = REGIMES;
+    if h < rush_start {
+        2.0
+    } else if h < rush_peak {
+        2.0 + (h - rush_start) as f64 * 2.0 // ramp to 10
+    } else if h < decay_end {
+        10.0 - (h - rush_peak) as f64 * 0.5 // decay to 6.5
+    } else if h < evening_peak {
+        6.5 + (h - decay_end) as f64 * 1.5 // evening ramp to 12.5
+    } else {
+        12.5 - (h - evening_peak) as f64 * 3.5 // fall back to night level
+    }
+}
+
+const SENSORS: [&str; 17] = [
+    "co", "pt08_co", "nmhc", "c6h6", "pt08_nmhc", "nox", "pt08_nox", "no2",
+    "pt08_no2", "pt08_o3", "temp", "rh", "ah", "pm25", "pm10", "so2", "o3",
+];
+
+/// Per-sensor affine response `(gain, offset)` to the base pollutant.
+fn sensor_response(idx: usize) -> (f64, f64) {
+    // Deterministic, spread out, never zero gain.
+    let gain = 0.5 + 0.25 * idx as f64;
+    let offset = 10.0 - 1.5 * idx as f64;
+    (gain, offset)
+}
+
+/// Generates the AirQuality stand-in.
+pub fn airquality(cfg: &GenConfig) -> Dataset {
+    let mut cols: Vec<(&str, AttrType)> = vec![("hour", AttrType::Int)];
+    cols.extend(SENSORS.iter().map(|&s| (s, AttrType::Float)));
+    let schema = Schema::new(cols);
+    let mut table = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    for i in 0..cfg.rows {
+        let hour = i as i64;
+        let base = base_level(hour);
+        let mut row = Vec::with_capacity(18);
+        row.push(Value::Int(hour));
+        for idx in 0..SENSORS.len() {
+            let (gain, offset) = sensor_response(idx);
+            row.push(Value::Float(gain * base + offset + noise(&mut rng, NOISE)));
+        }
+        table.push_row(row).expect("schema match");
+    }
+    let days = (cfg.rows as i64 / DAY) + 2;
+    let mut hour_bounds = Vec::new();
+    for d in 0..days {
+        for r in REGIMES {
+            hour_bounds.push((d * DAY + r) as f64);
+        }
+        hour_bounds.push(((d + 1) * DAY) as f64);
+    }
+    let mut expert = BTreeMap::new();
+    expert.insert("hour", hour_bounds);
+    Dataset {
+        table,
+        name: "AirQuality",
+        category: "Time series",
+        default_target: "no2",
+        default_inputs: vec!["hour"],
+        expert_boundaries: expert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_is_continuous_at_boundaries() {
+        // Piecewise segments meet (no jumps except the midnight wrap).
+        for h in 1..DAY {
+            let jump = (base_level(h) - base_level(h - 1)).abs();
+            assert!(jump <= 3.5 + 1e-12, "hour {h}: jump {jump}");
+        }
+    }
+
+    #[test]
+    fn profile_repeats_daily() {
+        for h in 0..DAY {
+            assert_eq!(base_level(h), base_level(h + 7 * DAY));
+        }
+    }
+
+    #[test]
+    fn sensors_are_affine_in_base() {
+        let ds = airquality(&GenConfig { rows: 200, seed: 3 });
+        let hour = ds.table.attr("hour").unwrap();
+        let no2 = ds.table.attr("no2").unwrap();
+        let idx = SENSORS.iter().position(|&s| s == "no2").unwrap();
+        let (gain, offset) = sensor_response(idx);
+        for r in 0..ds.table.num_rows() {
+            let h = ds.table.value_f64(r, hour).unwrap() as i64;
+            let v = ds.table.value_f64(r, no2).unwrap();
+            assert!((v - (gain * base_level(h) + offset)).abs() <= NOISE + 1e-12);
+        }
+    }
+
+    #[test]
+    fn column_count_matches_table2() {
+        let ds = airquality(&GenConfig { rows: 10, seed: 0 });
+        assert_eq!(ds.num_cols(), 18);
+    }
+}

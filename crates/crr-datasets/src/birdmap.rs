@@ -1,0 +1,188 @@
+//! BirdMap: GPS tracks of migratory birds (stand-in for \[3\]).
+//!
+//! Each bird repeats the same annual cycle (365-day years, day 0 =
+//! 2006-01-01):
+//!
+//! * days 0..90    — winter residence in Africa: constant low latitude;
+//! * days 90..121  — spring migration: latitude climbs linearly north;
+//! * days 121..221 — summer residence: constant latitude ≈ 60.1
+//!   (the paper's φ₂ `Latitude = 60.10` plateau);
+//! * days 221..252 — autumn migration: latitude falls linearly south;
+//! * days 252..365 — winter residence again.
+//!
+//! Slopes are identical across years and birds; residences differ per bird
+//! by a constant offset. Both properties are what CRR model sharing and the
+//! Translation inference (`x = 744` in the paper's φ₃) are designed to
+//! capture.
+
+use crate::{noise, Dataset, GenConfig};
+use crr_data::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Days per generated year.
+pub const YEAR: i64 = 365;
+/// Season boundaries within a year (day-of-year).
+pub const SEASONS: [i64; 4] = [90, 121, 221, 252];
+/// The shared summer-residence latitude (the paper's 60.10).
+pub const SUMMER_LAT: f64 = 60.10;
+/// GPS noise amplitude (degrees).
+pub const NOISE: f64 = 0.15;
+
+const BIRD_NAMES: [&str; 6] =
+    ["1.Kalakotkas", "2.Maria", "3.Raivo", "4.Mart", "33.Erika", "7.Piret"];
+
+/// Latitude of `bird` on absolute `day`, before noise.
+pub fn true_latitude(bird: usize, day: i64) -> f64 {
+    let doy = day.rem_euclid(YEAR);
+    // Per-bird winter residence offset; summer is shared.
+    let winter = 8.0 + bird as f64 * 1.5;
+    let [spring_start, spring_end, autumn_start, autumn_end] = SEASONS;
+    if doy < spring_start {
+        winter
+    } else if doy < spring_end {
+        let frac = (doy - spring_start) as f64 / (spring_end - spring_start) as f64;
+        winter + frac * (SUMMER_LAT - winter)
+    } else if doy < autumn_start {
+        SUMMER_LAT
+    } else if doy < autumn_end {
+        let frac = (doy - autumn_start) as f64 / (autumn_end - autumn_start) as f64;
+        SUMMER_LAT + frac * (winter - SUMMER_LAT)
+    } else {
+        winter
+    }
+}
+
+/// Longitude of `bird` on absolute `day`, before noise.
+pub fn true_longitude(bird: usize, day: i64) -> f64 {
+    let doy = day.rem_euclid(YEAR);
+    let winter = 18.0 + bird as f64 * 0.8;
+    let summer = 26.5;
+    let [spring_start, spring_end, autumn_start, autumn_end] = SEASONS;
+    if doy < spring_start {
+        winter
+    } else if doy < spring_end {
+        let frac = (doy - spring_start) as f64 / (spring_end - spring_start) as f64;
+        winter + frac * (summer - winter)
+    } else if doy < autumn_start {
+        summer
+    } else if doy < autumn_end {
+        let frac = (doy - autumn_start) as f64 / (autumn_end - autumn_start) as f64;
+        summer + frac * (winter - summer)
+    } else {
+        winter
+    }
+}
+
+/// Generates the BirdMap stand-in: one row per (bird, day) observation.
+pub fn birdmap(cfg: &GenConfig) -> Dataset {
+    let schema = Schema::new(vec![
+        ("latitude", AttrType::Float),
+        ("longitude", AttrType::Float),
+        ("bird", AttrType::Str),
+        ("date", AttrType::Int),
+    ]);
+    let mut table = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let num_birds = BIRD_NAMES.len();
+    // Observations interleave birds day by day, like merged GPS feeds.
+    for i in 0..cfg.rows {
+        let bird = i % num_birds;
+        let day = (i / num_birds) as i64;
+        let lat = true_latitude(bird, day) + noise(&mut rng, NOISE);
+        let lon = true_longitude(bird, day) + noise(&mut rng, NOISE);
+        table
+            .push_row(vec![
+                Value::Float(lat),
+                Value::Float(lon),
+                Value::str(BIRD_NAMES[bird]),
+                Value::Int(day),
+            ])
+            .expect("schema match");
+    }
+    let max_day = ((cfg.rows / num_birds) as i64).max(1);
+    let mut date_bounds: Vec<f64> = Vec::new();
+    let mut year_start = 0i64;
+    while year_start < max_day + YEAR {
+        for s in SEASONS {
+            date_bounds.push((year_start + s) as f64);
+        }
+        date_bounds.push((year_start + YEAR) as f64);
+        year_start += YEAR;
+    }
+    let mut expert = BTreeMap::new();
+    expert.insert("date", date_bounds);
+    Dataset {
+        table,
+        name: "BirdMap",
+        category: "Time series",
+        default_target: "latitude",
+        default_inputs: vec!["date"],
+        expert_boundaries: expert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasons_produce_the_plateau() {
+        // Mid-summer of year 2 is on the shared plateau for every bird.
+        for bird in 0..4 {
+            let lat = true_latitude(bird, YEAR + 170);
+            assert_eq!(lat, SUMMER_LAT);
+        }
+    }
+
+    #[test]
+    fn cycle_repeats_across_years() {
+        for day in [10, 100, 150, 230, 300] {
+            assert_eq!(true_latitude(1, day), true_latitude(1, day + YEAR));
+            assert_eq!(true_longitude(2, day), true_longitude(2, day + 3 * YEAR));
+        }
+    }
+
+    #[test]
+    fn migration_slope_is_shared_between_years() {
+        // Spring slope computed in two different years is identical —
+        // the premise of the paper's φ₃ translation.
+        let s1 = true_latitude(0, 100) - true_latitude(0, 99);
+        let s2 = true_latitude(0, YEAR + 100) - true_latitude(0, YEAR + 99);
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!(s1 > 0.0);
+    }
+
+    #[test]
+    fn winter_differs_per_bird_summer_does_not() {
+        assert_ne!(true_latitude(0, 10), true_latitude(1, 10));
+        assert_eq!(true_latitude(0, 170), true_latitude(1, 170));
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let ds = birdmap(&GenConfig { rows: 3_000, seed: 11 });
+        let lat = ds.table.attr("latitude").unwrap();
+        let date = ds.table.attr("date").unwrap();
+        let bird = ds.table.attr("bird").unwrap();
+        for r in 0..ds.table.num_rows() {
+            let day = ds.table.value_f64(r, date).unwrap() as i64;
+            let b = ds.table.value(r, bird);
+            let idx = BIRD_NAMES.iter().position(|n| Some(*n) == b.as_str()).unwrap();
+            let observed = ds.table.value_f64(r, lat).unwrap();
+            assert!(
+                (observed - true_latitude(idx, day)).abs() <= NOISE + 1e-12,
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn expert_boundaries_cover_generated_range() {
+        let ds = birdmap(&GenConfig { rows: 6 * 400, seed: 1 });
+        let bounds = &ds.expert_boundaries["date"];
+        assert!(bounds.len() >= 5);
+        assert!(bounds.iter().any(|&b| b >= 400.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Electricity: minute-level household power consumption (stand-in for the
+//! UCI "Individual household electric power consumption" dataset \[29\]).
+//!
+//! 12 columns: a minute index, aggregate power/voltage channels and three
+//! sub-metering channels. The household alternates between a small set of
+//! appliance *regimes* over the day (night / morning / day / evening), each
+//! regime a linear function of minute-of-day; the same regime schedule
+//! repeats every day. Sub-meterings are affine shares of the aggregate.
+
+use crate::{noise, Dataset, GenConfig};
+use crr_data::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Minutes per day (regime period).
+pub const DAY: i64 = 1_440;
+/// Regime boundaries (minute-of-day): 06:00, 09:00, 18:00, 22:00.
+pub const REGIMES: [i64; 4] = [360, 540, 1_080, 1_320];
+/// Meter noise amplitude (kW).
+pub const NOISE: f64 = 0.05;
+
+/// Aggregate active power (kW) at a minute index, before noise.
+pub fn active_power(minute: i64) -> f64 {
+    let m = minute.rem_euclid(DAY);
+    let [wake, morning_end, evening_start, night_start] = REGIMES;
+    if m < wake {
+        0.4 // overnight baseline
+    } else if m < morning_end {
+        0.4 + (m - wake) as f64 * (2.6 / (morning_end - wake) as f64) // morning ramp to 3 kW
+    } else if m < evening_start {
+        3.0 - (m - morning_end) as f64 * (1.8 / (evening_start - morning_end) as f64) // daytime decay
+    } else if m < night_start {
+        1.2 + (m - evening_start) as f64 * (3.3 / (night_start - evening_start) as f64) // evening ramp to 4.5 kW
+    } else {
+        4.5 - (m - night_start) as f64 * (4.1 / (DAY - night_start) as f64) // wind-down
+    }
+}
+
+const CHANNELS: [&str; 11] = [
+    "global_active_power",
+    "global_reactive_power",
+    "voltage",
+    "global_intensity",
+    "sub_metering_1",
+    "sub_metering_2",
+    "sub_metering_3",
+    "kitchen_power",
+    "laundry_power",
+    "hvac_power",
+    "other_power",
+];
+
+fn channel_response(idx: usize) -> (f64, f64) {
+    match idx {
+        0 => (1.0, 0.0),       // the aggregate itself
+        1 => (0.12, 0.05),     // reactive power tracks active
+        2 => (-0.8, 241.0),    // voltage sags under load
+        3 => (4.2, 0.3),       // intensity ∝ power
+        _ => (0.08 * idx as f64, 0.1 * (idx as f64 - 4.0)), // sub-meterings
+    }
+}
+
+/// Generates the Electricity stand-in.
+pub fn electricity(cfg: &GenConfig) -> Dataset {
+    let mut cols: Vec<(&str, AttrType)> = vec![("minute", AttrType::Int)];
+    cols.extend(CHANNELS.iter().map(|&c| (c, AttrType::Float)));
+    let schema = Schema::new(cols);
+    let mut table = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    for i in 0..cfg.rows {
+        let minute = i as i64;
+        let p = active_power(minute);
+        let mut row = Vec::with_capacity(12);
+        row.push(Value::Int(minute));
+        for idx in 0..CHANNELS.len() {
+            let (gain, offset) = channel_response(idx);
+            row.push(Value::Float(gain * p + offset + noise(&mut rng, NOISE)));
+        }
+        table.push_row(row).expect("schema match");
+    }
+    let days = (cfg.rows as i64 / DAY) + 2;
+    let mut minute_bounds = Vec::new();
+    for d in 0..days {
+        for r in REGIMES {
+            minute_bounds.push((d * DAY + r) as f64);
+        }
+        minute_bounds.push(((d + 1) * DAY) as f64);
+    }
+    let mut expert = BTreeMap::new();
+    expert.insert("minute", minute_bounds);
+    Dataset {
+        table,
+        name: "Electricity",
+        category: "Time series",
+        default_target: "global_active_power",
+        default_inputs: vec!["minute"],
+        expert_boundaries: expert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_schedule_repeats() {
+        for m in (0..DAY).step_by(97) {
+            assert_eq!(active_power(m), active_power(m + 3 * DAY));
+        }
+    }
+
+    #[test]
+    fn power_stays_in_plausible_range() {
+        for m in 0..DAY {
+            let p = active_power(m);
+            assert!((0.3..=4.6).contains(&p), "minute {m}: {p}");
+        }
+    }
+
+    #[test]
+    fn regimes_are_linear_within_segments() {
+        // Second differences vanish inside each regime.
+        for window in [(0, REGIMES[0]), (REGIMES[0], REGIMES[1]), (REGIMES[2], REGIMES[3])] {
+            for m in (window.0 + 2)..window.1 {
+                let dd = active_power(m) - 2.0 * active_power(m - 1) + active_power(m - 2);
+                assert!(dd.abs() < 1e-9, "minute {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_sags_under_load() {
+        let ds = electricity(&GenConfig { rows: DAY as usize, seed: 5 });
+        let volt = ds.table.attr("voltage").unwrap();
+        // Evening peak (minute 1319) vs overnight (minute 100).
+        let peak = ds.table.value_f64(1_319, volt).unwrap();
+        let night = ds.table.value_f64(100, volt).unwrap();
+        assert!(peak < night);
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let ds = electricity(&GenConfig { rows: 10, seed: 0 });
+        assert_eq!(ds.num_cols(), 12);
+        assert_eq!(ds.category, "Time series");
+    }
+}

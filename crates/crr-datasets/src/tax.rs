@@ -1,0 +1,153 @@
+//! Tax: relational tax-payment records (stand-in for the Tax benchmark
+//! used in CFD/DC discovery studies \[33\]).
+//!
+//! 17 columns. The law CRR discovery should find: within each state,
+//! `tax = rate(state) · salary − deduction(state)` with bounded rounding
+//! noise — the paper's running example φ₅
+//! (`f(Salary) = 0.04·Salary − 230` when `S = IA`). States are grouped
+//! into a few *rate groups* sharing the same rate but differing in
+//! deduction, so rules across states in a group are pure `y = δ`
+//! translations of each other.
+
+use crate::{noise, Dataset, GenConfig};
+use crr_data::{AttrType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// States, grouped by tax rate: 4 rate groups × 5 states.
+pub const STATES: [&str; 20] = [
+    "IA", "OH", "MI", "WI", "MN", // group 0: 4%
+    "NY", "NJ", "CT", "MA", "PA", // group 1: 6.5%
+    "TX", "FL", "WA", "NV", "TN", // group 2: 2%
+    "CA", "OR", "CO", "AZ", "UT", // group 3: 8%
+];
+
+/// Tax rate of a state's rate group.
+pub fn rate_of(state_idx: usize) -> f64 {
+    [0.04, 0.065, 0.02, 0.08][state_idx / 5]
+}
+
+/// Per-state deduction (differs inside a rate group, so same-group rules
+/// differ only by intercept — translatable).
+pub fn deduction_of(state_idx: usize) -> f64 {
+    230.0 + 40.0 * (state_idx % 5) as f64
+}
+
+/// Rounding noise amplitude (currency units).
+pub const NOISE: f64 = 1.0;
+
+/// Generates the Tax stand-in.
+pub fn tax(cfg: &GenConfig) -> Dataset {
+    let schema = Schema::new(vec![
+        ("state", AttrType::Str),
+        ("zip", AttrType::Int),
+        ("city", AttrType::Str),
+        ("salary", AttrType::Float),
+        ("tax", AttrType::Float),
+        ("rate_pct", AttrType::Float),
+        ("age", AttrType::Int),
+        ("dependents", AttrType::Int),
+        ("marital", AttrType::Str),
+        ("gender", AttrType::Str),
+        ("years_employed", AttrType::Int),
+        ("bonus", AttrType::Float),
+        ("retirement_contrib", AttrType::Float),
+        ("health_contrib", AttrType::Float),
+        ("property_value", AttrType::Float),
+        ("property_tax", AttrType::Float),
+        ("net_income", AttrType::Float),
+    ]);
+    let mut table = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(3));
+    for _ in 0..cfg.rows {
+        let state_idx = rng.gen_range(0..STATES.len());
+        let salary = rng.gen_range(18_000.0f64..180_000.0);
+        let tax_amount = rate_of(state_idx) * salary - deduction_of(state_idx)
+            + noise(&mut rng, NOISE);
+        let age = rng.gen_range(18..75);
+        let dependents = rng.gen_range(0..5);
+        let years = rng.gen_range(0..(age - 17).min(40));
+        let bonus = salary * rng.gen_range(0.0..0.15);
+        let retirement = salary * 0.06 + noise(&mut rng, 5.0);
+        let health = 2_400.0 + 600.0 * dependents as f64 + noise(&mut rng, 10.0);
+        let property = salary * rng.gen_range(1.5..4.0);
+        let property_tax = property * 0.011 + noise(&mut rng, 20.0);
+        let net = salary + bonus - tax_amount - retirement - health;
+        table
+            .push_row(vec![
+                Value::str(STATES[state_idx]),
+                Value::Int(10_000 + state_idx as i64 * 400 + rng.gen_range(0..400)),
+                Value::str(format!("{}-city-{}", STATES[state_idx], rng.gen_range(0..8))),
+                Value::Float(salary),
+                Value::Float(tax_amount),
+                Value::Float(rate_of(state_idx) * 100.0),
+                Value::Int(age),
+                Value::Int(dependents),
+                Value::str(if rng.gen_bool(0.5) { "S" } else { "M" }),
+                Value::str(if rng.gen_bool(0.5) { "F" } else { "M" }),
+                Value::Int(years),
+                Value::Float(bonus),
+                Value::Float(retirement),
+                Value::Float(health),
+                Value::Float(property),
+                Value::Float(property_tax),
+                Value::Float(net),
+            ])
+            .expect("schema match");
+    }
+    // Relational "expert knowledge": the state equality partition — encoded
+    // as salary range boundaries per rate bracket for the numeric side.
+    let mut expert = BTreeMap::new();
+    expert.insert("salary", vec![40_000.0, 80_000.0, 120_000.0, 160_000.0]);
+    Dataset {
+        table,
+        name: "Tax",
+        category: "Relational",
+        default_target: "tax",
+        default_inputs: vec!["salary"],
+        expert_boundaries: expert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_law_holds_per_state() {
+        let ds = tax(&GenConfig { rows: 2_000, seed: 7 });
+        let t = &ds.table;
+        let state = t.attr("state").unwrap();
+        let salary = t.attr("salary").unwrap();
+        let tax_a = t.attr("tax").unwrap();
+        for r in 0..t.num_rows() {
+            let s = t.value(r, state);
+            let idx = STATES.iter().position(|n| Some(*n) == s.as_str()).unwrap();
+            let expect = rate_of(idx) * t.value_f64(r, salary).unwrap() - deduction_of(idx);
+            let got = t.value_f64(r, tax_a).unwrap();
+            assert!((got - expect).abs() <= NOISE + 1e-9, "row {r}");
+        }
+    }
+
+    #[test]
+    fn rate_groups_share_rates() {
+        assert_eq!(rate_of(0), rate_of(4)); // IA and MN
+        assert_ne!(rate_of(0), rate_of(5)); // IA and NY
+        assert_ne!(deduction_of(0), deduction_of(1)); // same group, diff deduction
+    }
+
+    #[test]
+    fn ia_matches_paper_example() {
+        // The paper's φ₅: f(Salary) = 0.04·Salary − 230 under S = IA.
+        assert_eq!(rate_of(0), 0.04);
+        assert_eq!(deduction_of(0), 230.0);
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let ds = tax(&GenConfig { rows: 10, seed: 0 });
+        assert_eq!(ds.num_cols(), 17);
+        assert_eq!(ds.category, "Relational");
+    }
+}

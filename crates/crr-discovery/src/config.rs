@@ -1,0 +1,145 @@
+use crr_data::AttrId;
+use crr_models::{FitConfig, ModelKind};
+
+/// Order in which Algorithm 1's priority queue emits conjunctions
+/// (Table IV's experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrder {
+    /// Decreasing sharing index `ind(C)` — the paper's choice: conditions
+    /// most likely to reuse an existing model are handled first
+    /// (Proposition 8's guarantee).
+    #[default]
+    Decrease,
+    /// Increasing `ind(C)` — the adversarial order.
+    Increase,
+    /// Seed-determined pseudo-random order.
+    Random(u64),
+}
+
+/// How split predicates are chosen when a partition admits no model
+/// (Algorithm 1 line 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Model-tree criterion: minimize the weighted variance of the *parent
+    /// model's residuals* per side. The failed fit on `D_C` is reused as a
+    /// probe — sides where residuals are near-constant are exactly the
+    /// parts an output-shifted shared model will fit, so this criterion
+    /// finds regime attributes (state, season) that raw target variance
+    /// misses. Splits into `C ∧ p` and `C ∧ ¬p`; binary splits keep the
+    /// coverage guarantee of Problem 1.
+    #[default]
+    BestResidual,
+    /// CART-style: minimize the weighted *target* variance of the two
+    /// sides \[9\].
+    BestVariance,
+    /// First applicable predicate in space order — cheapest, used to
+    /// isolate the cost of split selection in ablations.
+    FirstApplicable,
+}
+
+/// Configuration of one [`crate::discover`] run — the inputs of Algorithm 1
+/// besides the database and predicate space.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Feature attributes `X` (must not contain the target).
+    pub inputs: Vec<AttrId>,
+    /// Target attribute `Y`.
+    pub target: AttrId,
+    /// Maximum bias `ρ_M`: a model is accepted on a partition only when
+    /// every residual is within this bound.
+    pub rho_max: f64,
+    /// Model family and hyper-parameters (F1/F2/F3).
+    pub fit: FitConfig,
+    /// Queue ordering (Table IV).
+    pub order: QueueOrder,
+    /// Split-predicate selection (line 19).
+    pub split: SplitStrategy,
+    /// Enable the model-sharing fast path (lines 7–10). Disabling it turns
+    /// Algorithm 1 into a plain top-down learner — the ablation the paper's
+    /// Figure 9 "CRR searching" vs. regression-tree comparison isolates.
+    pub share_models: bool,
+    /// Partitions smaller than this are accepted with a forced (fallback)
+    /// model rather than split further — the VC-dimension stop of §V-A2.
+    /// `None` derives it from the model family (`d + 1` for linear).
+    pub min_partition: Option<usize>,
+    /// Hard cap on split candidates evaluated per partition, bounding split
+    /// cost on huge predicate spaces.
+    pub max_split_candidates: usize,
+}
+
+impl DiscoveryConfig {
+    /// A default configuration for `inputs → target` with maximum bias
+    /// `rho_max`: F1 (linear), decreasing order, sharing enabled.
+    pub fn new(inputs: Vec<AttrId>, target: AttrId, rho_max: f64) -> Self {
+        DiscoveryConfig {
+            inputs,
+            target,
+            rho_max,
+            fit: FitConfig::new(ModelKind::Linear),
+            order: QueueOrder::Decrease,
+            split: SplitStrategy::BestResidual,
+            share_models: true,
+            min_partition: None,
+            max_split_candidates: 64,
+        }
+    }
+
+    /// Switches the model family, keeping family defaults.
+    pub fn with_kind(mut self, kind: ModelKind) -> Self {
+        self.fit = FitConfig::new(kind);
+        self
+    }
+
+    /// Switches the queue order.
+    pub fn with_order(mut self, order: QueueOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Enables/disables model sharing.
+    pub fn with_sharing(mut self, share: bool) -> Self {
+        self.share_models = share;
+        self
+    }
+
+    /// The effective minimum partition size (VC-dimension guard).
+    pub fn effective_min_partition(&self) -> usize {
+        self.min_partition
+            .unwrap_or_else(|| self.fit.min_samples(self.inputs.len()))
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let cfg = DiscoveryConfig::new(vec![AttrId(0)], AttrId(1), 1.0);
+        assert_eq!(cfg.order, QueueOrder::Decrease);
+        assert!(cfg.share_models);
+        assert_eq!(cfg.fit.kind, ModelKind::Linear);
+        // Linear with one feature: 2 samples minimum.
+        assert_eq!(cfg.effective_min_partition(), 2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = DiscoveryConfig::new(vec![AttrId(0)], AttrId(1), 0.5)
+            .with_kind(ModelKind::Mlp)
+            .with_order(QueueOrder::Increase)
+            .with_sharing(false);
+        assert_eq!(cfg.fit.kind, ModelKind::Mlp);
+        assert_eq!(cfg.order, QueueOrder::Increase);
+        assert!(!cfg.share_models);
+        assert_eq!(cfg.effective_min_partition(), 4);
+    }
+
+    #[test]
+    fn explicit_min_partition_wins() {
+        let mut cfg = DiscoveryConfig::new(vec![AttrId(0)], AttrId(1), 0.5);
+        cfg.min_partition = Some(10);
+        assert_eq!(cfg.effective_min_partition(), 10);
+    }
+}

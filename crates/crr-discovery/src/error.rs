@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors from CRR discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryError {
+    /// The target attribute appears among the inputs — Reflexivity
+    /// (Proposition 1) makes every such rule trivial, so discovery refuses
+    /// the task instead of producing noise.
+    TrivialTarget,
+    /// The target attribute is not numeric.
+    NonNumericTarget(String),
+    /// The predicate space constrains the target, which Definition 1
+    /// forbids.
+    PredicateOnTarget,
+    /// No rows to discover over.
+    EmptyInstance,
+    /// Rule construction or inference failed (bug or inconsistent inputs).
+    Core(crr_core::CoreError),
+    /// Model fitting failed irrecoverably.
+    Model(crr_models::ModelError),
+    /// Table access failed.
+    Data(crr_data::DataError),
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::TrivialTarget => {
+                write!(f, "target attribute is among the inputs (trivial by Reflexivity)")
+            }
+            DiscoveryError::NonNumericTarget(name) => {
+                write!(f, "target attribute {name} is not numeric")
+            }
+            DiscoveryError::PredicateOnTarget => {
+                write!(f, "predicate space contains predicates on the target attribute")
+            }
+            DiscoveryError::EmptyInstance => write!(f, "no rows to discover over"),
+            DiscoveryError::Core(e) => write!(f, "rule error: {e}"),
+            DiscoveryError::Model(e) => write!(f, "model error: {e}"),
+            DiscoveryError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<crr_core::CoreError> for DiscoveryError {
+    fn from(e: crr_core::CoreError) -> Self {
+        DiscoveryError::Core(e)
+    }
+}
+
+impl From<crr_models::ModelError> for DiscoveryError {
+    fn from(e: crr_models::ModelError) -> Self {
+        DiscoveryError::Model(e)
+    }
+}
+
+impl From<crr_data::DataError> for DiscoveryError {
+    fn from(e: crr_data::DataError) -> Self {
+        DiscoveryError::Data(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! CRR discovery — the paper's §V.
+//!
+//! Two phases, matching the paper's two algorithms:
+//!
+//! 1. **Searching with model sharing** ([`discover`], Algorithm 1): a
+//!    top-down refinement over conjunctions, kept in a priority queue
+//!    ordered by the *sharing index* `ind(C)` — the estimated probability
+//!    that an already-trained model fits the partition. Before training
+//!    anything on a partition `D_C`, the algorithm tries every model in the
+//!    shared pool `ℱ` with an output shift `δ₀ = (max r + min r)/2`
+//!    (Proposition 6); only when no model fits within `ρ_M` is a new model
+//!    trained, and only when that also fails is the condition split.
+//!
+//! 2. **Compaction with inference** ([`compact`], Algorithm 2): rules whose
+//!    models are translations of one another (`f₂(X) = f₁(X + Δ) + δ`,
+//!    Proposition 5) are rewritten onto one representative model
+//!    (built-ins composed per Proposition 9), then rules with the same
+//!    model are merged by Generalization + Fusion into a single rule with a
+//!    DNF condition.
+//!
+//! Supporting pieces: predicate generation in the three styles of
+//! Table III ([`predicates`]), queue-ordering strategies of Table IV
+//! ([`QueueOrder`]), χ²-based condition post-pruning (the paper's §VII
+//! future-work note, [`pruning`]) and multi-target parallel discovery
+//! ([`parallel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use crr_datasets::{tax, GenConfig};
+//! use crr_discovery::{discover, DiscoveryConfig, PredicateGen};
+//!
+//! let ds = tax(&GenConfig { rows: 400, seed: 1 });
+//! let target = ds.table.attr("tax").unwrap();
+//! let salary = ds.table.attr("salary").unwrap();
+//! let state = ds.table.attr("state").unwrap();
+//! let space = PredicateGen::binary(8).generate(&ds.table, &[salary, state], target, 7);
+//! let cfg = DiscoveryConfig::new(vec![salary], target, 2.0);
+//! let result = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+//! // Every tuple is covered (Problem 1) ...
+//! assert!(result.rules.uncovered(&ds.table, &ds.table.all_rows()).is_empty());
+//! // ... by fewer distinct shared models than rules.
+//! assert!(result.rules.num_distinct_models() <= result.rules.len());
+//! ```
+
+mod compaction;
+mod config;
+mod error;
+pub mod parallel;
+pub mod predicates;
+pub mod pruning;
+mod search;
+
+pub use compaction::{compact, compact_on_data, CompactionStats};
+pub use config::{DiscoveryConfig, QueueOrder, SplitStrategy};
+pub use error::DiscoveryError;
+pub use predicates::{PredicateGen, PredicateSpace};
+pub use search::{discover, Discovery, DiscoveryStats};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, DiscoveryError>;

@@ -1,0 +1,154 @@
+//! Multi-target parallel discovery (used by the column-scalability
+//! experiment, Figure 7: "we find CRRs for all attributes").
+//!
+//! Discovery runs are independent per target, so this is a straightforward
+//! scoped-thread fan-out over the same immutable table — no locking, no
+//! channels, one result slot per target.
+
+use crate::{discover, Discovery, DiscoveryConfig, PredicateSpace, Result};
+use crr_data::{RowSet, Table};
+
+/// One discovery task: a configuration plus its predicate space.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Discovery configuration (target, inputs, ρ_M, family, …).
+    pub config: DiscoveryConfig,
+    /// Predicate space for this target.
+    pub space: PredicateSpace,
+}
+
+/// Runs every task over the same `rows` of `table`, in parallel with up to
+/// `threads` workers (1 = sequential). Results come back in task order.
+pub fn discover_all(
+    table: &Table,
+    rows: &RowSet,
+    tasks: &[Task],
+    threads: usize,
+) -> Vec<Result<Discovery>> {
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks
+            .iter()
+            .map(|t| discover(table, rows, &t.config, &t.space))
+            .collect();
+    }
+    let mut results: Vec<Option<Result<Discovery>>> = (0..tasks.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let chunks = split_slots(&mut results);
+    std::thread::scope(|scope| {
+        // Work-stealing over a shared index: each worker claims the next
+        // unprocessed task until none remain.
+        let next = &next;
+        let chunks = &chunks;
+        for _ in 0..threads.min(tasks.len()) {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let out = discover(table, rows, &tasks[i].config, &tasks[i].space);
+                // Safety of the write: each index is claimed exactly once.
+                unsafe { chunks.set(i, out) };
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all tasks claimed")).collect()
+}
+
+/// Shared mutable slot access with disjoint-index writes.
+struct Slots<T>(*mut Option<T>, usize);
+unsafe impl<T: Send> Sync for Slots<T> {}
+impl<T> Slots<T> {
+    /// # Safety
+    ///
+    /// Caller must guarantee each index is written by exactly one thread,
+    /// and that the slot still holds `None` (so nothing is leaked).
+    unsafe fn set(&self, i: usize, value: T) {
+        debug_assert!(i < self.1);
+        let slot = self.0.add(i);
+        debug_assert!((*slot).is_none());
+        std::ptr::write(slot, Some(value));
+    }
+}
+
+fn split_slots<T>(v: &mut [Option<T>]) -> Slots<T> {
+    Slots(v.as_mut_ptr(), v.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredicateGen;
+    use crr_core::LocateStrategy;
+    use crr_data::{AttrType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ("x", AttrType::Float),
+            ("y1", AttrType::Float),
+            ("y2", AttrType::Float),
+            ("y3", AttrType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..150 {
+            let x = i as f64;
+            t.push_row(vec![
+                Value::Float(x),
+                Value::Float(2.0 * x),
+                Value::Float(if x < 75.0 { x } else { x + 30.0 }),
+                Value::Float(-x + 5.0),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn tasks(t: &Table) -> Vec<Task> {
+        let x = t.attr("x").unwrap();
+        ["y1", "y2", "y3"]
+            .iter()
+            .map(|name| {
+                let target = t.attr(name).unwrap();
+                Task {
+                    config: DiscoveryConfig::new(vec![x], target, 0.5),
+                    space: PredicateGen::binary(7).generate(t, &[x], target, 1),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = table();
+        let ts = tasks(&t);
+        let seq = discover_all(&t, &t.all_rows(), &ts, 1);
+        let par = discover_all(&t, &t.all_rows(), &ts, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.rules.len(), p.rules.len());
+            for (rs, rp) in s.rules.rules().iter().zip(p.rules.rules()) {
+                assert_eq!(rs.condition(), rp.condition());
+            }
+        }
+    }
+
+    #[test]
+    fn all_targets_covered_and_accurate() {
+        let t = table();
+        let results = discover_all(&t, &t.all_rows(), &tasks(&t), 3);
+        for r in results {
+            let d = r.unwrap();
+            assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+            let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+            assert!(rep.rmse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let t = table();
+        let results = discover_all(&t, &t.all_rows(), &tasks(&t)[..1], 8);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_ok());
+    }
+}

@@ -1,0 +1,658 @@
+//! Algorithm 1: CRR searching with model sharing.
+//!
+//! The implementation follows the paper's pseudo-code line by line; the
+//! mapping is noted inline. Key behaviours:
+//!
+//! * **Sharing before training** (lines 7–10): every partition first tries
+//!   the pool `ℱ` of already-trained models with the midrange shift
+//!   `δ₀ = (max r + min r)/2` of Proposition 6 — the minimizer of the
+//!   maximum absolute residual, so it is the *only* shift that needs
+//!   testing.
+//! * **Sharing-index ordering** (line 12 + §V-A3): failed partitions
+//!   record `ind(C)`, the best fraction of tuples any pooled model covers
+//!   within `ρ_M`; children inherit it as queue priority, so
+//!   likely-shareable conditions surface first.
+//! * **Coverage guarantee** (§V-A2): partitions that cannot be split
+//!   further (too small, or no predicate separates them) accept their best
+//!   model even when its bias exceeds `ρ_M` — down to the constant-per-
+//!   tuple edge case.
+
+use crate::{DiscoveryConfig, DiscoveryError, PredicateSpace, QueueOrder, Result, SplitStrategy};
+use crr_core::{Conjunction, Crr, Dnf, RuleSet};
+use crr_data::{AttrType, RowSet, Table};
+use crr_models::{fit_model, Model, Regressor, Translation};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters describing one discovery run — the raw material of the paper's
+/// learning-time and #rules plots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiscoveryStats {
+    /// New models trained (line 13 executions).
+    pub models_trained: usize,
+    /// Partitions satisfied by a pooled model (lines 7–10 hits).
+    pub models_shared: usize,
+    /// Conjunctions popped from the queue.
+    pub partitions_explored: usize,
+    /// Partitions accepted with bias above `ρ_M` to preserve coverage.
+    pub forced_accepts: usize,
+    /// Rows whose condition attributes were null — not coverable by any
+    /// split (only non-zero on tables with nulls outside the target).
+    pub uncoverable_rows: usize,
+    /// Wall-clock time of the run.
+    pub learning_time: Duration,
+}
+
+/// The outcome of [`discover`].
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// The discovered rules, in emission order.
+    pub rules: RuleSet,
+    /// Run counters.
+    pub stats: DiscoveryStats,
+}
+
+/// Priority-queue entry: a conjunction, its partition, and the predicates
+/// still available for splitting it.
+struct Entry {
+    /// Queue priority (see [`QueueOrder`]).
+    priority: f64,
+    /// Insertion sequence — deterministic tie-break.
+    seq: u64,
+    conj: Conjunction,
+    rows: RowSet,
+    /// Indices into the predicate space usable for further splits.
+    avail: Vec<u32>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on priority; FIFO on ties (lower seq first).
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Queue priority of a child carrying its parent's sharing index.
+fn priority_for(order: QueueOrder, ind: f64, seq: u64) -> f64 {
+    match order {
+        QueueOrder::Decrease => ind,
+        QueueOrder::Increase => -ind,
+        QueueOrder::Random(seed) => {
+            // Deterministic hash of (seq, seed) in [0, 1).
+            let h = seq
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Runs Algorithm 1 over `rows` of `table`.
+///
+/// Returns a rule set covering every row whose condition attributes are
+/// present (Problem 1's coverage requirement), plus run statistics.
+pub fn discover(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> Result<Discovery> {
+    // Reflexivity (Proposition 1): refuse trivial targets.
+    if cfg.inputs.contains(&cfg.target) {
+        return Err(DiscoveryError::TrivialTarget);
+    }
+    if !table.schema().attribute(cfg.target).ty().is_numeric() {
+        return Err(DiscoveryError::NonNumericTarget(
+            table.schema().attribute(cfg.target).name().to_string(),
+        ));
+    }
+    // Definition 1: no predicates on Y.
+    if space.mentions(cfg.target) {
+        return Err(DiscoveryError::PredicateOnTarget);
+    }
+    if rows.is_empty() {
+        return Err(DiscoveryError::EmptyInstance);
+    }
+
+    let start = Instant::now();
+    let mut stats = DiscoveryStats::default();
+    let mut rules = RuleSet::new();
+    // Line 2: the shared model pool ℱ.
+    let mut pool: Vec<Arc<Model>> = Vec::new();
+    let min_partition = cfg.effective_min_partition();
+
+    // Global fallback for partitions with no usable (X, Y) pairs at all.
+    let global_fallback = global_midrange(table, cfg, rows);
+
+    // Line 3: the queue starts from the most general condition C = ∅.
+    let mut seq = 0u64;
+    let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+    queue.push(Entry {
+        priority: priority_for(cfg.order, 0.0, 0),
+        seq: 0,
+        conj: Conjunction::top(),
+        rows: rows.clone(),
+        avail: (0..space.len() as u32).collect(),
+    });
+
+    // Line 4: main loop.
+    while let Some(entry) = queue.pop() {
+        stats.partitions_explored += 1;
+        let Entry { conj, rows, avail, .. } = entry;
+        if rows.is_empty() {
+            continue;
+        }
+
+        // Fit-ready subset: rows with every input and the target present.
+        let fit_rows = table.complete_rows(&cfg.inputs, cfg.target, &rows);
+        if fit_rows.is_empty() {
+            // Nothing to validate against; cover with the global fallback
+            // constant so prediction still answers here.
+            let model = Arc::new(Model::Constant(crr_models::ConstantModel::new(
+                global_fallback,
+                cfg.inputs.len(),
+            )));
+            rules.push(Crr::new(
+                cfg.inputs.clone(),
+                cfg.target,
+                model,
+                cfg.rho_max,
+                Dnf::single(conj),
+            )?);
+            stats.forced_accepts += 1;
+            continue;
+        }
+        let xs: Vec<Vec<f64>> = fit_rows
+            .iter()
+            .map(|r| {
+                cfg.inputs
+                    .iter()
+                    .map(|&a| table.value_f64(r, a).expect("complete row"))
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = fit_rows
+            .iter()
+            .map(|r| table.value_f64(r, cfg.target).expect("complete row"))
+            .collect();
+
+        // Lines 7–10: try to share a pooled model, and in the same pass
+        // compute the sharing index ind(C) (line 12).
+        let mut ind = 0.0f64;
+        let mut shared: Option<(Arc<Model>, f64, f64)> = None; // (f, rho, delta)
+        if cfg.share_models {
+            for f in &pool {
+                let (delta0, max_dev, frac) = share_fit(f.as_ref(), &xs, &y, cfg.rho_max);
+                ind = ind.max(frac);
+                if max_dev <= cfg.rho_max {
+                    shared = Some((Arc::clone(f), max_dev, delta0));
+                    break;
+                }
+            }
+        }
+        if let Some((f, rho, delta)) = shared {
+            // Line 9: C := C ∧ (y = δ).
+            let mut conj = conj;
+            if delta.abs() > 1e-12 {
+                conj.compose_builtin(
+                    &Translation::output_shift(cfg.inputs.len(), delta),
+                    cfg.inputs.len(),
+                );
+            }
+            rules.push(Crr::new(
+                cfg.inputs.clone(),
+                cfg.target,
+                f,
+                rho,
+                Dnf::single(conj),
+            )?);
+            stats.models_shared += 1;
+            continue;
+        }
+
+        // Line 13: train a new model on D_C.
+        let model = fit_model(&xs, &y, &cfg.fit)?;
+        stats.models_trained += 1;
+        let rho = crr_models::max_abs_residual(&model, &xs, &y);
+
+        // Line 14: does it generalize to the whole partition within ρ_M?
+        let splittable = fit_rows.len() > min_partition && !avail.is_empty();
+        if rho <= cfg.rho_max || !splittable {
+            if rho > cfg.rho_max {
+                stats.forced_accepts += 1;
+            }
+            let f = Arc::new(model);
+            pool.push(Arc::clone(&f)); // line 17
+            rules.push(Crr::new(
+                cfg.inputs.clone(),
+                cfg.target,
+                f,
+                rho,
+                Dnf::single(conj),
+            )?);
+            continue;
+        }
+
+        // Lines 19–22: split the condition. The failed model's residuals
+        // feed the default (model-tree) split criterion.
+        let residuals: Vec<(usize, f64)> = fit_rows
+            .iter()
+            .zip(xs.iter().zip(&y))
+            .map(|(r, (x, &t))| (r, t - model.predict(x)))
+            .collect();
+        match choose_split(table, &rows, cfg, space, &avail, &residuals) {
+            Some(split_idx) => {
+                let p = space.predicates()[split_idx as usize].clone();
+                let np = p.negate();
+                let yes = rows.filter(|r| p.eval(table, r));
+                let no = rows.filter(|r| np.eval(table, r));
+                // Rows satisfying neither side have a null condition
+                // attribute; no condition can ever select them.
+                stats.uncoverable_rows += rows.len() - yes.len() - no.len();
+                let child_avail: Vec<u32> =
+                    avail.iter().copied().filter(|&i| i != split_idx).collect();
+                for (child_conj, child_rows) in
+                    [(conj.and(p), yes), (conj.and(np), no)]
+                {
+                    if child_rows.is_empty() {
+                        continue;
+                    }
+                    seq += 1;
+                    queue.push(Entry {
+                        priority: priority_for(cfg.order, ind, seq),
+                        seq,
+                        conj: child_conj,
+                        rows: child_rows,
+                        avail: child_avail.clone(),
+                    });
+                }
+            }
+            None => {
+                // No predicate separates this partition: accept for
+                // coverage (the §V-A2 edge case).
+                let f = Arc::new(model);
+                pool.push(Arc::clone(&f));
+                rules.push(Crr::new(
+                    cfg.inputs.clone(),
+                    cfg.target,
+                    f,
+                    rho,
+                    Dnf::single(conj),
+                )?);
+                stats.forced_accepts += 1;
+            }
+        }
+    }
+
+    stats.learning_time = start.elapsed();
+    Ok(Discovery { rules, stats })
+}
+
+/// Proposition 6's shared-fit test for one pooled model: returns
+/// `(δ₀, max |r − δ₀|, fraction of rows within ρ_M of f + δ₀)`.
+fn share_fit(f: &Model, xs: &[Vec<f64>], y: &[f64], rho_max: f64) -> (f64, f64, f64) {
+    debug_assert!(!xs.is_empty());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut residuals = Vec::with_capacity(xs.len());
+    for (x, &t) in xs.iter().zip(y) {
+        let r = t - f.predict(x);
+        lo = lo.min(r);
+        hi = hi.max(r);
+        residuals.push(r);
+    }
+    let delta0 = (lo + hi) / 2.0;
+    let mut max_dev = 0.0f64;
+    let mut within = 0usize;
+    for r in &residuals {
+        let dev = (r - delta0).abs();
+        max_dev = max_dev.max(dev);
+        if dev <= rho_max {
+            within += 1;
+        }
+    }
+    (delta0, max_dev, within as f64 / residuals.len() as f64)
+}
+
+/// Midrange of the target over the whole instance — the last-resort
+/// constant for partitions with no complete rows.
+fn global_midrange(table: &Table, cfg: &DiscoveryConfig, rows: &RowSet) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows.iter() {
+        if let Some(v) = table.value_f64(r, cfg.target) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo.is_finite() {
+        (lo + hi) / 2.0
+    } else {
+        0.0
+    }
+}
+
+/// Line 19: pick the split predicate among the available ones.
+///
+/// Only *separating* predicates qualify (both sides non-empty — this is
+/// what bounds the search tree at one leaf per tuple). `BestResidual`
+/// (default) scores each candidate by the weighted variance of the parent
+/// model's residuals per side — the model-tree criterion that surfaces
+/// regime attributes; `BestVariance` is the raw CART criterion \[9\].
+fn choose_split(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+    avail: &[u32],
+    residuals: &[(usize, f64)],
+) -> Option<u32> {
+    let target = cfg.target;
+    let is_numeric_target = table.schema().attribute(target).ty() != AttrType::Str;
+    debug_assert!(is_numeric_target);
+    // Evaluate at most max_split_candidates, spread evenly over `avail`.
+    let stride = (avail.len() / cfg.max_split_candidates.max(1)).max(1);
+    let mut best: Option<(f64, u32)> = None;
+    for &idx in avail.iter().step_by(stride) {
+        let p = &space.predicates()[idx as usize];
+        if matches!(cfg.split, SplitStrategy::FirstApplicable) {
+            // Cheap separation check only.
+            let yes = rows.iter().filter(|&r| p.eval(table, r)).count();
+            if yes > 0 && yes < rows.len() {
+                return Some(idx);
+            }
+            continue;
+        }
+        // Single pass: sum/sum-of-squares accumulation per side, over the
+        // scored quantity chosen by the strategy.
+        let (mut n1, mut s1, mut q1) = (0usize, 0.0f64, 0.0f64);
+        let (mut n2, mut s2, mut q2) = (0usize, 0.0f64, 0.0f64);
+        match cfg.split {
+            SplitStrategy::BestResidual => {
+                for &(r, resid) in residuals {
+                    if p.eval(table, r) {
+                        n1 += 1;
+                        s1 += resid;
+                        q1 += resid * resid;
+                    } else {
+                        n2 += 1;
+                        s2 += resid;
+                        q2 += resid * resid;
+                    }
+                }
+            }
+            _ => {
+                for r in rows.iter() {
+                    let Some(v) = table.value_f64(r, target) else { continue };
+                    if p.eval(table, r) {
+                        n1 += 1;
+                        s1 += v;
+                        q1 += v * v;
+                    } else {
+                        n2 += 1;
+                        s2 += v;
+                        q2 += v * v;
+                    }
+                }
+            }
+        }
+        if n1 == 0 || n2 == 0 {
+            continue; // not separating
+        }
+        let var = |n: usize, s: f64, q: f64| {
+            let m = s / n as f64;
+            (q / n as f64 - m * m).max(0.0)
+        };
+        let score = (n1 as f64 * var(n1, s1, q1) + n2 as f64 * var(n2, s2, q2))
+            / (n1 + n2) as f64;
+        if best.map_or(true, |(b, _)| score < b) {
+            best = Some((score, idx));
+        }
+    }
+    if best.is_none() && stride > 1 {
+        // The strided sample missed every separating predicate (small
+        // partitions need fine constants). Coverage quality beats split
+        // cost here: the space's sorted-constant lookup finds one in
+        // O(|rows| + log |P|). (Predicates consumed on this path never
+        // separate their own descendants, so skipping the avail filter is
+        // safe — a non-separating pick is simply rejected upstream.)
+        return space.separating_candidate(table, rows);
+    }
+    best.map(|(_, idx)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredicateGen;
+    use crr_core::LocateStrategy;
+    use crr_data::{Schema, Value};
+    use crr_models::ModelKind;
+
+    /// y = x on x < 100; y = x - 50 on x >= 100 (same slope: shareable).
+    fn two_segment_table() -> Table {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..200 {
+            let x = i as f64;
+            let y = if x < 100.0 { x } else { x - 50.0 };
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        t
+    }
+
+    fn cfg_for(t: &Table) -> DiscoveryConfig {
+        DiscoveryConfig::new(
+            vec![t.attr("x").unwrap()],
+            t.attr("y").unwrap(),
+            0.5,
+        )
+    }
+
+    fn space_for(t: &Table, per_attr: usize) -> PredicateSpace {
+        PredicateGen::binary(per_attr).generate(
+            t,
+            &[t.attr("x").unwrap()],
+            t.attr("y").unwrap(),
+            0,
+        )
+    }
+
+    #[test]
+    fn discovers_and_shares_the_segment_model() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let space = space_for(&t, 7);
+        let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        // Coverage (Problem 1).
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+        // Exact piecewise-linear data: error ~ 0.
+        let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+        assert!(rep.rmse < 1e-9, "rmse {}", rep.rmse);
+        // The second segment reuses the first segment's model via sharing:
+        // fewer distinct models than rules, and at least one shared hit.
+        assert!(d.stats.models_shared >= 1, "stats: {:?}", d.stats);
+        assert!(
+            d.rules.num_distinct_models() < d.rules.len(),
+            "{} models for {} rules",
+            d.rules.num_distinct_models(),
+            d.rules.len()
+        );
+        // The shared rule carries a y = -50 built-in.
+        let shared_rule = d
+            .rules
+            .rules()
+            .iter()
+            .find(|r| r.uses_translation())
+            .expect("a translated rule");
+        // Its built-in shift is the inter-segment offset (±50, which side
+        // depends on which segment trained first).
+        let b = shared_rule.condition().conjuncts()[0].builtin().unwrap();
+        assert!((b.delta_y.abs() - 50.0).abs() < 0.5 + 1e-9, "delta_y {}", b.delta_y);
+    }
+
+    #[test]
+    fn sharing_disabled_trains_more_models() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t).with_sharing(false);
+        let space = space_for(&t, 7);
+        let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        assert!(d.stats.models_shared == 0);
+        assert!(d.stats.models_trained >= 2);
+        // Still accurate and covering.
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+        let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+        assert!(rep.rmse < 1e-9);
+    }
+
+    #[test]
+    fn all_rho_respected_or_forced() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let space = space_for(&t, 7);
+        let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        // Every rule's rho is honest: no violation on its own partition.
+        for rule in d.rules.rules() {
+            assert!(rule.find_violation(&t, &t.all_rows()).is_none());
+        }
+    }
+
+    #[test]
+    fn trivial_target_rejected() {
+        let t = two_segment_table();
+        let y = t.attr("y").unwrap();
+        let cfg = DiscoveryConfig::new(vec![y], y, 0.5);
+        assert!(matches!(
+            discover(&t, &t.all_rows(), &cfg, &PredicateSpace::default()),
+            Err(DiscoveryError::TrivialTarget)
+        ));
+    }
+
+    #[test]
+    fn predicate_on_target_rejected() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let space = PredicateSpace::from_predicates(vec![crr_core::Predicate::ge(
+            t.attr("y").unwrap(),
+            Value::Float(0.0),
+        )]);
+        assert!(matches!(
+            discover(&t, &t.all_rows(), &cfg, &space),
+            Err(DiscoveryError::PredicateOnTarget)
+        ));
+    }
+
+    #[test]
+    fn empty_space_forces_single_rule() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let d = discover(&t, &t.all_rows(), &cfg, &PredicateSpace::default()).unwrap();
+        // Cannot split: one rule covering everything, bias above rho_max.
+        assert_eq!(d.rules.len(), 1);
+        assert_eq!(d.stats.forced_accepts, 1);
+        assert!(d.rules.rules()[0].rho() > cfg.rho_max);
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn single_row_instance_gets_exact_constant() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let one = RowSet::from_indices(vec![7]);
+        let d = discover(&t, &one, &cfg, &space_for(&t, 3)).unwrap();
+        assert_eq!(d.rules.len(), 1);
+        assert_eq!(d.rules.rules()[0].rho(), 0.0);
+        assert_eq!(d.rules.predict(&t, 7, LocateStrategy::First), Some(7.0));
+    }
+
+    #[test]
+    fn orders_explore_differently_but_agree_on_coverage() {
+        let t = two_segment_table();
+        let space = space_for(&t, 7);
+        for order in [
+            QueueOrder::Decrease,
+            QueueOrder::Increase,
+            QueueOrder::Random(3),
+        ] {
+            let cfg = cfg_for(&t).with_order(order);
+            let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+            assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty(), "{order:?}");
+            let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+            assert!(rep.rmse < 1e-9, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn mlp_family_discovers_with_y_only_sharing() {
+        let t = two_segment_table();
+        let mut cfg = cfg_for(&t).with_kind(ModelKind::Mlp);
+        cfg.rho_max = 20.0; // MLPs are approximate; allow slack
+        cfg.fit.mlp.epochs = 150;
+        let space = space_for(&t, 3);
+        let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+        for rule in d.rules.rules() {
+            if let Some(b) = rule.condition().conjuncts()[0].builtin() {
+                assert!(b.delta_x.iter().all(|&dx| dx == 0.0), "MLP shares y only");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let space = space_for(&t, 7);
+        let a = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        let b = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        assert_eq!(a.rules.len(), b.rules.len());
+        for (ra, rb) in a.rules.rules().iter().zip(b.rules.rules()) {
+            assert_eq!(ra.condition(), rb.condition());
+            assert_eq!(ra.rho(), rb.rho());
+        }
+    }
+
+    #[test]
+    fn noisy_data_within_rho_uses_one_rule() {
+        // Bounded noise 0.2 < rho_max 0.5: a single model suffices.
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..100 {
+            let x = i as f64;
+            let n = if i % 2 == 0 { 0.2 } else { -0.2 };
+            t.push_row(vec![Value::Float(x), Value::Float(2.0 * x + n)]).unwrap();
+        }
+        let cfg = cfg_for(&t);
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.rules.len(), 1);
+        assert!(d.rules.rules()[0].rho() <= 0.5);
+    }
+
+    #[test]
+    fn share_fit_computes_midrange() {
+        let f = Model::Linear(crr_models::LinearModel::new(vec![1.0], 0.0));
+        let xs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        // y = x + 3 exactly: residuals all 3.
+        let y: Vec<f64> = xs.iter().map(|x| x[0] + 3.0).collect();
+        let (d0, dev, frac) = share_fit(&f, &xs, &y, 0.5);
+        assert_eq!(d0, 3.0);
+        assert_eq!(dev, 0.0);
+        assert_eq!(frac, 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// This is the workhorse behind the normal-equation solvers used by the F1
+/// (linear) and F2 (ridge) regression models: the Gram matrix `XᵀX (+ λI)`
+/// is symmetric positive (semi-)definite and small, so Cholesky is both the
+/// fastest and the most numerically appropriate choice.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive (within a relative tolerance), which callers use as the
+    /// signal to fall back to QR or to add ridge regularization.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (rows, cols) = a.shape();
+        if rows != cols {
+            return Err(LinalgError::NotSquare { rows, cols });
+        }
+        let n = rows;
+        let mut l = Matrix::zeros(n, n);
+        // Relative tolerance scaled by the largest diagonal entry, so that a
+        // well-conditioned matrix of tiny magnitude still factors.
+        let scale = (0..n).fold(0.0f64, |m, i| m.max(a[(i, i)].abs())).max(1.0);
+        let tol = scale * 1e-12;
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b` using the factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_identity() {
+        let c = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert_eq!(c.l(), &Matrix::identity(3));
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.l()[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((c.l()[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((c.l()[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn tiny_magnitude_matrix_still_factors() {
+        let mut a = Matrix::identity(2);
+        a.scale(1e-8);
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve(&[1e-8, 2e-8]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,36 @@
+//! Small dense linear-algebra substrate for the CRR regression models.
+//!
+//! The regression functions of the paper (F1 linear, F2 ridge, F3 MLP) only
+//! need dense matrices of modest size — the design matrix of one data
+//! partition — so this crate implements exactly that: a row-major [`Matrix`],
+//! Cholesky and Householder-QR factorizations, and least-squares solvers on
+//! top of them. Everything is written against `f64`.
+//!
+//! # Example
+//!
+//! ```
+//! use crr_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = 2x + 1 exactly from three points.
+//! let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = lstsq(&a, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-9 && (beta[1] - 2.0).abs() < 1e-9);
+//! ```
+
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+mod solve;
+mod stats;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use solve::{lstsq, ridge_normal_equations, solve_cholesky};
+pub use stats::{dot, mean, norm2, variance};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, LinalgError>;

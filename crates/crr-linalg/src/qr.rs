@@ -1,0 +1,192 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization `A = Q R` of an `m x n` matrix with `m >= n`.
+///
+/// QR is the numerically robust path for least squares when the Gram matrix
+/// is near-singular (collinear features, tiny partitions during CRR
+/// discovery). The factorization stores the Householder vectors in the
+/// lower triangle of the working matrix and applies `Qᵀ` implicitly, so `Q`
+/// is never materialized.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: `R` in the upper triangle, Householder vectors
+    /// below the diagonal.
+    packed: Matrix,
+    /// Householder scalars `tau_k`.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a`. Requires `a.rows() >= a.cols()`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut w = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += w[(i, k)] * w[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if w[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = w[(k, k)] - alpha;
+            // v = (v0, w[k+1..m, k]); normalize so v[0] = 1.
+            let mut vnorm2 = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm2 += w[(i, k)] * w[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            tau[k] = 2.0 * v0 * v0 / vnorm2;
+            let inv_v0 = 1.0 / v0;
+            for i in (k + 1)..m {
+                w[(i, k)] *= inv_v0;
+            }
+            w[(k, k)] = alpha;
+            // Apply the reflector to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = w[(k, j)];
+                for i in (k + 1)..m {
+                    s += w[(i, k)] * w[(i, j)];
+                }
+                s *= tau[k];
+                w[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = w[(i, k)];
+                    w[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { packed: w, tau })
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` for the factored
+    /// matrix. Returns [`LinalgError::Singular`] when `R` has a zero pivot.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply Qᵀ to b, reflector by reflector.
+        let mut qtb = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = qtb[k];
+            for i in (k + 1)..m {
+                s += self.packed[(i, k)] * qtb[i];
+            }
+            s *= self.tau[k];
+            qtb[k] -= s;
+            for i in (k + 1)..m {
+                qtb[i] -= s * self.packed[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀ b)[..n].
+        let scale = (0..n)
+            .fold(0.0f64, |acc, i| acc.max(self.packed[(i, i)].abs()))
+            .max(1.0);
+        let tol = scale * 1e-13;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let r = self.packed[(i, i)];
+            if r.abs() <= tol {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / r;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < tol, "got {got:?}, want {want:?}");
+        }
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = [3.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // y = 1 + 2x with an outlier-free exact fit on 4 points.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ]);
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy fit: verify that the QR solution satisfies the normal
+        // equations Aᵀ(Ax - b) = 0.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5],
+            &[1.0, 1.5],
+            &[1.0, 2.5],
+            &[1.0, 3.5],
+            &[1.0, 4.5],
+        ]);
+        let b = [0.9, 2.2, 2.8, 4.1, 5.2];
+        let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, y)| p - y).collect();
+        let grad = a.t_matvec(&resid).unwrap();
+        for g in grad {
+            assert!(g.abs() < 1e-10, "normal equations violated: {g}");
+        }
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_column_detected_on_solve() {
+        // Second column identical to the first => rank deficient.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+    }
+}

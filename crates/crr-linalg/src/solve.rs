@@ -1,0 +1,102 @@
+use crate::{Cholesky, LinalgError, Matrix, Qr, Result};
+
+/// Solves the least-squares problem `min ||A x - b||`.
+///
+/// Strategy: normal equations via Cholesky first (fast path, dominant cost
+/// is the Gram product which is cache-friendly), falling back to Householder
+/// QR when the Gram matrix is not numerically positive definite. This is the
+/// standard trade-off for the small, mostly well-conditioned design matrices
+/// produced during CRR discovery.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lstsq",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    if a.rows() < a.cols() {
+        return Err(LinalgError::Underdetermined { rows: a.rows(), cols: a.cols() });
+    }
+    let gram = a.gram();
+    let aty = a.t_matvec(b)?;
+    match Cholesky::factor(&gram).and_then(|c| c.solve(&aty)) {
+        Ok(x) => Ok(x),
+        Err(_) => Qr::factor(a)?.solve(b),
+    }
+}
+
+/// Solves the ridge-regularized normal equations
+/// `(AᵀA + λI) x = Aᵀ b` with `λ > 0`.
+///
+/// With a strictly positive `λ` the system is always positive definite, so
+/// Cholesky cannot fail for finite inputs.
+pub fn ridge_normal_equations(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut gram = a.gram();
+    gram.add_diagonal(lambda);
+    let aty = a.t_matvec(b)?;
+    Cholesky::factor(&gram)?.solve(&aty)
+}
+
+/// Solves `A x = b` for a symmetric positive-definite `A` via Cholesky.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Cholesky::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstsq_exact_line() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [3.0, 5.0, 7.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_falls_back_to_qr_on_collinear_columns() {
+        // Perfectly collinear columns make the Gram matrix singular; the QR
+        // fallback then reports Singular instead of returning garbage.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let b = [3.0, 3.0, 3.0];
+        let ols = lstsq(&a, &b).unwrap();
+        let ridge = ridge_normal_equations(&a, &b, 3.0).unwrap();
+        assert!((ols[0] - 3.0).abs() < 1e-9);
+        // (3 + 3) x = 9 => x = 1.5.
+        assert!((ridge[0] - 1.5).abs() < 1e-9);
+        assert!(ridge[0].abs() < ols[0].abs());
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let x = ridge_normal_equations(&a, &[1.0, 2.0, 3.0], 1e-3).unwrap();
+        // The regularized solution exists and is finite.
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = Matrix::zeros(3, 2);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

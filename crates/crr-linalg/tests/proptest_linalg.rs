@@ -1,0 +1,121 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use crr_linalg::{lstsq, ridge_normal_equations, Cholesky, Matrix, Qr};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled matrix with `rows >= cols`, entries in [-10, 10].
+fn tall_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_cols, 0..=max_rows).prop_flat_map(move |(cols, extra)| {
+        let rows = cols + extra;
+        prop::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (Aᵀ)ᵀ = A.
+    #[test]
+    fn transpose_involution(a in tall_matrix(6, 4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// gram() agrees with the explicit AᵀA product.
+    #[test]
+    fn gram_matches_explicit_product(a in tall_matrix(6, 4)) {
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// A least-squares solution satisfies the normal equations.
+    #[test]
+    fn lstsq_satisfies_normal_equations(a in tall_matrix(8, 3)) {
+        let b: Vec<f64> = (0..a.rows()).map(|i| (i as f64).sin() * 5.0).collect();
+        if let Ok(x) = lstsq(&a, &b) {
+            let ax = a.matvec(&x).unwrap();
+            let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, y)| p - y).collect();
+            let grad = a.t_matvec(&resid).unwrap();
+            let scale = a.max_abs().max(1.0);
+            for g in grad {
+                prop_assert!(g.abs() < 1e-6 * scale * scale, "gradient {g}");
+            }
+        }
+    }
+
+    /// Cholesky of A'A + I always succeeds and reconstructs the input.
+    #[test]
+    fn cholesky_reconstructs(a in tall_matrix(6, 4)) {
+        let mut g = a.gram();
+        g.add_diagonal(1.0);
+        let c = Cholesky::factor(&g).unwrap();
+        let l = c.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                prop_assert!((llt[(i, j)] - g[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// QR least squares and the normal-equation path agree on
+    /// well-conditioned problems.
+    #[test]
+    fn qr_and_cholesky_paths_agree(a in tall_matrix(8, 3)) {
+        let b: Vec<f64> = (0..a.rows()).map(|i| i as f64 - 2.0).collect();
+        let qr = Qr::factor(&a).unwrap();
+        match (qr.solve(&b), lstsq(&a, &b)) {
+            (Ok(x1), Ok(x2)) => {
+                // Both claim to minimize the residual; compare the residual
+                // norms rather than the coefficients (which can differ when
+                // nearly collinear).
+                let r1: f64 = a.matvec(&x1).unwrap().iter().zip(&b).map(|(p, y)| (p - y).powi(2)).sum();
+                let r2: f64 = a.matvec(&x2).unwrap().iter().zip(&b).map(|(p, y)| (p - y).powi(2)).sum();
+                prop_assert!((r1 - r2).abs() <= 1e-6 * (1.0 + r1.max(r2)));
+            }
+            // Rank-deficient randoms may legitimately fail on either path.
+            _ => {}
+        }
+    }
+
+    /// Ridge with λ > 0 always produces a finite solution.
+    #[test]
+    fn ridge_always_finite(a in tall_matrix(6, 3)) {
+        let b: Vec<f64> = (0..a.rows()).map(|i| i as f64).collect();
+        let x = ridge_normal_equations(&a, &b, 0.5).unwrap();
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    /// matvec is linear: A(u + v) = Au + Av.
+    #[test]
+    fn matvec_linearity(a in tall_matrix(5, 3), seed in 0u64..1000) {
+        let n = a.cols();
+        let u: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((seed + 3 + i as u64) % 5) as f64).collect();
+        let sum: Vec<f64> = u.iter().zip(&v).map(|(x, y)| x + y).collect();
+        let lhs = a.matvec(&sum).unwrap();
+        let au = a.matvec(&u).unwrap();
+        let av = a.matvec(&v).unwrap();
+        for (l, (x, y)) in lhs.iter().zip(au.iter().zip(&av)) {
+            prop_assert!((l - (x + y)).abs() < 1e-9);
+        }
+    }
+
+    /// Solving with the identity returns b itself.
+    #[test]
+    fn identity_solve_is_identity(b in vector(4)) {
+        let x = Cholesky::factor(&Matrix::identity(4)).unwrap().solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use crate::{ModelError, Regressor, Result};
+
+/// A constant prediction `f(X) = c`.
+///
+/// Constant rules appear naturally in the paper's data — e.g. φ₂'s
+/// `Latitude = 60.10` during the bird's summer residence — and are also the
+/// guaranteed-coverage fallback for partitions too small to fit anything
+/// richer (§V-A2's VC-dimension edge case: a single tuple always admits the
+/// constant `f = t.Y` with ρ = 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantModel {
+    value: f64,
+    /// Expected input arity (the model ignores the inputs but keeps the
+    /// arity so translation detection can align weight vectors).
+    num_inputs: usize,
+    zero_weights: Vec<f64>,
+}
+
+impl ConstantModel {
+    /// Creates a constant model over `num_inputs` features.
+    pub fn new(value: f64, num_inputs: usize) -> Self {
+        ConstantModel { value, num_inputs, zero_weights: vec![0.0; num_inputs] }
+    }
+
+    /// Fits the midrange constant `(max y + min y) / 2`, which minimizes the
+    /// maximum absolute residual — the metric CRR biases are measured in.
+    pub fn fit(y: &[f64], num_inputs: usize) -> Result<Self> {
+        if y.is_empty() {
+            return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite);
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in y {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Ok(ConstantModel::new((lo + hi) / 2.0, num_inputs))
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// All-zero weight vector for the affine view.
+    pub(crate) fn zero_weights(&self) -> &[f64] {
+        &self.zero_weights
+    }
+}
+
+impl Regressor for ConstantModel {
+    fn predict(&self, _x: &[f64]) -> f64 {
+        self.value
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_is_midrange() {
+        let m = ConstantModel::fit(&[1.0, 5.0, 2.0], 1).unwrap();
+        assert_eq!(m.value(), 3.0);
+        assert_eq!(m.predict(&[999.0]), 3.0);
+    }
+
+    #[test]
+    fn midrange_minimizes_max_residual() {
+        let y = [1.0, 5.0, 2.0];
+        let m = ConstantModel::fit(&y, 1).unwrap();
+        let max_res =
+            y.iter().map(|v| (v - m.value()).abs()).fold(0.0, f64::max);
+        // Midrange residual is (max-min)/2 = 2; the mean (8/3) would give 7/3.
+        assert_eq!(max_res, 2.0);
+    }
+
+    #[test]
+    fn empty_fit_fails() {
+        assert!(matches!(
+            ConstantModel::fit(&[], 1),
+            Err(ModelError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(ConstantModel::fit(&[f64::NAN], 1), Err(ModelError::NonFinite));
+    }
+}

@@ -1,0 +1,145 @@
+use crate::{ConstantModel, LinearModel, MlpModel, Model, ModelError, Result, RidgeModel};
+
+pub use crate::mlp::MlpHyper as MlpConfig;
+
+/// Which basic model family to fit — the paper's F1/F2/F3 (§VI-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// F1: ordinary least squares.
+    Linear,
+    /// F2: ridge regression.
+    Ridge,
+    /// F3: MLP regressor.
+    Mlp,
+}
+
+impl ModelKind {
+    /// All three families, in paper order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Linear, ModelKind::Ridge, ModelKind::Mlp];
+
+    /// Paper label (F1/F2/F3).
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Linear => "F1",
+            ModelKind::Ridge => "F2",
+            ModelKind::Mlp => "F3",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::Linear => write!(f, "linear"),
+            ModelKind::Ridge => write!(f, "ridge"),
+            ModelKind::Mlp => write!(f, "mlp"),
+        }
+    }
+}
+
+/// Configuration for [`fit_model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitConfig {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Ridge penalty (F2 only).
+    pub ridge_lambda: f64,
+    /// MLP hyper-parameters (F3 only).
+    pub mlp: MlpConfig,
+}
+
+impl FitConfig {
+    /// Defaults for a family: `λ = 1.0` for ridge, [`MlpConfig::default`]
+    /// for the MLP.
+    pub fn new(kind: ModelKind) -> Self {
+        FitConfig { kind, ridge_lambda: 1.0, mlp: MlpConfig::default() }
+    }
+
+    /// Minimum samples the family needs for `d` features before the
+    /// discovery algorithm should even attempt a fit — the VC-dimension
+    /// guard of §V-A2. Below this, discovery falls back to a constant.
+    pub fn min_samples(&self, d: usize) -> usize {
+        match self.kind {
+            ModelKind::Linear => d + 1,
+            ModelKind::Ridge => 1,
+            ModelKind::Mlp => 4,
+        }
+    }
+}
+
+/// Fits one model of the configured family.
+///
+/// Partitions too small for the family fall back to the midrange constant —
+/// the paper's guaranteed-coverage edge case ("any tuple could learn a
+/// regression model", §V-A2) — rather than failing discovery.
+pub fn fit_model(xs: &[Vec<f64>], y: &[f64], cfg: &FitConfig) -> Result<Model> {
+    if xs.len() != y.len() {
+        return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+    }
+    if y.is_empty() {
+        return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let d = xs[0].len();
+    if xs.len() < cfg.min_samples(d) || d == 0 {
+        return Ok(Model::Constant(ConstantModel::fit(y, d)?));
+    }
+    let fitted = match cfg.kind {
+        ModelKind::Linear => LinearModel::fit(xs, y).map(Model::Linear),
+        ModelKind::Ridge => RidgeModel::fit(xs, y, cfg.ridge_lambda).map(Model::Ridge),
+        ModelKind::Mlp => MlpModel::fit(xs, y, &cfg.mlp).map(Model::Mlp),
+    };
+    match fitted {
+        Ok(m) => Ok(m),
+        // Singular designs (duplicated points, collinear features) still
+        // must produce *a* model for coverage; fall back to the constant.
+        Err(ModelError::Solver(_)) => Ok(Model::Constant(ConstantModel::fit(y, d)?)),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    #[test]
+    fn fits_each_family() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 1.2 * x[0] + 3.0).collect();
+        for kind in ModelKind::ALL {
+            let m = fit_model(&xs, &y, &FitConfig::new(kind)).unwrap();
+            assert_eq!(m.num_inputs(), 1);
+            assert!(m.predict(&[2.0]).is_finite());
+        }
+    }
+
+    #[test]
+    fn single_tuple_falls_back_to_constant_with_zero_bias() {
+        let m = fit_model(&[vec![10.0]], &[42.0], &FitConfig::new(ModelKind::Linear)).unwrap();
+        assert!(matches!(m, Model::Constant(_)));
+        assert_eq!(m.predict(&[10.0]), 42.0);
+    }
+
+    #[test]
+    fn singular_design_falls_back_to_constant() {
+        // All x identical: OLS design is singular.
+        let xs = vec![vec![1.0]; 5];
+        let y = [2.0, 4.0, 6.0, 2.0, 4.0];
+        let m = fit_model(&xs, &y, &FitConfig::new(ModelKind::Linear)).unwrap();
+        assert!(matches!(m, Model::Constant(_)));
+        assert_eq!(m.predict(&[1.0]), 4.0); // midrange of [2,6]
+    }
+
+    #[test]
+    fn zero_features_is_constant() {
+        let m = fit_model(&[vec![], vec![]], &[1.0, 3.0], &FitConfig::new(ModelKind::Ridge))
+            .unwrap();
+        assert_eq!(m.predict(&[]), 2.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ModelKind::Linear.label(), "F1");
+        assert_eq!(ModelKind::Mlp.to_string(), "mlp");
+    }
+}

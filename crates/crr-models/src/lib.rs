@@ -1,0 +1,77 @@
+//! Regression models for conditional regression rules.
+//!
+//! The paper evaluates CRR discovery with three basic model families
+//! (§VI-A3): **F1** ordinary linear regression, **F2** ridge regression and
+//! **F3** a multi-layer-perceptron regressor. All three are implemented here
+//! from scratch on top of [`crr_linalg`], together with a constant model
+//! (rules like `Latitude = 60.10` in the paper's Example 2 are constant
+//! predictions) and, crucially, *translation detection*: deciding whether
+//! two fitted models satisfy `f₂(X) = f₁(X + Δ) + δ`, the premise of the
+//! Translation inference rule (Proposition 5).
+//!
+//! The linear family (F1/F2/constant) supports full `(Δ, δ)` translations;
+//! the MLP supports only output shifts `y = δ`, exactly the restriction
+//! stated in the paper for F3.
+//!
+//! # Example
+//!
+//! ```
+//! use crr_models::{fit_model, FitConfig, ModelKind, Regressor};
+//!
+//! // Two noiseless lines with the same slope, different intercepts.
+//! let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+//! let y1: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+//! let y2: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 6.0).collect();
+//! let cfg = FitConfig::new(ModelKind::Linear);
+//! let f1 = fit_model(&xs, &y1, &cfg).unwrap();
+//! let f2 = fit_model(&xs, &y2, &cfg).unwrap();
+//! // f2(X) = f1(X) + 5: a pure y-translation.
+//! let t = f1.translation_to(&f2, 1e-6).unwrap();
+//! assert!(t.delta_x.iter().all(|&d| d == 0.0));
+//! assert!((t.delta_y - 5.0).abs() < 1e-6);
+//! assert!((f1.predict(&[3.0]) - 7.0).abs() < 1e-9);
+//! ```
+
+mod constant;
+mod error;
+mod fit;
+mod linear;
+mod mlp;
+mod model;
+mod ridge;
+
+pub use constant::ConstantModel;
+pub use error::ModelError;
+pub use fit::{fit_model, FitConfig, MlpConfig, ModelKind};
+pub use linear::LinearModel;
+pub use mlp::MlpModel;
+pub use model::{Model, Regressor, Translation};
+pub use ridge::RidgeModel;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Root-mean-square error of `model` over `(xs, y)` pairs.
+pub fn rmse(model: &dyn Regressor, xs: &[Vec<f64>], y: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = xs
+        .iter()
+        .zip(y)
+        .map(|(x, &t)| {
+            let e = model.predict(x) - t;
+            e * e
+        })
+        .sum();
+    (sse / xs.len() as f64).sqrt()
+}
+
+/// Maximum absolute residual of `model` over `(xs, y)` pairs — the bias `ρ`
+/// the paper attaches to every CRR (§III-A4).
+pub fn max_abs_residual(model: &dyn Regressor, xs: &[Vec<f64>], y: &[f64]) -> f64 {
+    xs.iter()
+        .zip(y)
+        .map(|(x, &t)| (model.predict(x) - t).abs())
+        .fold(0.0, f64::max)
+}

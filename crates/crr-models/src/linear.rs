@@ -1,0 +1,136 @@
+use crate::{ModelError, Regressor, Result};
+use crr_linalg::{lstsq, Matrix};
+
+/// F1: ordinary least-squares linear regression `f(X) = w·X + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+/// Builds the design matrix `[1 | X]` from feature rows.
+pub(crate) fn design_matrix(xs: &[Vec<f64>]) -> Result<Matrix> {
+    let d = xs.first().map_or(0, Vec::len);
+    let mut data = Vec::with_capacity(xs.len() * (d + 1));
+    for row in xs {
+        if row.len() != d {
+            return Err(ModelError::InconsistentFeatures { expected: d, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite);
+        }
+        data.push(1.0);
+        data.extend_from_slice(row);
+    }
+    Ok(Matrix::from_vec(xs.len(), d + 1, data))
+}
+
+impl LinearModel {
+    /// Creates a model from explicit parameters.
+    pub fn new(weights: Vec<f64>, intercept: f64) -> Self {
+        LinearModel { weights, intercept }
+    }
+
+    /// Fits by least squares. Requires at least `d + 1` samples for `d`
+    /// features (the linear family's VC dimension, §V-A2).
+    pub fn fit(xs: &[Vec<f64>], y: &[f64]) -> Result<Self> {
+        if xs.len() != y.len() {
+            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+        }
+        let d = xs.first().map_or(0, Vec::len);
+        if xs.len() < d + 1 {
+            return Err(ModelError::TooFewSamples { needed: d + 1, got: xs.len() });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite);
+        }
+        let a = design_matrix(xs)?;
+        let beta = lstsq(&a, y)?;
+        Ok(LinearModel { intercept: beta[0], weights: beta[1..].to_vec() })
+    }
+
+    /// Weight vector `w`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Intercept `b`.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.intercept + crr_linalg::dot(&self.weights, x)
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0).collect();
+        let m = LinearModel::fit(&xs, &y).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-9);
+        assert!((m.intercept() + 2.0).abs() < 1e-9);
+        assert!((m.predict(&[10.0]) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_multivariate_plane() {
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![(i % 3) as f64, (i / 3) as f64])
+            .collect();
+        let y: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x[0] - 0.5 * x[1]).collect();
+        let m = LinearModel::fit(&xs, &y).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-9);
+        assert!((m.weights()[1] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_points_determine_a_line() {
+        let m = LinearModel::fit(&[vec![0.0], vec![2.0]], &[1.0, 5.0]).unwrap();
+        assert!((m.predict(&[1.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert!(matches!(
+            LinearModel::fit(&[vec![1.0, 2.0]], &[1.0]),
+            Err(ModelError::TooFewSamples { needed: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn ragged_features_rejected() {
+        assert!(matches!(
+            LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(ModelError::InconsistentFeatures { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            LinearModel::fit(&[vec![1.0]], &[1.0, 2.0]),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(matches!(
+            LinearModel::fit(&[vec![f64::INFINITY], vec![0.0]], &[1.0, 2.0]),
+            Err(ModelError::NonFinite)
+        ));
+    }
+}

@@ -1,0 +1,306 @@
+use crate::{ModelError, Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training hyper-parameters for the MLP regressor (mirrors the defaults of
+/// scikit-learn's `MLPRegressor`, which the paper uses as F3, scaled down to
+/// the per-partition fits CRR discovery performs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpHyper {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Mini-batch size (clamped to the sample count).
+    pub batch: usize,
+    /// RNG seed for weight init and shuffling — fits are deterministic.
+    pub seed: u64,
+}
+
+impl Default for MlpHyper {
+    fn default() -> Self {
+        MlpHyper { hidden: 8, epochs: 200, learning_rate: 0.01, batch: 32, seed: 7 }
+    }
+}
+
+/// F3: a one-hidden-layer perceptron regressor
+/// `f(X) = w₂·tanh(W₁ X̃ + b₁) + b₂` over standardized inputs `X̃`.
+///
+/// Implemented from scratch (no ML crates): Adam on mean-squared error with
+/// mini-batches, deterministic given the seed. Only output shifts `y = δ`
+/// are detectable between two MLPs — the translation restriction the paper
+/// states for F3 (§VI-A3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpModel {
+    /// Hidden weights, row-major `hidden x d`.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    /// Input standardization: `x̃ = (x − mean) / std`.
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    d: usize,
+}
+
+impl MlpModel {
+    /// Fits the network on `(xs, y)` with the given hyper-parameters.
+    pub fn fit(xs: &[Vec<f64>], y: &[f64], hyper: &MlpHyper) -> Result<Self> {
+        if xs.len() != y.len() {
+            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+        }
+        if xs.is_empty() {
+            return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
+        }
+        let d = xs[0].len();
+        for row in xs {
+            if row.len() != d {
+                return Err(ModelError::InconsistentFeatures { expected: d, got: row.len() });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(ModelError::NonFinite);
+            }
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite);
+        }
+        let n = xs.len();
+        let h = hyper.hidden.max(1);
+
+        // Standardize inputs; degenerate (constant) features get std 1 so
+        // they standardize to 0 and the weight gradient for them vanishes.
+        let mut x_mean = vec![0.0; d];
+        let mut x_std = vec![0.0; d];
+        for j in 0..d {
+            let m = xs.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+            let v = xs.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / n as f64;
+            x_mean[j] = m;
+            x_std[j] = if v.sqrt() > 1e-12 { v.sqrt() } else { 1.0 };
+        }
+        let std_rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| r.iter().zip(0..d).map(|(v, j)| (v - x_mean[j]) / x_std[j]).collect())
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(hyper.seed);
+        let scale = (1.0 / d.max(1) as f64).sqrt();
+        let mut w1: Vec<f64> = (0..h * d).map(|_| rng.gen_range(-scale..scale)).collect();
+        let mut b1 = vec![0.0; h];
+        let hs = (1.0 / h as f64).sqrt();
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.gen_range(-hs..hs)).collect();
+        // Start the output bias at the target mean so early epochs learn the
+        // shape, not the offset.
+        let mut b2 = y.iter().sum::<f64>() / n as f64;
+
+        // Adam state.
+        let p = h * d + h + h + 1;
+        let (mut m1, mut m2) = (vec![0.0; p], vec![0.0; p]);
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+        let batch = hyper.batch.clamp(1, n);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut grad = vec![0.0; p];
+        let mut hidden_act = vec![0.0; h];
+        for _epoch in 0..hyper.epochs {
+            // Fisher–Yates shuffle with the fit RNG for determinism.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(batch) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                for &i in chunk {
+                    let x = &std_rows[i];
+                    // Forward pass.
+                    for k in 0..h {
+                        let z = b1[k] + crr_linalg::dot(&w1[k * d..(k + 1) * d], x);
+                        hidden_act[k] = z.tanh();
+                    }
+                    let pred = b2 + crr_linalg::dot(&w2, &hidden_act);
+                    let err = pred - y[i];
+                    // Backward pass (MSE gradient, factor 2 folded into lr).
+                    for k in 0..h {
+                        let g_out = err * hidden_act[k];
+                        grad[h * d + h + k] += g_out; // dL/dw2[k]
+                        let g_hidden = err * w2[k] * (1.0 - hidden_act[k] * hidden_act[k]);
+                        grad[h * d + k] += g_hidden; // dL/db1[k]
+                        for (gj, xj) in grad[k * d..(k + 1) * d].iter_mut().zip(x) {
+                            *gj += g_hidden * xj; // dL/dw1[k][j]
+                        }
+                    }
+                    grad[p - 1] += err; // dL/db2
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                step += 1;
+                let bc1 = 1.0 - beta1.powi(step as i32);
+                let bc2 = 1.0 - beta2.powi(step as i32);
+                let mut apply = |idx: usize, param: &mut f64| {
+                    let g = grad[idx] * inv;
+                    m1[idx] = beta1 * m1[idx] + (1.0 - beta1) * g;
+                    m2[idx] = beta2 * m2[idx] + (1.0 - beta2) * g * g;
+                    let mh = m1[idx] / bc1;
+                    let vh = m2[idx] / bc2;
+                    *param -= hyper.learning_rate * mh / (vh.sqrt() + eps);
+                };
+                for (idx, wp) in w1.iter_mut().enumerate() {
+                    apply(idx, wp);
+                }
+                for (k, bp) in b1.iter_mut().enumerate() {
+                    apply(h * d + k, bp);
+                }
+                for (k, wp) in w2.iter_mut().enumerate() {
+                    apply(h * d + h + k, wp);
+                }
+                apply(p - 1, &mut b2);
+            }
+        }
+        Ok(MlpModel { w1, b1, w2, b2, x_mean, x_std, d })
+    }
+
+    /// Output shift `δ` with `other(X) = self(X) + δ`: every parameter except
+    /// the output bias must agree within `tol` (including the input
+    /// standardization, or the hidden activations would differ).
+    pub fn output_shift_to(&self, other: &MlpModel, tol: f64) -> Option<f64> {
+        if self.d != other.d || self.w1.len() != other.w1.len() {
+            return None;
+        }
+        let close = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol);
+        if close(&self.w1, &other.w1)
+            && close(&self.b1, &other.b1)
+            && close(&self.w2, &other.w2)
+            && close(&self.x_mean, &other.x_mean)
+            && close(&self.x_std, &other.x_std)
+        {
+            Some(other.b2 - self.b2)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a copy with the output bias shifted by `delta_y` — the model
+    /// `f(X) + δ` that data-based sharing attaches a `y = δ` predicate for.
+    pub fn shifted(&self, delta_y: f64) -> MlpModel {
+        let mut m = self.clone();
+        m.b2 += delta_y;
+        m
+    }
+
+    /// Flattens all parameters (for rule serialization): returns
+    /// `(hidden_width, params)` where `params` is
+    /// `w1 ‖ b1 ‖ w2 ‖ [b2] ‖ x_mean ‖ x_std`.
+    pub fn flatten(&self) -> (usize, Vec<f64>) {
+        let mut p = Vec::with_capacity(self.w1.len() + 2 * self.b1.len() + 1 + 2 * self.d);
+        p.extend_from_slice(&self.w1);
+        p.extend_from_slice(&self.b1);
+        p.extend_from_slice(&self.w2);
+        p.push(self.b2);
+        p.extend_from_slice(&self.x_mean);
+        p.extend_from_slice(&self.x_std);
+        (self.b1.len(), p)
+    }
+
+    /// Rebuilds a model from [`MlpModel::flatten`] output.
+    pub fn from_flat(d: usize, hidden: usize, params: &[f64]) -> Result<Self> {
+        let expect = hidden * d + hidden + hidden + 1 + 2 * d;
+        if params.len() != expect {
+            return Err(ModelError::InconsistentFeatures { expected: expect, got: params.len() });
+        }
+        let mut it = params.iter().copied();
+        let mut take = |n: usize| -> Vec<f64> { it.by_ref().take(n).collect() };
+        let w1 = take(hidden * d);
+        let b1 = take(hidden);
+        let w2 = take(hidden);
+        let b2 = take(1)[0];
+        let x_mean = take(d);
+        let x_std = take(d);
+        Ok(MlpModel { w1, b1, w2, b2, x_mean, x_std, d })
+    }
+}
+
+impl Regressor for MlpModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.d);
+        let h = self.b1.len();
+        let mut out = self.b2;
+        for k in 0..h {
+            let mut z = self.b1[k];
+            for j in 0..self.d {
+                z += self.w1[k * self.d + j] * (x[j] - self.x_mean[j]) / self.x_std[j];
+            }
+            out += self.w2[k] * z.tanh();
+        }
+        out
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmse;
+
+    fn hyper() -> MlpHyper {
+        MlpHyper { hidden: 8, epochs: 300, learning_rate: 0.02, batch: 16, seed: 42 }
+    }
+
+    #[test]
+    fn learns_a_line() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 1.0).collect();
+        let m = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        assert!(rmse(&m, &xs, &y) < 0.3, "rmse {}", rmse(&m, &xs, &y));
+    }
+
+    #[test]
+    fn learns_a_nonlinearity() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 - 30.0) / 10.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let m = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        // A quadratic on [-3,3]; linear fit RMSE would be ~2.4.
+        assert!(rmse(&m, &xs, &y) < 1.0, "rmse {}", rmse(&m, &xs, &y));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
+        let a = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        let b = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_shift_detected_only_for_shifted_copy() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| x[0] * 0.5).collect();
+        let m = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        let shifted = m.shifted(3.0);
+        assert_eq!(m.output_shift_to(&shifted, 1e-12), Some(3.0));
+        assert!((shifted.predict(&[4.0]) - m.predict(&[4.0]) - 3.0).abs() < 1e-12);
+        // An independently trained net is not a recognized shift.
+        let y2: Vec<f64> = xs.iter().map(|x| x[0] * 0.25).collect();
+        let other = MlpModel::fit(&xs, &y2, &hyper()).unwrap();
+        assert_eq!(m.output_shift_to(&other, 1e-9), None);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![5.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let m = MlpModel::fit(&xs, &y, &hyper()).unwrap();
+        assert!(m.predict(&[5.0, 3.0]).is_finite());
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(MlpModel::fit(&[], &[], &hyper()).is_err());
+        assert!(MlpModel::fit(&[vec![1.0]], &[1.0, 2.0], &hyper()).is_err());
+        assert!(MlpModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0], &hyper()).is_err());
+    }
+}

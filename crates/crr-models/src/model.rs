@@ -1,0 +1,269 @@
+use crate::{ConstantModel, LinearModel, MlpModel, RidgeModel};
+use std::fmt;
+
+/// A fitted regression function `f : X → Y`.
+///
+/// Implementors are pure: `predict` has no side effects and is deterministic,
+/// which the rule semantics (`|t.Y − (f(t.X + x) + y)| ≤ ρ`) relies on.
+pub trait Regressor {
+    /// Predicts the target for one feature vector.
+    ///
+    /// `x.len()` must equal [`Regressor::num_inputs`].
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Dimensionality of the feature vector this model expects.
+    fn num_inputs(&self) -> usize;
+}
+
+/// A translation relating two models: `other(X) = self(X + Δ) + δ`
+/// (the premise of the paper's Translation inference, Proposition 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    /// Input shift `Δ`, one entry per feature.
+    pub delta_x: Vec<f64>,
+    /// Output shift `δ`.
+    pub delta_y: f64,
+}
+
+impl Translation {
+    /// The identity translation (`Δ = 0, δ = 0`) for `d` features.
+    pub fn identity(d: usize) -> Self {
+        Translation { delta_x: vec![0.0; d], delta_y: 0.0 }
+    }
+
+    /// A pure output shift `y = δ`.
+    pub fn output_shift(d: usize, delta_y: f64) -> Self {
+        Translation { delta_x: vec![0.0; d], delta_y }
+    }
+
+    /// True when both shifts are (exactly) zero.
+    pub fn is_identity(&self) -> bool {
+        self.delta_y == 0.0 && self.delta_x.iter().all(|&d| d == 0.0)
+    }
+
+    /// Composes translations per Proposition 9: applying `self` then `next`
+    /// yields `x = Δ' + Δ, y = δ' + δ`.
+    pub fn compose(&self, next: &Translation) -> Translation {
+        Translation {
+            delta_x: self
+                .delta_x
+                .iter()
+                .zip(&next.delta_x)
+                .map(|(a, b)| a + b)
+                .collect(),
+            delta_y: self.delta_y + next.delta_y,
+        }
+    }
+
+    /// The inverse translation (negate both shifts).
+    pub fn inverse(&self) -> Translation {
+        Translation {
+            delta_x: self.delta_x.iter().map(|d| -d).collect(),
+            delta_y: -self.delta_y,
+        }
+    }
+}
+
+/// A fitted model of any supported family.
+///
+/// A closed enum rather than a trait object because translation detection
+/// must inspect parameters structurally: two models can only be translations
+/// of each other within the same family (or within the affine family, which
+/// spans constant/linear/ridge).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// Constant prediction (e.g. `Latitude = 60.10` in Example 2).
+    Constant(ConstantModel),
+    /// F1: ordinary least-squares linear model.
+    Linear(LinearModel),
+    /// F2: ridge (L2-regularized) linear model.
+    Ridge(RidgeModel),
+    /// F3: multi-layer perceptron regressor.
+    Mlp(MlpModel),
+}
+
+impl Model {
+    /// Affine view `(weights, intercept)` for the linear family; `None` for
+    /// the MLP. Constants are affine with all-zero weights.
+    pub fn as_affine(&self) -> Option<(&[f64], f64)> {
+        match self {
+            Model::Constant(m) => Some((m.zero_weights(), m.value())),
+            Model::Linear(m) => Some((m.weights(), m.intercept())),
+            Model::Ridge(m) => Some((m.weights(), m.intercept())),
+            Model::Mlp(_) => None,
+        }
+    }
+
+    /// Short family name, for rule display and experiment reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Model::Constant(_) => "const",
+            Model::Linear(_) => "linear",
+            Model::Ridge(_) => "ridge",
+            Model::Mlp(_) => "mlp",
+        }
+    }
+
+    /// Detects a translation `other(X) = self(X + Δ) + δ`.
+    ///
+    /// Within the affine family the check is: equal weight vectors (within
+    /// `tol`), with the canonical witness `Δ = 0, δ = b_other − b_self`
+    /// (any `(Δ, δ)` with `w·Δ + δ = b_other − b_self` would do; the
+    /// canonical one keeps built-in predicates minimal). Two MLPs are
+    /// translations only when all hidden parameters agree within `tol`,
+    /// leaving an output shift — the `y = δ`-only sharing the paper allows
+    /// for F3.
+    pub fn translation_to(&self, other: &Model, tol: f64) -> Option<Translation> {
+        match (self.as_affine(), other.as_affine()) {
+            (Some((w1, b1)), Some((w2, b2))) => {
+                if w1.len() != w2.len() {
+                    return None;
+                }
+                if w1.iter().zip(w2).all(|(a, b)| (a - b).abs() <= tol) {
+                    Some(Translation::output_shift(w1.len(), b2 - b1))
+                } else {
+                    None
+                }
+            }
+            (None, None) => match (self, other) {
+                (Model::Mlp(m1), Model::Mlp(m2)) => m1
+                    .output_shift_to(m2, tol)
+                    .map(|dy| Translation::output_shift(m1.num_inputs(), dy)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Single-feature input-shift witness: for an affine model with slope
+    /// `w ≠ 0`, expresses `other` as `self(X + Δ)` with `δ = 0`
+    /// (`Δ = (b_other − b_self) / w`). This is the form of the paper's
+    /// bird-migration example `f₁(Date − 744) = Latitude` (φ₃).
+    pub fn input_translation_to(&self, other: &Model, tol: f64) -> Option<Translation> {
+        let (w1, b1) = self.as_affine()?;
+        let (w2, b2) = other.as_affine()?;
+        if w1.len() != 1 || w2.len() != 1 {
+            return None;
+        }
+        if (w1[0] - w2[0]).abs() > tol || w1[0].abs() <= tol {
+            return None;
+        }
+        Some(Translation { delta_x: vec![(b2 - b1) / w1[0]], delta_y: 0.0 })
+    }
+
+    /// Applies this model under a translation: `f(X + Δ) + δ`.
+    pub fn predict_translated(&self, x: &[f64], t: &Translation) -> f64 {
+        debug_assert_eq!(x.len(), t.delta_x.len());
+        if t.delta_x.iter().all(|&d| d == 0.0) {
+            return self.predict(x) + t.delta_y;
+        }
+        let shifted: Vec<f64> = x.iter().zip(&t.delta_x).map(|(a, b)| a + b).collect();
+        self.predict(&shifted) + t.delta_y
+    }
+}
+
+impl Regressor for Model {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Model::Constant(m) => m.predict(x),
+            Model::Linear(m) => m.predict(x),
+            Model::Ridge(m) => m.predict(x),
+            Model::Mlp(m) => m.predict(x),
+        }
+    }
+
+    fn num_inputs(&self) -> usize {
+        match self {
+            Model::Constant(m) => m.num_inputs(),
+            Model::Linear(m) => m.num_inputs(),
+            Model::Ridge(m) => m.num_inputs(),
+            Model::Mlp(m) => m.num_inputs(),
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_affine() {
+            Some((w, b)) => {
+                write!(f, "f(X) = ")?;
+                for (i, wi) in w.iter().enumerate() {
+                    if wi.abs() > 1e-12 {
+                        write!(f, "{wi:.4}*X{i} + ")?;
+                    }
+                }
+                write!(f, "{b:.4}")
+            }
+            None => write!(f, "mlp({} inputs)", self.num_inputs()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(w: f64, b: f64) -> Model {
+        Model::Linear(LinearModel::new(vec![w], b))
+    }
+
+    #[test]
+    fn affine_translation_same_slope() {
+        let f1 = line(2.0, 1.0);
+        let f2 = line(2.0, 6.0);
+        let t = f1.translation_to(&f2, 1e-9).unwrap();
+        assert_eq!(t, Translation::output_shift(1, 5.0));
+        // other(X) == self(X + Δ) + δ pointwise.
+        for x in [-3.0, 0.0, 1.5] {
+            assert!((f2.predict(&[x]) - f1.predict_translated(&[x], &t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn affine_translation_rejects_different_slope() {
+        assert!(line(2.0, 0.0).translation_to(&line(2.5, 0.0), 1e-9).is_none());
+    }
+
+    #[test]
+    fn input_shift_witness_matches_pointwise() {
+        let f1 = line(2.0, 1.0);
+        let f2 = line(2.0, 6.0);
+        let t = f1.input_translation_to(&f2, 1e-9).unwrap();
+        assert!((t.delta_x[0] - 2.5).abs() < 1e-12);
+        assert_eq!(t.delta_y, 0.0);
+        for x in [-3.0, 0.0, 1.5] {
+            assert!((f2.predict(&[x]) - f1.predict_translated(&[x], &t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_translates_to_constant() {
+        let c1 = Model::Constant(ConstantModel::new(60.1, 1));
+        let c2 = Model::Constant(ConstantModel::new(58.6, 1));
+        let t = c1.translation_to(&c2, 1e-9).unwrap();
+        assert!((t.delta_y - -1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_translates_to_flat_linear() {
+        let c = Model::Constant(ConstantModel::new(3.0, 1));
+        let flat = line(0.0, 5.0);
+        let t = c.translation_to(&flat, 1e-9).unwrap();
+        assert!((t.delta_y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        let a = Translation { delta_x: vec![1.0], delta_y: 2.0 };
+        let b = Translation { delta_x: vec![3.0], delta_y: -1.0 };
+        assert_eq!(a.compose(&b), Translation { delta_x: vec![4.0], delta_y: 1.0 });
+        assert!(a.compose(&a.inverse()).is_identity());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = line(0.04, -230.0).to_string();
+        assert!(s.contains("0.0400"), "{s}");
+        assert!(s.contains("-230"), "{s}");
+    }
+}

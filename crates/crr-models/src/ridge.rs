@@ -1,0 +1,145 @@
+use crate::linear::design_matrix;
+use crate::{ModelError, Regressor, Result};
+use crr_linalg::ridge_normal_equations;
+
+/// F2: ridge regression `f(X) = w·X + b` with L2 penalty `λ‖w‖²`.
+///
+/// The intercept is not penalized: features and target are centered before
+/// solving, and the intercept is recovered as `ȳ − w·x̄`. This matches the
+/// standard construction and keeps pure shifts of the data pure shifts of
+/// the model — which is what makes ridge models translatable (Proposition 5)
+/// the same way OLS models are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeModel {
+    weights: Vec<f64>,
+    intercept: f64,
+    lambda: f64,
+}
+
+impl RidgeModel {
+    /// Creates a model from explicit parameters.
+    pub fn new(weights: Vec<f64>, intercept: f64, lambda: f64) -> Self {
+        RidgeModel { weights, intercept, lambda }
+    }
+
+    /// Fits with penalty `lambda > 0`.
+    pub fn fit(xs: &[Vec<f64>], y: &[f64], lambda: f64) -> Result<Self> {
+        if xs.len() != y.len() {
+            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+        }
+        if xs.is_empty() {
+            return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFinite);
+        }
+        let d = xs[0].len();
+        // Validate shapes/finiteness via the shared design-matrix builder,
+        // then discard the intercept column: centering replaces it.
+        let _ = design_matrix(xs)?;
+        let n = xs.len() as f64;
+        let x_mean: Vec<f64> = (0..d)
+            .map(|j| xs.iter().map(|row| row[j]).sum::<f64>() / n)
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n;
+        let mut data = Vec::with_capacity(xs.len() * d);
+        for row in xs {
+            for (v, m) in row.iter().zip(&x_mean) {
+                data.push(v - m);
+            }
+        }
+        let xc = crr_linalg::Matrix::from_vec(xs.len(), d, data);
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let weights = if d == 0 {
+            Vec::new()
+        } else {
+            ridge_normal_equations(&xc, &yc, lambda.max(1e-12))?
+        };
+        let intercept = y_mean - crr_linalg::dot(&weights, &x_mean);
+        Ok(RidgeModel { weights, intercept, lambda })
+    }
+
+    /// Weight vector `w`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Intercept `b`.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The penalty used at fit time.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Regressor for RidgeModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.intercept + crr_linalg::dot(&self.weights, x)
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_lambda_approaches_ols() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+        let m = RidgeModel::fit(&xs, &y, 1e-9).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-4);
+        assert!((m.intercept() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn large_lambda_shrinks_weights_not_mean() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+        let m = RidgeModel::fit(&xs, &y, 1e6).unwrap();
+        assert!(m.weights()[0].abs() < 0.01);
+        // Prediction at the feature mean equals the target mean regardless
+        // of shrinkage (unpenalized intercept).
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((m.predict(&[4.5]) - y_mean).abs() < 0.1);
+    }
+
+    #[test]
+    fn handles_collinear_features() {
+        // OLS would be singular here; ridge is not.
+        let xs: Vec<Vec<f64>> =
+            (0..6).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
+        let m = RidgeModel::fit(&xs, &y, 0.01).unwrap();
+        assert!(m.weights().iter().all(|w| w.is_finite()));
+        assert!((m.predict(&[3.0, 6.0]) - 9.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn shifted_data_gives_translated_model() {
+        // Fit on y and on y + 7: same weights, intercept differs by 7 —
+        // the property Translation inference relies on.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y1: Vec<f64> = xs.iter().map(|x| 1.5 * x[0] + 0.3).collect();
+        let y2: Vec<f64> = y1.iter().map(|v| v + 7.0).collect();
+        let m1 = RidgeModel::fit(&xs, &y1, 0.1).unwrap();
+        let m2 = RidgeModel::fit(&xs, &y2, 0.1).unwrap();
+        assert!((m1.weights()[0] - m2.weights()[0]).abs() < 1e-9);
+        assert!((m2.intercept() - m1.intercept() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            RidgeModel::fit(&[], &[], 0.1),
+            Err(ModelError::TooFewSamples { .. })
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the regression models and translation
+//! detection — the algebraic laws compaction relies on.
+
+use crr_models::{
+    fit_model, ConstantModel, FitConfig, LinearModel, Model, ModelKind, Regressor,
+    RidgeModel, Translation,
+};
+use proptest::prelude::*;
+
+fn arb_affine() -> impl Strategy<Value = Model> {
+    prop_oneof![
+        (prop::collection::vec(-5.0f64..5.0, 1..3), -20.0f64..20.0)
+            .prop_map(|(w, b)| Model::Linear(LinearModel::new(w, b))),
+        (prop::collection::vec(-5.0f64..5.0, 1..3), -20.0f64..20.0)
+            .prop_map(|(w, b)| Model::Ridge(RidgeModel::new(w, b, 0.5))),
+        ((-20.0f64..20.0), 1usize..3)
+            .prop_map(|(v, d)| Model::Constant(ConstantModel::new(v, d))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every affine model is a translation of itself with Δ = δ = 0.
+    #[test]
+    fn translation_is_reflexive(m in arb_affine()) {
+        let t = m.translation_to(&m, 1e-12).unwrap();
+        prop_assert!(t.is_identity());
+    }
+
+    /// Translation witnesses are symmetric up to inversion:
+    /// if f₂ = f₁ ∘ t then f₁ = f₂ ∘ t⁻¹.
+    #[test]
+    fn translation_inverts(m in arb_affine(), dy in -30.0f64..30.0) {
+        // Build the shifted partner explicitly.
+        let shifted = match &m {
+            Model::Linear(l) => Model::Linear(LinearModel::new(l.weights().to_vec(), l.intercept() + dy)),
+            Model::Ridge(r) => Model::Ridge(RidgeModel::new(r.weights().to_vec(), r.intercept() + dy, r.lambda())),
+            Model::Constant(c) => Model::Constant(ConstantModel::new(c.value() + dy, c.num_inputs())),
+            Model::Mlp(_) => unreachable!(),
+        };
+        let fwd = m.translation_to(&shifted, 1e-9).unwrap();
+        let back = shifted.translation_to(&m, 1e-9).unwrap();
+        prop_assert!((fwd.delta_y - dy).abs() < 1e-9);
+        prop_assert!(fwd.compose(&back).is_identity() || (fwd.delta_y + back.delta_y).abs() < 1e-9);
+    }
+
+    /// The translated prediction identity holds pointwise:
+    /// predict_translated(x, t) == predict(x + Δ) + δ.
+    #[test]
+    fn predict_translated_identity(
+        m in arb_affine(),
+        dx in -10.0f64..10.0,
+        dy in -10.0f64..10.0,
+        x0 in -50.0f64..50.0,
+    ) {
+        let d = m.num_inputs();
+        let t = Translation { delta_x: vec![dx; d], delta_y: dy };
+        let x = vec![x0; d];
+        let shifted: Vec<f64> = x.iter().map(|v| v + dx).collect();
+        let got = m.predict_translated(&x, &t);
+        let want = m.predict(&shifted) + dy;
+        prop_assert!((got - want).abs() < 1e-9);
+    }
+
+    /// Linear least squares on exactly-affine data recovers the
+    /// generating parameters.
+    #[test]
+    fn linear_fit_recovers_exact_parameters(
+        w in -5.0f64..5.0,
+        b in -20.0f64..20.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| w * x[0] + b).collect();
+        let m = LinearModel::fit(&xs, &y).unwrap();
+        prop_assert!((m.weights()[0] - w).abs() < 1e-6);
+        prop_assert!((m.intercept() - b).abs() < 1e-5);
+    }
+
+    /// Fitting y + δ gives the same weights and a δ-shifted intercept, for
+    /// both linear families — the data-level fact behind Translation.
+    #[test]
+    fn shifting_targets_shifts_only_the_intercept(
+        w in -5.0f64..5.0,
+        b in -20.0f64..20.0,
+        dy in -30.0f64..30.0,
+        kind in prop_oneof![Just(ModelKind::Linear), Just(ModelKind::Ridge)],
+    ) {
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        let y1: Vec<f64> = xs.iter().map(|x| w * x[0] + b).collect();
+        let y2: Vec<f64> = y1.iter().map(|v| v + dy).collect();
+        let cfg = FitConfig::new(kind);
+        let m1 = fit_model(&xs, &y1, &cfg).unwrap();
+        let m2 = fit_model(&xs, &y2, &cfg).unwrap();
+        let t = m1.translation_to(&m2, 1e-6).unwrap();
+        prop_assert!((t.delta_y - dy).abs() < 1e-6, "delta {} vs {}", t.delta_y, dy);
+    }
+
+    /// The constant model's midrange fit minimizes max |residual| against
+    /// any alternative constant.
+    #[test]
+    fn midrange_is_minimax(values in prop::collection::vec(-100.0f64..100.0, 1..30), probe in -100.0f64..100.0) {
+        let m = ConstantModel::fit(&values, 1).unwrap();
+        let max_res = |c: f64| values.iter().map(|v| (v - c).abs()).fold(0.0, f64::max);
+        prop_assert!(max_res(m.value()) <= max_res(probe) + 1e-12);
+    }
+
+    /// Non-translatable pairs are rejected: different slopes never admit a
+    /// witness (beyond tolerance).
+    #[test]
+    fn different_slopes_never_translate(w1 in -5.0f64..5.0, w2 in -5.0f64..5.0, b in -5.0f64..5.0) {
+        prop_assume!((w1 - w2).abs() > 1e-3);
+        let m1 = Model::Linear(LinearModel::new(vec![w1], b));
+        let m2 = Model::Linear(LinearModel::new(vec![w2], b));
+        prop_assert!(m1.translation_to(&m2, 1e-6).is_none());
+    }
+}

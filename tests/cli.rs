@@ -1,0 +1,189 @@
+//! Integration tests for the `crr` CLI binary: the full
+//! generate → discover → show → evaluate → check → impute loop through
+//! real process invocations and CSV/rule files on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn crr_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_crr")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(crr_bin())
+        .args(args)
+        .output()
+        .expect("spawn crr binary")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crr-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmp dir");
+    dir.join(name)
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn full_cli_workflow() {
+    let data = tmp("tax.csv");
+    let rules = tmp("tax_rules.txt");
+    let repaired = tmp("tax_repaired.csv");
+
+    // generate
+    let out = run(&[
+        "generate",
+        "--dataset",
+        "tax",
+        "--rows",
+        "2000",
+        "--seed",
+        "5",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2000 rows"));
+
+    // discover
+    let out = run(&[
+        "discover",
+        "--input",
+        data.to_str().unwrap(),
+        "--target",
+        "tax",
+        "--features",
+        "salary",
+        "--conditions",
+        "state,salary",
+        "--rho",
+        "3.0",
+        "--predicates",
+        "8",
+        "--output",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("discovered"), "{text}");
+    assert!(text.contains("compacted"), "{text}");
+    assert!(rules.exists());
+
+    // show
+    let out = run(&[
+        "show",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("distinct models"));
+
+    // evaluate: full coverage, small error
+    let out = run(&[
+        "evaluate",
+        "--input",
+        data.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let eval = stdout(&out);
+    assert!(eval.contains("rows 2000 covered 2000"), "{eval}");
+
+    // check: generated data satisfies its own rules
+    let out = run(&[
+        "check",
+        "--input",
+        data.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 violations"), "{}", stdout(&out));
+
+    // impute: blank some tax cells by rewriting the CSV, then repair.
+    let csv_text = std::fs::read_to_string(&data).unwrap();
+    let mut lines: Vec<String> = csv_text.lines().map(String::from).collect();
+    let header: Vec<&str> = lines[0].split(',').collect();
+    let tax_col = header.iter().position(|&h| h == "tax").unwrap();
+    for line in lines.iter_mut().skip(1).step_by(10) {
+        let mut cells: Vec<&str> = line.split(',').collect();
+        cells[tax_col] = "";
+        *line = cells.join(",");
+    }
+    let gappy = tmp("tax_gaps.csv");
+    std::fs::write(&gappy, lines.join("\n") + "\n").unwrap();
+
+    let out = run(&[
+        "impute",
+        "--input",
+        gappy.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        "--target",
+        "tax",
+        "--output",
+        repaired.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("filled 200 of 200"), "{}", stdout(&out));
+
+    // The repaired file has no empty tax cells left.
+    let repaired_text = std::fs::read_to_string(&repaired).unwrap();
+    for line in repaired_text.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert!(!cells[tax_col].is_empty());
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    // No command.
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("commands:"));
+
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+
+    // Missing required flag.
+    let out = run(&["generate", "--dataset", "tax"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--rows") || stderr(&out).contains("missing"));
+
+    // Unknown dataset.
+    let out = run(&[
+        "generate",
+        "--dataset",
+        "nope",
+        "--rows",
+        "10",
+        "--output",
+        tmp("x.csv").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown dataset"));
+
+    // Bad flag syntax.
+    let out = run(&["discover", "input"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("expected --flag"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("discover"));
+    assert!(stdout(&out).contains("impute"));
+}
