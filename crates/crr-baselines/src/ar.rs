@@ -58,12 +58,18 @@ impl Ar {
             })
             .collect();
         if ordered.len() < p + 2 {
-            return Err(BaselineError::TooFewRows { needed: p + 2, got: ordered.len() });
+            return Err(BaselineError::TooFewRows {
+                needed: p + 2,
+                got: ordered.len(),
+            });
         }
         ordered.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let series: Vec<f64> = ordered.iter().map(|(_, _, y)| *y).collect();
-        let position: HashMap<usize, usize> =
-            ordered.iter().enumerate().map(|(pos, (_, r, _))| (*r, pos)).collect();
+        let position: HashMap<usize, usize> = ordered
+            .iter()
+            .enumerate()
+            .map(|(pos, (_, r, _))| (*r, pos))
+            .collect();
         // Design: rows t = p..n, features [1, y_{t-1}, ..., y_{t-p}].
         let n = series.len();
         let mut data = Vec::with_capacity((n - p) * (p + 1));
@@ -78,7 +84,12 @@ impl Ar {
         let a = Matrix::from_vec(n - p, p + 1, data);
         let coef = lstsq(&a, &rhs)
             .map_err(|e| BaselineError::Model(crr_models::ModelError::Solver(e.to_string())))?;
-        Ok(FittedAr { coef, order: p, position, series })
+        Ok(FittedAr {
+            coef,
+            order: p,
+            position,
+            series,
+        })
     }
 }
 
@@ -147,7 +158,8 @@ mod tests {
         let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for i in (0..30).rev() {
-            t.push_row(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
         }
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();
@@ -178,7 +190,8 @@ mod tests {
         let schema = Schema::new(vec![("t", AttrType::Int), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for (i, v) in vals.iter().enumerate() {
-            t.push_row(vec![Value::Int(i as i64), Value::Float(*v)]).unwrap();
+            t.push_row(vec![Value::Int(i as i64), Value::Float(*v)])
+                .unwrap();
         }
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();

@@ -84,8 +84,7 @@ pub fn evaluate_predictor(
     let mut sae = 0.0;
     let mut answered = 0usize;
     for row in rows.iter() {
-        let (Some(pred), Some(actual)) =
-            (p.predict_row(table, row), table.value_f64(row, target))
+        let (Some(pred), Some(actual)) = (p.predict_row(table, row), table.value_f64(row, target))
         else {
             continue;
         };
@@ -95,8 +94,16 @@ pub fn evaluate_predictor(
         sae += e.abs();
     }
     EvalSummary {
-        rmse: if answered > 0 { (sse / answered as f64).sqrt() } else { 0.0 },
-        mae: if answered > 0 { sae / answered as f64 } else { 0.0 },
+        rmse: if answered > 0 {
+            (sse / answered as f64).sqrt()
+        } else {
+            0.0
+        },
+        mae: if answered > 0 {
+            sae / answered as f64
+        } else {
+            0.0
+        },
         answered,
         total: rows.len(),
         eval_time: start.elapsed(),

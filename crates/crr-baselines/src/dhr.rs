@@ -24,7 +24,10 @@ pub struct DhrConfig {
 
 impl Default for DhrConfig {
     fn default() -> Self {
-        DhrConfig { period: 24.0, harmonics: 4 }
+        DhrConfig {
+            period: 24.0,
+            harmonics: 4,
+        }
     }
 }
 
@@ -65,12 +68,13 @@ impl Dhr {
         let cols = 2 + 2 * k;
         let pairs: Vec<(f64, f64)> = rows
             .iter()
-            .filter_map(|r| {
-                Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?))
-            })
+            .filter_map(|r| Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?)))
             .collect();
         if pairs.len() < cols {
-            return Err(BaselineError::TooFewRows { needed: cols, got: pairs.len() });
+            return Err(BaselineError::TooFewRows {
+                needed: cols,
+                got: pairs.len(),
+            });
         }
         let mut data = Vec::with_capacity(pairs.len() * cols);
         let mut rhs = Vec::with_capacity(pairs.len());
@@ -81,7 +85,12 @@ impl Dhr {
         let a = Matrix::from_vec(pairs.len(), cols, data);
         let coef = lstsq(&a, &rhs)
             .map_err(|e| BaselineError::Model(crr_models::ModelError::Solver(e.to_string())))?;
-        Ok(FittedDhr { coef, period: cfg.period, harmonics: k, time_attr })
+        Ok(FittedDhr {
+            coef,
+            period: cfg.period,
+            harmonics: k,
+            time_attr,
+        })
     }
 }
 
@@ -121,7 +130,8 @@ mod tests {
             let y = 3.0
                 + 0.01 * i as f64
                 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / period).cos();
-            t.push_row(vec![Value::Int(i as i64), Value::Float(y)]).unwrap();
+            t.push_row(vec![Value::Int(i as i64), Value::Float(y)])
+                .unwrap();
         }
         t
     }
@@ -131,8 +141,17 @@ mod tests {
         let t = sine_table(24.0, 240);
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();
-        let m = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 2 })
-            .unwrap();
+        let m = Dhr::fit(
+            &t,
+            &t.all_rows(),
+            time,
+            y,
+            &DhrConfig {
+                period: 24.0,
+                harmonics: 2,
+            },
+        )
+        .unwrap();
         let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
         assert!(s.rmse < 1e-8, "rmse {}", s.rmse);
         assert_eq!(m.num_rules(), 1);
@@ -143,8 +162,17 @@ mod tests {
         let t = sine_table(24.0, 240);
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();
-        let m = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 7.0, harmonics: 2 })
-            .unwrap();
+        let m = Dhr::fit(
+            &t,
+            &t.all_rows(),
+            time,
+            y,
+            &DhrConfig {
+                period: 7.0,
+                harmonics: 2,
+            },
+        )
+        .unwrap();
         let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
         assert!(s.rmse > 0.5, "rmse {}", s.rmse);
     }
@@ -156,14 +184,33 @@ mod tests {
         let mut t = Table::new(schema);
         for i in 0..240 {
             let y = if (i / 12) % 2 == 0 { 1.0 } else { -1.0 };
-            t.push_row(vec![Value::Int(i as i64), Value::Float(y)]).unwrap();
+            t.push_row(vec![Value::Int(i as i64), Value::Float(y)])
+                .unwrap();
         }
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();
-        let low = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 1 })
-            .unwrap();
-        let high = Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 7 })
-            .unwrap();
+        let low = Dhr::fit(
+            &t,
+            &t.all_rows(),
+            time,
+            y,
+            &DhrConfig {
+                period: 24.0,
+                harmonics: 1,
+            },
+        )
+        .unwrap();
+        let high = Dhr::fit(
+            &t,
+            &t.all_rows(),
+            time,
+            y,
+            &DhrConfig {
+                period: 24.0,
+                harmonics: 7,
+            },
+        )
+        .unwrap();
         let sl = evaluate_predictor(&low, &t, &t.all_rows(), y);
         let sh = evaluate_predictor(&high, &t, &t.all_rows(), y);
         assert!(sh.rmse < sl.rmse);
@@ -175,7 +222,16 @@ mod tests {
         let time = t.attr("t").unwrap();
         let y = t.attr("y").unwrap();
         assert!(matches!(
-            Dhr::fit(&t, &t.all_rows(), time, y, &DhrConfig { period: 24.0, harmonics: 4 }),
+            Dhr::fit(
+                &t,
+                &t.all_rows(),
+                time,
+                y,
+                &DhrConfig {
+                    period: 24.0,
+                    harmonics: 4
+                }
+            ),
             Err(BaselineError::TooFewRows { .. })
         ));
     }

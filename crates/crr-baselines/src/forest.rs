@@ -63,8 +63,9 @@ impl Forest {
         let take = ((all.len() as f64 * cfg.sample_frac) as usize).max(1);
         let mut trees = Vec::with_capacity(cfg.n_trees);
         for _ in 0..cfg.n_trees.max(1) {
-            let sample: Vec<u32> =
-                (0..take).map(|_| all[rng.gen_range(0..all.len())]).collect();
+            let sample: Vec<u32> = (0..take)
+                .map(|_| all[rng.gen_range(0..all.len())])
+                .collect();
             let sample_rows = RowSet::from_indices(sample);
             trees.push(RegTree::fit(
                 table,
@@ -130,8 +131,7 @@ mod tests {
         let t = table();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let f = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &ForestConfig::default())
-            .unwrap();
+        let f = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &ForestConfig::default()).unwrap();
         let s = evaluate_predictor(&f, &t, &t.all_rows(), y);
         assert!(s.rmse < 5.0, "rmse {}", s.rmse);
         // Rule blow-up: many more rules than the two regimes need.
@@ -149,7 +149,10 @@ mod tests {
             &[x],
             &[x],
             y,
-            &ForestConfig { n_trees: 2, ..Default::default() },
+            &ForestConfig {
+                n_trees: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let large = Forest::fit(
@@ -158,7 +161,10 @@ mod tests {
             &[x],
             &[x],
             y,
-            &ForestConfig { n_trees: 10, ..Default::default() },
+            &ForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(large.num_rules() > small.num_rules());
@@ -169,7 +175,10 @@ mod tests {
         let t = table();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let cfg = ForestConfig { n_trees: 4, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 4,
+            ..Default::default()
+        };
         let a = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
         let b = Forest::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
         assert_eq!(

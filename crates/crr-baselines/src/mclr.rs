@@ -29,7 +29,11 @@ pub struct MclrConfig {
 
 impl Default for MclrConfig {
     fn default() -> Self {
-        MclrConfig { mc_iters: 120, sample_frac: 0.5, seed: 23 }
+        MclrConfig {
+            mc_iters: 120,
+            sample_frac: 0.5,
+            seed: 23,
+        }
     }
 }
 
@@ -69,10 +73,17 @@ impl Mclr {
             }
             let xs: Vec<Vec<f64>> = complete
                 .iter()
-                .map(|r| inputs.iter().map(|&a| table.value_f64(r, a).unwrap()).collect())
+                .map(|r| {
+                    inputs
+                        .iter()
+                        .map(|&a| table.value_f64(r, a).unwrap())
+                        .collect()
+                })
                 .collect();
-            let y: Vec<f64> =
-                complete.iter().map(|r| table.value_f64(r, target).unwrap()).collect();
+            let y: Vec<f64> = complete
+                .iter()
+                .map(|r| table.value_f64(r, target).unwrap())
+                .collect();
             let n = xs.len();
             let d = inputs.len();
             let take = ((n as f64 * cfg.sample_frac) as usize).clamp((d + 1).min(n), n);
@@ -101,7 +112,11 @@ impl Mclr {
             }
             models.insert(code, best.expect("mc_iters >= 1").1);
         }
-        Ok(FittedMclr { models, stratify, inputs: inputs.to_vec() })
+        Ok(FittedMclr {
+            models,
+            stratify,
+            inputs: inputs.to_vec(),
+        })
     }
 }
 
@@ -142,7 +157,8 @@ mod tests {
             let g = if i % 2 == 0 { "a" } else { "b" };
             let x = (i / 2) as f64;
             let y = if g == "a" { x + 3.0 } else { 4.0 * x };
-            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)]).unwrap();
+            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)])
+                .unwrap();
         }
         t
     }
@@ -171,7 +187,11 @@ mod tests {
             &[x],
             Some(g),
             y,
-            &MclrConfig { mc_iters: 1, seed: 5, ..Default::default() },
+            &MclrConfig {
+                mc_iters: 1,
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let many = Mclr::fit(
@@ -180,7 +200,11 @@ mod tests {
             &[x],
             Some(g),
             y,
-            &MclrConfig { mc_iters: 50, seed: 5, ..Default::default() },
+            &MclrConfig {
+                mc_iters: 50,
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sf = evaluate_predictor(&few, &t, &t.all_rows(), y);

@@ -57,18 +57,18 @@ impl Recur {
     ) -> Result<FittedRecur> {
         let mut pairs: Vec<(f64, f64)> = rows
             .iter()
-            .filter_map(|r| {
-                Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?))
-            })
+            .filter_map(|r| Some((table.value_f64(r, time_attr)?, table.value_f64(r, target)?)))
             .collect();
         if pairs.len() < 4 {
-            return Err(BaselineError::TooFewRows { needed: 4, got: pairs.len() });
+            return Err(BaselineError::TooFewRows {
+                needed: 4,
+                got: pairs.len(),
+            });
         }
         pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Step-size statistics: a "reset" is a downward jump well outside
         // the typical step (two standard deviations below the mean step).
-        let steps: Vec<f64> =
-            pairs.windows(2).map(|w| w[1].1 - w[0].1).collect();
+        let steps: Vec<f64> = pairs.windows(2).map(|w| w[1].1 - w[0].1).collect();
         let step_mean = steps.iter().sum::<f64>() / steps.len() as f64;
         let step_var = steps
             .iter()
@@ -152,7 +152,8 @@ mod tests {
         let mut t = Table::new(schema);
         for i in 0..n {
             let phase = i % period;
-            t.push_row(vec![Value::Int(i as i64), Value::Float(phase as f64)]).unwrap();
+            t.push_row(vec![Value::Int(i as i64), Value::Float(phase as f64)])
+                .unwrap();
         }
         t
     }

@@ -45,7 +45,10 @@ impl Default for RegTreeConfig {
 impl RegTreeConfig {
     /// Config with the given leaf-model family.
     pub fn with_kind(kind: ModelKind) -> Self {
-        RegTreeConfig { fit: FitConfig::new(kind), ..Default::default() }
+        RegTreeConfig {
+            fit: FitConfig::new(kind),
+            ..Default::default()
+        }
     }
 }
 
@@ -98,8 +101,22 @@ impl RegTree {
             ));
         }
         let mut leaves = 0usize;
-        let root = build(table, rows, inputs, condition_attrs, target, cfg, 0, &mut leaves)?;
-        Ok(FittedRegTree { root, inputs: inputs.to_vec(), target, leaves })
+        let root = build(
+            table,
+            rows,
+            inputs,
+            condition_attrs,
+            target,
+            cfg,
+            0,
+            &mut leaves,
+        )?;
+        Ok(FittedRegTree {
+            root,
+            inputs: inputs.to_vec(),
+            target,
+            leaves,
+        })
     }
 }
 
@@ -122,9 +139,31 @@ fn build(
         if let Some((pred, yes_rows, no_rows)) =
             best_split(table, rows, condition_attrs, target, cfg)
         {
-            let yes = build(table, &yes_rows, inputs, condition_attrs, target, cfg, depth + 1, leaves)?;
-            let no = build(table, &no_rows, inputs, condition_attrs, target, cfg, depth + 1, leaves)?;
-            return Ok(Node::Split { pred, yes: Box::new(yes), no: Box::new(no) });
+            let yes = build(
+                table,
+                &yes_rows,
+                inputs,
+                condition_attrs,
+                target,
+                cfg,
+                depth + 1,
+                leaves,
+            )?;
+            let no = build(
+                table,
+                &no_rows,
+                inputs,
+                condition_attrs,
+                target,
+                cfg,
+                depth + 1,
+                leaves,
+            )?;
+            return Ok(Node::Split {
+                pred,
+                yes: Box::new(yes),
+                no: Box::new(no),
+            });
         }
     }
     // Leaf: fit the configured model family.
@@ -136,7 +175,10 @@ fn build(
     };
     let rho = max_abs_residual(&model, &xs, &y);
     *leaves += 1;
-    Ok(Node::Leaf { model: Arc::new(model), rho })
+    Ok(Node::Leaf {
+        model: Arc::new(model),
+        rho,
+    })
 }
 
 /// Best variance-reducing split over quantile thresholds / categories.
@@ -161,14 +203,15 @@ fn best_split(
                 .unwrap_or_default(),
             _ => {
                 let s = ColumnStats::compute(table, attr, rows);
-                let (Some(lo), Some(hi)) = (s.min, s.max) else { continue };
+                let (Some(lo), Some(hi)) = (s.min, s.max) else {
+                    continue;
+                };
                 if hi <= lo {
                     continue;
                 }
                 (1..=cfg.candidates_per_attr)
                     .map(|k| {
-                        let c = lo
-                            + (hi - lo) * k as f64 / (cfg.candidates_per_attr + 1) as f64;
+                        let c = lo + (hi - lo) * k as f64 / (cfg.candidates_per_attr + 1) as f64;
                         let v = match table.schema().attribute(attr).ty() {
                             AttrType::Int => Value::Int(c.round() as i64),
                             _ => Value::Float(c),
@@ -182,7 +225,9 @@ fn best_split(
             let (mut n1, mut s1, mut q1) = (0usize, 0.0f64, 0.0f64);
             let (mut n2, mut s2, mut q2) = (0usize, 0.0f64, 0.0f64);
             for r in rows.iter() {
-                let Some(v) = table.value_f64(r, target) else { continue };
+                let Some(v) = table.value_f64(r, target) else {
+                    continue;
+                };
                 if pred.eval(table, r) {
                     n1 += 1;
                     s1 += v;
@@ -343,7 +388,10 @@ mod tests {
         let t = table();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let cfg = RegTreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = RegTreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = RegTree::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
         assert_eq!(tree.num_rules(), 1);
     }
@@ -362,14 +410,21 @@ mod tests {
             // Group laws differ by level, so the categorical split is the
             // variance-optimal first cut.
             let y = if g == "a" { x } else { x + 100.0 };
-            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)]).unwrap();
+            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)])
+                .unwrap();
         }
         let g = t.attr("g").unwrap();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let tree =
-            RegTree::fit(&t, &t.all_rows(), &[x], &[g, x], y, &RegTreeConfig::default())
-                .unwrap();
+        let tree = RegTree::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            &[g, x],
+            y,
+            &RegTreeConfig::default(),
+        )
+        .unwrap();
         let s = evaluate_predictor(&tree, &t, &t.all_rows(), y);
         assert!(s.rmse < 1.0, "rmse {}", s.rmse);
     }
@@ -390,7 +445,10 @@ mod tests {
         let t = table();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let cfg = RegTreeConfig { min_leaf: 100, ..Default::default() };
+        let cfg = RegTreeConfig {
+            min_leaf: 100,
+            ..Default::default()
+        };
         let tree = RegTree::fit(&t, &t.all_rows(), &[x], &[x], y, &cfg).unwrap();
         // 200 rows, min_leaf 100: at most one split.
         assert!(tree.num_rules() <= 2);

@@ -31,7 +31,10 @@ impl Rr {
         if y.is_empty() {
             return Err(BaselineError::TooFewRows { needed: 1, got: 0 });
         }
-        Ok(FittedRr { model: fit_model(&xs, &y, cfg)?, inputs: inputs.to_vec() })
+        Ok(FittedRr {
+            model: fit_model(&xs, &y, cfg)?,
+            inputs: inputs.to_vec(),
+        })
     }
 
     /// Convenience: fit and return the inner model.
@@ -80,13 +83,22 @@ mod tests {
         let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for i in 0..50 {
-            t.push_row(vec![Value::Float(i as f64), Value::Float(3.0 * i as f64 + 1.0)])
-                .unwrap();
+            t.push_row(vec![
+                Value::Float(i as f64),
+                Value::Float(3.0 * i as f64 + 1.0),
+            ])
+            .unwrap();
         }
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let rr =
-            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)).unwrap();
+        let rr = Rr::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            y,
+            &FitConfig::new(ModelKind::Linear),
+        )
+        .unwrap();
         let s = evaluate_predictor(&rr, &t, &t.all_rows(), y);
         assert!(s.rmse < 1e-9);
         assert_eq!(rr.num_rules(), 1);
@@ -104,8 +116,14 @@ mod tests {
         }
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let rr =
-            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)).unwrap();
+        let rr = Rr::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            y,
+            &FitConfig::new(ModelKind::Linear),
+        )
+        .unwrap();
         let s = evaluate_predictor(&rr, &t, &t.all_rows(), y);
         assert!(s.rmse > 10.0, "rmse {}", s.rmse);
     }
@@ -117,7 +135,13 @@ mod tests {
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
         assert!(matches!(
-            Rr::fit(&t, &t.all_rows(), &[x], y, &FitConfig::new(ModelKind::Linear)),
+            Rr::fit(
+                &t,
+                &t.all_rows(),
+                &[x],
+                y,
+                &FitConfig::new(ModelKind::Linear)
+            ),
             Err(BaselineError::TooFewRows { .. })
         ));
     }

@@ -28,7 +28,11 @@ pub struct SampLrConfig {
 
 impl Default for SampLrConfig {
     fn default() -> Self {
-        SampLrConfig { resamples: 40, sample_frac: 0.6, seed: 17 }
+        SampLrConfig {
+            resamples: 40,
+            sample_frac: 0.6,
+            seed: 17,
+        }
     }
 }
 
@@ -70,13 +74,24 @@ impl SampLr {
             }
             let xs: Vec<Vec<f64>> = complete
                 .iter()
-                .map(|r| inputs.iter().map(|&a| table.value_f64(r, a).unwrap()).collect())
+                .map(|r| {
+                    inputs
+                        .iter()
+                        .map(|&a| table.value_f64(r, a).unwrap())
+                        .collect()
+                })
                 .collect();
-            let y: Vec<f64> =
-                complete.iter().map(|r| table.value_f64(r, target).unwrap()).collect();
+            let y: Vec<f64> = complete
+                .iter()
+                .map(|r| table.value_f64(r, target).unwrap())
+                .collect();
             models.insert(code, averaged_fit(&xs, &y, cfg, &mut rng)?);
         }
-        Ok(FittedSampLr { models, stratify, inputs: inputs.to_vec() })
+        Ok(FittedSampLr {
+            models,
+            stratify,
+            inputs: inputs.to_vec(),
+        })
     }
 }
 
@@ -107,12 +122,7 @@ pub(crate) fn stratify_rows(
 
 /// Bootstrap-averaged linear fit: the sampling loop that gives SampLR (and
 /// MCLR, with more iterations) its characteristic cost.
-fn averaged_fit(
-    xs: &[Vec<f64>],
-    y: &[f64],
-    cfg: &SampLrConfig,
-    rng: &mut StdRng,
-) -> Result<Model> {
+fn averaged_fit(xs: &[Vec<f64>], y: &[f64], cfg: &SampLrConfig, rng: &mut StdRng) -> Result<Model> {
     let n = xs.len();
     let d = xs.first().map_or(0, Vec::len);
     let take = ((n as f64 * cfg.sample_frac) as usize).clamp(d + 1, n);
@@ -188,7 +198,8 @@ mod tests {
             let g = if i % 2 == 0 { "a" } else { "b" };
             let x = (i / 2) as f64;
             let y = if g == "a" { 2.0 * x + 1.0 } else { -x + 10.0 };
-            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)]).unwrap();
+            t.push_row(vec![Value::str(g), Value::Float(x), Value::Float(y)])
+                .unwrap();
         }
         t
     }
@@ -199,8 +210,15 @@ mod tests {
         let g = t.attr("g").unwrap();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let m = SampLr::fit(&t, &t.all_rows(), &[x], Some(g), y, &SampLrConfig::default())
-            .unwrap();
+        let m = SampLr::fit(
+            &t,
+            &t.all_rows(),
+            &[x],
+            Some(g),
+            y,
+            &SampLrConfig::default(),
+        )
+        .unwrap();
         assert_eq!(m.num_rules(), 2);
         let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
         // Bootstrap averaging on noiseless data converges to the true line.
@@ -212,8 +230,7 @@ mod tests {
         let t = grouped_table();
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        let m =
-            SampLr::fit(&t, &t.all_rows(), &[x], None, y, &SampLrConfig::default()).unwrap();
+        let m = SampLr::fit(&t, &t.all_rows(), &[x], None, y, &SampLrConfig::default()).unwrap();
         assert_eq!(m.num_rules(), 1);
         // Mixed regimes with one model: visibly worse.
         let s = evaluate_predictor(&m, &t, &t.all_rows(), y);
@@ -240,8 +257,10 @@ mod tests {
         let t = Table::new(schema);
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
-        assert!(SampLr::fit(&t, &t.all_rows(), &[x], None, y, &SampLrConfig::default())
-            .map(|m| evaluate_predictor(&m, &t, &t.all_rows(), y).answered == 0)
-            .unwrap_or(true));
+        assert!(
+            SampLr::fit(&t, &t.all_rows(), &[x], None, y, &SampLrConfig::default())
+                .map(|m| evaluate_predictor(&m, &t, &t.all_rows(), y).answered == 0)
+                .unwrap_or(true)
+        );
     }
 }

@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     let rows = sc.rows();
 
     for share in [true, false] {
-        let opts = CrrOptions { share, predicates_per_attr: 63, ..Default::default() };
+        let opts = CrrOptions {
+            share,
+            predicates_per_attr: 63,
+            ..Default::default()
+        };
         g.bench_function(format!("discover_sharing_{share}"), |b| {
             b.iter(|| measure_crr(&sc, &rows, &opts))
         });
@@ -27,7 +31,10 @@ fn bench(c: &mut Criterion) {
         ("variance", SplitStrategy::BestVariance),
         ("first", SplitStrategy::FirstApplicable),
     ] {
-        let opts = CrrOptions { predicates_per_attr: 63, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: 63,
+            ..Default::default()
+        };
         let (mut cfg, space) = crr_inputs(&sc, &opts);
         cfg.split = split;
         g.bench_function(format!("discover_split_{label}"), |b| {
@@ -35,14 +42,21 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    let opts = CrrOptions { predicates_per_attr: 63, ..Default::default() };
+    let opts = CrrOptions {
+        predicates_per_attr: 63,
+        ..Default::default()
+    };
     let (_, rules) = measure_crr(&sc, &rows, &opts);
     g.bench_function("locate_scan", |b| {
         b.iter(|| rules.evaluate(sc.table(), &rows, LocateStrategy::First))
     });
     let index = RuleIndex::build(&rules, sc.table());
-    g.bench_function("locate_index", |b| b.iter(|| index.evaluate(sc.table(), &rows)));
-    g.bench_function("index_build", |b| b.iter(|| RuleIndex::build(&rules, sc.table())));
+    g.bench_function("locate_index", |b| {
+        b.iter(|| index.evaluate(sc.table(), &rows))
+    });
+    g.bench_function("index_build", |b| {
+        b.iter(|| RuleIndex::build(&rules, sc.table()))
+    });
     g.finish();
 }
 

@@ -31,7 +31,9 @@ fn bench(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..1_000).map(|i| vec![i as f64]).collect();
     let y: Vec<f64> = xs.iter().map(|x| 1.5 * x[0] + 2.0).collect();
     let cfg = FitConfig::new(ModelKind::Linear);
-    c.bench_function("linear_fit_1k", |b| b.iter(|| fit_model(&xs, &y, &cfg).unwrap()));
+    c.bench_function("linear_fit_1k", |b| {
+        b.iter(|| fit_model(&xs, &y, &cfg).unwrap())
+    });
 
     // Ridge fit on the same data.
     let ridge_cfg = FitConfig::new(ModelKind::Ridge);
@@ -40,7 +42,10 @@ fn bench(c: &mut Criterion) {
     });
 
     // Rule locating: a compacted rule set answering 10k predictions.
-    let opts = CrrOptions { predicates_per_attr: 63, ..Default::default() };
+    let opts = CrrOptions {
+        predicates_per_attr: 63,
+        ..Default::default()
+    };
     let (_, rules) = measure_crr(&sc, &rows, &opts);
     c.bench_function("ruleset_evaluate_10k", |b| {
         b.iter(|| rules.evaluate(table, &rows, LocateStrategy::First))

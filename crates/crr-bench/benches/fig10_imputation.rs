@@ -30,9 +30,10 @@ fn bench(c: &mut Criterion) {
 
     let mut masked = sc.table().clone();
     let plan = mask_random(&mut masked, sc.target, 0.1, 10);
-    g.bench_function(format!("impute_uncompacted_{}rules", uncompacted.len()), |b| {
-        b.iter(|| impute_with_rules(&masked, &uncompacted, &plan))
-    });
+    g.bench_function(
+        format!("impute_uncompacted_{}rules", uncompacted.len()),
+        |b| b.iter(|| impute_with_rules(&masked, &uncompacted, &plan)),
+    );
     g.bench_function(format!("impute_compacted_{}rules", compacted.len()), |b| {
         b.iter(|| impute_with_rules(&masked, &compacted, &plan))
     });

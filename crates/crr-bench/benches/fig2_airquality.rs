@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     for n in [500usize, 1_000, 2_000] {
         let sc = airquality_scenario(n, 2);
         let rows = sc.rows();
-        let opts = CrrOptions { predicates_per_attr: 127, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: 127,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
             b.iter(|| measure_crr(&sc, &rows, &opts))
         });

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         let sc = electricity_scenario(n, 3);
         let rows = sc.rows();
         g.throughput(Throughput::Elements(n as u64));
-        let opts = CrrOptions { predicates_per_attr: 255, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: 255,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
             b.iter(|| measure_crr(&sc, &rows, &opts))
         });

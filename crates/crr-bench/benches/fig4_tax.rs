@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     for n in [1_000usize, 3_000] {
         let sc = tax_scenario(n, 4);
         let rows = sc.rows();
-        let opts = CrrOptions { predicates_per_attr: 15, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: 15,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::new("CRR", n), &n, |b, _| {
             b.iter(|| measure_crr(&sc, &rows, &opts))
         });

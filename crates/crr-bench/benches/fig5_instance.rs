@@ -14,8 +14,11 @@ fn bench(c: &mut Criterion) {
     for n in [500usize, 1_000, 2_000] {
         let rows = sc.instance(n);
         for kind in [ModelKind::Linear, ModelKind::Ridge] {
-            let opts =
-                CrrOptions { kind, predicates_per_attr: 63, ..Default::default() };
+            let opts = CrrOptions {
+                kind,
+                predicates_per_attr: 63,
+                ..Default::default()
+            };
             g.bench_with_input(
                 BenchmarkId::new(format!("CRR-{}", kind.label()), n),
                 &n,

@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     let sc = birdmap_scenario(1_500, 6);
     let rows = sc.rows();
     for per_attr in [8usize, 32, 128, 512] {
-        let opts = CrrOptions { predicates_per_attr: per_attr, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: per_attr,
+            ..Default::default()
+        };
         g.bench_with_input(
             BenchmarkId::new("CRR-F1", 2 * per_attr),
             &per_attr,

@@ -38,11 +38,12 @@ fn bench(c: &mut Criterion) {
             .expect("regtree")
         })
     });
-    g.bench_function("tree_export", |b| b.iter(|| tree.to_ruleset().expect("export")));
+    g.bench_function("tree_export", |b| {
+        b.iter(|| tree.to_ruleset().expect("export"))
+    });
     g.bench_function("algorithm2_compact", |b| {
         b.iter(|| {
-            compact_on_data(&tree_rules, 0.2, sc.rho_max, sc.table(), &rows)
-                .expect("compaction")
+            compact_on_data(&tree_rules, 0.2, sc.rho_max, sc.table(), &rows).expect("compaction")
         })
     });
     g.finish();

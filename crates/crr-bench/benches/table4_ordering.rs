@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
         ("increase", QueueOrder::Increase),
         ("random", QueueOrder::Random(7)),
     ] {
-        let opts = CrrOptions { order, predicates_per_attr: 64, ..Default::default() };
+        let opts = CrrOptions {
+            order,
+            predicates_per_attr: 64,
+            ..Default::default()
+        };
         g.bench_function(name, |b| b.iter(|| measure_crr(&sc, &rows, &opts)));
     }
     g.finish();

@@ -5,18 +5,21 @@
 //! cargo run --release -p crr-bench --bin experiments -- all
 //! cargo run --release -p crr-bench --bin experiments -- fig2 fig9 table3
 //! cargo run --release -p crr-bench --bin experiments -- --scale 0.2 all
+//! cargo run --release -p crr-bench --bin experiments -- --time-budget 500 --max-fits 200 fig3
 //! ```
+//!
+//! `--time-budget <ms>` / `--max-fits <n>` bound every discovery run in
+//! the process; runs that trip the budget degrade gracefully (best-so-far
+//! rules, fallback constants for the rest) and log a `[budget]` note.
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets); the *shape* — who wins, by what factor, where
 //! crossovers fall — is what EXPERIMENTS.md records and compares.
 
-use crr_bench::*;
 use crr_baselines::{RegTree, RegTreeConfig};
+use crr_bench::*;
 use crr_core::LocateStrategy;
-use crr_datasets::{
-    abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig,
-};
+use crr_datasets::{abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig};
 use crr_discovery::{compact_on_data, discover, PredicateGen, QueueOrder};
 use crr_impute::{impute_with_rules, mask_random};
 use crr_models::ModelKind;
@@ -25,6 +28,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut budget = crr_discovery::Budget::unlimited();
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -35,13 +39,33 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--scale needs a number");
             }
+            "--time-budget" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-budget needs milliseconds");
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            "--max-fits" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-fits needs a count");
+                budget = budget.with_max_fits(n);
+            }
             other => experiments.push(other.to_string()),
         }
     }
+    if !budget.is_unlimited() {
+        // Every discovery run in this process degrades gracefully at the
+        // budget instead of running unbounded; degraded runs log a
+        // "[budget]" note with their outcome.
+        set_global_budget(budget);
+    }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = vec![
-            "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "table3", "table4", "ablation",
+            "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table3", "table4", "ablation",
         ]
         .into_iter()
         .map(String::from)
@@ -86,7 +110,10 @@ fn table2(scale: f64) {
         ("Abalone", abalone, paper_sizes::ABALONE),
     ];
     for (_, make, full) in gens {
-        let ds = make(&GenConfig { rows: scaled(full, scale), seed: 42 });
+        let ds = make(&GenConfig {
+            rows: scaled(full, scale),
+            seed: 42,
+        });
         let (name, r, c, cat) = ds.stats();
         rows.push(vec![
             name.to_string(),
@@ -141,48 +168,67 @@ fn fig2(scale: f64) {
         &sizes,
         &BaselineKind::TIME_SERIES,
         // ~2h predicate resolution over the 9.4k-hour domain (4-6h regimes).
-        &CrrOptions { predicates_per_attr: 4_095, ..Default::default() },
+        &CrrOptions {
+            predicates_per_attr: 4_095,
+            ..Default::default()
+        },
     );
 }
 
 /// Figure 3: Electricity. The paper sweeps to 2M rows; the default here
 /// sweeps a scaled-down range (multiply with --scale to go bigger).
 fn fig3(scale: f64) {
-    let sizes: Vec<usize> =
-        [5_000, 10_000, 20_000, 40_000].iter().map(|&n| scaled(n, scale)).collect();
+    let sizes: Vec<usize> = [5_000, 10_000, 20_000, 40_000]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
     scalability_figure(
         "Figure 3: training/evaluation instance scalability, Electricity",
         |n| electricity_scenario(n, 3),
         &sizes,
         &BaselineKind::TIME_SERIES,
-        &CrrOptions { predicates_per_attr: 511, ..Default::default() },
+        &CrrOptions {
+            predicates_per_attr: 511,
+            ..Default::default()
+        },
     );
 }
 
 /// Figure 4: Tax, relational comparators only.
 fn fig4(scale: f64) {
-    let sizes: Vec<usize> =
-        [10_000, 25_000, 50_000, 100_000].iter().map(|&n| scaled(n, scale)).collect();
+    let sizes: Vec<usize> = [10_000, 25_000, 50_000, 100_000]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
     scalability_figure(
         "Figure 4: training/evaluation instance scalability, Tax",
         |n| tax_scenario(n, 4),
         &sizes,
         &BaselineKind::RELATIONAL,
-        &CrrOptions { predicates_per_attr: 15, ..Default::default() },
+        &CrrOptions {
+            predicates_per_attr: 15,
+            ..Default::default()
+        },
     );
 }
 
 /// Figure 5: CRR vs. unconditional RR across instance sizes, per model
 /// family, on BirdMap (one year per bird, per-bird predicates).
 fn fig5(scale: f64) {
-    let sizes: Vec<usize> =
-        [1_000, 2_000, 4_000, 8_000].iter().map(|&n| scaled(n, scale)).collect();
+    let sizes: Vec<usize> = [1_000, 2_000, 4_000, 8_000]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
     let sc = birdmap_scenario(*sizes.last().unwrap(), 5);
     let mut rows = Vec::new();
     for &n in &sizes {
         let inst = sc.instance(n);
         for kind in ModelKind::ALL {
-            let opts = CrrOptions { kind, predicates_per_attr: 127, ..Default::default() };
+            let opts = CrrOptions {
+                kind,
+                predicates_per_attr: 127,
+                ..Default::default()
+            };
             let (crr, _) = measure_crr(&sc, &inst, &opts);
             rows.push(vec![
                 format!("CRR-{}", kind.label()),
@@ -253,10 +299,11 @@ fn fig7(scale: f64) {
             .iter()
             .map(|name| {
                 let target = table.attr(name).unwrap();
-                let space =
-                    PredicateGen::binary(2_047).generate(table, &[hour], target, 11);
-                let cfg =
-                    crr_discovery::DiscoveryConfig::new(vec![hour], target, sc.rho_max);
+                let space = PredicateGen::binary(2_047).generate(table, &[hour], target, 11);
+                let mut cfg = crr_discovery::DiscoveryConfig::new(vec![hour], target, sc.rho_max);
+                if let Some(budget) = global_budget() {
+                    cfg = cfg.with_budget(budget);
+                }
                 crr_discovery::parallel::Task { config: cfg, space }
             })
             .collect();
@@ -304,8 +351,7 @@ fn fig8(scale: f64) {
                 ..Default::default()
             };
             let (crr, ruleset) = measure_crr(sc, &train, &opts);
-            let test_rep =
-                ruleset.evaluate(sc.table(), &test, LocateStrategy::First);
+            let test_rep = ruleset.evaluate(sc.table(), &test, LocateStrategy::First);
             rows.push(vec![
                 name.to_string(),
                 format!("{rho}"),
@@ -318,7 +364,14 @@ fn fig8(scale: f64) {
     }
     print_table(
         "Figure 8: parameter study on regression bias rho_M",
-        &["Dataset", "rho_M", "Learn(s)", "TrainRMSE", "TestRMSE", "#Rules"],
+        &[
+            "Dataset",
+            "rho_M",
+            "Learn(s)",
+            "TrainRMSE",
+            "TestRMSE",
+            "#Rules",
+        ],
         &rows,
     );
 }
@@ -401,7 +454,14 @@ fn fig9(scale: f64) {
         .collect();
     print_table(
         "Figure 9: rule compaction via translation and fusion",
-        &["Dataset", "Model", "RegTree", "RegTree+Compact", "CRR-search", "CRR+Compact"],
+        &[
+            "Dataset",
+            "Model",
+            "RegTree",
+            "RegTree+Compact",
+            "CRR-search",
+            "CRR+Compact",
+        ],
         &rows,
     );
 }
@@ -481,7 +541,14 @@ fn table3(scale: f64) {
     }
     print_table(
         "Table III: performance over varied predicate generators",
-        &["Data", "Method", "Learning(s)", "Evaluation(ms)", "RMSE", "#Rules"],
+        &[
+            "Data",
+            "Method",
+            "Learning(s)",
+            "Evaluation(ms)",
+            "RMSE",
+            "#Rules",
+        ],
         &rows,
     );
 }
@@ -498,13 +565,15 @@ fn table4(scale: f64) {
             (QueueOrder::Increase, "Increase"),
             (QueueOrder::Random(7), "Random"),
         ] {
-            let (mut learn, mut eval, mut rmse, mut rules, mut trained) =
-                (0.0, 0.0, 0.0, 0.0, 0.0);
+            let (mut learn, mut eval, mut rmse, mut rules, mut trained) = (0.0, 0.0, 0.0, 0.0, 0.0);
             let seeds = [1u64, 2, 3];
             for &seed in &seeds {
                 let sc = make(n, seed);
-                let opts =
-                    CrrOptions { order, predicates_per_attr: 64, ..Default::default() };
+                let opts = CrrOptions {
+                    order,
+                    predicates_per_attr: 64,
+                    ..Default::default()
+                };
                 let (r, _) = measure_crr(&sc, &sc.rows(), &opts);
                 learn += r.learn.as_secs_f64();
                 eval += r.eval.as_secs_f64() * 1e3;
@@ -526,7 +595,15 @@ fn table4(scale: f64) {
     }
     print_table(
         "Table IV: performance of model sharing priority",
-        &["Data", "Order", "Learning(s)", "Evaluation(ms)", "RMSE", "#Rules", "#Trained"],
+        &[
+            "Data",
+            "Order",
+            "Learning(s)",
+            "Evaluation(ms)",
+            "RMSE",
+            "#Rules",
+            "#Trained",
+        ],
         &rows,
     );
 }
@@ -545,7 +622,11 @@ fn ablation(scale: f64) {
 
     // (a) Model sharing on/off: trained models and learning time.
     for share in [true, false] {
-        let opts = CrrOptions { share, predicates_per_attr: 127, ..Default::default() };
+        let opts = CrrOptions {
+            share,
+            predicates_per_attr: 127,
+            ..Default::default()
+        };
         let (r, _) = measure_crr(&sc, &rows, &opts);
         out.push(vec![
             format!("sharing={share}"),
@@ -562,7 +643,10 @@ fn ablation(scale: f64) {
         ("split=variance", SplitStrategy::BestVariance),
         ("split=first", SplitStrategy::FirstApplicable),
     ] {
-        let opts = CrrOptions { predicates_per_attr: 127, ..Default::default() };
+        let opts = CrrOptions {
+            predicates_per_attr: 127,
+            ..Default::default()
+        };
         let (mut cfg, space) = crr_inputs(&sc, &opts);
         cfg.split = split;
         let start = Instant::now();
@@ -580,7 +664,11 @@ fn ablation(scale: f64) {
 
     // (c) Compaction: data-validated vs. pure inference, on the same
     //     discovered set.
-    let opts = CrrOptions { predicates_per_attr: 127, compact: false, ..Default::default() };
+    let opts = CrrOptions {
+        predicates_per_attr: 127,
+        compact: false,
+        ..Default::default()
+    };
     let (cfg, space) = crr_inputs(&sc, &opts);
     let d = discover(sc.table(), &rows, &cfg, &space).expect("discover");
     for (label, rules) in [

@@ -12,18 +12,35 @@
 //! * table formatting for paper-style console output.
 
 use crr_baselines::{
-    evaluate_predictor, Ar, ArConfig, BaselinePredictor, Dhr, DhrConfig, Forest,
-    ForestConfig, Mclr, MclrConfig, Recur, RecurConfig, RegTree, RegTreeConfig, Rr, SampLr,
-    SampLrConfig,
+    evaluate_predictor, Ar, ArConfig, BaselinePredictor, Dhr, DhrConfig, Forest, ForestConfig,
+    Mclr, MclrConfig, Recur, RecurConfig, RegTree, RegTreeConfig, Rr, SampLr, SampLrConfig,
 };
 use crr_core::{RuleIndex, RuleSet};
 use crr_data::{AttrId, RowSet, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, tax, Dataset, GenConfig};
 use crr_discovery::{
-    compact_on_data, discover, DiscoveryConfig, PredicateGen, PredicateSpace, QueueOrder,
+    compact_on_data, discover, Budget, DiscoveryConfig, PredicateGen, PredicateSpace, QueueOrder,
 };
 use crr_models::{FitConfig, ModelKind};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Process-wide discovery budget, set once from the CLI
+/// (`--time-budget`/`--max-fits`) and applied to every scenario a runner
+/// builds through [`crr_inputs`]. `None` (the default) means unlimited.
+static GLOBAL_BUDGET: OnceLock<Budget> = OnceLock::new();
+
+/// Installs the process-wide discovery budget. Later calls lose the race
+/// and return `false` (the budget is deliberately write-once so runners
+/// cannot disagree mid-process).
+pub fn set_global_budget(budget: Budget) -> bool {
+    GLOBAL_BUDGET.set(budget).is_ok()
+}
+
+/// The process-wide discovery budget, if one was installed.
+pub fn global_budget() -> Option<Budget> {
+    GLOBAL_BUDGET.get().cloned()
+}
 
 /// One method's measurements — a row of a Figures 2–4 panel.
 #[derive(Debug, Clone)]
@@ -200,6 +217,9 @@ pub struct CrrOptions {
     pub rho_max: Option<f64>,
     /// Predicate generator override (defaults to binary).
     pub generator: Option<PredicateGen>,
+    /// Per-run resource budget; falls back to the process-wide
+    /// [`global_budget`] when `None`.
+    pub budget: Option<Budget>,
 }
 
 impl Default for CrrOptions {
@@ -212,20 +232,17 @@ impl Default for CrrOptions {
             share: true,
             rho_max: None,
             generator: None,
+            budget: None,
         }
     }
 }
 
 /// Builds the discovery inputs for a scenario.
-pub fn crr_inputs(
-    sc: &Scenario,
-    opts: &CrrOptions,
-) -> (DiscoveryConfig, PredicateSpace) {
+pub fn crr_inputs(sc: &Scenario, opts: &CrrOptions) -> (DiscoveryConfig, PredicateSpace) {
     let rho = opts.rho_max.unwrap_or(sc.rho_max);
-    let generator = opts
-        .generator
-        .clone()
-        .unwrap_or(PredicateGen::Binary { per_attr: opts.predicates_per_attr });
+    let generator = opts.generator.clone().unwrap_or(PredicateGen::Binary {
+        per_attr: opts.predicates_per_attr,
+    });
     let space = generator.generate(sc.table(), &sc.condition_attrs, sc.target, 11);
     let mut cfg = DiscoveryConfig::new(sc.inputs.clone(), sc.target, rho)
         .with_kind(opts.kind)
@@ -236,6 +253,9 @@ pub fn crr_inputs(
         cfg.fit.mlp.epochs = 60;
         cfg.fit.mlp.hidden = 6;
     }
+    if let Some(budget) = opts.budget.clone().or_else(global_budget) {
+        cfg = cfg.with_budget(budget);
+    }
     (cfg, space)
 }
 
@@ -245,6 +265,15 @@ pub fn measure_crr(sc: &Scenario, rows: &RowSet, opts: &CrrOptions) -> (MethodRe
     let (cfg, space) = crr_inputs(sc, opts);
     let start = Instant::now();
     let found = discover(sc.table(), rows, &cfg, &space).expect("discovery");
+    if !found.outcome.is_complete() {
+        eprintln!(
+            "  [budget] {} run degraded ({}): {} partitions drained, {} rows on fallbacks",
+            sc.dataset.name,
+            found.outcome,
+            found.stats.drained_partitions,
+            found.stats.drained_rows
+        );
+    }
     let rules = if opts.compact {
         compact_on_data(&found.rules, 1e-6, cfg.rho_max, sc.table(), rows)
             .expect("compaction")
@@ -262,7 +291,11 @@ pub fn measure_crr(sc: &Scenario, rows: &RowSet, opts: &CrrOptions) -> (MethodRe
     let eval = eval_start.elapsed();
     (
         MethodResult {
-            name: if opts.compact { "CRR".into() } else { "CRR-search".into() },
+            name: if opts.compact {
+                "CRR".into()
+            } else {
+                "CRR-search".into()
+            },
             learn,
             eval,
             rmse: report.rmse,
@@ -336,8 +369,11 @@ impl BaselineKind {
     ];
 
     /// The relational comparator set of Figure 4.
-    pub const RELATIONAL: [BaselineKind; 3] =
-        [BaselineKind::SampLr, BaselineKind::Mclr, BaselineKind::RegTree];
+    pub const RELATIONAL: [BaselineKind; 3] = [
+        BaselineKind::SampLr,
+        BaselineKind::Mclr,
+        BaselineKind::RegTree,
+    ];
 }
 
 /// Fits and measures one baseline on the scenario.
@@ -361,8 +397,7 @@ pub fn measure_baseline(sc: &Scenario, rows: &RowSet, kind: BaselineKind) -> Met
         BaselineKind::Ar => {
             let start = Instant::now();
             let fitted =
-                Ar::fit(table, rows, sc.time_attr, sc.target, &ArConfig::default())
-                    .expect("ar");
+                Ar::fit(table, rows, sc.time_attr, sc.target, &ArConfig::default()).expect("ar");
             measure_fitted("AR", start.elapsed(), &fitted, sc, rows)
         }
         BaselineKind::SampLr => {
@@ -411,16 +446,24 @@ pub fn measure_baseline(sc: &Scenario, rows: &RowSet, kind: BaselineKind) -> Met
                 rows,
                 sc.time_attr,
                 sc.target,
-                &DhrConfig { period: sc.period, harmonics: 6 },
+                &DhrConfig {
+                    period: sc.period,
+                    harmonics: 6,
+                },
             )
             .expect("dhr");
             measure_fitted("DHR", start.elapsed(), &fitted, sc, rows)
         }
         BaselineKind::Recur => {
             let start = Instant::now();
-            let fitted =
-                Recur::fit(table, rows, sc.time_attr, sc.target, &RecurConfig::default())
-                    .expect("recur");
+            let fitted = Recur::fit(
+                table,
+                rows,
+                sc.time_attr,
+                sc.target,
+                &RecurConfig::default(),
+            )
+            .expect("recur");
             measure_fitted("Recur", start.elapsed(), &fitted, sc, rows)
         }
     }

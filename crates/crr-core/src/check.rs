@@ -99,14 +99,21 @@ pub fn first_violation(rule: &Crr, table: &Table, rows: &RowSet) -> Option<Viola
         if !rule.covers(table, row) {
             continue;
         }
-        let (Some(predicted), Some(actual)) =
-            (rule.predict(table, row), table.value_f64(row, rule.target()))
-        else {
+        let (Some(predicted), Some(actual)) = (
+            rule.predict(table, row),
+            table.value_f64(row, rule.target()),
+        ) else {
             continue;
         };
         let deviation = (actual - predicted).abs();
         if deviation > rule.rho() + 1e-12 {
-            return Some(Violation { row, rule: 0, actual, predicted, deviation });
+            return Some(Violation {
+                row,
+                rule: 0,
+                actual,
+                predicted,
+                deviation,
+            });
         }
     }
     None
@@ -133,8 +140,11 @@ mod tests {
         let mut t = Table::new(schema);
         for i in 0..20 {
             let noise = if i == 7 { 5.0 } else { 0.0 }; // row 7 is corrupt
-            t.push_row(vec![Value::Float(i as f64), Value::Float(2.0 * i as f64 + noise)])
-                .unwrap();
+            t.push_row(vec![
+                Value::Float(i as f64),
+                Value::Float(2.0 * i as f64 + noise),
+            ])
+            .unwrap();
         }
         t
     }

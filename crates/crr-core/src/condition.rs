@@ -26,12 +26,18 @@ impl Conjunction {
 
     /// A conjunction of the given predicates with the default built-ins.
     pub fn of(preds: Vec<Predicate>) -> Self {
-        Conjunction { preds, builtin: None }
+        Conjunction {
+            preds,
+            builtin: None,
+        }
     }
 
     /// A conjunction with explicit built-in predicates.
     pub fn with_builtin(preds: Vec<Predicate>, builtin: Translation) -> Self {
-        Conjunction { preds, builtin: Some(builtin) }
+        Conjunction {
+            preds,
+            builtin: Some(builtin),
+        }
     }
 
     /// The predicates of this conjunction.
@@ -197,8 +203,14 @@ impl AttrSummary {
                     // Two different pinned values: unsatisfiable. Model it
                     // as an empty interval.
                     Some(_) => {
-                        s.lo = Some(Bound { value: Value::Int(1), strict: true });
-                        s.hi = Some(Bound { value: Value::Int(0), strict: true });
+                        s.lo = Some(Bound {
+                            value: Value::Int(1),
+                            strict: true,
+                        });
+                        s.hi = Some(Bound {
+                            value: Value::Int(0),
+                            strict: true,
+                        });
                     }
                 },
                 Op::Ne => s.ne.push(p.value.clone()),
@@ -218,7 +230,10 @@ impl AttrSummary {
                 Some(Ordering::Less) => self.lo = Some(Bound { value: v, strict }),
                 Some(Ordering::Equal) => {
                     if strict {
-                        self.lo = Some(Bound { value: v, strict: true });
+                        self.lo = Some(Bound {
+                            value: v,
+                            strict: true,
+                        });
                     }
                 }
                 Some(Ordering::Greater) => {}
@@ -234,7 +249,10 @@ impl AttrSummary {
                 Some(Ordering::Greater) => self.hi = Some(Bound { value: v, strict }),
                 Some(Ordering::Equal) => {
                     if strict {
-                        self.hi = Some(Bound { value: v, strict: true });
+                        self.hi = Some(Bound {
+                            value: v,
+                            strict: true,
+                        });
                     }
                 }
                 Some(Ordering::Less) => {}
@@ -298,10 +316,7 @@ impl AttrSummary {
             // is a single closed point equal to c.
             Op::Eq => match (&self.lo, &self.hi) {
                 (Some(lo), Some(hi)) => {
-                    !lo.strict
-                        && !hi.strict
-                        && lo.value == *c
-                        && hi.value == *c
+                    !lo.strict && !hi.strict && lo.value == *c && hi.value == *c
                 }
                 _ => false,
             },
@@ -332,26 +347,28 @@ impl AttrSummary {
                     Some(Ordering::Less) | Some(Ordering::Equal)
                 )
             }),
-            Op::Lt => self.hi.as_ref().is_some_and(|hi| {
-                match hi.value.partial_cmp_sem(c) {
+            Op::Lt => self
+                .hi
+                .as_ref()
+                .is_some_and(|hi| match hi.value.partial_cmp_sem(c) {
                     Some(Ordering::Less) => true,
                     Some(Ordering::Equal) => hi.strict,
                     _ => false,
-                }
-            }),
+                }),
             Op::Ge => self.lo.as_ref().is_some_and(|lo| {
                 matches!(
                     lo.value.partial_cmp_sem(c),
                     Some(Ordering::Greater) | Some(Ordering::Equal)
                 )
             }),
-            Op::Gt => self.lo.as_ref().is_some_and(|lo| {
-                match lo.value.partial_cmp_sem(c) {
+            Op::Gt => self
+                .lo
+                .as_ref()
+                .is_some_and(|lo| match lo.value.partial_cmp_sem(c) {
                     Some(Ordering::Greater) => true,
                     Some(Ordering::Equal) => lo.strict,
                     _ => false,
-                }
-            }),
+                }),
         }
     }
 }
@@ -370,7 +387,9 @@ pub struct Dnf {
 impl Dnf {
     /// The always-true condition (one empty conjunction).
     pub fn tautology() -> Self {
-        Dnf { conjuncts: vec![Conjunction::top()] }
+        Dnf {
+            conjuncts: vec![Conjunction::top()],
+        }
     }
 
     /// A DNF of a single conjunction.
@@ -532,20 +551,44 @@ mod tests {
         assert!(c1.implies(&c2));
         assert!(!c2.implies(&c1));
         // ... and date < 250, date <= 200, date != 200.
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::lt(date(), Value::Int(250))])));
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(date(), Value::Int(200))])));
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(date(), Value::Int(200))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::lt(
+            date(),
+            Value::Int(250)
+        )])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(
+            date(),
+            Value::Int(200)
+        )])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(
+            date(),
+            Value::Int(200)
+        )])));
         // But not date > 100 (lower bound is inclusive).
-        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(date(), Value::Int(100))])));
+        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(
+            date(),
+            Value::Int(100)
+        )])));
     }
 
     #[test]
     fn equality_implication() {
         let c1 = Conjunction::of(vec![Predicate::eq(date(), Value::Int(150))]);
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::ge(date(), Value::Int(100))])));
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(date(), Value::Int(150))])));
-        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(date(), Value::Int(151))])));
-        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(date(), Value::Int(150))])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ge(
+            date(),
+            Value::Int(100)
+        )])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::le(
+            date(),
+            Value::Int(150)
+        )])));
+        assert!(c1.implies(&Conjunction::of(vec![Predicate::ne(
+            date(),
+            Value::Int(151)
+        )])));
+        assert!(!c1.implies(&Conjunction::of(vec![Predicate::gt(
+            date(),
+            Value::Int(150)
+        )])));
     }
 
     #[test]
@@ -590,7 +633,10 @@ mod tests {
                 Predicate::lt(date(), Value::Int(400)),
             ]),
         ]);
-        let d2 = Dnf::single(Conjunction::of(vec![Predicate::ge(date(), Value::Int(100))]));
+        let d2 = Dnf::single(Conjunction::of(vec![Predicate::ge(
+            date(),
+            Value::Int(100),
+        )]));
         assert!(d1.implies(&d2));
         assert!(!d2.implies(&d1));
         // Each disjunct implies a *different* conjunct here:
@@ -606,11 +652,17 @@ mod tests {
         let base = Conjunction::of(vec![Predicate::ge(date(), Value::Int(0))]);
         let refined = Conjunction::with_builtin(
             vec![Predicate::ge(date(), Value::Int(10))],
-            Translation { delta_x: vec![744.0], delta_y: 0.0 },
+            Translation {
+                delta_x: vec![744.0],
+                delta_y: 0.0,
+            },
         );
         assert!(!refined.implies(&base));
         let mut base2 = base.clone();
-        base2.set_builtin(Translation { delta_x: vec![744.0], delta_y: 0.0 });
+        base2.set_builtin(Translation {
+            delta_x: vec![744.0],
+            delta_y: 0.0,
+        });
         assert!(refined.implies(&base2));
         // Identity builtin equals the default None.
         let explicit_id = Conjunction::with_builtin(vec![], Translation::identity(1));
@@ -620,11 +672,26 @@ mod tests {
     #[test]
     fn compose_builtin_accumulates() {
         let mut c = Conjunction::top();
-        c.compose_builtin(&Translation { delta_x: vec![10.0], delta_y: 1.0 }, 1);
-        c.compose_builtin(&Translation { delta_x: vec![-4.0], delta_y: 2.0 }, 1);
+        c.compose_builtin(
+            &Translation {
+                delta_x: vec![10.0],
+                delta_y: 1.0,
+            },
+            1,
+        );
+        c.compose_builtin(
+            &Translation {
+                delta_x: vec![-4.0],
+                delta_y: 2.0,
+            },
+            1,
+        );
         assert_eq!(
             c.builtin(),
-            Some(&Translation { delta_x: vec![6.0], delta_y: 3.0 })
+            Some(&Translation {
+                delta_x: vec![6.0],
+                delta_y: 3.0
+            })
         );
     }
 

@@ -26,19 +26,28 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::PredicateOnTarget { attr } => {
-                write!(f, "condition contains a predicate on the target attribute #{attr}")
+                write!(
+                    f,
+                    "condition contains a predicate on the target attribute #{attr}"
+                )
             }
             CoreError::FusionMismatch(msg) => write!(f, "fusion mismatch: {msg}"),
             CoreError::BiasDecrease { from, to } => {
                 write!(f, "generalization cannot decrease bias: {from} -> {to}")
             }
             CoreError::NotImplied => {
-                write!(f, "induction requires the refined condition to imply the original")
+                write!(
+                    f,
+                    "induction requires the refined condition to imply the original"
+                )
             }
             CoreError::NoTranslation => write!(f, "no translation exists between the models"),
             CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             CoreError::BuiltinArity { expected, got } => {
-                write!(f, "built-in predicate arity {got} does not match |X| = {expected}")
+                write!(
+                    f,
+                    "built-in predicate arity {got} does not match |X| = {expected}"
+                )
             }
         }
     }

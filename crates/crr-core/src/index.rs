@@ -112,7 +112,10 @@ impl<'a> RuleIndex<'a> {
         let mut boundaries: Vec<f64> = Vec::new();
         for (ri, rule) in rules.rules().iter().enumerate() {
             for (ci, conj) in rule.condition().conjuncts().iter().enumerate() {
-                let cand = Candidate { rule: ri as u32, conj: ci as u32 };
+                let cand = Candidate {
+                    rule: ri as u32,
+                    conj: ci as u32,
+                };
                 let (lo, hi) = interval_on(conj, attr);
                 if lo.is_infinite() && hi.is_infinite() {
                     unbounded.push(cand);
@@ -148,7 +151,13 @@ impl<'a> RuleIndex<'a> {
             seg.sort_unstable();
         }
         unbounded.sort_unstable();
-        RuleIndex { rules, attr: Some(attr), boundaries, segments, unbounded }
+        RuleIndex {
+            rules,
+            attr: Some(attr),
+            boundaries,
+            segments,
+            unbounded,
+        }
     }
 
     /// The indexed attribute, if any.
@@ -194,13 +203,16 @@ impl<'a> RuleIndex<'a> {
         let mut covered = 0usize;
         let mut scored = 0usize;
         for row in rows.iter() {
-            let Some((rule, conj)) = self.locate(table, row) else { continue };
+            let Some((rule, conj)) = self.locate(table, row) else {
+                continue;
+            };
             covered += 1;
-            let x: Option<Vec<f64>> =
-                rule.inputs().iter().map(|&a| table.value_f64(row, a)).collect();
-            let (Some(x), Some(actual)) =
-                (x, target.and_then(|t| table.value_f64(row, t)))
-            else {
+            let x: Option<Vec<f64>> = rule
+                .inputs()
+                .iter()
+                .map(|&a| table.value_f64(row, a))
+                .collect();
+            let (Some(x), Some(actual)) = (x, target.and_then(|t| table.value_f64(row, t))) else {
                 continue;
             };
             let pred = match conj.builtin() {
@@ -213,7 +225,11 @@ impl<'a> RuleIndex<'a> {
             sae += e.abs();
         }
         crate::ruleset::EvalReport {
-            rmse: if scored > 0 { (sse / scored as f64).sqrt() } else { 0.0 },
+            rmse: if scored > 0 {
+                (sse / scored as f64).sqrt()
+            } else {
+                0.0
+            },
             mae: if scored > 0 { sae / scored as f64 } else { 0.0 },
             covered,
             scored,
@@ -307,7 +323,10 @@ mod tests {
                         Predicate::ge(x(), Value::Float(lo)),
                         Predicate::lt(x(), Value::Float(lo + width)),
                     ],
-                    Translation { delta_x: vec![0.0], delta_y: 0.0 },
+                    Translation {
+                        delta_x: vec![0.0],
+                        delta_y: 0.0,
+                    },
                 )
             })
             .collect();
@@ -354,11 +373,13 @@ mod tests {
             y(),
             Arc::clone(&model),
             0.1,
-            Dnf::single(Conjunction::of(vec![Predicate::lt(x(), Value::Float(10.0))])),
+            Dnf::single(Conjunction::of(vec![Predicate::lt(
+                x(),
+                Value::Float(10.0),
+            )])),
         )
         .unwrap();
-        let catch_all =
-            Crr::new(vec![x()], y(), model, 0.5, Dnf::tautology()).unwrap();
+        let catch_all = Crr::new(vec![x()], y(), model, 0.5, Dnf::tautology()).unwrap();
         // Pad with bounded rules so the index activates (needs >4 conjuncts).
         let more: Vec<Crr> = (1..5)
             .map(|k| {

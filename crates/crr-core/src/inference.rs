@@ -38,13 +38,9 @@ pub fn is_reflexive_trivial(rule: &Crr) -> bool {
     match rule.model().as_affine() {
         Some((w, b)) => {
             b == 0.0
-                && w.iter().enumerate().all(|(i, &wi)| {
-                    if i == pos {
-                        wi == 1.0
-                    } else {
-                        wi == 0.0
-                    }
-                })
+                && w.iter()
+                    .enumerate()
+                    .all(|(i, &wi)| if i == pos { wi == 1.0 } else { wi == 0.0 })
         }
         None => false,
     }
@@ -79,7 +75,9 @@ pub fn fusion(r1: &Crr, r2: &Crr) -> Result<Crr> {
     let same_model =
         Arc::ptr_eq(r1.model(), r2.model()) || r1.model().as_ref() == r2.model().as_ref();
     if !same_model {
-        return Err(CoreError::FusionMismatch("different regression models".into()));
+        return Err(CoreError::FusionMismatch(
+            "different regression models".into(),
+        ));
     }
     if (r1.rho() - r2.rho()).abs() > f64::EPSILON {
         return Err(CoreError::FusionMismatch(format!(
@@ -101,7 +99,10 @@ pub fn fusion(r1: &Crr, r2: &Crr) -> Result<Crr> {
 /// `(f, ρ₂, ℂ)` for any `ρ₂ ≥ ρ₁`.
 pub fn generalization(rule: &Crr, rho2: f64) -> Result<Crr> {
     if rho2 < rule.rho() {
-        return Err(CoreError::BiasDecrease { from: rule.rho(), to: rho2 });
+        return Err(CoreError::BiasDecrease {
+            from: rule.rho(),
+            to: rho2,
+        });
     }
     Ok(rule.with_model(Arc::clone(rule.model()), rho2))
 }
@@ -153,10 +154,7 @@ mod tests {
     use crr_models::{Regressor, Translation};
 
     fn table() -> Table {
-        let schema = Schema::new(vec![
-            ("date", AttrType::Int),
-            ("lat", AttrType::Float),
-        ]);
+        let schema = Schema::new(vec![("date", AttrType::Int), ("lat", AttrType::Float)]);
         let mut t = Table::new(schema);
         for (d, l) in [(0, 10.0), (5, 15.0), (100, 25.0), (105, 30.0)] {
             t.push_row(vec![Value::Int(d), Value::Float(l)]).unwrap();
@@ -193,28 +191,35 @@ mod tests {
 
     #[test]
     fn induction_requires_refinement() {
-        let base = rule(1.0, 10.0, 0.5, Dnf::single(Conjunction::of(vec![
-            Predicate::lt(date(), Value::Int(50)),
-        ])));
+        let base = rule(
+            1.0,
+            10.0,
+            0.5,
+            Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(50))])),
+        );
         let refined = Dnf::single(Conjunction::of(vec![
             Predicate::lt(date(), Value::Int(50)),
             Predicate::ge(date(), Value::Int(0)),
         ]));
         let r2 = induction(&base, refined).unwrap();
         assert_eq!(r2.rho(), base.rho());
-        let not_refined = Dnf::single(Conjunction::of(vec![
-            Predicate::lt(date(), Value::Int(60)),
-        ]));
-        assert!(matches!(induction(&base, not_refined), Err(CoreError::NotImplied)));
+        let not_refined = Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(60))]));
+        assert!(matches!(
+            induction(&base, not_refined),
+            Err(CoreError::NotImplied)
+        ));
     }
 
     #[test]
     fn induction_preserves_satisfaction() {
         // Proposition 2's soundness on a concrete table.
         let t = table();
-        let base = rule(1.0, 10.0, 0.0, Dnf::single(Conjunction::of(vec![
-            Predicate::lt(date(), Value::Int(50)),
-        ])));
+        let base = rule(
+            1.0,
+            10.0,
+            0.0,
+            Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(50))])),
+        );
         assert!(base.find_violation(&t, &t.all_rows()).is_none());
         let refined = Dnf::single(Conjunction::of(vec![
             Predicate::lt(date(), Value::Int(50)),
@@ -242,9 +247,15 @@ mod tests {
     fn fusion_rejects_model_or_bias_mismatch() {
         let r1 = rule(1.0, 10.0, 0.5, Dnf::tautology());
         let r2 = rule(2.0, 10.0, 0.5, Dnf::tautology());
-        assert!(matches!(fusion(&r1, &r2), Err(CoreError::FusionMismatch(_))));
+        assert!(matches!(
+            fusion(&r1, &r2),
+            Err(CoreError::FusionMismatch(_))
+        ));
         let r3 = rule(1.0, 10.0, 0.7, Dnf::tautology());
-        assert!(matches!(fusion(&r1, &r3), Err(CoreError::FusionMismatch(_))));
+        assert!(matches!(
+            fusion(&r1, &r3),
+            Err(CoreError::FusionMismatch(_))
+        ));
     }
 
     #[test]
@@ -292,11 +303,17 @@ mod tests {
         // r2 already shares its model with a y = 2 builtin on its conjunct.
         let c2 = Dnf::single(Conjunction::with_builtin(
             vec![Predicate::ge(date(), Value::Int(90))],
-            Translation { delta_x: vec![0.0], delta_y: 2.0 },
+            Translation {
+                delta_x: vec![0.0],
+                delta_y: 2.0,
+            },
         ));
-        let r1 = rule(1.0, 10.0, 0.5, Dnf::single(Conjunction::of(vec![
-            Predicate::lt(date(), Value::Int(50)),
-        ])));
+        let r1 = rule(
+            1.0,
+            10.0,
+            0.5,
+            Dnf::single(Conjunction::of(vec![Predicate::lt(date(), Value::Int(50))])),
+        );
         let r2 = rule(1.0, 15.0, 0.5, c2);
         let r3 = translation(&r1, &r2, 1e-9).unwrap();
         // Composed builtin: y = 2 + (15 - 10) = 7.
@@ -311,6 +328,9 @@ mod tests {
     fn translation_requires_translatable_models() {
         let r1 = rule(1.0, 10.0, 0.5, Dnf::tautology());
         let r2 = rule(2.0, 15.0, 0.5, Dnf::tautology());
-        assert!(matches!(translation(&r1, &r2, 1e-9), Err(CoreError::NoTranslation)));
+        assert!(matches!(
+            translation(&r1, &r2, 1e-9),
+            Err(CoreError::NoTranslation)
+        ));
     }
 }

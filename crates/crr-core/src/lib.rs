@@ -58,8 +58,8 @@ pub mod serialize;
 
 pub use check::{check, CheckReport, Violation};
 pub use condition::{Conjunction, Dnf};
-pub use index::RuleIndex;
 pub use error::CoreError;
+pub use index::RuleIndex;
 pub use predicate::{Op, Predicate};
 pub use rule::Crr;
 pub use ruleset::{EvalReport, LocateStrategy, RuleSet};

@@ -160,12 +160,10 @@ mod tests {
     use crr_data::AttrType;
 
     fn table() -> Table {
-        let schema = crr_data::Schema::new(vec![
-            ("v", AttrType::Float),
-            ("s", AttrType::Str),
-        ]);
+        let schema = crr_data::Schema::new(vec![("v", AttrType::Float), ("s", AttrType::Str)]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Float(5.0), Value::str("IA")]).unwrap();
+        t.push_row(vec![Value::Float(5.0), Value::str("IA")])
+            .unwrap();
         t.push_row(vec![Value::Null, Value::str("NY")]).unwrap();
         t
     }
@@ -225,11 +223,15 @@ mod tests {
         let v = t.attr("v").unwrap();
         let s = t.attr("s").unwrap();
         assert_eq!(
-            Predicate::ge(v, Value::Float(1.5)).display(t.schema()).to_string(),
+            Predicate::ge(v, Value::Float(1.5))
+                .display(t.schema())
+                .to_string(),
             "v >= 1.5"
         );
         assert_eq!(
-            Predicate::eq(s, Value::str("IA")).display(t.schema()).to_string(),
+            Predicate::eq(s, Value::str("IA"))
+                .display(t.schema())
+                .to_string(),
             "s = 'IA'"
         );
     }

@@ -57,7 +57,13 @@ impl Crr {
             )));
         }
         debug_assert!(rho >= 0.0, "bias must be non-negative");
-        Ok(Crr { inputs, target, model, rho: rho.max(0.0), condition })
+        Ok(Crr {
+            inputs,
+            target,
+            model,
+            rho: rho.max(0.0),
+            condition,
+        })
     }
 
     /// The attributes `X` the model reads, in model-input order.
@@ -93,7 +99,11 @@ impl Crr {
     /// Replaces the model and bias, keeping `X`, `Y` and the condition
     /// (compaction's model unification).
     pub fn with_model(&self, model: Arc<Model>, rho: f64) -> Crr {
-        Crr { model, rho, ..self.clone() }
+        Crr {
+            model,
+            rho,
+            ..self.clone()
+        }
     }
 
     /// `t ⊨ ℂ`: the rule's condition covers this tuple.
@@ -191,10 +201,7 @@ mod tests {
     use crr_models::LinearModel;
 
     fn table() -> Table {
-        let schema = Schema::new(vec![
-            ("date", AttrType::Int),
-            ("lat", AttrType::Float),
-        ]);
+        let schema = Schema::new(vec![("date", AttrType::Int), ("lat", AttrType::Float)]);
         let mut t = Table::new(schema);
         for (d, l) in [(0, 10.0), (10, 20.0), (20, 30.5), (30, 40.0)] {
             t.push_row(vec![Value::Int(d), Value::Float(l)]).unwrap();
@@ -244,12 +251,16 @@ mod tests {
         // Model fits dates 0..30; apply it to dates 1000.. via x = -1000.
         let shifted = Conjunction::with_builtin(
             vec![Predicate::ge(date(), Value::Int(990))],
-            Translation { delta_x: vec![-1000.0], delta_y: 2.0 },
+            Translation {
+                delta_x: vec![-1000.0],
+                delta_y: 2.0,
+            },
         );
         let base = Conjunction::of(vec![Predicate::lt(date(), Value::Int(990))]);
         let rule = line_rule(0.5, Dnf::of(vec![base, shifted]));
         let mut t = table();
-        t.push_row(vec![Value::Int(1010), Value::Float(22.0)]).unwrap();
+        t.push_row(vec![Value::Int(1010), Value::Float(22.0)])
+            .unwrap();
         // f(1010 - 1000) + 2 = 10 + 10 + 2 = 22.
         assert_eq!(rule.predict(&t, 4), Some(22.0));
         assert!(rule.satisfied_by(&t, 4));
@@ -258,7 +269,10 @@ mod tests {
 
     #[test]
     fn rejects_predicate_on_target() {
-        let cond = Dnf::single(Conjunction::of(vec![Predicate::ge(lat(), Value::Float(0.0))]));
+        let cond = Dnf::single(Conjunction::of(vec![Predicate::ge(
+            lat(),
+            Value::Float(0.0),
+        )]));
         let model = Arc::new(Model::Linear(LinearModel::new(vec![1.0], 0.0)));
         assert!(matches!(
             Crr::new(vec![date()], lat(), model, 0.1, cond),
@@ -270,12 +284,18 @@ mod tests {
     fn rejects_builtin_arity_mismatch() {
         let cond = Dnf::single(Conjunction::with_builtin(
             vec![],
-            Translation { delta_x: vec![1.0, 2.0], delta_y: 0.0 },
+            Translation {
+                delta_x: vec![1.0, 2.0],
+                delta_y: 0.0,
+            },
         ));
         let model = Arc::new(Model::Linear(LinearModel::new(vec![1.0], 0.0)));
         assert!(matches!(
             Crr::new(vec![date()], lat(), model, 0.1, cond),
-            Err(CoreError::BuiltinArity { expected: 1, got: 2 })
+            Err(CoreError::BuiltinArity {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -308,9 +328,13 @@ mod tests {
     #[test]
     fn display_includes_condition() {
         let t = table();
-        let rule = line_rule(0.5, Dnf::single(Conjunction::of(vec![
-            Predicate::lt(date(), Value::Int(100)),
-        ])));
+        let rule = line_rule(
+            0.5,
+            Dnf::single(Conjunction::of(vec![Predicate::lt(
+                date(),
+                Value::Int(100),
+            )])),
+        );
         let s = rule.display(t.schema()).to_string();
         assert!(s.contains("lat ~"), "{s}");
         assert!(s.contains("date < 100"), "{s}");

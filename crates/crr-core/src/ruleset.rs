@@ -139,7 +139,11 @@ impl RuleSet {
             sae += e.abs();
         }
         EvalReport {
-            rmse: if scored > 0 { (sse / scored as f64).sqrt() } else { 0.0 },
+            rmse: if scored > 0 {
+                (sse / scored as f64).sqrt()
+            } else {
+                0.0
+            },
             mae: if scored > 0 { sae / scored as f64 } else { 0.0 },
             covered,
             scored,
@@ -202,12 +206,18 @@ mod tests {
 
     fn split_set() -> RuleSet {
         RuleSet::from_rules(vec![
-            rule(1.0, 0.0, 0.1, Dnf::single(Conjunction::of(vec![
-                Predicate::lt(x(), Value::Int(5)),
-            ]))),
-            rule(3.0, 0.0, 0.1, Dnf::single(Conjunction::of(vec![
-                Predicate::ge(x(), Value::Int(5)),
-            ]))),
+            rule(
+                1.0,
+                0.0,
+                0.1,
+                Dnf::single(Conjunction::of(vec![Predicate::lt(x(), Value::Int(5))])),
+            ),
+            rule(
+                3.0,
+                0.0,
+                0.1,
+                Dnf::single(Conjunction::of(vec![Predicate::ge(x(), Value::Int(5))])),
+            ),
         ])
     }
 

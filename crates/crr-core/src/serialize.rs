@@ -41,7 +41,14 @@ pub fn to_text(rules: &RuleSet) -> String {
             for p in c.preds() {
                 out.push_str(if first { " " } else { " ; " });
                 first = false;
-                write!(out, "pred #{} {} {}", p.attr.0, p.op, encode_value(&p.value)).unwrap();
+                write!(
+                    out,
+                    "pred #{} {} {}",
+                    p.attr.0,
+                    p.op,
+                    encode_value(&p.value)
+                )
+                .unwrap();
             }
             if let Some(b) = c.builtin() {
                 out.push_str(if first { " " } else { " ; " });
@@ -82,7 +89,13 @@ fn write_model(out: &mut String, model: &Model) {
         }
         Model::Mlp(m) => {
             let (hidden, params) = m.flatten();
-            write!(out, "mlp {} {}", crr_models::Regressor::num_inputs(m), hidden).unwrap();
+            write!(
+                out,
+                "mlp {} {}",
+                crr_models::Regressor::num_inputs(m),
+                hidden
+            )
+            .unwrap();
             for p in params {
                 write!(out, " {p:?}").unwrap();
             }
@@ -215,8 +228,9 @@ pub fn from_text(text: &str) -> Result<RuleSet> {
         }
         let target = target.ok_or_else(|| CoreError::SchemaMismatch("rule lacks target".into()))?;
         let rho = rho.ok_or_else(|| CoreError::SchemaMismatch("rule lacks rho".into()))?;
-        let mut model =
-            parse_model(&model_tokens.ok_or_else(|| CoreError::SchemaMismatch("rule lacks model".into()))?)?;
+        let mut model = parse_model(
+            &model_tokens.ok_or_else(|| CoreError::SchemaMismatch("rule lacks model".into()))?,
+        )?;
         // Constants lose their arity in the text form; restore from inputs.
         if let Model::Constant(c) = &model {
             model = Model::Constant(ConstantModel::new(c.value(), inputs.len()));
@@ -272,7 +286,13 @@ pub fn from_text(text: &str) -> Result<RuleSet> {
                 None => Conjunction::of(preds),
             });
         }
-        rules.push(Crr::new(inputs, target, Arc::new(model), rho, Dnf::of(conjuncts))?);
+        rules.push(Crr::new(
+            inputs,
+            target,
+            Arc::new(model),
+            rho,
+            Dnf::of(conjuncts),
+        )?);
     }
     Ok(RuleSet::from_rules(rules))
 }
@@ -293,7 +313,10 @@ mod tests {
             ]),
             Conjunction::with_builtin(
                 vec![Predicate::ge(date, Value::Int(830))],
-                Translation { delta_x: vec![-744.0], delta_y: 0.5 },
+                Translation {
+                    delta_x: vec![-744.0],
+                    delta_y: 0.5,
+                },
             ),
         ]);
         let r1 = Crr::new(vec![date], lat, m, 0.5, cond).unwrap();
@@ -335,8 +358,14 @@ mod tests {
             ("bird", AttrType::Str),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Int(150), Value::Float(0.0), Value::str("x")]).unwrap();
-        t.push_row(vec![Value::Int(900), Value::Float(0.0), Value::str("maria")]).unwrap();
+        t.push_row(vec![Value::Int(150), Value::Float(0.0), Value::str("x")])
+            .unwrap();
+        t.push_row(vec![
+            Value::Int(900),
+            Value::Float(0.0),
+            Value::str("maria"),
+        ])
+        .unwrap();
         let rules = sample_rules();
         let back = from_text(&to_text(&rules)).unwrap();
         for row in 0..t.num_rows() {
@@ -362,7 +391,10 @@ mod tests {
         .unwrap();
         let set = RuleSet::from_rules(vec![rule]);
         let back = from_text(&to_text(&set)).unwrap();
-        assert_eq!(set.rules()[0].model().as_ref(), back.rules()[0].model().as_ref());
+        assert_eq!(
+            set.rules()[0].model().as_ref(),
+            back.rules()[0].model().as_ref()
+        );
     }
 
     #[test]
@@ -375,10 +407,20 @@ mod tests {
     #[test]
     fn float_precision_survives() {
         let m = Arc::new(Model::Linear(LinearModel::new(vec![0.1 + 0.2], 1e-300)));
-        let r = Crr::new(vec![AttrId(0)], AttrId(1), m, f64::MIN_POSITIVE, Dnf::tautology()).unwrap();
+        let r = Crr::new(
+            vec![AttrId(0)],
+            AttrId(1),
+            m,
+            f64::MIN_POSITIVE,
+            Dnf::tautology(),
+        )
+        .unwrap();
         let set = RuleSet::from_rules(vec![r]);
         let back = from_text(&to_text(&set)).unwrap();
-        assert_eq!(set.rules()[0].model().as_ref(), back.rules()[0].model().as_ref());
+        assert_eq!(
+            set.rules()[0].model().as_ref(),
+            back.rules()[0].model().as_ref()
+        );
         assert_eq!(set.rules()[0].rho(), back.rules()[0].rho());
     }
 }

@@ -16,7 +16,8 @@ fn arb_table() -> impl Strategy<Value = Table> {
         let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for x in xs {
-            t.push_row(vec![Value::Float(x), Value::Float(x * 0.5)]).unwrap();
+            t.push_row(vec![Value::Float(x), Value::Float(x * 0.5)])
+                .unwrap();
         }
         t
     })

@@ -6,9 +6,7 @@
 //! checked for consistency with tuple satisfaction and for
 //! reflexivity/transitivity.
 
-use crr_core::inference::{
-    fusion, generalization, induction, reflexivity, translation,
-};
+use crr_core::inference::{fusion, generalization, induction, reflexivity, translation};
 use crr_core::{Conjunction, Crr, Dnf, Op, Predicate};
 use crr_data::{AttrId, AttrType, Schema, Table, Value};
 use crr_models::{LinearModel, Model};

@@ -47,7 +47,10 @@ fn arb_conjunction(arity: usize) -> impl Strategy<Value = Conjunction> {
 
 fn arb_model(arity: usize) -> impl Strategy<Value = Model> {
     prop_oneof![
-        (prop::collection::vec(-9.0f64..9.0, arity..=arity), -50.0f64..50.0)
+        (
+            prop::collection::vec(-9.0f64..9.0, arity..=arity),
+            -50.0f64..50.0
+        )
             .prop_map(|(w, b)| Model::Linear(LinearModel::new(w, b))),
         (
             prop::collection::vec(-9.0f64..9.0, arity..=arity),

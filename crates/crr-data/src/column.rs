@@ -202,7 +202,11 @@ impl Column {
                 });
                 codes[i] = code;
             }
-            (_, v) => panic!("type mismatch in Column::set: column {:?} <- {}", self.ty(), v.type_name()),
+            (_, v) => panic!(
+                "type mismatch in Column::set: column {:?} <- {}",
+                self.ty(),
+                v.type_name()
+            ),
         }
     }
 
@@ -229,9 +233,7 @@ impl Column {
             return None;
         }
         match &self.data {
-            ColumnData::Str { codes, dict, .. } => {
-                Some(dict[codes[i] as usize].as_ref().cmp(s))
-            }
+            ColumnData::Str { codes, dict, .. } => Some(dict[codes[i] as usize].as_ref().cmp(s)),
             _ => None,
         }
     }

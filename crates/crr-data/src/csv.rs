@@ -48,7 +48,10 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(DataError::Csv { line: line_no, message: "unterminated quote".into() });
+        return Err(DataError::Csv {
+            line: line_no,
+            message: "unterminated quote".into(),
+        });
     }
     fields.push(cur);
     Ok(fields)
@@ -64,7 +67,11 @@ fn infer_type(cells: &[&str]) -> AttrType {
         match ty {
             AttrType::Int => {
                 if cell.parse::<i64>().is_err() {
-                    ty = if cell.parse::<f64>().is_ok() { AttrType::Float } else { AttrType::Str };
+                    ty = if cell.parse::<f64>().is_ok() {
+                        AttrType::Float
+                    } else {
+                        AttrType::Str
+                    };
                 }
             }
             AttrType::Float => {
@@ -94,19 +101,32 @@ pub fn read_csv(reader: impl Read) -> Result<Table> {
     let buf = BufReader::new(reader);
     let mut lines = buf.lines().enumerate();
     let header = match lines.next() {
-        Some((_, line)) => parse_record(&line?, 1)?,
-        None => return Err(DataError::Csv { line: 0, message: "empty input".into() }),
+        Some((_, line)) => {
+            let owned = line?;
+            // Windows tools prepend a UTF-8 BOM; keep it out of the first
+            // column name. `lines()` splits CRLF, but a file whose last
+            // line ends in a bare `\r` (no final newline) leaks it — trim.
+            let s = owned.strip_prefix('\u{feff}').unwrap_or(&owned);
+            parse_record(s.strip_suffix('\r').unwrap_or(s), 1)?
+        }
+        None => {
+            return Err(DataError::Csv {
+                line: 0,
+                message: "empty input".into(),
+            })
+        }
     };
     let mut records: Vec<Vec<String>> = Vec::new();
     for (i, line) in lines {
-        let line = line?;
+        let owned = line?;
+        let line = owned.strip_suffix('\r').unwrap_or(&owned);
         // Blank lines are skipped for multi-column schemas, but a
         // single-column table legitimately serializes a null cell as an
         // empty line — that must parse back as one null row.
         if line.is_empty() && header.len() > 1 {
             continue;
         }
-        let rec = parse_record(&line, i + 1)?;
+        let rec = parse_record(line, i + 1)?;
         if rec.len() != header.len() {
             return Err(DataError::Csv {
                 line: i + 1,
@@ -224,7 +244,10 @@ mod tests {
         let src = "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n";
         let t = read_csv(src.as_bytes()).unwrap();
         assert_eq!(t.value(0, t.attr("name").unwrap()), Value::str("a,b"));
-        assert_eq!(t.value(0, t.attr("note").unwrap()), Value::str("say \"hi\""));
+        assert_eq!(
+            t.value(0, t.attr("note").unwrap()),
+            Value::str("say \"hi\"")
+        );
     }
 
     #[test]
@@ -250,12 +273,53 @@ mod tests {
     fn int_column_with_float_cell_widens() {
         let src = "v\n1\n2.5\n";
         let t = read_csv(src.as_bytes()).unwrap();
-        assert_eq!(t.schema().attribute(t.attr("v").unwrap()).ty(), AttrType::Float);
+        assert_eq!(
+            t.schema().attribute(t.attr("v").unwrap()).ty(),
+            AttrType::Float
+        );
     }
 
     #[test]
     fn unterminated_quote_is_an_error() {
         let src = "a\n\"open\n";
         assert!(read_csv(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn leading_bom_is_stripped_from_header() {
+        let src = "\u{feff}lat,date\n1.5,2\n";
+        let t = read_csv(src.as_bytes()).unwrap();
+        // The first column is addressable by its clean name.
+        let lat = t.attr("lat").expect("BOM must not pollute the name");
+        assert_eq!(t.value(0, lat), Value::Float(1.5));
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        // CRLF everywhere, including a final line with a bare trailing \r.
+        let src = "a,b\r\n1,x\r\n2,y\r";
+        let t = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let b = t.attr("b").unwrap();
+        assert_eq!(t.value(0, b), Value::str("x"));
+        assert_eq!(t.value(1, b), Value::str("y"));
+        assert_eq!(
+            t.schema().attribute(t.attr("a").unwrap()).ty(),
+            AttrType::Int
+        );
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        // Too few and too many fields both point at the offending line.
+        for (src, bad_line) in [("a,b\n1,2\n3\n", 3), ("a,b\n1,2,3\n", 2)] {
+            match read_csv(src.as_bytes()) {
+                Err(DataError::Csv { line, message }) => {
+                    assert_eq!(line, bad_line);
+                    assert!(message.contains("expected 2 fields"), "{message}");
+                }
+                other => panic!("expected ragged-row error, got {other:?}"),
+            }
+        }
     }
 }

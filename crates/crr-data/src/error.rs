@@ -26,13 +26,22 @@ impl fmt::Display for DataError {
         match self {
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
             DataError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} cells, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} cells, got {got}"
+                )
             }
-            DataError::TypeMismatch { attribute, expected, got } => write!(
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type mismatch on attribute {attribute}: expected {expected}, got {got}"
             ),
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::NotNumeric(name) => {
                 write!(f, "attribute {name} is not numeric")

@@ -17,7 +17,9 @@ impl RowSet {
 
     /// All rows `0..n`.
     pub fn all(n: usize) -> Self {
-        RowSet { rows: (0..n as u32).collect() }
+        RowSet {
+            rows: (0..n as u32).collect(),
+        }
     }
 
     /// From raw indices. Sorts and deduplicates to maintain the invariant.
@@ -49,7 +51,14 @@ impl RowSet {
 
     /// Keeps only rows satisfying `keep`.
     pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> RowSet {
-        RowSet { rows: self.rows.iter().copied().filter(|&r| keep(r as usize)).collect() }
+        RowSet {
+            rows: self
+                .rows
+                .iter()
+                .copied()
+                .filter(|&r| keep(r as usize))
+                .collect(),
+        }
     }
 
     /// Splits into `(satisfying, rest)` in one pass.

@@ -54,7 +54,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// Attribute name.
@@ -82,8 +85,10 @@ impl Schema {
     ///
     /// Panics on duplicate attribute names — a schema is a set.
     pub fn new<N: Into<String>>(attrs: Vec<(N, AttrType)>) -> Self {
-        let attrs: Vec<Attribute> =
-            attrs.into_iter().map(|(n, t)| Attribute::new(n, t)).collect();
+        let attrs: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, t)| Attribute::new(n, t))
+            .collect();
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (i, a) in attrs.iter().enumerate() {
             let prev = by_name.insert(a.name().to_string(), AttrId(i));
@@ -150,7 +155,10 @@ mod tests {
     fn lookup_by_name() {
         let s = sample();
         assert_eq!(s.attr("date").unwrap(), AttrId(1));
-        assert!(matches!(s.attr("nope"), Err(DataError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.attr("nope"),
+            Err(DataError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

@@ -185,10 +185,18 @@ mod tests {
             ("bird", AttrType::Str),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Float(56.2), Value::Int(218), Value::str("maria")])
-            .unwrap();
-        t.push_row(vec![Value::Float(55.8), Value::Int(219), Value::str("maria")])
-            .unwrap();
+        t.push_row(vec![
+            Value::Float(56.2),
+            Value::Int(218),
+            Value::str("maria"),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::Float(55.8),
+            Value::Int(219),
+            Value::str("maria"),
+        ])
+        .unwrap();
         t.push_row(vec![Value::Null, Value::Int(444), Value::str("raivo")])
             .unwrap();
         t
@@ -208,7 +216,10 @@ mod tests {
         let mut t = bird_table();
         assert!(matches!(
             t.push_row(vec![Value::Int(1)]),
-            Err(DataError::ArityMismatch { expected: 3, got: 1 })
+            Err(DataError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         assert_eq!(t.num_rows(), 3);
     }
@@ -216,7 +227,11 @@ mod tests {
     #[test]
     fn type_mismatch_rejected_atomically() {
         let mut t = bird_table();
-        let r = t.push_row(vec![Value::Float(1.0), Value::str("not a date"), Value::str("x")]);
+        let r = t.push_row(vec![
+            Value::Float(1.0),
+            Value::str("not a date"),
+            Value::str("x"),
+        ]);
         assert!(matches!(r, Err(DataError::TypeMismatch { .. })));
         // Nothing was appended to any column.
         assert_eq!(t.num_rows(), 3);

@@ -31,13 +31,16 @@ fn arb_value(ty: AttrType) -> BoxedStrategy<Value> {
 /// commas and quotes in strings).
 fn arb_table() -> impl Strategy<Value = Table> {
     prop::collection::vec(
-        prop_oneof![Just(AttrType::Int), Just(AttrType::Float), Just(AttrType::Str)],
+        prop_oneof![
+            Just(AttrType::Int),
+            Just(AttrType::Float),
+            Just(AttrType::Str)
+        ],
         1..5,
     )
     .prop_flat_map(|types| {
         let schema_types = types.clone();
-        let row_strategy: Vec<BoxedStrategy<Value>> =
-            types.iter().map(|&t| arb_value(t)).collect();
+        let row_strategy: Vec<BoxedStrategy<Value>> = types.iter().map(|&t| arb_value(t)).collect();
         prop::collection::vec(row_strategy, 1..30).prop_map(move |rows| {
             let schema = Schema::new(
                 schema_types

@@ -20,9 +20,9 @@ pub const SEXES: [&str; 3] = ["M", "F", "I"];
 /// M and F share the slope (translation pair); infants differ.
 pub fn ring_law(sex: usize) -> (f64, f64) {
     match sex {
-        0 => (18.0, 1.0),  // M
-        1 => (18.0, 2.2),  // F: same slope, shifted
-        _ => (10.0, 2.0),  // I: different growth regime
+        0 => (18.0, 1.0), // M
+        1 => (18.0, 2.2), // F: same slope, shifted
+        _ => (10.0, 2.0), // I: different growth regime
     }
 }
 
@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn ring_law_holds_per_sex() {
-        let ds = abalone(&GenConfig { rows: 1_000, seed: 13 });
+        let ds = abalone(&GenConfig {
+            rows: 1_000,
+            seed: 13,
+        });
         let t = &ds.table;
         let sex = t.attr("sex").unwrap();
         let length = t.attr("length").unwrap();
@@ -104,7 +107,10 @@ mod tests {
             let (slope, offset) = ring_law(idx);
             let expect = (slope * t.value_f64(r, length).unwrap() + offset).max(1.0);
             let got = t.value_f64(r, rings).unwrap();
-            assert!((got - expect).abs() <= NOISE + 1e-9, "row {r}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() <= NOISE + 1e-9,
+                "row {r}: {got} vs {expect}"
+            );
         }
     }
 
@@ -117,7 +123,10 @@ mod tests {
 
     #[test]
     fn infants_are_smaller() {
-        let ds = abalone(&GenConfig { rows: 2_000, seed: 17 });
+        let ds = abalone(&GenConfig {
+            rows: 2_000,
+            seed: 17,
+        });
         let t = &ds.table;
         let sex = t.attr("sex").unwrap();
         let length = t.attr("length").unwrap();

@@ -41,8 +41,23 @@ pub fn base_level(hour: i64) -> f64 {
 }
 
 const SENSORS: [&str; 17] = [
-    "co", "pt08_co", "nmhc", "c6h6", "pt08_nmhc", "nox", "pt08_nox", "no2",
-    "pt08_no2", "pt08_o3", "temp", "rh", "ah", "pm25", "pm10", "so2", "o3",
+    "co",
+    "pt08_co",
+    "nmhc",
+    "c6h6",
+    "pt08_nmhc",
+    "nox",
+    "pt08_nox",
+    "no2",
+    "pt08_no2",
+    "pt08_o3",
+    "temp",
+    "rh",
+    "ah",
+    "pm25",
+    "pm10",
+    "so2",
+    "o3",
 ];
 
 /// Per-sensor affine response `(gain, offset)` to the base pollutant.

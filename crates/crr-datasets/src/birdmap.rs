@@ -30,8 +30,14 @@ pub const SUMMER_LAT: f64 = 60.10;
 /// GPS noise amplitude (degrees).
 pub const NOISE: f64 = 0.15;
 
-const BIRD_NAMES: [&str; 6] =
-    ["1.Kalakotkas", "2.Maria", "3.Raivo", "4.Mart", "33.Erika", "7.Piret"];
+const BIRD_NAMES: [&str; 6] = [
+    "1.Kalakotkas",
+    "2.Maria",
+    "3.Raivo",
+    "4.Mart",
+    "33.Erika",
+    "7.Piret",
+];
 
 /// Latitude of `bird` on absolute `day`, before noise.
 pub fn true_latitude(bird: usize, day: i64) -> f64 {
@@ -162,14 +168,20 @@ mod tests {
 
     #[test]
     fn noise_is_bounded() {
-        let ds = birdmap(&GenConfig { rows: 3_000, seed: 11 });
+        let ds = birdmap(&GenConfig {
+            rows: 3_000,
+            seed: 11,
+        });
         let lat = ds.table.attr("latitude").unwrap();
         let date = ds.table.attr("date").unwrap();
         let bird = ds.table.attr("bird").unwrap();
         for r in 0..ds.table.num_rows() {
             let day = ds.table.value_f64(r, date).unwrap() as i64;
             let b = ds.table.value(r, bird);
-            let idx = BIRD_NAMES.iter().position(|n| Some(*n) == b.as_str()).unwrap();
+            let idx = BIRD_NAMES
+                .iter()
+                .position(|n| Some(*n) == b.as_str())
+                .unwrap();
             let observed = ds.table.value_f64(r, lat).unwrap();
             assert!(
                 (observed - true_latitude(idx, day)).abs() <= NOISE + 1e-12,
@@ -180,7 +192,10 @@ mod tests {
 
     #[test]
     fn expert_boundaries_cover_generated_range() {
-        let ds = birdmap(&GenConfig { rows: 6 * 400, seed: 1 });
+        let ds = birdmap(&GenConfig {
+            rows: 6 * 400,
+            seed: 1,
+        });
         let bounds = &ds.expert_boundaries["date"];
         assert!(bounds.len() >= 5);
         assert!(bounds.iter().any(|&b| b >= 400.0));

@@ -29,9 +29,11 @@ pub fn active_power(minute: i64) -> f64 {
     } else if m < morning_end {
         0.4 + (m - wake) as f64 * (2.6 / (morning_end - wake) as f64) // morning ramp to 3 kW
     } else if m < evening_start {
-        3.0 - (m - morning_end) as f64 * (1.8 / (evening_start - morning_end) as f64) // daytime decay
+        3.0 - (m - morning_end) as f64 * (1.8 / (evening_start - morning_end) as f64)
+    // daytime decay
     } else if m < night_start {
-        1.2 + (m - evening_start) as f64 * (3.3 / (night_start - evening_start) as f64) // evening ramp to 4.5 kW
+        1.2 + (m - evening_start) as f64 * (3.3 / (night_start - evening_start) as f64)
+    // evening ramp to 4.5 kW
     } else {
         4.5 - (m - night_start) as f64 * (4.1 / (DAY - night_start) as f64) // wind-down
     }
@@ -53,10 +55,10 @@ const CHANNELS: [&str; 11] = [
 
 fn channel_response(idx: usize) -> (f64, f64) {
     match idx {
-        0 => (1.0, 0.0),       // the aggregate itself
-        1 => (0.12, 0.05),     // reactive power tracks active
-        2 => (-0.8, 241.0),    // voltage sags under load
-        3 => (4.2, 0.3),       // intensity ∝ power
+        0 => (1.0, 0.0),                                    // the aggregate itself
+        1 => (0.12, 0.05),                                  // reactive power tracks active
+        2 => (-0.8, 241.0),                                 // voltage sags under load
+        3 => (4.2, 0.3),                                    // intensity ∝ power
         _ => (0.08 * idx as f64, 0.1 * (idx as f64 - 4.0)), // sub-meterings
     }
 }
@@ -121,7 +123,11 @@ mod tests {
     #[test]
     fn regimes_are_linear_within_segments() {
         // Second differences vanish inside each regime.
-        for window in [(0, REGIMES[0]), (REGIMES[0], REGIMES[1]), (REGIMES[2], REGIMES[3])] {
+        for window in [
+            (0, REGIMES[0]),
+            (REGIMES[0], REGIMES[1]),
+            (REGIMES[2], REGIMES[3]),
+        ] {
             for m in (window.0 + 2)..window.1 {
                 let dd = active_power(m) - 2.0 * active_power(m - 1) + active_power(m - 2);
                 assert!(dd.abs() < 1e-9, "minute {m}");
@@ -131,7 +137,10 @@ mod tests {
 
     #[test]
     fn voltage_sags_under_load() {
-        let ds = electricity(&GenConfig { rows: DAY as usize, seed: 5 });
+        let ds = electricity(&GenConfig {
+            rows: DAY as usize,
+            seed: 5,
+        });
         let volt = ds.table.attr("voltage").unwrap();
         // Evening peak (minute 1319) vs overnight (minute 100).
         let peak = ds.table.value_f64(1_319, volt).unwrap();

@@ -54,7 +54,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { rows: 10_000, seed: 42 }
+        GenConfig {
+            rows: 10_000,
+            seed: 42,
+        }
     }
 }
 
@@ -129,7 +132,12 @@ mod tests {
             assert_eq!(a.table.num_rows(), b.table.num_rows());
             for (id, _) in a.table.schema().iter() {
                 for r in 0..a.table.num_rows() {
-                    assert_eq!(a.table.value(r, id), b.table.value(r, id), "{} row {r}", a.name);
+                    assert_eq!(
+                        a.table.value(r, id),
+                        b.table.value(r, id),
+                        "{} row {r}",
+                        a.name
+                    );
                 }
             }
         }

@@ -63,9 +63,9 @@ pub fn tax(cfg: &GenConfig) -> Dataset {
     for _ in 0..cfg.rows {
         let state_idx = rng.gen_range(0..STATES.len());
         let salary = rng.gen_range(18_000.0f64..180_000.0);
-        let tax_amount = rate_of(state_idx) * salary - deduction_of(state_idx)
-            + noise(&mut rng, NOISE);
-        let age = rng.gen_range(18..75);
+        let tax_amount =
+            rate_of(state_idx) * salary - deduction_of(state_idx) + noise(&mut rng, NOISE);
+        let age: i64 = rng.gen_range(18..75);
         let dependents = rng.gen_range(0..5);
         let years = rng.gen_range(0..(age - 17).min(40));
         let bonus = salary * rng.gen_range(0.0..0.15);
@@ -77,8 +77,12 @@ pub fn tax(cfg: &GenConfig) -> Dataset {
         table
             .push_row(vec![
                 Value::str(STATES[state_idx]),
-                Value::Int(10_000 + state_idx as i64 * 400 + rng.gen_range(0..400)),
-                Value::str(format!("{}-city-{}", STATES[state_idx], rng.gen_range(0..8))),
+                Value::Int(10_000 + state_idx as i64 * 400 + rng.gen_range(0..400i64)),
+                Value::str(format!(
+                    "{}-city-{}",
+                    STATES[state_idx],
+                    rng.gen_range(0..8)
+                )),
                 Value::Float(salary),
                 Value::Float(tax_amount),
                 Value::Float(rate_of(state_idx) * 100.0),
@@ -116,7 +120,10 @@ mod tests {
 
     #[test]
     fn tax_law_holds_per_state() {
-        let ds = tax(&GenConfig { rows: 2_000, seed: 7 });
+        let ds = tax(&GenConfig {
+            rows: 2_000,
+            seed: 7,
+        });
         let t = &ds.table;
         let state = t.attr("state").unwrap();
         let salary = t.attr("salary").unwrap();

@@ -1,0 +1,202 @@
+//! Resource budgets and cooperative cancellation for the discovery runtime.
+//!
+//! Algorithm 1 is the system's hot loop; under production traffic it must
+//! run with *bounded* latency and degrade gracefully instead of running
+//! unbounded or aborting. A [`Budget`] caps a run along three axes —
+//! wall-clock deadline, priority-queue expansions, and model fits — and a
+//! [`CancelToken`] lets a caller (timeout supervisor, request handler,
+//! shutdown path) stop a run from another thread. Both are checked at each
+//! priority-queue pop in [`crate::discover`]; when a limit trips, the
+//! search stops refining, covers every still-queued partition with a cheap
+//! constant fallback model (so Problem 1's coverage guarantee survives),
+//! and tags the result with a [`DiscoveryOutcome`] describing why it
+//! stopped — the anytime-with-guarantees contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one [`crate::discover`] run. The default is
+/// unlimited on every axis, matching the paper's offline setting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit, measured from the start of the run.
+    pub deadline: Option<Duration>,
+    /// Maximum priority-queue pops (partitions explored).
+    pub max_expansions: Option<usize>,
+    /// Maximum new model fits (line 13 executions).
+    pub max_fits: Option<usize>,
+}
+
+impl Budget {
+    /// No limits — discovery runs to completion.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps priority-queue expansions.
+    pub fn with_max_expansions(mut self, n: usize) -> Self {
+        self.max_expansions = Some(n);
+        self
+    }
+
+    /// Caps new model fits.
+    pub fn with_max_fits(mut self, n: usize) -> Self {
+        self.max_fits = Some(n);
+        self
+    }
+
+    /// True when no axis is limited (the fast path skips clock reads).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_expansions.is_none() && self.max_fits.is_none()
+    }
+
+    /// Checks every axis against the run's counters. Returns the first
+    /// tripped limit, or `None` while the run may continue.
+    pub fn check(
+        &self,
+        started: Instant,
+        expansions: usize,
+        fits: usize,
+    ) -> Option<DiscoveryOutcome> {
+        if let Some(d) = self.deadline {
+            if started.elapsed() >= d {
+                return Some(DiscoveryOutcome::DeadlineExceeded);
+            }
+        }
+        if let Some(n) = self.max_expansions {
+            if expansions >= n {
+                return Some(DiscoveryOutcome::BudgetExhausted);
+            }
+        }
+        if let Some(n) = self.max_fits {
+            if fits >= n {
+                return Some(DiscoveryOutcome::BudgetExhausted);
+            }
+        }
+        None
+    }
+}
+
+/// Shareable cooperative cancellation flag. Clones share the same flag;
+/// any holder may cancel, and the discovery loop observes it at each
+/// queue pop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why a [`crate::discover`] run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscoveryOutcome {
+    /// The search ran to completion; the ruleset is the full Algorithm 1
+    /// result.
+    #[default]
+    Complete,
+    /// The wall-clock deadline tripped; still-queued partitions were
+    /// covered with fallback constants.
+    DeadlineExceeded,
+    /// An expansion or fit cap tripped; still-queued partitions were
+    /// covered with fallback constants.
+    BudgetExhausted,
+    /// The caller's [`CancelToken`] fired.
+    Cancelled,
+}
+
+impl DiscoveryOutcome {
+    /// True only for a full, un-degraded run.
+    pub fn is_complete(self) -> bool {
+        self == DiscoveryOutcome::Complete
+    }
+}
+
+impl std::fmt::Display for DiscoveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveryOutcome::Complete => write!(f, "complete"),
+            DiscoveryOutcome::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            DiscoveryOutcome::BudgetExhausted => write!(f, "budget-exhausted"),
+            DiscoveryOutcome::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.check(Instant::now(), usize::MAX, usize::MAX), None);
+    }
+
+    #[test]
+    fn deadline_trips_after_elapse() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert_eq!(b.check(Instant::now(), 0, 0), None);
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(
+            b.check(Instant::now(), 0, 0),
+            Some(DiscoveryOutcome::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn expansion_and_fit_caps_trip() {
+        let b = Budget::unlimited().with_max_expansions(10).with_max_fits(5);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.check(Instant::now(), 9, 4), None);
+        assert_eq!(
+            b.check(Instant::now(), 10, 0),
+            Some(DiscoveryOutcome::BudgetExhausted)
+        );
+        assert_eq!(
+            b.check(Instant::now(), 0, 5),
+            Some(DiscoveryOutcome::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn outcome_display_and_completeness() {
+        assert!(DiscoveryOutcome::Complete.is_complete());
+        assert!(!DiscoveryOutcome::Cancelled.is_complete());
+        assert_eq!(
+            DiscoveryOutcome::DeadlineExceeded.to_string(),
+            "deadline-exceeded"
+        );
+    }
+}

@@ -72,7 +72,10 @@ fn compact_impl(
     validate: Option<(&crr_data::Table, &crr_data::RowSet, f64)>,
 ) -> Result<(RuleSet, CompactionStats)> {
     let start = Instant::now();
-    let mut stats = CompactionStats { rules_in: rules.len(), ..Default::default() };
+    let mut stats = CompactionStats {
+        rules_in: rules.len(),
+        ..Default::default()
+    };
 
     // Working set Σ*, phase 1. The queue holds indices into `work`.
     let mut work: Vec<Option<Crr>> = rules.rules().iter().cloned().map(Some).collect();
@@ -92,7 +95,9 @@ fn compact_impl(
             if j == i {
                 continue;
             }
-            let Some(phi_p) = work[j].as_ref() else { continue };
+            let Some(phi_p) = work[j].as_ref() else {
+                continue;
+            };
             // Line 5: f' ≠ f — identical models are phase 2's job. Both
             // tests are by reference; nothing is cloned until a
             // translation is actually found.
@@ -153,14 +158,11 @@ fn compact_impl(
             continue;
         }
         // Line 13: Generalization to the common rho.
-        let rho = members
-            .iter()
-            .fold(rep.rho(), |acc, r| acc.max(r.rho()));
+        let rho = members.iter().fold(rep.rho(), |acc, r| acc.max(r.rho()));
         let mut fused = generalization(&rep, rho)?;
         // Line 14: Fusion — concatenate conjuncts, deduplicating by hash.
         let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut conjuncts: Vec<crr_core::Conjunction> =
-            fused.condition().conjuncts().to_vec();
+        let mut conjuncts: Vec<crr_core::Conjunction> = fused.condition().conjuncts().to_vec();
         for (i, c) in conjuncts.iter().enumerate() {
             seen.entry(conj_key(c)).or_default().push(i);
         }
@@ -244,8 +246,11 @@ fn reshare_on_data(
             if !conj.eval(table, r) {
                 continue;
             }
-            let x: Option<Vec<f64>> =
-                rule.inputs().iter().map(|&a| table.value_f64(r, a)).collect();
+            let x: Option<Vec<f64>> = rule
+                .inputs()
+                .iter()
+                .map(|&a| table.value_f64(r, a))
+                .collect();
             let (Some(x), Some(actual)) = (x, table.value_f64(r, rule.target())) else {
                 continue;
             };
@@ -311,7 +316,8 @@ mod tests {
         for i in 0..200 {
             let xv = i as f64;
             let yv = if xv < 100.0 { xv } else { xv - 50.0 };
-            t.push_row(vec![Value::Float(xv), Value::Float(yv)]).unwrap();
+            t.push_row(vec![Value::Float(xv), Value::Float(yv)])
+                .unwrap();
         }
         t
     }
@@ -424,15 +430,13 @@ mod tests {
         // Second segment's true slope is 1.01: within a loose tol of the
         // first rule's slope 1.0, but over x ∈ [100, 200] no constant shift
         // of f₁ fits it within rho_max — drift (1.01 − 1)·100 / 2 = 0.5.
-        let schema = crr_data::Schema::new(vec![
-            ("x", AttrType::Float),
-            ("y", AttrType::Float),
-        ]);
+        let schema = crr_data::Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for i in 0..200 {
             let xv = i as f64;
             let yv = if xv < 100.0 { xv } else { 1.01 * xv - 51.0 };
-            t.push_row(vec![Value::Float(xv), Value::Float(yv)]).unwrap();
+            t.push_row(vec![Value::Float(xv), Value::Float(yv)])
+                .unwrap();
         }
         let rules = RuleSet::from_rules(vec![
             rule(1.0, 0.0, 0.0, 0.0, 100.0),
@@ -441,8 +445,7 @@ mod tests {
         let loose_tol = 0.02;
         let (pure, _) = compact(&rules, loose_tol).unwrap();
         assert_eq!(pure.len(), 1); // pure inference merges (approximately)
-        let (validated, _) =
-            compact_on_data(&rules, loose_tol, 0.11, &t, &t.all_rows()).unwrap();
+        let (validated, _) = compact_on_data(&rules, loose_tol, 0.11, &t, &t.all_rows()).unwrap();
         // Validation measures the drift and keeps the rules apart.
         assert_eq!(validated.len(), 2);
         // ... and keeps the semantics exact, unlike the pure merge.
@@ -461,8 +464,7 @@ mod tests {
             rule(1.0, 0.0, 0.0, 0.0, 100.0),
             rule(1.0, -50.0, 0.0, 100.0, 200.0),
         ]);
-        let (out, stats) =
-            compact_on_data(&rules, 1e-9, 0.01, &t, &t.all_rows()).unwrap();
+        let (out, stats) = compact_on_data(&rules, 1e-9, 0.01, &t, &t.all_rows()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(stats.translations, 1);
         let before = rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);

@@ -1,5 +1,8 @@
+use crate::budget::{Budget, CancelToken};
+use crate::faults::FaultPlan;
 use crr_data::AttrId;
 use crr_models::{FitConfig, ModelKind};
+use std::sync::Arc;
 
 /// Order in which Algorithm 1's priority queue emits conjunctions
 /// (Table IV's experiment).
@@ -65,6 +68,16 @@ pub struct DiscoveryConfig {
     /// Hard cap on split candidates evaluated per partition, bounding split
     /// cost on huge predicate spaces.
     pub max_split_candidates: usize,
+    /// Resource limits for the run (deadline, expansions, fits). Checked at
+    /// each priority-queue pop; tripping degrades gracefully to a
+    /// best-so-far ruleset tagged with a [`crate::DiscoveryOutcome`].
+    pub budget: Budget,
+    /// Cooperative cancellation: callers holding a clone of the token can
+    /// stop the run from another thread.
+    pub cancel: Option<CancelToken>,
+    /// Test-only fault injection consulted before every model fit. `None`
+    /// in production configs.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl DiscoveryConfig {
@@ -81,6 +94,9 @@ impl DiscoveryConfig {
             share_models: true,
             min_partition: None,
             max_split_candidates: 64,
+            budget: Budget::unlimited(),
+            cancel: None,
+            faults: None,
         }
     }
 
@@ -99,6 +115,24 @@ impl DiscoveryConfig {
     /// Enables/disables model sharing.
     pub fn with_sharing(mut self, share: bool) -> Self {
         self.share_models = share;
+        self
+    }
+
+    /// Caps the run's resources; see [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token observed at each queue pop.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a fault-injection plan (tests only).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
         self
     }
 

@@ -20,24 +20,72 @@ pub enum DiscoveryError {
     Model(crr_models::ModelError),
     /// Table access failed.
     Data(crr_data::DataError),
+    /// A row reported complete by the table was missing a value when read
+    /// back — an invariant breach surfaced as an error instead of a panic.
+    IncompleteRow {
+        /// Row index within the table.
+        row: usize,
+        /// Name of the attribute whose value was absent.
+        attr: String,
+    },
+    /// A cell held NaN or ±Inf where a finite number was required. Dirty
+    /// inputs degrade to a typed error, never a poisoned fit.
+    NonFiniteValue {
+        /// Row index within the table.
+        row: usize,
+        /// Name of the offending attribute.
+        attr: String,
+    },
+    /// A fault-injection plan ([`crate::faults::FaultPlan`]) failed this
+    /// fit on purpose. Only ever produced under test harnesses.
+    InjectedFault {
+        /// 1-based index of the faulted fit attempt.
+        fit: u64,
+    },
+    /// A discovery task panicked; [`crate::parallel::discover_all`]
+    /// isolated the panic so sibling targets still completed.
+    TaskPanicked {
+        /// Index of the task within the submitted batch.
+        task: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for DiscoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DiscoveryError::TrivialTarget => {
-                write!(f, "target attribute is among the inputs (trivial by Reflexivity)")
+                write!(
+                    f,
+                    "target attribute is among the inputs (trivial by Reflexivity)"
+                )
             }
             DiscoveryError::NonNumericTarget(name) => {
                 write!(f, "target attribute {name} is not numeric")
             }
             DiscoveryError::PredicateOnTarget => {
-                write!(f, "predicate space contains predicates on the target attribute")
+                write!(
+                    f,
+                    "predicate space contains predicates on the target attribute"
+                )
             }
             DiscoveryError::EmptyInstance => write!(f, "no rows to discover over"),
             DiscoveryError::Core(e) => write!(f, "rule error: {e}"),
             DiscoveryError::Model(e) => write!(f, "model error: {e}"),
             DiscoveryError::Data(e) => write!(f, "data error: {e}"),
+            DiscoveryError::IncompleteRow { row, attr } => {
+                write!(f, "row {row} is missing a value for attribute {attr}")
+            }
+            DiscoveryError::NonFiniteValue { row, attr } => {
+                write!(f, "row {row} holds a non-finite value for attribute {attr}")
+            }
+            DiscoveryError::InjectedFault { fit } => {
+                write!(f, "fit #{fit} failed by fault injection")
+            }
+            DiscoveryError::TaskPanicked { task, message } => {
+                write!(f, "discovery task {task} panicked: {message}")
+            }
         }
     }
 }

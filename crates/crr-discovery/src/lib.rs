@@ -24,6 +24,15 @@
 //! future-work note, [`pruning`]) and multi-target parallel discovery
 //! ([`parallel`]).
 //!
+//! The runtime is *budgeted and fault-tolerant*: a [`Budget`] (wall-clock
+//! deadline, expansion cap, fit cap) and a [`CancelToken`] are observed at
+//! each queue pop, and a tripped limit degrades gracefully — still-queued
+//! partitions are covered with constant fallbacks so Problem 1's coverage
+//! guarantee survives, and the result is tagged with a
+//! [`DiscoveryOutcome`]. Panicking fits are isolated per task in
+//! [`parallel::discover_all`], and the [`faults`] module injects failures
+//! deterministically to prove every degradation path under test.
+//!
 //! # Example
 //!
 //! ```
@@ -43,17 +52,21 @@
 //! assert!(result.rules.num_distinct_models() <= result.rules.len());
 //! ```
 
+mod budget;
 mod compaction;
 mod config;
 mod error;
+pub mod faults;
 pub mod parallel;
 pub mod predicates;
 pub mod pruning;
 mod search;
 
+pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
 pub use config::{DiscoveryConfig, QueueOrder, SplitStrategy};
 pub use error::DiscoveryError;
+pub use faults::{inject_dirty_cells, FaultPlan};
 pub use predicates::{PredicateGen, PredicateSpace};
 pub use search::{discover, Discovery, DiscoveryStats};
 

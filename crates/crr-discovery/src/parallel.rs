@@ -3,10 +3,14 @@
 //!
 //! Discovery runs are independent per target, so this is a straightforward
 //! scoped-thread fan-out over the same immutable table — no locking, no
-//! channels, one result slot per target.
+//! channels, one result slot per target. Each task is panic-isolated: a
+//! poisoned fit (solver bug, injected fault) becomes that task's
+//! [`DiscoveryError::TaskPanicked`] while every other target completes
+//! normally.
 
-use crate::{discover, Discovery, DiscoveryConfig, PredicateSpace, Result};
+use crate::{discover, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result};
 use crr_data::{RowSet, Table};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One discovery task: a configuration plus its predicate space.
 #[derive(Debug, Clone)]
@@ -28,7 +32,8 @@ pub fn discover_all(
     if threads <= 1 || tasks.len() <= 1 {
         return tasks
             .iter()
-            .map(|t| discover(table, rows, &t.config, &t.space))
+            .enumerate()
+            .map(|(i, t)| run_isolated(table, rows, t, i))
             .collect();
     }
     let mut results: Vec<Option<Result<Discovery>>> = (0..tasks.len()).map(|_| None).collect();
@@ -45,13 +50,48 @@ pub fn discover_all(
                 if i >= tasks.len() {
                     break;
                 }
-                let out = discover(table, rows, &tasks[i].config, &tasks[i].space);
+                let out = run_isolated(table, rows, &tasks[i], i);
                 // Safety of the write: each index is claimed exactly once.
                 unsafe { chunks.set(i, out) };
             });
         }
     });
-    results.into_iter().map(|r| r.expect("all tasks claimed")).collect()
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                // Unreachable: the claim loop covers every index. Typed
+                // error rather than panic, to honor the isolation contract.
+                Err(DiscoveryError::TaskPanicked {
+                    task: i,
+                    message: "result slot never written".to_string(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// Runs one task, converting a panic anywhere inside `discover` (a
+/// poisoned solver, an injected fault) into that task's
+/// [`DiscoveryError::TaskPanicked`]. `discover` only reads the shared
+/// table and a panicking run's partial state is discarded wholesale, so
+/// resuming after the unwind is sound.
+fn run_isolated(table: &Table, rows: &RowSet, task: &Task, index: usize) -> Result<Discovery> {
+    catch_unwind(AssertUnwindSafe(|| {
+        discover(table, rows, &task.config, &task.space)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(DiscoveryError::TaskPanicked {
+            task: index,
+            message,
+        })
+    })
 }
 
 /// Shared mutable slot access with disjoint-index writes.
@@ -141,6 +181,32 @@ mod tests {
             assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
             let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
             assert!(rep.rmse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        use crate::FaultPlan;
+        use std::sync::Arc;
+        let t = table();
+        let mut ts = tasks(&t);
+        // Poison the middle task: its very first fit panics.
+        ts[1].config.faults = Some(Arc::new(FaultPlan::new().panic_fit_every(1)));
+        for threads in [1, 3] {
+            let results = discover_all(&t, &t.all_rows(), &ts, threads);
+            assert_eq!(results.len(), 3);
+            match &results[1] {
+                Err(DiscoveryError::TaskPanicked { task: 1, message }) => {
+                    assert!(message.contains("injected fit panic"), "{message}");
+                }
+                other => panic!("expected TaskPanicked, got {other:?}"),
+            }
+            // Sibling targets are untouched by the poisoned task.
+            for i in [0, 2] {
+                let d = results[i].as_ref().unwrap();
+                assert!(d.outcome.is_complete());
+                assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+            }
         }
     }
 

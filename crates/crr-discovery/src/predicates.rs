@@ -68,7 +68,11 @@ impl PredicateSpace {
             })
             .collect();
         let categorical_eq = categorical.into_iter().collect();
-        PredicateSpace { preds, numeric_sorted, categorical_eq }
+        PredicateSpace {
+            preds,
+            numeric_sorted,
+            categorical_eq,
+        }
     }
 
     /// Finds *some* predicate separating `rows` (both sides non-empty), or
@@ -229,12 +233,10 @@ impl PredicateGen {
                         continue;
                     }
                     let constants = match self {
-                        PredicateGen::Binary { per_attr } => {
-                            binary_constants(lo, hi, *per_attr)
+                        PredicateGen::Binary { per_attr } => binary_constants(lo, hi, *per_attr),
+                        PredicateGen::Random { per_attr } => {
+                            (0..*per_attr).map(|_| rng.gen_range(lo..hi)).collect()
                         }
-                        PredicateGen::Random { per_attr } => (0..*per_attr)
-                            .map(|_| rng.gen_range(lo..hi))
-                            .collect(),
                         PredicateGen::Expert { boundaries } => {
                             let name = table.schema().attribute(attr).name();
                             boundaries
@@ -403,7 +405,11 @@ mod tests {
         let space = gen.generate(&t, &[v], y, 0);
         // 99.0 is outside the domain and dropped; 2 constants × 2 ops.
         assert_eq!(space.len(), 4);
-        let consts: Vec<f64> = space.predicates().iter().map(|p| p.value.as_f64().unwrap()).collect();
+        let consts: Vec<f64> = space
+            .predicates()
+            .iter()
+            .map(|p| p.value.as_f64().unwrap())
+            .collect();
         assert!(consts.contains(&3.5) && consts.contains(&7.5));
     }
 

@@ -228,12 +228,18 @@ mod tests {
             .unwrap();
         }
         let m = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
-        let cond = Dnf::single(Conjunction::of(vec![Predicate::lt(x(), Value::Float(30.0))]));
+        let cond = Dnf::single(Conjunction::of(vec![Predicate::lt(
+            x(),
+            Value::Float(30.0),
+        )]));
         let rule = Crr::new(vec![x()], y(), m, 0.1, cond).unwrap();
         let rules = RuleSet::from_rules(vec![rule]);
         let (pruned, stats) = prune(&rules, &t, &t.all_rows());
         assert_eq!(stats.predicates_removed, 0);
-        assert_eq!(pruned.rules()[0].condition().conjuncts()[0].preds().len(), 1);
+        assert_eq!(
+            pruned.rules()[0].condition().conjuncts()[0].preds().len(),
+            1
+        );
     }
 
     #[test]

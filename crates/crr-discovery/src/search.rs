@@ -17,9 +17,12 @@
 //!   model even when its bias exceeds `ρ_M` — down to the constant-per-
 //!   tuple edge case.
 
-use crate::{DiscoveryConfig, DiscoveryError, PredicateSpace, QueueOrder, Result, SplitStrategy};
+use crate::{
+    DiscoveryConfig, DiscoveryError, DiscoveryOutcome, PredicateSpace, QueueOrder, Result,
+    SplitStrategy,
+};
 use crr_core::{Conjunction, Crr, Dnf, RuleSet};
-use crr_data::{AttrType, RowSet, Table};
+use crr_data::{AttrId, AttrType, RowSet, Table};
 use crr_models::{fit_model, Model, Regressor, Translation};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -41,6 +44,13 @@ pub struct DiscoveryStats {
     /// Rows whose condition attributes were null — not coverable by any
     /// split (only non-zero on tables with nulls outside the target).
     pub uncoverable_rows: usize,
+    /// Partitions still queued when the budget tripped, covered with
+    /// constant fallback rules instead of being refined (zero on complete
+    /// runs).
+    pub drained_partitions: usize,
+    /// Rows covered by drained-partition fallback rules rather than
+    /// refined ones.
+    pub drained_rows: usize,
     /// Wall-clock time of the run.
     pub learning_time: Duration,
 }
@@ -52,6 +62,11 @@ pub struct Discovery {
     pub rules: RuleSet,
     /// Run counters.
     pub stats: DiscoveryStats,
+    /// Why the run stopped: [`DiscoveryOutcome::Complete`] for a full
+    /// Algorithm 1 run, otherwise which budget axis (or cancellation)
+    /// tripped. Degraded runs still cover every coverable row — queued
+    /// partitions are drained with constant fallbacks.
+    pub outcome: DiscoveryOutcome,
 }
 
 /// Priority-queue entry: a conjunction, its partition, and the predicates
@@ -151,10 +166,56 @@ pub fn discover(
         avail: (0..space.len() as u32).collect(),
     });
 
+    // Budget and cancellation checks run at each queue pop; the (default)
+    // unlimited-and-uncancellable path skips them entirely, so complete
+    // runs pay nothing for the machinery.
+    let watched = !cfg.budget.is_unlimited() || cfg.cancel.is_some();
+    let mut outcome = DiscoveryOutcome::Complete;
+
     // Line 4: main loop.
     while let Some(entry) = queue.pop() {
+        if watched {
+            if cfg.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                outcome = DiscoveryOutcome::Cancelled;
+            } else if let Some(tripped) =
+                cfg.budget
+                    .check(start, stats.partitions_explored, stats.models_trained)
+            {
+                outcome = tripped;
+            }
+            if !outcome.is_complete() {
+                // Graceful degradation: stop refining, but keep Problem 1's
+                // coverage guarantee — cover this and every still-queued
+                // partition with a constant (the partition's target
+                // midrange; the global fallback when it has none).
+                let mut pending = Some(entry);
+                while let Some(e) = pending.take().or_else(|| queue.pop()) {
+                    if e.rows.is_empty() {
+                        continue;
+                    }
+                    let (c, rho) = partition_midrange(table, cfg.target, &e.rows)
+                        .unwrap_or((global_fallback, cfg.rho_max));
+                    let model = Arc::new(Model::Constant(crr_models::ConstantModel::new(
+                        c,
+                        cfg.inputs.len(),
+                    )));
+                    rules.push(Crr::new(
+                        cfg.inputs.clone(),
+                        cfg.target,
+                        model,
+                        rho,
+                        Dnf::single(e.conj),
+                    )?);
+                    stats.drained_partitions += 1;
+                    stats.drained_rows += e.rows.len();
+                }
+                break;
+            }
+        }
         stats.partitions_explored += 1;
-        let Entry { conj, rows, avail, .. } = entry;
+        let Entry {
+            conj, rows, avail, ..
+        } = entry;
         if rows.is_empty() {
             continue;
         }
@@ -178,19 +239,16 @@ pub fn discover(
             stats.forced_accepts += 1;
             continue;
         }
-        let xs: Vec<Vec<f64>> = fit_rows
-            .iter()
-            .map(|r| {
-                cfg.inputs
-                    .iter()
-                    .map(|&a| table.value_f64(r, a).expect("complete row"))
-                    .collect()
-            })
-            .collect();
-        let y: Vec<f64> = fit_rows
-            .iter()
-            .map(|r| table.value_f64(r, cfg.target).expect("complete row"))
-            .collect();
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(fit_rows.len());
+        let mut y: Vec<f64> = Vec::with_capacity(fit_rows.len());
+        for r in fit_rows.iter() {
+            let mut x = Vec::with_capacity(cfg.inputs.len());
+            for &a in &cfg.inputs {
+                x.push(finite_cell(table, r, a)?);
+            }
+            xs.push(x);
+            y.push(finite_cell(table, r, cfg.target)?);
+        }
 
         // Lines 7–10: try to share a pooled model, and in the same pass
         // compute the sharing index ind(C) (line 12).
@@ -226,7 +284,10 @@ pub fn discover(
             continue;
         }
 
-        // Line 13: train a new model on D_C.
+        // Line 13: train a new model on D_C (after any injected fault).
+        if let Some(faults) = &cfg.faults {
+            faults.before_fit()?;
+        }
         let model = fit_model(&xs, &y, &cfg.fit)?;
         stats.models_trained += 1;
         let rho = crr_models::max_abs_residual(&model, &xs, &y);
@@ -267,9 +328,7 @@ pub fn discover(
                 stats.uncoverable_rows += rows.len() - yes.len() - no.len();
                 let child_avail: Vec<u32> =
                     avail.iter().copied().filter(|&i| i != split_idx).collect();
-                for (child_conj, child_rows) in
-                    [(conj.and(p), yes), (conj.and(np), no)]
-                {
+                for (child_conj, child_rows) in [(conj.and(p), yes), (conj.and(np), no)] {
                     if child_rows.is_empty() {
                         continue;
                     }
@@ -301,7 +360,42 @@ pub fn discover(
     }
 
     stats.learning_time = start.elapsed();
-    Ok(Discovery { rules, stats })
+    Ok(Discovery {
+        rules,
+        stats,
+        outcome,
+    })
+}
+
+/// Reads one numeric cell, surfacing absence or NaN/±Inf as typed errors
+/// (never a panic): dirty tables degrade to `Err`, not a poisoned fit.
+fn finite_cell(table: &Table, row: usize, attr: AttrId) -> Result<f64> {
+    let name = || table.schema().attribute(attr).name().to_string();
+    let v = table
+        .value_f64(row, attr)
+        .ok_or_else(|| DiscoveryError::IncompleteRow { row, attr: name() })?;
+    if !v.is_finite() {
+        return Err(DiscoveryError::NonFiniteValue { row, attr: name() });
+    }
+    Ok(v)
+}
+
+/// Midrange and half-range of the target's finite values over a partition;
+/// `None` when no row has one. The midrange constant's worst absolute
+/// error on the partition is exactly the half-range, so drained rules
+/// report an honest `ρ`.
+fn partition_midrange(table: &Table, target: AttrId, rows: &RowSet) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows.iter() {
+        if let Some(v) = table.value_f64(r, target) {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    lo.is_finite().then(|| ((lo + hi) / 2.0, (hi - lo) / 2.0))
 }
 
 /// Proposition 6's shared-fit test for one pooled model: returns
@@ -399,7 +493,9 @@ fn choose_split(
             }
             _ => {
                 for r in rows.iter() {
-                    let Some(v) = table.value_f64(r, target) else { continue };
+                    let Some(v) = table.value_f64(r, target) else {
+                        continue;
+                    };
                     if p.eval(table, r) {
                         n1 += 1;
                         s1 += v;
@@ -419,8 +515,7 @@ fn choose_split(
             let m = s / n as f64;
             (q / n as f64 - m * m).max(0.0)
         };
-        let score = (n1 as f64 * var(n1, s1, q1) + n2 as f64 * var(n2, s2, q2))
-            / (n1 + n2) as f64;
+        let score = (n1 as f64 * var(n1, s1, q1) + n2 as f64 * var(n2, s2, q2)) / (n1 + n2) as f64;
         if best.map_or(true, |(b, _)| score < b) {
             best = Some((score, idx));
         }
@@ -440,7 +535,7 @@ fn choose_split(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PredicateGen;
+    use crate::{Budget, CancelToken, FaultPlan, PredicateGen};
     use crr_core::LocateStrategy;
     use crr_data::{Schema, Value};
     use crr_models::ModelKind;
@@ -458,20 +553,11 @@ mod tests {
     }
 
     fn cfg_for(t: &Table) -> DiscoveryConfig {
-        DiscoveryConfig::new(
-            vec![t.attr("x").unwrap()],
-            t.attr("y").unwrap(),
-            0.5,
-        )
+        DiscoveryConfig::new(vec![t.attr("x").unwrap()], t.attr("y").unwrap(), 0.5)
     }
 
     fn space_for(t: &Table, per_attr: usize) -> PredicateSpace {
-        PredicateGen::binary(per_attr).generate(
-            t,
-            &[t.attr("x").unwrap()],
-            t.attr("y").unwrap(),
-            0,
-        )
+        PredicateGen::binary(per_attr).generate(t, &[t.attr("x").unwrap()], t.attr("y").unwrap(), 0)
     }
 
     #[test]
@@ -504,7 +590,11 @@ mod tests {
         // Its built-in shift is the inter-segment offset (±50, which side
         // depends on which segment trained first).
         let b = shared_rule.condition().conjuncts()[0].builtin().unwrap();
-        assert!((b.delta_y.abs() - 50.0).abs() < 0.5 + 1e-9, "delta_y {}", b.delta_y);
+        assert!(
+            (b.delta_y.abs() - 50.0).abs() < 0.5 + 1e-9,
+            "delta_y {}",
+            b.delta_y
+        );
     }
 
     #[test]
@@ -636,12 +726,94 @@ mod tests {
         for i in 0..100 {
             let x = i as f64;
             let n = if i % 2 == 0 { 0.2 } else { -0.2 };
-            t.push_row(vec![Value::Float(x), Value::Float(2.0 * x + n)]).unwrap();
+            t.push_row(vec![Value::Float(x), Value::Float(2.0 * x + n)])
+                .unwrap();
         }
         let cfg = cfg_for(&t);
         let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
         assert_eq!(d.rules.len(), 1);
         assert!(d.rules.rules()[0].rho() <= 0.5);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_but_still_covers() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t).with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.outcome, DiscoveryOutcome::DeadlineExceeded);
+        // Degraded, not empty: the drained fallback still covers every row.
+        assert!(d.rules.len() >= 1);
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+        assert!(d.stats.drained_partitions >= 1);
+        assert_eq!(d.stats.drained_rows, 200);
+        // The fallback rho is honest on its own partition.
+        for rule in d.rules.rules() {
+            assert!(rule.find_violation(&t, &t.all_rows()).is_none());
+        }
+    }
+
+    #[test]
+    fn expansion_cap_trips_budget_exhausted() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t).with_budget(Budget::unlimited().with_max_expansions(1));
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.outcome, DiscoveryOutcome::BudgetExhausted);
+        assert_eq!(d.stats.partitions_explored, 1);
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn fit_cap_trips_budget_exhausted() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t).with_budget(Budget::unlimited().with_max_fits(1));
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.outcome, DiscoveryOutcome::BudgetExhausted);
+        assert_eq!(d.stats.models_trained, 1);
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_first_pop() {
+        let t = two_segment_table();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = cfg_for(&t).with_cancel(token);
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.outcome, DiscoveryOutcome::Cancelled);
+        assert_eq!(d.stats.partitions_explored, 0);
+        assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn unlimited_run_reports_complete() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert!(d.outcome.is_complete());
+        assert_eq!(d.stats.drained_partitions, 0);
+        assert_eq!(d.stats.drained_rows, 0);
+    }
+
+    #[test]
+    fn injected_fit_failure_is_typed() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t).with_faults(Arc::new(FaultPlan::new().fail_fit_every(1)));
+        assert!(matches!(
+            discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)),
+            Err(DiscoveryError::InjectedFault { fit: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_cell_is_typed_error() {
+        let mut t = two_segment_table();
+        let x = t.attr("x").unwrap();
+        t.set_value(13, x, Value::Float(f64::NAN));
+        let cfg = cfg_for(&t);
+        match discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)) {
+            Err(DiscoveryError::NonFiniteValue { row: 13, attr }) => assert_eq!(attr, "x"),
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
     }
 
     #[test]

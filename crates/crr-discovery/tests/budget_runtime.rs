@@ -1,0 +1,93 @@
+//! Integration tests for the budgeted, fault-tolerant discovery runtime:
+//! real dataset, real deadline, real threads. The contract under test is
+//! *anytime-with-guarantees* — whatever trips (deadline, fit cap,
+//! cancellation), discovery returns a ruleset that still covers every row,
+//! tagged with the reason it stopped. It never hangs and never panics.
+
+use crr_data::Table;
+use crr_datasets::{electricity, GenConfig};
+use crr_discovery::{
+    discover, Budget, CancelToken, DiscoveryConfig, DiscoveryOutcome, FaultPlan, PredicateGen,
+    PredicateSpace,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn electricity_instance(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let ds = electricity(&GenConfig { rows, seed: 11 });
+    let minute = ds.table.attr("minute").unwrap();
+    let target = ds.table.attr(ds.default_target).unwrap();
+    let space = PredicateGen::binary(16).generate(&ds.table, &[minute], target, 3);
+    let cfg = DiscoveryConfig::new(vec![minute], target, 0.2);
+    (ds.table, cfg, space)
+}
+
+/// The headline acceptance test: a 1 ms deadline on the electricity
+/// dataset returns promptly with a non-empty partial ruleset tagged
+/// `DeadlineExceeded`, and every row stays covered.
+#[test]
+fn one_ms_deadline_on_electricity_degrades_gracefully() {
+    let (table, cfg, space) = electricity_instance(20_000);
+    let cfg = cfg.with_budget(Budget::unlimited().with_deadline(Duration::from_millis(1)));
+    let started = Instant::now();
+    let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    // "Never hangs": a 1 ms budget must not take seconds. The bound is
+    // loose because one in-flight fit may finish after the deadline.
+    assert!(started.elapsed() < Duration::from_secs(10));
+    assert_eq!(d.outcome, DiscoveryOutcome::DeadlineExceeded);
+    assert!(d.rules.len() >= 1, "partial ruleset must not be empty");
+    assert!(d.stats.drained_partitions >= 1);
+    assert!(
+        d.rules.uncovered(&table, &table.all_rows()).is_empty(),
+        "degraded runs keep the coverage guarantee"
+    );
+}
+
+/// The same instance without a budget completes and reports so.
+#[test]
+fn unbudgeted_electricity_run_completes() {
+    let (table, cfg, space) = electricity_instance(4_000);
+    let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    assert!(d.outcome.is_complete());
+    assert_eq!(d.stats.drained_partitions, 0);
+    assert!(d.rules.uncovered(&table, &table.all_rows()).is_empty());
+}
+
+/// A fit cap produces a partial-but-covering ruleset tagged
+/// `BudgetExhausted`, with the cap honored.
+#[test]
+fn fit_cap_on_electricity_respects_the_cap() {
+    let (table, cfg, space) = electricity_instance(8_000);
+    let cfg = cfg.with_budget(Budget::unlimited().with_max_fits(3));
+    let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    assert_eq!(d.outcome, DiscoveryOutcome::BudgetExhausted);
+    // The cap is checked at each pop, so at most one fit past the limit.
+    assert!(d.stats.models_trained <= 4, "stats: {:?}", d.stats);
+    assert!(d.rules.uncovered(&table, &table.all_rows()).is_empty());
+}
+
+/// Cancellation from another thread stops a run whose fits are
+/// artificially slow, and the partial result still covers every row.
+#[test]
+fn cancellation_from_another_thread_stops_the_run() {
+    let (table, cfg, space) = electricity_instance(6_000);
+    let token = CancelToken::new();
+    let cfg = cfg
+        .with_cancel(token.clone())
+        // Slow solver: every fit sleeps, so the run is mid-flight when the
+        // canceller fires regardless of machine speed.
+        .with_faults(Arc::new(
+            FaultPlan::new().delay_fits(Duration::from_millis(20)),
+        ));
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            token.cancel();
+        })
+    };
+    let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    canceller.join().unwrap();
+    assert_eq!(d.outcome, DiscoveryOutcome::Cancelled);
+    assert!(d.rules.uncovered(&table, &table.all_rows()).is_empty());
+}

@@ -16,8 +16,7 @@ fn arb_piecewise() -> impl Strategy<Value = (Table, f64)> {
         0u64..1000,
     )
         .prop_map(|(segments, per_segment, noise_amp, seed)| {
-            let schema =
-                Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+            let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
             let mut t = Table::new(schema);
             let mut x = 0.0;
             for (si, (w, b)) in segments.iter().enumerate() {
@@ -26,13 +25,9 @@ fn arb_piecewise() -> impl Strategy<Value = (Table, f64)> {
                     let h = seed
                         .wrapping_add((si * per_segment + k) as u64)
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    let noise =
-                        ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * noise_amp;
-                    t.push_row(vec![
-                        Value::Float(x),
-                        Value::Float(w * x + b + noise),
-                    ])
-                    .unwrap();
+                    let noise = ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * noise_amp;
+                    t.push_row(vec![Value::Float(x), Value::Float(w * x + b + noise)])
+                        .unwrap();
                     x += 1.0;
                 }
             }

@@ -1,0 +1,114 @@
+//! Property-based tests of the robustness contract: on *dirty* tables —
+//! random NaN/±Inf/null cells in inputs and target — `discover` never
+//! panics. Every run either succeeds (tagged with its outcome) or returns
+//! a typed [`DiscoveryError`]; the same holds with a budget attached, and
+//! a success still covers every coverable row.
+
+use crr_data::{AttrType, Schema, Table, Value};
+use crr_discovery::{
+    discover, inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, PredicateGen,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A clean piecewise table plus a dirtying plan (cell-corruption rate and
+/// seed) applied to both the input and the target column.
+fn arb_dirty_table() -> impl Strategy<Value = (Table, usize)> {
+    (
+        prop::collection::vec((-2.0f64..2.0, -20.0f64..20.0), 1..3),
+        10usize..40,
+        0.0f64..0.25,
+        0u64..1000,
+    )
+        .prop_map(|(segments, per_segment, dirty_rate, seed)| {
+            let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+            let mut t = Table::new(schema);
+            let mut x = 0.0;
+            for (w, b) in &segments {
+                for _ in 0..per_segment {
+                    t.push_row(vec![Value::Float(x), Value::Float(w * x + b)])
+                        .unwrap();
+                    x += 1.0;
+                }
+            }
+            let attrs = [t.attr("x").unwrap(), t.attr("y").unwrap()];
+            let dirtied = inject_dirty_cells(&mut t, &attrs, dirty_rate, seed);
+            (t, dirtied)
+        })
+}
+
+/// Either a successful discovery or one of the typed errors the dirty
+/// cells may legitimately produce. Anything else fails the property.
+fn assert_ok_or_typed(
+    result: Result<crr_discovery::Discovery, DiscoveryError>,
+    table: &Table,
+) -> Result<(), TestCaseError> {
+    match result {
+        Ok(d) => {
+            // A success must honor the coverage guarantee for every
+            // *coverable* row; only rows whose input is null (or
+            // non-finite, hence matching no predicate) may be left out.
+            let x = table.attr("x").unwrap();
+            for row in d.rules.uncovered(table, &table.all_rows()).iter() {
+                let v = table.value_f64(row, x);
+                prop_assert!(
+                    v.is_none() || !v.unwrap().is_finite(),
+                    "coverable row {row} left uncovered"
+                );
+            }
+        }
+        Err(DiscoveryError::NonFiniteValue { row, .. }) => {
+            prop_assert!(row < table.num_rows());
+        }
+        Err(DiscoveryError::IncompleteRow { row, .. }) => {
+            prop_assert!(row < table.num_rows());
+        }
+        Err(other) => {
+            // Model/data errors stay typed too; panics would have escaped
+            // before reaching here.
+            prop_assert!(
+                matches!(other, DiscoveryError::Model(_) | DiscoveryError::Data(_)),
+                "unexpected error: {other:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dirty cells never panic discovery: the result is `Ok` (outcome
+    /// tagged) or a typed error.
+    #[test]
+    fn dirty_tables_never_panic((table, _dirtied) in arb_dirty_table()) {
+        let x = table.attr("x").unwrap();
+        let y = table.attr("y").unwrap();
+        let space = PredicateGen::binary(31).generate(&table, &[x], y, 0);
+        let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+        assert_ok_or_typed(discover(&table, &table.all_rows(), &cfg, &space), &table)?;
+    }
+
+    /// The same property holds under a tight budget: degradation and dirty
+    /// data compose without panics, and budgeted successes report an
+    /// outcome consistent with their stats.
+    #[test]
+    fn dirty_tables_under_budget_never_panic(
+        (table, _dirtied) in arb_dirty_table(),
+        max_expansions in 1usize..20,
+    ) {
+        let x = table.attr("x").unwrap();
+        let y = table.attr("y").unwrap();
+        let space = PredicateGen::binary(31).generate(&table, &[x], y, 0);
+        let cfg = DiscoveryConfig::new(vec![x], y, 0.5).with_budget(
+            Budget::unlimited()
+                .with_max_expansions(max_expansions)
+                .with_deadline(Duration::from_secs(30)),
+        );
+        let result = discover(&table, &table.all_rows(), &cfg, &space);
+        if let Ok(d) = &result {
+            prop_assert!(d.outcome.is_complete() || d.stats.drained_partitions > 0);
+        }
+        assert_ok_or_typed(result, &table)?;
+    }
+}

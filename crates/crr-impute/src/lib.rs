@@ -94,8 +94,16 @@ pub struct ImputeReport {
 
 fn finish(sse: f64, sae: f64, imputed: usize, unanswered: usize, start: Instant) -> ImputeReport {
     ImputeReport {
-        rmse: if imputed > 0 { (sse / imputed as f64).sqrt() } else { 0.0 },
-        mae: if imputed > 0 { sae / imputed as f64 } else { 0.0 },
+        rmse: if imputed > 0 {
+            (sse / imputed as f64).sqrt()
+        } else {
+            0.0
+        },
+        mae: if imputed > 0 {
+            sae / imputed as f64
+        } else {
+            0.0
+        },
         imputed,
         unanswered,
         time: start.elapsed(),
@@ -178,11 +186,7 @@ impl IntervalImputation {
 /// Interval imputation: unlike point imputation, carries each answer's
 /// rule-backed error bound — CRRs are constraints, so the bound is a
 /// certificate, not a confidence heuristic.
-pub fn impute_interval(
-    table: &Table,
-    rules: &RuleSet,
-    row: usize,
-) -> Option<IntervalImputation> {
+pub fn impute_interval(table: &Table, rules: &RuleSet, row: usize) -> Option<IntervalImputation> {
     let rule = rules.locate(table, row, LocateStrategy::First)?;
     let value = rule.predict(table, row)?;
     let idx = rules
@@ -190,7 +194,11 @@ pub fn impute_interval(
         .iter()
         .position(|r| std::ptr::eq(r, rule))
         .expect("located rule is in the set");
-    Some(IntervalImputation { value, rho: rule.rho(), rule: idx })
+    Some(IntervalImputation {
+        value,
+        rho: rule.rho(),
+        rule: idx,
+    })
 }
 
 /// Writes the rule-set imputations back into the table (the actual repair,
@@ -246,7 +254,10 @@ mod tests {
             0.0,
             Dnf::single(Conjunction::with_builtin(
                 vec![Predicate::ge(x, Value::Float(50.0))],
-                crr_models::Translation { delta_x: vec![0.0], delta_y: 10.0 },
+                crr_models::Translation {
+                    delta_x: vec![0.0],
+                    delta_y: 10.0,
+                },
             )),
         )
         .unwrap();
@@ -283,7 +294,10 @@ mod tests {
         let y = t.attr("y").unwrap();
         // Mask only high-segment rows: served by the translated rule.
         t.set_null(80, y);
-        let plan = MaskPlan { attr: y, masked: vec![(80, 170.0)] };
+        let plan = MaskPlan {
+            attr: y,
+            masked: vec![(80, 170.0)],
+        };
         let report = impute_with_rules(&t, &rules(&t), &plan);
         assert_eq!(report.imputed, 1);
         assert!(report.rmse < 1e-12);
@@ -318,7 +332,10 @@ mod tests {
         )
         .unwrap()]);
         t.set_null(80, y);
-        let plan = MaskPlan { attr: y, masked: vec![(80, 170.0)] };
+        let plan = MaskPlan {
+            attr: y,
+            masked: vec![(80, 170.0)],
+        };
         let report = impute_with_rules(&t, &only_low, &plan);
         assert_eq!(report.unanswered, 1);
         assert_eq!(report.imputed, 0);
@@ -346,14 +363,8 @@ mod tests {
         let x = t.attr("x").unwrap();
         let y = t.attr("y").unwrap();
         let m = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
-        let loose = RuleSet::from_rules(vec![Crr::new(
-            vec![x],
-            y,
-            m,
-            3.5,
-            Dnf::tautology(),
-        )
-        .unwrap()]);
+        let loose =
+            RuleSet::from_rules(vec![Crr::new(vec![x], y, m, 3.5, Dnf::tautology()).unwrap()]);
         let imp = impute_interval(&t, &loose, 5).unwrap();
         assert_eq!(imp.rho, 3.5);
         assert_eq!(imp.interval(), (10.0 - 3.5, 10.0 + 3.5));

@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -41,7 +45,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -203,8 +211,17 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Scales every entry by `s`, in place.
@@ -283,7 +300,10 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn overdetermined_least_squares() {
         // y = 1 + 2x with an outlier-free exact fit on 4 points.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [1.0, 3.0, 5.0, 7.0];
         let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
         assert_close(&x, &[1.0, 2.0], 1e-10);
@@ -187,6 +182,9 @@ mod tests {
         // Second column identical to the first => rank deficient.
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
         let qr = Qr::factor(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 }

@@ -16,7 +16,10 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         });
     }
     if a.rows() < a.cols() {
-        return Err(LinalgError::Underdetermined { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::Underdetermined {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let gram = a.gram();
     let aty = a.t_matvec(b)?;

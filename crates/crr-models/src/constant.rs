@@ -19,7 +19,11 @@ pub struct ConstantModel {
 impl ConstantModel {
     /// Creates a constant model over `num_inputs` features.
     pub fn new(value: f64, num_inputs: usize) -> Self {
-        ConstantModel { value, num_inputs, zero_weights: vec![0.0; num_inputs] }
+        ConstantModel {
+            value,
+            num_inputs,
+            zero_weights: vec![0.0; num_inputs],
+        }
     }
 
     /// Fits the midrange constant `(max y + min y) / 2`, which minimizes the
@@ -75,8 +79,7 @@ mod tests {
     fn midrange_minimizes_max_residual() {
         let y = [1.0, 5.0, 2.0];
         let m = ConstantModel::fit(&y, 1).unwrap();
-        let max_res =
-            y.iter().map(|v| (v - m.value()).abs()).fold(0.0, f64::max);
+        let max_res = y.iter().map(|v| (v - m.value()).abs()).fold(0.0, f64::max);
         // Midrange residual is (max-min)/2 = 2; the mean (8/3) would give 7/3.
         assert_eq!(max_res, 2.0);
     }
@@ -91,6 +94,9 @@ mod tests {
 
     #[test]
     fn non_finite_rejected() {
-        assert_eq!(ConstantModel::fit(&[f64::NAN], 1), Err(ModelError::NonFinite));
+        assert_eq!(
+            ConstantModel::fit(&[f64::NAN], 1),
+            Err(ModelError::NonFinite)
+        );
     }
 }

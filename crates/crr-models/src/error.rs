@@ -22,10 +22,16 @@ impl fmt::Display for ModelError {
                 write!(f, "too few samples: model needs {needed}, got {got}")
             }
             ModelError::InconsistentFeatures { expected, got } => {
-                write!(f, "inconsistent feature vector length: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "inconsistent feature vector length: expected {expected}, got {got}"
+                )
             }
             ModelError::LengthMismatch { features, targets } => {
-                write!(f, "feature rows ({features}) and targets ({targets}) differ in count")
+                write!(
+                    f,
+                    "feature rows ({features}) and targets ({targets}) differ in count"
+                )
             }
             ModelError::Solver(msg) => write!(f, "solver failure: {msg}"),
             ModelError::NonFinite => write!(f, "inputs contain non-finite values"),

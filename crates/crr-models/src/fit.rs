@@ -52,7 +52,11 @@ impl FitConfig {
     /// Defaults for a family: `λ = 1.0` for ridge, [`MlpConfig::default`]
     /// for the MLP.
     pub fn new(kind: ModelKind) -> Self {
-        FitConfig { kind, ridge_lambda: 1.0, mlp: MlpConfig::default() }
+        FitConfig {
+            kind,
+            ridge_lambda: 1.0,
+            mlp: MlpConfig::default(),
+        }
     }
 
     /// Minimum samples the family needs for `d` features before the
@@ -74,7 +78,10 @@ impl FitConfig {
 /// regression model", §V-A2) — rather than failing discovery.
 pub fn fit_model(xs: &[Vec<f64>], y: &[f64], cfg: &FitConfig) -> Result<Model> {
     if xs.len() != y.len() {
-        return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+        return Err(ModelError::LengthMismatch {
+            features: xs.len(),
+            targets: y.len(),
+        });
     }
     if y.is_empty() {
         return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
@@ -132,8 +139,12 @@ mod tests {
 
     #[test]
     fn zero_features_is_constant() {
-        let m = fit_model(&[vec![], vec![]], &[1.0, 3.0], &FitConfig::new(ModelKind::Ridge))
-            .unwrap();
+        let m = fit_model(
+            &[vec![], vec![]],
+            &[1.0, 3.0],
+            &FitConfig::new(ModelKind::Ridge),
+        )
+        .unwrap();
         assert_eq!(m.predict(&[]), 2.0);
     }
 

@@ -14,7 +14,10 @@ pub(crate) fn design_matrix(xs: &[Vec<f64>]) -> Result<Matrix> {
     let mut data = Vec::with_capacity(xs.len() * (d + 1));
     for row in xs {
         if row.len() != d {
-            return Err(ModelError::InconsistentFeatures { expected: d, got: row.len() });
+            return Err(ModelError::InconsistentFeatures {
+                expected: d,
+                got: row.len(),
+            });
         }
         if row.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::NonFinite);
@@ -35,18 +38,27 @@ impl LinearModel {
     /// features (the linear family's VC dimension, §V-A2).
     pub fn fit(xs: &[Vec<f64>], y: &[f64]) -> Result<Self> {
         if xs.len() != y.len() {
-            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+            return Err(ModelError::LengthMismatch {
+                features: xs.len(),
+                targets: y.len(),
+            });
         }
         let d = xs.first().map_or(0, Vec::len);
         if xs.len() < d + 1 {
-            return Err(ModelError::TooFewSamples { needed: d + 1, got: xs.len() });
+            return Err(ModelError::TooFewSamples {
+                needed: d + 1,
+                got: xs.len(),
+            });
         }
         if y.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::NonFinite);
         }
         let a = design_matrix(xs)?;
         let beta = lstsq(&a, y)?;
-        Ok(LinearModel { intercept: beta[0], weights: beta[1..].to_vec() })
+        Ok(LinearModel {
+            intercept: beta[0],
+            weights: beta[1..].to_vec(),
+        })
     }
 
     /// Weight vector `w`.

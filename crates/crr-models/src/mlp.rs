@@ -21,7 +21,13 @@ pub struct MlpHyper {
 
 impl Default for MlpHyper {
     fn default() -> Self {
-        MlpHyper { hidden: 8, epochs: 200, learning_rate: 0.01, batch: 32, seed: 7 }
+        MlpHyper {
+            hidden: 8,
+            epochs: 200,
+            learning_rate: 0.01,
+            batch: 32,
+            seed: 7,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ impl MlpModel {
     /// Fits the network on `(xs, y)` with the given hyper-parameters.
     pub fn fit(xs: &[Vec<f64>], y: &[f64], hyper: &MlpHyper) -> Result<Self> {
         if xs.len() != y.len() {
-            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+            return Err(ModelError::LengthMismatch {
+                features: xs.len(),
+                targets: y.len(),
+            });
         }
         if xs.is_empty() {
             return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
@@ -57,7 +66,10 @@ impl MlpModel {
         let d = xs[0].len();
         for row in xs {
             if row.len() != d {
-                return Err(ModelError::InconsistentFeatures { expected: d, got: row.len() });
+                return Err(ModelError::InconsistentFeatures {
+                    expected: d,
+                    got: row.len(),
+                });
             }
             if row.iter().any(|v| !v.is_finite()) {
                 return Err(ModelError::NonFinite);
@@ -81,7 +93,12 @@ impl MlpModel {
         }
         let std_rows: Vec<Vec<f64>> = xs
             .iter()
-            .map(|r| r.iter().zip(0..d).map(|(v, j)| (v - x_mean[j]) / x_std[j]).collect())
+            .map(|r| {
+                r.iter()
+                    .zip(0..d)
+                    .map(|(v, j)| (v - x_mean[j]) / x_std[j])
+                    .collect()
+            })
             .collect();
 
         let mut rng = StdRng::seed_from_u64(hyper.seed);
@@ -157,7 +174,15 @@ impl MlpModel {
                 apply(p - 1, &mut b2);
             }
         }
-        Ok(MlpModel { w1, b1, w2, b2, x_mean, x_std, d })
+        Ok(MlpModel {
+            w1,
+            b1,
+            w2,
+            b2,
+            x_mean,
+            x_std,
+            d,
+        })
     }
 
     /// Output shift `δ` with `other(X) = self(X) + δ`: every parameter except
@@ -206,7 +231,10 @@ impl MlpModel {
     pub fn from_flat(d: usize, hidden: usize, params: &[f64]) -> Result<Self> {
         let expect = hidden * d + hidden + hidden + 1 + 2 * d;
         if params.len() != expect {
-            return Err(ModelError::InconsistentFeatures { expected: expect, got: params.len() });
+            return Err(ModelError::InconsistentFeatures {
+                expected: expect,
+                got: params.len(),
+            });
         }
         let mut it = params.iter().copied();
         let mut take = |n: usize| -> Vec<f64> { it.by_ref().take(n).collect() };
@@ -216,7 +244,15 @@ impl MlpModel {
         let b2 = take(1)[0];
         let x_mean = take(d);
         let x_std = take(d);
-        Ok(MlpModel { w1, b1, w2, b2, x_mean, x_std, d })
+        Ok(MlpModel {
+            w1,
+            b1,
+            w2,
+            b2,
+            x_mean,
+            x_std,
+            d,
+        })
     }
 }
 
@@ -246,7 +282,13 @@ mod tests {
     use crate::rmse;
 
     fn hyper() -> MlpHyper {
-        MlpHyper { hidden: 8, epochs: 300, learning_rate: 0.02, batch: 16, seed: 42 }
+        MlpHyper {
+            hidden: 8,
+            epochs: 300,
+            learning_rate: 0.02,
+            batch: 16,
+            seed: 42,
+        }
     }
 
     #[test]

@@ -28,12 +28,18 @@ pub struct Translation {
 impl Translation {
     /// The identity translation (`Δ = 0, δ = 0`) for `d` features.
     pub fn identity(d: usize) -> Self {
-        Translation { delta_x: vec![0.0; d], delta_y: 0.0 }
+        Translation {
+            delta_x: vec![0.0; d],
+            delta_y: 0.0,
+        }
     }
 
     /// A pure output shift `y = δ`.
     pub fn output_shift(d: usize, delta_y: f64) -> Self {
-        Translation { delta_x: vec![0.0; d], delta_y }
+        Translation {
+            delta_x: vec![0.0; d],
+            delta_y,
+        }
     }
 
     /// True when both shifts are (exactly) zero.
@@ -148,7 +154,10 @@ impl Model {
         if (w1[0] - w2[0]).abs() > tol || w1[0].abs() <= tol {
             return None;
         }
-        Some(Translation { delta_x: vec![(b2 - b1) / w1[0]], delta_y: 0.0 })
+        Some(Translation {
+            delta_x: vec![(b2 - b1) / w1[0]],
+            delta_y: 0.0,
+        })
     }
 
     /// Applies this model under a translation: `f(X + Δ) + δ`.
@@ -221,7 +230,9 @@ mod tests {
 
     #[test]
     fn affine_translation_rejects_different_slope() {
-        assert!(line(2.0, 0.0).translation_to(&line(2.5, 0.0), 1e-9).is_none());
+        assert!(line(2.0, 0.0)
+            .translation_to(&line(2.5, 0.0), 1e-9)
+            .is_none());
     }
 
     #[test]
@@ -254,9 +265,21 @@ mod tests {
 
     #[test]
     fn compose_and_inverse() {
-        let a = Translation { delta_x: vec![1.0], delta_y: 2.0 };
-        let b = Translation { delta_x: vec![3.0], delta_y: -1.0 };
-        assert_eq!(a.compose(&b), Translation { delta_x: vec![4.0], delta_y: 1.0 });
+        let a = Translation {
+            delta_x: vec![1.0],
+            delta_y: 2.0,
+        };
+        let b = Translation {
+            delta_x: vec![3.0],
+            delta_y: -1.0,
+        };
+        assert_eq!(
+            a.compose(&b),
+            Translation {
+                delta_x: vec![4.0],
+                delta_y: 1.0
+            }
+        );
         assert!(a.compose(&a.inverse()).is_identity());
     }
 

@@ -19,13 +19,20 @@ pub struct RidgeModel {
 impl RidgeModel {
     /// Creates a model from explicit parameters.
     pub fn new(weights: Vec<f64>, intercept: f64, lambda: f64) -> Self {
-        RidgeModel { weights, intercept, lambda }
+        RidgeModel {
+            weights,
+            intercept,
+            lambda,
+        }
     }
 
     /// Fits with penalty `lambda > 0`.
     pub fn fit(xs: &[Vec<f64>], y: &[f64], lambda: f64) -> Result<Self> {
         if xs.len() != y.len() {
-            return Err(ModelError::LengthMismatch { features: xs.len(), targets: y.len() });
+            return Err(ModelError::LengthMismatch {
+                features: xs.len(),
+                targets: y.len(),
+            });
         }
         if xs.is_empty() {
             return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
@@ -56,7 +63,11 @@ impl RidgeModel {
             ridge_normal_equations(&xc, &yc, lambda.max(1e-12))?
         };
         let intercept = y_mean - crr_linalg::dot(&weights, &x_mean);
-        Ok(RidgeModel { weights, intercept, lambda })
+        Ok(RidgeModel {
+            weights,
+            intercept,
+            lambda,
+        })
     }
 
     /// Weight vector `w`.
@@ -114,8 +125,7 @@ mod tests {
     #[test]
     fn handles_collinear_features() {
         // OLS would be singular here; ridge is not.
-        let xs: Vec<Vec<f64>> =
-            (0..6).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
         let m = RidgeModel::fit(&xs, &y, 0.01).unwrap();
         assert!(m.weights().iter().all(|w| w.is_finite()));

@@ -2,8 +2,8 @@
 //! detection — the algebraic laws compaction relies on.
 
 use crr_models::{
-    fit_model, ConstantModel, FitConfig, LinearModel, Model, ModelKind, Regressor,
-    RidgeModel, Translation,
+    fit_model, ConstantModel, FitConfig, LinearModel, Model, ModelKind, Regressor, RidgeModel,
+    Translation,
 };
 use proptest::prelude::*;
 
@@ -13,8 +13,7 @@ fn arb_affine() -> impl Strategy<Value = Model> {
             .prop_map(|(w, b)| Model::Linear(LinearModel::new(w, b))),
         (prop::collection::vec(-5.0f64..5.0, 1..3), -20.0f64..20.0)
             .prop_map(|(w, b)| Model::Ridge(RidgeModel::new(w, b, 0.5))),
-        ((-20.0f64..20.0), 1usize..3)
-            .prop_map(|(v, d)| Model::Constant(ConstantModel::new(v, d))),
+        ((-20.0f64..20.0), 1usize..3).prop_map(|(v, d)| Model::Constant(ConstantModel::new(v, d))),
     ]
 }
 

@@ -12,7 +12,10 @@ use crr::prelude::*;
 
 fn main() {
     // Three years of observations for a handful of birds.
-    let ds = crr::datasets::birdmap(&GenConfig { rows: 6 * 3 * 365, seed: 42 });
+    let ds = crr::datasets::birdmap(&GenConfig {
+        rows: 6 * 3 * 365,
+        seed: 42,
+    });
     let table = &ds.table;
     let date = table.attr("date").unwrap();
     let bird = table.attr("bird").unwrap();
@@ -21,7 +24,11 @@ fn main() {
     // Focus on one bird — 2.Maria, as in the paper's Figure 1.
     let maria = Conjunction::of(vec![Predicate::eq(bird, Value::str("2.Maria"))])
         .select(table, &table.all_rows());
-    println!("2.Maria: {} observations over {} days", maria.len(), 3 * 365);
+    println!(
+        "2.Maria: {} observations over {} days",
+        maria.len(),
+        3 * 365
+    );
 
     // Expert predicates: the true season boundaries (Table III's "Expert").
     let boundaries: Vec<(String, Vec<f64>)> = ds

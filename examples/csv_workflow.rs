@@ -37,8 +37,8 @@ fn main() {
     std::fs::write(&path, &text).expect("write rules");
     println!("wrote rules to {} ({} bytes)", path.display(), text.len());
 
-    let reloaded = serialize::from_text(&std::fs::read_to_string(&path).expect("read"))
-        .expect("parse rules");
+    let reloaded =
+        serialize::from_text(&std::fs::read_to_string(&path).expect("read")).expect("parse rules");
     assert_eq!(reloaded.len(), rules.len());
 
     // Reloaded rules predict identically.
@@ -66,7 +66,11 @@ fn build_sample_csv() -> String {
     let mut s = String::from("day,store,sales\n");
     for day in 0..140i64 {
         let dow = day % 7;
-        let sales = if dow < 5 { 100.0 + 20.0 * dow as f64 } else { 60.0 };
+        let sales = if dow < 5 {
+            100.0 + 20.0 * dow as f64
+        } else {
+            60.0
+        };
         s.push_str(&format!("{day},main,{sales}\n"));
     }
     s

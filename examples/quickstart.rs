@@ -15,7 +15,11 @@ fn main() {
     for hour in 0..240i64 {
         let phase = hour % 24;
         // Night: flat 1.0. Day: ramp with slope 0.5, restarting daily.
-        let load = if phase < 8 { 1.0 } else { 0.5 * (phase - 8) as f64 + 2.0 };
+        let load = if phase < 8 {
+            1.0
+        } else {
+            0.5 * (phase - 8) as f64 + 2.0
+        };
         table
             .push_row(vec![Value::Int(hour), Value::Float(load)])
             .expect("schema match");

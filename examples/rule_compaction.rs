@@ -8,15 +8,18 @@
 //! Run with: `cargo run --release --example rule_compaction`
 
 use crr::baselines::{RegTree, RegTreeConfig};
-use crr::discovery::pruning::prune;
 use crr::discovery::compact_on_data;
+use crr::discovery::pruning::prune;
 use crr::prelude::*;
 
 fn main() {
     // Electricity: the same daily regime schedule repeats day after day,
     // so tree leaves for different days hold translated copies of the same
     // linear model.
-    let ds = crr::datasets::electricity(&GenConfig { rows: 4 * 1_440, seed: 5 });
+    let ds = crr::datasets::electricity(&GenConfig {
+        rows: 4 * 1_440,
+        seed: 5,
+    });
     let table = &ds.table;
     let minute = table.attr("minute").unwrap();
     let power = table.attr("global_active_power").unwrap();
@@ -27,7 +30,11 @@ fn main() {
         &[minute],
         &[minute],
         power,
-        &RegTreeConfig { max_depth: 7, min_leaf: 16, ..Default::default() },
+        &RegTreeConfig {
+            max_depth: 7,
+            min_leaf: 16,
+            ..Default::default()
+        },
     )
     .expect("regtree");
     let tree_rules = tree.to_ruleset().expect("export");
@@ -42,8 +49,7 @@ fn main() {
     // near-equal-slope rewrite is only kept when it stays within rho_M.
     let rho_max = 3.0 * crr::datasets::electricity::NOISE;
     let (compacted, stats) =
-        compact_on_data(&tree_rules, 0.05, rho_max, table, &table.all_rows())
-            .expect("compaction");
+        compact_on_data(&tree_rules, 0.05, rho_max, table, &table.all_rows()).expect("compaction");
     println!(
         "compacted: {} -> {} rules ({} translations, {} fusions) in {:?}",
         stats.rules_in, stats.rules_out, stats.translations, stats.fusions, stats.time

@@ -14,7 +14,10 @@ use crr::impute::{impute_with_baseline, impute_with_rules, mask_random};
 use crr::prelude::*;
 
 fn main() {
-    let ds = crr::datasets::tax(&GenConfig { rows: 8_000, seed: 11 });
+    let ds = crr::datasets::tax(&GenConfig {
+        rows: 8_000,
+        seed: 11,
+    });
     let table = &ds.table;
     let salary = table.attr("salary").unwrap();
     let state = table.attr("state").unwrap();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (unwrap/expect are warnings in library
+# code — see [workspace.lints] in Cargo.toml), and the full test suite.
+# Run from anywhere; operates on the repository that contains it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets"
+# Advisory: surfaces warnings (including the workspace unwrap/expect
+# lints) without failing the gate; compilation errors still abort.
+cargo clippy --workspace --all-targets
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

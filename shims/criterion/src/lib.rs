@@ -1,0 +1,304 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates registry, so the
+//! workspace path-replaces `criterion` with this shim. It keeps the API
+//! surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `black_box` —
+//! and reports simple mean-of-samples wall-clock timings to stdout.
+//! There is no statistical analysis, warm-up calibration, or HTML report;
+//! the numbers are honest but coarse.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (one setup per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Measurement settings shared by [`Criterion`] and its groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the shim accepts and ignores
+    /// them so `criterion_group!`-generated code keeps compiling.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Times one function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), &self.settings, f);
+        self
+    }
+}
+
+/// A named set of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Declares throughput (echoed, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("[{}] throughput: {t:?}", self.name);
+        self
+    }
+
+    /// Times one function.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &self.settings, f);
+        self
+    }
+
+    /// Times one function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &self.settings, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (the shim reports per-benchmark, so this is a
+    /// no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / self.iters_per_sample as u32);
+    }
+}
+
+fn run_bench(label: &str, settings: &Settings, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: run once (bounded by the warm-up budget only nominally;
+    // a single call keeps the shim simple and the caches warm).
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    let warm_start = Instant::now();
+    f(&mut warm);
+    let one_call = warm_start.elapsed().max(Duration::from_nanos(1));
+
+    // Budget the sample count so slow benchmarks still finish near the
+    // configured measurement time.
+    let affordable = (settings.measurement_time.as_secs_f64() / one_call.as_secs_f64()) as usize;
+    let samples = settings.sample_size.min(affordable.max(1));
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = if bencher.samples.is_empty() {
+        one_call
+    } else {
+        total / bencher.samples.len() as u32
+    };
+    println!(
+        "{label}: mean {mean:?} over {} samples",
+        bencher.samples.len().max(1)
+    );
+}
+
+/// Declares a benchmark group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_settings_and_batched_iter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut setups = 0u32;
+        g.bench_with_input(BenchmarkId::new("b", 5), &5u32, |b, &n| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    n
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(setups > 0);
+    }
+}

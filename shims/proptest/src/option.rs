@@ -1,0 +1,41 @@
+//! Option strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` from the inner strategy most of the time (9 in 10)
+/// and `None` otherwise, matching upstream's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(10) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_some_and_none() {
+        let mut rng = TestRng::for_case("option::tests", 0);
+        let s = of(0u32..100);
+        let outcomes: Vec<Option<u32>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(outcomes.iter().any(Option::is_none));
+        assert!(outcomes.iter().filter(|o| o.is_some()).count() > 120);
+    }
+}

@@ -1,0 +1,191 @@
+//! String generation from a small regex subset.
+//!
+//! Upstream proptest treats string literals as full regexes. This shim
+//! supports the subset the workspace's tests use: literal characters,
+//! character classes (`[a-z0-9_-]`, with ranges, escapes, and a trailing
+//! literal `-`), and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+//! Unsupported syntax panics loudly so an incompatible pattern is a test
+//! authoring error, not silent misgeneration.
+
+use crate::test_runner::TestRng;
+
+/// One pattern atom plus its repetition bounds.
+struct Piece {
+    /// Candidate characters (singleton for a literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let candidates = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let item = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+                    match item {
+                        ']' => break,
+                        '\\' => {
+                            let escaped = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            set.push(escaped);
+                            prev = Some(escaped);
+                        }
+                        '-' => {
+                            // A range if flanked by chars; literal at the end.
+                            match (prev, chars.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                                    set.extend(
+                                        ((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32),
+                                    );
+                                    prev = None;
+                                }
+                                _ => {
+                                    set.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![escaped]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("regex feature {c:?} in {pattern:?} is not supported by the proptest shim")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                        hi.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier bounds in {pattern:?}");
+        pieces.push(Piece {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        };
+        for _ in 0..n {
+            out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    #[test]
+    fn class_with_counted_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_literal_dash() {
+        let mut r = rng();
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric() || c == ' ' || c == ',' || c == '"' || c == '_' || c == '-'
+        };
+        let mut seen_empty = false;
+        for _ in 0..300 {
+            let s = generate_matching("[a-zA-Z0-9 ,\"_-]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(allowed), "{s:?}");
+            seen_empty |= s.is_empty();
+        }
+        assert!(seen_empty, "min bound 0 should occasionally produce empty");
+    }
+
+    #[test]
+    fn literals_and_simple_quantifiers() {
+        let mut r = rng();
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+        let s = generate_matching("x[01]?y", &mut r);
+        assert!(s == "xy" || s == "x0y" || s == "x1y", "{s:?}");
+        let t = generate_matching("z{3}", &mut r);
+        assert_eq!(t, "zzz");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn alternation_is_rejected() {
+        let mut r = rng();
+        let _ = generate_matching("a|b", &mut r);
+    }
+}

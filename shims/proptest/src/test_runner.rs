@@ -1,0 +1,127 @@
+//! Test configuration, case RNG, and case-level error type.
+
+/// Per-test configuration. Only `cases` is honoured; upstream's
+/// env-driven knobs are intentionally absent in the offline shim.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim keeps that so un-configured
+        // properties get comparable coverage.
+        Config { cases: 256 }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is skipped.
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+/// The per-case generator: splitmix64 seeded from the test's name and the
+/// case index, so every run of every test is reproducible without any
+/// persisted state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let a: Vec<u64> = (0..5)
+            .map(|_| 0)
+            .scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|_| 0)
+            .scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            TestRng::for_case("t", 3).next_u64(),
+            TestRng::for_case("t", 4).next_u64()
+        );
+        assert_ne!(
+            TestRng::for_case("t", 3).next_u64(),
+            TestRng::for_case("u", 3).next_u64()
+        );
+    }
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(Config::default().cases, 256);
+        assert_eq!(Config::with_cases(48).cases, 48);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(TestCaseError::Fail("boom".into()).to_string(), "boom");
+        assert!(TestCaseError::Reject("x".into())
+            .to_string()
+            .starts_with("rejected"));
+    }
+}

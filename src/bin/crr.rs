@@ -15,9 +15,7 @@
 
 use crr::core::{check, serialize, LocateStrategy, RuleSet};
 use crr::data::{csv, Table};
-use crr::discovery::{
-    compact_on_data, discover, DiscoveryConfig, PredicateGen, QueueOrder,
-};
+use crr::discovery::{compact_on_data, discover, DiscoveryConfig, PredicateGen, QueueOrder};
 use crr::models::ModelKind;
 use crr::prelude::*;
 use std::collections::HashMap;
@@ -159,7 +157,8 @@ fn cmd_discover(flags: &HashMap<String, String>) -> Result<(), String> {
         s.parse().map_err(|_| "--rho must be a number".to_string())
     })?;
     let per_attr: usize = flags.get("predicates").map_or(Ok(127), |s| {
-        s.parse().map_err(|_| "--predicates must be a number".to_string())
+        s.parse()
+            .map_err(|_| "--predicates must be a number".to_string())
     })?;
     let kind = match flags.get("model").map(String::as_str) {
         None | Some("linear") => ModelKind::Linear,
@@ -191,8 +190,8 @@ fn cmd_discover(flags: &HashMap<String, String>) -> Result<(), String> {
     let rules = if flags.contains_key("no-compact") {
         found.rules
     } else {
-        let (compacted, stats) = compact_on_data(&found.rules, 1e-6, rho, &table, &rows)
-            .map_err(|e| e.to_string())?;
+        let (compacted, stats) =
+            compact_on_data(&found.rules, 1e-6, rho, &table, &rows).map_err(|e| e.to_string())?;
         println!(
             "compacted to {} rules ({} translations, {} fusions) in {:?}",
             compacted.len(),
@@ -263,8 +262,6 @@ fn cmd_impute(flags: &HashMap<String, String>) -> Result<(), String> {
     let missing_before = table.column(target).null_count();
     let filled = crr::impute::fill_missing(&mut table, &rules, target);
     csv::write_csv_path(&table, output).map_err(|e| e.to_string())?;
-    println!(
-        "filled {filled} of {missing_before} missing cells; wrote {output}",
-    );
+    println!("filled {filled} of {missing_before} missing cells; wrote {output}",);
     Ok(())
 }

@@ -134,7 +134,11 @@ fn full_cli_workflow() {
         repaired.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
-    assert!(stdout(&out).contains("filled 200 of 200"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("filled 200 of 200"),
+        "{}",
+        stdout(&out)
+    );
 
     // The repaired file has no empty tax cells left.
     let repaired_text = std::fs::read_to_string(&repaired).unwrap();

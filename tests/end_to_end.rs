@@ -11,7 +11,10 @@ use crr::prelude::*;
 /// compacted into one rule per rate group, and the result imputes.
 #[test]
 fn tax_pipeline_discovers_rate_groups() {
-    let ds = crr::datasets::tax(&GenConfig { rows: 4_000, seed: 21 });
+    let ds = crr::datasets::tax(&GenConfig {
+        rows: 4_000,
+        seed: 21,
+    });
     let table = &ds.table;
     let salary = table.attr("salary").unwrap();
     let state = table.attr("state").unwrap();
@@ -48,7 +51,10 @@ fn tax_pipeline_discovers_rate_groups() {
 /// and rules survive serialization round-trips.
 #[test]
 fn birdmap_pipeline_shares_models_across_years() {
-    let ds = crr::datasets::birdmap(&GenConfig { rows: 6 * 2 * 365, seed: 22 });
+    let ds = crr::datasets::birdmap(&GenConfig {
+        rows: 6 * 2 * 365,
+        seed: 22,
+    });
     let table = &ds.table;
     let date = table.attr("date").unwrap();
     let bird = table.attr("bird").unwrap();
@@ -90,7 +96,10 @@ fn birdmap_pipeline_shares_models_across_years() {
 /// rules (the Figure 9/10 pipeline).
 #[test]
 fn tree_export_compaction_preserves_semantics() {
-    let ds = crr::datasets::electricity(&GenConfig { rows: 3 * 1_440, seed: 23 });
+    let ds = crr::datasets::electricity(&GenConfig {
+        rows: 3 * 1_440,
+        seed: 23,
+    });
     let table = &ds.table;
     let minute = table.attr("minute").unwrap();
     let power = table.attr("global_active_power").unwrap();
@@ -110,7 +119,12 @@ fn tree_export_compaction_preserves_semantics() {
 
     let rho = 3.0 * crr::datasets::electricity::NOISE;
     let (compacted, stats) = compact_on_data(&exported, 0.2, rho, table, &rows).unwrap();
-    assert!(compacted.len() < exported.len(), "{} -> {}", stats.rules_in, stats.rules_out);
+    assert!(
+        compacted.len() < exported.len(),
+        "{} -> {}",
+        stats.rules_in,
+        stats.rules_out
+    );
 
     let before = exported.evaluate(table, &rows, LocateStrategy::First);
     let after = compacted.evaluate(table, &rows, LocateStrategy::First);
@@ -127,7 +141,10 @@ fn tree_export_compaction_preserves_semantics() {
 /// within the noise bound, and compaction does not change the answers.
 #[test]
 fn imputation_recovers_masked_values() {
-    let ds = crr::datasets::abalone(&GenConfig { rows: 2_000, seed: 24 });
+    let ds = crr::datasets::abalone(&GenConfig {
+        rows: 2_000,
+        seed: 24,
+    });
     let mut table = ds.table.clone();
     let length = table.attr("length").unwrap();
     let sex = table.attr("sex").unwrap();
@@ -137,8 +154,7 @@ fn imputation_recovers_masked_values() {
     let space = PredicateGen::binary(16).generate(&table, &[sex, length], rings, 0);
     let cfg = DiscoveryConfig::new(vec![length], rings, rho);
     let found = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
-    let (rules, _) =
-        compact_on_data(&found.rules, 1e-4, rho, &table, &table.all_rows()).unwrap();
+    let (rules, _) = compact_on_data(&found.rules, 1e-4, rho, &table, &table.all_rows()).unwrap();
 
     let plan = mask_random(&mut table, rings, 0.15, 9);
     assert!(plan.len() > 100);
@@ -148,14 +164,21 @@ fn imputation_recovers_masked_values() {
     assert_eq!(with_compacted.unanswered, 0);
     // Both impute within the generator's noise envelope.
     assert!(with_search.rmse <= rho, "search rmse {}", with_search.rmse);
-    assert!(with_compacted.rmse <= rho + 0.1, "compacted rmse {}", with_compacted.rmse);
+    assert!(
+        with_compacted.rmse <= rho + 0.1,
+        "compacted rmse {}",
+        with_compacted.rmse
+    );
 }
 
 /// CRR beats the unconditional model and matches the model tree on mixed
 /// distributions — the headline comparison.
 #[test]
 fn crr_beats_rr_on_mixed_distribution() {
-    let ds = crr::datasets::airquality(&GenConfig { rows: 2_000, seed: 25 });
+    let ds = crr::datasets::airquality(&GenConfig {
+        rows: 2_000,
+        seed: 25,
+    });
     let table = &ds.table;
     let hour = table.attr("hour").unwrap();
     let no2 = table.attr("no2").unwrap();
@@ -194,7 +217,8 @@ fn prelude_supports_the_readme_workflow() {
     let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
     let mut t = Table::new(schema);
     for i in 0..50 {
-        t.push_row(vec![Value::Float(i as f64), Value::Float(2.0 * i as f64)]).unwrap();
+        t.push_row(vec![Value::Float(i as f64), Value::Float(2.0 * i as f64)])
+            .unwrap();
     }
     let x = t.attr("x").unwrap();
     let y = t.attr("y").unwrap();

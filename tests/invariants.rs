@@ -7,8 +7,11 @@ use crr::prelude::*;
 fn scenario(ds: &Dataset, rho_scale: f64) -> (DiscoveryConfig, PredicateSpace) {
     let table = &ds.table;
     let target = table.attr(ds.default_target).unwrap();
-    let inputs: Vec<AttrId> =
-        ds.default_inputs.iter().map(|n| table.attr(n).unwrap()).collect();
+    let inputs: Vec<AttrId> = ds
+        .default_inputs
+        .iter()
+        .map(|n| table.attr(n).unwrap())
+        .collect();
     // Conditions over the inputs plus every categorical attribute.
     let mut cond: Vec<AttrId> = inputs.clone();
     for (id, a) in table.schema().iter() {
@@ -21,7 +24,10 @@ fn scenario(ds: &Dataset, rho_scale: f64) -> (DiscoveryConfig, PredicateSpace) {
 }
 
 fn all_datasets() -> Vec<Dataset> {
-    let cfg = GenConfig { rows: 900, seed: 77 };
+    let cfg = GenConfig {
+        rows: 900,
+        seed: 77,
+    };
     vec![
         crr::datasets::birdmap(&cfg),
         crr::datasets::airquality(&cfg),
@@ -39,7 +45,12 @@ fn discovery_covers_every_tuple_on_all_datasets() {
         let (cfg, space) = scenario(&ds, 1.0);
         let found = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
         let uncovered = found.rules.uncovered(&ds.table, &ds.table.all_rows());
-        assert!(uncovered.is_empty(), "{}: {} uncovered", ds.name, uncovered.len());
+        assert!(
+            uncovered.is_empty(),
+            "{}: {} uncovered",
+            ds.name,
+            uncovered.len()
+        );
     }
 }
 
@@ -52,7 +63,8 @@ fn every_rule_respects_its_own_rho() {
         let found = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
         for (i, rule) in found.rules.rules().iter().enumerate() {
             assert!(
-                rule.find_violation(&ds.table, &ds.table.all_rows()).is_none(),
+                rule.find_violation(&ds.table, &ds.table.all_rows())
+                    .is_none(),
                 "{}: rule {i} violates its rho",
                 ds.name
             );
@@ -96,22 +108,35 @@ fn compaction_preserves_coverage_and_predictions() {
 /// models.
 #[test]
 fn sharing_reduces_models_without_hurting_rmse() {
-    let ds = crr::datasets::birdmap(&GenConfig { rows: 2_200, seed: 31 });
+    let ds = crr::datasets::birdmap(&GenConfig {
+        rows: 2_200,
+        seed: 31,
+    });
     let (cfg, space) = scenario(&ds, 0.5);
     let rows = ds.table.all_rows();
     let with = discover(&ds.table, &rows, &cfg.clone().with_sharing(true), &space).unwrap();
     let without = discover(&ds.table, &rows, &cfg.with_sharing(false), &space).unwrap();
     assert!(with.stats.models_trained <= without.stats.models_trained);
     let rw = with.rules.evaluate(&ds.table, &rows, LocateStrategy::First);
-    let rwo = without.rules.evaluate(&ds.table, &rows, LocateStrategy::First);
-    assert!(rw.rmse <= rwo.rmse * 2.0 + 0.1, "with {} vs without {}", rw.rmse, rwo.rmse);
+    let rwo = without
+        .rules
+        .evaluate(&ds.table, &rows, LocateStrategy::First);
+    assert!(
+        rw.rmse <= rwo.rmse * 2.0 + 0.1,
+        "with {} vs without {}",
+        rw.rmse,
+        rwo.rmse
+    );
 }
 
 /// Discovery is deterministic: identical inputs give identical rule sets,
 /// for every model family.
 #[test]
 fn discovery_is_deterministic_per_family() {
-    let ds = crr::datasets::abalone(&GenConfig { rows: 700, seed: 32 });
+    let ds = crr::datasets::abalone(&GenConfig {
+        rows: 700,
+        seed: 32,
+    });
     for kind in ModelKind::ALL {
         let (base, space) = scenario(&ds, 1.0);
         let cfg = base.with_kind(kind);
@@ -130,13 +155,18 @@ fn discovery_is_deterministic_per_family() {
 /// (in-sample): more refinement means equal or better fit.
 #[test]
 fn smaller_rho_never_fits_worse_in_sample() {
-    let ds = crr::datasets::airquality(&GenConfig { rows: 1_200, seed: 33 });
+    let ds = crr::datasets::airquality(&GenConfig {
+        rows: 1_200,
+        seed: 33,
+    });
     let rows = ds.table.all_rows();
     let mut last_rmse = f64::INFINITY;
     for rho in [5.0, 1.0, 0.5] {
         let (cfg, space) = scenario(&ds, rho);
         let found = discover(&ds.table, &rows, &cfg, &space).unwrap();
-        let report = found.rules.evaluate(&ds.table, &rows, LocateStrategy::First);
+        let report = found
+            .rules
+            .evaluate(&ds.table, &rows, LocateStrategy::First);
         assert!(
             report.rmse <= last_rmse + 1e-9,
             "rho {rho}: rmse {} after {}",

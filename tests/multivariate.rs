@@ -20,7 +20,8 @@ fn plane_table(n: usize) -> Table {
         let base = 2.0 * x1 - 0.5 * x2;
         // Regime switch on x1: same gradient, intercept differs by 30.
         let y = if x1 < 10.0 { base + 1.0 } else { base + 31.0 };
-        t.push_row(vec![Value::Float(x1), Value::Float(x2), Value::Float(y)]).unwrap();
+        t.push_row(vec![Value::Float(x1), Value::Float(x2), Value::Float(y)])
+            .unwrap();
     }
     t
 }
@@ -43,7 +44,12 @@ fn discovers_multivariate_planes_and_shares_them() {
 
     // Compaction merges the two regimes onto one model.
     let (rules, _) = compact_on_data(&d.rules, 1e-6, 0.1, &t, &t.all_rows()).unwrap();
-    assert_eq!(rules.num_distinct_models(), 1, "{} models", rules.num_distinct_models());
+    assert_eq!(
+        rules.num_distinct_models(),
+        1,
+        "{} models",
+        rules.num_distinct_models()
+    );
     let rep2 = rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
     assert!(rep2.rmse < 1e-9);
 }
@@ -95,7 +101,10 @@ fn abalone_rings_from_two_features() {
     // rings ~ f(length, diameter) per sex — diameter is collinear-ish with
     // length in the generator, so this also exercises the ridge family's
     // robustness and the QR fallback.
-    let ds = crr::datasets::abalone(&GenConfig { rows: 1_500, seed: 51 });
+    let ds = crr::datasets::abalone(&GenConfig {
+        rows: 1_500,
+        seed: 51,
+    });
     let t = &ds.table;
     let length = t.attr("length").unwrap();
     let diameter = t.attr("diameter").unwrap();
@@ -104,8 +113,7 @@ fn abalone_rings_from_two_features() {
     let rho = 3.0 * crr::datasets::abalone::NOISE + 0.3; // diameter noise widens the envelope
 
     for kind in [ModelKind::Linear, ModelKind::Ridge] {
-        let space =
-            PredicateGen::binary(16).generate(t, &[sex, length, diameter], rings, 0);
+        let space = PredicateGen::binary(16).generate(t, &[sex, length, diameter], rings, 0);
         let cfg = DiscoveryConfig::new(vec![length, diameter], rings, rho).with_kind(kind);
         let d = discover(t, &t.all_rows(), &cfg, &space).unwrap();
         assert!(d.rules.uncovered(t, &t.all_rows()).is_empty(), "{kind:?}");
