@@ -1,0 +1,554 @@
+//! Tracked benchmark output: the `bench` experiment writes
+//! `BENCH_discovery.json`, and CI (`scripts/ci.sh --check-bench`) re-parses
+//! and validates it so a regressed or malformed emitter fails the build.
+//!
+//! The workspace deliberately carries no serde; the writer below renders a
+//! fixed schema by hand and the reader is a minimal recursive-descent JSON
+//! parser — just enough to validate what the writer can produce (and reject
+//! what it must never produce: missing keys, non-finite numbers).
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into the file; bump when the layout changes.
+pub const SCHEMA: &str = "crr-bench-discovery-v1";
+
+/// One timed discovery run: a (dataset, size, engine) cell.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Dataset label (`electricity`, `tax`).
+    pub dataset: String,
+    /// Instance size |I| actually used.
+    pub rows: usize,
+    /// Fit engine label (`moments`, `rescan`).
+    pub engine: String,
+    /// Best-of-reps wall-clock discovery time, seconds.
+    pub learn_secs: f64,
+    /// Rules discovered.
+    pub rules: usize,
+    /// Models actually trained (rest were shared from the pool).
+    pub trained: usize,
+    /// RMSE of the discovered rule set over the instance.
+    pub rmse: f64,
+}
+
+/// Moments-vs-rescan comparison at one (dataset, size) point.
+#[derive(Debug, Clone)]
+pub struct SpeedupEntry {
+    /// Dataset label.
+    pub dataset: String,
+    /// Instance size.
+    pub rows: usize,
+    /// Sufficient-statistics engine time, seconds.
+    pub moments_secs: f64,
+    /// Row-rescan baseline time, seconds.
+    pub rescan_secs: f64,
+    /// `rescan_secs / moments_secs` — above 1.0 means moments is faster.
+    pub ratio: f64,
+}
+
+/// The full report the `bench` experiment emits.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Every timed cell.
+    pub records: Vec<BenchRecord>,
+    /// Engine comparisons, one per (dataset, size).
+    pub speedup: Vec<SpeedupEntry>,
+}
+
+/// Renders a finite number; non-finite values become `null`, which the
+/// validator rejects — a NaN timing can never pass CI silently.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the report as pretty-printed JSON with a stable key order.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"records\": [");
+    for (i, r) in report.records.iter().enumerate() {
+        let comma = if i + 1 < report.records.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"engine\": \"{}\", \
+             \"learn_secs\": {}, \"rules\": {}, \"trained\": {}, \"rmse\": {}}}{comma}",
+            esc(&r.dataset),
+            r.rows,
+            esc(&r.engine),
+            num(r.learn_secs),
+            r.rules,
+            r.trained,
+            num(r.rmse),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"speedup\": [");
+    for (i, s) in report.speedup.iter().enumerate() {
+        let comma = if i + 1 < report.speedup.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"moments_secs\": {}, \
+             \"rescan_secs\": {}, \"ratio\": {}}}{comma}",
+            esc(&s.dataset),
+            s.rows,
+            num(s.moments_secs),
+            num(s.rescan_secs),
+            num(s.ratio),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number (JSON numbers are finite by construction).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let s =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(s, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not a lone byte.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+fn finite_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing key '{key}'"))?;
+    let x = v
+        .as_num()
+        .ok_or_else(|| format!("{ctx}: key '{key}' is not a number (got {v:?})"))?;
+    if !x.is_finite() {
+        return Err(format!("{ctx}: key '{key}' is non-finite"));
+    }
+    Ok(x)
+}
+
+fn str_key<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key '{key}'"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: key '{key}' is not a string"))
+}
+
+/// Validates a `BENCH_discovery.json` document. On success, returns a
+/// one-line summary; on failure, a message naming the first violation.
+///
+/// Checks: the schema tag; a non-empty `records` array whose entries carry
+/// every required key with finite numbers and known engine labels; each
+/// dataset measured at ≥ 2 sizes with *both* engines at each size; and a
+/// non-empty `speedup` array with finite, positive ratios.
+pub fn validate(text: &str) -> Result<String, String> {
+    let doc = parse(text)?;
+    let schema = str_key(&doc, "schema", "document")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema '{schema}' (want '{SCHEMA}')"));
+    }
+
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("document: 'records' missing or not an array")?;
+    if records.is_empty() {
+        return Err("'records' is empty".to_string());
+    }
+    // (dataset, rows) -> set of engines seen there.
+    let mut cells: Vec<(String, u64, Vec<String>)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("records[{i}]");
+        let dataset = str_key(r, "dataset", &ctx)?.to_string();
+        let engine = str_key(r, "engine", &ctx)?.to_string();
+        if engine != "moments" && engine != "rescan" {
+            return Err(format!("{ctx}: unknown engine '{engine}'"));
+        }
+        let rows = finite_num(r, "rows", &ctx)?;
+        if rows < 1.0 || rows.fract() != 0.0 {
+            return Err(format!("{ctx}: 'rows' must be a positive integer"));
+        }
+        if finite_num(r, "learn_secs", &ctx)? < 0.0 {
+            return Err(format!("{ctx}: negative learn_secs"));
+        }
+        finite_num(r, "rules", &ctx)?;
+        finite_num(r, "trained", &ctx)?;
+        finite_num(r, "rmse", &ctx)?;
+        let key = (dataset, rows as u64);
+        match cells
+            .iter_mut()
+            .find(|(d, n, _)| *d == key.0 && *n == key.1)
+        {
+            Some((_, _, engines)) => engines.push(engine),
+            None => cells.push((key.0, key.1, vec![engine])),
+        }
+    }
+    let mut datasets: Vec<&str> = Vec::new();
+    for (dataset, rows, engines) in &cells {
+        for want in ["moments", "rescan"] {
+            if !engines.iter().any(|e| e == want) {
+                return Err(format!("{dataset}@{rows}: engine '{want}' never measured"));
+            }
+        }
+        if !datasets.contains(&dataset.as_str()) {
+            datasets.push(dataset);
+        }
+    }
+    for d in &datasets {
+        let sizes = cells.iter().filter(|(name, _, _)| name == d).count();
+        if sizes < 2 {
+            return Err(format!("dataset '{d}' measured at only {sizes} size(s)"));
+        }
+    }
+
+    let speedup = doc
+        .get("speedup")
+        .and_then(Json::as_arr)
+        .ok_or("document: 'speedup' missing or not an array")?;
+    if speedup.is_empty() {
+        return Err("'speedup' is empty".to_string());
+    }
+    for (i, s) in speedup.iter().enumerate() {
+        let ctx = format!("speedup[{i}]");
+        str_key(s, "dataset", &ctx)?;
+        finite_num(s, "rows", &ctx)?;
+        finite_num(s, "moments_secs", &ctx)?;
+        finite_num(s, "rescan_secs", &ctx)?;
+        let ratio = finite_num(s, "ratio", &ctx)?;
+        if ratio <= 0.0 {
+            return Err(format!("{ctx}: non-positive ratio {ratio}"));
+        }
+    }
+    Ok(format!(
+        "ok: {} records over {} dataset(s), {} speedup point(s)",
+        records.len(),
+        datasets.len(),
+        speedup.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut report = BenchReport::default();
+        for dataset in ["electricity", "tax"] {
+            for rows in [1000usize, 2000] {
+                for engine in ["moments", "rescan"] {
+                    report.records.push(BenchRecord {
+                        dataset: dataset.into(),
+                        rows,
+                        engine: engine.into(),
+                        learn_secs: 0.25,
+                        rules: 12,
+                        trained: 4,
+                        rmse: 0.05,
+                    });
+                }
+                report.speedup.push(SpeedupEntry {
+                    dataset: dataset.into(),
+                    rows,
+                    moments_secs: 0.2,
+                    rescan_secs: 0.3,
+                    ratio: 1.5,
+                });
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn render_round_trips_through_validate() {
+        let text = render(&sample());
+        let summary = validate(&text).expect("valid");
+        assert!(summary.contains("8 records"), "{summary}");
+        assert!(summary.contains("2 dataset"), "{summary}");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        let mut report = sample();
+        report.records[0].learn_secs = f64::NAN;
+        let text = render(&report);
+        let err = validate(&text).expect_err("NaN must fail");
+        assert!(err.contains("learn_secs"), "{err}");
+    }
+
+    #[test]
+    fn missing_keys_are_rejected() {
+        let text = render(&sample()).replace("\"rmse\": 0.05", "\"rmsx\": 0.05");
+        let err = validate(&text).expect_err("missing key must fail");
+        assert!(err.contains("rmse"), "{err}");
+    }
+
+    #[test]
+    fn single_engine_runs_are_rejected() {
+        let mut report = sample();
+        report.records.retain(|r| r.engine == "moments");
+        let err = validate(&render(&report)).expect_err("one engine must fail");
+        assert!(err.contains("rescan"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse(r#"{"a": [1, -2.5e3, "x\"\\A"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Str("x\"\\A".to_string())
+        );
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(validate("[]").is_err());
+    }
+}

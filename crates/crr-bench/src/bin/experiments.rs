@@ -12,6 +12,22 @@
 //! the process; runs that trip the budget degrade gracefully (best-so-far
 //! rules, fallback constants for the rest) and log a `[budget]` note.
 //!
+//! Beyond the paper artifacts there is a tracked benchmark, excluded from
+//! `all`:
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- bench
+//! cargo run --release -p crr-bench --bin experiments -- --bench-json out.json bench
+//! cargo run --release -p crr-bench --bin experiments -- --check-bench BENCH_discovery.json
+//! ```
+//!
+//! `bench` times discovery with the sufficient-statistics fit engine
+//! against the row-rescan baseline on Electricity and Tax at three sizes
+//! each, and writes the result to `BENCH_discovery.json` (or the
+//! `--bench-json` path). `--check-bench` re-parses a previously written
+//! file and fails the process unless it is complete and finite — the CI
+//! gate for the tracked benchmark.
+//!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets); the *shape* — who wins, by what factor, where
 //! crossovers fall — is what EXPERIMENTS.md records and compares.
@@ -20,7 +36,7 @@ use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;
 use crr_core::LocateStrategy;
 use crr_datasets::{abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig};
-use crr_discovery::{compact_on_data, discover, PredicateGen, QueueOrder};
+use crr_discovery::{compact_on_data, discover, FitEngine, PredicateGen, QueueOrder};
 use crr_impute::{impute_with_rules, mask_random};
 use crr_models::ModelKind;
 use std::time::Instant;
@@ -29,10 +45,29 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut budget = crr_discovery::Budget::unlimited();
+    let mut bench_json_path = "BENCH_discovery.json".to_string();
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--bench-json" => {
+                bench_json_path = it.next().expect("--bench-json needs a path").clone();
+            }
+            "--check-bench" => {
+                let path = it.next().expect("--check-bench needs a path");
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                match bench_json::validate(&text) {
+                    Ok(summary) => {
+                        println!("{path}: {summary}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "--scale" => {
                 scale = it
                     .next()
@@ -88,6 +123,7 @@ fn main() {
             "table3" => table3(scale),
             "table4" => table4(scale),
             "ablation" => ablation(scale),
+            "bench" => bench(scale, &bench_json_path),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -722,4 +758,101 @@ fn ablation(scale: f64) {
         &["Variant", "Learn(s)", "RMSE", "#Rules", "#Trained"],
         &out,
     );
+}
+
+/// Tracked benchmark: the sufficient-statistics fit engine vs. the
+/// row-rescan baseline, on Electricity and Tax at three instance sizes.
+/// Pure Algorithm 1 (no compaction), best-of-reps wall clock. Writes the
+/// machine-readable report to `path` (`--bench-json`), which
+/// `--check-bench` / `scripts/ci.sh` re-validate.
+fn bench(scale: f64, path: &str) {
+    use crr_core::LocateStrategy;
+
+    let reps = if scale >= 1.0 { 3 } else { 1 };
+    let cells: [(&str, fn(usize, u64) -> Scenario, [usize; 3], usize); 2] = [
+        (
+            "electricity",
+            electricity_scenario,
+            [2_880, 5_760, 11_520],
+            255,
+        ),
+        ("tax", tax_scenario, [2_500, 5_000, 10_000], 15),
+    ];
+    let mut report = bench_json::BenchReport::default();
+    let mut table_rows = Vec::new();
+    for (name, make, sizes, per_attr) in cells {
+        for size in sizes {
+            let sc = make(scaled(size, scale), 42);
+            let rows = sc.rows();
+            let mut secs_by_engine = [f64::INFINITY; 2];
+            for (ei, engine) in [FitEngine::Moments, FitEngine::Rescan]
+                .into_iter()
+                .enumerate()
+            {
+                let opts = CrrOptions {
+                    engine,
+                    compact: false,
+                    predicates_per_attr: per_attr,
+                    ..Default::default()
+                };
+                let (cfg, space) = crr_inputs(&sc, &opts);
+                let mut found = None;
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let d = discover(sc.table(), &rows, &cfg, &space).expect("discovery");
+                    secs_by_engine[ei] = secs_by_engine[ei].min(start.elapsed().as_secs_f64());
+                    found = Some(d);
+                }
+                let d = found.expect("at least one rep");
+                let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+                let label = match engine {
+                    FitEngine::Moments => "moments",
+                    FitEngine::Rescan => "rescan",
+                };
+                table_rows.push(vec![
+                    name.to_string(),
+                    rows.len().to_string(),
+                    label.to_string(),
+                    format!("{:.4}", secs_by_engine[ei]),
+                    d.rules.len().to_string(),
+                    d.stats.models_trained.to_string(),
+                    format!("{:.4}", rep.rmse),
+                ]);
+                report.records.push(bench_json::BenchRecord {
+                    dataset: name.to_string(),
+                    rows: rows.len(),
+                    engine: label.to_string(),
+                    learn_secs: secs_by_engine[ei],
+                    rules: d.rules.len(),
+                    trained: d.stats.models_trained,
+                    rmse: rep.rmse,
+                });
+            }
+            report.speedup.push(bench_json::SpeedupEntry {
+                dataset: name.to_string(),
+                rows: rows.len(),
+                moments_secs: secs_by_engine[0],
+                rescan_secs: secs_by_engine[1],
+                ratio: secs_by_engine[1] / secs_by_engine[0],
+            });
+        }
+    }
+    print_table(
+        "Tracked benchmark: fit engines (best of reps)",
+        &[
+            "Dataset", "|I|", "Engine", "Learn(s)", "#Rules", "#Trained", "RMSE",
+        ],
+        &table_rows,
+    );
+    for s in &report.speedup {
+        println!(
+            "  {}@{}: moments {:.4}s vs rescan {:.4}s -> {:.2}x",
+            s.dataset, s.rows, s.moments_secs, s.rescan_secs, s.ratio
+        );
+    }
+    let text = bench_json::render(&report);
+    // Self-check before writing: never persist a report CI would reject.
+    let summary = bench_json::validate(&text).expect("emitted report must validate");
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({summary})");
 }

@@ -19,11 +19,14 @@ use crr_core::{RuleIndex, RuleSet};
 use crr_data::{AttrId, RowSet, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, tax, Dataset, GenConfig};
 use crr_discovery::{
-    compact_on_data, discover, Budget, DiscoveryConfig, PredicateGen, PredicateSpace, QueueOrder,
+    compact_on_data, discover, Budget, DiscoveryConfig, FitEngine, PredicateGen, PredicateSpace,
+    QueueOrder,
 };
 use crr_models::{FitConfig, ModelKind};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+pub mod bench_json;
 
 /// Process-wide discovery budget, set once from the CLI
 /// (`--time-budget`/`--max-fits`) and applied to every scenario a runner
@@ -220,6 +223,11 @@ pub struct CrrOptions {
     /// Per-run resource budget; falls back to the process-wide
     /// [`global_budget`] when `None`.
     pub budget: Option<Budget>,
+    /// Fit engine: incremental sufficient statistics (the default) or the
+    /// row-rescan baseline it is benchmarked against.
+    pub engine: FitEngine,
+    /// Worker threads for the shared-pool probe scan (1 = sequential).
+    pub pool_scan_threads: usize,
 }
 
 impl Default for CrrOptions {
@@ -233,6 +241,8 @@ impl Default for CrrOptions {
             rho_max: None,
             generator: None,
             budget: None,
+            engine: FitEngine::Moments,
+            pool_scan_threads: 1,
         }
     }
 }
@@ -247,7 +257,9 @@ pub fn crr_inputs(sc: &Scenario, opts: &CrrOptions) -> (DiscoveryConfig, Predica
     let mut cfg = DiscoveryConfig::new(sc.inputs.clone(), sc.target, rho)
         .with_kind(opts.kind)
         .with_order(opts.order)
-        .with_sharing(opts.share);
+        .with_sharing(opts.share)
+        .with_engine(opts.engine)
+        .with_pool_scan_threads(opts.pool_scan_threads);
     if opts.kind == ModelKind::Mlp {
         // Keep per-partition MLP fits affordable in sweeps.
         cfg.fit.mlp.epochs = 60;

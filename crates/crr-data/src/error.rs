@@ -19,6 +19,9 @@ pub enum DataError {
     Io(String),
     /// A numeric view was requested of a non-numeric column.
     NotNumeric(String),
+    /// A present numeric cell held NaN or ±Inf where a finite value was
+    /// required (building a fit snapshot).
+    NonFiniteCell { row: usize, attribute: String },
 }
 
 impl fmt::Display for DataError {
@@ -45,6 +48,9 @@ impl fmt::Display for DataError {
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::NotNumeric(name) => {
                 write!(f, "attribute {name} is not numeric")
+            }
+            DataError::NonFiniteCell { row, attribute } => {
+                write!(f, "non-finite value at row {row}, attribute {attribute}")
             }
         }
     }

@@ -35,6 +35,7 @@ pub mod csv;
 mod error;
 mod rowset;
 mod schema;
+mod snapshot;
 mod stats;
 mod table;
 mod value;
@@ -43,6 +44,7 @@ pub use column::{Column, ColumnData};
 pub use error::DataError;
 pub use rowset::RowSet;
 pub use schema::{AttrId, AttrType, Attribute, Schema};
+pub use snapshot::NumericSnapshot;
 pub use stats::ColumnStats;
 pub use table::Table;
 pub use value::Value;

@@ -19,6 +19,25 @@ pub enum QueueOrder {
     Random(u64),
 }
 
+/// Which fitting engine the search loop uses for the linear family
+/// (F1/F2). The MLP always takes the direct path — it has no sufficient
+/// statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitEngine {
+    /// Sufficient statistics: every queue entry carries the partition's
+    /// [`crr_models::Moments`] `(XᵀX, Xᵀy, yᵀy, Σx, Σy, n)`, maintained
+    /// incrementally across splits (the smaller child is re-accumulated,
+    /// the larger is the parent minus the sibling) and solved via Cholesky —
+    /// O(min(|child|)·d²) per split plus O(d³) per fit instead of an
+    /// O(n·d²) normal-equation rebuild at every pop.
+    #[default]
+    Moments,
+    /// Rebuild the normal equations from the partition's rows at every
+    /// queue pop — the pre-moments behavior, kept as the benchmark baseline
+    /// that `BENCH_discovery.json` tracks the moments speed-up against.
+    Rescan,
+}
+
 /// How split predicates are chosen when a partition admits no model
 /// (Algorithm 1 line 19).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +97,13 @@ pub struct DiscoveryConfig {
     /// Test-only fault injection consulted before every model fit. `None`
     /// in production configs.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Fitting engine for the linear family; see [`FitEngine`].
+    pub engine: FitEngine,
+    /// Worker threads for the shared-pool scan at each pop (lines 7–10).
+    /// `1` scans sequentially; higher values fan the per-model share tests
+    /// out over scoped threads once the pool and partition are large enough
+    /// to amortize the spawns. Results are identical either way.
+    pub pool_scan_threads: usize,
 }
 
 impl DiscoveryConfig {
@@ -97,7 +123,21 @@ impl DiscoveryConfig {
             budget: Budget::unlimited(),
             cancel: None,
             faults: None,
+            engine: FitEngine::Moments,
+            pool_scan_threads: 1,
         }
+    }
+
+    /// Switches the fitting engine for the linear family.
+    pub fn with_engine(mut self, engine: FitEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the shared-pool scan parallelism (1 = sequential).
+    pub fn with_pool_scan_threads(mut self, threads: usize) -> Self {
+        self.pool_scan_threads = threads.max(1);
+        self
     }
 
     /// Switches the model family, keeping family defaults.

@@ -64,11 +64,11 @@ mod search;
 
 pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
-pub use config::{DiscoveryConfig, QueueOrder, SplitStrategy};
+pub use config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
 pub use error::DiscoveryError;
 pub use faults::{inject_dirty_cells, FaultPlan};
 pub use predicates::{PredicateGen, PredicateSpace};
-pub use search::{discover, Discovery, DiscoveryStats};
+pub use search::{discover, share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, DiscoveryError>;

@@ -16,18 +16,50 @@
 //!   further (too small, or no predicate separates them) accept their best
 //!   model even when its bias exceeds `ρ_M` — down to the constant-per-
 //!   tuple edge case.
+//!
+//! # The sufficient-statistics fit engine
+//!
+//! The search loop never re-extracts rows from the [`Table`]. A
+//! [`NumericSnapshot`] — column-major buffers of every input plus the
+//! target, with a fit-readiness bitmask — is built once per run, and each
+//! queue entry carries its partition's fit-ready row indices into those
+//! buffers. Under the default [`FitEngine::Moments`], entries additionally
+//! carry the partition's [`Moments`] `(XᵀX, Xᵀy, yᵀy, Σx, Σy, n)`:
+//!
+//! * a split re-accumulates the *smaller* child in O(|child|·d²) and derives
+//!   the larger sibling by subtraction from the parent (exact over the split
+//!   because addition of per-row outer products is what built the parent);
+//! * a fit solves the cached normal equations in O(d³) instead of an
+//!   O(n·d²) rebuild at every pop;
+//! * residual scans (`ρ`, the shared-pool probes, the sharing index) stream
+//!   the columnar buffers, reproducing [`Regressor::predict`] bitwise for
+//!   affine models so every reported `ρ` stays honest.
+//!
+//! The shared-pool scan short-circuits a probe as soon as its running
+//! maximum deviation exceeds `ρ_M` *and* the remaining rows provably cannot
+//! raise `ind(C)` above the best already seen — and optionally fans the
+//! per-model probes across scoped threads
+//! ([`crate::parallel::first_match_scan`]) with results byte-identical to
+//! the sequential scan.
 
 use crate::{
-    DiscoveryConfig, DiscoveryError, DiscoveryOutcome, PredicateSpace, QueueOrder, Result,
-    SplitStrategy,
+    DiscoveryConfig, DiscoveryError, DiscoveryOutcome, FitEngine, PredicateSpace, QueueOrder,
+    Result, SplitStrategy,
 };
 use crr_core::{Conjunction, Crr, Dnf, RuleSet};
-use crr_data::{AttrId, AttrType, RowSet, Table};
-use crr_models::{fit_model, Model, Regressor, Translation};
+use crr_data::{AttrId, AttrType, NumericSnapshot, RowSet, Table};
+use crr_models::{
+    fit_model, try_fit_from_moments, ConstantModel, Model, ModelKind, Moments, Regressor,
+    Translation,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Minimum `|pool| × |fit rows|` before the shared-pool scan fans out over
+/// threads — below this the probes are cheaper than the spawns.
+const PARALLEL_SCAN_MIN_WORK: usize = 4096;
 
 /// Counters describing one discovery run — the raw material of the paper's
 /// learning-time and #rules plots.
@@ -69,8 +101,9 @@ pub struct Discovery {
     pub outcome: DiscoveryOutcome,
 }
 
-/// Priority-queue entry: a conjunction, its partition, and the predicates
-/// still available for splitting it.
+/// Priority-queue entry: a conjunction, its partition, the predicates still
+/// available for splitting it, and the partition's fit state (snapshot row
+/// indices plus, under the moments engine, cached sufficient statistics).
 struct Entry {
     /// Queue priority (see [`QueueOrder`]).
     priority: f64,
@@ -78,6 +111,13 @@ struct Entry {
     seq: u64,
     conj: Conjunction,
     rows: RowSet,
+    /// Fit-ready rows (every input and the target present), ascending —
+    /// indices into the run's [`NumericSnapshot`] buffers.
+    fit: Vec<u32>,
+    /// Sufficient statistics over `fit`, maintained across splits. `None`
+    /// under [`FitEngine::Rescan`] or for families without sufficient
+    /// statistics (the MLP).
+    moments: Option<Moments>,
     /// Indices into the predicate space usable for further splits.
     avail: Vec<u32>,
 }
@@ -148,9 +188,28 @@ pub fn discover(
     let start = Instant::now();
     let mut stats = DiscoveryStats::default();
     let mut rules = RuleSet::new();
-    // Line 2: the shared model pool ℱ.
+    // Line 2: the shared model pool ℱ, most-recently-shared first.
     let mut pool: Vec<Arc<Model>> = Vec::new();
     let min_partition = cfg.effective_min_partition();
+
+    // One pass over the table: columnar numeric buffers + readiness mask.
+    // Complete rows holding NaN/±Inf surface here as the same typed error
+    // the per-pop extraction used to raise.
+    let snap =
+        NumericSnapshot::build(table, &cfg.inputs, cfg.target, rows).map_err(|e| match e {
+            crr_data::DataError::NonFiniteCell { row, attribute } => {
+                DiscoveryError::NonFiniteValue {
+                    row,
+                    attr: attribute,
+                }
+            }
+            other => DiscoveryError::Data(other),
+        })?;
+    // Moments apply to the linear family only; the MLP has no sufficient
+    // statistics, and with zero features every fit is a constant anyway.
+    let use_moments = cfg.engine == FitEngine::Moments
+        && matches!(cfg.fit.kind, ModelKind::Linear | ModelKind::Ridge)
+        && !cfg.inputs.is_empty();
 
     // Global fallback for partitions with no usable (X, Y) pairs at all.
     let global_fallback = global_midrange(table, cfg, rows);
@@ -158,11 +217,19 @@ pub fn discover(
     // Line 3: the queue starts from the most general condition C = ∅.
     let mut seq = 0u64;
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+    let root_fit = snap.ready_rows(rows);
+    let root_moments = if use_moments {
+        Some(accumulate_moments(&snap, &root_fit))
+    } else {
+        None
+    };
     queue.push(Entry {
         priority: priority_for(cfg.order, 0.0, 0),
         seq: 0,
         conj: Conjunction::top(),
         rows: rows.clone(),
+        fit: root_fit,
+        moments: root_moments,
         avail: (0..space.len() as u32).collect(),
     });
 
@@ -171,6 +238,9 @@ pub fn discover(
     // runs pay nothing for the machinery.
     let watched = !cfg.budget.is_unlimited() || cfg.cancel.is_some();
     let mut outcome = DiscoveryOutcome::Complete;
+
+    // Residual scratch, reused across pops.
+    let mut resid: Vec<f64> = Vec::new();
 
     // Line 4: main loop.
     while let Some(entry) = queue.pop() {
@@ -195,10 +265,7 @@ pub fn discover(
                     }
                     let (c, rho) = partition_midrange(table, cfg.target, &e.rows)
                         .unwrap_or((global_fallback, cfg.rho_max));
-                    let model = Arc::new(Model::Constant(crr_models::ConstantModel::new(
-                        c,
-                        cfg.inputs.len(),
-                    )));
+                    let model = Arc::new(Model::Constant(ConstantModel::new(c, cfg.inputs.len())));
                     rules.push(Crr::new(
                         cfg.inputs.clone(),
                         cfg.target,
@@ -214,18 +281,21 @@ pub fn discover(
         }
         stats.partitions_explored += 1;
         let Entry {
-            conj, rows, avail, ..
+            conj,
+            rows,
+            fit,
+            moments,
+            avail,
+            ..
         } = entry;
         if rows.is_empty() {
             continue;
         }
 
-        // Fit-ready subset: rows with every input and the target present.
-        let fit_rows = table.complete_rows(&cfg.inputs, cfg.target, &rows);
-        if fit_rows.is_empty() {
+        if fit.is_empty() {
             // Nothing to validate against; cover with the global fallback
             // constant so prediction still answers here.
-            let model = Arc::new(Model::Constant(crr_models::ConstantModel::new(
+            let model = Arc::new(Model::Constant(ConstantModel::new(
                 global_fallback,
                 cfg.inputs.len(),
             )));
@@ -239,32 +309,68 @@ pub fn discover(
             stats.forced_accepts += 1;
             continue;
         }
-        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(fit_rows.len());
-        let mut y: Vec<f64> = Vec::with_capacity(fit_rows.len());
-        for r in fit_rows.iter() {
-            let mut x = Vec::with_capacity(cfg.inputs.len());
-            for &a in &cfg.inputs {
-                x.push(finite_cell(table, r, a)?);
-            }
-            xs.push(x);
-            y.push(finite_cell(table, r, cfg.target)?);
-        }
 
         // Lines 7–10: try to share a pooled model, and in the same pass
-        // compute the sharing index ind(C) (line 12).
-        let mut ind = 0.0f64;
-        let mut shared: Option<(Arc<Model>, f64, f64)> = None; // (f, rho, delta)
-        if cfg.share_models {
-            for f in &pool {
-                let (delta0, max_dev, frac) = share_fit(f.as_ref(), &xs, &y, cfg.rho_max);
-                ind = ind.max(frac);
-                if max_dev <= cfg.rho_max {
-                    shared = Some((Arc::clone(f), max_dev, delta0));
-                    break;
+        // compute the sharing index ind(C) (line 12). `best_within` counts
+        // rows, not fractions — every probe at this pop shares `fit.len()`,
+        // so integer comparison keeps the short-circuit bound exact.
+        let mut best_within = 0usize;
+        let mut shared: Option<(usize, f64, f64)> = None; // (pool idx, rho, delta)
+        if cfg.share_models && !pool.is_empty() {
+            let order_uses_ind = !matches!(cfg.order, QueueOrder::Random(_));
+            let parallel_scan = cfg.pool_scan_threads > 1
+                && pool.len() >= 2
+                && pool.len().saturating_mul(fit.len()) >= PARALLEL_SCAN_MIN_WORK;
+            if parallel_scan {
+                // When the queue order consumes ind(C), workers evaluate
+                // every row: first_match_scan guarantees each probe at or
+                // below the winning index completes, so aggregating over
+                // that prefix reproduces the sequential ind exactly. Under
+                // Random order ind is never read and misses may abort early.
+                let mode = if order_uses_ind {
+                    ScanMode::Full
+                } else {
+                    ScanMode::AbortOnMiss
+                };
+                let (winner, probes) =
+                    crate::parallel::first_match_scan(pool.len(), cfg.pool_scan_threads, |i| {
+                        let mut buf = Vec::new();
+                        let p =
+                            share_probe(pool[i].as_ref(), &snap, &fit, cfg.rho_max, &mut buf, mode);
+                        let matched = p.max_dev <= cfg.rho_max;
+                        (p, matched)
+                    });
+                let scanned = winner.map_or(pool.len(), |w| w + 1);
+                for p in probes.iter().take(scanned).flatten() {
+                    best_within = best_within.max(p.within);
+                }
+                if let Some(w) = winner {
+                    if let Some(p) = &probes[w] {
+                        shared = Some((w, p.max_dev, p.delta0));
+                    }
+                }
+            } else {
+                for (i, f) in pool.iter().enumerate() {
+                    let mode = if order_uses_ind {
+                        ScanMode::AbortBelowFloor(best_within)
+                    } else {
+                        ScanMode::AbortOnMiss
+                    };
+                    let p = share_probe(f.as_ref(), &snap, &fit, cfg.rho_max, &mut resid, mode);
+                    best_within = best_within.max(p.within);
+                    if p.max_dev <= cfg.rho_max {
+                        shared = Some((i, p.max_dev, p.delta0));
+                        break;
+                    }
                 }
             }
         }
-        if let Some((f, rho, delta)) = shared {
+        let ind = best_within as f64 / fit.len() as f64;
+        if let Some((idx, rho, delta)) = shared {
+            // Move-to-front: pool hits cluster (a regime's model fits its
+            // siblings), so the next scan should try this model first.
+            let f = pool.remove(idx);
+            pool.insert(0, Arc::clone(&f));
             // Line 9: C := C ∧ (y = δ).
             let mut conj = conj;
             if delta.abs() > 1e-12 {
@@ -288,12 +394,28 @@ pub fn discover(
         if let Some(faults) = &cfg.faults {
             faults.before_fit()?;
         }
-        let model = fit_model(&xs, &y, &cfg.fit)?;
+        let model = match &moments {
+            Some(m) => match try_fit_from_moments(m, &cfg.fit) {
+                Some(model) => model,
+                // The moments solve declined (VC guard, singular normal
+                // equations): same midrange-constant fallback `fit_model`
+                // takes, from one pass over the target buffer.
+                None => Model::Constant(ConstantModel::new(
+                    midrange_of(&snap, &fit),
+                    cfg.inputs.len(),
+                )),
+            },
+            None => {
+                let (xs, y) = materialize(&snap, &fit);
+                fit_model(&xs, &y, &cfg.fit)?
+            }
+        };
         stats.models_trained += 1;
-        let rho = crr_models::max_abs_residual(&model, &xs, &y);
+        fill_residuals(&model, &snap, &fit, &mut resid);
+        let rho = resid.iter().fold(0.0f64, |m, r| m.max(r.abs()));
 
         // Line 14: does it generalize to the whole partition within ρ_M?
-        let splittable = fit_rows.len() > min_partition && !avail.is_empty();
+        let splittable = fit.len() > min_partition && !avail.is_empty();
         if rho <= cfg.rho_max || !splittable {
             if rho > cfg.rho_max {
                 stats.forced_accepts += 1;
@@ -312,10 +434,10 @@ pub fn discover(
 
         // Lines 19–22: split the condition. The failed model's residuals
         // feed the default (model-tree) split criterion.
-        let residuals: Vec<(usize, f64)> = fit_rows
+        let residuals: Vec<(usize, f64)> = fit
             .iter()
-            .zip(xs.iter().zip(&y))
-            .map(|(r, (x, &t))| (r, t - model.predict(x)))
+            .zip(&resid)
+            .map(|(&r, &e)| (r as usize, e))
             .collect();
         match choose_split(table, &rows, cfg, space, &avail, &residuals) {
             Some(split_idx) => {
@@ -328,7 +450,13 @@ pub fn discover(
                 stats.uncoverable_rows += rows.len() - yes.len() - no.len();
                 let child_avail: Vec<u32> =
                     avail.iter().copied().filter(|&i| i != split_idx).collect();
-                for (child_conj, child_rows) in [(conj.and(p), yes), (conj.and(np), no)] {
+                let yes_fit = intersect_sorted(&fit, yes.as_slice());
+                let no_fit = intersect_sorted(&fit, no.as_slice());
+                let (yes_m, no_m) = split_moments(moments, &snap, &fit, &yes_fit, &no_fit);
+                for (child_conj, child_rows, child_fit, child_m) in [
+                    (conj.and(p), yes, yes_fit, yes_m),
+                    (conj.and(np), no, no_fit, no_m),
+                ] {
                     if child_rows.is_empty() {
                         continue;
                     }
@@ -338,6 +466,8 @@ pub fn discover(
                         seq,
                         conj: child_conj,
                         rows: child_rows,
+                        fit: child_fit,
+                        moments: child_m,
                         avail: child_avail.clone(),
                     });
                 }
@@ -367,40 +497,211 @@ pub fn discover(
     })
 }
 
-/// Reads one numeric cell, surfacing absence or NaN/±Inf as typed errors
-/// (never a panic): dirty tables degrade to `Err`, not a poisoned fit.
-fn finite_cell(table: &Table, row: usize, attr: AttrId) -> Result<f64> {
-    let name = || table.schema().attribute(attr).name().to_string();
-    let v = table
-        .value_f64(row, attr)
-        .ok_or_else(|| DiscoveryError::IncompleteRow { row, attr: name() })?;
-    if !v.is_finite() {
-        return Err(DiscoveryError::NonFiniteValue { row, attr: name() });
+/// Accumulates the sufficient statistics of `fit` rows from the snapshot
+/// buffers, row by row — the same order a child split re-accumulates in, so
+/// parent = yes-child + no-child holds exactly as floating-point sums.
+fn accumulate_moments(snap: &NumericSnapshot, fit: &[u32]) -> Moments {
+    let d = snap.num_inputs();
+    let mut m = Moments::zeros(d);
+    let mut x = vec![0.0; d];
+    for &r in fit {
+        snap.gather_x(r as usize, &mut x);
+        m.add_row(&x, snap.target()[r as usize]);
     }
-    Ok(v)
+    m
 }
 
-/// Midrange and half-range of the target's finite values over a partition;
-/// `None` when no row has one. The midrange constant's worst absolute
-/// error on the partition is exactly the half-range, so drained rules
-/// report an honest `ρ`.
-fn partition_midrange(table: &Table, target: AttrId, rows: &RowSet) -> Option<(f64, f64)> {
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    for r in rows.iter() {
-        if let Some(v) = table.value_f64(r, target) {
-            if v.is_finite() {
-                lo = lo.min(v);
-                hi = hi.max(v);
+/// Derives both children's moments from a split of `fit` into
+/// `yes_fit`/`no_fit`: the smaller child is re-accumulated, the larger is
+/// the parent minus the sibling (O(min·d²) instead of O(n·d²)). When fit
+/// rows fall off both sides (a null condition attribute), subtraction no
+/// longer matches and both sides are rebuilt fresh.
+fn split_moments(
+    parent: Option<Moments>,
+    snap: &NumericSnapshot,
+    fit: &[u32],
+    yes_fit: &[u32],
+    no_fit: &[u32],
+) -> (Option<Moments>, Option<Moments>) {
+    let Some(parent) = parent else {
+        return (None, None);
+    };
+    if yes_fit.len() + no_fit.len() == fit.len() {
+        if yes_fit.len() <= no_fit.len() {
+            let small = accumulate_moments(snap, yes_fit);
+            let mut large = parent;
+            large.subtract(&small);
+            (Some(small), Some(large))
+        } else {
+            let small = accumulate_moments(snap, no_fit);
+            let mut large = parent;
+            large.subtract(&small);
+            (Some(large), Some(small))
+        }
+    } else {
+        (
+            Some(accumulate_moments(snap, yes_fit)),
+            Some(accumulate_moments(snap, no_fit)),
+        )
+    }
+}
+
+/// Sorted-slice intersection (both inputs ascending, as [`RowSet`] and the
+/// snapshot's ready lists guarantee).
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
             }
         }
     }
-    lo.is_finite().then(|| ((lo + hi) / 2.0, (hi - lo) / 2.0))
+    out
 }
 
-/// Proposition 6's shared-fit test for one pooled model: returns
+/// Rebuilds row-major `(xs, y)` from the snapshot buffers — the
+/// [`FitEngine::Rescan`] baseline and the MLP's raw-row path.
+fn materialize(snap: &NumericSnapshot, fit: &[u32]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let d = snap.num_inputs();
+    let mut xs = Vec::with_capacity(fit.len());
+    let mut y = Vec::with_capacity(fit.len());
+    for &r in fit {
+        let r = r as usize;
+        let mut x = vec![0.0; d];
+        snap.gather_x(r, &mut x);
+        xs.push(x);
+        y.push(snap.target()[r]);
+    }
+    (xs, y)
+}
+
+/// Midrange of the target over `fit` rows — the constant fallback when the
+/// moments solve declines, with the same min/max fold [`ConstantModel::fit`]
+/// uses so both engines produce the identical constant.
+fn midrange_of(snap: &NumericSnapshot, fit: &[u32]) -> f64 {
+    let ty = snap.target();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &r in fit {
+        let v = ty[r as usize];
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo + hi) / 2.0
+}
+
+/// Writes `t − f(x)` for every fit row into `out`, streaming the snapshot's
+/// column buffers. For affine models the accumulation order matches
+/// [`crr_linalg::dot`]'s sequential fold exactly, so the residuals are
+/// bitwise what `Regressor::predict` would produce on materialized rows —
+/// required for rule biases to stay honest under `find_violation`.
+fn fill_residuals(f: &Model, snap: &NumericSnapshot, fit: &[u32], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(fit.len());
+    let ty = snap.target();
+    match f.as_affine() {
+        Some((w, b)) => {
+            for &r in fit {
+                let r = r as usize;
+                let mut acc = 0.0;
+                for (j, wj) in w.iter().enumerate() {
+                    acc += wj * snap.input(j)[r];
+                }
+                out.push(ty[r] - (b + acc));
+            }
+        }
+        None => {
+            let mut x = vec![0.0; snap.num_inputs()];
+            for &r in fit {
+                let r = r as usize;
+                snap.gather_x(r, &mut x);
+                out.push(ty[r] - f.predict(&x));
+            }
+        }
+    }
+}
+
+/// How far a shared-pool probe may cut its deviation scan short.
+#[derive(Clone, Copy)]
+enum ScanMode {
+    /// Evaluate every row — parallel workers under ind-consuming orders,
+    /// where a truncated `within` count would perturb queue priorities.
+    Full,
+    /// Abort as soon as the model provably cannot fit (`max_dev > ρ_M`);
+    /// the order never reads ind(C), so the truncated count is harmless.
+    AbortOnMiss,
+    /// Abort once the model provably cannot fit *and* the rows left cannot
+    /// lift `within` above `floor` (the best count seen so far) — the final
+    /// `max` over probes is provably unchanged, keeping ind(C) exact.
+    AbortBelowFloor(usize),
+}
+
+/// One probe's result: Proposition 6's midrange shift, the worst deviation
+/// from it, and how many rows land within `ρ_M` (the ind numerator).
+struct ShareProbe {
+    delta0: f64,
+    max_dev: f64,
+    within: usize,
+}
+
+/// Proposition 6's shared-fit test for one pooled model over the snapshot.
+fn share_probe(
+    f: &Model,
+    snap: &NumericSnapshot,
+    fit: &[u32],
+    rho_max: f64,
+    resid: &mut Vec<f64>,
+    mode: ScanMode,
+) -> ShareProbe {
+    debug_assert!(!fit.is_empty());
+    fill_residuals(f, snap, fit, resid);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &r in resid.iter() {
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    let delta0 = (lo + hi) / 2.0;
+    let n = resid.len();
+    let mut max_dev = 0.0f64;
+    let mut within = 0usize;
+    for (i, r) in resid.iter().enumerate() {
+        let dev = (r - delta0).abs();
+        max_dev = max_dev.max(dev);
+        if dev <= rho_max {
+            within += 1;
+        }
+        if max_dev > rho_max {
+            match mode {
+                ScanMode::Full => {}
+                ScanMode::AbortOnMiss => break,
+                ScanMode::AbortBelowFloor(floor) => {
+                    // Even if every remaining row counted, `within` could
+                    // not beat the floor: stop.
+                    if within + (n - i - 1) <= floor {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    ShareProbe {
+        delta0,
+        max_dev,
+        within,
+    }
+}
+
+/// Row-major variant of the shared-fit test: returns
 /// `(δ₀, max |r − δ₀|, fraction of rows within ρ_M of f + δ₀)`.
-fn share_fit(f: &Model, xs: &[Vec<f64>], y: &[f64], rho_max: f64) -> (f64, f64, f64) {
+///
+/// This is the pre-snapshot formulation, kept public as the benchmark
+/// baseline [`share_fit_snapshot`] is measured against.
+pub fn share_fit_rows(f: &Model, xs: &[Vec<f64>], y: &[f64], rho_max: f64) -> (f64, f64, f64) {
     debug_assert!(!xs.is_empty());
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
@@ -422,6 +723,38 @@ fn share_fit(f: &Model, xs: &[Vec<f64>], y: &[f64], rho_max: f64) -> (f64, f64, 
         }
     }
     (delta0, max_dev, within as f64 / residuals.len() as f64)
+}
+
+/// Columnar variant of [`share_fit_rows`] over a snapshot — the engine the
+/// search loop uses, exported for the benchmark harness. Returns the same
+/// `(δ₀, max dev, fraction)` triple.
+pub fn share_fit_snapshot(
+    f: &Model,
+    snap: &NumericSnapshot,
+    fit: &[u32],
+    rho_max: f64,
+) -> (f64, f64, f64) {
+    let mut buf = Vec::new();
+    let p = share_probe(f, snap, fit, rho_max, &mut buf, ScanMode::Full);
+    (p.delta0, p.max_dev, p.within as f64 / fit.len() as f64)
+}
+
+/// Midrange and half-range of the target's finite values over a partition;
+/// `None` when no row has one. The midrange constant's worst absolute
+/// error on the partition is exactly the half-range, so drained rules
+/// report an honest `ρ`.
+fn partition_midrange(table: &Table, target: AttrId, rows: &RowSet) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows.iter() {
+        if let Some(v) = table.value_f64(r, target) {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    lo.is_finite().then(|| ((lo + hi) / 2.0, (hi - lo) / 2.0))
 }
 
 /// Midrange of the target over the whole instance — the last-resort
@@ -719,6 +1052,103 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_coverage_and_accuracy() {
+        let t = two_segment_table();
+        let space = space_for(&t, 7);
+        for kind in [ModelKind::Linear, ModelKind::Ridge] {
+            let base = cfg_for(&t).with_kind(kind);
+            let m = discover(
+                &t,
+                &t.all_rows(),
+                &base.clone().with_engine(FitEngine::Moments),
+                &space,
+            )
+            .unwrap();
+            let r = discover(
+                &t,
+                &t.all_rows(),
+                &base.with_engine(FitEngine::Rescan),
+                &space,
+            )
+            .unwrap();
+            for d in [&m, &r] {
+                assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty(), "{kind:?}");
+            }
+            // Same search decisions on this well-conditioned data: the
+            // engines solve the same normal equations.
+            assert_eq!(m.rules.len(), r.rules.len(), "{kind:?}");
+            assert_eq!(m.stats.models_shared, r.stats.models_shared, "{kind:?}");
+            // OLS is exact on this data; ridge carries its λ-bias, but both
+            // stay well inside ρ_M.
+            let rep = m.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+            assert!(rep.rmse < 1e-2, "{kind:?}: rmse {}", rep.rmse);
+        }
+    }
+
+    #[test]
+    fn parallel_pool_scan_is_byte_identical() {
+        // Force the parallel gate open: tiny threshold is not configurable,
+        // so use enough rows that |pool| × |fit| crosses it.
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..4096 {
+            let x = i as f64;
+            let seg = (i / 1024) as f64;
+            t.push_row(vec![Value::Float(x), Value::Float(x - 40.0 * seg)])
+                .unwrap();
+        }
+        let space = space_for(&t, 15);
+        for order in [QueueOrder::Decrease, QueueOrder::Random(11)] {
+            let seq_cfg = cfg_for(&t).with_order(order);
+            let par_cfg = seq_cfg.clone().with_pool_scan_threads(4);
+            let a = discover(&t, &t.all_rows(), &seq_cfg, &space).unwrap();
+            let b = discover(&t, &t.all_rows(), &par_cfg, &space).unwrap();
+            assert_eq!(a.rules.len(), b.rules.len(), "{order:?}");
+            for (ra, rb) in a.rules.rules().iter().zip(b.rules.rules()) {
+                assert_eq!(ra.condition(), rb.condition(), "{order:?}");
+                assert_eq!(ra.rho().to_bits(), rb.rho().to_bits(), "{order:?}");
+            }
+            assert_eq!(a.stats.models_shared, b.stats.models_shared, "{order:?}");
+            assert_eq!(a.stats.models_trained, b.stats.models_trained, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn short_circuit_matches_full_probe() {
+        // The ind-bound abort must never change (δ₀, max_dev) and must keep
+        // the *maximum* within-count over the pool exact.
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let snap = NumericSnapshot::build(&t, &cfg.inputs, cfg.target, &t.all_rows()).unwrap();
+        let fit = snap.ready_rows(&t.all_rows());
+        let models = [
+            Model::Linear(crr_models::LinearModel::new(vec![1.0], 0.0)),
+            Model::Linear(crr_models::LinearModel::new(vec![2.0], -5.0)),
+            Model::Constant(ConstantModel::new(60.0, 1)),
+        ];
+        let mut buf = Vec::new();
+        let mut floor = 0usize;
+        let mut full_best = 0usize;
+        for m in &models {
+            let full = share_probe(m, &snap, &fit, cfg.rho_max, &mut buf, ScanMode::Full);
+            let cut = share_probe(
+                m,
+                &snap,
+                &fit,
+                cfg.rho_max,
+                &mut buf,
+                ScanMode::AbortBelowFloor(floor),
+            );
+            assert_eq!(full.delta0.to_bits(), cut.delta0.to_bits());
+            assert_eq!(full.max_dev.to_bits(), cut.max_dev.to_bits());
+            full_best = full_best.max(full.within);
+            floor = floor.max(cut.within);
+            // The running max over truncated counts equals the true max.
+            assert_eq!(floor, full_best);
+        }
+    }
+
+    #[test]
     fn noisy_data_within_rho_uses_one_rule() {
         // Bounded noise 0.2 < rho_max 0.5: a single model suffices.
         let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
@@ -822,9 +1252,24 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
         // y = x + 3 exactly: residuals all 3.
         let y: Vec<f64> = xs.iter().map(|x| x[0] + 3.0).collect();
-        let (d0, dev, frac) = share_fit(&f, &xs, &y, 0.5);
+        let (d0, dev, frac) = share_fit_rows(&f, &xs, &y, 0.5);
         assert_eq!(d0, 3.0);
         assert_eq!(dev, 0.0);
         assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn snapshot_share_fit_matches_row_share_fit() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let snap = NumericSnapshot::build(&t, &cfg.inputs, cfg.target, &t.all_rows()).unwrap();
+        let fit = snap.ready_rows(&t.all_rows());
+        let (xs, y) = materialize(&snap, &fit);
+        let f = Model::Linear(crr_models::LinearModel::new(vec![1.0], 0.0));
+        let (d0r, devr, fracr) = share_fit_rows(&f, &xs, &y, cfg.rho_max);
+        let (d0s, devs, fracs) = share_fit_snapshot(&f, &snap, &fit, cfg.rho_max);
+        assert_eq!(d0r.to_bits(), d0s.to_bits());
+        assert_eq!(devr.to_bits(), devs.to_bits());
+        assert_eq!(fracr.to_bits(), fracs.to_bits());
     }
 }

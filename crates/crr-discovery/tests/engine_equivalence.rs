@@ -1,0 +1,111 @@
+//! Regression guards for the sufficient-statistics fit engine: the output
+//! of `discover` must be *byte-identical* — serialized rules, stats, and
+//! outcome — across repeated runs, and between the sequential and parallel
+//! shared-pool scans. The moments engine must also agree semantically with
+//! the rescan baseline (coverage, accuracy), though not bitwise: near-rank-
+//! deficient partitions may legitimately resolve differently between the
+//! cached Cholesky and the row path's QR fallback.
+
+use crr_core::{serialize, LocateStrategy};
+use crr_data::Table;
+use crr_datasets::{electricity, GenConfig};
+use crr_discovery::{
+    discover, Discovery, DiscoveryConfig, FitEngine, PredicateGen, PredicateSpace, QueueOrder,
+};
+
+/// Everything observable about a run except wall-clock time.
+fn fingerprint(d: &Discovery) -> String {
+    let s = &d.stats;
+    format!(
+        "{}\ntrained={} shared={} explored={} forced={} uncoverable={} drained={}+{} outcome={:?}",
+        serialize::to_text(&d.rules),
+        s.models_trained,
+        s.models_shared,
+        s.partitions_explored,
+        s.forced_accepts,
+        s.uncoverable_rows,
+        s.drained_partitions,
+        s.drained_rows,
+        d.outcome,
+    )
+}
+
+fn setup(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let ds = electricity(&GenConfig { rows, seed: 42 });
+    let t = ds.table;
+    let minute = t.attr("minute").unwrap();
+    let target = t.attr("global_active_power").unwrap();
+    let space = PredicateGen::binary(64).generate(&t, &[minute], target, 0);
+    let cfg = DiscoveryConfig::new(vec![minute], target, 0.25);
+    (t, cfg, space)
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let (t, cfg, space) = setup(2000);
+    let a = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let b = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parallel_pool_scan_is_byte_identical_to_sequential() {
+    // Enough rows that `|pool| × |fit|` crosses the parallel-scan gate on
+    // real pops; both ind-consuming and ind-free orders are exercised since
+    // their short-circuit policies differ.
+    let (t, base, space) = setup(4000);
+    for order in [
+        QueueOrder::Decrease,
+        QueueOrder::Increase,
+        QueueOrder::Random(9),
+    ] {
+        let seq_cfg = base.clone().with_order(order);
+        let par_cfg = seq_cfg.clone().with_pool_scan_threads(4);
+        let a = discover(&t, &t.all_rows(), &seq_cfg, &space).unwrap();
+        let b = discover(&t, &t.all_rows(), &par_cfg, &space).unwrap();
+        assert!(
+            a.stats.models_shared > 0,
+            "{order:?}: sharing never engaged"
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{order:?}");
+    }
+}
+
+#[test]
+fn moments_and_rescan_agree_semantically() {
+    let (t, base, space) = setup(2000);
+    let m = discover(
+        &t,
+        &t.all_rows(),
+        &base.clone().with_engine(FitEngine::Moments),
+        &space,
+    )
+    .unwrap();
+    let r = discover(
+        &t,
+        &t.all_rows(),
+        &base.with_engine(FitEngine::Rescan),
+        &space,
+    )
+    .unwrap();
+    for (name, d) in [("moments", &m), ("rescan", &r)] {
+        assert!(
+            d.rules.uncovered(&t, &t.all_rows()).is_empty(),
+            "{name}: uncovered rows"
+        );
+        for rule in d.rules.rules() {
+            assert!(
+                rule.find_violation(&t, &t.all_rows()).is_none(),
+                "{name}: dishonest rho"
+            );
+        }
+    }
+    let rep_m = m.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+    let rep_r = r.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
+    assert!(
+        (rep_m.rmse - rep_r.rmse).abs() < 0.05,
+        "engines diverge: moments rmse {} vs rescan rmse {}",
+        rep_m.rmse,
+        rep_r.rmse
+    );
+}

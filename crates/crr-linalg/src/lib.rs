@@ -21,6 +21,7 @@
 mod cholesky;
 mod error;
 mod matrix;
+mod moments;
 mod qr;
 mod solve;
 mod stats;
@@ -28,6 +29,7 @@ mod stats;
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use moments::Moments;
 pub use qr::Qr;
 pub use solve::{lstsq, ridge_normal_equations, solve_cholesky};
 pub use stats::{dot, mean, norm2, variance};

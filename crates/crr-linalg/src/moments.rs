@@ -1,0 +1,313 @@
+//! Sufficient statistics for the linear family.
+//!
+//! CRR discovery refines conditions top-down, so the row set of a child
+//! partition is always a subset of its parent's. Everything an OLS or ridge
+//! solve needs — `XᵀX`, `Xᵀy`, `yᵀy`, `Σx`, `Σy`, `n` — is a sum over rows,
+//! which makes those statistics *composable*: a child's can be produced from
+//! the parent's by subtracting the sibling's (or adding the child's rows) in
+//! O(d²) per row instead of rescanning the partition in O(n·d²).
+//!
+//! [`Moments`] stores the statistics in augmented form: the Gram matrix
+//! `G = [1|X]ᵀ[1|X]` of the intercept-augmented design matrix, which packs
+//! `n` (top-left corner), `Σx` (first row/column) and `XᵀX` (trailing block)
+//! into one symmetric `(d+1)²` matrix, plus `b = [1|X]ᵀy` (packing `Σy` and
+//! `Xᵀy`) and the scalar `yᵀy`. Solving `G β = b` by Cholesky is exactly the
+//! normal-equation fast path of [`crate::lstsq`], without the rows.
+
+use crate::{Cholesky, LinalgError, Matrix, Result};
+
+/// Accumulated second-order statistics of a regression partition; see the
+/// module docs for the storage layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Moments {
+    /// Number of rows accumulated.
+    n: usize,
+    /// `[1|X]ᵀ[1|X]`, kept exactly symmetric by construction.
+    g: Matrix,
+    /// `[1|X]ᵀy`.
+    b: Vec<f64>,
+    /// `yᵀy`.
+    yy: f64,
+}
+
+impl Moments {
+    /// Empty statistics for `d` features.
+    pub fn zeros(d: usize) -> Self {
+        Moments {
+            n: 0,
+            g: Matrix::zeros(d + 1, d + 1),
+            b: vec![0.0; d + 1],
+            yy: 0.0,
+        }
+    }
+
+    /// Builds statistics from row-major data (test/bench convenience; the
+    /// discovery loop accumulates columnar buffers directly).
+    pub fn from_rows(xs: &[Vec<f64>], y: &[f64]) -> Self {
+        debug_assert_eq!(xs.len(), y.len());
+        let d = xs.first().map_or(0, Vec::len);
+        let mut m = Moments::zeros(d);
+        for (x, &t) in xs.iter().zip(y) {
+            m.add_row(x, t);
+        }
+        m
+    }
+
+    /// Number of features `d`.
+    pub fn num_features(&self) -> usize {
+        self.g.rows() - 1
+    }
+
+    /// Number of accumulated rows `n`.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// `Σ x_j` over accumulated rows.
+    pub fn sum_x(&self, j: usize) -> f64 {
+        self.g[(0, j + 1)]
+    }
+
+    /// `Σ y` over accumulated rows.
+    pub fn sum_y(&self) -> f64 {
+        self.b[0]
+    }
+
+    /// `yᵀy` over accumulated rows.
+    pub fn yty(&self) -> f64 {
+        self.yy
+    }
+
+    /// The augmented Gram matrix `[1|X]ᵀ[1|X]`.
+    pub fn gram(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// The augmented right-hand side `[1|X]ᵀy`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+
+    #[inline]
+    fn update(&mut self, x: &[f64], y: f64, sign: f64) {
+        let d = self.num_features();
+        debug_assert_eq!(x.len(), d);
+        self.g[(0, 0)] += sign;
+        for (j, &xj) in x.iter().enumerate() {
+            let v = sign * xj;
+            self.g[(0, j + 1)] += v;
+            self.g[(j + 1, 0)] += v;
+            self.b[j + 1] += v * y;
+            for (k, &xk) in x.iter().enumerate().skip(j) {
+                let p = sign * (xj * xk);
+                self.g[(j + 1, k + 1)] += p;
+                if k != j {
+                    self.g[(k + 1, j + 1)] += p;
+                }
+            }
+        }
+        self.b[0] += sign * y;
+        self.yy += sign * (y * y);
+    }
+
+    /// Accumulates one row in O(d²).
+    #[inline]
+    pub fn add_row(&mut self, x: &[f64], y: f64) {
+        self.n += 1;
+        self.update(x, y, 1.0);
+    }
+
+    /// Removes one previously accumulated row in O(d²).
+    ///
+    /// Exact only in exact arithmetic: floating-point subtraction reverses
+    /// the matching `add_row` up to rounding (bit-exact when every partial
+    /// sum is representable, e.g. integer-valued data below 2⁵³).
+    #[inline]
+    pub fn sub_row(&mut self, x: &[f64], y: f64) {
+        debug_assert!(self.n > 0, "sub_row on empty moments");
+        self.n -= 1;
+        self.update(x, y, -1.0);
+    }
+
+    /// Adds another accumulation (disjoint row sets) in O(d²).
+    pub fn merge(&mut self, other: &Moments) {
+        debug_assert_eq!(self.num_features(), other.num_features());
+        self.n += other.n;
+        for (a, b) in self.g.as_mut_slice().iter_mut().zip(other.g.as_slice()) {
+            *a += b;
+        }
+        for (a, b) in self.b.iter_mut().zip(&other.b) {
+            *a += b;
+        }
+        self.yy += other.yy;
+    }
+
+    /// Removes a sub-accumulation (a subset of these rows) in O(d²) — the
+    /// sibling-subtraction step of the discovery split.
+    pub fn subtract(&mut self, other: &Moments) {
+        debug_assert_eq!(self.num_features(), other.num_features());
+        debug_assert!(self.n >= other.n, "subtracting a larger accumulation");
+        self.n -= other.n;
+        for (a, b) in self.g.as_mut_slice().iter_mut().zip(other.g.as_slice()) {
+            *a -= b;
+        }
+        for (a, b) in self.b.iter_mut().zip(&other.b) {
+            *a -= b;
+        }
+        self.yy -= other.yy;
+    }
+
+    /// OLS solve `G β = b` via Cholesky; `β[0]` is the intercept.
+    ///
+    /// This is the normal-equation fast path of [`crate::lstsq`] without
+    /// access to the rows, so there is no QR fallback: a singular (or
+    /// numerically indefinite) Gram matrix returns
+    /// [`LinalgError::NotPositiveDefinite`], which model-fitting callers
+    /// treat the same way they treat a singular direct solve.
+    pub fn solve_ols(&self) -> Result<Vec<f64>> {
+        let k = self.num_features() + 1;
+        if self.n < k {
+            return Err(LinalgError::Underdetermined {
+                rows: self.n,
+                cols: k,
+            });
+        }
+        Cholesky::factor(&self.g)?.solve(&self.b)
+    }
+
+    /// Ridge solve with an unpenalized intercept, matching the centered
+    /// construction of `RidgeModel::fit`: solves
+    /// `(XᶜᵀXᶜ + λI) w = Xᶜᵀyᶜ` where `XᶜᵀXᶜ = XᵀX − n·x̄x̄ᵀ` and
+    /// `Xᶜᵀyᶜ = Xᵀy − n·x̄·ȳ` are derived from the moments, then recovers
+    /// the intercept as `ȳ − w·x̄`. Returns `(weights, intercept)`.
+    pub fn solve_ridge(&self, lambda: f64) -> Result<(Vec<f64>, f64)> {
+        let d = self.num_features();
+        if self.n == 0 {
+            return Err(LinalgError::Underdetermined { rows: 0, cols: d });
+        }
+        let nf = self.n as f64;
+        let y_mean = self.b[0] / nf;
+        if d == 0 {
+            return Ok((Vec::new(), y_mean));
+        }
+        let x_mean: Vec<f64> = (0..d).map(|j| self.g[(0, j + 1)] / nf).collect();
+        let mut a = Matrix::zeros(d, d);
+        for j in 0..d {
+            for k in 0..d {
+                a[(j, k)] = self.g[(j + 1, k + 1)] - nf * x_mean[j] * x_mean[k];
+            }
+        }
+        a.add_diagonal(lambda.max(1e-12));
+        let rhs: Vec<f64> = (0..d)
+            .map(|j| self.b[j + 1] - nf * x_mean[j] * y_mean)
+            .collect();
+        let weights = Cholesky::factor(&a)?.solve(&rhs)?;
+        let intercept = y_mean - crate::dot(&weights, &x_mean);
+        Ok((weights, intercept))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq;
+
+    fn line_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 0.5 * x[1] + 3.0).collect();
+        (xs, y)
+    }
+
+    #[test]
+    fn packs_the_advertised_statistics() {
+        let (xs, y) = line_data(10);
+        let m = Moments::from_rows(&xs, &y);
+        assert_eq!(m.count(), 10);
+        assert_eq!(m.gram()[(0, 0)], 10.0);
+        let sx: f64 = xs.iter().map(|x| x[0]).sum();
+        assert!((m.sum_x(0) - sx).abs() < 1e-12);
+        let sy: f64 = y.iter().sum();
+        assert!((m.sum_y() - sy).abs() < 1e-9);
+        let syy: f64 = y.iter().map(|v| v * v).sum();
+        assert!((m.yty() - syy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_matches_lstsq() {
+        let (xs, y) = line_data(25);
+        let m = Moments::from_rows(&xs, &y);
+        let beta = m.solve_ols().unwrap();
+        let mut data = Vec::new();
+        for x in &xs {
+            data.push(1.0);
+            data.extend_from_slice(x);
+        }
+        let a = Matrix::from_vec(xs.len(), 3, data);
+        let direct = lstsq(&a, &y).unwrap();
+        for (g, w) in beta.iter().zip(&direct) {
+            assert!((g - w).abs() < 1e-9, "{beta:?} vs {direct:?}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let m = Moments::from_rows(&[vec![1.0, 2.0]], &[3.0]);
+        assert!(matches!(
+            m.solve_ols(),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_gram_is_not_positive_definite() {
+        // Duplicated feature: exact collinearity.
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let m = Moments::from_rows(&xs, &y);
+        assert!(m.solve_ols().is_err());
+    }
+
+    #[test]
+    fn sub_row_reverses_add_row_exactly_on_integer_data() {
+        let (xs, y) = line_data(12);
+        let mut m = Moments::from_rows(&xs, &y);
+        let fresh = Moments::from_rows(&xs[..9], &y[..9]);
+        for i in (9..12).rev() {
+            m.sub_row(&xs[i], y[i]);
+        }
+        assert_eq!(m, fresh);
+    }
+
+    #[test]
+    fn merge_then_subtract_round_trips() {
+        let (xs, y) = line_data(20);
+        let left = Moments::from_rows(&xs[..12], &y[..12]);
+        let right = Moments::from_rows(&xs[12..], &y[12..]);
+        let mut whole = left.clone();
+        whole.merge(&right);
+        assert_eq!(whole, Moments::from_rows(&xs, &y));
+        whole.subtract(&right);
+        assert_eq!(whole, left);
+    }
+
+    #[test]
+    fn ridge_from_moments_shrinks_like_direct_ridge() {
+        // Single constant-ish column: λ pulls the weight toward zero while
+        // the unpenalized intercept keeps the mean.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+        let m = Moments::from_rows(&xs, &y);
+        let (w, b) = m.solve_ridge(1e6).unwrap();
+        assert!(w[0].abs() < 0.01);
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((b + w[0] * 4.5 - y_mean).abs() < 0.1);
+    }
+
+    #[test]
+    fn ridge_zero_features_returns_mean() {
+        let m = Moments::from_rows(&[vec![], vec![]], &[1.0, 3.0]);
+        let (w, b) = m.solve_ridge(0.5).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(b, 2.0);
+    }
+}

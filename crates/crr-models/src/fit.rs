@@ -1,4 +1,5 @@
 use crate::{ConstantModel, LinearModel, MlpModel, Model, ModelError, Result, RidgeModel};
+use crr_linalg::Moments;
 
 pub use crate::mlp::MlpHyper as MlpConfig;
 
@@ -101,6 +102,29 @@ pub fn fit_model(xs: &[Vec<f64>], y: &[f64], cfg: &FitConfig) -> Result<Model> {
         // must produce *a* model for coverage; fall back to the constant.
         Err(ModelError::Solver(_)) => Ok(Model::Constant(ConstantModel::fit(y, d)?)),
         Err(e) => Err(e),
+    }
+}
+
+/// Moments-based counterpart of [`fit_model`] for the linear family.
+///
+/// Returns `None` whenever `fit_model` would *not* produce a model of the
+/// configured family from this partition, so the caller must take the row
+/// path instead: the MLP (needs raw rows), zero features, partitions below
+/// the family's VC guard, and singular normal equations. All of those are
+/// cases `fit_model` serves with the midrange constant — a statistic of the
+/// target's min/max, which moments do not carry — so the caller resolves
+/// `None` with one O(n) pass over the target buffer.
+pub fn try_fit_from_moments(m: &Moments, cfg: &FitConfig) -> Option<Model> {
+    let d = m.num_features();
+    if d == 0 || m.count() < cfg.min_samples(d) {
+        return None;
+    }
+    match cfg.kind {
+        ModelKind::Linear => LinearModel::fit_from_moments(m).map(Model::Linear).ok(),
+        ModelKind::Ridge => RidgeModel::fit_from_moments(m, cfg.ridge_lambda)
+            .map(Model::Ridge)
+            .ok(),
+        ModelKind::Mlp => None,
     }
 }
 

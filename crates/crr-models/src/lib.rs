@@ -42,11 +42,15 @@ mod ridge;
 
 pub use constant::ConstantModel;
 pub use error::ModelError;
-pub use fit::{fit_model, FitConfig, MlpConfig, ModelKind};
+pub use fit::{fit_model, try_fit_from_moments, FitConfig, MlpConfig, ModelKind};
 pub use linear::LinearModel;
 pub use mlp::MlpModel;
 pub use model::{Model, Regressor, Translation};
 pub use ridge::RidgeModel;
+
+// Re-exported so moments-based fitting can be driven without a direct
+// `crr-linalg` dependency (the discovery crate builds these per partition).
+pub use crr_linalg::Moments;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, ModelError>;

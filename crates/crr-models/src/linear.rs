@@ -1,5 +1,5 @@
 use crate::{ModelError, Regressor, Result};
-use crr_linalg::{lstsq, Matrix};
+use crr_linalg::{lstsq, Matrix, Moments};
 
 /// F1: ordinary least-squares linear regression `f(X) = w·X + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,28 @@ impl LinearModel {
         }
         let a = design_matrix(xs)?;
         let beta = lstsq(&a, y)?;
+        Ok(LinearModel {
+            intercept: beta[0],
+            weights: beta[1..].to_vec(),
+        })
+    }
+
+    /// Fits from sufficient statistics: the same normal equations
+    /// `([1|X]ᵀ[1|X]) β = [1|X]ᵀy` that [`LinearModel::fit`] assembles from
+    /// the design matrix, solved without the rows. There is no QR fallback
+    /// here (QR needs row data), so a singular Gram matrix surfaces as
+    /// [`ModelError::Solver`] — the same signal the direct path emits for
+    /// rank-deficient designs, and the one `fit_model` turns into a
+    /// constant fallback.
+    pub fn fit_from_moments(m: &Moments) -> Result<Self> {
+        let d = m.num_features();
+        if m.count() < d + 1 {
+            return Err(ModelError::TooFewSamples {
+                needed: d + 1,
+                got: m.count(),
+            });
+        }
+        let beta = m.solve_ols()?;
         Ok(LinearModel {
             intercept: beta[0],
             weights: beta[1..].to_vec(),

@@ -1,6 +1,6 @@
 use crate::linear::design_matrix;
 use crate::{ModelError, Regressor, Result};
-use crr_linalg::ridge_normal_equations;
+use crr_linalg::{ridge_normal_equations, Moments};
 
 /// F2: ridge regression `f(X) = w·X + b` with L2 penalty `λ‖w‖²`.
 ///
@@ -63,6 +63,23 @@ impl RidgeModel {
             ridge_normal_equations(&xc, &yc, lambda.max(1e-12))?
         };
         let intercept = y_mean - crr_linalg::dot(&weights, &x_mean);
+        Ok(RidgeModel {
+            weights,
+            intercept,
+            lambda,
+        })
+    }
+
+    /// Fits from sufficient statistics, reproducing [`RidgeModel::fit`]'s
+    /// centered construction without the rows: the centered Gram
+    /// `XᶜᵀXᶜ = XᵀX − n·x̄x̄ᵀ` and right-hand side `Xᶜᵀyᶜ = Xᵀy − n·x̄·ȳ`
+    /// are derived from the moments, `λ` is floored at `1e-12` exactly like
+    /// the direct path, and the unpenalized intercept is `ȳ − w·x̄`.
+    pub fn fit_from_moments(m: &Moments, lambda: f64) -> Result<Self> {
+        if m.count() == 0 {
+            return Err(ModelError::TooFewSamples { needed: 1, got: 0 });
+        }
+        let (weights, intercept) = m.solve_ridge(lambda)?;
         Ok(RidgeModel {
             weights,
             intercept,

@@ -16,4 +16,24 @@ cargo clippy --workspace --all-targets
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> criterion smoke (perf_fit_engine compiles and runs)"
+# The shimmed criterion takes a fast bounded pass (small sample budgets);
+# this catches bit-rot in the tracked benchmark harness without paying
+# for a full statistical measurement.
+cargo bench -p crr-bench --bench perf_fit_engine >/dev/null
+
+echo "==> tracked benchmark emits and validates"
+# Tiny-scale end-to-end run of the bench experiment, then the validator
+# gate: the build fails if BENCH_discovery.json output ever loses a key
+# or contains a non-finite number.
+BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP"' EXIT
+cargo run -q -p crr-bench --bin experiments -- \
+  --scale 0.05 --bench-json "$BENCH_TMP" bench >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
+# The committed artifact must satisfy the same gate.
+if [ -f BENCH_discovery.json ]; then
+  cargo run -q -p crr-bench --bin experiments -- --check-bench BENCH_discovery.json
+fi
+
 echo "CI OK"
