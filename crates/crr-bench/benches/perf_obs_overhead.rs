@@ -1,0 +1,46 @@
+//! Observability overhead bench: full discovery on electricity@11520 with
+//! the no-op default [`MetricsSink`], with an enabled sink, and (as a
+//! floor) a completely uninstrumented baseline does not exist anymore —
+//! the disabled sink *is* the baseline, so the acceptance criterion is
+//! `disabled ≈ enabled` within noise and, specifically, disabled-sink
+//! discovery regressing < 2% against the tracked `BENCH_discovery.json`
+//! numbers (same cell, same config).
+//!
+//! `cargo bench -p crr-bench --bench perf_obs_overhead`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crr_bench::{crr_inputs, electricity_scenario, CrrOptions};
+use crr_discovery::{discover, MetricsSink};
+use std::time::Duration;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let sc = electricity_scenario(11_520, 42);
+    let rows = sc.rows();
+    let opts = CrrOptions {
+        compact: false,
+        predicates_per_attr: 255,
+        ..Default::default()
+    };
+    let (cfg, space) = crr_inputs(&sc, &opts);
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    for (label, sink) in [
+        ("disabled", MetricsSink::disabled()),
+        ("enabled", MetricsSink::enabled()),
+    ] {
+        let cfg = cfg.clone().with_metrics(sink);
+        g.bench_with_input(
+            BenchmarkId::new("discovery/electricity", label),
+            &label,
+            |b, _| b.iter(|| discover(sc.table(), &rows, &cfg, &space).expect("discovery")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

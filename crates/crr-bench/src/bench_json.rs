@@ -2,12 +2,17 @@
 //! `BENCH_discovery.json`, and CI (`scripts/ci.sh --check-bench`) re-parses
 //! and validates it so a regressed or malformed emitter fails the build.
 //!
-//! The workspace deliberately carries no serde; the writer below renders a
-//! fixed schema by hand and the reader is a minimal recursive-descent JSON
-//! parser — just enough to validate what the writer can produce (and reject
-//! what it must never produce: missing keys, non-finite numbers).
+//! The workspace deliberately carries no serde; rendering and re-parsing
+//! ride on the hand-rolled JSON layer in [`crr_obs::json`] (shared with
+//! the `metrics.json` emitter in [`crate::metrics_json`]). The schema is
+//! documented field by field in `EXPERIMENTS.md`, section "Benchmark
+//! artifact schemas".
 
+use crr_obs::json::{esc, num};
 use std::fmt::Write as _;
+
+// Re-exported so existing callers keep one import path for parsing.
+pub use crr_obs::json::{parse, Json};
 
 /// Schema tag stamped into the file; bump when the layout changes.
 pub const SCHEMA: &str = "crr-bench-discovery-v1";
@@ -53,27 +58,6 @@ pub struct BenchReport {
     pub records: Vec<BenchRecord>,
     /// Engine comparisons, one per (dataset, size).
     pub speedup: Vec<SpeedupEntry>,
-}
-
-/// Renders a finite number; non-finite values become `null`, which the
-/// validator rejects — a NaN timing can never pass CI silently.
-fn num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn esc(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 /// Renders the report as pretty-printed JSON with a stable key order.
@@ -123,235 +107,6 @@ pub fn render(report: &BenchReport) -> String {
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
-}
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true`/`false`.
-    Bool(bool),
-    /// Any number (JSON numbers are finite by construction).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, insertion-ordered.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Looks up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, what: &str) -> String {
-        format!("json parse error at byte {}: {what}", self.i)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.i).copied()
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.b[self.i..].starts_with(lit.as_bytes()) {
-            self.i += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'n') => self.eat_lit("null", Json::Null),
-            Some(b't') => self.eat_lit("true", Json::Bool(true)),
-            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let s =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(s, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("bad \\u code point"))?,
-                            );
-                            self.i += 4;
-                        }
-                        _ => return Err(self.err("unsupported escape")),
-                    }
-                    self.i += 1;
-                }
-                Some(_) => {
-                    // Copy a full UTF-8 scalar, not a lone byte.
-                    let rest = std::str::from_utf8(&self.b[self.i..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.i += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.i += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.b[start..self.i])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| self.err("bad number"))
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            pairs.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-/// Parses a JSON document.
-pub fn parse(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        b: text.as_bytes(),
-        i: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.i != p.b.len() {
-        return Err(p.err("trailing garbage after document"));
-    }
-    Ok(v)
 }
 
 fn finite_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
@@ -530,25 +285,11 @@ mod tests {
         assert!(err.contains("rescan"), "{err}");
     }
 
+    // Parser internals are tested where they live, in `crr_obs::json`;
+    // here only the validator's use of them matters.
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let doc = parse(r#"{"a": [1, -2.5e3, "x\"\\A"], "b": {"c": null}}"#).unwrap();
-        assert_eq!(
-            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
-            Some(3)
-        );
-        assert_eq!(
-            doc.get("a").unwrap().as_arr().unwrap()[2],
-            Json::Str("x\"\\A".to_string())
-        );
-        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn garbage_is_rejected() {
-        assert!(parse("{").is_err());
-        assert!(parse("{}x").is_err());
-        assert!(parse(r#"{"a": }"#).is_err());
+    fn non_object_documents_are_rejected() {
         assert!(validate("[]").is_err());
+        assert!(validate("{").is_err());
     }
 }

@@ -28,6 +28,21 @@
 //! file and fails the process unless it is complete and finite — the CI
 //! gate for the tracked benchmark.
 //!
+//! Observability artifacts ride along:
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- --metrics-out metrics.json bench
+//! cargo run --release -p crr-bench --bin experiments -- --check-metrics metrics.json
+//! ```
+//!
+//! `--metrics-out` re-runs each bench cell once with an enabled
+//! `MetricsSink` (timed reps stay uninstrumented), adds a fault-harness
+//! cell with one injected fit failure, asserts the counter invariants
+//! in-process (moments runs never rescan, the injected-fault count matches
+//! the plan), and writes the snapshots as `metrics.json`.
+//! `--check-metrics` re-validates such a file — see EXPERIMENTS.md,
+//! section "Benchmark artifact schemas", for both layouts.
+//!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets); the *shape* — who wins, by what factor, where
 //! crossovers fall — is what EXPERIMENTS.md records and compares.
@@ -46,6 +61,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut budget = crr_discovery::Budget::unlimited();
     let mut bench_json_path = "BENCH_discovery.json".to_string();
+    let mut metrics_out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -64,6 +80,32 @@ fn main() {
                     }
                     Err(e) => {
                         eprintln!("{path}: INVALID: {e}");
+                        eprintln!(
+                            "(the expected layout is documented in EXPERIMENTS.md, \
+                             section \"Benchmark artifact schemas\")"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().expect("--metrics-out needs a path").clone());
+            }
+            "--check-metrics" => {
+                let path = it.next().expect("--check-metrics needs a path");
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                match metrics_json::validate(&text) {
+                    Ok(summary) => {
+                        println!("{path}: {summary}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        eprintln!(
+                            "(the expected layout is documented in EXPERIMENTS.md, \
+                             section \"Benchmark artifact schemas\")"
+                        );
                         std::process::exit(1);
                     }
                 }
@@ -123,7 +165,7 @@ fn main() {
             "table3" => table3(scale),
             "table4" => table4(scale),
             "ablation" => ablation(scale),
-            "bench" => bench(scale, &bench_json_path),
+            "bench" => bench(scale, &bench_json_path, metrics_out.as_deref()),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -765,8 +807,15 @@ fn ablation(scale: f64) {
 /// Pure Algorithm 1 (no compaction), best-of-reps wall clock. Writes the
 /// machine-readable report to `path` (`--bench-json`), which
 /// `--check-bench` / `scripts/ci.sh` re-validate.
-fn bench(scale: f64, path: &str) {
+///
+/// With `metrics_out` set, each cell is re-run once with an enabled
+/// [`crr_discovery::MetricsSink`] (kept out of the timed reps), a
+/// fault-harness cell with exactly one injected fit failure is added, and
+/// the snapshots are written as a `metrics.json` document after in-process
+/// invariant checks.
+fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
     use crr_core::LocateStrategy;
+    use crr_discovery::MetricsSink;
 
     let reps = if scale >= 1.0 { 3 } else { 1 };
     let cells: [(&str, fn(usize, u64) -> Scenario, [usize; 3], usize); 2] = [
@@ -779,6 +828,7 @@ fn bench(scale: f64, path: &str) {
         ("tax", tax_scenario, [2_500, 5_000, 10_000], 15),
     ];
     let mut report = bench_json::BenchReport::default();
+    let mut metric_runs: Vec<metrics_json::MetricsRun> = Vec::new();
     let mut table_rows = Vec::new();
     for (name, make, sizes, per_attr) in cells {
         for size in sizes {
@@ -827,6 +877,42 @@ fn bench(scale: f64, path: &str) {
                     trained: d.stats.models_trained,
                     rmse: rep.rmse,
                 });
+                if metrics_out.is_some() {
+                    // One extra instrumented run per cell, outside the timed
+                    // reps so the tracked numbers stay uninstrumented. The
+                    // in-process asserts pin the invariants --check-metrics
+                    // re-verifies from the file.
+                    let cfg = cfg.clone().with_metrics(MetricsSink::enabled());
+                    let dm = discover(sc.table(), &rows, &cfg, &space).expect("metered discovery");
+                    let m = &dm.metrics;
+                    assert_eq!(
+                        m.count("queue", "rules_emitted"),
+                        Some(dm.rules.len() as u64),
+                        "{name}@{}/{label}: rules_emitted drifted",
+                        rows.len()
+                    );
+                    match engine {
+                        FitEngine::Moments => assert_eq!(
+                            m.count("fits", "rescans"),
+                            Some(0),
+                            "{name}@{}/moments: engine rescanned rows",
+                            rows.len()
+                        ),
+                        FitEngine::Rescan => assert_eq!(
+                            m.count("fits", "moments_solves"),
+                            Some(0),
+                            "{name}@{}/rescan: engine used moments",
+                            rows.len()
+                        ),
+                    }
+                    metric_runs.push(metrics_json::MetricsRun {
+                        dataset: name.to_string(),
+                        rows: rows.len(),
+                        engine: label.to_string(),
+                        expected_fault_events: None,
+                        snapshot: dm.metrics,
+                    });
+                }
             }
             report.speedup.push(bench_json::SpeedupEntry {
                 dataset: name.to_string(),
@@ -855,4 +941,46 @@ fn bench(scale: f64, path: &str) {
     let summary = bench_json::validate(&text).expect("emitted report must validate");
     std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path} ({summary})");
+
+    if let Some(mpath) = metrics_out {
+        // Fault-harness cell: the first fit attempt fails (the only
+        // injection point guaranteed at every --scale), discovery surfaces
+        // the typed error, and the sink — which outlives the failed run —
+        // must have recorded exactly that one injection.
+        let sc = electricity_scenario(scaled(2_880, scale), 42);
+        let rows = sc.rows();
+        let opts = CrrOptions {
+            compact: false,
+            predicates_per_attr: 255,
+            ..Default::default()
+        };
+        let (cfg, space) = crr_inputs(&sc, &opts);
+        let sink = MetricsSink::enabled();
+        let plan = std::sync::Arc::new(crr_discovery::FaultPlan::new().fail_fit_every(1));
+        let cfg = cfg
+            .with_metrics(sink.clone())
+            .with_faults(std::sync::Arc::clone(&plan));
+        let err = discover(sc.table(), &rows, &cfg, &space);
+        assert!(err.is_err(), "fault harness: injected failure must surface");
+        let snapshot = sink.snapshot();
+        let injected = snapshot.count("faults", "injected_failures");
+        assert_eq!(
+            injected,
+            Some(1),
+            "fault harness: plan fired once, metrics recorded {injected:?}"
+        );
+        assert_eq!(plan.fits_attempted(), 1, "plan injects on the first fit");
+        metric_runs.push(metrics_json::MetricsRun {
+            dataset: "electricity".to_string(),
+            rows: rows.len(),
+            engine: "moments".to_string(),
+            expected_fault_events: Some(1),
+            snapshot,
+        });
+
+        let mtext = metrics_json::render(&metric_runs);
+        let msummary = metrics_json::validate(&mtext).expect("emitted metrics must validate");
+        std::fs::write(mpath, &mtext).unwrap_or_else(|e| panic!("cannot write {mpath}: {e}"));
+        println!("wrote {mpath} ({msummary})");
+    }
 }

@@ -10,6 +10,13 @@
 //!   the four quantities every panel of Figures 2–4 plots: **learning
 //!   time**, **evaluation time**, **#rules** and **RMSE**;
 //! * table formatting for paper-style console output.
+//!
+//! Two submodules emit the machine-readable artifacts the tracked
+//! benchmark writes and CI re-validates: [`bench_json`]
+//! (`BENCH_discovery.json` — engine timings) and [`metrics_json`]
+//! (`metrics.json` — observability snapshots from `crr_obs`-instrumented
+//! runs, including a fault-injection harness cell). Both schemas are
+//! documented in `EXPERIMENTS.md`, section "Benchmark artifact schemas".
 
 use crr_baselines::{
     evaluate_predictor, Ar, ArConfig, BaselinePredictor, Dhr, DhrConfig, Forest, ForestConfig,
@@ -27,6 +34,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub mod bench_json;
+pub mod metrics_json;
 
 /// Process-wide discovery budget, set once from the CLI
 /// (`--time-budget`/`--max-fits`) and applied to every scenario a runner

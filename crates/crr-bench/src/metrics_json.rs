@@ -1,0 +1,269 @@
+//! The `metrics.json` artifact: structured observability snapshots from
+//! instrumented discovery runs, written by `experiments -- bench
+//! --metrics-out` and re-validated by `--check-metrics` so a drifted
+//! emitter or a broken counter invariant fails CI, not a reader.
+//!
+//! Like [`crate::bench_json`], rendering and parsing ride on the
+//! hand-rolled JSON layer in [`crr_obs::json`] — no serde. Every metric's
+//! meaning, unit and paper correspondence, and this file's layout, are
+//! documented in `EXPERIMENTS.md`, section "Benchmark artifact schemas".
+
+use crr_obs::json::{esc, parse, Json};
+use crr_obs::{MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Schema tag stamped into the file; bump when the layout changes.
+pub const SCHEMA: &str = "crr-metrics-v1";
+
+/// Sections every enabled-sink snapshot must carry (the sink always emits
+/// the full schema, zeros included, so file shape is run-independent).
+pub const REQUIRED_SECTIONS: [&str; 8] = [
+    "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases",
+];
+
+/// One instrumented discovery run and its frozen snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricsRun {
+    /// Dataset label (`electricity`, `tax`).
+    pub dataset: String,
+    /// Instance size |I|.
+    pub rows: usize,
+    /// Fit engine label (`moments`, `rescan`).
+    pub engine: String,
+    /// For the fault-harness run: how many injected faults the plan fired,
+    /// which `metrics.faults.injected_failures` must equal. `None` for
+    /// clean runs, which must record zero fault events.
+    pub expected_fault_events: Option<u64>,
+    /// The run's frozen metrics.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Renders the runs as pretty-printed JSON with a stable key order.
+pub fn render(runs: &[MetricsRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"dataset\": \"{}\",", esc(&r.dataset));
+        let _ = writeln!(out, "      \"rows\": {},", r.rows);
+        let _ = writeln!(out, "      \"engine\": \"{}\",", esc(&r.engine));
+        if let Some(n) = r.expected_fault_events {
+            let _ = writeln!(out, "      \"expected_fault_events\": {n},");
+        }
+        let _ = writeln!(out, "      \"metrics\": {}", r.snapshot.to_json(6));
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn uint(obj: &Json, section: &str, key: &str, ctx: &str) -> Result<u64, String> {
+    let v = obj
+        .get(section)
+        .and_then(|s| s.get(key))
+        .ok_or_else(|| format!("{ctx}: missing metric '{section}.{key}'"))?
+        .as_num()
+        .ok_or_else(|| format!("{ctx}: metric '{section}.{key}' is not a number"))?;
+    if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+        return Err(format!(
+            "{ctx}: metric '{section}.{key}' is not a non-negative integer ({v})"
+        ));
+    }
+    Ok(v as u64)
+}
+
+/// Validates a `metrics.json` document. On success, returns a one-line
+/// summary; on failure, a message naming the first violation.
+///
+/// Beyond shape (schema tag, non-empty `runs`, every required section
+/// present per run), this enforces the counter invariants the
+/// instrumentation promises:
+///
+/// * a `moments`-engine run never rescans rows (`fits.rescans == 0`);
+/// * a `rescan`-engine run never touches the moments path
+///   (`fits.moments_solves == 0`, `fits.declined_singular == 0`,
+///   `moments.add_row_ops == 0`);
+/// * `faults.injected_failures` equals `expected_fault_events` when the
+///   run declares one, and zero otherwise;
+/// * every run popped at least one partition.
+pub fn validate(text: &str) -> Result<String, String> {
+    let doc = parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("document: missing 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema '{schema}' (want '{SCHEMA}')"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("document: 'runs' missing or not an array")?;
+    if runs.is_empty() {
+        return Err("'runs' is empty".to_string());
+    }
+    let mut fault_runs = 0usize;
+    for (i, r) in runs.iter().enumerate() {
+        let ctx = format!("runs[{i}]");
+        let engine = r
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing 'engine'"))?;
+        if engine != "moments" && engine != "rescan" {
+            return Err(format!("{ctx}: unknown engine '{engine}'"));
+        }
+        r.get("dataset")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing 'dataset'"))?;
+        let m = r
+            .get("metrics")
+            .ok_or_else(|| format!("{ctx}: missing 'metrics'"))?;
+        for section in REQUIRED_SECTIONS {
+            if m.get(section).is_none() {
+                return Err(format!("{ctx}: metrics missing section '{section}'"));
+            }
+        }
+        if uint(m, "queue", "pops", &ctx)? == 0 {
+            return Err(format!("{ctx}: run popped no partitions"));
+        }
+        match engine {
+            "moments" => {
+                let rescans = uint(m, "fits", "rescans", &ctx)?;
+                if rescans != 0 {
+                    return Err(format!(
+                        "{ctx}: moments engine recorded {rescans} row rescans"
+                    ));
+                }
+            }
+            _ => {
+                for key in ["moments_solves", "declined_singular"] {
+                    let n = uint(m, "fits", key, &ctx)?;
+                    if n != 0 {
+                        return Err(format!("{ctx}: rescan engine recorded {n} '{key}' events"));
+                    }
+                }
+                let adds = uint(m, "moments", "add_row_ops", &ctx)?;
+                if adds != 0 {
+                    return Err(format!(
+                        "{ctx}: rescan engine recorded {adds} moments add-row ops"
+                    ));
+                }
+            }
+        }
+        let injected = uint(m, "faults", "injected_failures", &ctx)?;
+        match r.get("expected_fault_events").and_then(Json::as_num) {
+            Some(expected) => {
+                fault_runs += 1;
+                if injected != expected as u64 {
+                    return Err(format!(
+                        "{ctx}: expected {expected} injected fault(s), recorded {injected}"
+                    ));
+                }
+            }
+            None => {
+                if injected != 0 {
+                    return Err(format!(
+                        "{ctx}: clean run recorded {injected} injected fault(s)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "ok: {} run(s), {fault_runs} fault-harness",
+        runs.len()
+    ))
+}
+
+/// Convenience for emitters: a snapshot rendered standalone must parse and
+/// expose a counter; used by tests and the `--metrics-out` smoke assert.
+pub fn snapshot_counter(snap: &MetricsSnapshot, section: &str, name: &str) -> u64 {
+    match snap.get(section, name) {
+        Some(MetricValue::Count(v) | MetricValue::Gauge(v)) => v,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crr_obs::{Counter, MetricsSink};
+
+    fn snap_with(faults: u64) -> MetricsSnapshot {
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 7);
+        sink.add(Counter::MomentsSolves, 5);
+        sink.add(Counter::MomentsAddRowOps, 100);
+        sink.add(Counter::InjectedFailures, faults);
+        sink.snapshot()
+    }
+
+    fn sample() -> Vec<MetricsRun> {
+        vec![
+            MetricsRun {
+                dataset: "electricity".into(),
+                rows: 2880,
+                engine: "moments".into(),
+                expected_fault_events: None,
+                snapshot: snap_with(0),
+            },
+            MetricsRun {
+                dataset: "electricity".into(),
+                rows: 2880,
+                engine: "moments".into(),
+                expected_fault_events: Some(1),
+                snapshot: snap_with(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_round_trips_through_validate() {
+        let summary = validate(&render(&sample())).expect("valid");
+        assert!(summary.contains("2 run(s)"), "{summary}");
+        assert!(summary.contains("1 fault-harness"), "{summary}");
+    }
+
+    #[test]
+    fn engine_inconsistency_is_rejected() {
+        let mut runs = sample();
+        runs[0].engine = "rescan".into(); // but the snapshot has moments_solves=5
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("moments_solves"), "{err}");
+    }
+
+    #[test]
+    fn fault_count_mismatch_is_rejected() {
+        let mut runs = sample();
+        runs[1].expected_fault_events = Some(3);
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("expected 3"), "{err}");
+    }
+
+    #[test]
+    fn unexpected_faults_on_clean_run_are_rejected() {
+        let mut runs = sample();
+        runs[0].snapshot = snap_with(2);
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("clean run"), "{err}");
+    }
+
+    #[test]
+    fn missing_section_is_rejected() {
+        let mut runs = sample();
+        runs[0].snapshot.sections.retain(|s| s.name != "budget");
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn empty_or_mislabeled_documents_are_rejected() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v1\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
+    }
+}

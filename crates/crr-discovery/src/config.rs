@@ -2,6 +2,7 @@ use crate::budget::{Budget, CancelToken};
 use crate::faults::FaultPlan;
 use crr_data::AttrId;
 use crr_models::{FitConfig, ModelKind};
+use crr_obs::MetricsSink;
 use std::sync::Arc;
 
 /// Order in which Algorithm 1's priority queue emits conjunctions
@@ -104,6 +105,13 @@ pub struct DiscoveryConfig {
     /// out over scoped threads once the pool and partition are large enough
     /// to amortize the spawns. Results are identical either way.
     pub pool_scan_threads: usize,
+    /// Structured metrics sink. The no-op default records nothing at
+    /// near-zero cost; attach an enabled sink via [`Self::with_metrics`] to
+    /// collect counters and phase timings, frozen into
+    /// [`crate::Discovery::metrics`] when the run returns. Recording never
+    /// feeds back into the search, so instrumented and plain runs produce
+    /// byte-identical rule sets.
+    pub metrics: MetricsSink,
 }
 
 impl DiscoveryConfig {
@@ -125,6 +133,7 @@ impl DiscoveryConfig {
             faults: None,
             engine: FitEngine::Moments,
             pool_scan_threads: 1,
+            metrics: MetricsSink::disabled(),
         }
     }
 
@@ -173,6 +182,14 @@ impl DiscoveryConfig {
     /// Attaches a fault-injection plan (tests only).
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a metrics sink (usually [`MetricsSink::enabled`]). Keep a
+    /// clone of the sink to read cumulative values across runs, or read the
+    /// per-run freeze from [`crate::Discovery::metrics`].
+    pub fn with_metrics(mut self, sink: MetricsSink) -> Self {
+        self.metrics = sink;
         self
     }
 

@@ -33,6 +33,14 @@
 //! [`parallel::discover_all`], and the [`faults`] module injects failures
 //! deterministically to prove every degradation path under test.
 //!
+//! Every run can be *observed*: attach a [`MetricsSink`] (from the
+//! zero-dependency `crr-obs` crate) via [`DiscoveryConfig::with_metrics`]
+//! and the run freezes a [`MetricsSnapshot`] of queue, pool, fit-engine,
+//! budget and fault counters plus per-phase wall time into
+//! [`Discovery::metrics`]. Recording is write-only — instrumented runs
+//! produce byte-identical rule sets — and the no-op default sink costs one
+//! branch per event.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +58,35 @@
 //! assert!(result.rules.uncovered(&ds.table, &ds.table.all_rows()).is_empty());
 //! // ... by fewer distinct shared models than rules.
 //! assert!(result.rules.num_distinct_models() <= result.rules.len());
+//! ```
+//!
+//! # Example: a budgeted, metered run
+//!
+//! ```
+//! use crr_datasets::{tax, GenConfig};
+//! use crr_discovery::{discover, Budget, DiscoveryConfig, MetricsSink, PredicateGen};
+//!
+//! let ds = tax(&GenConfig { rows: 400, seed: 1 });
+//! let target = ds.table.attr("tax").unwrap();
+//! let salary = ds.table.attr("salary").unwrap();
+//! let state = ds.table.attr("state").unwrap();
+//! let space = PredicateGen::binary(8).generate(&ds.table, &[salary, state], target, 7);
+//!
+//! let sink = MetricsSink::enabled();
+//! let cfg = DiscoveryConfig::new(vec![salary], target, 2.0)
+//!     .with_budget(Budget::unlimited().with_max_fits(500))
+//!     .with_metrics(sink.clone());
+//! let result = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+//!
+//! // The frozen snapshot travels with the result ...
+//! let m = &result.metrics;
+//! assert_eq!(m.count("queue", "pops"), Some(result.stats.partitions_explored as u64));
+//! // ... every trained model came from a moments solve or a fallback,
+//! // never a row rescan (the default engine is FitEngine::Moments) ...
+//! assert_eq!(m.count("fits", "rescans"), Some(0));
+//! // ... and it serializes to JSON without serde.
+//! assert!(m.to_json(0).contains("\"pool\""));
+//! # assert!(result.outcome.is_complete());
 //! ```
 
 mod budget;
@@ -69,6 +106,9 @@ pub use error::DiscoveryError;
 pub use faults::{inject_dirty_cells, FaultPlan};
 pub use predicates::{PredicateGen, PredicateSpace};
 pub use search::{discover, share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
+// Observability surface, re-exported so callers configuring a metered run
+// need only this crate.
+pub use crr_obs::{MetricsSink, MetricsSnapshot};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, DiscoveryError>;

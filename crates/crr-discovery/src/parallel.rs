@@ -82,6 +82,7 @@ fn run_isolated(table: &Table, rows: &RowSet, task: &Task, index: usize) -> Resu
         discover(table, rows, &task.config, &task.space)
     }))
     .unwrap_or_else(|payload| {
+        task.config.metrics.incr(crr_obs::Counter::TaskPanics);
         let message = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_string())
@@ -245,11 +246,14 @@ mod tests {
     #[test]
     fn panicking_task_is_isolated() {
         use crate::FaultPlan;
+        use crr_obs::MetricsSink;
         use std::sync::Arc;
         let t = table();
         let mut ts = tasks(&t);
         // Poison the middle task: its very first fit panics.
         ts[1].config.faults = Some(Arc::new(FaultPlan::new().panic_fit_every(1)));
+        let sink = MetricsSink::enabled();
+        ts[1].config.metrics = sink.clone();
         for threads in [1, 3] {
             let results = discover_all(&t, &t.all_rows(), &ts, threads);
             assert_eq!(results.len(), 3);
@@ -266,6 +270,9 @@ mod tests {
                 assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
             }
         }
+        // Both runs (sequential and 3-thread) hit the catch_unwind branch.
+        let snap = sink.snapshot();
+        assert_eq!(snap.count("faults", "task_panics"), Some(2));
     }
 
     #[test]

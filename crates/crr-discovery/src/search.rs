@@ -52,6 +52,7 @@ use crr_models::{
     fit_model, try_fit_from_moments, ConstantModel, Model, ModelKind, Moments, Regressor,
     Translation,
 };
+use crr_obs::{Counter as Ctr, Gauge, MetricsSink, MetricsSnapshot, Phase};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -99,6 +100,11 @@ pub struct Discovery {
     /// tripped. Degraded runs still cover every coverable row — queued
     /// partitions are drained with constant fallbacks.
     pub outcome: DiscoveryOutcome,
+    /// Structured metrics of the run, frozen from the sink attached via
+    /// [`DiscoveryConfig::with_metrics`]. Empty under the no-op default.
+    /// If one enabled sink is shared across several runs, this snapshot
+    /// holds the *cumulative* values as of this run's end.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Priority-queue entry: a conjunction, its partition, the predicates still
@@ -186,6 +192,11 @@ pub fn discover(
     }
 
     let start = Instant::now();
+    // All recording below is fire-and-forget: the sink is never read back,
+    // so queue order, fit results and rule output are untouched (the
+    // byte-identical regression tests pin this with the sink enabled).
+    let mx = &cfg.metrics;
+    let t_total = mx.span();
     let mut stats = DiscoveryStats::default();
     let mut rules = RuleSet::new();
     // Line 2: the shared model pool ℱ, most-recently-shared first.
@@ -195,6 +206,7 @@ pub fn discover(
     // One pass over the table: columnar numeric buffers + readiness mask.
     // Complete rows holding NaN/±Inf surface here as the same typed error
     // the per-pop extraction used to raise.
+    let t_snap = mx.span();
     let snap =
         NumericSnapshot::build(table, &cfg.inputs, cfg.target, rows).map_err(|e| match e {
             crr_data::DataError::NonFiniteCell { row, attribute } => {
@@ -219,10 +231,15 @@ pub fn discover(
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
     let root_fit = snap.ready_rows(rows);
     let root_moments = if use_moments {
+        mx.add(Ctr::MomentsAddRowOps, root_fit.len() as u64);
         Some(accumulate_moments(&snap, &root_fit))
     } else {
         None
     };
+    mx.record(Phase::SnapshotBuild, t_snap);
+    mx.set_gauge(Gauge::FitRows, root_fit.len() as u64);
+    mx.set_gauge(Gauge::InputDims, cfg.inputs.len() as u64);
+    mx.incr(Ctr::QueuePushes);
     queue.push(Entry {
         priority: priority_for(cfg.order, 0.0, 0),
         seq: 0,
@@ -245,6 +262,7 @@ pub fn discover(
     // Line 4: main loop.
     while let Some(entry) = queue.pop() {
         if watched {
+            mx.incr(Ctr::BudgetChecks);
             if cfg.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 outcome = DiscoveryOutcome::Cancelled;
             } else if let Some(tripped) =
@@ -254,10 +272,16 @@ pub fn discover(
                 outcome = tripped;
             }
             if !outcome.is_complete() {
+                mx.incr(match outcome {
+                    DiscoveryOutcome::Cancelled => Ctr::Cancellations,
+                    DiscoveryOutcome::DeadlineExceeded => Ctr::DeadlineTrips,
+                    _ => Ctr::ExhaustionTrips,
+                });
                 // Graceful degradation: stop refining, but keep Problem 1's
                 // coverage guarantee — cover this and every still-queued
                 // partition with a constant (the partition's target
                 // midrange; the global fallback when it has none).
+                let t_drain = mx.span();
                 let mut pending = Some(entry);
                 while let Some(e) = pending.take().or_else(|| queue.pop()) {
                     if e.rows.is_empty() {
@@ -275,11 +299,16 @@ pub fn discover(
                     )?);
                     stats.drained_partitions += 1;
                     stats.drained_rows += e.rows.len();
+                    mx.incr(Ctr::DrainedPartitions);
+                    mx.add(Ctr::DrainedRows, e.rows.len() as u64);
+                    mx.incr(Ctr::RulesEmitted);
                 }
+                mx.record(Phase::Drain, t_drain);
                 break;
             }
         }
         stats.partitions_explored += 1;
+        mx.incr(Ctr::QueuePops);
         let Entry {
             conj,
             rows,
@@ -307,6 +336,8 @@ pub fn discover(
                 Dnf::single(conj),
             )?);
             stats.forced_accepts += 1;
+            mx.incr(Ctr::ForcedAccepts);
+            mx.incr(Ctr::RulesEmitted);
             continue;
         }
 
@@ -317,6 +348,8 @@ pub fn discover(
         let mut best_within = 0usize;
         let mut shared: Option<(usize, f64, f64)> = None; // (pool idx, rho, delta)
         if cfg.share_models && !pool.is_empty() {
+            mx.incr(Ctr::PoolScans);
+            let t_scan = mx.span();
             let order_uses_ind = !matches!(cfg.order, QueueOrder::Random(_));
             let parallel_scan = cfg.pool_scan_threads > 1
                 && pool.len() >= 2
@@ -340,9 +373,18 @@ pub fn discover(
                         let matched = p.max_dev <= cfg.rho_max;
                         (p, matched)
                     });
+                mx.incr(Ctr::PoolParallelScans);
+                // Metrics determinism: only the prefix at or below the
+                // winner is guaranteed fully evaluated, so only it is
+                // counted; speculative probes past the winner vary between
+                // runs and are discarded unobserved.
                 let scanned = winner.map_or(pool.len(), |w| w + 1);
+                mx.add(Ctr::PoolProbes, scanned as u64);
                 for p in probes.iter().take(scanned).flatten() {
                     best_within = best_within.max(p.within);
+                    if p.truncated {
+                        mx.incr(Ctr::PoolShortCircuits);
+                    }
                 }
                 if let Some(w) = winner {
                     if let Some(p) = &probes[w] {
@@ -357,6 +399,10 @@ pub fn discover(
                         ScanMode::AbortOnMiss
                     };
                     let p = share_probe(f.as_ref(), &snap, &fit, cfg.rho_max, &mut resid, mode);
+                    mx.incr(Ctr::PoolProbes);
+                    if p.truncated {
+                        mx.incr(Ctr::PoolShortCircuits);
+                    }
                     best_within = best_within.max(p.within);
                     if p.max_dev <= cfg.rho_max {
                         shared = Some((i, p.max_dev, p.delta0));
@@ -364,6 +410,12 @@ pub fn discover(
                     }
                 }
             }
+            mx.record(Phase::PoolScan, t_scan);
+            mx.incr(if shared.is_some() {
+                Ctr::PoolHits
+            } else {
+                Ctr::PoolMisses
+            });
         }
         let ind = best_within as f64 / fit.len() as f64;
         if let Some((idx, rho, delta)) = shared {
@@ -387,29 +439,48 @@ pub fn discover(
                 Dnf::single(conj),
             )?);
             stats.models_shared += 1;
+            mx.incr(Ctr::RulesEmitted);
             continue;
         }
 
         // Line 13: train a new model on D_C (after any injected fault).
         if let Some(faults) = &cfg.faults {
-            faults.before_fit()?;
+            if let Err(e) = faults.before_fit() {
+                mx.incr(Ctr::InjectedFailures);
+                return Err(e);
+            }
         }
+        let t_fit = mx.span();
         let model = match &moments {
             Some(m) => match try_fit_from_moments(m, &cfg.fit) {
-                Some(model) => model,
+                Some(model) => {
+                    mx.incr(Ctr::MomentsSolves);
+                    model
+                }
                 // The moments solve declined (VC guard, singular normal
                 // equations): same midrange-constant fallback `fit_model`
                 // takes, from one pass over the target buffer.
-                None => Model::Constant(ConstantModel::new(
-                    midrange_of(&snap, &fit),
-                    cfg.inputs.len(),
-                )),
+                None => {
+                    mx.incr(Ctr::DeclinedSingular);
+                    Model::Constant(ConstantModel::new(
+                        midrange_of(&snap, &fit),
+                        cfg.inputs.len(),
+                    ))
+                }
             },
             None => {
+                mx.incr(Ctr::Rescans);
                 let (xs, y) = materialize(&snap, &fit);
                 fit_model(&xs, &y, &cfg.fit)?
             }
         };
+        mx.record(Phase::Fitting, t_fit);
+        mx.incr(match &model {
+            Model::Constant(_) => Ctr::FitConstant,
+            Model::Linear(_) => Ctr::FitLinear,
+            Model::Ridge(_) => Ctr::FitRidge,
+            Model::Mlp(_) => Ctr::FitMlp,
+        });
         stats.models_trained += 1;
         fill_residuals(&model, &snap, &fit, &mut resid);
         let rho = resid.iter().fold(0.0f64, |m, r| m.max(r.abs()));
@@ -419,7 +490,9 @@ pub fn discover(
         if rho <= cfg.rho_max || !splittable {
             if rho > cfg.rho_max {
                 stats.forced_accepts += 1;
+                mx.incr(Ctr::ForcedAccepts);
             }
+            mx.incr(Ctr::RulesEmitted);
             let f = Arc::new(model);
             pool.push(Arc::clone(&f)); // line 17
             rules.push(Crr::new(
@@ -439,8 +512,12 @@ pub fn discover(
             .zip(&resid)
             .map(|(&r, &e)| (r as usize, e))
             .collect();
-        match choose_split(table, &rows, cfg, space, &avail, &residuals) {
+        let t_split = mx.span();
+        let chosen = choose_split(table, &rows, cfg, space, &avail, &residuals);
+        mx.record(Phase::SplitSelection, t_split);
+        match chosen {
             Some(split_idx) => {
+                mx.incr(Ctr::Splits);
                 let p = space.predicates()[split_idx as usize].clone();
                 let np = p.negate();
                 let yes = rows.filter(|r| p.eval(table, r));
@@ -452,7 +529,7 @@ pub fn discover(
                     avail.iter().copied().filter(|&i| i != split_idx).collect();
                 let yes_fit = intersect_sorted(&fit, yes.as_slice());
                 let no_fit = intersect_sorted(&fit, no.as_slice());
-                let (yes_m, no_m) = split_moments(moments, &snap, &fit, &yes_fit, &no_fit);
+                let (yes_m, no_m) = split_moments(moments, &snap, &fit, &yes_fit, &no_fit, mx);
                 for (child_conj, child_rows, child_fit, child_m) in [
                     (conj.and(p), yes, yes_fit, yes_m),
                     (conj.and(np), no, no_fit, no_m),
@@ -461,6 +538,7 @@ pub fn discover(
                         continue;
                     }
                     seq += 1;
+                    mx.incr(Ctr::QueuePushes);
                     queue.push(Entry {
                         priority: priority_for(cfg.order, ind, seq),
                         seq,
@@ -485,15 +563,20 @@ pub fn discover(
                     Dnf::single(conj),
                 )?);
                 stats.forced_accepts += 1;
+                mx.incr(Ctr::ForcedAccepts);
+                mx.incr(Ctr::RulesEmitted);
             }
         }
     }
 
     stats.learning_time = start.elapsed();
+    mx.set_gauge(Gauge::PoolModels, pool.len() as u64);
+    mx.record(Phase::Total, t_total);
     Ok(Discovery {
         rules,
         stats,
         outcome,
+        metrics: cfg.metrics.snapshot(),
     })
 }
 
@@ -522,11 +605,17 @@ fn split_moments(
     fit: &[u32],
     yes_fit: &[u32],
     no_fit: &[u32],
+    mx: &MetricsSink,
 ) -> (Option<Moments>, Option<Moments>) {
     let Some(parent) = parent else {
         return (None, None);
     };
     if yes_fit.len() + no_fit.len() == fit.len() {
+        let small_len = yes_fit.len().min(no_fit.len());
+        mx.incr(Ctr::ChildReaccumulations);
+        mx.add(Ctr::MomentsAddRowOps, small_len as u64);
+        mx.incr(Ctr::SiblingSubtractions);
+        mx.incr(Ctr::MomentsSubtractOps);
         if yes_fit.len() <= no_fit.len() {
             let small = accumulate_moments(snap, yes_fit);
             let mut large = parent;
@@ -539,6 +628,8 @@ fn split_moments(
             (Some(large), Some(small))
         }
     } else {
+        mx.incr(Ctr::FullRebuilds);
+        mx.add(Ctr::MomentsAddRowOps, (yes_fit.len() + no_fit.len()) as u64);
         (
             Some(accumulate_moments(snap, yes_fit)),
             Some(accumulate_moments(snap, no_fit)),
@@ -642,11 +733,13 @@ enum ScanMode {
 }
 
 /// One probe's result: Proposition 6's midrange shift, the worst deviation
-/// from it, and how many rows land within `ρ_M` (the ind numerator).
+/// from it, how many rows land within `ρ_M` (the ind numerator), and
+/// whether the deviation scan stopped before the last row.
 struct ShareProbe {
     delta0: f64,
     max_dev: f64,
     within: usize,
+    truncated: bool,
 }
 
 /// Proposition 6's shared-fit test for one pooled model over the snapshot.
@@ -669,6 +762,7 @@ fn share_probe(
     let n = resid.len();
     let mut max_dev = 0.0f64;
     let mut within = 0usize;
+    let mut truncated = false;
     for (i, r) in resid.iter().enumerate() {
         let dev = (r - delta0).abs();
         max_dev = max_dev.max(dev);
@@ -678,11 +772,15 @@ fn share_probe(
         if max_dev > rho_max {
             match mode {
                 ScanMode::Full => {}
-                ScanMode::AbortOnMiss => break,
+                ScanMode::AbortOnMiss => {
+                    truncated = i + 1 < n;
+                    break;
+                }
                 ScanMode::AbortBelowFloor(floor) => {
                     // Even if every remaining row counted, `within` could
                     // not beat the floor: stop.
                     if within + (n - i - 1) <= floor {
+                        truncated = i + 1 < n;
                         break;
                     }
                 }
@@ -693,6 +791,7 @@ fn share_probe(
         delta0,
         max_dev,
         within,
+        truncated,
     }
 }
 
@@ -1256,6 +1355,112 @@ mod tests {
         assert_eq!(d0, 3.0);
         assert_eq!(dev, 0.0);
         assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn metrics_agree_with_discovery_stats() {
+        let t = two_segment_table();
+        let sink = MetricsSink::enabled();
+        let cfg = cfg_for(&t).with_metrics(sink.clone());
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        let m = &d.metrics;
+        assert!(!m.is_empty());
+        // Counters mirror the coarse stats the struct always carried.
+        let count = |s, n| m.count(s, n).unwrap();
+        assert_eq!(count("queue", "pops"), d.stats.partitions_explored as u64);
+        assert_eq!(count("pool", "hits"), d.stats.models_shared as u64);
+        assert_eq!(
+            count("queue", "forced_accepts"),
+            d.stats.forced_accepts as u64
+        );
+        assert_eq!(count("queue", "rules_emitted"), d.rules.len() as u64);
+        // Every trained model is accounted to exactly one fit path.
+        assert_eq!(
+            count("fits", "moments_solves")
+                + count("fits", "declined_singular")
+                + count("fits", "rescans"),
+            d.stats.models_trained as u64
+        );
+        // The default engine never rescans rows.
+        assert_eq!(count("fits", "rescans"), 0);
+        // Pops never outnumber pushes, and the pool gauge is the final size.
+        assert!(count("queue", "pops") <= count("queue", "pushes"));
+        assert_eq!(
+            count("run", "pool_models"),
+            d.rules.num_distinct_models() as u64
+        );
+        // Phase timers observed real time.
+        assert!(m.secs("phases", "total_secs").unwrap() > 0.0);
+        // The frozen snapshot equals the live sink's.
+        assert_eq!(sink.snapshot().to_json(0), m.to_json(0));
+    }
+
+    #[test]
+    fn rescan_engine_records_no_moments_solves() {
+        let t = two_segment_table();
+        let sink = MetricsSink::enabled();
+        let cfg = cfg_for(&t)
+            .with_engine(FitEngine::Rescan)
+            .with_metrics(sink.clone());
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert_eq!(d.metrics.count("fits", "moments_solves"), Some(0));
+        assert_eq!(d.metrics.count("fits", "declined_singular"), Some(0));
+        assert_eq!(
+            d.metrics.count("fits", "rescans"),
+            Some(d.stats.models_trained as u64)
+        );
+        // No moments flow at all on the rescan path.
+        assert_eq!(d.metrics.count("moments", "add_row_ops"), Some(0));
+        assert_eq!(d.metrics.count("moments", "sibling_subtractions"), Some(0));
+    }
+
+    #[test]
+    fn moments_ledger_balances_across_splits() {
+        let t = two_segment_table();
+        let sink = MetricsSink::enabled();
+        let cfg = cfg_for(&t).with_metrics(sink.clone());
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        let count = |s, n| d.metrics.count(s, n).unwrap();
+        // Each split derives children either by sibling subtraction or a
+        // full rebuild — never both, never neither.
+        assert_eq!(
+            count("queue", "splits"),
+            count("moments", "sibling_subtractions") + count("moments", "full_rebuilds")
+        );
+        assert_eq!(
+            count("moments", "sibling_subtractions"),
+            count("moments", "child_reaccumulations")
+        );
+        assert_eq!(
+            count("moments", "subtract_ops"),
+            count("moments", "sibling_subtractions")
+        );
+        // The root accumulation alone touches every fit row once.
+        assert!(count("moments", "add_row_ops") >= count("run", "fit_rows"));
+    }
+
+    #[test]
+    fn injected_failure_is_recorded_in_metrics() {
+        let t = two_segment_table();
+        let sink = MetricsSink::enabled();
+        let plan = Arc::new(FaultPlan::new().fail_fit_every(1));
+        let cfg = cfg_for(&t)
+            .with_faults(Arc::clone(&plan))
+            .with_metrics(sink.clone());
+        assert!(discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).is_err());
+        // The sink outlives the failed run: one injected fault, recorded.
+        let snap = sink.snapshot();
+        assert_eq!(snap.count("faults", "injected_failures"), Some(1));
+        assert_eq!(plan.fits_attempted(), 1);
+    }
+
+    #[test]
+    fn disabled_sink_yields_empty_metrics() {
+        let t = two_segment_table();
+        let cfg = cfg_for(&t);
+        let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
+        assert!(d.metrics.is_empty());
+        assert_eq!(d.metrics.to_json(0), "{}");
     }
 
     #[test]

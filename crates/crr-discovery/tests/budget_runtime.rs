@@ -7,8 +7,8 @@
 use crr_data::Table;
 use crr_datasets::{electricity, GenConfig};
 use crr_discovery::{
-    discover, Budget, CancelToken, DiscoveryConfig, DiscoveryOutcome, FaultPlan, PredicateGen,
-    PredicateSpace,
+    discover, Budget, CancelToken, DiscoveryConfig, DiscoveryOutcome, FaultPlan, MetricsSink,
+    PredicateGen, PredicateSpace,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,7 +28,9 @@ fn electricity_instance(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace)
 #[test]
 fn one_ms_deadline_on_electricity_degrades_gracefully() {
     let (table, cfg, space) = electricity_instance(20_000);
-    let cfg = cfg.with_budget(Budget::unlimited().with_deadline(Duration::from_millis(1)));
+    let cfg = cfg
+        .with_budget(Budget::unlimited().with_deadline(Duration::from_millis(1)))
+        .with_metrics(MetricsSink::enabled());
     let started = Instant::now();
     let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
     // "Never hangs": a 1 ms budget must not take seconds. The bound is
@@ -41,6 +43,19 @@ fn one_ms_deadline_on_electricity_degrades_gracefully() {
         d.rules.uncovered(&table, &table.all_rows()).is_empty(),
         "degraded runs keep the coverage guarantee"
     );
+    // The metrics ledger records the degradation exactly as stats saw it.
+    let m = &d.metrics;
+    assert_eq!(m.count("budget", "deadline_trips"), Some(1));
+    assert_eq!(
+        m.count("budget", "drained_partitions"),
+        Some(d.stats.drained_partitions as u64)
+    );
+    assert_eq!(
+        m.count("budget", "drained_rows"),
+        Some(d.stats.drained_rows as u64)
+    );
+    assert!(m.count("budget", "checks").unwrap() >= 1);
+    assert!(m.secs("phases", "drain_secs").unwrap() > 0.0);
 }
 
 /// The same instance without a budget completes and reports so.
@@ -90,4 +105,24 @@ fn cancellation_from_another_thread_stops_the_run() {
     canceller.join().unwrap();
     assert_eq!(d.outcome, DiscoveryOutcome::Cancelled);
     assert!(d.rules.uncovered(&table, &table.all_rows()).is_empty());
+}
+
+/// A fit cap trips as a `budget.exhaustion_trips` event in the metrics,
+/// and the fit-engine counters stay consistent on the degraded path.
+#[test]
+fn exhaustion_trip_is_recorded_in_metrics() {
+    let (table, cfg, space) = electricity_instance(8_000);
+    let cfg = cfg
+        .with_budget(Budget::unlimited().with_max_fits(3))
+        .with_metrics(MetricsSink::enabled());
+    let d = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    assert_eq!(d.outcome, DiscoveryOutcome::BudgetExhausted);
+    let m = &d.metrics;
+    assert_eq!(m.count("budget", "exhaustion_trips"), Some(1));
+    assert_eq!(m.count("budget", "deadline_trips"), Some(0));
+    assert_eq!(m.count("budget", "cancellations"), Some(0));
+    let trained = m.count("fits", "moments_solves").unwrap()
+        + m.count("fits", "declined_singular").unwrap()
+        + m.count("fits", "rescans").unwrap();
+    assert_eq!(trained, d.stats.models_trained as u64);
 }

@@ -10,7 +10,8 @@ use crr_core::{serialize, LocateStrategy};
 use crr_data::Table;
 use crr_datasets::{electricity, GenConfig};
 use crr_discovery::{
-    discover, Discovery, DiscoveryConfig, FitEngine, PredicateGen, PredicateSpace, QueueOrder,
+    discover, Discovery, DiscoveryConfig, FitEngine, MetricsSink, PredicateGen, PredicateSpace,
+    QueueOrder,
 };
 
 /// Everything observable about a run except wall-clock time.
@@ -69,6 +70,37 @@ fn parallel_pool_scan_is_byte_identical_to_sequential() {
         );
         assert_eq!(fingerprint(&a), fingerprint(&b), "{order:?}");
     }
+}
+
+#[test]
+fn metrics_instrumentation_is_byte_identical() {
+    // The observability contract: an enabled sink must not perturb the
+    // search — queue order, fit results and rule output are untouched.
+    let (t, plain_cfg, space) = setup(2000);
+    let metered_cfg = plain_cfg.clone().with_metrics(MetricsSink::enabled());
+    let plain = discover(&t, &t.all_rows(), &plain_cfg, &space).unwrap();
+    let metered = discover(&t, &t.all_rows(), &metered_cfg, &space).unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&metered));
+    assert!(plain.metrics.is_empty());
+    assert!(!metered.metrics.is_empty());
+
+    // Same holds under the parallel pool scan.
+    let par_plain_cfg = plain_cfg.with_pool_scan_threads(4);
+    let par_metered_cfg = par_plain_cfg.clone().with_metrics(MetricsSink::enabled());
+    let par_plain = discover(&t, &t.all_rows(), &par_plain_cfg, &space).unwrap();
+    let par_metered = discover(&t, &t.all_rows(), &par_metered_cfg, &space).unwrap();
+    assert_eq!(fingerprint(&par_plain), fingerprint(&par_metered));
+    assert_eq!(fingerprint(&plain), fingerprint(&par_plain));
+    // Pool-probe counts over the deterministic prefix match the sequential
+    // scan's exactly, even though speculative parallel probes may differ.
+    assert_eq!(
+        metered.metrics.count("pool", "hits"),
+        par_metered.metrics.count("pool", "hits"),
+    );
+    assert_eq!(
+        metered.metrics.count("queue", "pops"),
+        par_metered.metrics.count("queue", "pops"),
+    );
 }
 
 #[test]

@@ -6,7 +6,8 @@
 
 use crr_data::{AttrType, Schema, Table, Value};
 use crr_discovery::{
-    discover, inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, PredicateGen,
+    discover, inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, MetricsSink,
+    PredicateGen,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -110,5 +111,48 @@ proptest! {
             prop_assert!(d.outcome.is_complete() || d.stats.drained_partitions > 0);
         }
         assert_ok_or_typed(result, &table)?;
+    }
+
+    /// Metrics stay consistent on dirty tables: whatever path a run takes
+    /// (success, degradation, typed error), the sink's ledger agrees with
+    /// the run's coarse stats and never perturbs the result.
+    #[test]
+    fn dirty_tables_keep_metrics_consistent((table, _dirtied) in arb_dirty_table()) {
+        let x = table.attr("x").unwrap();
+        let y = table.attr("y").unwrap();
+        let space = PredicateGen::binary(31).generate(&table, &[x], y, 0);
+        let plain_cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+        let sink = MetricsSink::enabled();
+        let metered_cfg = plain_cfg.clone().with_metrics(sink.clone());
+        let plain = discover(&table, &table.all_rows(), &plain_cfg, &space);
+        let metered = discover(&table, &table.all_rows(), &metered_cfg, &space);
+        match (plain, metered) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.rules.len(), b.rules.len());
+                prop_assert_eq!(a.stats.models_trained, b.stats.models_trained);
+                let m = &b.metrics;
+                prop_assert_eq!(
+                    m.count("queue", "pops"),
+                    Some(b.stats.partitions_explored as u64)
+                );
+                prop_assert_eq!(
+                    m.count("fits", "moments_solves").unwrap()
+                        + m.count("fits", "declined_singular").unwrap()
+                        + m.count("fits", "rescans").unwrap(),
+                    b.stats.models_trained as u64
+                );
+                prop_assert_eq!(
+                    m.count("budget", "drained_partitions"),
+                    Some(b.stats.drained_partitions as u64)
+                );
+            }
+            (Err(a), Err(b)) => {
+                // Same typed error with or without instrumentation.
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+            (a, b) => {
+                prop_assert!(false, "instrumentation changed the outcome: {a:?} vs {b:?}");
+            }
+        }
     }
 }

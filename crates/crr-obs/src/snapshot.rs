@@ -1,0 +1,170 @@
+//! Frozen metrics: a hierarchical, serializable view of a sink's state.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// One recorded value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic event count.
+    Count(u64),
+    /// A last-write-wins level.
+    Gauge(u64),
+    /// Accumulated wall time, seconds.
+    Secs(f64),
+}
+
+/// A named group of metrics (`queue`, `pool`, `fits`, …).
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    /// Section name — the JSON object key.
+    pub name: String,
+    /// `(name, value)` entries in schema order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+/// A hierarchical, point-in-time copy of every metric a sink recorded.
+/// Produced by [`crate::MetricsSink::snapshot`]; empty when the sink was
+/// the no-op default. Serializes to a two-level JSON object with
+/// [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Sections in schema order.
+    pub sections: Vec<Section>,
+}
+
+impl MetricsSnapshot {
+    /// Whether anything was recorded (false for disabled sinks).
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Looks up one value by section and name.
+    pub fn get(&self, section: &str, name: &str) -> Option<MetricValue> {
+        self.sections
+            .iter()
+            .find(|s| s.name == section)?
+            .entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Integer view of a counter or gauge.
+    pub fn count(&self, section: &str, name: &str) -> Option<u64> {
+        match self.get(section, name)? {
+            MetricValue::Count(v) | MetricValue::Gauge(v) => Some(v),
+            MetricValue::Secs(_) => None,
+        }
+    }
+
+    /// Seconds view of a span accumulator.
+    pub fn secs(&self, section: &str, name: &str) -> Option<f64> {
+        match self.get(section, name)? {
+            MetricValue::Secs(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as a pretty-printed JSON object whose keys are
+    /// stable across runs — `{}` when empty. `indent` is the number of
+    /// leading spaces applied to every line after the first, so the
+    /// snapshot can be embedded inside a larger hand-rolled document.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        if self.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{\n");
+        for (si, s) in self.sections.iter().enumerate() {
+            let _ = writeln!(out, "{pad}  \"{}\": {{", json::esc(&s.name));
+            for (ei, (name, value)) in s.entries.iter().enumerate() {
+                let rendered = match value {
+                    MetricValue::Count(v) | MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Secs(v) => json::num(*v),
+                };
+                let comma = if ei + 1 < s.entries.len() { "," } else { "" };
+                let _ = writeln!(out, "{pad}    \"{}\": {rendered}{comma}", json::esc(name));
+            }
+            let comma = if si + 1 < self.sections.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "{pad}  }}{comma}");
+        }
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, Gauge, MetricsSink, Phase};
+
+    fn sample() -> MetricsSnapshot {
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 12);
+        sink.add(Counter::PoolHits, 4);
+        sink.set_gauge(Gauge::PoolModels, 3);
+        let t = sink.span();
+        sink.record(Phase::Total, t);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn lookup_distinguishes_value_kinds() {
+        let snap = sample();
+        assert_eq!(snap.count("queue", "pops"), Some(12));
+        assert_eq!(snap.count("run", "pool_models"), Some(3));
+        assert!(snap.secs("queue", "pops").is_none());
+        assert!(snap.secs("phases", "total_secs").is_some());
+        assert!(snap.get("nope", "pops").is_none());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let snap = sample();
+        let doc = json::parse(&snap.to_json(0)).expect("snapshot JSON parses");
+        assert_eq!(
+            doc.get("queue")
+                .and_then(|q| q.get("pops"))
+                .and_then(json::Json::as_num),
+            Some(12.0)
+        );
+        assert_eq!(
+            doc.get("pool")
+                .and_then(|p| p.get("hits"))
+                .and_then(json::Json::as_num),
+            Some(4.0)
+        );
+        // Every section renders as an object; every entry as a number.
+        for s in &snap.sections {
+            let obj = doc.get(&s.name).expect("section present");
+            for (name, _) in &s.entries {
+                assert!(
+                    obj.get(name).and_then(json::Json::as_num).is_some(),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_as_empty_object() {
+        let snap = MetricsSink::disabled().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_json(0), "{}");
+        assert_eq!(snap.to_json(4), "{}");
+    }
+
+    #[test]
+    fn indent_embeds_cleanly() {
+        let snap = sample();
+        let embedded = format!("{{\"metrics\": {}}}", snap.to_json(0));
+        assert!(json::parse(&embedded).is_ok());
+        let nested = snap.to_json(4);
+        assert!(nested.ends_with("    }"), "trailing line is padded");
+    }
+}

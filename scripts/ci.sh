@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo doc --workspace --no-deps (broken intra-doc links are errors)"
+# Every crate (shims included) must document cleanly; a renamed item that
+# orphans a [`link`] fails the build here instead of rotting silently.
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" \
+  cargo doc --workspace --no-deps --quiet
+
 echo "==> criterion smoke (perf_fit_engine compiles and runs)"
 # The shimmed criterion takes a fast bounded pass (small sample budgets);
 # this catches bit-rot in the tracked benchmark harness without paying
@@ -23,17 +29,23 @@ echo "==> criterion smoke (perf_fit_engine compiles and runs)"
 cargo bench -p crr-bench --bench perf_fit_engine >/dev/null
 
 echo "==> tracked benchmark emits and validates"
-# Tiny-scale end-to-end run of the bench experiment, then the validator
-# gate: the build fails if BENCH_discovery.json output ever loses a key
-# or contains a non-finite number.
+# Tiny-scale end-to-end run of the bench experiment — with metrics
+# instrumentation on — then the validator gates: the build fails if
+# BENCH_discovery.json or metrics.json output ever loses a key, breaks a
+# counter invariant, or contains a non-finite number.
 BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_TMP"' EXIT
+METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP" "$METRICS_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
-  --scale 0.05 --bench-json "$BENCH_TMP" bench >/dev/null
+  --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
-# The committed artifact must satisfy the same gate.
+cargo run -q -p crr-bench --bin experiments -- --check-metrics "$METRICS_TMP"
+# The committed artifacts must satisfy the same gates.
 if [ -f BENCH_discovery.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check-bench BENCH_discovery.json
+fi
+if [ -f metrics.json ]; then
+  cargo run -q -p crr-bench --bin experiments -- --check-metrics metrics.json
 fi
 
 echo "CI OK"
