@@ -2,6 +2,9 @@
 //! model sharing, split criterion, and the interval rule index (full
 //! comparison: `experiments -- ablation`).
 
+// Benches the classic single-shard path through its stable (deprecated)
+// wrapper so tracked timings stay comparable across releases.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_bench::*;
 use crr_core::{LocateStrategy, RuleIndex};

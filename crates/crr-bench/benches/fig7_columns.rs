@@ -1,6 +1,9 @@
 //! Criterion bench for Figure 7: multi-target discovery cost vs. number
 //! of target columns (full sweep: `experiments -- fig7`).
 
+// Benches the classic single-shard path through its stable (deprecated)
+// wrapper so tracked timings stay comparable across releases.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
 use crr_discovery::parallel::{discover_all, Task};

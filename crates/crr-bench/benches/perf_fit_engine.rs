@@ -7,6 +7,9 @@
 //!
 //! `cargo bench -p crr-bench --bench perf_fit_engine`
 
+// Benches the classic single-shard path through its stable (deprecated)
+// wrapper so tracked timings stay comparable across releases.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crr_bench::{crr_inputs, electricity_scenario, tax_scenario, CrrOptions, Scenario};
 use crr_data::NumericSnapshot;

@@ -8,6 +8,9 @@
 //!
 //! `cargo bench -p crr-bench --bench perf_obs_overhead`
 
+// Benches the classic single-shard path through its stable (deprecated)
+// wrapper so tracked timings stay comparable across releases.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crr_bench::{crr_inputs, electricity_scenario, CrrOptions};
 use crr_discovery::{discover, MetricsSink};

@@ -15,7 +15,8 @@ use std::fmt::Write as _;
 pub use crr_obs::json::{parse, Json};
 
 /// Schema tag stamped into the file; bump when the layout changes.
-pub const SCHEMA: &str = "crr-bench-discovery-v1";
+/// v2 added the `sharded` section and the `sharded` engine label.
+pub const SCHEMA: &str = "crr-bench-discovery-v2";
 
 /// One timed discovery run: a (dataset, size, engine) cell.
 #[derive(Debug, Clone)]
@@ -24,7 +25,8 @@ pub struct BenchRecord {
     pub dataset: String,
     /// Instance size |I| actually used.
     pub rows: usize,
-    /// Fit engine label (`moments`, `rescan`).
+    /// Fit engine label (`moments`, `rescan`), or `sharded` for the
+    /// multi-shard cell (moments engine under a key-range shard plan).
     pub engine: String,
     /// Best-of-reps wall-clock discovery time, seconds.
     pub learn_secs: f64,
@@ -51,6 +53,24 @@ pub struct SpeedupEntry {
     pub ratio: f64,
 }
 
+/// Sharded-vs-single comparison at one (dataset, size) point: the same
+/// instance discovered whole and under an N-way key-range shard plan.
+#[derive(Debug, Clone)]
+pub struct ShardedEntry {
+    /// Dataset label.
+    pub dataset: String,
+    /// Instance size.
+    pub rows: usize,
+    /// Shard count of the sharded run (≥ 2).
+    pub shards: usize,
+    /// Single-shard (whole-instance) time, seconds.
+    pub single_secs: f64,
+    /// N-shard time including the Algorithm 2 merge, seconds.
+    pub sharded_secs: f64,
+    /// `single_secs / sharded_secs` — above 1.0 means sharding is faster.
+    pub ratio: f64,
+}
+
 /// The full report the `bench` experiment emits.
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
@@ -58,6 +78,8 @@ pub struct BenchReport {
     pub records: Vec<BenchRecord>,
     /// Engine comparisons, one per (dataset, size).
     pub speedup: Vec<SpeedupEntry>,
+    /// Sharded-vs-single comparisons, one per dataset at its largest size.
+    pub sharded: Vec<ShardedEntry>,
 }
 
 /// Renders the report as pretty-printed JSON with a stable key order.
@@ -104,6 +126,26 @@ pub fn render(report: &BenchReport) -> String {
             num(s.ratio),
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"sharded\": [");
+    for (i, s) in report.sharded.iter().enumerate() {
+        let comma = if i + 1 < report.sharded.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"shards\": {}, \
+             \"single_secs\": {}, \"sharded_secs\": {}, \"ratio\": {}}}{comma}",
+            esc(&s.dataset),
+            s.rows,
+            s.shards,
+            num(s.single_secs),
+            num(s.sharded_secs),
+            num(s.ratio),
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
@@ -134,8 +176,9 @@ fn str_key<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
 ///
 /// Checks: the schema tag; a non-empty `records` array whose entries carry
 /// every required key with finite numbers and known engine labels; each
-/// dataset measured at ≥ 2 sizes with *both* engines at each size; and a
-/// non-empty `speedup` array with finite, positive ratios.
+/// dataset measured at ≥ 2 sizes with *both* fit engines at each size; a
+/// non-empty `speedup` array with finite, positive ratios; and a non-empty
+/// `sharded` array whose cells have ≥ 2 shards and positive timings.
 pub fn validate(text: &str) -> Result<String, String> {
     let doc = parse(text)?;
     let schema = str_key(&doc, "schema", "document")?;
@@ -156,7 +199,7 @@ pub fn validate(text: &str) -> Result<String, String> {
         let ctx = format!("records[{i}]");
         let dataset = str_key(r, "dataset", &ctx)?.to_string();
         let engine = str_key(r, "engine", &ctx)?.to_string();
-        if engine != "moments" && engine != "rescan" {
+        if engine != "moments" && engine != "rescan" && engine != "sharded" {
             return Err(format!("{ctx}: unknown engine '{engine}'"));
         }
         let rows = finite_num(r, "rows", &ctx)?;
@@ -214,11 +257,38 @@ pub fn validate(text: &str) -> Result<String, String> {
             return Err(format!("{ctx}: non-positive ratio {ratio}"));
         }
     }
+    let sharded = doc
+        .get("sharded")
+        .and_then(Json::as_arr)
+        .ok_or("document: 'sharded' missing or not an array")?;
+    if sharded.is_empty() {
+        return Err("'sharded' is empty".to_string());
+    }
+    for (i, s) in sharded.iter().enumerate() {
+        let ctx = format!("sharded[{i}]");
+        str_key(s, "dataset", &ctx)?;
+        finite_num(s, "rows", &ctx)?;
+        let k = finite_num(s, "shards", &ctx)?;
+        if k < 2.0 || k.fract() != 0.0 {
+            return Err(format!("{ctx}: 'shards' must be an integer >= 2 (got {k})"));
+        }
+        if finite_num(s, "single_secs", &ctx)? <= 0.0 {
+            return Err(format!("{ctx}: non-positive single_secs"));
+        }
+        if finite_num(s, "sharded_secs", &ctx)? <= 0.0 {
+            return Err(format!("{ctx}: non-positive sharded_secs"));
+        }
+        let ratio = finite_num(s, "ratio", &ctx)?;
+        if ratio <= 0.0 {
+            return Err(format!("{ctx}: non-positive ratio {ratio}"));
+        }
+    }
     Ok(format!(
-        "ok: {} records over {} dataset(s), {} speedup point(s)",
+        "ok: {} records over {} dataset(s), {} speedup point(s), {} sharded cell(s)",
         records.len(),
         datasets.len(),
-        speedup.len()
+        speedup.len(),
+        sharded.len()
     ))
 }
 
@@ -249,6 +319,14 @@ mod tests {
                     ratio: 1.5,
                 });
             }
+            report.sharded.push(ShardedEntry {
+                dataset: dataset.into(),
+                rows: 2000,
+                shards: 4,
+                single_secs: 0.4,
+                sharded_secs: 0.2,
+                ratio: 2.0,
+            });
         }
         report
     }
@@ -275,6 +353,34 @@ mod tests {
         let text = render(&sample()).replace("\"rmse\": 0.05", "\"rmsx\": 0.05");
         let err = validate(&text).expect_err("missing key must fail");
         assert!(err.contains("rmse"), "{err}");
+    }
+
+    #[test]
+    fn sharded_cells_are_required_and_checked() {
+        let mut report = sample();
+        report.sharded.clear();
+        let err = validate(&render(&report)).expect_err("empty sharded must fail");
+        assert!(err.contains("sharded"), "{err}");
+
+        let mut report = sample();
+        report.sharded[0].shards = 1;
+        let err = validate(&render(&report)).expect_err("1 shard is not a sharded cell");
+        assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn sharded_engine_records_are_accepted() {
+        let mut report = sample();
+        report.records.push(BenchRecord {
+            dataset: "electricity".into(),
+            rows: 2000,
+            engine: "sharded".into(),
+            learn_secs: 0.2,
+            rules: 12,
+            trained: 3,
+            rmse: 0.05,
+        });
+        validate(&render(&report)).expect("sharded engine label is valid");
     }
 
     #[test]

@@ -23,10 +23,13 @@
 //!
 //! `bench` times discovery with the sufficient-statistics fit engine
 //! against the row-rescan baseline on Electricity and Tax at three sizes
-//! each, and writes the result to `BENCH_discovery.json` (or the
-//! `--bench-json` path). `--check-bench` re-parses a previously written
-//! file and fails the process unless it is complete and finite — the CI
-//! gate for the tracked benchmark.
+//! each, plus a sharded cell per dataset at the largest size (1-shard
+//! baseline vs `--shards N` key-range shards, default 4, through the
+//! cross-shard model pool and the Algorithm 2 merge), and writes the
+//! result to `BENCH_discovery.json` (or the `--bench-json` path).
+//! `--check-bench` re-parses a previously written file and fails the
+//! process unless it is complete and finite — the CI gate for the tracked
+//! benchmark.
 //!
 //! Observability artifacts ride along:
 //!
@@ -38,8 +41,9 @@
 //! `--metrics-out` re-runs each bench cell once with an enabled
 //! `MetricsSink` (timed reps stay uninstrumented), adds a fault-harness
 //! cell with one injected fit failure, asserts the counter invariants
-//! in-process (moments runs never rescan, the injected-fault count matches
-//! the plan), and writes the snapshots as `metrics.json`.
+//! in-process (moments runs never rescan, cross-shard pool hits + misses
+//! reconcile with probes, the injected-fault count matches the plan), and
+//! writes the snapshots as `metrics.json`.
 //! `--check-metrics` re-validates such a file — see EXPERIMENTS.md,
 //! section "Benchmark artifact schemas", for both layouts.
 //!
@@ -50,11 +54,32 @@
 use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;
 use crr_core::LocateStrategy;
+use crr_data::{RowSet, ShardPlan, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig};
-use crr_discovery::{compact_on_data, discover, FitEngine, PredicateGen, QueueOrder};
+use crr_discovery::{
+    compact_on_data, DiscoveryConfig, DiscoveryError, DiscoverySession, FitEngine, PredicateGen,
+    PredicateSpace, QueueOrder, ShardedDiscovery,
+};
 use crr_impute::{impute_with_rules, mask_random};
 use crr_models::ModelKind;
 use std::time::Instant;
+
+/// One single-shard discovery run through the session front door — the
+/// drop-in replacement for the deprecated positional `discover` at every
+/// untimed call site. Timed sites build the session *before* starting the
+/// clock so the builder clones stay out of the measurement.
+fn run_discovery(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> Result<ShardedDiscovery, DiscoveryError> {
+    DiscoverySession::on(table)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +87,7 @@ fn main() {
     let mut budget = crr_discovery::Budget::unlimited();
     let mut bench_json_path = "BENCH_discovery.json".to_string();
     let mut metrics_out: Option<String> = None;
+    let mut shards = 4usize;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -116,6 +142,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--scale needs a number");
             }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .expect("--shards needs a count >= 2");
+            }
             "--time-budget" => {
                 let ms: u64 = it
                     .next()
@@ -165,7 +198,7 @@ fn main() {
             "table3" => table3(scale),
             "table4" => table4(scale),
             "ablation" => ablation(scale),
-            "bench" => bench(scale, &bench_json_path, metrics_out.as_deref()),
+            "bench" => bench(scale, &bench_json_path, metrics_out.as_deref(), shards),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -385,8 +418,9 @@ fn fig7(scale: f64) {
                 crr_discovery::parallel::Task { config: cfg, space }
             })
             .collect();
+        let session = DiscoverySession::on(table).rows(sc.rows());
         let start = Instant::now();
-        let results = crr_discovery::parallel::discover_all(table, &sc.rows(), &tasks, 4);
+        let results = session.run_all(&tasks, 4);
         let elapsed = start.elapsed();
         let mut rmse_sum = 0.0;
         let mut rule_sum = 0usize;
@@ -498,7 +532,7 @@ fn compaction_fixtures(scale: f64) -> Vec<CompactionFixture> {
                 ..Default::default()
             };
             let (cfg, space) = crr_inputs(&sc, &opts);
-            let search = discover(sc.table(), &rows, &cfg, &space).expect("crr");
+            let search = run_discovery(sc.table(), &rows, &cfg, &space).expect("crr");
             let (crr_compacted, _) =
                 compact_on_data(&search.rules, 1e-6, sc.rho_max, sc.table(), &rows)
                     .expect("crr compaction");
@@ -727,8 +761,12 @@ fn ablation(scale: f64) {
         };
         let (mut cfg, space) = crr_inputs(&sc, &opts);
         cfg.split = split;
+        let session = DiscoverySession::on(sc.table())
+            .rows(rows.clone())
+            .predicates(space.clone())
+            .config(cfg.clone());
         let start = Instant::now();
-        let d = discover(sc.table(), &rows, &cfg, &space).expect("discover");
+        let d = session.run().expect("discover");
         let learn = start.elapsed();
         let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
         out.push(vec![
@@ -748,7 +786,7 @@ fn ablation(scale: f64) {
         ..Default::default()
     };
     let (cfg, space) = crr_inputs(&sc, &opts);
-    let d = discover(sc.table(), &rows, &cfg, &space).expect("discover");
+    let d = run_discovery(sc.table(), &rows, &cfg, &space).expect("discover");
     for (label, rules) in [
         (
             "compact=validated",
@@ -803,9 +841,12 @@ fn ablation(scale: f64) {
 }
 
 /// Tracked benchmark: the sufficient-statistics fit engine vs. the
-/// row-rescan baseline, on Electricity and Tax at three instance sizes.
-/// Pure Algorithm 1 (no compaction), best-of-reps wall clock. Writes the
-/// machine-readable report to `path` (`--bench-json`), which
+/// row-rescan baseline, on Electricity and Tax at three instance sizes,
+/// plus a sharded cell per dataset at the largest size (1-shard vs
+/// `shards`-way key-range plan). Pure Algorithm 1 (no compaction) in the
+/// engine cells; the sharded cells include the cross-shard Algorithm 2
+/// merge, which is part of what they measure. Best-of-reps wall clock.
+/// Writes the machine-readable report to `path` (`--bench-json`), which
 /// `--check-bench` / `scripts/ci.sh` re-validate.
 ///
 /// With `metrics_out` set, each cell is re-run once with an enabled
@@ -813,7 +854,7 @@ fn ablation(scale: f64) {
 /// fault-harness cell with exactly one injected fit failure is added, and
 /// the snapshots are written as a `metrics.json` document after in-process
 /// invariant checks.
-fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
+fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
     use crr_core::LocateStrategy;
     use crr_discovery::MetricsSink;
 
@@ -848,8 +889,12 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
                 let (cfg, space) = crr_inputs(&sc, &opts);
                 let mut found = None;
                 for _ in 0..reps {
+                    let session = DiscoverySession::on(sc.table())
+                        .rows(rows.clone())
+                        .predicates(space.clone())
+                        .config(cfg.clone());
                     let start = Instant::now();
-                    let d = discover(sc.table(), &rows, &cfg, &space).expect("discovery");
+                    let d = session.run().expect("discovery");
                     secs_by_engine[ei] = secs_by_engine[ei].min(start.elapsed().as_secs_f64());
                     found = Some(d);
                 }
@@ -883,7 +928,8 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
                     // in-process asserts pin the invariants --check-metrics
                     // re-verifies from the file.
                     let cfg = cfg.clone().with_metrics(MetricsSink::enabled());
-                    let dm = discover(sc.table(), &rows, &cfg, &space).expect("metered discovery");
+                    let dm =
+                        run_discovery(sc.table(), &rows, &cfg, &space).expect("metered discovery");
                     let m = &dm.metrics;
                     assert_eq!(
                         m.count("queue", "rules_emitted"),
@@ -923,6 +969,108 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
             });
         }
     }
+
+    // Sharded cell: the largest size per dataset, key-range shards on the
+    // scenario's key attribute. The 1-shard run is the baseline (pinned
+    // byte-identical to classic discovery by the regression tests); the
+    // N-shard run exercises the frozen cross-shard pool and the Algorithm 2
+    // merge, and is the cell the acceptance gate reads.
+    for (name, make, sizes, per_attr) in cells {
+        let size = *sizes.last().expect("sizes non-empty");
+        let sc = make(scaled(size, scale), 42);
+        let rows = sc.rows();
+        let opts = CrrOptions {
+            compact: false,
+            predicates_per_attr: per_attr,
+            ..Default::default()
+        };
+        let (cfg, space) = crr_inputs(&sc, &opts);
+        let key = sc.time_attr;
+        let mut best = [f64::INFINITY; 2];
+        let mut sharded_found = None;
+        for (pi, n_shards) in [1usize, shards].into_iter().enumerate() {
+            let plan = ShardPlan::by_key_range(key, n_shards);
+            let cfg = cfg.clone().with_shard_threads(n_shards.min(4));
+            for _ in 0..reps {
+                let session = DiscoverySession::on(sc.table())
+                    .rows(rows.clone())
+                    .predicates(space.clone())
+                    .config(cfg.clone())
+                    .sharded(plan.clone());
+                let start = Instant::now();
+                let d = session.run().expect("sharded discovery");
+                best[pi] = best[pi].min(start.elapsed().as_secs_f64());
+                if pi == 1 {
+                    sharded_found = Some(d);
+                }
+            }
+        }
+        let d = sharded_found.expect("at least one sharded rep");
+        let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+        table_rows.push(vec![
+            name.to_string(),
+            rows.len().to_string(),
+            format!("sharded x{shards}"),
+            format!("{:.4}", best[1]),
+            d.rules.len().to_string(),
+            d.stats.models_trained.to_string(),
+            format!("{:.4}", rep.rmse),
+        ]);
+        report.records.push(bench_json::BenchRecord {
+            dataset: name.to_string(),
+            rows: rows.len(),
+            engine: "sharded".to_string(),
+            learn_secs: best[1],
+            rules: d.rules.len(),
+            trained: d.stats.models_trained,
+            rmse: rep.rmse,
+        });
+        report.sharded.push(bench_json::ShardedEntry {
+            dataset: name.to_string(),
+            rows: rows.len(),
+            shards,
+            single_secs: best[0],
+            sharded_secs: best[1],
+            ratio: best[0] / best[1],
+        });
+        if metrics_out.is_some() {
+            // One instrumented N-shard run, outside the timed reps: the
+            // cross-shard pool counters land in metrics.json's "shards"
+            // section, where --check-metrics re-reconciles them.
+            let mcfg = cfg
+                .clone()
+                .with_shard_threads(shards.min(4))
+                .with_metrics(MetricsSink::enabled());
+            let dm = DiscoverySession::on(sc.table())
+                .rows(rows.clone())
+                .predicates(space.clone())
+                .config(mcfg)
+                .sharded(ShardPlan::by_key_range(key, shards))
+                .run()
+                .expect("metered sharded discovery");
+            let m = &dm.metrics;
+            let probes = metrics_json::snapshot_counter(m, "shards", "cross_pool_probes");
+            let hits = metrics_json::snapshot_counter(m, "shards", "cross_pool_hits");
+            let misses = metrics_json::snapshot_counter(m, "shards", "cross_pool_misses");
+            assert_eq!(
+                hits + misses,
+                probes,
+                "{name}: cross-pool probe accounting must reconcile"
+            );
+            if scale >= 1.0 {
+                // At smoke scales the shards can be too small to retrain the
+                // shared regime, so the hit guarantee only binds full-scale.
+                assert!(hits > 0, "{name}: no cross-shard pool hits at full scale");
+            }
+            metric_runs.push(metrics_json::MetricsRun {
+                dataset: name.to_string(),
+                rows: rows.len(),
+                engine: "sharded".to_string(),
+                expected_fault_events: None,
+                snapshot: dm.metrics,
+            });
+        }
+    }
     print_table(
         "Tracked benchmark: fit engines (best of reps)",
         &[
@@ -934,6 +1082,12 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
         println!(
             "  {}@{}: moments {:.4}s vs rescan {:.4}s -> {:.2}x",
             s.dataset, s.rows, s.moments_secs, s.rescan_secs, s.ratio
+        );
+    }
+    for s in &report.sharded {
+        println!(
+            "  {}@{}: 1 shard {:.4}s vs {} shards {:.4}s -> {:.2}x",
+            s.dataset, s.rows, s.single_secs, s.shards, s.sharded_secs, s.ratio
         );
     }
     let text = bench_json::render(&report);
@@ -960,7 +1114,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>) {
         let cfg = cfg
             .with_metrics(sink.clone())
             .with_faults(std::sync::Arc::clone(&plan));
-        let err = discover(sc.table(), &rows, &cfg, &space);
+        let err = run_discovery(sc.table(), &rows, &cfg, &space);
         assert!(err.is_err(), "fault harness: injected failure must surface");
         let snapshot = sink.snapshot();
         let injected = snapshot.count("faults", "injected_failures");

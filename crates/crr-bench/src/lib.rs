@@ -26,8 +26,8 @@ use crr_core::{RuleIndex, RuleSet};
 use crr_data::{AttrId, RowSet, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, tax, Dataset, GenConfig};
 use crr_discovery::{
-    compact_on_data, discover, Budget, DiscoveryConfig, FitEngine, PredicateGen, PredicateSpace,
-    QueueOrder,
+    compact_on_data, Budget, DiscoveryConfig, DiscoverySession, FitEngine, PredicateGen,
+    PredicateSpace, QueueOrder,
 };
 use crr_models::{FitConfig, ModelKind};
 use std::sync::OnceLock;
@@ -283,8 +283,12 @@ pub fn crr_inputs(sc: &Scenario, opts: &CrrOptions) -> (DiscoveryConfig, Predica
 /// measures it.
 pub fn measure_crr(sc: &Scenario, rows: &RowSet, opts: &CrrOptions) -> (MethodResult, RuleSet) {
     let (cfg, space) = crr_inputs(sc, opts);
+    let session = DiscoverySession::on(sc.table())
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone());
     let start = Instant::now();
-    let found = discover(sc.table(), rows, &cfg, &space).expect("discovery");
+    let found = session.run().expect("discovery");
     if !found.outcome.is_complete() {
         eprintln!(
             "  [budget] {} run degraded ({}): {} partitions drained, {} rows on fallbacks",

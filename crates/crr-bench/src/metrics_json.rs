@@ -13,12 +13,13 @@ use crr_obs::{MetricValue, MetricsSnapshot};
 use std::fmt::Write as _;
 
 /// Schema tag stamped into the file; bump when the layout changes.
-pub const SCHEMA: &str = "crr-metrics-v1";
+/// v2 added the `shards` section and the `sharded` engine label.
+pub const SCHEMA: &str = "crr-metrics-v2";
 
 /// Sections every enabled-sink snapshot must carry (the sink always emits
 /// the full schema, zeros included, so file shape is run-independent).
-pub const REQUIRED_SECTIONS: [&str; 8] = [
-    "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases",
+pub const REQUIRED_SECTIONS: [&str; 9] = [
+    "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases", "shards",
 ];
 
 /// One instrumented discovery run and its frozen snapshot.
@@ -28,7 +29,8 @@ pub struct MetricsRun {
     pub dataset: String,
     /// Instance size |I|.
     pub rows: usize,
-    /// Fit engine label (`moments`, `rescan`).
+    /// Fit engine label (`moments`, `rescan`), or `sharded` for a
+    /// multi-shard run (moments engine under a key-range shard plan).
     pub engine: String,
     /// For the fault-harness run: how many injected faults the plan fired,
     /// which `metrics.faults.injected_failures` must equal. `None` for
@@ -83,10 +85,15 @@ fn uint(obj: &Json, section: &str, key: &str, ctx: &str) -> Result<u64, String> 
 /// present per run), this enforces the counter invariants the
 /// instrumentation promises:
 ///
-/// * a `moments`-engine run never rescans rows (`fits.rescans == 0`);
+/// * a `moments`-engine run never rescans rows (`fits.rescans == 0`), and
+///   so does a `sharded` run (which uses the moments engine per shard);
 /// * a `rescan`-engine run never touches the moments path
 ///   (`fits.moments_solves == 0`, `fits.declined_singular == 0`,
 ///   `moments.add_row_ops == 0`);
+/// * the cross-shard pool accounting reconciles in **every** run:
+///   `shards.cross_pool_hits + shards.cross_pool_misses ==
+///   shards.cross_pool_probes` (all three are zero when unsharded);
+/// * a `sharded` run actually ran at least two shards (`shards.run >= 2`);
 /// * `faults.injected_failures` equals `expected_fault_events` when the
 ///   run declares one, and zero otherwise;
 /// * every run popped at least one partition.
@@ -113,7 +120,7 @@ pub fn validate(text: &str) -> Result<String, String> {
             .get("engine")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("{ctx}: missing 'engine'"))?;
-        if engine != "moments" && engine != "rescan" {
+        if engine != "moments" && engine != "rescan" && engine != "sharded" {
             return Err(format!("{ctx}: unknown engine '{engine}'"));
         }
         r.get("dataset")
@@ -130,13 +137,25 @@ pub fn validate(text: &str) -> Result<String, String> {
         if uint(m, "queue", "pops", &ctx)? == 0 {
             return Err(format!("{ctx}: run popped no partitions"));
         }
+        let probes = uint(m, "shards", "cross_pool_probes", &ctx)?;
+        let hits = uint(m, "shards", "cross_pool_hits", &ctx)?;
+        let misses = uint(m, "shards", "cross_pool_misses", &ctx)?;
+        if hits + misses != probes {
+            return Err(format!(
+                "{ctx}: cross-shard pool accounting does not reconcile \
+                 ({hits} hits + {misses} misses != {probes} probes)"
+            ));
+        }
         match engine {
-            "moments" => {
+            "moments" | "sharded" => {
                 let rescans = uint(m, "fits", "rescans", &ctx)?;
                 if rescans != 0 {
                     return Err(format!(
-                        "{ctx}: moments engine recorded {rescans} row rescans"
+                        "{ctx}: {engine} engine recorded {rescans} row rescans"
                     ));
+                }
+                if engine == "sharded" && uint(m, "shards", "run", &ctx)? < 2 {
+                    return Err(format!("{ctx}: sharded run executed fewer than 2 shards"));
                 }
             }
             _ => {
@@ -229,6 +248,45 @@ mod tests {
     }
 
     #[test]
+    fn sharded_runs_validate_with_reconciled_pool_counters() {
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 7);
+        sink.add(Counter::ShardsRun, 4);
+        sink.add(Counter::CrossShardPoolProbes, 5);
+        sink.add(Counter::CrossShardPoolHits, 3);
+        sink.add(Counter::CrossShardPoolMisses, 2);
+        let runs = vec![MetricsRun {
+            dataset: "electricity".into(),
+            rows: 11520,
+            engine: "sharded".into(),
+            expected_fault_events: None,
+            snapshot: sink.snapshot(),
+        }];
+        validate(&render(&runs)).expect("valid sharded run");
+    }
+
+    #[test]
+    fn unreconciled_pool_counters_are_rejected() {
+        let mut runs = sample();
+        // A hit that no probe accounts for.
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 7);
+        sink.add(Counter::MomentsSolves, 5);
+        sink.add(Counter::CrossShardPoolHits, 1);
+        runs[0].snapshot = sink.snapshot();
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("reconcile"), "{err}");
+    }
+
+    #[test]
+    fn sharded_run_with_too_few_shards_is_rejected() {
+        let mut runs = sample();
+        runs[0].engine = "sharded".into(); // snapshot has shards.run == 0
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("fewer than 2 shards"), "{err}");
+    }
+
+    #[test]
     fn engine_inconsistency_is_rejected() {
         let mut runs = sample();
         runs[0].engine = "rescan".into(); // but the snapshot has moments_solves=5
@@ -263,7 +321,7 @@ mod tests {
     #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-metrics-v1\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v2\", \"runs\": []}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
     }
 }

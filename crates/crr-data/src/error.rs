@@ -22,6 +22,9 @@ pub enum DataError {
     /// A present numeric cell held NaN or ±Inf where a finite value was
     /// required (building a fit snapshot).
     NonFiniteCell { row: usize, attribute: String },
+    /// A shard plan that cannot be applied to any instance (zero shards,
+    /// non-positive window width, …).
+    InvalidShardPlan(String),
 }
 
 impl fmt::Display for DataError {
@@ -52,6 +55,7 @@ impl fmt::Display for DataError {
             DataError::NonFiniteCell { row, attribute } => {
                 write!(f, "non-finite value at row {row}, attribute {attribute}")
             }
+            DataError::InvalidShardPlan(msg) => write!(f, "invalid shard plan: {msg}"),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod csv;
 mod error;
 mod rowset;
 mod schema;
+mod shard;
 mod snapshot;
 mod stats;
 mod table;
@@ -44,6 +45,7 @@ pub use column::{Column, ColumnData};
 pub use error::DataError;
 pub use rowset::RowSet;
 pub use schema::{AttrId, AttrType, Attribute, Schema};
+pub use shard::{Shard, ShardBounds, ShardPlan};
 pub use snapshot::NumericSnapshot;
 pub use stats::ColumnStats;
 pub use table::Table;

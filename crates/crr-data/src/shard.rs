@@ -1,0 +1,376 @@
+//! Shard plans: partitioning an instance into disjoint row ranges by key
+//! range or time window, ahead of per-shard CRR discovery.
+//!
+//! A [`ShardPlan`] describes *how* to cut the instance; [`ShardPlan::
+//! partition`] applies it to a concrete `(table, rows)` pair and returns
+//! [`Shard`]s — disjoint [`RowSet`]s whose union is exactly the input rows.
+//! Each shard carries its [`ShardBounds`] (the half-open key interval it
+//! was cut on), which downstream layers turn into guard predicates so
+//! per-shard rules stay sound after cross-shard merging. Rows whose shard
+//! key is null cannot satisfy any interval and land in a trailing,
+//! unbounded shard of their own.
+
+use crate::{AttrId, DataError, Result, RowSet, Table};
+
+/// How to partition an instance into shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPlan {
+    /// No sharding: one shard holding every row.
+    Single,
+    /// Split the observed `[min, max]` range of a numeric attribute into
+    /// `shards` equal-width, half-open key intervals.
+    ByKeyRange {
+        /// Numeric shard-key attribute.
+        attr: AttrId,
+        /// Number of intervals (≥ 1).
+        shards: usize,
+    },
+    /// Split a numeric (time) attribute into consecutive windows of fixed
+    /// `width`, starting at the observed minimum.
+    ByTimeWindow {
+        /// Numeric time attribute.
+        attr: AttrId,
+        /// Window width in the attribute's own units (> 0, finite).
+        width: f64,
+    },
+}
+
+/// The half-open key interval `[lo, hi)` a shard was cut on. `None` on
+/// either side means unbounded (the first/last shard absorbs the extremes,
+/// so float round-off at the edges can never drop a row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardBounds {
+    /// The shard-key attribute.
+    pub attr: AttrId,
+    /// Inclusive lower bound, when bounded below.
+    pub lo: Option<f64>,
+    /// Exclusive upper bound, when bounded above.
+    pub hi: Option<f64>,
+}
+
+/// One shard of a partitioned instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Dense shard index, `0..n` after empty shards are dropped.
+    pub id: usize,
+    /// The shard's rows — disjoint across shards, union = the input rows.
+    pub rows: RowSet,
+    /// The key interval this shard was cut on; `None` for [`ShardPlan::
+    /// Single`] and for the trailing null-key shard.
+    pub bounds: Option<ShardBounds>,
+}
+
+impl ShardPlan {
+    /// The trivial one-shard plan.
+    pub fn single() -> Self {
+        ShardPlan::Single
+    }
+
+    /// Equal-width key-range plan over `attr`.
+    pub fn by_key_range(attr: AttrId, shards: usize) -> Self {
+        ShardPlan::ByKeyRange { attr, shards }
+    }
+
+    /// Fixed-width time-window plan over `attr`.
+    pub fn by_time_window(attr: AttrId, width: f64) -> Self {
+        ShardPlan::ByTimeWindow { attr, width }
+    }
+
+    /// How many shards the plan *requests* (before empty ones are dropped).
+    /// Time-window plans are data-dependent and report `None`.
+    pub fn requested_shards(&self) -> Option<usize> {
+        match self {
+            ShardPlan::Single => Some(1),
+            ShardPlan::ByKeyRange { shards, .. } => Some(*shards),
+            ShardPlan::ByTimeWindow { .. } => None,
+        }
+    }
+
+    /// Applies the plan to `rows` of `table`.
+    ///
+    /// Guarantees on success: shards are disjoint, their union is exactly
+    /// `rows`, no shard is empty, and ids are dense in emission order
+    /// (key intervals ascending, then the null-key shard if any).
+    ///
+    /// Errors: [`DataError::InvalidShardPlan`] for zero shards or a
+    /// non-positive/non-finite window width, [`DataError::NotNumeric`]
+    /// when the shard key is not a numeric attribute.
+    pub fn partition(&self, table: &Table, rows: &RowSet) -> Result<Vec<Shard>> {
+        match *self {
+            ShardPlan::Single => Ok(vec![Shard {
+                id: 0,
+                rows: rows.clone(),
+                bounds: None,
+            }]),
+            ShardPlan::ByKeyRange { attr, shards } => {
+                if shards == 0 {
+                    return Err(DataError::InvalidShardPlan(
+                        "key-range plan requests zero shards".to_string(),
+                    ));
+                }
+                let (lo, hi) = key_extent(table, attr, rows)?;
+                let cuts = match (lo, hi) {
+                    // Every key equal (or no keys at all): nothing to cut.
+                    _ if shards == 1 => Vec::new(),
+                    (Some(lo), Some(hi)) if hi > lo => {
+                        let w = (hi - lo) / shards as f64;
+                        (1..shards).map(|i| lo + w * i as f64).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                Ok(cut_into_shards(table, attr, rows, &cuts))
+            }
+            ShardPlan::ByTimeWindow { attr, width } => {
+                if !(width > 0.0 && width.is_finite()) {
+                    return Err(DataError::InvalidShardPlan(format!(
+                        "time-window width must be positive and finite, got {width}"
+                    )));
+                }
+                let (lo, hi) = key_extent(table, attr, rows)?;
+                let cuts = match (lo, hi) {
+                    (Some(lo), Some(hi)) if hi > lo => {
+                        let mut cuts = Vec::new();
+                        let mut k = 1usize;
+                        loop {
+                            let c = lo + width * k as f64;
+                            if c > hi {
+                                break;
+                            }
+                            cuts.push(c);
+                            k += 1;
+                        }
+                        cuts
+                    }
+                    _ => Vec::new(),
+                };
+                Ok(cut_into_shards(table, attr, rows, &cuts))
+            }
+        }
+    }
+}
+
+/// Min/max of the shard key over `rows`, skipping nulls; errors on a
+/// non-numeric attribute, and treats non-finite keys as nulls (they join
+/// the trailing shard rather than poisoning the interval arithmetic).
+fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>, Option<f64>)> {
+    if !table.schema().attribute(attr).ty().is_numeric() {
+        return Err(DataError::NotNumeric(
+            table.schema().attribute(attr).name().to_string(),
+        ));
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for r in rows.iter() {
+        if let Some(v) = table.value_f64(r, attr) {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if lo.is_finite() {
+        Ok((Some(lo), Some(hi)))
+    } else {
+        Ok((None, None))
+    }
+}
+
+/// Distributes rows over the half-open intervals the ascending `cuts`
+/// induce, drops empty shards, renumbers ids densely, and appends the
+/// null-key shard when any row has no usable key. The first interval is
+/// unbounded below and the last unbounded above.
+fn cut_into_shards(table: &Table, attr: AttrId, rows: &RowSet, cuts: &[f64]) -> Vec<Shard> {
+    let n = cuts.len() + 1;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut nulls: Vec<u32> = Vec::new();
+    for r in rows.iter() {
+        match table.value_f64(r, attr).filter(|v| v.is_finite()) {
+            Some(v) => {
+                // First interval whose (exclusive) upper cut lies above v.
+                let b = cuts.partition_point(|&c| c <= v);
+                buckets[b].push(r as u32);
+            }
+            None => nulls.push(r as u32),
+        }
+    }
+    let mut shards = Vec::new();
+    for (b, bucket) in buckets.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let id = shards.len();
+        shards.push(Shard {
+            id,
+            rows: RowSet::from_indices(bucket),
+            bounds: Some(ShardBounds {
+                attr,
+                lo: (b > 0).then(|| cuts[b - 1]),
+                hi: (b < cuts.len()).then(|| cuts[b]),
+            }),
+        });
+    }
+    if !nulls.is_empty() {
+        let id = shards.len();
+        shards.push(Shard {
+            id,
+            rows: RowSet::from_indices(nulls),
+            bounds: None,
+        });
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema, Value};
+
+    fn table_with_keys(keys: &[Option<f64>]) -> (Table, AttrId) {
+        let schema = Schema::new(vec![("k", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (i, k) in keys.iter().enumerate() {
+            let kv = match k {
+                Some(v) => Value::Float(*v),
+                None => Value::Null,
+            };
+            t.push_row(vec![kv, Value::Float(i as f64)]).unwrap();
+        }
+        let attr = t.attr("k").unwrap();
+        (t, attr)
+    }
+
+    fn assert_disjoint_cover(shards: &[Shard], rows: &RowSet) {
+        let mut seen: Vec<u32> = Vec::new();
+        for s in shards {
+            assert!(!s.rows.is_empty(), "empty shard {} survived", s.id);
+            seen.extend_from_slice(s.rows.as_slice());
+        }
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "shards overlap");
+        assert_eq!(seen, rows.as_slice(), "union is not the input rows");
+    }
+
+    #[test]
+    fn single_plan_is_one_shard() {
+        let (t, _) = table_with_keys(&[Some(1.0), Some(2.0)]);
+        let shards = ShardPlan::single().partition(&t, &t.all_rows()).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].id, 0);
+        assert_eq!(shards[0].rows, t.all_rows());
+        assert!(shards[0].bounds.is_none());
+    }
+
+    #[test]
+    fn key_range_splits_evenly_and_covers() {
+        let keys: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let shards = ShardPlan::by_key_range(attr, 4)
+            .partition(&t, &t.all_rows())
+            .unwrap();
+        assert_eq!(shards.len(), 4);
+        assert_disjoint_cover(&shards, &t.all_rows());
+        // Interval chain: first unbounded below, last unbounded above,
+        // inner bounds meet exactly.
+        assert!(shards[0].bounds.unwrap().lo.is_none());
+        assert!(shards[3].bounds.unwrap().hi.is_none());
+        for w in shards.windows(2) {
+            assert_eq!(w[0].bounds.unwrap().hi, w[1].bounds.unwrap().lo);
+        }
+        // Equal-width cuts over 0..99: ~25 rows per shard.
+        for s in &shards {
+            assert_eq!(s.rows.len(), 25, "shard {}: {:?}", s.id, s.bounds);
+        }
+    }
+
+    #[test]
+    fn null_keys_form_trailing_unbounded_shard() {
+        let (t, attr) = table_with_keys(&[Some(0.0), None, Some(10.0), None, Some(5.0)]);
+        let shards = ShardPlan::by_key_range(attr, 2)
+            .partition(&t, &t.all_rows())
+            .unwrap();
+        assert_disjoint_cover(&shards, &t.all_rows());
+        let last = shards.last().unwrap();
+        assert!(last.bounds.is_none());
+        assert_eq!(last.rows.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn empty_shards_are_dropped_and_ids_renumbered() {
+        // All keys in a narrow band + one far outlier: middle intervals of
+        // a 5-way cut are empty.
+        let (t, attr) = table_with_keys(&[Some(0.0), Some(0.5), Some(1.0), Some(100.0), Some(0.2)]);
+        let shards = ShardPlan::by_key_range(attr, 5)
+            .partition(&t, &t.all_rows())
+            .unwrap();
+        assert_disjoint_cover(&shards, &t.all_rows());
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.id, i, "ids must stay dense");
+        }
+        assert!(shards.len() < 5);
+    }
+
+    #[test]
+    fn constant_key_collapses_to_one_shard() {
+        let (t, attr) = table_with_keys(&[Some(7.0), Some(7.0), Some(7.0)]);
+        let shards = ShardPlan::by_key_range(attr, 4)
+            .partition(&t, &t.all_rows())
+            .unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].rows.len(), 3);
+    }
+
+    #[test]
+    fn time_window_cuts_at_fixed_width() {
+        let keys: Vec<Option<f64>> = (0..30).map(|i| Some(i as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let shards = ShardPlan::by_time_window(attr, 10.0)
+            .partition(&t, &t.all_rows())
+            .unwrap();
+        // Cuts at 10 and 20; key 29 < 30 so no fourth window.
+        assert_eq!(shards.len(), 3);
+        assert_disjoint_cover(&shards, &t.all_rows());
+        for s in &shards {
+            assert_eq!(s.rows.len(), 10);
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let (t, attr) = table_with_keys(&[Some(1.0)]);
+        assert!(matches!(
+            ShardPlan::by_key_range(attr, 0).partition(&t, &t.all_rows()),
+            Err(DataError::InvalidShardPlan(_))
+        ));
+        for width in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ShardPlan::by_time_window(attr, width).partition(&t, &t.all_rows()),
+                Err(DataError::InvalidShardPlan(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn non_numeric_key_is_rejected() {
+        let schema = Schema::new(vec![("s", AttrType::Str), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::str("a"), Value::Float(0.0)])
+            .unwrap();
+        let s = t.attr("s").unwrap();
+        assert!(matches!(
+            ShardPlan::by_key_range(s, 2).partition(&t, &t.all_rows()),
+            Err(DataError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn partition_respects_the_input_rowset() {
+        let keys: Vec<Option<f64>> = (0..20).map(|i| Some(i as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let rows = RowSet::from_indices((0..20u32).filter(|i| i % 2 == 0).collect());
+        let shards = ShardPlan::by_key_range(attr, 3)
+            .partition(&t, &rows)
+            .unwrap();
+        assert_disjoint_cover(&shards, &rows);
+    }
+}

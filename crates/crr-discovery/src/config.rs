@@ -103,8 +103,16 @@ pub struct DiscoveryConfig {
     /// Worker threads for the shared-pool scan at each pop (lines 7–10).
     /// `1` scans sequentially; higher values fan the per-model share tests
     /// out over scoped threads once the pool and partition are large enough
-    /// to amortize the spawns. Results are identical either way.
+    /// to amortize the spawns. Results are identical either way. Bounds
+    /// only the *within-run* scan — shard-level parallelism is
+    /// [`Self::shard_threads`]. Must be ≥ 1 ([`Self::validate`]).
     pub pool_scan_threads: usize,
+    /// Worker threads for shard-level parallelism in sharded discovery:
+    /// how many non-seed shards run Algorithm 1 concurrently. `1` runs
+    /// shards sequentially; results are identical either way (the
+    /// cross-shard pool is frozen before any non-seed shard starts).
+    /// Ignored by unsharded runs. Must be ≥ 1 ([`Self::validate`]).
+    pub shard_threads: usize,
     /// Structured metrics sink. The no-op default records nothing at
     /// near-zero cost; attach an enabled sink via [`Self::with_metrics`] to
     /// collect counters and phase timings, frozen into
@@ -133,6 +141,7 @@ impl DiscoveryConfig {
             faults: None,
             engine: FitEngine::Moments,
             pool_scan_threads: 1,
+            shard_threads: 1,
             metrics: MetricsSink::disabled(),
         }
     }
@@ -143,9 +152,17 @@ impl DiscoveryConfig {
         self
     }
 
-    /// Sets the shared-pool scan parallelism (1 = sequential).
+    /// Sets the shared-pool scan parallelism (1 = sequential). Zero is
+    /// rejected by [`Self::validate`] at run entry, not silently clamped.
     pub fn with_pool_scan_threads(mut self, threads: usize) -> Self {
-        self.pool_scan_threads = threads.max(1);
+        self.pool_scan_threads = threads;
+        self
+    }
+
+    /// Sets the shard-level parallelism for sharded discovery (1 =
+    /// shards run sequentially). Zero is rejected by [`Self::validate`].
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = threads;
         self
     }
 
@@ -193,6 +210,22 @@ impl DiscoveryConfig {
         self
     }
 
+    /// Checks the config for self-contradictions every entry point rejects
+    /// up front: zero scan threads or zero shard threads.
+    pub fn validate(&self) -> Result<(), crate::DiscoveryError> {
+        if self.pool_scan_threads == 0 {
+            return Err(crate::DiscoveryError::InvalidConfig(
+                "pool_scan_threads must be at least 1".to_string(),
+            ));
+        }
+        if self.shard_threads == 0 {
+            return Err(crate::DiscoveryError::InvalidConfig(
+                "shard_threads must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
     /// The effective minimum partition size (VC-dimension guard).
     pub fn effective_min_partition(&self) -> usize {
         self.min_partition
@@ -225,6 +258,25 @@ mod tests {
         assert_eq!(cfg.order, QueueOrder::Increase);
         assert!(!cfg.share_models);
         assert_eq!(cfg.effective_min_partition(), 4);
+    }
+
+    #[test]
+    fn zero_thread_counts_are_rejected() {
+        let cfg = DiscoveryConfig::new(vec![AttrId(0)], AttrId(1), 0.5);
+        assert!(cfg.validate().is_ok());
+        assert!(matches!(
+            cfg.clone().with_pool_scan_threads(0).validate(),
+            Err(crate::DiscoveryError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            cfg.clone().with_shard_threads(0).validate(),
+            Err(crate::DiscoveryError::InvalidConfig(_))
+        ));
+        assert!(cfg
+            .with_pool_scan_threads(8)
+            .with_shard_threads(4)
+            .validate()
+            .is_ok());
     }
 
     #[test]

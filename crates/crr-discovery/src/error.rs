@@ -50,6 +50,18 @@ pub enum DiscoveryError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A shard's Algorithm 1 run failed. Sharded discovery degrades the
+    /// shard to constant fallbacks and keeps going; the underlying error
+    /// is preserved here so per-shard failures stay attributable.
+    Shard {
+        /// Dense shard id within the applied [`crr_data::ShardPlan`].
+        shard_id: usize,
+        /// What went wrong inside the shard.
+        source: Box<DiscoveryError>,
+    },
+    /// The [`crate::DiscoveryConfig`] (or session) is self-contradictory
+    /// and cannot be run — e.g. zero worker threads.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for DiscoveryError {
@@ -86,6 +98,10 @@ impl fmt::Display for DiscoveryError {
             DiscoveryError::TaskPanicked { task, message } => {
                 write!(f, "discovery task {task} panicked: {message}")
             }
+            DiscoveryError::Shard { shard_id, source } => {
+                write!(f, "shard {shard_id} failed: {source}")
+            }
+            DiscoveryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -1,8 +1,12 @@
 //! CRR discovery — the paper's §V.
 //!
-//! Two phases, matching the paper's two algorithms:
+//! The front door is [`DiscoverySession`]: a builder owning the table,
+//! rows, predicate space, config, budget, metrics sink and shard plan
+//! (the positional free functions `discover`/`discover_all` remain as
+//! deprecated wrappers for one release). Two phases underneath, matching
+//! the paper's two algorithms:
 //!
-//! 1. **Searching with model sharing** ([`discover`], Algorithm 1): a
+//! 1. **Searching with model sharing** (Algorithm 1): a
 //!    top-down refinement over conjunctions, kept in a priority queue
 //!    ordered by the *sharing index* `ind(C)` — the estimated probability
 //!    that an already-trained model fits the partition. Before training
@@ -30,8 +34,14 @@
 //! partitions are covered with constant fallbacks so Problem 1's coverage
 //! guarantee survives, and the result is tagged with a
 //! [`DiscoveryOutcome`]. Panicking fits are isolated per task in
-//! [`parallel::discover_all`], and the [`faults`] module injects failures
-//! deterministically to prove every degradation path under test.
+//! [`DiscoverySession::run_all`], and the [`faults`] module injects
+//! failures deterministically to prove every degradation path under test.
+//!
+//! Large instances can be *sharded* ([`sharded`], [`crr_data::ShardPlan`]):
+//! Algorithm 1 runs per shard — concurrently, probing a frozen cross-shard
+//! model pool published by the seed shard — and per-shard rule sets are
+//! merged by Algorithm 2, with per-shard sufficient statistics combined
+//! instead of refit.
 //!
 //! Every run can be *observed*: attach a [`MetricsSink`] (from the
 //! zero-dependency `crr-obs` crate) via [`DiscoveryConfig::with_metrics`]
@@ -45,7 +55,8 @@
 //!
 //! ```
 //! use crr_datasets::{tax, GenConfig};
-//! use crr_discovery::{discover, DiscoveryConfig, PredicateGen};
+//! use crr_discovery::prelude::*;
+//! use crr_discovery::PredicateGen;
 //!
 //! let ds = tax(&GenConfig { rows: 400, seed: 1 });
 //! let target = ds.table.attr("tax").unwrap();
@@ -53,7 +64,11 @@
 //! let state = ds.table.attr("state").unwrap();
 //! let space = PredicateGen::binary(8).generate(&ds.table, &[salary, state], target, 7);
 //! let cfg = DiscoveryConfig::new(vec![salary], target, 2.0);
-//! let result = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+//! let result = DiscoverySession::on(&ds.table)
+//!     .predicates(space)
+//!     .config(cfg)
+//!     .run()
+//!     .unwrap();
 //! // Every tuple is covered (Problem 1) ...
 //! assert!(result.rules.uncovered(&ds.table, &ds.table.all_rows()).is_empty());
 //! // ... by fewer distinct shared models than rules.
@@ -64,7 +79,8 @@
 //!
 //! ```
 //! use crr_datasets::{tax, GenConfig};
-//! use crr_discovery::{discover, Budget, DiscoveryConfig, MetricsSink, PredicateGen};
+//! use crr_discovery::prelude::*;
+//! use crr_discovery::PredicateGen;
 //!
 //! let ds = tax(&GenConfig { rows: 400, seed: 1 });
 //! let target = ds.table.attr("tax").unwrap();
@@ -73,10 +89,14 @@
 //! let space = PredicateGen::binary(8).generate(&ds.table, &[salary, state], target, 7);
 //!
 //! let sink = MetricsSink::enabled();
-//! let cfg = DiscoveryConfig::new(vec![salary], target, 2.0)
-//!     .with_budget(Budget::unlimited().with_max_fits(500))
-//!     .with_metrics(sink.clone());
-//! let result = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+//! let cfg = DiscoveryConfig::new(vec![salary], target, 2.0);
+//! let result = DiscoverySession::on(&ds.table)
+//!     .predicates(space)
+//!     .config(cfg)
+//!     .budget(Budget::unlimited().with_max_fits(500))
+//!     .metrics(sink.clone())
+//!     .run()
+//!     .unwrap();
 //!
 //! // The frozen snapshot travels with the result ...
 //! let m = &result.metrics;
@@ -98,17 +118,42 @@ pub mod parallel;
 pub mod predicates;
 pub mod pruning;
 mod search;
+mod session;
+pub mod sharded;
 
 pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
 pub use config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
 pub use error::DiscoveryError;
 pub use faults::{inject_dirty_cells, FaultPlan};
+#[allow(deprecated)]
+pub use parallel::discover_all;
+pub use parallel::Task;
 pub use predicates::{PredicateGen, PredicateSpace};
-pub use search::{discover, share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
+#[allow(deprecated)]
+pub use search::discover;
+pub use search::{share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
+pub use session::DiscoverySession;
+pub use sharded::{ShardOutcome, ShardedDiscovery};
+// Shard plans live in crr-data (they cut tables, not searches); re-exported
+// so sharded sessions need only this crate.
+pub use crr_data::{Shard, ShardBounds, ShardPlan};
 // Observability surface, re-exported so callers configuring a metered run
 // need only this crate.
 pub use crr_obs::{MetricsSink, MetricsSnapshot};
+
+/// The session-first import surface: everything a typical discovery run
+/// touches, one `use crr_discovery::prelude::*;` away.
+pub mod prelude {
+    pub use crate::budget::{Budget, CancelToken, DiscoveryOutcome};
+    pub use crate::config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
+    pub use crate::error::DiscoveryError;
+    pub use crate::faults::FaultPlan;
+    pub use crate::session::DiscoverySession;
+    pub use crate::sharded::{ShardOutcome, ShardedDiscovery};
+    pub use crr_data::ShardPlan;
+    pub use crr_obs::{MetricsSink, MetricsSnapshot};
+}
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, DiscoveryError>;

@@ -8,7 +8,8 @@
 //! [`DiscoveryError::TaskPanicked`] while every other target completes
 //! normally.
 
-use crate::{discover, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result};
+use crate::search::run_search;
+use crate::{Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result};
 use crr_data::{RowSet, Table};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -23,7 +24,20 @@ pub struct Task {
 
 /// Runs every task over the same `rows` of `table`, in parallel with up to
 /// `threads` workers (1 = sequential). Results come back in task order.
+#[deprecated(note = "use DiscoverySession")]
 pub fn discover_all(
+    table: &Table,
+    rows: &RowSet,
+    tasks: &[Task],
+    threads: usize,
+) -> Vec<Result<Discovery>> {
+    discover_all_inner(table, rows, tasks, threads)
+}
+
+/// [`discover_all`]'s body, shared with the session front door
+/// ([`crate::DiscoverySession`]) so the deprecated wrapper stays a pure
+/// rename.
+pub(crate) fn discover_all_inner(
     table: &Table,
     rows: &RowSet,
     tasks: &[Task],
@@ -79,7 +93,7 @@ pub fn discover_all(
 /// resuming after the unwind is sound.
 fn run_isolated(table: &Table, rows: &RowSet, task: &Task, index: usize) -> Result<Discovery> {
     catch_unwind(AssertUnwindSafe(|| {
-        discover(table, rows, &task.config, &task.space)
+        run_search(table, rows, &task.config, &task.space, None).map(|r| r.discovery)
     }))
     .unwrap_or_else(|payload| {
         task.config.metrics.incr(crr_obs::Counter::TaskPanics);
@@ -175,6 +189,8 @@ fn split_slots<T>(v: &mut [Option<T>]) -> Slots<T> {
 
 #[cfg(test)]
 mod tests {
+    // Tests pin the deprecated wrapper's behavior for its final release.
+    #![allow(deprecated)]
     use super::*;
     use crate::PredicateGen;
     use crr_core::LocateStrategy;

@@ -84,6 +84,9 @@ pub struct DiscoveryStats {
     /// Rows covered by drained-partition fallback rules rather than
     /// refined ones.
     pub drained_rows: usize,
+    /// Partitions satisfied by a model adopted from the frozen cross-shard
+    /// pool (zero on unsharded runs and on the seed shard).
+    pub cross_shard_shares: usize,
     /// Wall-clock time of the run.
     pub learning_time: Duration,
 }
@@ -164,16 +167,55 @@ fn priority_for(order: QueueOrder, ind: f64, seq: u64) -> f64 {
     }
 }
 
+/// A frozen, read-only model pool published by earlier shards. Entries are
+/// keyed `(shard_id, seq)` — the shard that trained the model and its
+/// publication sequence within that shard — and held in ascending key
+/// order. A shard consults it sequentially after a complete local-pool
+/// miss, first match wins, so cross-shard sharing is a pure function of
+/// the frozen contents: byte-identical however many shards run
+/// concurrently.
+pub(crate) struct CrossShardPool {
+    /// `(shard_id, seq, model)` in publication order.
+    pub models: Vec<(usize, u64, Arc<Model>)>,
+}
+
+/// What one Algorithm 1 run hands back to the sharded runner beyond the
+/// public [`Discovery`]: the models this run *trained* (pool pushes, in
+/// publication order — adopted cross-shard models are excluded) and the
+/// root partition's sufficient statistics, so shard statistics can be
+/// merged instead of refit.
+pub(crate) struct SearchRun {
+    pub discovery: Discovery,
+    pub published: Vec<Arc<Model>>,
+    pub root_moments: Option<Moments>,
+}
+
 /// Runs Algorithm 1 over `rows` of `table`.
 ///
 /// Returns a rule set covering every row whose condition attributes are
 /// present (Problem 1's coverage requirement), plus run statistics.
+#[deprecated(note = "use DiscoverySession")]
 pub fn discover(
     table: &Table,
     rows: &RowSet,
     cfg: &DiscoveryConfig,
     space: &PredicateSpace,
 ) -> Result<Discovery> {
+    run_search(table, rows, cfg, space, None).map(|r| r.discovery)
+}
+
+/// Algorithm 1 proper, shared by [`discover`], the session front door, and
+/// the sharded runner. `cross` attaches a frozen cross-shard pool probed
+/// after local-pool misses; `None` reproduces single-table discovery
+/// exactly.
+pub(crate) fn run_search(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+    cross: Option<&CrossShardPool>,
+) -> Result<SearchRun> {
+    cfg.validate()?;
     // Reflexivity (Proposition 1): refuse trivial targets.
     if cfg.inputs.contains(&cfg.target) {
         return Err(DiscoveryError::TrivialTarget);
@@ -201,6 +243,10 @@ pub fn discover(
     let mut rules = RuleSet::new();
     // Line 2: the shared model pool ℱ, most-recently-shared first.
     let mut pool: Vec<Arc<Model>> = Vec::new();
+    // Models this run trains, in publication order — the shard runner
+    // freezes the seed shard's list into the cross-shard pool. Adopted
+    // cross-shard models are deliberately absent (already frozen).
+    let mut published: Vec<Arc<Model>> = Vec::new();
     let min_partition = cfg.effective_min_partition();
 
     // One pass over the table: columnar numeric buffers + readiness mask.
@@ -236,6 +282,9 @@ pub fn discover(
     } else {
         None
     };
+    // Kept for the caller: sharded discovery merges per-shard root
+    // statistics (O(d²)) instead of re-accumulating the whole instance.
+    let root_moments_out = root_moments.clone();
     mx.record(Phase::SnapshotBuild, t_snap);
     mx.set_gauge(Gauge::FitRows, root_fit.len() as u64);
     mx.set_gauge(Gauge::InputDims, cfg.inputs.len() as u64);
@@ -418,6 +467,62 @@ pub fn discover(
             });
         }
         let ind = best_within as f64 / fit.len() as f64;
+
+        // Cross-shard sharing: only after a *complete* local-pool miss is
+        // the frozen pool consulted, sequentially in (shard_id, seq)
+        // publication order with first match winning — deterministic
+        // regardless of shard scheduling because the pool never changes.
+        // Cross probes do not feed ind(C): the sharing index stays a
+        // property of this shard's own pool, as in the unsharded run.
+        let mut cross_hit: Option<(Arc<Model>, f64, f64)> = None; // (model, rho, delta)
+        if cfg.share_models && shared.is_none() {
+            if let Some(cp) = cross.filter(|c| !c.models.is_empty()) {
+                mx.incr(Ctr::CrossShardPoolProbes);
+                let t_scan = mx.span();
+                for (_, _, f) in &cp.models {
+                    let p = share_probe(
+                        f.as_ref(),
+                        &snap,
+                        &fit,
+                        cfg.rho_max,
+                        &mut resid,
+                        ScanMode::AbortOnMiss,
+                    );
+                    if p.max_dev <= cfg.rho_max {
+                        cross_hit = Some((Arc::clone(f), p.max_dev, p.delta0));
+                        break;
+                    }
+                }
+                mx.record(Phase::PoolScan, t_scan);
+                mx.incr(if cross_hit.is_some() {
+                    Ctr::CrossShardPoolHits
+                } else {
+                    Ctr::CrossShardPoolMisses
+                });
+            }
+        }
+        if let Some((f, rho, delta)) = cross_hit {
+            // Adopt the frozen model into the local pool front so this
+            // shard's subsequent scans can hit it as a plain local model.
+            pool.insert(0, Arc::clone(&f));
+            let mut conj = conj;
+            if delta.abs() > 1e-12 {
+                conj.compose_builtin(
+                    &Translation::output_shift(cfg.inputs.len(), delta),
+                    cfg.inputs.len(),
+                );
+            }
+            rules.push(Crr::new(
+                cfg.inputs.clone(),
+                cfg.target,
+                f,
+                rho,
+                Dnf::single(conj),
+            )?);
+            stats.cross_shard_shares += 1;
+            mx.incr(Ctr::RulesEmitted);
+            continue;
+        }
         if let Some((idx, rho, delta)) = shared {
             // Move-to-front: pool hits cluster (a regime's model fits its
             // siblings), so the next scan should try this model first.
@@ -495,6 +600,7 @@ pub fn discover(
             mx.incr(Ctr::RulesEmitted);
             let f = Arc::new(model);
             pool.push(Arc::clone(&f)); // line 17
+            published.push(Arc::clone(&f));
             rules.push(Crr::new(
                 cfg.inputs.clone(),
                 cfg.target,
@@ -555,6 +661,7 @@ pub fn discover(
                 // coverage (the §V-A2 edge case).
                 let f = Arc::new(model);
                 pool.push(Arc::clone(&f));
+                published.push(Arc::clone(&f));
                 rules.push(Crr::new(
                     cfg.inputs.clone(),
                     cfg.target,
@@ -572,11 +679,15 @@ pub fn discover(
     stats.learning_time = start.elapsed();
     mx.set_gauge(Gauge::PoolModels, pool.len() as u64);
     mx.record(Phase::Total, t_total);
-    Ok(Discovery {
-        rules,
-        stats,
-        outcome,
-        metrics: cfg.metrics.snapshot(),
+    Ok(SearchRun {
+        discovery: Discovery {
+            rules,
+            stats,
+            outcome,
+            metrics: cfg.metrics.snapshot(),
+        },
+        published,
+        root_moments: root_moments_out,
     })
 }
 
@@ -842,7 +953,11 @@ pub fn share_fit_snapshot(
 /// `None` when no row has one. The midrange constant's worst absolute
 /// error on the partition is exactly the half-range, so drained rules
 /// report an honest `ρ`.
-fn partition_midrange(table: &Table, target: AttrId, rows: &RowSet) -> Option<(f64, f64)> {
+pub(crate) fn partition_midrange(
+    table: &Table,
+    target: AttrId,
+    rows: &RowSet,
+) -> Option<(f64, f64)> {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for r in rows.iter() {
@@ -858,7 +973,7 @@ fn partition_midrange(table: &Table, target: AttrId, rows: &RowSet) -> Option<(f
 
 /// Midrange of the target over the whole instance — the last-resort
 /// constant for partitions with no complete rows.
-fn global_midrange(table: &Table, cfg: &DiscoveryConfig, rows: &RowSet) -> f64 {
+pub(crate) fn global_midrange(table: &Table, cfg: &DiscoveryConfig, rows: &RowSet) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for r in rows.iter() {
@@ -966,6 +1081,11 @@ fn choose_split(
 
 #[cfg(test)]
 mod tests {
+    // Unit tests intentionally exercise the deprecated `discover` wrapper:
+    // they double as the pin that the wrapper stays equivalent to the
+    // session path for the deprecation release.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{Budget, CancelToken, FaultPlan, PredicateGen};
     use crr_core::LocateStrategy;

@@ -1,0 +1,401 @@
+//! Sharded discovery: Algorithm 1 per shard with a frozen cross-shard
+//! model pool, then Algorithm 2 as the cross-shard merge.
+//!
+//! The instance is cut by a [`ShardPlan`] (key range or time window —
+//! `crr-data`). Shard 0 — the *seed* — runs plain Algorithm 1 first; the
+//! models it trains, in publication order keyed `(shard_id, seq)`, freeze
+//! into a read-only cross-shard pool. The remaining shards then run
+//! concurrently (up to [`crate::DiscoveryConfig::shard_threads`] at a
+//! time), each probing that frozen pool sequentially after a complete
+//! local-pool miss with the first match winning. Because the pool never
+//! changes while they run and each shard is a pure function of its own
+//! rows, the result is byte-identical whatever the thread schedule — the
+//! same first-match determinism contract the within-run parallel pool
+//! scan gives.
+//!
+//! Per-shard rule sets are made sound outside their shard by guarding
+//! every conjunction with the shard's key interval, concatenated in shard
+//! order, and handed to Algorithm 2 ([`crate::compact_on_data`]): the
+//! translation-detection and Generalization+Fusion pass is exactly the
+//! cross-shard merge — rules from different shards that share a model (or
+//! differ by an output shift) fuse into one DNF rule. Per-shard root
+//! [`Moments`] are merged (O(d²) each) rather than refit.
+//!
+//! Failure semantics follow PR 1: a shard whose run errors or panics is
+//! drained to constant fallback rules over its rows, the error is kept as
+//! [`DiscoveryError::Shard`] in that shard's [`ShardOutcome`], and every
+//! sibling shard is unaffected.
+
+use crate::search::{global_midrange, partition_midrange, run_search, CrossShardPool, SearchRun};
+use crate::{
+    CompactionStats, Discovery, DiscoveryConfig, DiscoveryError, DiscoveryOutcome, DiscoveryStats,
+    PredicateSpace, Result,
+};
+use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
+use crr_data::{RowSet, Shard, ShardBounds, ShardPlan, Table, Value};
+use crr_models::{ConstantModel, Model, Moments};
+use crr_obs::{Counter as Ctr, Gauge, MetricsSnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What happened inside one shard of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Dense shard id from the applied plan (seed shard is 0).
+    pub shard_id: usize,
+    /// The shard's rows.
+    pub rows: RowSet,
+    /// The key interval the shard was cut on (`None` for the single-shard
+    /// plan and the trailing null-key shard).
+    pub bounds: Option<ShardBounds>,
+    /// Rules the shard contributed to the pre-merge concatenation.
+    pub rules: usize,
+    /// The shard's Algorithm 1 counters (fallback accounting when the
+    /// shard failed).
+    pub stats: DiscoveryStats,
+    /// How the shard's own run stopped.
+    pub outcome: DiscoveryOutcome,
+    /// Present iff the shard failed and was drained to constant
+    /// fallbacks; always the [`DiscoveryError::Shard`] variant.
+    pub error: Option<DiscoveryError>,
+}
+
+/// The outcome of a sharded discovery run.
+#[derive(Debug, Clone)]
+pub struct ShardedDiscovery {
+    /// The merged rule set (Algorithm 2 output across shards), guarded so
+    /// each rule is sound on the whole instance.
+    pub rules: RuleSet,
+    /// Per-shard counters summed, `learning_time` = wall clock of the
+    /// whole sharded run.
+    pub stats: DiscoveryStats,
+    /// [`DiscoveryOutcome::Complete`] when every shard completed;
+    /// otherwise the first non-complete shard's outcome in shard order.
+    pub outcome: DiscoveryOutcome,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// Algorithm 2 statistics of the cross-shard merge; `None` on the
+    /// single-shard fast path (nothing to merge).
+    pub merge: Option<CompactionStats>,
+    /// Whole-instance sufficient statistics, merged from per-shard root
+    /// moments (never refit). `None` when any shard failed, or under the
+    /// rescan engine / families without sufficient statistics.
+    pub global_moments: Option<Moments>,
+    /// Frozen metrics of the run (cumulative for a shared sink).
+    pub metrics: MetricsSnapshot,
+}
+
+/// One shard's raw result before merging.
+enum ShardRun {
+    Ok(SearchRun),
+    Failed(DiscoveryError),
+}
+
+/// Runs sharded discovery over `rows` of `table` under `plan`.
+///
+/// With a plan that yields one shard this is byte-identical to plain
+/// [`crate::discover`] (no guards, no merge) and errors propagate
+/// directly. With more shards, per-shard failures degrade to constant
+/// fallbacks and never abort siblings; only instance-level problems
+/// (trivial target, empty instance, an invalid plan or config) error out.
+pub(crate) fn discover_sharded(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+    plan: &ShardPlan,
+) -> Result<ShardedDiscovery> {
+    cfg.validate()?;
+    // Instance-level preconditions, identical to `discover`'s preamble:
+    // these hold or fail for every shard alike, so they are checked once
+    // up front instead of degrading all shards to fallbacks.
+    if cfg.inputs.contains(&cfg.target) {
+        return Err(DiscoveryError::TrivialTarget);
+    }
+    if !table.schema().attribute(cfg.target).ty().is_numeric() {
+        return Err(DiscoveryError::NonNumericTarget(
+            table.schema().attribute(cfg.target).name().to_string(),
+        ));
+    }
+    if space.mentions(cfg.target) {
+        return Err(DiscoveryError::PredicateOnTarget);
+    }
+    if rows.is_empty() {
+        return Err(DiscoveryError::EmptyInstance);
+    }
+
+    let start = Instant::now();
+    let mx = &cfg.metrics;
+    let shards = plan.partition(table, rows)?;
+    mx.set_gauge(Gauge::ShardsPlanned, shards.len() as u64);
+
+    if shards.len() == 1 {
+        // Fast path: one shard is plain Algorithm 1 — no guards, no
+        // merge, errors propagate. This is the byte-identity contract the
+        // regression tests pin against `discover`.
+        let run = run_search(table, &shards[0].rows, cfg, space, None)?;
+        mx.incr(Ctr::ShardsRun);
+        let SearchRun {
+            discovery,
+            root_moments,
+            ..
+        } = run;
+        let Discovery {
+            rules,
+            stats,
+            outcome,
+            ..
+        } = discovery;
+        let shard_outcome = ShardOutcome {
+            shard_id: 0,
+            rows: shards[0].rows.clone(),
+            bounds: shards[0].bounds,
+            rules: rules.len(),
+            stats: stats.clone(),
+            outcome,
+            error: None,
+        };
+        return Ok(ShardedDiscovery {
+            rules,
+            stats,
+            outcome,
+            shards: vec![shard_outcome],
+            merge: None,
+            global_moments: root_moments,
+            metrics: mx.snapshot(),
+        });
+    }
+
+    // Seed phase: shard 0 runs alone with no cross pool. Its published
+    // models freeze into the pool every later shard probes.
+    let seed_run = run_shard_isolated(table, &shards[0], cfg, space, None);
+    let frozen = CrossShardPool {
+        models: match &seed_run {
+            ShardRun::Ok(r) => r
+                .published
+                .iter()
+                .enumerate()
+                .map(|(seq, m)| (0usize, seq as u64, Arc::clone(m)))
+                .collect(),
+            ShardRun::Failed(_) => Vec::new(),
+        },
+    };
+
+    // Parallel phase: shards 1.. claim work over a shared index, bounded
+    // by `shard_threads`. Each is a pure function of (its rows, cfg,
+    // space, frozen pool), so the schedule cannot change any result.
+    let rest = &shards[1..];
+    let mut runs: Vec<Option<ShardRun>> = Vec::with_capacity(rest.len());
+    if cfg.shard_threads <= 1 || rest.len() <= 1 {
+        for shard in rest {
+            runs.push(Some(run_shard_isolated(
+                table,
+                shard,
+                cfg,
+                space,
+                Some(&frozen),
+            )));
+        }
+    } else {
+        let slots: Vec<Mutex<Option<ShardRun>>> = rest.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (next, slots, frozen) = (&next, &slots, &frozen);
+            for _ in 0..cfg.shard_threads.min(rest.len()) {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= rest.len() {
+                        break;
+                    }
+                    let out = run_shard_isolated(table, &rest[i], cfg, space, Some(frozen));
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+        runs.extend(
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner())),
+        );
+    }
+
+    // Merge phase (sequential, shard order). Guard each shard's rules
+    // with its key interval so they stay sound instance-wide, then let
+    // Algorithm 2 do the cross-shard work: translation detection and
+    // Generalization+Fusion over rules from *different* shards.
+    let mut all_rules = RuleSet::new();
+    let mut total = DiscoveryStats::default();
+    let mut outcome = DiscoveryOutcome::Complete;
+    let mut shard_outcomes = Vec::with_capacity(shards.len());
+    let mut global_moments: Option<Moments> = None;
+    let mut moments_ok = true;
+    for (shard, run) in shards
+        .iter()
+        .zip(std::iter::once(seed_run).chain(runs.into_iter().flatten()))
+    {
+        mx.incr(Ctr::ShardsRun);
+        let (mut rules, stats, shard_outcome, error, root_moments) = match run {
+            ShardRun::Ok(r) => (
+                r.discovery.rules,
+                r.discovery.stats,
+                r.discovery.outcome,
+                None,
+                r.root_moments,
+            ),
+            ShardRun::Failed(e) => {
+                mx.incr(Ctr::ShardsFailed);
+                let wrapped = DiscoveryError::Shard {
+                    shard_id: shard.id,
+                    source: Box::new(e),
+                };
+                let (fallback, stats) = drain_shard(table, shard, cfg, mx)?;
+                (
+                    fallback,
+                    stats,
+                    DiscoveryOutcome::Complete,
+                    Some(wrapped),
+                    None,
+                )
+            }
+        };
+        if let Some(b) = &shard.bounds {
+            guard_rules(&mut rules, b);
+        }
+        match (&mut global_moments, root_moments) {
+            (_, None) => moments_ok = false,
+            (Some(acc), Some(m)) => {
+                acc.merge(&m);
+                mx.incr(Ctr::MomentsMergeOps);
+            }
+            (acc @ None, Some(m)) => *acc = Some(m),
+        }
+        sum_stats(&mut total, &stats);
+        if outcome.is_complete() && !shard_outcome.is_complete() {
+            outcome = shard_outcome;
+        }
+        shard_outcomes.push(ShardOutcome {
+            shard_id: shard.id,
+            rows: shard.rows.clone(),
+            bounds: shard.bounds,
+            rules: rules.len(),
+            stats,
+            outcome: shard_outcome,
+            error,
+        });
+        for r in rules.rules() {
+            all_rules.push(r.clone());
+        }
+    }
+    if !moments_ok {
+        global_moments = None;
+    }
+
+    let (merged, merge_stats) = crate::compact_on_data(&all_rules, 1e-6, cfg.rho_max, table, rows)?;
+    mx.add(Ctr::MergeTranslations, merge_stats.translations as u64);
+    mx.add(Ctr::MergeFusions, merge_stats.fusions as u64);
+    total.learning_time = start.elapsed();
+
+    Ok(ShardedDiscovery {
+        rules: merged,
+        stats: total,
+        outcome,
+        shards: shard_outcomes,
+        merge: Some(merge_stats),
+        global_moments,
+        metrics: mx.snapshot(),
+    })
+}
+
+/// Runs one shard with panic isolation: an unwind anywhere inside the
+/// search becomes that shard's [`DiscoveryError::TaskPanicked`] (keyed by
+/// shard id), leaving siblings untouched.
+fn run_shard_isolated(
+    table: &Table,
+    shard: &Shard,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+    cross: Option<&CrossShardPool>,
+) -> ShardRun {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_search(table, &shard.rows, cfg, space, cross)
+    }))
+    .unwrap_or_else(|payload| {
+        cfg.metrics.incr(Ctr::TaskPanics);
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(DiscoveryError::TaskPanicked {
+            task: shard.id,
+            message,
+        })
+    })
+    .map_or_else(ShardRun::Failed, ShardRun::Ok)
+}
+
+/// PR 1 degradation for a failed shard: cover its rows with the honest
+/// midrange constant (half-range `ρ`), falling back to the instance
+/// midrange when the shard has no finite target at all.
+fn drain_shard(
+    table: &Table,
+    shard: &Shard,
+    cfg: &DiscoveryConfig,
+    mx: &crr_obs::MetricsSink,
+) -> Result<(RuleSet, DiscoveryStats)> {
+    let (c, rho) = partition_midrange(table, cfg.target, &shard.rows)
+        .unwrap_or_else(|| (global_midrange(table, cfg, &shard.rows), cfg.rho_max));
+    let model = Arc::new(Model::Constant(ConstantModel::new(c, cfg.inputs.len())));
+    let mut rules = RuleSet::new();
+    rules.push(Crr::new(
+        cfg.inputs.clone(),
+        cfg.target,
+        model,
+        rho,
+        Dnf::single(Conjunction::top()),
+    )?);
+    mx.incr(Ctr::DrainedPartitions);
+    mx.add(Ctr::DrainedRows, shard.rows.len() as u64);
+    mx.incr(Ctr::RulesEmitted);
+    let stats = DiscoveryStats {
+        drained_partitions: 1,
+        drained_rows: shard.rows.len(),
+        ..DiscoveryStats::default()
+    };
+    Ok((rules, stats))
+}
+
+/// Conjoins the shard's key interval onto every conjunct of every rule,
+/// making per-shard rules sound on the whole instance: `lo ≤ key` when
+/// bounded below, `key < hi` when bounded above (matching the partition's
+/// half-open buckets; the extreme shards stay open-ended).
+fn guard_rules(rules: &mut RuleSet, b: &ShardBounds) {
+    let lo = b.lo.map(|v| Predicate::ge(b.attr, Value::Float(v)));
+    let hi = b.hi.map(|v| Predicate::lt(b.attr, Value::Float(v)));
+    for rule in rules.rules_mut() {
+        let dnf = rule.condition_mut();
+        for conj in dnf.conjuncts_mut() {
+            if let Some(p) = &lo {
+                *conj = conj.and(p.clone());
+            }
+            if let Some(p) = &hi {
+                *conj = conj.and(p.clone());
+            }
+        }
+    }
+}
+
+/// Accumulates one shard's counters into the run total (time is set once
+/// at the end from the sharded run's own clock).
+fn sum_stats(total: &mut DiscoveryStats, s: &DiscoveryStats) {
+    total.models_trained += s.models_trained;
+    total.models_shared += s.models_shared;
+    total.partitions_explored += s.partitions_explored;
+    total.forced_accepts += s.forced_accepts;
+    total.uncoverable_rows += s.uncoverable_rows;
+    total.drained_partitions += s.drained_partitions;
+    total.drained_rows += s.drained_rows;
+    total.cross_shard_shares += s.cross_shard_shares;
+}

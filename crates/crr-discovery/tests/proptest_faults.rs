@@ -4,6 +4,10 @@
 //! a typed [`DiscoveryError`]; the same holds with a budget attached, and
 //! a success still covers every coverable row.
 
+// The deprecated positional `discover`/`discover_all` wrappers are the
+// subject under test here (they must keep working for one release);
+// session equivalence is pinned in tests/sharded_equivalence.rs.
+#![allow(deprecated)]
 use crr_data::{AttrType, Schema, Table, Value};
 use crr_discovery::{
     discover, inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, MetricsSink,

@@ -1,0 +1,303 @@
+//! Regression guards for sharded discovery and the `DiscoverySession`
+//! front door:
+//!
+//! * one shard is **byte-identical** to the classic `discover` — serialized
+//!   rules, stats, outcome — on the paper's electricity and tax workloads
+//!   (the ISSUE 4 acceptance pin);
+//! * a multi-shard run is deterministic across repeats and across shard
+//!   thread counts (the frozen cross-shard pool makes each shard a pure
+//!   function of its rows);
+//! * the Algorithm 2 merge never grows the rule set past the per-shard sum
+//!   and preserves coverage;
+//! * cross-shard sharing actually engages (hits, adopted translations) and
+//!   its counters reconcile (`hits + misses == probes`);
+//! * a failed shard degrades to constant fallbacks without touching its
+//!   siblings, and the error stays attributable via `Error::Shard`.
+
+#![allow(deprecated)] // `discover` is the byte-identity baseline under test
+
+use crr_core::serialize;
+use crr_data::{AttrType, Schema, Table, Value};
+use crr_datasets::{electricity, tax, GenConfig};
+use crr_discovery::prelude::*;
+use crr_discovery::{discover, Discovery, PredicateGen, PredicateSpace};
+
+/// Everything observable about a sharded run except wall-clock time.
+fn sharded_fingerprint(d: &ShardedDiscovery) -> String {
+    let s = &d.stats;
+    format!(
+        "{}\ntrained={} shared={} cross={} explored={} forced={} uncoverable={} drained={}+{} \
+         outcome={:?} shards={:?}",
+        serialize::to_text(&d.rules),
+        s.models_trained,
+        s.models_shared,
+        s.cross_shard_shares,
+        s.partitions_explored,
+        s.forced_accepts,
+        s.uncoverable_rows,
+        s.drained_partitions,
+        s.drained_rows,
+        d.outcome,
+        d.shards.iter().map(|sh| sh.rules).collect::<Vec<_>>(),
+    )
+}
+
+/// The classic run rendered the same way a one-shard sharded run is.
+fn classic_fingerprint(d: &Discovery) -> String {
+    let s = &d.stats;
+    format!(
+        "{}\ntrained={} shared={} cross={} explored={} forced={} uncoverable={} drained={}+{} \
+         outcome={:?} shards={:?}",
+        serialize::to_text(&d.rules),
+        s.models_trained,
+        s.models_shared,
+        s.cross_shard_shares,
+        s.partitions_explored,
+        s.forced_accepts,
+        s.uncoverable_rows,
+        s.drained_partitions,
+        s.drained_rows,
+        d.outcome,
+        vec![d.rules.len()],
+    )
+}
+
+fn electricity_setup(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let ds = electricity(&GenConfig { rows, seed: 42 });
+    let t = ds.table;
+    let minute = t.attr("minute").unwrap();
+    let target = t.attr("global_active_power").unwrap();
+    let space = PredicateGen::binary(64).generate(&t, &[minute], target, 0);
+    let cfg = DiscoveryConfig::new(vec![minute], target, 0.25);
+    (t, cfg, space)
+}
+
+fn tax_setup(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let ds = tax(&GenConfig { rows, seed: 7 });
+    let t = ds.table;
+    let salary = t.attr("salary").unwrap();
+    let state = t.attr("state").unwrap();
+    let target = t.attr("tax").unwrap();
+    let space = PredicateGen::binary(8).generate(&t, &[salary, state], target, 7);
+    let cfg = DiscoveryConfig::new(vec![salary], target, 2.0);
+    (t, cfg, space)
+}
+
+/// Two linear regimes over an integer key: `y = x` below 100, `y = x − 50`
+/// above. Key-range shards of this table share one model across shards
+/// (regime 2 is a pure output shift of regime 1), so cross-shard pool hits
+/// and merge fusions are guaranteed, and all sums stay exact in f64.
+fn two_regime_table(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        let x = i as f64;
+        let y = if x < 100.0 { x } else { x - 50.0 };
+        t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+    }
+    let x = t.attr("x").unwrap();
+    let y = t.attr("y").unwrap();
+    let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+    let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+    (t, cfg, space)
+}
+
+fn key_of(t: &Table, name: &str) -> crr_data::AttrId {
+    t.attr(name).unwrap()
+}
+
+#[test]
+fn one_shard_is_byte_identical_to_discover_on_electricity() {
+    let (t, cfg, space) = electricity_setup(11520);
+    let classic = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    for plan in [
+        ShardPlan::Single,
+        ShardPlan::by_key_range(key_of(&t, "minute"), 1),
+    ] {
+        let sharded = DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone())
+            .sharded(plan.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            classic_fingerprint(&classic),
+            sharded_fingerprint(&sharded),
+            "{plan:?}"
+        );
+        assert!(sharded.merge.is_none(), "one shard must skip the merge");
+    }
+}
+
+#[test]
+fn one_shard_is_byte_identical_to_discover_on_tax() {
+    let (t, cfg, space) = tax_setup(10000);
+    let classic = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let sharded = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(key_of(&t, "salary"), 1))
+        .run()
+        .unwrap();
+    assert_eq!(classic_fingerprint(&classic), sharded_fingerprint(&sharded));
+}
+
+#[test]
+fn multi_shard_runs_are_deterministic_across_thread_counts() {
+    let (t, cfg, space) = electricity_setup(4000);
+    let plan = ShardPlan::by_key_range(key_of(&t, "minute"), 4);
+    let run = |threads: usize| {
+        DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone().with_shard_threads(threads))
+            .sharded(plan.clone())
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    let c = run(4);
+    assert_eq!(sharded_fingerprint(&a), sharded_fingerprint(&b));
+    assert_eq!(sharded_fingerprint(&b), sharded_fingerprint(&c));
+    assert_eq!(a.shards.len(), 4);
+}
+
+#[test]
+fn cross_shard_pool_shares_models_and_merge_compacts() {
+    let (t, cfg, space) = two_regime_table(200);
+    let sink = MetricsSink::enabled();
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg.with_shard_threads(2))
+        .metrics(sink.clone())
+        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .run()
+        .unwrap();
+    // Shard 1 (x ∈ [50,100)) obeys the seed shard's y = x model exactly,
+    // and shard 2's regime is its pure −50 output shift: both must come
+    // from the frozen pool, not fresh training.
+    assert!(
+        out.stats.cross_shard_shares > 0,
+        "cross-shard sharing never engaged"
+    );
+    let m = sink.snapshot();
+    let probes = m.count("shards", "cross_pool_probes").unwrap();
+    let hits = m.count("shards", "cross_pool_hits").unwrap();
+    let misses = m.count("shards", "cross_pool_misses").unwrap();
+    assert!(hits > 0, "no cross-shard pool hits");
+    assert_eq!(hits + misses, probes, "probe accounting must reconcile");
+    assert_eq!(m.count("shards", "run"), Some(4));
+    assert_eq!(m.count("run", "shards"), Some(4));
+
+    // Algorithm 2 across shards: never more rules than the per-shard sum.
+    let per_shard_sum: usize = out.shards.iter().map(|s| s.rules).sum();
+    assert!(
+        out.rules.len() <= per_shard_sum,
+        "merge grew the rule set: {} > {per_shard_sum}",
+        out.rules.len()
+    );
+    // Coverage is preserved through guarding + merging.
+    assert!(out.rules.uncovered(&t, &t.all_rows()).is_empty());
+    // Guarded, merged rules still predict within ρ on every covered row.
+    for rule in out.rules.rules() {
+        assert!(rule.find_violation(&t, &t.all_rows()).is_none());
+    }
+}
+
+#[test]
+fn shard_moments_merge_to_whole_table_moments() {
+    // Integer-valued instance: per-shard root moments merged across shards
+    // must equal the single-shard (whole-table) root moments bit for bit.
+    let (t, cfg, space) = two_regime_table(200);
+    let whole = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    let sharded = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .run()
+        .unwrap();
+    let w = whole.global_moments.expect("whole-table moments");
+    let s = sharded.global_moments.expect("merged shard moments");
+    assert_eq!(w.count(), s.count());
+    assert_eq!(w.yty().to_bits(), s.yty().to_bits());
+    for (a, b) in w.rhs().iter().zip(s.rhs()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for (a, b) in w.gram().as_slice().iter().zip(s.gram().as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn failed_shard_degrades_without_aborting_siblings() {
+    let (mut t, cfg, space) = two_regime_table(200);
+    // Poison exactly one row of shard 3 (x ∈ [150, 200)): its snapshot
+    // build fails with NonFiniteValue while every other shard is clean.
+    let y = t.attr("y").unwrap();
+    t.set_value(180, y, Value::Float(f64::NAN));
+    let sink = MetricsSink::enabled();
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg.with_shard_threads(2))
+        .metrics(sink.clone())
+        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .run()
+        .unwrap();
+    assert_eq!(out.shards.len(), 4);
+    let failed: Vec<_> = out.shards.iter().filter(|s| s.error.is_some()).collect();
+    assert_eq!(failed.len(), 1, "exactly one shard must fail");
+    let bad = failed[0];
+    assert_eq!(bad.shard_id, 3);
+    match bad.error.as_ref().unwrap() {
+        DiscoveryError::Shard { shard_id, source } => {
+            assert_eq!(*shard_id, 3);
+            assert!(
+                matches!(**source, DiscoveryError::NonFiniteValue { .. }),
+                "unexpected source: {source:?}"
+            );
+        }
+        other => panic!("expected Error::Shard, got {other:?}"),
+    }
+    // The failed shard was drained, not dropped: its rows are still
+    // covered (by the guarded constant fallback), siblings are complete.
+    assert!(bad.stats.drained_partitions > 0);
+    assert!(out.rules.uncovered(&t, &t.all_rows()).is_empty());
+    for s in out.shards.iter().filter(|s| s.error.is_none()) {
+        assert!(
+            s.outcome.is_complete(),
+            "sibling shard {} degraded",
+            s.shard_id
+        );
+    }
+    assert_eq!(sink.snapshot().count("shards", "failed"), Some(1));
+    // A poisoned shard forfeits the merged global moments.
+    assert!(out.global_moments.is_none());
+}
+
+#[test]
+fn invalid_plan_and_config_error_before_any_shard_runs() {
+    let (t, cfg, space) = two_regime_table(60);
+    let x = key_of(&t, "x");
+    assert!(matches!(
+        DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone())
+            .sharded(ShardPlan::by_key_range(x, 0))
+            .run(),
+        Err(DiscoveryError::Data(crr_data::DataError::InvalidShardPlan(
+            _
+        )))
+    ));
+    assert!(matches!(
+        DiscoverySession::on(&t)
+            .predicates(space)
+            .config(cfg.with_pool_scan_threads(0))
+            .sharded(ShardPlan::by_key_range(x, 4))
+            .run(),
+        Err(DiscoveryError::InvalidConfig(_))
+    ));
+}

@@ -188,4 +188,38 @@ proptest! {
             prop_assert_eq!(p.to_bits(), q.to_bits());
         }
     }
+
+    /// k-way shard merge reproduces the whole-table moments exactly — the
+    /// invariant sharded discovery relies on when it combines per-shard
+    /// root statistics instead of refitting the merged instance.
+    #[test]
+    fn shard_merge_equals_whole_table((xs, y) in arb_instance(), shards in 1usize..6) {
+        let d = xs[0].len();
+        let whole = Moments::from_rows(&xs, &y);
+        // Contiguous chunks, possibly empty at the tail — the same shape a
+        // key-range shard plan yields on sorted keys.
+        let per = xs.len().div_ceil(shards);
+        let mut merged: Option<Moments> = None;
+        for chunk in 0..shards {
+            let lo = (chunk * per).min(xs.len());
+            let hi = ((chunk + 1) * per).min(xs.len());
+            let mut m = Moments::zeros(d);
+            for (x, &t) in xs[lo..hi].iter().zip(&y[lo..hi]) {
+                m.add_row(x, t);
+            }
+            match &mut merged {
+                None => merged = Some(m),
+                Some(acc) => acc.merge(&m),
+            }
+        }
+        let merged = merged.unwrap();
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.yty().to_bits(), whole.yty().to_bits());
+        for (p, q) in merged.rhs().iter().zip(whole.rhs()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for (p, q) in merged.gram().as_slice().iter().zip(whole.gram().as_slice()) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
 }

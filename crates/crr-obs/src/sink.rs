@@ -93,8 +93,8 @@ metric_enum! {
         MomentsAddRowOps => ("moments", "add_row_ops"),
         /// `Moments::subtract` invocations (sibling derivations).
         MomentsSubtractOps => ("moments", "subtract_ops"),
-        /// `Moments::merge` invocations (unused by Algorithm 1 today;
-        /// kept so the schema covers the whole `Moments` API).
+        /// `Moments::merge` invocations (sharded discovery combines
+        /// per-shard root statistics instead of refitting).
         MomentsMergeOps => ("moments", "merge_ops"),
         /// Splits where the larger child was derived by parent − sibling.
         SiblingSubtractions => ("moments", "sibling_subtractions"),
@@ -121,6 +121,27 @@ metric_enum! {
         InjectedFailures => ("faults", "injected_failures"),
         /// Panics caught and isolated by `parallel::discover_all`.
         TaskPanics => ("faults", "task_panics"),
+        /// Shards whose Algorithm 1 run completed (including degraded
+        /// shards — every planned shard is eventually run or drained).
+        ShardsRun => ("shards", "run"),
+        /// Shards whose run failed (error or panic) and degraded to
+        /// constant fallback rules instead of aborting siblings.
+        ShardsFailed => ("shards", "failed"),
+        /// Cross-shard pool consultations: one per complete local-pool
+        /// miss in a non-seed shard, when a frozen pool is present.
+        CrossShardPoolProbes => ("shards", "cross_pool_probes"),
+        /// Cross-shard consultations that found a frozen model within
+        /// ρ_M (the model is adopted into the shard's local pool).
+        CrossShardPoolHits => ("shards", "cross_pool_hits"),
+        /// Cross-shard consultations that scanned the whole frozen pool
+        /// without a hit. Hits + misses == probes, always.
+        CrossShardPoolMisses => ("shards", "cross_pool_misses"),
+        /// Translation rewrites applied while merging per-shard rule
+        /// sets with Algorithm 2.
+        MergeTranslations => ("shards", "merge_translations"),
+        /// Generalization+Fusion merges applied across shard rule sets
+        /// by Algorithm 2.
+        MergeFusions => ("shards", "merge_fusions"),
     }
 }
 
@@ -133,6 +154,8 @@ metric_enum! {
         FitRows => ("run", "fit_rows"),
         /// Input attributes `d` of the run.
         InputDims => ("run", "input_dims"),
+        /// Non-empty shards the shard plan produced for the run.
+        ShardsPlanned => ("run", "shards"),
     }
 }
 

@@ -40,7 +40,12 @@ fn main() {
 
     // Discover with the GPS noise bound as rho_max.
     let cfg = DiscoveryConfig::new(vec![date], lat, 2.0 * crr::datasets::birdmap::NOISE);
-    let found = discover(table, &maria, &cfg, &space).expect("discovery");
+    let found = DiscoverySession::on(table)
+        .rows(maria.clone())
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .expect("discovery");
     println!(
         "search: {} rules, {} trained, {} shared",
         found.rules.len(),

@@ -27,7 +27,11 @@ fn main() {
     // Discover and compact.
     let space = PredicateGen::binary(127).generate(&table, &[day], sales, 0);
     let cfg = DiscoveryConfig::new(vec![day], sales, 1.0);
-    let found = discover(&table, &table.all_rows(), &cfg, &space).expect("discover");
+    let found = DiscoverySession::on(&table)
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .expect("discover");
     let (rules, _) = compact(&found.rules, 1e-6).expect("compact");
     println!("\ndiscovered + compacted: {} rules", rules.len());
 

@@ -33,7 +33,11 @@ fn main() {
 
     // 2. Discover (Algorithm 1): load ~ f(hour) with max bias 0.05.
     let cfg = DiscoveryConfig::new(vec![hour], load, 0.05);
-    let found = discover(&table, &table.all_rows(), &cfg, &space).expect("discovery");
+    let found = DiscoverySession::on(&table)
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .expect("discovery");
     println!(
         "discovered {} rules ({} models trained, {} shared, {:?})",
         found.rules.len(),

@@ -26,7 +26,11 @@ fn main() {
     // Conditions over state (categorical) and salary (numeric).
     let space = PredicateGen::binary(4).generate(table, &[state, salary], tax, 0);
     let cfg = DiscoveryConfig::new(vec![salary], tax, 2.0 * crr::datasets::tax::NOISE);
-    let found = discover(table, &table.all_rows(), &cfg, &space).expect("discovery");
+    let found = DiscoverySession::on(table)
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .expect("discovery");
     println!(
         "search: {} rules / {} distinct models ({} shared hits)",
         found.rules.len(),

@@ -30,9 +30,11 @@ cargo bench -p crr-bench --bench perf_fit_engine >/dev/null
 
 echo "==> tracked benchmark emits and validates"
 # Tiny-scale end-to-end run of the bench experiment — with metrics
-# instrumentation on — then the validator gates: the build fails if
-# BENCH_discovery.json or metrics.json output ever loses a key, breaks a
-# counter invariant, or contains a non-finite number.
+# instrumentation on, including the sharded cell (1-shard baseline vs
+# 4-shard run with the cross-shard pool) — then the validator gates: the
+# build fails if BENCH_discovery.json or metrics.json output ever loses a
+# key, breaks a counter invariant (e.g. cross-shard pool hits + misses !=
+# probes), or contains a non-finite number.
 BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP" "$METRICS_TMP"' EXIT

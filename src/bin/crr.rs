@@ -15,7 +15,9 @@
 
 use crr::core::{check, serialize, LocateStrategy, RuleSet};
 use crr::data::{csv, Table};
-use crr::discovery::{compact_on_data, discover, DiscoveryConfig, PredicateGen, QueueOrder};
+use crr::discovery::{
+    compact_on_data, DiscoveryConfig, DiscoverySession, PredicateGen, QueueOrder,
+};
 use crr::models::ModelKind;
 use crr::prelude::*;
 use std::collections::HashMap;
@@ -179,7 +181,11 @@ fn cmd_discover(flags: &HashMap<String, String>) -> Result<(), String> {
         .with_kind(kind)
         .with_order(order);
     let rows = table.all_rows();
-    let found = discover(&table, &rows, &cfg, &space).map_err(|e| e.to_string())?;
+    let found = DiscoverySession::on(&table)
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .map_err(|e| e.to_string())?;
     println!(
         "discovered {} rules ({} models trained, {} shared) in {:?}",
         found.rules.len(),

@@ -34,7 +34,11 @@
 //! // Discover CRRs: lat ~ f(date) within rho_max, conditions on date.
 //! let space = PredicateGen::binary(15).generate(table, &[date], lat, 1);
 //! let cfg = DiscoveryConfig::new(vec![date], lat, 1.0);
-//! let found = discover(table, &table.all_rows(), &cfg, &space).unwrap();
+//! let found = DiscoverySession::on(table)
+//!     .predicates(space)
+//!     .config(cfg)
+//!     .run()
+//!     .unwrap();
 //!
 //! // Compact with Translation + Fusion (Algorithm 2).
 //! let (rules, stats) = compact(&found.rules, 1e-6).unwrap();
@@ -56,8 +60,11 @@ pub mod prelude {
     pub use crr_core::{Conjunction, Crr, Dnf, LocateStrategy, Op, Predicate, RuleSet};
     pub use crr_data::{AttrId, AttrType, RowSet, Schema, Table, Value};
     pub use crr_datasets::{Dataset, GenConfig};
+    #[allow(deprecated)]
+    pub use crr_discovery::discover;
     pub use crr_discovery::{
-        compact, discover, DiscoveryConfig, PredicateGen, PredicateSpace, QueueOrder,
+        compact, DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, QueueOrder,
+        ShardPlan, ShardedDiscovery,
     };
     pub use crr_models::{fit_model, FitConfig, Model, ModelKind, Regressor, Translation};
 }

@@ -4,8 +4,26 @@
 
 use crr::baselines::{evaluate_predictor, BaselinePredictor, RegTree, RegTreeConfig};
 use crr::discovery::compact_on_data;
+use crr::discovery::ShardedDiscovery;
 use crr::impute::{impute_with_rules, mask_random};
 use crr::prelude::*;
+
+/// Single-shard discovery through the `DiscoverySession` front door; the
+/// deprecated positional `discover` is pinned equivalent to this in
+/// `crr-discovery/tests/sharded_equivalence.rs`.
+fn discover_via_session(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> ShardedDiscovery {
+    DiscoverySession::on(table)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap()
+}
 
 /// The full pipeline on the Tax dataset: per-state laws are discovered,
 /// compacted into one rule per rate group, and the result imputes.
@@ -22,7 +40,7 @@ fn tax_pipeline_discovers_rate_groups() {
 
     let space = PredicateGen::binary(8).generate(table, &[state, salary], tax, 0);
     let cfg = DiscoveryConfig::new(vec![salary], tax, 3.0 * crr::datasets::tax::NOISE);
-    let found = discover(table, &table.all_rows(), &cfg, &space).unwrap();
+    let found = discover_via_session(table, &table.all_rows(), &cfg, &space);
     assert!(found.rules.uncovered(table, &table.all_rows()).is_empty());
 
     let (rules, _) =
@@ -68,7 +86,7 @@ fn birdmap_pipeline_shares_models_across_years() {
     let space = PredicateGen::expert(boundaries).generate(table, &[bird, date], lat, 0);
     let rho = 2.5 * crr::datasets::birdmap::NOISE;
     let cfg = DiscoveryConfig::new(vec![date], lat, rho);
-    let found = discover(table, &table.all_rows(), &cfg, &space).unwrap();
+    let found = discover_via_session(table, &table.all_rows(), &cfg, &space);
 
     // Model sharing kicked in: strictly fewer distinct models than rules.
     assert!(found.stats.models_shared > 0);
@@ -153,7 +171,7 @@ fn imputation_recovers_masked_values() {
     let rho = 3.0 * crr::datasets::abalone::NOISE;
     let space = PredicateGen::binary(16).generate(&table, &[sex, length], rings, 0);
     let cfg = DiscoveryConfig::new(vec![length], rings, rho);
-    let found = discover(&table, &table.all_rows(), &cfg, &space).unwrap();
+    let found = discover_via_session(&table, &table.all_rows(), &cfg, &space);
     let (rules, _) = compact_on_data(&found.rules, 1e-4, rho, &table, &table.all_rows()).unwrap();
 
     let plan = mask_random(&mut table, rings, 0.15, 9);
@@ -189,7 +207,7 @@ fn crr_beats_rr_on_mixed_distribution() {
     // 2000-hour domain, so the binary space needs ~1-2 hour spacing.
     let space = PredicateGen::binary(1023).generate(table, &[hour], no2, 0);
     let cfg = DiscoveryConfig::new(vec![hour], no2, rho);
-    let found = discover(table, &rows, &cfg, &space).unwrap();
+    let found = discover_via_session(table, &rows, &cfg, &space);
     let crr_report = found.rules.evaluate(table, &rows, LocateStrategy::First);
 
     let rr = crr::baselines::Rr::fit(
@@ -224,7 +242,7 @@ fn prelude_supports_the_readme_workflow() {
     let y = t.attr("y").unwrap();
     let space = PredicateGen::binary(7).generate(&t, &[x], y, 0);
     let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
-    let found = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let found = discover_via_session(&t, &t.all_rows(), &cfg, &space);
     let (rules, _) = compact(&found.rules, 1e-9).unwrap();
     assert_eq!(rules.len(), 1);
     let pred = rules.predict(&t, 10, LocateStrategy::First).unwrap();

@@ -2,7 +2,25 @@
 //! checked on every dataset generator and model family.
 
 use crr::discovery::compact_on_data;
+use crr::discovery::ShardedDiscovery;
 use crr::prelude::*;
+
+/// Single-shard discovery through the `DiscoverySession` front door; the
+/// deprecated positional `discover` is pinned equivalent to this in
+/// `crr-discovery/tests/sharded_equivalence.rs`.
+fn discover_via_session(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> ShardedDiscovery {
+    DiscoverySession::on(table)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap()
+}
 
 fn scenario(ds: &Dataset, rho_scale: f64) -> (DiscoveryConfig, PredicateSpace) {
     let table = &ds.table;
@@ -43,7 +61,7 @@ fn all_datasets() -> Vec<Dataset> {
 fn discovery_covers_every_tuple_on_all_datasets() {
     for ds in all_datasets() {
         let (cfg, space) = scenario(&ds, 1.0);
-        let found = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+        let found = discover_via_session(&ds.table, &ds.table.all_rows(), &cfg, &space);
         let uncovered = found.rules.uncovered(&ds.table, &ds.table.all_rows());
         assert!(
             uncovered.is_empty(),
@@ -60,7 +78,7 @@ fn discovery_covers_every_tuple_on_all_datasets() {
 fn every_rule_respects_its_own_rho() {
     for ds in all_datasets() {
         let (cfg, space) = scenario(&ds, 1.0);
-        let found = discover(&ds.table, &ds.table.all_rows(), &cfg, &space).unwrap();
+        let found = discover_via_session(&ds.table, &ds.table.all_rows(), &cfg, &space);
         for (i, rule) in found.rules.rules().iter().enumerate() {
             assert!(
                 rule.find_violation(&ds.table, &ds.table.all_rows())
@@ -79,7 +97,7 @@ fn compaction_preserves_coverage_and_predictions() {
     for ds in all_datasets() {
         let (cfg, space) = scenario(&ds, 1.0);
         let rows = ds.table.all_rows();
-        let found = discover(&ds.table, &rows, &cfg, &space).unwrap();
+        let found = discover_via_session(&ds.table, &rows, &cfg, &space);
         let (compacted, _) =
             compact_on_data(&found.rules, 1e-4, cfg.rho_max, &ds.table, &rows).unwrap();
         assert!(compacted.len() <= found.rules.len(), "{}", ds.name);
@@ -114,8 +132,8 @@ fn sharing_reduces_models_without_hurting_rmse() {
     });
     let (cfg, space) = scenario(&ds, 0.5);
     let rows = ds.table.all_rows();
-    let with = discover(&ds.table, &rows, &cfg.clone().with_sharing(true), &space).unwrap();
-    let without = discover(&ds.table, &rows, &cfg.with_sharing(false), &space).unwrap();
+    let with = discover_via_session(&ds.table, &rows, &cfg.clone().with_sharing(true), &space);
+    let without = discover_via_session(&ds.table, &rows, &cfg.with_sharing(false), &space);
     assert!(with.stats.models_trained <= without.stats.models_trained);
     let rw = with.rules.evaluate(&ds.table, &rows, LocateStrategy::First);
     let rwo = without
@@ -141,8 +159,8 @@ fn discovery_is_deterministic_per_family() {
         let (base, space) = scenario(&ds, 1.0);
         let cfg = base.with_kind(kind);
         let rows = ds.table.all_rows();
-        let a = discover(&ds.table, &rows, &cfg, &space).unwrap();
-        let b = discover(&ds.table, &rows, &cfg, &space).unwrap();
+        let a = discover_via_session(&ds.table, &rows, &cfg, &space);
+        let b = discover_via_session(&ds.table, &rows, &cfg, &space);
         assert_eq!(a.rules.len(), b.rules.len(), "{kind:?}");
         for (ra, rb) in a.rules.rules().iter().zip(b.rules.rules()) {
             assert_eq!(ra.condition(), rb.condition(), "{kind:?}");
@@ -163,7 +181,7 @@ fn smaller_rho_never_fits_worse_in_sample() {
     let mut last_rmse = f64::INFINITY;
     for rho in [5.0, 1.0, 0.5] {
         let (cfg, space) = scenario(&ds, rho);
-        let found = discover(&ds.table, &rows, &cfg, &space).unwrap();
+        let found = discover_via_session(&ds.table, &rows, &cfg, &space);
         let report = found
             .rules
             .evaluate(&ds.table, &rows, LocateStrategy::First);

@@ -3,7 +3,25 @@
 //! univariate — these tests exercise the |X| ≥ 2 paths end to end.
 
 use crr::discovery::compact_on_data;
+use crr::discovery::ShardedDiscovery;
 use crr::prelude::*;
+
+/// Single-shard discovery through the `DiscoverySession` front door; the
+/// deprecated positional `discover` is pinned equivalent to this in
+/// `crr-discovery/tests/sharded_equivalence.rs`.
+fn discover_via_session(
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> ShardedDiscovery {
+    DiscoverySession::on(table)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap()
+}
 
 /// A plane per regime: y = a·x1 + b·x2 + c, with the two regimes sharing
 /// (a, b) — translatable in the multivariate sense.
@@ -35,7 +53,7 @@ fn discovers_multivariate_planes_and_shares_them() {
 
     let space = PredicateGen::binary(15).generate(&t, &[x1, x2], y, 0);
     let cfg = DiscoveryConfig::new(vec![x1, x2], y, 0.1);
-    let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let d = discover_via_session(&t, &t.all_rows(), &cfg, &space);
     assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
     let rep = d.rules.evaluate(&t, &t.all_rows(), LocateStrategy::First);
     assert!(rep.rmse < 1e-9, "rmse {}", rep.rmse);
@@ -115,7 +133,7 @@ fn abalone_rings_from_two_features() {
     for kind in [ModelKind::Linear, ModelKind::Ridge] {
         let space = PredicateGen::binary(16).generate(t, &[sex, length, diameter], rings, 0);
         let cfg = DiscoveryConfig::new(vec![length, diameter], rings, rho).with_kind(kind);
-        let d = discover(t, &t.all_rows(), &cfg, &space).unwrap();
+        let d = discover_via_session(t, &t.all_rows(), &cfg, &space);
         assert!(d.rules.uncovered(t, &t.all_rows()).is_empty(), "{kind:?}");
         let rep = d.rules.evaluate(t, &t.all_rows(), LocateStrategy::First);
         assert!(rep.rmse <= rho, "{kind:?}: rmse {}", rep.rmse);
@@ -130,7 +148,7 @@ fn serialization_roundtrips_multivariate_builtins() {
     let y = t.attr("y").unwrap();
     let space = PredicateGen::binary(15).generate(&t, &[x1, x2], y, 0);
     let cfg = DiscoveryConfig::new(vec![x1, x2], y, 0.1);
-    let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let d = discover_via_session(&t, &t.all_rows(), &cfg, &space);
     let (rules, _) = compact_on_data(&d.rules, 1e-6, 0.1, &t, &t.all_rows()).unwrap();
     let back = crr::core::serialize::from_text(&crr::core::serialize::to_text(&rules)).unwrap();
     for row in (0..t.num_rows()).step_by(13) {
