@@ -185,6 +185,10 @@ struct AttrSummary {
     hi: Option<Bound>,
     eq: Option<Value>,
     ne: Vec<Value>,
+    /// An `A IS NULL` predicate is present.
+    is_null: bool,
+    /// An `A IS NOT NULL` predicate is present.
+    not_null: bool,
     /// Constraints mixed incomparable value kinds; give up (prove nothing).
     incomparable: bool,
 }
@@ -218,6 +222,8 @@ impl AttrSummary {
                 Op::Ge => s.raise_lo(p.value.clone(), false),
                 Op::Lt => s.lower_hi(p.value.clone(), true),
                 Op::Le => s.lower_hi(p.value.clone(), false),
+                Op::IsNull => s.is_null = true,
+                Op::NotNull => s.not_null = true,
             }
         }
         s
@@ -261,9 +267,21 @@ impl AttrSummary {
         }
     }
 
-    /// Provably empty: `lo > hi`, touching strict bounds, or a pinned value
-    /// outside the interval / in the excluded set.
+    /// Any comparison predicate is present (each requires a non-null cell).
+    fn has_comparison(&self) -> bool {
+        self.eq.is_some() || self.lo.is_some() || self.hi.is_some() || !self.ne.is_empty()
+    }
+
+    /// Provably empty: `lo > hi`, touching strict bounds, a pinned value
+    /// outside the interval / in the excluded set, or `IS NULL` conjoined
+    /// with anything a null cell cannot satisfy.
     fn is_unsat(&self) -> bool {
+        // Null cells satisfy no comparison, so IS NULL conflicts with every
+        // comparison predicate as well as with IS NOT NULL. Checked before
+        // the incomparable bail-out: nullness is kind-independent.
+        if self.is_null && (self.not_null || self.has_comparison()) {
+            return true;
+        }
         if self.incomparable {
             return false;
         }
@@ -300,6 +318,13 @@ impl AttrSummary {
     fn implies(&self, op: Op, c: &Value) -> bool {
         if self.is_unsat() {
             return true;
+        }
+        // Null tests are decided on the null flags and the presence of any
+        // comparison (which forces non-null); kind mixing is irrelevant.
+        match op {
+            Op::IsNull => return self.is_null,
+            Op::NotNull => return self.not_null || self.has_comparison(),
+            _ => {}
         }
         if self.incomparable {
             return false;
@@ -369,6 +394,7 @@ impl AttrSummary {
                     Some(Ordering::Equal) => lo.strict,
                     _ => false,
                 }),
+            Op::IsNull | Op::NotNull => unreachable!("null tests handled above"),
         }
     }
 }
@@ -589,6 +615,52 @@ mod tests {
             date(),
             Value::Int(150)
         )])));
+    }
+
+    #[test]
+    fn null_test_implication() {
+        let is_null = Conjunction::of(vec![Predicate::is_null(date())]);
+        let not_null = Conjunction::of(vec![Predicate::not_null(date())]);
+        let ge = Conjunction::of(vec![Predicate::ge(date(), Value::Int(100))]);
+
+        // Any comparison forces a non-null cell.
+        assert!(ge.implies(&not_null));
+        assert!(Conjunction::of(vec![Predicate::ne(date(), Value::Int(1))]).implies(&not_null));
+        // ... but not the converse, and IS NULL proves no comparison.
+        assert!(!not_null.implies(&ge));
+        assert!(!is_null.implies(&ge));
+        assert!(!is_null.implies(&not_null));
+        assert!(!not_null.implies(&is_null));
+        // Syntactic containment over null-valued predicates.
+        assert!(is_null.implies(&is_null));
+        assert!(not_null.implies(&not_null));
+        // IS NULL conjoined with a comparison (or IS NOT NULL) is unsat,
+        // and an unsat condition implies anything.
+        let contradiction = Conjunction::of(vec![
+            Predicate::is_null(date()),
+            Predicate::ge(date(), Value::Int(100)),
+        ]);
+        assert!(contradiction.is_provably_unsat());
+        assert!(contradiction.implies(&is_null));
+        assert!(contradiction.implies(&ge));
+        let both = Conjunction::of(vec![
+            Predicate::is_null(date()),
+            Predicate::not_null(date()),
+        ]);
+        assert!(both.is_provably_unsat());
+        // IS NULL alone is satisfiable, on either attribute kind.
+        assert!(!is_null.is_provably_unsat());
+        assert!(!Conjunction::of(vec![Predicate::is_null(bird())]).is_provably_unsat());
+    }
+
+    #[test]
+    fn null_test_eval_on_table() {
+        let mut t = table();
+        t.push_row(vec![Value::Null, Value::str("pelle")]).unwrap();
+        let c = Conjunction::of(vec![Predicate::is_null(date())]);
+        assert_eq!(c.select(&t, &t.all_rows()).as_slice(), &[3]);
+        let c = Conjunction::of(vec![Predicate::not_null(date())]);
+        assert_eq!(c.select(&t, &t.all_rows()).as_slice(), &[0, 1, 2]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn interval_on(conj: &Conjunction, attr: AttrId) -> (f64, f64) {
     let mut lo = f64::NEG_INFINITY;
     let mut hi = f64::INFINITY;
     for p in conj.preds() {
-        if p.attr != attr {
+        if p.attr != attr || p.op.is_null_test() {
             continue;
         }
         let Some(c) = p.value.as_f64() else { continue };
@@ -63,7 +63,7 @@ fn interval_on(conj: &Conjunction, attr: AttrId) -> (f64, f64) {
             }
             Op::Gt | Op::Ge => lo = lo.max(c),
             Op::Lt | Op::Le => hi = hi.min(c),
-            Op::Ne => {}
+            Op::Ne | Op::IsNull | Op::NotNull => {}
         }
     }
     (lo, hi)
@@ -82,6 +82,7 @@ impl<'a> RuleIndex<'a> {
                 let mut seen: Vec<AttrId> = Vec::new();
                 for p in conj.preds() {
                     if table.schema().attribute(p.attr).ty().is_numeric()
+                        && !p.op.is_null_test()
                         && p.value.as_f64().is_some()
                         && !seen.contains(&p.attr)
                     {

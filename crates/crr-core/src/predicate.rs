@@ -4,7 +4,13 @@ use std::fmt;
 
 /// Comparison operator of a predicate (the paper's
 /// `Φ = {=, >, ≥, <, ≤}` plus `≠`, which denial-constraint-style predicate
-/// spaces conventionally include and which negated splits produce).
+/// spaces conventionally include and which negated splits produce), plus
+/// the unary null tests `IS NULL` / `IS NOT NULL`.
+///
+/// The null tests exist because the comparison operators *cannot* express
+/// them: a null cell satisfies no comparison, so no `A φ c` matches
+/// exactly the null rows. Sharded discovery needs that predicate to guard
+/// rules fit on the null-key shard (see `crr-discovery::sharded`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `=`
@@ -19,6 +25,11 @@ pub enum Op {
     Lt,
     /// `≤`
     Le,
+    /// `IS NULL` — satisfied exactly by null cells. Unary: the predicate's
+    /// constant is ignored (conventionally [`crr_data::Value::Null`]).
+    IsNull,
+    /// `IS NOT NULL` — satisfied exactly by non-null cells. Unary.
+    NotNull,
 }
 
 impl Op {
@@ -32,10 +43,22 @@ impl Op {
             Op::Ge => Op::Lt,
             Op::Lt => Op::Ge,
             Op::Le => Op::Gt,
+            Op::IsNull => Op::NotNull,
+            Op::NotNull => Op::IsNull,
         }
     }
 
+    /// True for the unary null tests, which ignore the predicate constant.
+    #[inline]
+    pub fn is_null_test(self) -> bool {
+        matches!(self, Op::IsNull | Op::NotNull)
+    }
+
     /// Evaluates the operator against a three-way comparison result.
+    ///
+    /// The null tests never produce an ordering (they are decided on cell
+    /// nullness before any comparison, see [`Predicate::eval`]) and return
+    /// `false` here.
     #[inline]
     pub fn eval(self, ord: Ordering) -> bool {
         match self {
@@ -45,6 +68,7 @@ impl Op {
             Op::Ge => ord != Ordering::Less,
             Op::Lt => ord == Ordering::Less,
             Op::Le => ord != Ordering::Greater,
+            Op::IsNull | Op::NotNull => false,
         }
     }
 }
@@ -58,6 +82,9 @@ impl fmt::Display for Op {
             Op::Ge => write!(f, ">="),
             Op::Lt => write!(f, "<"),
             Op::Le => write!(f, "<="),
+            // Single tokens, so the text serialization stays one-word-per-op.
+            Op::IsNull => write!(f, "is-null"),
+            Op::NotNull => write!(f, "not-null"),
         }
     }
 }
@@ -66,15 +93,29 @@ impl fmt::Display for Op {
 ///
 /// Satisfaction follows the value semantics of [`crr_data::Value`]: a null
 /// cell, or a cell incomparable with the constant (string vs. number),
-/// satisfies nothing.
-#[derive(Debug, Clone, PartialEq)]
+/// satisfies no comparison. Only the unary null tests ([`Op::IsNull`],
+/// [`Op::NotNull`]) inspect cell nullness directly.
+#[derive(Debug, Clone)]
 pub struct Predicate {
     /// The attribute `A`.
     pub attr: AttrId,
     /// The operator `φ`.
     pub op: Op,
-    /// The constant `c`.
+    /// The constant `c` (ignored by the unary null tests).
     pub value: Value,
+}
+
+/// Syntactic equality. Unlike [`Value`]'s SQL-style semantics (where
+/// `Null == Null` is unknown, hence `false`), two predicates carrying
+/// `Value::Null` in the same slot *are* the same predicate — dedup and
+/// containment checks over conjunctions rely on this.
+impl PartialEq for Predicate {
+    fn eq(&self, other: &Self) -> bool {
+        self.attr == other.attr
+            && self.op == other.op
+            && (self.value == other.value
+                || matches!((&self.value, &other.value), (Value::Null, Value::Null)))
+    }
 }
 
 impl Predicate {
@@ -113,6 +154,16 @@ impl Predicate {
         Predicate::new(attr, Op::Le, value)
     }
 
+    /// `A IS NULL`.
+    pub fn is_null(attr: AttrId) -> Self {
+        Predicate::new(attr, Op::IsNull, Value::Null)
+    }
+
+    /// `A IS NOT NULL`.
+    pub fn not_null(attr: AttrId) -> Self {
+        Predicate::new(attr, Op::NotNull, Value::Null)
+    }
+
     /// The complementary predicate `¬p` on the same attribute.
     pub fn negate(&self) -> Predicate {
         Predicate::new(self.attr, self.op.negate(), self.value.clone())
@@ -126,6 +177,11 @@ impl Predicate {
     #[inline]
     pub fn eval(&self, table: &Table, row: usize) -> bool {
         let col = table.column(self.attr);
+        match self.op {
+            Op::IsNull => return col.is_null(row),
+            Op::NotNull => return !col.is_null(row),
+            _ => {}
+        }
         let ord = match &self.value {
             Value::Int(c) => col.cmp_f64(row, *c as f64),
             Value::Float(c) => col.cmp_f64(row, *c),
@@ -144,6 +200,11 @@ impl Predicate {
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 let name = self.1.attribute(self.0.attr).name();
+                match self.0.op {
+                    Op::IsNull => return write!(f, "{name} is null"),
+                    Op::NotNull => return write!(f, "{name} is not null"),
+                    _ => {}
+                }
                 match &self.0.value {
                     Value::Str(s) => write!(f, "{name} {} '{s}'", self.0.op),
                     v => write!(f, "{name} {} {v}", self.0.op),
@@ -215,6 +276,44 @@ mod tests {
         assert_eq!(Op::Le.negate(), Op::Gt);
         assert_eq!(Op::Eq.negate(), Op::Ne);
         assert_eq!(Op::Ge.negate(), Op::Lt);
+        assert_eq!(Op::IsNull.negate(), Op::NotNull);
+        assert_eq!(Op::NotNull.negate(), Op::IsNull);
+    }
+
+    #[test]
+    fn null_tests_partition_every_row() {
+        let t = table();
+        for attr in [t.attr("v").unwrap(), t.attr("s").unwrap()] {
+            for row in 0..2 {
+                let isn = Predicate::is_null(attr).eval(&t, row);
+                let notn = Predicate::not_null(attr).eval(&t, row);
+                assert_ne!(isn, notn, "null tests must partition rows exactly");
+            }
+        }
+        let v = t.attr("v").unwrap();
+        let s = t.attr("s").unwrap();
+        assert!(!Predicate::is_null(v).eval(&t, 0));
+        assert!(Predicate::is_null(v).eval(&t, 1));
+        assert!(Predicate::not_null(s).eval(&t, 0));
+    }
+
+    #[test]
+    fn null_valued_predicates_compare_equal() {
+        let t = table();
+        let v = t.attr("v").unwrap();
+        // Syntactic equality must not inherit Null != Null value semantics,
+        // or dedup/containment over guard predicates silently breaks.
+        assert_eq!(Predicate::is_null(v), Predicate::is_null(v));
+        assert_eq!(Predicate::not_null(v), Predicate::not_null(v));
+        assert_ne!(Predicate::is_null(v), Predicate::not_null(v));
+        assert_eq!(
+            Predicate::eq(v, Value::Float(1.0)),
+            Predicate::eq(v, Value::Float(1.0))
+        );
+        assert_ne!(
+            Predicate::eq(v, Value::Float(1.0)),
+            Predicate::eq(v, Value::Float(2.0))
+        );
     }
 
     #[test]
@@ -233,6 +332,14 @@ mod tests {
                 .display(t.schema())
                 .to_string(),
             "s = 'IA'"
+        );
+        assert_eq!(
+            Predicate::is_null(v).display(t.schema()).to_string(),
+            "v is null"
+        );
+        assert_eq!(
+            Predicate::not_null(s).display(t.schema()).to_string(),
+            "s is not null"
         );
     }
 }

@@ -132,6 +132,8 @@ fn parse_op(s: &str) -> Result<Op> {
         ">=" => Ok(Op::Ge),
         "<" => Ok(Op::Lt),
         "<=" => Ok(Op::Le),
+        "is-null" => Ok(Op::IsNull),
+        "not-null" => Ok(Op::NotNull),
         _ => Err(CoreError::SchemaMismatch(format!("bad operator: {s}"))),
     }
 }
@@ -348,6 +350,30 @@ mod tests {
             assert_eq!(a.condition(), b.condition());
             assert_eq!(a.model().as_ref(), b.model().as_ref());
         }
+    }
+
+    #[test]
+    fn roundtrip_preserves_null_test_predicates() {
+        let date = AttrId(0);
+        let m = Arc::new(Model::Constant(ConstantModel::new(1.0, 1)));
+        let cond = Dnf::of(vec![
+            Conjunction::of(vec![Predicate::is_null(date)]),
+            Conjunction::of(vec![
+                Predicate::not_null(date),
+                Predicate::ge(date, Value::Int(5)),
+            ]),
+        ]);
+        let rules =
+            RuleSet::from_rules(vec![Crr::new(vec![date], AttrId(1), m, 0.5, cond).unwrap()]);
+        let text = to_text(&rules);
+        assert!(text.contains("is-null"), "missing is-null token:\n{text}");
+        assert!(text.contains("not-null"), "missing not-null token:\n{text}");
+        let back = from_text(&text).unwrap();
+        assert_eq!(
+            rules.rules()[0].condition(),
+            back.rules()[0].condition(),
+            "null-test predicates must survive the text roundtrip"
+        );
     }
 
     #[test]

@@ -12,11 +12,18 @@ const X: AttrId = AttrId(0);
 const Y: AttrId = AttrId(1);
 
 fn arb_table() -> impl Strategy<Value = Table> {
-    prop::collection::vec(-100.0f64..100.0, 1..60).prop_map(|xs| {
+    // ~1 in 10 x-cells is null, so null-row handling is stressed on every
+    // property, not just the dedicated one.
+    let cell = prop_oneof![
+        9 => (-100.0f64..100.0).prop_map(Some),
+        1 => Just(None),
+    ];
+    prop::collection::vec(cell, 1..60).prop_map(|xs| {
         let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
         let mut t = Table::new(schema);
         for x in xs {
-            t.push_row(vec![Value::Float(x), Value::Float(x * 0.5)])
+            let xv = x.map_or(Value::Null, Value::Float);
+            t.push_row(vec![xv, Value::Float(x.unwrap_or(0.0) * 0.5)])
                 .unwrap();
         }
         t
@@ -31,6 +38,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::Ge),
         Just(Op::Lt),
         Just(Op::Le),
+        // Null tests, including the malformed numeric-constant form the
+        // generator below produces: the index must ignore such "bounds".
+        Just(Op::IsNull),
+        Just(Op::NotNull),
     ]
 }
 

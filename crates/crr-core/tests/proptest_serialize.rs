@@ -12,6 +12,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         (-1000i64..1000).prop_map(Value::Int),
         (-1000i64..1000).prop_map(|v| Value::Float(v as f64 / 7.0)),
         "[a-z]{1,6}".prop_map(Value::str),
+        Just(Value::Null),
     ]
 }
 
@@ -23,6 +24,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::Ge),
         Just(Op::Lt),
         Just(Op::Le),
+        Just(Op::IsNull),
+        Just(Op::NotNull),
     ]
 }
 

@@ -5,10 +5,13 @@
 //! partition`] applies it to a concrete `(table, rows)` pair and returns
 //! [`Shard`]s — disjoint [`RowSet`]s whose union is exactly the input rows.
 //! Each shard carries its [`ShardBounds`] (the half-open key interval it
-//! was cut on), which downstream layers turn into guard predicates so
-//! per-shard rules stay sound after cross-shard merging. Rows whose shard
-//! key is null cannot satisfy any interval and land in a trailing,
-//! unbounded shard of their own.
+//! was cut on, or the null-key marker), which downstream layers turn into
+//! guard predicates so per-shard rules stay sound after cross-shard
+//! merging. Rows whose shard key is null cannot satisfy any interval and
+//! land in a trailing shard of their own, flagged `null_keys` so it can be
+//! guarded with `key IS NULL`. Non-finite keys (NaN, ±Inf) are rejected
+//! outright: ±Inf would satisfy other shards' interval guards, so no
+//! guard assignment keeps them sound.
 
 use crate::{AttrId, DataError, Result, RowSet, Table};
 
@@ -35,9 +38,15 @@ pub enum ShardPlan {
     },
 }
 
-/// The half-open key interval `[lo, hi)` a shard was cut on. `None` on
-/// either side means unbounded (the first/last shard absorbs the extremes,
-/// so float round-off at the edges can never drop a row).
+/// The half-open key interval `[lo, hi)` a shard was cut on, or the
+/// null-key marker. `None` on either side means unbounded (the first/last
+/// shard absorbs the extremes, so float round-off at the edges can never
+/// drop a row).
+///
+/// Because [`ShardPlan::partition`] rejects non-finite keys, these bounds
+/// are *exact* row-membership descriptions: a row lies in an interval
+/// shard iff its (finite) key satisfies the interval, and in the
+/// `null_keys` shard iff its key is null.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardBounds {
     /// The shard-key attribute.
@@ -46,6 +55,9 @@ pub struct ShardBounds {
     pub lo: Option<f64>,
     /// Exclusive upper bound, when bounded above.
     pub hi: Option<f64>,
+    /// This is the trailing null-key shard: it holds exactly the rows
+    /// whose key is null, and `lo`/`hi` are both `None`.
+    pub null_keys: bool,
 }
 
 /// One shard of a partitioned instance.
@@ -55,8 +67,9 @@ pub struct Shard {
     pub id: usize,
     /// The shard's rows — disjoint across shards, union = the input rows.
     pub rows: RowSet,
-    /// The key interval this shard was cut on; `None` for [`ShardPlan::
-    /// Single`] and for the trailing null-key shard.
+    /// The key interval (or null-key marker) this shard was cut on;
+    /// `None` only for [`ShardPlan::Single`], whose one shard needs no
+    /// guard.
     pub bounds: Option<ShardBounds>,
 }
 
@@ -94,7 +107,10 @@ impl ShardPlan {
     ///
     /// Errors: [`DataError::InvalidShardPlan`] for zero shards or a
     /// non-positive/non-finite window width, [`DataError::NotNumeric`]
-    /// when the shard key is not a numeric attribute.
+    /// when the shard key is not a numeric attribute, and
+    /// [`DataError::NonFiniteCell`] when any row's key is NaN or ±Inf
+    /// (such a key would satisfy other shards' interval guards, so no
+    /// shard could soundly own the row).
     pub fn partition(&self, table: &Table, rows: &RowSet) -> Result<Vec<Shard>> {
         match *self {
             ShardPlan::Single => Ok(vec![Shard {
@@ -150,8 +166,9 @@ impl ShardPlan {
 }
 
 /// Min/max of the shard key over `rows`, skipping nulls; errors on a
-/// non-numeric attribute, and treats non-finite keys as nulls (they join
-/// the trailing shard rather than poisoning the interval arithmetic).
+/// non-numeric attribute and on any non-finite key (NaN/±Inf cannot be
+/// soundly guarded by interval predicates, so partitioning refuses them
+/// up front — every partitioning path runs this before cutting).
 fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>, Option<f64>)> {
     if !table.schema().attribute(attr).ty().is_numeric() {
         return Err(DataError::NotNumeric(
@@ -161,10 +178,14 @@ fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for r in rows.iter() {
         if let Some(v) = table.value_f64(r, attr) {
-            if v.is_finite() {
-                lo = lo.min(v);
-                hi = hi.max(v);
+            if !v.is_finite() {
+                return Err(DataError::NonFiniteCell {
+                    row: r,
+                    attribute: table.schema().attribute(attr).name().to_string(),
+                });
             }
+            lo = lo.min(v);
+            hi = hi.max(v);
         }
     }
     if lo.is_finite() {
@@ -176,14 +197,16 @@ fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>
 
 /// Distributes rows over the half-open intervals the ascending `cuts`
 /// induce, drops empty shards, renumbers ids densely, and appends the
-/// null-key shard when any row has no usable key. The first interval is
+/// `null_keys` shard when any row's key is null. The first interval is
 /// unbounded below and the last unbounded above.
 fn cut_into_shards(table: &Table, attr: AttrId, rows: &RowSet, cuts: &[f64]) -> Vec<Shard> {
     let n = cuts.len() + 1;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut nulls: Vec<u32> = Vec::new();
     for r in rows.iter() {
-        match table.value_f64(r, attr).filter(|v| v.is_finite()) {
+        // Keys are finite or null here: `key_extent` already rejected
+        // NaN/±Inf on every path that reaches this point.
+        match table.value_f64(r, attr) {
             Some(v) => {
                 // First interval whose (exclusive) upper cut lies above v.
                 let b = cuts.partition_point(|&c| c <= v);
@@ -205,6 +228,7 @@ fn cut_into_shards(table: &Table, attr: AttrId, rows: &RowSet, cuts: &[f64]) -> 
                 attr,
                 lo: (b > 0).then(|| cuts[b - 1]),
                 hi: (b < cuts.len()).then(|| cuts[b]),
+                null_keys: false,
             }),
         });
     }
@@ -213,7 +237,12 @@ fn cut_into_shards(table: &Table, attr: AttrId, rows: &RowSet, cuts: &[f64]) -> 
         shards.push(Shard {
             id,
             rows: RowSet::from_indices(nulls),
-            bounds: None,
+            bounds: Some(ShardBounds {
+                attr,
+                lo: None,
+                hi: None,
+                null_keys: true,
+            }),
         });
     }
     shards
@@ -284,15 +313,41 @@ mod tests {
     }
 
     #[test]
-    fn null_keys_form_trailing_unbounded_shard() {
+    fn null_keys_form_trailing_marked_shard() {
         let (t, attr) = table_with_keys(&[Some(0.0), None, Some(10.0), None, Some(5.0)]);
         let shards = ShardPlan::by_key_range(attr, 2)
             .partition(&t, &t.all_rows())
             .unwrap();
         assert_disjoint_cover(&shards, &t.all_rows());
         let last = shards.last().unwrap();
-        assert!(last.bounds.is_none());
+        let b = last.bounds.expect("null shard must carry bounds");
+        assert!(b.null_keys);
+        assert_eq!(b.attr, attr);
+        assert!(b.lo.is_none() && b.hi.is_none());
         assert_eq!(last.rows.as_slice(), &[1, 3]);
+        // Interval shards are never marked as null-key shards.
+        for s in &shards[..shards.len() - 1] {
+            assert!(!s.bounds.unwrap().null_keys);
+        }
+    }
+
+    #[test]
+    fn non_finite_keys_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let (t, attr) = table_with_keys(&[Some(0.0), Some(bad), Some(5.0)]);
+            for plan in [
+                ShardPlan::by_key_range(attr, 2),
+                ShardPlan::by_time_window(attr, 2.0),
+            ] {
+                match plan.partition(&t, &t.all_rows()) {
+                    Err(DataError::NonFiniteCell { row, attribute }) => {
+                        assert_eq!(row, 1);
+                        assert_eq!(attribute, "k");
+                    }
+                    other => panic!("expected NonFiniteCell for key {bad}, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

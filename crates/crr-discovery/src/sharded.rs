@@ -14,17 +14,24 @@
 //! scan gives.
 //!
 //! Per-shard rule sets are made sound outside their shard by guarding
-//! every conjunction with the shard's key interval, concatenated in shard
-//! order, and handed to Algorithm 2 ([`crate::compact_on_data`]): the
-//! translation-detection and Generalization+Fusion pass is exactly the
-//! cross-shard merge — rules from different shards that share a model (or
-//! differ by an output shift) fuse into one DNF rule. Per-shard root
-//! [`Moments`] are merged (O(d²) each) rather than refit.
+//! every conjunction with an exact membership predicate for the shard:
+//! the key interval for range shards, `key IS NULL` for the trailing
+//! null-key shard, `key IS NOT NULL` for a degenerate unbounded interval
+//! shard (constant key coexisting with null keys). Partitioning rejects
+//! non-finite keys outright, so the guards describe shard membership
+//! exactly. The guarded rules are concatenated in shard order and handed
+//! to Algorithm 2 ([`crate::compact_on_data`]): the translation-detection
+//! and Generalization+Fusion pass is exactly the cross-shard merge —
+//! rules from different shards that share a model (or differ by an output
+//! shift) fuse into one DNF rule. Per-shard root [`Moments`] are merged
+//! (O(d²) each) rather than refit.
 //!
 //! Failure semantics follow PR 1: a shard whose run errors or panics is
 //! drained to constant fallback rules over its rows, the error is kept as
 //! [`DiscoveryError::Shard`] in that shard's [`ShardOutcome`], and every
-//! sibling shard is unaffected.
+//! sibling shard is unaffected. If even the drain fails, the shard
+//! contributes no rules and its rows are counted as uncoverable — a
+//! failed shard degrades, it never aborts the run.
 
 use crate::search::{global_midrange, partition_midrange, run_search, CrossShardPool, SearchRun};
 use crate::{
@@ -47,15 +54,17 @@ pub struct ShardOutcome {
     pub shard_id: usize,
     /// The shard's rows.
     pub rows: RowSet,
-    /// The key interval the shard was cut on (`None` for the single-shard
-    /// plan and the trailing null-key shard).
+    /// The key interval or null-key marker the shard was cut on (`None`
+    /// only for the single-shard plan).
     pub bounds: Option<ShardBounds>,
     /// Rules the shard contributed to the pre-merge concatenation.
     pub rules: usize,
     /// The shard's Algorithm 1 counters (fallback accounting when the
     /// shard failed).
     pub stats: DiscoveryStats,
-    /// How the shard's own run stopped.
+    /// How the shard's own run stopped. A failed shard reads
+    /// [`DiscoveryOutcome::Complete`] — its drain covered (or wrote off)
+    /// its rows — with the failure recorded in [`Self::error`].
     pub outcome: DiscoveryOutcome,
     /// Present iff the shard failed and was drained to constant
     /// fallbacks; always the [`DiscoveryError::Shard`] variant.
@@ -71,8 +80,12 @@ pub struct ShardedDiscovery {
     /// Per-shard counters summed, `learning_time` = wall clock of the
     /// whole sharded run.
     pub stats: DiscoveryStats,
-    /// [`DiscoveryOutcome::Complete`] when every shard completed;
-    /// otherwise the first non-complete shard's outcome in shard order.
+    /// [`DiscoveryOutcome::Complete`] unless some shard was stopped by
+    /// its budget, deadline or cancellation, in which case this is the
+    /// first non-complete shard's outcome in shard order. Shard
+    /// *failures* do not show up here (a failed shard drains to fallbacks
+    /// and reports `Complete`); check [`Self::failed_shards`] or each
+    /// [`ShardOutcome::error`].
     pub outcome: DiscoveryOutcome,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardOutcome>,
@@ -87,6 +100,14 @@ pub struct ShardedDiscovery {
     pub metrics: MetricsSnapshot,
 }
 
+impl ShardedDiscovery {
+    /// The shards that failed and were drained to fallbacks (or, if even
+    /// draining failed, contributed nothing). Empty on a clean run.
+    pub fn failed_shards(&self) -> impl Iterator<Item = &ShardOutcome> {
+        self.shards.iter().filter(|s| s.error.is_some())
+    }
+}
+
 /// One shard's raw result before merging.
 enum ShardRun {
     Ok(SearchRun),
@@ -99,7 +120,8 @@ enum ShardRun {
 /// [`crate::discover`] (no guards, no merge) and errors propagate
 /// directly. With more shards, per-shard failures degrade to constant
 /// fallbacks and never abort siblings; only instance-level problems
-/// (trivial target, empty instance, an invalid plan or config) error out.
+/// (trivial target, empty instance, a non-finite shard key, an invalid
+/// plan or config) error out — all detected before any shard runs.
 pub(crate) fn discover_sharded(
     table: &Table,
     rows: &RowSet,
@@ -231,10 +253,13 @@ pub(crate) fn discover_sharded(
     let mut shard_outcomes = Vec::with_capacity(shards.len());
     let mut global_moments: Option<Moments> = None;
     let mut moments_ok = true;
-    for (shard, run) in shards
-        .iter()
-        .zip(std::iter::once(seed_run).chain(runs.into_iter().flatten()))
-    {
+    // `.expect`, not `.flatten()`: a silently dropped slot would shift
+    // every later run onto the wrong shard (wrong bounds guarding the
+    // wrong rules). The worker loop fills every slot; hold it to that.
+    let finished = runs
+        .into_iter()
+        .map(|s| s.expect("shard slot unfilled by worker loop"));
+    for (shard, run) in shards.iter().zip(std::iter::once(seed_run).chain(finished)) {
         mx.incr(Ctr::ShardsRun);
         let (mut rules, stats, shard_outcome, error, root_moments) = match run {
             ShardRun::Ok(r) => (
@@ -250,7 +275,20 @@ pub(crate) fn discover_sharded(
                     shard_id: shard.id,
                     source: Box::new(e),
                 };
-                let (fallback, stats) = drain_shard(table, shard, cfg, mx)?;
+                // Degrade, never abort: if even the constant-fallback
+                // drain fails, the shard contributes no rules and its
+                // rows are written off as uncoverable. The original
+                // failure stays the shard's error; the (secondary) drain
+                // error is dropped.
+                let (fallback, stats) = drain_shard(table, shard, cfg, mx).unwrap_or_else(|_| {
+                    (
+                        RuleSet::new(),
+                        DiscoveryStats {
+                            uncoverable_rows: shard.rows.len(),
+                            ..DiscoveryStats::default()
+                        },
+                    )
+                });
                 (
                     fallback,
                     stats,
@@ -367,20 +405,37 @@ fn drain_shard(
     Ok((rules, stats))
 }
 
-/// Conjoins the shard's key interval onto every conjunct of every rule,
-/// making per-shard rules sound on the whole instance: `lo ≤ key` when
-/// bounded below, `key < hi` when bounded above (matching the partition's
-/// half-open buckets; the extreme shards stay open-ended).
+/// Conjoins an exact shard-membership predicate onto every conjunct of
+/// every rule, making per-shard rules sound on the whole instance:
+///
+/// * interval shard — `lo ≤ key` when bounded below, `key < hi` when
+///   bounded above (matching the partition's half-open buckets; the
+///   extreme shards stay open-ended, which is exact because null keys
+///   satisfy no comparison and non-finite keys are rejected at
+///   partition time);
+/// * null-key shard — `key IS NULL` (no comparison can express it);
+/// * unbounded interval shard (constant key coexisting with a null-key
+///   shard, so `lo` and `hi` are both `None`) — `key IS NOT NULL`, the
+///   exact complement of the only sibling it has.
 fn guard_rules(rules: &mut RuleSet, b: &ShardBounds) {
-    let lo = b.lo.map(|v| Predicate::ge(b.attr, Value::Float(v)));
-    let hi = b.hi.map(|v| Predicate::lt(b.attr, Value::Float(v)));
+    let mut guards: Vec<Predicate> = Vec::new();
+    if b.null_keys {
+        guards.push(Predicate::is_null(b.attr));
+    } else {
+        if let Some(v) = b.lo {
+            guards.push(Predicate::ge(b.attr, Value::Float(v)));
+        }
+        if let Some(v) = b.hi {
+            guards.push(Predicate::lt(b.attr, Value::Float(v)));
+        }
+        if guards.is_empty() {
+            guards.push(Predicate::not_null(b.attr));
+        }
+    }
     for rule in rules.rules_mut() {
         let dnf = rule.condition_mut();
         for conj in dnf.conjuncts_mut() {
-            if let Some(p) = &lo {
-                *conj = conj.and(p.clone());
-            }
-            if let Some(p) = &hi {
+            for p in &guards {
                 *conj = conj.and(p.clone());
             }
         }

@@ -232,6 +232,137 @@ fn shard_moments_merge_to_whole_table_moments() {
     }
 }
 
+/// A table whose shard key `k` is null on every 6th row, and whose
+/// null-key rows follow a *different-slope* regime (`y = 2x` instead of
+/// `y = x` — deliberately not an output shift, so Algorithm 2's
+/// translation fusion cannot absorb it). Any rule fit on the null shard
+/// that escapes its shard unguarded violates ρ on almost every non-null
+/// row — the exact soundness gap null-shard guarding closes.
+fn null_key_table(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let schema = Schema::new(vec![
+        ("k", AttrType::Float),
+        ("x", AttrType::Float),
+        ("y", AttrType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        let x = i as f64;
+        let (k, y) = if i % 6 == 5 {
+            (Value::Null, 2.0 * x)
+        } else {
+            (Value::Float(x), x)
+        };
+        t.push_row(vec![k, Value::Float(x), Value::Float(y)])
+            .unwrap();
+    }
+    let x = t.attr("x").unwrap();
+    let y = t.attr("y").unwrap();
+    let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+    let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+    (t, cfg, space)
+}
+
+#[test]
+fn null_key_shard_rules_are_guarded_and_sound_instance_wide() {
+    let (t, cfg, space) = null_key_table(240);
+    let k = key_of(&t, "k");
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(k, 2))
+        .run()
+        .unwrap();
+    // The trailing shard holds exactly the null-key rows and is marked so.
+    let last = out.shards.last().unwrap();
+    let b = last.bounds.expect("null shard must carry bounds");
+    assert!(b.null_keys, "trailing shard must be the null-key shard");
+    assert_eq!(last.rows.len(), 40);
+    assert_eq!(out.failed_shards().count(), 0);
+    // Every merged rule holds on the WHOLE instance, not just its shard:
+    // an unguarded null-shard rule (y = x + 1000) would violate ρ on every
+    // non-null row it claims.
+    for rule in out.rules.rules() {
+        assert_eq!(
+            rule.find_violation(&t, &t.all_rows()),
+            None,
+            "rule over-claims rows outside its shard: {}",
+            rule.display(t.schema())
+        );
+    }
+    // ... and coverage survives the guarding + merge.
+    assert!(out.rules.uncovered(&t, &t.all_rows()).is_empty());
+}
+
+#[test]
+fn constant_key_with_nulls_guards_the_unbounded_shard() {
+    // Constant non-null key: the cut degenerates to one unbounded interval
+    // shard plus the null shard. The interval shard's rules must be
+    // guarded `k IS NOT NULL` or they claim the (different-slope, hence
+    // non-fusable) null rows.
+    let schema = Schema::new(vec![
+        ("k", AttrType::Float),
+        ("x", AttrType::Float),
+        ("y", AttrType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..120 {
+        let x = i as f64;
+        let (k, y) = if i % 4 == 3 {
+            (Value::Null, 2.0 * x)
+        } else {
+            (Value::Float(7.0), x)
+        };
+        t.push_row(vec![k, Value::Float(x), Value::Float(y)])
+            .unwrap();
+    }
+    let x = t.attr("x").unwrap();
+    let y = t.attr("y").unwrap();
+    let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+    let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(key_of(&t, "k"), 3))
+        .run()
+        .unwrap();
+    assert_eq!(
+        out.shards.len(),
+        2,
+        "one interval shard plus the null shard"
+    );
+    let interval = out.shards[0].bounds.unwrap();
+    assert!(!interval.null_keys && interval.lo.is_none() && interval.hi.is_none());
+    for rule in out.rules.rules() {
+        assert_eq!(
+            rule.find_violation(&t, &t.all_rows()),
+            None,
+            "rule over-claims rows outside its shard: {}",
+            rule.display(t.schema())
+        );
+    }
+    assert!(out.rules.uncovered(&t, &t.all_rows()).is_empty());
+}
+
+#[test]
+fn non_finite_shard_keys_error_before_any_shard_runs() {
+    let (mut t, cfg, space) = two_regime_table(100);
+    let x = key_of(&t, "x");
+    t.set_value(50, x, Value::Float(f64::INFINITY));
+    // +Inf would satisfy every other shard's `key >= lo` guard, so no
+    // guard assignment is sound: partitioning must refuse the instance.
+    assert!(matches!(
+        DiscoverySession::on(&t)
+            .predicates(space)
+            .config(cfg)
+            .sharded(ShardPlan::by_key_range(x, 4))
+            .run(),
+        Err(DiscoveryError::Data(crr_data::DataError::NonFiniteCell {
+            row: 50,
+            ..
+        }))
+    ));
+}
+
 #[test]
 fn failed_shard_degrades_without_aborting_siblings() {
     let (mut t, cfg, space) = two_regime_table(200);
