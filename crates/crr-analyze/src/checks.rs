@@ -1,0 +1,445 @@
+//! The five static checks (A1–A5), all powered by `crr-core`'s
+//! implication engine — no row is ever scanned.
+//!
+//! Every check is *conservative*: the engine proves implication and
+//! unsatisfiability but never refutes them, so a finding is only emitted
+//! on a positive proof. Absence of findings means "nothing provable",
+//! not "nothing wrong".
+
+use crate::report::{AnalysisReport, Check, Finding, Severity};
+use crr_core::{Conjunction, Dnf, Op, RuleSet};
+use crr_discovery::{guard_predicates, ProofObligations};
+use crr_obs::AnalysisCounters;
+use std::sync::Arc;
+
+/// One analysis pass: borrowed rule set, accumulated findings and work
+/// counters, plus the per-rule "provably dead" mask A1 fills so later
+/// checks skip rules that can never fire.
+pub(crate) struct Pass<'a> {
+    rules: &'a RuleSet,
+    eps: f64,
+    counters: AnalysisCounters,
+    findings: Vec<Finding>,
+    /// `dead[i]`: rule `i`'s whole condition is provably unsatisfiable.
+    dead: Vec<bool>,
+}
+
+impl<'a> Pass<'a> {
+    pub(crate) fn new(rules: &'a RuleSet, eps: f64) -> Self {
+        Pass {
+            rules,
+            eps,
+            counters: AnalysisCounters {
+                rules: rules.len() as u64,
+                conjuncts: rules.total_conjuncts() as u64,
+                ..AnalysisCounters::default()
+            },
+            findings: Vec::new(),
+            dead: vec![false; rules.len()],
+        }
+    }
+
+    /// Counted front door to [`Conjunction::is_provably_unsat`].
+    fn unsat(&mut self, c: &Conjunction) -> bool {
+        self.counters.unsat_checks += 1;
+        c.is_provably_unsat()
+    }
+
+    /// Counted front door to [`Dnf::implies`].
+    fn dnf_implies(&mut self, a: &Dnf, b: &Dnf) -> bool {
+        self.counters.implication_checks += 1;
+        a.implies(b)
+    }
+
+    /// Counted front door to [`Conjunction::implies`].
+    fn conj_implies(&mut self, a: &Conjunction, b: &Conjunction) -> bool {
+        self.counters.implication_checks += 1;
+        a.implies(b)
+    }
+
+    fn push(
+        &mut self,
+        check: Check,
+        severity: Severity,
+        rule: Option<usize>,
+        shard: Option<usize>,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            check,
+            severity,
+            rule,
+            shard,
+            message,
+        });
+    }
+
+    /// A1 — satisfiability: a rule whose whole DNF is provably
+    /// unsatisfiable can never fire (redundant); a live rule with some
+    /// provably-unsatisfiable conjunct carries a dead disjunct (hygiene).
+    pub(crate) fn check_satisfiability(&mut self) {
+        for i in 0..self.rules.len() {
+            let conjs = self.rules.rules()[i].condition().conjuncts().to_vec();
+            let dead_ix: Vec<usize> = conjs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| self.unsat(c))
+                .map(|(k, _)| k)
+                .collect();
+            if !conjs.is_empty() && dead_ix.len() == conjs.len() {
+                self.dead[i] = true;
+                self.push(
+                    Check::Satisfiability,
+                    Severity::Redundant,
+                    Some(i),
+                    None,
+                    "condition is provably unsatisfiable; the rule can never fire".to_string(),
+                );
+            } else {
+                for k in dead_ix {
+                    self.push(
+                        Check::Satisfiability,
+                        Severity::Hygiene,
+                        Some(i),
+                        None,
+                        format!("conjunct #{k} is provably unsatisfiable (dead disjunct)"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A2 — subsumption: rule `i` is redundant when another rule `j` on
+    /// the same target provably covers everything `i` covers
+    /// (`C_i ⊢ C_j`, Definition 2) with a no-worse bias (`ρ_j ≤ ρ_i`).
+    /// For mutually-implying rules with equal ρ only the higher index is
+    /// flagged, so one survivor always remains.
+    pub(crate) fn check_subsumption(&mut self) {
+        let n = self.rules.len();
+        for i in 0..n {
+            if self.dead[i] {
+                continue;
+            }
+            for j in 0..n {
+                if j == i || self.dead[j] {
+                    continue;
+                }
+                let (ri, rj) = {
+                    let rs = self.rules.rules();
+                    if rs[i].target() != rs[j].target() {
+                        continue;
+                    }
+                    (rs[i].rho(), rs[j].rho())
+                };
+                if rj > ri + self.eps {
+                    continue;
+                }
+                let (ci, cj) = {
+                    let rs = self.rules.rules();
+                    (rs[i].condition().clone(), rs[j].condition().clone())
+                };
+                if !self.dnf_implies(&ci, &cj) {
+                    continue;
+                }
+                // Equal-ρ mutual implication: keep the earlier rule.
+                if (ri - rj).abs() <= self.eps && j > i && self.dnf_implies(&cj, &ci) {
+                    continue;
+                }
+                self.push(
+                    Check::Subsumption,
+                    Severity::Redundant,
+                    Some(i),
+                    None,
+                    format!(
+                        "subsumed by rule {j}: condition implies rule {j}'s \
+                         condition and ρ_{j} = {rj} ≤ ρ_{i} = {ri}"
+                    ),
+                );
+                break; // one subsumption finding per rule
+            }
+        }
+    }
+
+    /// A3 — shard-guard partition soundness, against the run's
+    /// [`ProofObligations`]:
+    ///
+    /// * *exactness* — each shard's recorded guard list equals the
+    ///   canonical membership predicates for its bounds
+    ///   ([`guard_predicates`]);
+    /// * *disjointness* — conjoining two shards' guards is provably
+    ///   unsatisfiable, pairwise;
+    /// * *coverage* — some shard is unbounded below and some unbounded
+    ///   above, and a `NOT NULL` guard only appears when a null-regime
+    ///   shard exists (a plan legitimately omits the null shard when the
+    ///   instance has no null keys, so a merely-absent null shard is not
+    ///   a finding);
+    /// * *confinement* — with ≥ 2 shards, every conjunct of every rule
+    ///   provably implies some shard's guard conjunction. A merged rule
+    ///   whose conjunct is confined to no shard would answer for rows of
+    ///   other shards — exactly the pre-fix null-shard bug where
+    ///   null-key rules lost their `IS NULL` guard.
+    pub(crate) fn check_guards(&mut self, ob: &ProofObligations) {
+        self.counters.shards = ob.guards.len() as u64;
+        // Exactness.
+        for g in &ob.guards {
+            let canonical = guard_predicates(&g.bounds);
+            if g.guards != canonical {
+                self.push(
+                    Check::GuardSoundness,
+                    Severity::Unsound,
+                    None,
+                    Some(g.shard_id),
+                    format!(
+                        "recorded guard list ({} predicate(s)) differs from the \
+                         canonical membership predicates for its bounds \
+                         ({} predicate(s))",
+                        g.guards.len(),
+                        canonical.len()
+                    ),
+                );
+            }
+        }
+        // Pairwise disjointness.
+        for a in 0..ob.guards.len() {
+            for b in (a + 1)..ob.guards.len() {
+                let mut preds = ob.guards[a].guards.clone();
+                preds.extend(ob.guards[b].guards.iter().cloned());
+                let merged = Conjunction::of(preds);
+                if !self.unsat(&merged) {
+                    let (sa, sb) = (ob.guards[a].shard_id, ob.guards[b].shard_id);
+                    self.push(
+                        Check::GuardSoundness,
+                        Severity::Unsound,
+                        None,
+                        Some(sa),
+                        format!("guards of shard {sa} and shard {sb} are not provably disjoint"),
+                    );
+                }
+            }
+        }
+        // Coverage of the key domain.
+        let interval: Vec<_> = ob.guards.iter().filter(|g| !g.bounds.null_keys).collect();
+        if !interval.is_empty() {
+            if !interval.iter().any(|g| g.bounds.lo.is_none()) {
+                self.push(
+                    Check::GuardSoundness,
+                    Severity::Unsound,
+                    None,
+                    None,
+                    "no shard is unbounded below: keys under the smallest bound are uncovered"
+                        .to_string(),
+                );
+            }
+            if !interval.iter().any(|g| g.bounds.hi.is_none()) {
+                self.push(
+                    Check::GuardSoundness,
+                    Severity::Unsound,
+                    None,
+                    None,
+                    "no shard is unbounded above: keys over the largest bound are uncovered"
+                        .to_string(),
+                );
+            }
+        }
+        let has_null_shard = ob.guards.iter().any(|g| g.bounds.null_keys);
+        let excludes_null = ob
+            .guards
+            .iter()
+            .any(|g| g.guards.iter().any(|p| p.op == Op::NotNull));
+        if excludes_null && !has_null_shard {
+            self.push(
+                Check::GuardSoundness,
+                Severity::Unsound,
+                None,
+                None,
+                "a NOT NULL guard excludes null keys but no shard covers the null regime"
+                    .to_string(),
+            );
+        }
+        // Confinement of merged rules.
+        if ob.guards.len() >= 2 {
+            let guard_conjs: Vec<Conjunction> = ob
+                .guards
+                .iter()
+                .map(|g| Conjunction::of(g.guards.clone()))
+                .collect();
+            for i in 0..self.rules.len() {
+                if self.dead[i] {
+                    continue;
+                }
+                let conjs = self.rules.rules()[i].condition().conjuncts().to_vec();
+                for (k, conj) in conjs.iter().enumerate() {
+                    // Confinement is a pure coverage question — which rows
+                    // the conjunct matches — and `eval` ignores built-ins,
+                    // so strip them before the implication test (which
+                    // otherwise requires built-ins to agree, as rule-level
+                    // Induction does). Compaction attaches translations to
+                    // merged conjuncts; they shift the model application,
+                    // not the shard membership.
+                    let coverage = Conjunction::of(conj.preds().to_vec());
+                    let confined = guard_conjs.iter().any(|g| self.conj_implies(&coverage, g));
+                    if !confined {
+                        self.push(
+                            Check::GuardSoundness,
+                            Severity::Unsound,
+                            Some(i),
+                            None,
+                            format!(
+                                "conjunct #{k} is not confined to any shard's guard; \
+                                 its rows could leak across shard boundaries"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A4 — inference-rule audit: the artifacts the compaction inference
+    /// rules produce must stay well-formed. A rule's ρ must be a finite
+    /// non-negative bias; a built-in translation must have one input
+    /// shift per rule input with finite components, or composing it per
+    /// Proposition 9 is undefined; duplicate conjuncts or predicates are
+    /// Fusion/refinement debris the dedup should have caught.
+    pub(crate) fn check_inference(&mut self) {
+        for i in 0..self.rules.len() {
+            let (rho, arity, conjs) = {
+                let r = &self.rules.rules()[i];
+                (
+                    r.rho(),
+                    r.inputs().len(),
+                    r.condition().conjuncts().to_vec(),
+                )
+            };
+            if !rho.is_finite() || rho < 0.0 {
+                self.push(
+                    Check::InferenceAudit,
+                    Severity::Unsound,
+                    Some(i),
+                    None,
+                    format!("ρ = {rho} is not a finite non-negative bias bound"),
+                );
+            }
+            for (k, conj) in conjs.iter().enumerate() {
+                if let Some(t) = conj.builtin() {
+                    if t.delta_x.len() != arity {
+                        self.push(
+                            Check::InferenceAudit,
+                            Severity::Unsound,
+                            Some(i),
+                            None,
+                            format!(
+                                "conjunct #{k}: translation input shift has arity {} but \
+                                 the rule has {arity} input(s) — Proposition 9 composition \
+                                 is undefined",
+                                t.delta_x.len()
+                            ),
+                        );
+                    } else if !t.delta_y.is_finite() || t.delta_x.iter().any(|d| !d.is_finite()) {
+                        self.push(
+                            Check::InferenceAudit,
+                            Severity::Unsound,
+                            Some(i),
+                            None,
+                            format!("conjunct #{k}: translation shift has non-finite components"),
+                        );
+                    }
+                }
+                let preds = conj.preds();
+                let mut dup = false;
+                for a in 0..preds.len() {
+                    for b in (a + 1)..preds.len() {
+                        if preds[a] == preds[b] {
+                            dup = true;
+                        }
+                    }
+                }
+                if dup {
+                    self.push(
+                        Check::InferenceAudit,
+                        Severity::Hygiene,
+                        Some(i),
+                        None,
+                        format!("conjunct #{k} repeats a predicate"),
+                    );
+                }
+            }
+            for a in 0..conjs.len() {
+                for b in (a + 1)..conjs.len() {
+                    if conjs[a] == conjs[b] {
+                        self.push(
+                            Check::InferenceAudit,
+                            Severity::Hygiene,
+                            Some(i),
+                            None,
+                            format!("conjunct #{b} duplicates conjunct #{a} (Fusion dedup debt)"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A5 — ρ-monotonicity: when rule `i` shares rule `j`'s model and
+    /// `C_i ⊢ C_j`, rule `j` already guarantees the shared model errs at
+    /// most `ρ_j` everywhere rule `i` applies, so claiming `ρ_i > ρ_j`
+    /// is internally inconsistent with what Fusion (which outputs
+    /// `max(ρ_1, ρ_2)`) and Generalization preserve. Never unsound — a
+    /// loose bound is still a bound — but worth flagging.
+    pub(crate) fn check_rho_monotonicity(&mut self) {
+        let n = self.rules.len();
+        for i in 0..n {
+            if self.dead[i] {
+                continue;
+            }
+            for j in 0..n {
+                if j == i || self.dead[j] {
+                    continue;
+                }
+                let (shared, same_target, ri, rj) = {
+                    let rs = self.rules.rules();
+                    (
+                        Arc::ptr_eq(rs[i].model(), rs[j].model()),
+                        rs[i].target() == rs[j].target(),
+                        rs[i].rho(),
+                        rs[j].rho(),
+                    )
+                };
+                if !shared || !same_target || ri <= rj + self.eps {
+                    continue;
+                }
+                let (ci, cj) = {
+                    let rs = self.rules.rules();
+                    (rs[i].condition().clone(), rs[j].condition().clone())
+                };
+                if self.dnf_implies(&ci, &cj) {
+                    self.push(
+                        Check::RhoMonotonicity,
+                        Severity::Hygiene,
+                        Some(i),
+                        None,
+                        format!(
+                            "shares rule {j}'s model and its condition implies rule {j}'s, \
+                             yet claims ρ_{i} = {ri} > ρ_{j} = {rj}; the shared model is \
+                             already bounded by {rj} here"
+                        ),
+                    );
+                    break; // one monotonicity finding per rule
+                }
+            }
+        }
+    }
+
+    /// Freezes the pass into a ranked [`AnalysisReport`].
+    pub(crate) fn into_report(self, shards: usize) -> AnalysisReport {
+        let mut report = AnalysisReport {
+            rules: self.rules.len(),
+            conjuncts: self.rules.total_conjuncts(),
+            shards,
+            findings: self.findings,
+            counters: self.counters,
+        };
+        report.finalize();
+        report
+    }
+}

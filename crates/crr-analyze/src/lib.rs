@@ -1,0 +1,456 @@
+//! `crr-analyze` — a static verifier for CRR artifacts.
+//!
+//! Discovery emits rule sets; sharded discovery additionally emits
+//! [`ProofObligations`] recording the guard predicates it wrapped each
+//! shard's rules in. This crate checks those artifacts **without scanning
+//! a single row**, using only `crr-core`'s implication engine
+//! ([`crr_core::Conjunction::implies`], Definition 2's
+//! [`crr_core::Dnf::implies`], [`crr_core::Conjunction::is_provably_unsat`]
+//! and the per-attribute [`crr_core::AttrSummary`] they are built on).
+//! Five checks:
+//!
+//! * **A1 satisfiability** — a condition that is provably unsatisfiable
+//!   (empty implied interval, `IS NULL` conjoined with a comparison, …)
+//!   marks the whole rule redundant, or a single dead disjunct as hygiene;
+//! * **A2 subsumption** — rule `i` is redundant when another rule on the
+//!   same target provably covers it with a no-worse bias;
+//! * **A3 shard-guard soundness** — recorded guards must equal the
+//!   canonical membership predicates, be pairwise provably disjoint,
+//!   jointly cover the key domain (including the null regime), and every
+//!   merged conjunct must be confined to some shard's guard — the check
+//!   that catches a dropped `IS NULL` guard on null-key rules;
+//! * **A4 inference audit** — ρ finite and non-negative, built-in
+//!   translations composable per Proposition 9 (matching arity, finite
+//!   shifts), no duplicate conjuncts or predicates;
+//! * **A5 ρ-monotonicity** — `C_i ⊢ C_j` with a shared model requires
+//!   `ρ_i ≤ ρ_j`, the invariant Fusion's `max(ρ_1, ρ_2)` output preserves.
+//!
+//! The engine is conservative — it proves, never refutes — so every
+//! finding is a positive proof and a clean report means "nothing
+//! provable", not "nothing wrong". Findings rank
+//! [`Severity::Unsound`] > [`Severity::Redundant`] >
+//! [`Severity::Hygiene`]; `scripts/ci.sh` refuses artifacts with unsound
+//! findings via `experiments -- --check-analysis`.
+//!
+//! # Example
+//!
+//! ```
+//! use crr_analyze::{analyze, Severity};
+//! use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
+//! use crr_data::{AttrId, Value};
+//! use crr_models::{ConstantModel, Model};
+//! use std::sync::Arc;
+//!
+//! let x = AttrId(0);
+//! let y = AttrId(1);
+//! let model = Arc::new(Model::Constant(ConstantModel::new(1.0, 1)));
+//! // x > 5 AND x < 3 can never hold.
+//! let dead = Conjunction::of(vec![
+//!     Predicate::gt(x, Value::Float(5.0)),
+//!     Predicate::lt(x, Value::Float(3.0)),
+//! ]);
+//! let mut rules = RuleSet::new();
+//! rules.push(Crr::new(vec![x], y, model, 0.5, Dnf::single(dead)).unwrap());
+//!
+//! let report = analyze(&rules, None);
+//! assert!(report.is_sound()); // unsatisfiable is dead weight, not wrong
+//! assert_eq!(report.summary().redundant, 1);
+//! ```
+
+#![deny(unsafe_code)]
+
+mod checks;
+mod report;
+
+pub use report::{AnalysisReport, Check, Finding, Severity, Summary};
+
+use checks::Pass;
+use crr_core::RuleSet;
+use crr_discovery::{ProofObligations, ShardedDiscovery};
+pub use crr_obs::AnalysisCounters;
+
+/// Tunables of an analysis pass.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Tolerance for ρ comparisons (subsumption's `ρ_j ≤ ρ_i`,
+    /// monotonicity's `ρ_i ≤ ρ_j`), absorbing serialization round-trips.
+    pub eps: f64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig { eps: 1e-9 }
+    }
+}
+
+/// Runs all five checks over `rules` (and, when given, the sharded run's
+/// guard obligations) with default tolerances. See [`analyze_with`].
+pub fn analyze(rules: &RuleSet, obligations: Option<&ProofObligations>) -> AnalysisReport {
+    analyze_with(rules, obligations, &AnalyzeConfig::default())
+}
+
+/// Runs all five checks with explicit tolerances. Pure and read-only:
+/// the rule set is never modified and no table is consulted.
+pub fn analyze_with(
+    rules: &RuleSet,
+    obligations: Option<&ProofObligations>,
+    cfg: &AnalyzeConfig,
+) -> AnalysisReport {
+    let mut pass = Pass::new(rules, cfg.eps);
+    pass.check_satisfiability();
+    pass.check_subsumption();
+    if let Some(ob) = obligations {
+        pass.check_guards(ob);
+    }
+    pass.check_inference();
+    pass.check_rho_monotonicity();
+    pass.into_report(obligations.map_or(0, |ob| ob.guards.len()))
+}
+
+/// Analyzes a discovery result directly: the merged rules against the
+/// obligations the run emitted (none on the single-shard fast path).
+pub fn analyze_discovery(d: &ShardedDiscovery) -> AnalysisReport {
+    analyze(&d.rules, d.obligations.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test fixtures: panicking on malformed fixtures is the failure mode
+    // we want.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
+    use crr_data::{AttrId, ShardBounds, Value};
+    use crr_discovery::{guard_predicates, ProofObligations, ShardGuard};
+    use crr_models::{ConstantModel, LinearModel, Model, Translation};
+    use std::sync::Arc;
+
+    fn x() -> AttrId {
+        AttrId(0)
+    }
+    fn y() -> AttrId {
+        AttrId(1)
+    }
+
+    fn model(c: f64) -> Arc<Model> {
+        Arc::new(Model::Constant(ConstantModel::new(c, 1)))
+    }
+
+    fn interval(lo: f64, hi: f64) -> Conjunction {
+        Conjunction::of(vec![
+            Predicate::ge(x(), Value::Float(lo)),
+            Predicate::lt(x(), Value::Float(hi)),
+        ])
+    }
+
+    fn rule(cond: Dnf, rho: f64, m: Arc<Model>) -> Crr {
+        Crr::new(vec![x()], y(), m, rho, cond).unwrap()
+    }
+
+    fn bounds(lo: Option<f64>, hi: Option<f64>, null_keys: bool) -> ShardBounds {
+        ShardBounds {
+            attr: x(),
+            lo,
+            hi,
+            null_keys,
+        }
+    }
+
+    fn guard(shard_id: usize, b: ShardBounds) -> ShardGuard {
+        ShardGuard {
+            shard_id,
+            guards: guard_predicates(&b),
+            bounds: b,
+        }
+    }
+
+    /// A canonical two-interval + null-shard obligation set.
+    fn obligations() -> ProofObligations {
+        ProofObligations {
+            shard_key: x(),
+            guards: vec![
+                guard(0, bounds(None, Some(10.0), false)),
+                guard(1, bounds(Some(10.0), None, false)),
+                guard(2, bounds(None, None, true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_set_has_no_findings() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(10.0, 20.0)), 0.5, model(2.0)));
+        let report = analyze(&rules, None);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.is_sound());
+        assert_eq!(report.rules, 2);
+        assert_eq!(report.conjuncts, 2);
+        assert_eq!(report.counters.rules, 2);
+        assert!(report.counters.unsat_checks >= 2);
+    }
+
+    #[test]
+    fn unsat_rule_is_redundant_and_dead_disjunct_is_hygiene() {
+        let dead = interval(10.0, 5.0); // empty interval
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(dead.clone()), 0.5, model(1.0)));
+        rules.push(rule(
+            Dnf::of(vec![interval(0.0, 5.0), dead]),
+            0.5,
+            model(2.0),
+        ));
+        let report = analyze(&rules, None);
+        let sat: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::Satisfiability)
+            .collect();
+        assert_eq!(sat.len(), 2, "{:?}", report.findings);
+        assert_eq!(sat[0].severity, Severity::Redundant);
+        assert_eq!(sat[0].rule, Some(0));
+        assert_eq!(sat[1].severity, Severity::Hygiene);
+        assert_eq!(sat[1].rule, Some(1));
+        assert!(report.is_sound());
+    }
+
+    #[test]
+    fn null_test_conflicts_are_provably_unsat() {
+        let c = Conjunction::of(vec![
+            Predicate::is_null(x()),
+            Predicate::ge(x(), Value::Float(0.0)),
+        ]);
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(c), 0.5, model(1.0)));
+        let report = analyze(&rules, None);
+        assert_eq!(report.summary().redundant, 1);
+    }
+
+    #[test]
+    fn narrower_rule_with_no_better_rho_is_subsumed() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(2.0, 4.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(2.0)));
+        let report = analyze(&rules, None);
+        let sub: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::Subsumption)
+            .collect();
+        assert_eq!(sub.len(), 1, "{:?}", report.findings);
+        assert_eq!(sub[0].rule, Some(0));
+        assert_eq!(sub[0].severity, Severity::Redundant);
+    }
+
+    #[test]
+    fn narrower_rule_with_tighter_rho_survives() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(2.0, 4.0)), 0.1, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(2.0)));
+        let report = analyze(&rules, None);
+        assert!(
+            report
+                .findings
+                .iter()
+                .all(|f| f.check != Check::Subsumption),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn duplicate_rules_flag_only_the_later_one() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(2.0)));
+        let report = analyze(&rules, None);
+        let sub: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::Subsumption)
+            .collect();
+        assert_eq!(sub.len(), 1, "{:?}", report.findings);
+        assert_eq!(sub[0].rule, Some(1), "higher index is the duplicate");
+    }
+
+    #[test]
+    fn clean_obligations_verify() {
+        let mut rules = RuleSet::new();
+        let low = interval(0.0, 5.0).and(Predicate::lt(x(), Value::Float(10.0)));
+        rules.push(rule(Dnf::single(low), 0.5, model(1.0)));
+        let nul = Conjunction::of(vec![Predicate::is_null(x())]);
+        rules.push(rule(Dnf::single(nul), 0.5, model(2.0)));
+        let report = analyze(&rules, Some(&obligations()));
+        assert!(report.is_sound(), "{:?}", report.findings);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.counters.shards, 3);
+    }
+
+    #[test]
+    fn tampered_guard_list_breaks_exactness() {
+        let mut ob = obligations();
+        ob.guards[2].guards.clear(); // null shard loses its IS NULL guard
+        let rules = RuleSet::new();
+        let report = analyze(&rules, Some(&ob));
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::GuardSoundness
+                && f.shard == Some(2)
+                && f.message.contains("canonical")));
+    }
+
+    #[test]
+    fn overlapping_shards_break_disjointness() {
+        let ob = ProofObligations {
+            shard_key: x(),
+            guards: vec![
+                guard(0, bounds(None, Some(10.0), false)),
+                guard(1, bounds(Some(5.0), None, false)), // overlaps [5, 10)
+            ],
+        };
+        let rules = RuleSet::new();
+        let report = analyze(&rules, Some(&ob));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Unsound && f.message.contains("disjoint")));
+    }
+
+    #[test]
+    fn missing_open_ends_are_uncovered() {
+        let ob = ProofObligations {
+            shard_key: x(),
+            guards: vec![
+                guard(0, bounds(Some(0.0), Some(10.0), false)),
+                guard(1, bounds(Some(10.0), Some(20.0), false)),
+            ],
+        };
+        let rules = RuleSet::new();
+        let report = analyze(&rules, Some(&ob));
+        let msgs: Vec<_> = report.findings.iter().map(|f| &f.message).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("unbounded below")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("unbounded above")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn not_null_guard_without_null_shard_is_unsound() {
+        let ob = ProofObligations {
+            shard_key: x(),
+            guards: vec![
+                guard(0, bounds(None, None, false)), // NOT NULL guard
+                guard(1, bounds(None, Some(0.0), false)),
+            ],
+        };
+        let rules = RuleSet::new();
+        let report = analyze(&rules, Some(&ob));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Unsound && f.message.contains("null regime")));
+    }
+
+    #[test]
+    fn unguarded_conjunct_is_not_confined() {
+        // A rule whose conjunct carries no shard guard at all: the exact
+        // shape of the pre-fix null-shard bug after the merge.
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(Conjunction::top()), 0.5, model(1.0)));
+        let report = analyze(&rules, Some(&obligations()));
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::GuardSoundness
+                && f.rule == Some(0)
+                && f.message.contains("confined")));
+    }
+
+    #[test]
+    fn translation_arity_mismatch_is_unsound() {
+        // `Crr::new` rejects a mismatched builtin up front, so tamper
+        // after construction — the drift A4 exists to catch.
+        let mut r = rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0));
+        r.condition_mut().conjuncts_mut()[0].set_builtin(Translation {
+            delta_x: vec![1.0, 2.0], // rule has 1 input
+            delta_y: 0.0,
+        });
+        let mut rules = RuleSet::new();
+        rules.push(r);
+        let report = analyze(&rules, None);
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::InferenceAudit && f.message.contains("arity")));
+    }
+
+    #[test]
+    fn non_finite_shift_and_rho_are_unsound() {
+        let mut c = interval(0.0, 10.0);
+        c.set_builtin(Translation {
+            delta_x: vec![f64::NAN],
+            delta_y: 0.0,
+        });
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(c), f64::INFINITY, model(1.0)));
+        let report = analyze(&rules, None);
+        let audit: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::InferenceAudit && f.severity == Severity::Unsound)
+            .collect();
+        assert_eq!(audit.len(), 2, "{:?}", report.findings);
+    }
+
+    #[test]
+    fn duplicate_conjuncts_and_predicates_are_hygiene() {
+        let c = interval(0.0, 10.0);
+        let repeated = Conjunction::of(vec![Predicate::ge(x(), Value::Float(0.0)); 2]);
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::of(vec![c.clone(), c, repeated]), 0.5, model(1.0)));
+        let report = analyze(&rules, None);
+        let hygiene: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::InferenceAudit && f.severity == Severity::Hygiene)
+            .collect();
+        assert_eq!(hygiene.len(), 2, "{:?}", report.findings);
+        assert!(report.is_sound());
+    }
+
+    #[test]
+    fn shared_model_rho_regression_is_flagged() {
+        let m = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(2.0, 4.0)), 1.0, Arc::clone(&m)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, m));
+        let report = analyze(&rules, None);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RhoMonotonicity
+                && f.rule == Some(0)
+                && f.severity == Severity::Hygiene));
+    }
+
+    #[test]
+    fn distinct_models_do_not_trigger_monotonicity() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(2.0, 4.0)), 1.0, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(2.0)));
+        let report = analyze(&rules, None);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.check != Check::RhoMonotonicity));
+    }
+}

@@ -1,0 +1,141 @@
+//! Mutation-tests the guard-soundness check against the *real* sharded
+//! discovery pipeline: a clean run verifies, and two seeded regressions —
+//! re-creating the pre-fix null-shard bug where null-key rules escaped
+//! their shard unguarded — are each caught as `unsound`.
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_analyze::{analyze, analyze_discovery, Check, Severity};
+use crr_core::Op;
+use crr_data::{AttrType, Schema, Table, Value};
+use crr_discovery::{
+    DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, ShardPlan, ShardedDiscovery,
+};
+
+/// A table whose shard key `k` is null on every 6th row, with the
+/// null-key rows following a different-slope regime — the fixture the
+/// sharded soundness tests use, rebuilt here for the analyzer.
+fn null_key_table(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+    let schema = Schema::new(vec![
+        ("k", AttrType::Float),
+        ("x", AttrType::Float),
+        ("y", AttrType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        let x = i as f64;
+        let (k, y) = if i % 6 == 5 {
+            (Value::Null, 2.0 * x)
+        } else {
+            (Value::Float(x), x)
+        };
+        t.push_row(vec![k, Value::Float(x), Value::Float(y)])
+            .unwrap();
+    }
+    let x = t.attr("x").unwrap();
+    let y = t.attr("y").unwrap();
+    let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+    let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+    (t, cfg, space)
+}
+
+fn sharded_run() -> ShardedDiscovery {
+    let (t, cfg, space) = null_key_table(240);
+    let k = t.attr("k").unwrap();
+    DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(k, 2))
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn clean_sharded_run_with_null_keys_verifies() {
+    let out = sharded_run();
+    let ob = out.obligations.as_ref().expect("multi-shard obligations");
+    assert_eq!(ob.guards.len(), 3, "two intervals plus the null shard");
+    let report = analyze_discovery(&out);
+    assert!(
+        report.is_sound(),
+        "clean pipeline output must verify: {:?}",
+        report.findings
+    );
+    assert_eq!(report.shards, 3);
+    assert!(report.counters.implication_checks > 0);
+}
+
+#[test]
+fn stripping_null_guards_recreates_the_prefix_bug_and_is_flagged() {
+    let out = sharded_run();
+    // Mutation: delete every IS NULL predicate from the merged rules —
+    // exactly what the pre-fix merge produced, leaving null-shard rules
+    // free to answer for non-null rows.
+    let mut rules = out.rules.clone();
+    let mut stripped = 0usize;
+    for rule in rules.rules_mut() {
+        for conj in rule.condition_mut().conjuncts_mut() {
+            let before = conj.preds().len();
+            let kept: Vec<_> = conj
+                .preds()
+                .iter()
+                .filter(|p| p.op != Op::IsNull)
+                .cloned()
+                .collect();
+            stripped += before - kept.len();
+            *conj = crr_core::Conjunction::of(kept);
+        }
+    }
+    assert!(stripped > 0, "fixture must actually carry IS NULL guards");
+    let report = analyze(&rules, out.obligations.as_ref());
+    assert!(!report.is_sound(), "the mutation must be caught");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::GuardSoundness
+                && f.severity == Severity::Unsound
+                && f.message.contains("confined")),
+        "expected a confinement finding: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn emptying_the_null_shards_guard_list_is_flagged() {
+    let out = sharded_run();
+    let mut ob = out.obligations.clone().expect("multi-shard obligations");
+    let null_guard = ob
+        .guards
+        .iter_mut()
+        .find(|g| g.bounds.null_keys)
+        .expect("null shard present");
+    null_guard.guards.clear();
+    let report = analyze(&out.rules, Some(&ob));
+    assert!(!report.is_sound());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::GuardSoundness
+                && f.severity == Severity::Unsound
+                && f.message.contains("canonical")),
+        "expected a guard-exactness finding: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn single_shard_runs_carry_no_obligations_and_verify() {
+    let (t, cfg, space) = null_key_table(120);
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .run()
+        .unwrap();
+    assert!(out.obligations.is_none(), "fast path applies no guards");
+    let report = analyze_discovery(&out);
+    assert!(report.is_sound(), "{:?}", report.findings);
+    assert_eq!(report.shards, 0);
+}

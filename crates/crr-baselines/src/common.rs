@@ -111,6 +111,7 @@ pub fn evaluate_predictor(
 }
 
 /// Gathers `(xs, y)` fit pairs for `rows` with complete inputs + target.
+#[allow(clippy::expect_used)] // rows are pre-filtered by complete_rows
 pub(crate) fn fit_pairs(
     table: &Table,
     rows: &RowSet,

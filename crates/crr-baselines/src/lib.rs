@@ -18,6 +18,8 @@
 //! harness measures learning time, evaluation time, #rules and RMSE
 //! uniformly — the four panels of Figures 2–4.
 
+#![deny(unsafe_code)]
+
 mod ar;
 mod common;
 mod dhr;

@@ -50,6 +50,7 @@ pub struct FittedMclr {
 }
 
 impl Mclr {
+    #[allow(clippy::unwrap_used, clippy::expect_used)] // rows pre-filtered by complete_rows; mc_iters >= 1 guarantees a best
     /// Fits per-stratum best-of-Monte-Carlo linear models.
     pub fn fit(
         table: &Table,
@@ -106,7 +107,7 @@ impl Mclr {
                         e * e
                     })
                     .sum();
-                if best.as_ref().map_or(true, |(b, _)| sse < *b) {
+                if best.as_ref().is_none_or(|(b, _)| sse < *b) {
                     best = Some((sse, candidate));
                 }
             }

@@ -48,6 +48,7 @@ pub struct FittedRecur {
 impl Recur {
     /// Segments the target series at upward crossings of its mean and fits
     /// one time-linear model per period.
+    #[allow(clippy::expect_used)] // boundaries starts non-empty
     pub fn fit(
         table: &Table,
         rows: &RowSet,

@@ -53,6 +53,7 @@ pub struct FittedSampLr {
 impl SampLr {
     /// Fits per-stratum averaged linear models. `stratify` is the
     /// categorical attribute defining strata (`None` = single stratum).
+    #[allow(clippy::unwrap_used)] // rows pre-filtered by complete_rows
     pub fn fit(
         table: &Table,
         rows: &RowSet,

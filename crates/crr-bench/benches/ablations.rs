@@ -2,13 +2,27 @@
 //! model sharing, split criterion, and the interval rule index (full
 //! comparison: `experiments -- ablation`).
 
-// Benches the classic single-shard path through its stable (deprecated)
-// wrapper so tracked timings stay comparable across releases.
-#![allow(deprecated)]
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_bench::*;
 use crr_core::{LocateStrategy, RuleIndex};
-use crr_discovery::{discover, SplitStrategy};
+use crr_discovery::SplitStrategy;
+
+/// Single-shard discovery through the session front door.
+fn discover(
+    t: &crr_data::Table,
+    rows: &crr_data::RowSet,
+    cfg: &crr_discovery::DiscoveryConfig,
+    space: &crr_discovery::PredicateSpace,
+) -> crr_discovery::Result<crr_discovery::ShardedDiscovery> {
+    crr_discovery::DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");

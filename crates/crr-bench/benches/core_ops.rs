@@ -3,6 +3,9 @@
 //! rules themselves. Not tied to a paper figure — these guard the hot
 //! paths the figure benches sit on.
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use crr_bench::*;
 use crr_core::inference::{fusion, translation};

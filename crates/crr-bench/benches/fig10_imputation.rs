@@ -2,6 +2,9 @@
 //! vs. uncompacted rule sets — the downstream win of fewer rules (full
 //! comparison: `experiments -- fig10`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;

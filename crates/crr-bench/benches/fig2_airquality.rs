@@ -2,6 +2,9 @@
 //! baselines on AirQuality instances (reduced sizes; the full sweep is
 //! `experiments -- fig2`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
 

@@ -2,6 +2,9 @@
 //! discovery cost as the minute-level series grows (reduced sizes; full
 //! sweep: `experiments -- fig3`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crr_bench::*;
 

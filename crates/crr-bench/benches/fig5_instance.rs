@@ -1,6 +1,9 @@
 //! Criterion bench for Figure 5: CRR vs. unconditional RR per model
 //! family on BirdMap (reduced sizes; full sweep: `experiments -- fig5`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
 use crr_models::ModelKind;

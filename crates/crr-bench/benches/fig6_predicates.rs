@@ -1,6 +1,9 @@
 //! Criterion bench for Figure 6: discovery cost vs. predicate-space size
 //! |P| (full sweep: `experiments -- fig6`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
 

@@ -1,13 +1,23 @@
 //! Criterion bench for Figure 7: multi-target discovery cost vs. number
 //! of target columns (full sweep: `experiments -- fig7`).
 
-// Benches the classic single-shard path through its stable (deprecated)
-// wrapper so tracked timings stay comparable across releases.
-#![allow(deprecated)]
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
-use crr_discovery::parallel::{discover_all, Task};
-use crr_discovery::{DiscoveryConfig, PredicateGen};
+use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen, Task};
+
+fn discover_all(
+    table: &crr_data::Table,
+    rows: &crr_data::RowSet,
+    tasks: &[Task],
+    threads: usize,
+) -> Vec<crr_discovery::Result<crr_discovery::Discovery>> {
+    DiscoverySession::on(table)
+        .rows(rows.clone())
+        .run_all(tasks, threads)
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_columns");

@@ -2,6 +2,9 @@
 //! rho_M — smaller bias refines more conditions and costs more (full
 //! sweep: `experiments -- fig8`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crr_bench::*;
 

@@ -2,6 +2,9 @@
 //! exported regression tree vs. the tree fit itself (full comparison:
 //! `experiments -- fig9`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;

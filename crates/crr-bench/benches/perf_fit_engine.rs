@@ -7,13 +7,27 @@
 //!
 //! `cargo bench -p crr-bench --bench perf_fit_engine`
 
-// Benches the classic single-shard path through its stable (deprecated)
-// wrapper so tracked timings stay comparable across releases.
-#![allow(deprecated)]
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::type_complexity)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crr_bench::{crr_inputs, electricity_scenario, tax_scenario, CrrOptions, Scenario};
 use crr_data::NumericSnapshot;
-use crr_discovery::{discover, share_fit_rows, share_fit_snapshot, FitEngine};
+use crr_discovery::{share_fit_rows, share_fit_snapshot, FitEngine};
+
+/// Single-shard discovery through the session front door.
+fn discover(
+    t: &crr_data::Table,
+    rows: &crr_data::RowSet,
+    cfg: &crr_discovery::DiscoveryConfig,
+    space: &crr_discovery::PredicateSpace,
+) -> crr_discovery::Result<crr_discovery::ShardedDiscovery> {
+    crr_discovery::DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 use crr_models::{fit_model, try_fit_from_moments, FitConfig, ModelKind, Moments};
 use std::time::Duration;
 

@@ -8,12 +8,26 @@
 //!
 //! `cargo bench -p crr-bench --bench perf_obs_overhead`
 
-// Benches the classic single-shard path through its stable (deprecated)
-// wrapper so tracked timings stay comparable across releases.
-#![allow(deprecated)]
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crr_bench::{crr_inputs, electricity_scenario, CrrOptions};
-use crr_discovery::{discover, MetricsSink};
+use crr_discovery::MetricsSink;
+
+/// Single-shard discovery through the session front door.
+fn discover(
+    t: &crr_data::Table,
+    rows: &crr_data::RowSet,
+    cfg: &crr_discovery::DiscoveryConfig,
+    space: &crr_discovery::PredicateSpace,
+) -> crr_discovery::Result<crr_discovery::ShardedDiscovery> {
+    crr_discovery::DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 use std::time::Duration;
 
 fn bench_obs_overhead(c: &mut Criterion) {

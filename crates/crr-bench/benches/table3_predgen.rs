@@ -2,6 +2,9 @@
 //! predicate-generation strategies (full comparison:
 //! `experiments -- table3`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_bench::*;
 use crr_discovery::PredicateGen;

@@ -2,6 +2,9 @@
 //! orderings — Decrease should win by sharing models sooner (full
 //! comparison: `experiments -- table4`).
 
+// Bench harness: panicking on setup failure is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use crr_bench::*;
 use crr_discovery::QueueOrder;

@@ -47,9 +47,29 @@
 //! `--check-metrics` re-validates such a file — see EXPERIMENTS.md,
 //! section "Benchmark artifact schemas", for both layouts.
 //!
+//! Static verification (also excluded from `all`):
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- analyze
+//! cargo run --release -p crr-bench --bin experiments -- --analysis-json out.json analyze
+//! cargo run --release -p crr-bench --bin experiments -- --check-analysis analysis.json
+//! ```
+//!
+//! `analyze` discovers rules on Electricity and Tax — once unsharded,
+//! once under a key-range shard plan — and runs `crr-analyze`'s five
+//! static checks (satisfiability, subsumption, shard-guard soundness,
+//! inference audit, ρ-monotonicity) over each artifact, the sharded ones
+//! against their emitted proof obligations. The reports are written as
+//! `analysis.json` (or the `--analysis-json` path); any `unsound` finding
+//! aborts in-process. `--check-analysis` re-validates such a file — the
+//! CI gate refusing artifacts that fail their own verification.
+//!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets); the *shape* — who wins, by what factor, where
 //! crossovers fall — is what EXPERIMENTS.md records and compares.
+
+// CLI harness: panicking on setup/IO failure is the failure mode we want,
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::type_complexity)]
 
 use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;
@@ -64,10 +84,9 @@ use crr_impute::{impute_with_rules, mask_random};
 use crr_models::ModelKind;
 use std::time::Instant;
 
-/// One single-shard discovery run through the session front door — the
-/// drop-in replacement for the deprecated positional `discover` at every
-/// untimed call site. Timed sites build the session *before* starting the
-/// clock so the builder clones stay out of the measurement.
+/// One single-shard discovery run through the session front door, used at
+/// every untimed call site. Timed sites build the session *before* starting
+/// the clock so the builder clones stay out of the measurement.
 fn run_discovery(
     table: &Table,
     rows: &RowSet,
@@ -86,6 +105,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut budget = crr_discovery::Budget::unlimited();
     let mut bench_json_path = "BENCH_discovery.json".to_string();
+    let mut analysis_json_path = "analysis.json".to_string();
     let mut metrics_out: Option<String> = None;
     let mut shards = 4usize;
     let mut experiments: Vec<String> = Vec::new();
@@ -100,6 +120,28 @@ fn main() {
                 let text = std::fs::read_to_string(path)
                     .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
                 match bench_json::validate(&text) {
+                    Ok(summary) => {
+                        println!("{path}: {summary}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        eprintln!(
+                            "(the expected layout is documented in EXPERIMENTS.md, \
+                             section \"Benchmark artifact schemas\")"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--analysis-json" => {
+                analysis_json_path = it.next().expect("--analysis-json needs a path").clone();
+            }
+            "--check-analysis" => {
+                let path = it.next().expect("--check-analysis needs a path");
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                match analysis_json::validate(&text) {
                     Ok(summary) => {
                         println!("{path}: {summary}");
                         return;
@@ -199,6 +241,7 @@ fn main() {
             "table4" => table4(scale),
             "ablation" => ablation(scale),
             "bench" => bench(scale, &bench_json_path, metrics_out.as_deref(), shards),
+            "analyze" => analyze_cmd(scale, &analysis_json_path, shards),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -1137,4 +1180,87 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         std::fs::write(mpath, &mtext).unwrap_or_else(|e| panic!("cannot write {mpath}: {e}"));
         println!("wrote {mpath} ({msummary})");
     }
+}
+
+/// `analyze`: discover on Electricity and Tax — unsharded and under a
+/// key-range shard plan — and run the `crr-analyze` static verifier over
+/// each artifact, the sharded ones against their emitted proof
+/// obligations. Any `unsound` finding aborts here; redundant/hygiene
+/// findings are reported and land in the artifact. The runs are written
+/// to `path` in the `crr-analysis-v1` layout that `--check-analysis`
+/// (and CI) re-validates.
+fn analyze_cmd(scale: f64, path: &str, shards: usize) {
+    let cells: [(&str, fn(usize, u64) -> Scenario, usize, usize); 2] = [
+        ("electricity", electricity_scenario, 11_520, 255),
+        ("tax", tax_scenario, 10_000, 15),
+    ];
+    let mut runs: Vec<analysis_json::AnalysisRun> = Vec::new();
+    let mut table_rows = Vec::new();
+    for (name, make, size, per_attr) in cells {
+        let sc = make(scaled(size, scale), 42);
+        let rows = sc.rows();
+        let opts = CrrOptions {
+            predicates_per_attr: per_attr,
+            ..Default::default()
+        };
+        let (cfg, space) = crr_inputs(&sc, &opts);
+
+        // Unsharded artifact: no guard obligations, so A3 is vacuous and
+        // the report covers satisfiability, subsumption, the inference
+        // audit and rho-monotonicity.
+        let single = run_discovery(sc.table(), &rows, &cfg, &space).expect("discovery");
+        // Sharded artifact: key-range shards over the scenario's key
+        // attribute, verified against the emitted proof obligations.
+        let sharded = DiscoverySession::on(sc.table())
+            .rows(rows.clone())
+            .predicates(space.clone())
+            .config(cfg.clone().with_shard_threads(shards.min(4)))
+            .sharded(ShardPlan::by_key_range(sc.time_attr, shards))
+            .run()
+            .expect("sharded discovery");
+
+        for (source, d) in [("single", &single), ("sharded", &sharded)] {
+            let report = crr_analyze::analyze_discovery(d);
+            assert!(
+                report.is_sound(),
+                "{name}/{source}: analyzer found unsound artifacts: {:#?}",
+                report.findings
+            );
+            let s = report.summary();
+            table_rows.push(vec![
+                name.to_string(),
+                rows.len().to_string(),
+                source.to_string(),
+                report.rules.to_string(),
+                report.conjuncts.to_string(),
+                report.shards.to_string(),
+                report.counters.implication_checks.to_string(),
+                s.redundant.to_string(),
+                s.hygiene.to_string(),
+            ]);
+            runs.push(analysis_json::AnalysisRun {
+                dataset: name.to_string(),
+                rows: rows.len(),
+                source: source.to_string(),
+                report,
+            });
+        }
+    }
+    print_table(
+        "Static analysis: crr-analyze over discovered artifacts",
+        &[
+            "Dataset", "|I|", "Source", "#Rules", "#Conj", "#Shards", "#Impl", "Redund", "Hygiene",
+        ],
+        &table_rows,
+    );
+    for run in &runs {
+        for f in &run.report.findings {
+            println!("  {}@{}/{}: {f}", run.dataset, run.rows, run.source);
+        }
+    }
+    let text = analysis_json::render(&runs);
+    // Self-check before writing: never persist an artifact CI would reject.
+    let summary = analysis_json::validate(&text).expect("emitted analysis must validate");
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({summary})");
 }

@@ -11,12 +11,20 @@
 //!   time**, **evaluation time**, **#rules** and **RMSE**;
 //! * table formatting for paper-style console output.
 //!
-//! Two submodules emit the machine-readable artifacts the tracked
+//! Three submodules emit the machine-readable artifacts the tracked
 //! benchmark writes and CI re-validates: [`bench_json`]
-//! (`BENCH_discovery.json` — engine timings) and [`metrics_json`]
+//! (`BENCH_discovery.json` — engine timings), [`metrics_json`]
 //! (`metrics.json` — observability snapshots from `crr_obs`-instrumented
-//! runs, including a fault-injection harness cell). Both schemas are
-//! documented in `EXPERIMENTS.md`, section "Benchmark artifact schemas".
+//! runs, including a fault-injection harness cell) and [`analysis_json`]
+//! (`analysis.json` — `crr-analyze` static-verifier reports over the
+//! discovered artifacts, gated on zero `unsound` findings). All schemas
+//! are documented in `EXPERIMENTS.md`, section "Benchmark artifact
+//! schemas".
+
+#![deny(unsafe_code)]
+// Bench/experiment harness: panicking on setup failure is the failure mode
+// we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use crr_baselines::{
     evaluate_predictor, Ar, ArConfig, BaselinePredictor, Dhr, DhrConfig, Forest, ForestConfig,
@@ -33,6 +41,7 @@ use crr_models::{FitConfig, ModelKind};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+pub mod analysis_json;
 pub mod bench_json;
 pub mod metrics_json;
 

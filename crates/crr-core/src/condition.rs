@@ -172,15 +172,29 @@ fn builtin_eq(a: Option<&Translation>, b: Option<&Translation>) -> bool {
 
 /// One bound of an interval: the constant plus whether it is exclusive.
 #[derive(Debug, Clone)]
-struct Bound {
+pub struct Bound {
     value: Value,
     strict: bool,
 }
 
+impl Bound {
+    /// The bounding constant.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Whether the bound is exclusive.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+}
+
 /// Per-attribute summary of a conjunction's constraints: implied interval,
-/// pinned equality and excluded values. The basis of the implication check.
+/// pinned equality and excluded values. The basis of the implication check,
+/// exposed for static analyzers (`crr-analyze`) that reason about conditions
+/// without scanning rows.
 #[derive(Debug, Clone, Default)]
-struct AttrSummary {
+pub struct AttrSummary {
     lo: Option<Bound>,
     hi: Option<Bound>,
     eq: Option<Value>,
@@ -194,7 +208,8 @@ struct AttrSummary {
 }
 
 impl AttrSummary {
-    fn from_conjunction(c: &Conjunction, attr: AttrId) -> AttrSummary {
+    /// Summarizes every predicate of `c` that mentions `attr`.
+    pub fn from_conjunction(c: &Conjunction, attr: AttrId) -> AttrSummary {
         let mut s = AttrSummary::default();
         for p in c.preds() {
             if p.attr != attr {
@@ -267,15 +282,51 @@ impl AttrSummary {
         }
     }
 
+    /// The implied lower bound, if any.
+    pub fn lo(&self) -> Option<&Bound> {
+        self.lo.as_ref()
+    }
+
+    /// The implied upper bound, if any.
+    pub fn hi(&self) -> Option<&Bound> {
+        self.hi.as_ref()
+    }
+
+    /// The pinned equality value, if any.
+    pub fn eq(&self) -> Option<&Value> {
+        self.eq.as_ref()
+    }
+
+    /// Explicitly excluded values.
+    pub fn ne(&self) -> &[Value] {
+        &self.ne
+    }
+
+    /// Whether an `A IS NULL` predicate is present.
+    pub fn is_null(&self) -> bool {
+        self.is_null
+    }
+
+    /// Whether an `A IS NOT NULL` predicate is present.
+    pub fn not_null(&self) -> bool {
+        self.not_null
+    }
+
+    /// Whether constraints mixed incomparable value kinds (nothing can be
+    /// proven from this summary).
+    pub fn incomparable(&self) -> bool {
+        self.incomparable
+    }
+
     /// Any comparison predicate is present (each requires a non-null cell).
-    fn has_comparison(&self) -> bool {
+    pub fn has_comparison(&self) -> bool {
         self.eq.is_some() || self.lo.is_some() || self.hi.is_some() || !self.ne.is_empty()
     }
 
     /// Provably empty: `lo > hi`, touching strict bounds, a pinned value
     /// outside the interval / in the excluded set, or `IS NULL` conjoined
     /// with anything a null cell cannot satisfy.
-    fn is_unsat(&self) -> bool {
+    pub fn is_unsat(&self) -> bool {
         // Null cells satisfy no comparison, so IS NULL conflicts with every
         // comparison predicate as well as with IS NOT NULL. Checked before
         // the incomparable bail-out: nullness is kind-independent.
@@ -315,7 +366,7 @@ impl AttrSummary {
     }
 
     /// Does this summary prove `A op c`? Conservative: `false` = unknown.
-    fn implies(&self, op: Op, c: &Value) -> bool {
+    pub fn implies(&self, op: Op, c: &Value) -> bool {
         if self.is_unsat() {
             return true;
         }

@@ -18,6 +18,7 @@ use std::sync::Arc;
 /// Discovery uses this rule negatively: targets contained in the feature
 /// set are skipped, because the rules they would produce carry no
 /// information (see [`is_reflexive_trivial`]).
+#[allow(clippy::expect_used)] // the projection rule is well-formed by construction
 pub fn reflexivity(inputs: &[AttrId], target: AttrId) -> Option<Crr> {
     let pos = inputs.iter().position(|&a| a == target)?;
     let mut w = vec![0.0; inputs.len()];

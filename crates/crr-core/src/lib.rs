@@ -46,6 +46,8 @@
 //! assert!(rule.satisfied_by(&t, 0)); // |50 - 0.5*100| = 0 <= 0.1
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod check;
 mod condition;
 mod error;
@@ -57,7 +59,7 @@ mod ruleset;
 pub mod serialize;
 
 pub use check::{check, CheckReport, Violation};
-pub use condition::{Conjunction, Dnf};
+pub use condition::{AttrSummary, Bound, Conjunction, Dnf};
 pub use error::CoreError;
 pub use index::RuleIndex;
 pub use predicate::{Op, Predicate};

@@ -25,14 +25,14 @@ use std::sync::Arc;
 pub fn to_text(rules: &RuleSet) -> String {
     let mut out = String::from("crr-ruleset v1\n");
     for rule in rules.rules() {
-        write!(out, "rule target=#{} inputs=", rule.target().0).unwrap();
+        let _ = write!(out, "rule target=#{} inputs=", rule.target().0);
         for (i, a) in rule.inputs().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            write!(out, "#{}", a.0).unwrap();
+            let _ = write!(out, "#{}", a.0);
         }
-        write!(out, " rho={:?} model=", rule.rho()).unwrap();
+        let _ = write!(out, " rho={:?} model=", rule.rho());
         write_model(&mut out, rule.model());
         out.push('\n');
         for c in rule.condition().conjuncts() {
@@ -41,14 +41,13 @@ pub fn to_text(rules: &RuleSet) -> String {
             for p in c.preds() {
                 out.push_str(if first { " " } else { " ; " });
                 first = false;
-                write!(
+                let _ = write!(
                     out,
                     "pred #{} {} {}",
                     p.attr.0,
                     p.op,
                     encode_value(&p.value)
-                )
-                .unwrap();
+                );
             }
             if let Some(b) = c.builtin() {
                 out.push_str(if first { " " } else { " ; " });
@@ -57,9 +56,9 @@ pub fn to_text(rules: &RuleSet) -> String {
                     if i > 0 {
                         out.push(',');
                     }
-                    write!(out, "{d:?}").unwrap();
+                    let _ = write!(out, "{d:?}");
                 }
-                write!(out, " y={:?}", b.delta_y).unwrap();
+                let _ = write!(out, " y={:?}", b.delta_y);
             }
             out.push('\n');
         }
@@ -71,33 +70,32 @@ pub fn to_text(rules: &RuleSet) -> String {
 fn write_model(out: &mut String, model: &Model) {
     match model {
         Model::Constant(m) => {
-            write!(out, "const {:?}", m.value()).unwrap();
+            let _ = write!(out, "const {:?}", m.value());
         }
         Model::Linear(m) => {
             out.push_str("linear");
             for w in m.weights() {
-                write!(out, " {w:?}").unwrap();
+                let _ = write!(out, " {w:?}");
             }
-            write!(out, " {:?}", m.intercept()).unwrap();
+            let _ = write!(out, " {:?}", m.intercept());
         }
         Model::Ridge(m) => {
-            write!(out, "ridge {:?}", m.lambda()).unwrap();
+            let _ = write!(out, "ridge {:?}", m.lambda());
             for w in m.weights() {
-                write!(out, " {w:?}").unwrap();
+                let _ = write!(out, " {w:?}");
             }
-            write!(out, " {:?}", m.intercept()).unwrap();
+            let _ = write!(out, " {:?}", m.intercept());
         }
         Model::Mlp(m) => {
             let (hidden, params) = m.flatten();
-            write!(
+            let _ = write!(
                 out,
                 "mlp {} {}",
                 crr_models::Regressor::num_inputs(m),
                 hidden
-            )
-            .unwrap();
+            );
             for p in params {
-                write!(out, " {p:?}").unwrap();
+                let _ = write!(out, " {p:?}");
             }
         }
     }

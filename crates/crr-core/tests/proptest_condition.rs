@@ -1,0 +1,154 @@
+//! Property-based soundness tests for the implication engine on *nullable*
+//! data — the regime `crr-analyze` leans on when it verifies shard guards.
+//!
+//! The engine's contract is one-sided (conservative): `implies` and
+//! `is_provably_unsat` may return `false` when the property holds, but
+//! `true` must never be wrong. These tests pit both against brute-force
+//! row evaluation on random tables with null cells and conditions mixing
+//! `IS NULL` / `IS NOT NULL` with interval and (dis)equality predicates —
+//! exactly the shapes the null-shard guards produce.
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_core::{Conjunction, Dnf, Op, Predicate};
+use crr_data::{AttrId, AttrType, Schema, Table, Value};
+use proptest::prelude::*;
+
+const X: AttrId = AttrId(0);
+const Y: AttrId = AttrId(1);
+
+/// A table of random (x, y) tuples where either cell may be null.
+fn arb_table() -> impl Strategy<Value = Table> {
+    fn cell() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            3 => (-30.0f64..30.0).prop_map(Value::Float),
+            1 => Just(Value::Null),
+        ]
+    }
+    prop::collection::vec((cell(), cell()), 1..40).prop_map(|rows| {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (x, y) in rows {
+            t.push_row(vec![x, y]).unwrap();
+        }
+        t
+    })
+}
+
+/// A random predicate over `attr`: a comparison against a constant on a
+/// coarse grid (so intervals collide often enough to exercise the summary
+/// logic), or a nullness test.
+fn arb_pred(attr: AttrId) -> impl Strategy<Value = Predicate> {
+    let cmp = prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Lt),
+        Just(Op::Le),
+    ];
+    prop_oneof![
+        4 => (cmp, -4i64..4).prop_map(move |(op, k)| {
+            Predicate::new(attr, op, Value::Float(k as f64 * 7.5))
+        }),
+        1 => Just(Predicate::is_null(attr)),
+        1 => Just(Predicate::not_null(attr)),
+    ]
+}
+
+/// A random conjunction of 0..4 predicates over x and y.
+fn arb_conjunction() -> impl Strategy<Value = Conjunction> {
+    let coin = (0u8..2).prop_map(|b| b == 1);
+    prop::collection::vec((coin, arb_pred(X), arb_pred(Y)), 0..3).prop_map(|ps| {
+        Conjunction::of(
+            ps.into_iter()
+                .flat_map(|(both, px, py)| if both { vec![px, py] } else { vec![px] })
+                .collect(),
+        )
+    })
+}
+
+/// A random DNF of 1..3 such conjunctions.
+fn arb_dnf() -> impl Strategy<Value = Dnf> {
+    prop::collection::vec(arb_conjunction(), 1..3).prop_map(Dnf::of)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `C1 ⊢ C2` is sound under nulls: every tuple (including tuples with
+    /// null cells) satisfying C1 satisfies C2.
+    #[test]
+    fn conjunction_implication_sound_under_nulls(
+        c1 in arb_conjunction(),
+        c2 in arb_conjunction(),
+        table in arb_table(),
+    ) {
+        if c1.implies(&c2) {
+            for row in 0..table.num_rows() {
+                if c1.eval(&table, row) {
+                    prop_assert!(
+                        c2.eval(&table, row),
+                        "row {row} satisfies {c1:?} but not the implied {c2:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Definition 2 at the DNF level, same nullable regime.
+    #[test]
+    fn dnf_implication_sound_under_nulls(
+        d1 in arb_dnf(),
+        d2 in arb_dnf(),
+        table in arb_table(),
+    ) {
+        if d1.implies(&d2) {
+            for row in 0..table.num_rows() {
+                if d1.eval(&table, row) {
+                    prop_assert!(d2.eval(&table, row));
+                }
+            }
+        }
+    }
+
+    /// A provably-unsat conjunction matches no row — in particular the
+    /// `IS NULL ∧ comparison` and `IS NULL ∧ IS NOT NULL` conflicts must
+    /// never be claimed for a condition some row satisfies.
+    #[test]
+    fn provably_unsat_matches_no_row(c in arb_conjunction(), table in arb_table()) {
+        if c.is_provably_unsat() {
+            for row in 0..table.num_rows() {
+                prop_assert!(
+                    !c.eval(&table, row),
+                    "row {row} satisfies {c:?} though it was proved unsat"
+                );
+            }
+        }
+    }
+
+    /// The canonical shard-guard shapes stay mutually exclusive with the
+    /// null guard: a conjunction refining `IS NOT NULL` (or any comparison)
+    /// never co-matches a row with the `IS NULL` guard.
+    #[test]
+    fn null_guard_disjoint_from_range_guards(
+        c in arb_conjunction(),
+        table in arb_table(),
+    ) {
+        let null_guard = Conjunction::of(vec![Predicate::is_null(X)]);
+        let guarded = c.and(Predicate::not_null(X));
+        prop_assert!(guarded.and(Predicate::is_null(X)).is_provably_unsat());
+        for row in 0..table.num_rows() {
+            prop_assert!(!(guarded.eval(&table, row) && null_guard.eval(&table, row)));
+        }
+    }
+
+    /// Implication stays reflexive and refinement-monotone with nullness
+    /// predicates in the mix.
+    #[test]
+    fn reflexivity_and_refinement_with_nulls(c in arb_conjunction(), p in arb_pred(X)) {
+        prop_assert!(c.implies(&c));
+        prop_assert!(c.and(p).implies(&c));
+    }
+}

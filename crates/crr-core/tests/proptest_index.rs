@@ -2,6 +2,9 @@
 //! for arbitrary rule sets and tables, `RuleIndex` locates exactly what
 //! the linear `First` scan locates.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_core::{Conjunction, Crr, Dnf, LocateStrategy, Op, Predicate, RuleIndex, RuleSet};
 use crr_data::{AttrId, AttrType, Schema, Table, Value};
 use crr_models::{LinearModel, Model};

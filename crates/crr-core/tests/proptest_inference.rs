@@ -6,6 +6,9 @@
 //! checked for consistency with tuple satisfaction and for
 //! reflexivity/transitivity.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_core::inference::{fusion, generalization, induction, reflexivity, translation};
 use crr_core::{Conjunction, Crr, Dnf, Op, Predicate};
 use crr_data::{AttrId, AttrType, Schema, Table, Value};

@@ -1,6 +1,9 @@
 //! Property test: text serialization round-trips arbitrary rule sets
 //! exactly — structure, parameters and predictions.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_core::{serialize, Conjunction, Crr, Dnf, Op, Predicate, RuleSet};
 use crr_data::{AttrId, Value};
 use crr_models::{ConstantModel, LinearModel, Model, RidgeModel, Translation};

@@ -181,12 +181,9 @@ impl Column {
     /// Panics on type mismatch; callers route through the table layer which
     /// validates types.
     pub fn set(&mut self, i: usize, v: Value) {
-        match v {
-            Value::Null => {
-                self.set_null(i);
-                return;
-            }
-            _ => {}
+        if let Value::Null = v {
+            self.set_null(i);
+            return;
         }
         if let Some(mask) = &mut self.nulls {
             mask[i] = false;

@@ -30,6 +30,8 @@
 //! assert_eq!(table.value(1, salary), Value::from(61_000.0));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod column;
 pub mod csv;
 mod error;

@@ -55,13 +55,13 @@ impl Table {
         // leaves the table unchanged.
         for (i, v) in row.iter().enumerate() {
             let col_ty = self.columns[i].ty();
-            let ok = match (col_ty, v) {
-                (_, Value::Null) => true,
-                (crate::AttrType::Int, Value::Int(_)) => true,
-                (crate::AttrType::Float, Value::Float(_) | Value::Int(_)) => true,
-                (crate::AttrType::Str, Value::Str(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (col_ty, v),
+                (_, Value::Null)
+                    | (crate::AttrType::Int, Value::Int(_))
+                    | (crate::AttrType::Float, Value::Float(_) | Value::Int(_))
+                    | (crate::AttrType::Str, Value::Str(_))
+            );
             if !ok {
                 return Err(DataError::TypeMismatch {
                     attribute: self.schema.attribute(AttrId(i)).name().to_string(),
@@ -159,6 +159,7 @@ impl Table {
 
     /// Copies the selected rows into a new table (used by scalability
     /// experiments to build size-`|I|` instances).
+    #[allow(clippy::expect_used)] // rows come from this table, so the schema matches
     pub fn subset(&self, rows: &RowSet) -> Table {
         let mut out = Table::new(self.schema.clone());
         for r in rows.iter() {

@@ -1,6 +1,9 @@
 //! Property-based tests for the relational substrate: CSV round-trips and
 //! RowSet set-algebra laws.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_data::{csv, AttrType, RowSet, Schema, Table, Value};
 use proptest::prelude::*;
 

@@ -30,6 +30,7 @@ pub fn ring_law(sex: usize) -> (f64, f64) {
 pub const NOISE: f64 = 0.25;
 
 /// Generates the Abalone stand-in.
+#[allow(clippy::expect_used)] // generator pushes rows matching the schema it just built
 pub fn abalone(cfg: &GenConfig) -> Dataset {
     let schema = Schema::new(vec![
         ("sex", AttrType::Str),

@@ -69,6 +69,7 @@ fn sensor_response(idx: usize) -> (f64, f64) {
 }
 
 /// Generates the AirQuality stand-in.
+#[allow(clippy::expect_used)] // generator pushes rows matching the schema it just built
 pub fn airquality(cfg: &GenConfig) -> Dataset {
     let mut cols: Vec<(&str, AttrType)> = vec![("hour", AttrType::Int)];
     cols.extend(SENSORS.iter().map(|&s| (s, AttrType::Float)));

@@ -82,6 +82,7 @@ pub fn true_longitude(bird: usize, day: i64) -> f64 {
 }
 
 /// Generates the BirdMap stand-in: one row per (bird, day) observation.
+#[allow(clippy::expect_used)] // generator pushes rows matching the schema it just built
 pub fn birdmap(cfg: &GenConfig) -> Dataset {
     let schema = Schema::new(vec![
         ("latitude", AttrType::Float),

@@ -64,6 +64,7 @@ fn channel_response(idx: usize) -> (f64, f64) {
 }
 
 /// Generates the Electricity stand-in.
+#[allow(clippy::expect_used)] // generator pushes rows matching the schema it just built
 pub fn electricity(cfg: &GenConfig) -> Dataset {
     let mut cols: Vec<(&str, AttrType)> = vec![("minute", AttrType::Int)];
     cols.extend(CHANNELS.iter().map(|&c| (c, AttrType::Float)));

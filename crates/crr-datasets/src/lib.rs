@@ -28,6 +28,8 @@
 //! assert_eq!(ds.default_target, "latitude");
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod abalone;
 pub mod airquality;
 pub mod birdmap;

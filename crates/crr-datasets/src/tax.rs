@@ -38,6 +38,7 @@ pub fn deduction_of(state_idx: usize) -> f64 {
 pub const NOISE: f64 = 1.0;
 
 /// Generates the Tax stand-in.
+#[allow(clippy::expect_used)] // generator pushes rows matching the schema it just built
 pub fn tax(cfg: &GenConfig) -> Dataset {
     let schema = Schema::new(vec![
         ("state", AttrType::Str),

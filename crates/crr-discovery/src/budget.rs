@@ -6,7 +6,7 @@
 //! wall-clock deadline, priority-queue expansions, and model fits — and a
 //! [`CancelToken`] lets a caller (timeout supervisor, request handler,
 //! shutdown path) stop a run from another thread. Both are checked at each
-//! priority-queue pop in [`crate::discover`]; when a limit trips, the
+//! priority-queue pop inside a discovery run; when a limit trips, the
 //! search stops refining, covers every still-queued partition with a cheap
 //! constant fallback model (so Problem 1's coverage guarantee survives),
 //! and tags the result with a [`DiscoveryOutcome`] describing why it
@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Resource limits for one [`crate::discover`] run. The default is
+/// Resource limits for one discovery run. The default is
 /// unlimited on every axis, matching the paper's offline setting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Budget {
@@ -107,7 +107,7 @@ impl CancelToken {
     }
 }
 
-/// Why a [`crate::discover`] run stopped.
+/// Why a discovery run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DiscoveryOutcome {
     /// The search ran to completion; the ruleset is the full Algorithm 1

@@ -60,7 +60,7 @@ pub enum SplitStrategy {
     FirstApplicable,
 }
 
-/// Configuration of one [`crate::discover`] run — the inputs of Algorithm 1
+/// Configuration of one discovery run — the inputs of Algorithm 1
 /// besides the database and predicate space.
 #[derive(Debug, Clone)]
 pub struct DiscoveryConfig {

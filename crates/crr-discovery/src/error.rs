@@ -42,7 +42,7 @@ pub enum DiscoveryError {
         /// 1-based index of the faulted fit attempt.
         fit: u64,
     },
-    /// A discovery task panicked; [`crate::parallel::discover_all`]
+    /// A discovery task panicked; [`crate::DiscoverySession::run_all`]
     /// isolated the panic so sibling targets still completed.
     TaskPanicked {
         /// Index of the task within the submitted batch.

@@ -10,7 +10,7 @@
 //! * **failing fits** — every k-th model fit returns an error, which
 //!   discovery propagates as [`crate::DiscoveryError::InjectedFault`];
 //! * **poisoned fits** — every k-th model fit panics, which
-//!   [`crate::parallel::discover_all`] must isolate to the owning task;
+//!   [`crate::DiscoverySession::run_all`] must isolate to the owning task;
 //! * **slow fits** — every fit sleeps first, so deadline budgets can be
 //!   exercised without real datasets or timing luck.
 //!
@@ -80,12 +80,12 @@ impl FaultPlan {
             std::thread::sleep(d);
         }
         if let Some(k) = self.panic_every {
-            if n % k == 0 {
+            if n.is_multiple_of(k) {
                 panic!("injected fit panic (fit #{n})");
             }
         }
         if let Some(k) = self.fail_every {
-            if n % k == 0 {
+            if n.is_multiple_of(k) {
                 return Err(DiscoveryError::InjectedFault { fit: n });
             }
         }

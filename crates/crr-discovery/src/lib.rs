@@ -1,10 +1,8 @@
 //! CRR discovery — the paper's §V.
 //!
 //! The front door is [`DiscoverySession`]: a builder owning the table,
-//! rows, predicate space, config, budget, metrics sink and shard plan
-//! (the positional free functions `discover`/`discover_all` remain as
-//! deprecated wrappers for one release). Two phases underneath, matching
-//! the paper's two algorithms:
+//! rows, predicate space, config, budget, metrics sink and shard plan.
+//! Two phases underneath, matching the paper's two algorithms:
 //!
 //! 1. **Searching with model sharing** (Algorithm 1): a
 //!    top-down refinement over conjunctions, kept in a priority queue
@@ -109,6 +107,8 @@
 //! # assert!(result.outcome.is_complete());
 //! ```
 
+#![deny(unsafe_code)]
+
 mod budget;
 mod compaction;
 mod config;
@@ -126,15 +126,11 @@ pub use compaction::{compact, compact_on_data, CompactionStats};
 pub use config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
 pub use error::DiscoveryError;
 pub use faults::{inject_dirty_cells, FaultPlan};
-#[allow(deprecated)]
-pub use parallel::discover_all;
 pub use parallel::Task;
 pub use predicates::{PredicateGen, PredicateSpace};
-#[allow(deprecated)]
-pub use search::discover;
 pub use search::{share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
 pub use session::DiscoverySession;
-pub use sharded::{ShardOutcome, ShardedDiscovery};
+pub use sharded::{guard_predicates, ProofObligations, ShardGuard, ShardOutcome, ShardedDiscovery};
 // Shard plans live in crr-data (they cut tables, not searches); re-exported
 // so sharded sessions need only this crate.
 pub use crr_data::{Shard, ShardBounds, ShardPlan};

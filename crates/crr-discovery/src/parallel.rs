@@ -2,8 +2,9 @@
 //! experiment, Figure 7: "we find CRRs for all attributes").
 //!
 //! Discovery runs are independent per target, so this is a straightforward
-//! scoped-thread fan-out over the same immutable table — no locking, no
-//! channels, one result slot per target. Each task is panic-isolated: a
+//! scoped-thread fan-out over the same immutable table — no channels, one
+//! mutex-guarded (but uncontended) result slot per target. Each task is
+//! panic-isolated: a
 //! poisoned fit (solver bug, injected fault) becomes that task's
 //! [`DiscoveryError::TaskPanicked`] while every other target completes
 //! normally.
@@ -12,6 +13,7 @@ use crate::search::run_search;
 use crate::{Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result};
 use crr_data::{RowSet, Table};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// One discovery task: a configuration plus its predicate space.
 #[derive(Debug, Clone)]
@@ -24,20 +26,8 @@ pub struct Task {
 
 /// Runs every task over the same `rows` of `table`, in parallel with up to
 /// `threads` workers (1 = sequential). Results come back in task order.
-#[deprecated(note = "use DiscoverySession")]
-pub fn discover_all(
-    table: &Table,
-    rows: &RowSet,
-    tasks: &[Task],
-    threads: usize,
-) -> Vec<Result<Discovery>> {
-    discover_all_inner(table, rows, tasks, threads)
-}
-
-/// [`discover_all`]'s body, shared with the session front door
-/// ([`crate::DiscoverySession`]) so the deprecated wrapper stays a pure
-/// rename.
-pub(crate) fn discover_all_inner(
+/// The body behind [`crate::DiscoverySession::run_all`].
+pub(crate) fn discover_all(
     table: &Table,
     rows: &RowSet,
     tasks: &[Task],
@@ -50,14 +40,16 @@ pub(crate) fn discover_all_inner(
             .map(|(i, t)| run_isolated(table, rows, t, i))
             .collect();
     }
-    let mut results: Vec<Option<Result<Discovery>>> = (0..tasks.len()).map(|_| None).collect();
+    // One mutex-guarded slot per task: each index is claimed (and so
+    // written) exactly once, so the locks never contend — they only make
+    // the disjoint-index writes safe without raw pointers.
+    let slots: Vec<Mutex<Option<Result<Discovery>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let chunks = split_slots(&mut results);
     std::thread::scope(|scope| {
         // Work-stealing over a shared index: each worker claims the next
         // unprocessed task until none remain.
-        let next = &next;
-        let chunks = &chunks;
+        let (next, slots) = (&next, &slots);
         for _ in 0..threads.min(tasks.len()) {
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -65,15 +57,15 @@ pub(crate) fn discover_all_inner(
                     break;
                 }
                 let out = run_isolated(table, rows, &tasks[i], i);
-                // Safety of the write: each index is claimed exactly once.
-                unsafe { chunks.set(i, out) };
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
     });
-    results
+    slots
         .into_iter()
         .enumerate()
-        .map(|(i, r)| {
+        .map(|(i, slot)| {
+            let r = slot.into_inner().unwrap_or_else(|e| e.into_inner());
             r.unwrap_or_else(|| {
                 // Unreachable: the claim loop covers every index. Typed
                 // error rather than panic, to honor the isolation contract.
@@ -141,7 +133,9 @@ pub(crate) fn first_match_scan<R: Send>(
     use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
     let first = AtomicUsize::new(usize::MAX);
-    let slots = split_slots(&mut results);
+    // Mutex-per-slot for the same reason as `discover_all`: indices are
+    // claimed exactly once, so the locks are uncontended bookkeeping.
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let (next, first, slots, eval) = (&next, &first, &slots, &eval);
         for _ in 0..threads.min(count) {
@@ -158,39 +152,19 @@ pub(crate) fn first_match_scan<R: Send>(
                 if matched {
                     first.fetch_min(i, Ordering::AcqRel);
                 }
-                // Safety of the write: each index is claimed exactly once.
-                unsafe { slots.set(i, r) };
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
+    for (slot, out) in slots.into_iter().zip(results.iter_mut()) {
+        *out = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+    }
     let w = first.load(std::sync::atomic::Ordering::Acquire);
     ((w != usize::MAX).then_some(w), results)
 }
 
-/// Shared mutable slot access with disjoint-index writes.
-struct Slots<T>(*mut Option<T>, usize);
-unsafe impl<T: Send> Sync for Slots<T> {}
-impl<T> Slots<T> {
-    /// # Safety
-    ///
-    /// Caller must guarantee each index is written by exactly one thread,
-    /// and that the slot still holds `None` (so nothing is leaked).
-    unsafe fn set(&self, i: usize, value: T) {
-        debug_assert!(i < self.1);
-        let slot = self.0.add(i);
-        debug_assert!((*slot).is_none());
-        std::ptr::write(slot, Some(value));
-    }
-}
-
-fn split_slots<T>(v: &mut [Option<T>]) -> Slots<T> {
-    Slots(v.as_mut_ptr(), v.len())
-}
-
 #[cfg(test)]
 mod tests {
-    // Tests pin the deprecated wrapper's behavior for its final release.
-    #![allow(deprecated)]
     use super::*;
     use crate::PredicateGen;
     use crr_core::LocateStrategy;

@@ -34,6 +34,7 @@ pub struct PredicateSpace {
 
 impl PredicateSpace {
     /// Wraps an explicit predicate list.
+    #[allow(clippy::expect_used)] // the arm matches numeric values only
     pub fn from_predicates(preds: Vec<Predicate>) -> Self {
         let mut numeric: std::collections::BTreeMap<AttrId, Vec<(f64, u32)>> =
             std::collections::BTreeMap::new();

@@ -91,7 +91,8 @@ pub struct DiscoveryStats {
     pub learning_time: Duration,
 }
 
-/// The outcome of [`discover`].
+/// The outcome of one Algorithm 1 run (a [`crate::DiscoverySession`]
+/// shard or the whole instance).
 #[derive(Debug, Clone)]
 pub struct Discovery {
     /// The discovered rules, in emission order.
@@ -190,24 +191,9 @@ pub(crate) struct SearchRun {
     pub root_moments: Option<Moments>,
 }
 
-/// Runs Algorithm 1 over `rows` of `table`.
-///
-/// Returns a rule set covering every row whose condition attributes are
-/// present (Problem 1's coverage requirement), plus run statistics.
-#[deprecated(note = "use DiscoverySession")]
-pub fn discover(
-    table: &Table,
-    rows: &RowSet,
-    cfg: &DiscoveryConfig,
-    space: &PredicateSpace,
-) -> Result<Discovery> {
-    run_search(table, rows, cfg, space, None).map(|r| r.discovery)
-}
-
-/// Algorithm 1 proper, shared by [`discover`], the session front door, and
-/// the sharded runner. `cross` attaches a frozen cross-shard pool probed
-/// after local-pool misses; `None` reproduces single-table discovery
-/// exactly.
+/// Algorithm 1 proper, shared by the session front door and the sharded
+/// runner. `cross` attaches a frozen cross-shard pool probed after
+/// local-pool misses; `None` reproduces single-table discovery exactly.
 pub(crate) fn run_search(
     table: &Table,
     rows: &RowSet,
@@ -1063,7 +1049,7 @@ fn choose_split(
             (q / n as f64 - m * m).max(0.0)
         };
         let score = (n1 as f64 * var(n1, s1, q1) + n2 as f64 * var(n2, s2, q2)) / (n1 + n2) as f64;
-        if best.map_or(true, |(b, _)| score < b) {
+        if best.is_none_or(|(b, _)| score < b) {
             best = Some((score, idx));
         }
     }
@@ -1081,16 +1067,22 @@ fn choose_split(
 
 #[cfg(test)]
 mod tests {
-    // Unit tests intentionally exercise the deprecated `discover` wrapper:
-    // they double as the pin that the wrapper stays equivalent to the
-    // session path for the deprecation release.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::{Budget, CancelToken, FaultPlan, PredicateGen};
     use crr_core::LocateStrategy;
     use crr_data::{Schema, Value};
     use crr_models::ModelKind;
+
+    /// Test-local positional entry over [`run_search`], standing in for
+    /// the removed public `discover` wrapper at every unit-test call site.
+    fn discover(
+        table: &Table,
+        rows: &RowSet,
+        cfg: &DiscoveryConfig,
+        space: &PredicateSpace,
+    ) -> Result<Discovery> {
+        run_search(table, rows, cfg, space, None).map(|r| r.discovery)
+    }
 
     /// y = x on x < 100; y = x - 50 on x >= 100 (same slope: shareable).
     fn two_segment_table() -> Table {
@@ -1391,7 +1383,7 @@ mod tests {
         let d = discover(&t, &t.all_rows(), &cfg, &space_for(&t, 7)).unwrap();
         assert_eq!(d.outcome, DiscoveryOutcome::DeadlineExceeded);
         // Degraded, not empty: the drained fallback still covers every row.
-        assert!(d.rules.len() >= 1);
+        assert!(!d.rules.is_empty());
         assert!(d.rules.uncovered(&t, &t.all_rows()).is_empty());
         assert!(d.stats.drained_partitions >= 1);
         assert_eq!(d.stats.drained_rows, 200);

@@ -28,7 +28,7 @@
 //! assert!(!result.rules.is_empty());
 //! ```
 
-use crate::parallel::discover_all_inner;
+use crate::parallel::discover_all;
 use crate::sharded::discover_sharded;
 use crate::{
     Budget, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result, ShardedDiscovery,
@@ -143,13 +143,12 @@ impl<'a> DiscoverySession<'a> {
     }
 
     /// Runs many independent per-target tasks over this session's table
-    /// and rows, fanned out over up to `threads` workers — the session
-    /// replacement for the deprecated `discover_all`. Each task carries
+    /// and rows, fanned out over up to `threads` workers. Each task carries
     /// its own config and space; the session's predicate space, config,
     /// budget, metrics and shard plan are not consulted.
     pub fn run_all(self, tasks: &[Task], threads: usize) -> Vec<Result<Discovery>> {
         let rows = self.rows.unwrap_or_else(|| self.table.all_rows());
-        discover_all_inner(self.table, &rows, tasks, threads)
+        discover_all(self.table, &rows, tasks, threads)
     }
 }
 
@@ -183,8 +182,9 @@ mod tests {
     fn session_matches_classic_discover() {
         let t = table();
         let (cfg, space) = parts(&t);
-        #[allow(deprecated)]
-        let classic = crate::discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+        let classic = crate::search::run_search(&t, &t.all_rows(), &cfg, &space, None)
+            .map(|r| r.discovery)
+            .unwrap();
         let session = DiscoverySession::on(&t)
             .predicates(space)
             .config(cfg)

@@ -39,7 +39,7 @@ use crate::{
     PredicateSpace, Result,
 };
 use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
-use crr_data::{RowSet, Shard, ShardBounds, ShardPlan, Table, Value};
+use crr_data::{AttrId, RowSet, Shard, ShardBounds, ShardPlan, Table, Value};
 use crr_models::{ConstantModel, Model, Moments};
 use crr_obs::{Counter as Ctr, Gauge, MetricsSnapshot};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -98,6 +98,9 @@ pub struct ShardedDiscovery {
     pub global_moments: Option<Moments>,
     /// Frozen metrics of the run (cumulative for a shared sink).
     pub metrics: MetricsSnapshot,
+    /// Guard predicates applied per shard, for static verification.
+    /// `None` on the single-shard fast path (no guards were applied).
+    pub obligations: Option<ProofObligations>,
 }
 
 impl ShardedDiscovery {
@@ -106,6 +109,33 @@ impl ShardedDiscovery {
     pub fn failed_shards(&self) -> impl Iterator<Item = &ShardOutcome> {
         self.shards.iter().filter(|s| s.error.is_some())
     }
+}
+
+/// The guard predicates one shard's rules were wrapped in, kept as a
+/// machine-checkable record for static analyzers: `crr-analyze` proves
+/// the guards pairwise-disjoint and jointly covering without rescanning
+/// rows.
+#[derive(Debug, Clone)]
+pub struct ShardGuard {
+    /// Dense shard id from the applied plan.
+    pub shard_id: usize,
+    /// The key interval or null-key marker the shard was cut on.
+    pub bounds: ShardBounds,
+    /// The exact membership predicates conjoined onto every conjunct of
+    /// the shard's rules (see [`guard_predicates`]).
+    pub guards: Vec<Predicate>,
+}
+
+/// Proof obligations a sharded run discharges onto its verifier: the
+/// shard key and, per shard, the guard predicates actually applied.
+/// Emitted by every multi-shard run; the single-shard fast path applies
+/// no guards and emits none.
+#[derive(Debug, Clone)]
+pub struct ProofObligations {
+    /// The attribute the instance was sharded on.
+    pub shard_key: AttrId,
+    /// One entry per shard, in shard order.
+    pub guards: Vec<ShardGuard>,
 }
 
 /// One shard's raw result before merging.
@@ -117,7 +147,7 @@ enum ShardRun {
 /// Runs sharded discovery over `rows` of `table` under `plan`.
 ///
 /// With a plan that yields one shard this is byte-identical to plain
-/// [`crate::discover`] (no guards, no merge) and errors propagate
+/// an unsharded run (no guards, no merge) and errors propagate
 /// directly. With more shards, per-shard failures degrade to constant
 /// fallbacks and never abort siblings; only instance-level problems
 /// (trivial target, empty instance, a non-finite shard key, an invalid
@@ -187,6 +217,7 @@ pub(crate) fn discover_sharded(
             merge: None,
             global_moments: root_moments,
             metrics: mx.snapshot(),
+            obligations: None,
         });
     }
 
@@ -251,11 +282,13 @@ pub(crate) fn discover_sharded(
     let mut total = DiscoveryStats::default();
     let mut outcome = DiscoveryOutcome::Complete;
     let mut shard_outcomes = Vec::with_capacity(shards.len());
+    let mut shard_guards = Vec::with_capacity(shards.len());
     let mut global_moments: Option<Moments> = None;
     let mut moments_ok = true;
     // `.expect`, not `.flatten()`: a silently dropped slot would shift
     // every later run onto the wrong shard (wrong bounds guarding the
     // wrong rules). The worker loop fills every slot; hold it to that.
+    #[allow(clippy::expect_used)]
     let finished = runs
         .into_iter()
         .map(|s| s.expect("shard slot unfilled by worker loop"));
@@ -300,6 +333,11 @@ pub(crate) fn discover_sharded(
         };
         if let Some(b) = &shard.bounds {
             guard_rules(&mut rules, b);
+            shard_guards.push(ShardGuard {
+                shard_id: shard.id,
+                bounds: *b,
+                guards: guard_predicates(b),
+            });
         }
         match (&mut global_moments, root_moments) {
             (_, None) => moments_ok = false,
@@ -335,6 +373,10 @@ pub(crate) fn discover_sharded(
     mx.add(Ctr::MergeFusions, merge_stats.fusions as u64);
     total.learning_time = start.elapsed();
 
+    let obligations = shard_guards.first().map(|g| ProofObligations {
+        shard_key: g.bounds.attr,
+        guards: shard_guards.clone(),
+    });
     Ok(ShardedDiscovery {
         rules: merged,
         stats: total,
@@ -343,6 +385,7 @@ pub(crate) fn discover_sharded(
         merge: Some(merge_stats),
         global_moments,
         metrics: mx.snapshot(),
+        obligations,
     })
 }
 
@@ -418,6 +461,26 @@ fn drain_shard(
 ///   shard, so `lo` and `hi` are both `None`) — `key IS NOT NULL`, the
 ///   exact complement of the only sibling it has.
 fn guard_rules(rules: &mut RuleSet, b: &ShardBounds) {
+    let guards = guard_predicates(b);
+    for rule in rules.rules_mut() {
+        let dnf = rule.condition_mut();
+        for conj in dnf.conjuncts_mut() {
+            for p in &guards {
+                *conj = conj.and(p.clone());
+            }
+        }
+    }
+}
+
+/// The exact shard-membership predicates for `b` — the canonical guard
+/// construction both the merge's rule guarding and the static verifier
+/// use:
+///
+/// * interval shard — `lo ≤ key` when bounded below, `key < hi` when
+///   bounded above;
+/// * null-key shard — `key IS NULL`;
+/// * unbounded interval shard (both bounds `None`) — `key IS NOT NULL`.
+pub fn guard_predicates(b: &ShardBounds) -> Vec<Predicate> {
     let mut guards: Vec<Predicate> = Vec::new();
     if b.null_keys {
         guards.push(Predicate::is_null(b.attr));
@@ -432,14 +495,7 @@ fn guard_rules(rules: &mut RuleSet, b: &ShardBounds) {
             guards.push(Predicate::not_null(b.attr));
         }
     }
-    for rule in rules.rules_mut() {
-        let dnf = rule.condition_mut();
-        for conj in dnf.conjuncts_mut() {
-            for p in &guards {
-                *conj = conj.and(p.clone());
-            }
-        }
-    }
+    guards
 }
 
 /// Accumulates one shard's counters into the run total (time is set once

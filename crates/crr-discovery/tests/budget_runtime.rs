@@ -4,18 +4,31 @@
 //! cancellation), discovery returns a ruleset that still covers every row,
 //! tagged with the reason it stopped. It never hangs and never panics.
 
-// The deprecated positional `discover`/`discover_all` wrappers are the
-// subject under test here (they must keep working for one release);
-// session equivalence is pinned in tests/sharded_equivalence.rs.
-#![allow(deprecated)]
-use crr_data::Table;
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_data::{RowSet, Table};
 use crr_datasets::{electricity, GenConfig};
 use crr_discovery::{
-    discover, Budget, CancelToken, DiscoveryConfig, DiscoveryOutcome, FaultPlan, MetricsSink,
-    PredicateGen, PredicateSpace,
+    Budget, CancelToken, DiscoveryConfig, DiscoveryOutcome, DiscoverySession, FaultPlan,
+    MetricsSink, PredicateGen, PredicateSpace, ShardedDiscovery,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Single-shard run through the session front door.
+fn discover(
+    t: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> crr_discovery::Result<ShardedDiscovery> {
+    DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 
 fn electricity_instance(rows: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
     let ds = electricity(&GenConfig { rows, seed: 11 });
@@ -41,7 +54,7 @@ fn one_ms_deadline_on_electricity_degrades_gracefully() {
     // loose because one in-flight fit may finish after the deadline.
     assert!(started.elapsed() < Duration::from_secs(10));
     assert_eq!(d.outcome, DiscoveryOutcome::DeadlineExceeded);
-    assert!(d.rules.len() >= 1, "partial ruleset must not be empty");
+    assert!(!d.rules.is_empty(), "partial ruleset must not be empty");
     assert!(d.stats.drained_partitions >= 1);
     assert!(
         d.rules.uncovered(&table, &table.all_rows()).is_empty(),

@@ -1,25 +1,38 @@
 //! Regression guards for the sufficient-statistics fit engine: the output
-//! of `discover` must be *byte-identical* — serialized rules, stats, and
-//! outcome — across repeated runs, and between the sequential and parallel
-//! shared-pool scans. The moments engine must also agree semantically with
+//! of a discovery run must be *byte-identical* — serialized rules, stats,
+//! and outcome — across repeated runs, and between the sequential and
+//! parallel shared-pool scans. The moments engine must also agree semantically with
 //! the rescan baseline (coverage, accuracy), though not bitwise: near-rank-
 //! deficient partitions may legitimately resolve differently between the
 //! cached Cholesky and the row path's QR fallback.
 
-// The deprecated positional `discover`/`discover_all` wrappers are the
-// subject under test here (they must keep working for one release);
-// session equivalence is pinned in tests/sharded_equivalence.rs.
-#![allow(deprecated)]
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_core::{serialize, LocateStrategy};
-use crr_data::Table;
+use crr_data::{RowSet, Table};
 use crr_datasets::{electricity, GenConfig};
 use crr_discovery::{
-    discover, Discovery, DiscoveryConfig, FitEngine, MetricsSink, PredicateGen, PredicateSpace,
-    QueueOrder,
+    DiscoveryConfig, DiscoverySession, FitEngine, MetricsSink, PredicateGen, PredicateSpace,
+    QueueOrder, ShardedDiscovery,
 };
 
+/// Single-shard run through the session front door.
+fn discover(
+    t: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> crr_discovery::Result<ShardedDiscovery> {
+    DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
+
 /// Everything observable about a run except wall-clock time.
-fn fingerprint(d: &Discovery) -> String {
+fn fingerprint(d: &ShardedDiscovery) -> String {
     let s = &d.stats;
     format!(
         "{}\ntrained={} shared={} explored={} forced={} uncoverable={} drained={}+{} outcome={:?}",

@@ -1,14 +1,29 @@
 //! Property-based tests of Algorithm 1's postconditions (Problem 1) on
 //! randomly generated piecewise data.
 
-// The deprecated positional `discover`/`discover_all` wrappers are the
-// subject under test here (they must keep working for one release);
-// session equivalence is pinned in tests/sharded_equivalence.rs.
-#![allow(deprecated)]
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_core::LocateStrategy;
-use crr_data::{AttrType, Schema, Table, Value};
-use crr_discovery::{discover, DiscoveryConfig, PredicateGen, QueueOrder};
+use crr_data::{AttrType, RowSet, Schema, Table, Value};
+use crr_discovery::{
+    DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, QueueOrder, ShardedDiscovery,
+};
 use proptest::prelude::*;
+
+/// Single-shard run through the session front door.
+fn discover(
+    t: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> crr_discovery::Result<ShardedDiscovery> {
+    DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 
 /// A random piecewise-affine table: 1–4 segments, each with its own slope
 /// and intercept, plus bounded noise.

@@ -1,20 +1,33 @@
 //! Property-based tests of the robustness contract: on *dirty* tables —
-//! random NaN/±Inf/null cells in inputs and target — `discover` never
+//! random NaN/±Inf/null cells in inputs and target — discovery never
 //! panics. Every run either succeeds (tagged with its outcome) or returns
 //! a typed [`DiscoveryError`]; the same holds with a budget attached, and
 //! a success still covers every coverable row.
 
-// The deprecated positional `discover`/`discover_all` wrappers are the
-// subject under test here (they must keep working for one release);
-// session equivalence is pinned in tests/sharded_equivalence.rs.
-#![allow(deprecated)]
-use crr_data::{AttrType, Schema, Table, Value};
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_data::{AttrType, RowSet, Schema, Table, Value};
 use crr_discovery::{
-    discover, inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, MetricsSink,
-    PredicateGen,
+    inject_dirty_cells, Budget, DiscoveryConfig, DiscoveryError, DiscoverySession, MetricsSink,
+    PredicateGen, PredicateSpace, ShardedDiscovery,
 };
 use proptest::prelude::*;
 use std::time::Duration;
+
+/// Single-shard run through the session front door.
+fn discover(
+    t: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+) -> Result<ShardedDiscovery, DiscoveryError> {
+    DiscoverySession::on(t)
+        .rows(rows.clone())
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+}
 
 /// A clean piecewise table plus a dirtying plan (cell-corruption rate and
 /// seed) applied to both the input and the target column.
@@ -45,7 +58,7 @@ fn arb_dirty_table() -> impl Strategy<Value = (Table, usize)> {
 /// Either a successful discovery or one of the typed errors the dirty
 /// cells may legitimately produce. Anything else fails the property.
 fn assert_ok_or_typed(
-    result: Result<crr_discovery::Discovery, DiscoveryError>,
+    result: Result<ShardedDiscovery, DiscoveryError>,
     table: &Table,
 ) -> Result<(), TestCaseError> {
     match result {

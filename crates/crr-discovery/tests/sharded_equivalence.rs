@@ -1,9 +1,9 @@
 //! Regression guards for sharded discovery and the `DiscoverySession`
 //! front door:
 //!
-//! * one shard is **byte-identical** to the classic `discover` — serialized
-//!   rules, stats, outcome — on the paper's electricity and tax workloads
-//!   (the ISSUE 4 acceptance pin);
+//! * one shard is **byte-identical** to an unsharded session run —
+//!   serialized rules, stats, outcome — on the paper's electricity and tax
+//!   workloads (the ISSUE 4 acceptance pin);
 //! * a multi-shard run is deterministic across repeats and across shard
 //!   thread counts (the frozen cross-shard pool makes each shard a pure
 //!   function of its rows);
@@ -14,13 +14,14 @@
 //! * a failed shard degrades to constant fallbacks without touching its
 //!   siblings, and the error stays attributable via `Error::Shard`.
 
-#![allow(deprecated)] // `discover` is the byte-identity baseline under test
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use crr_core::serialize;
 use crr_data::{AttrType, Schema, Table, Value};
 use crr_datasets::{electricity, tax, GenConfig};
 use crr_discovery::prelude::*;
-use crr_discovery::{discover, Discovery, PredicateGen, PredicateSpace};
+use crr_discovery::{PredicateGen, PredicateSpace};
 
 /// Everything observable about a sharded run except wall-clock time.
 fn sharded_fingerprint(d: &ShardedDiscovery) -> String {
@@ -39,26 +40,6 @@ fn sharded_fingerprint(d: &ShardedDiscovery) -> String {
         s.drained_rows,
         d.outcome,
         d.shards.iter().map(|sh| sh.rules).collect::<Vec<_>>(),
-    )
-}
-
-/// The classic run rendered the same way a one-shard sharded run is.
-fn classic_fingerprint(d: &Discovery) -> String {
-    let s = &d.stats;
-    format!(
-        "{}\ntrained={} shared={} cross={} explored={} forced={} uncoverable={} drained={}+{} \
-         outcome={:?} shards={:?}",
-        serialize::to_text(&d.rules),
-        s.models_trained,
-        s.models_shared,
-        s.cross_shard_shares,
-        s.partitions_explored,
-        s.forced_accepts,
-        s.uncoverable_rows,
-        s.drained_partitions,
-        s.drained_rows,
-        d.outcome,
-        vec![d.rules.len()],
     )
 }
 
@@ -107,39 +88,39 @@ fn key_of(t: &Table, name: &str) -> crr_data::AttrId {
 }
 
 #[test]
-fn one_shard_is_byte_identical_to_discover_on_electricity() {
+fn one_shard_is_byte_identical_to_unsharded_on_electricity() {
     let (t, cfg, space) = electricity_setup(11520);
-    let classic = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
-    for plan in [
-        ShardPlan::Single,
-        ShardPlan::by_key_range(key_of(&t, "minute"), 1),
-    ] {
-        let sharded = DiscoverySession::on(&t)
-            .predicates(space.clone())
-            .config(cfg.clone())
-            .sharded(plan.clone())
-            .run()
-            .unwrap();
-        assert_eq!(
-            classic_fingerprint(&classic),
-            sharded_fingerprint(&sharded),
-            "{plan:?}"
-        );
-        assert!(sharded.merge.is_none(), "one shard must skip the merge");
-    }
+    let classic = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    let plan = ShardPlan::by_key_range(key_of(&t, "minute"), 1);
+    let sharded = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(plan)
+        .run()
+        .unwrap();
+    assert_eq!(sharded_fingerprint(&classic), sharded_fingerprint(&sharded));
+    assert!(sharded.merge.is_none(), "one shard must skip the merge");
 }
 
 #[test]
-fn one_shard_is_byte_identical_to_discover_on_tax() {
+fn one_shard_is_byte_identical_to_unsharded_on_tax() {
     let (t, cfg, space) = tax_setup(10000);
-    let classic = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+    let classic = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     let sharded = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
         .sharded(ShardPlan::by_key_range(key_of(&t, "salary"), 1))
         .run()
         .unwrap();
-    assert_eq!(classic_fingerprint(&classic), sharded_fingerprint(&sharded));
+    assert_eq!(sharded_fingerprint(&classic), sharded_fingerprint(&sharded));
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //!
 //! ```
 //! use crr_datasets::{tax, GenConfig};
-//! use crr_discovery::{discover, DiscoveryConfig, PredicateGen};
+//! use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen};
 //! use crr_impute::{mask_random, impute_with_rules};
 //!
 //! let ds = tax(&GenConfig { rows: 300, seed: 2 });
@@ -21,12 +21,19 @@
 //! let target = table.attr("tax").unwrap();
 //! let space = PredicateGen::binary(4).generate(&table, &[salary, state], target, 3);
 //! let cfg = DiscoveryConfig::new(vec![salary], target, 5.0);
-//! let rules = discover(&table, &table.all_rows(), &cfg, &space).unwrap().rules;
+//! let rules = DiscoverySession::on(&table)
+//!     .predicates(space)
+//!     .config(cfg)
+//!     .run()
+//!     .unwrap()
+//!     .rules;
 //!
 //! let plan = mask_random(&mut table, target, 0.1, 99);
 //! let report = impute_with_rules(&table, &rules, &plan);
 //! assert_eq!(report.imputed + report.unanswered, plan.len());
 //! ```
+
+#![deny(unsafe_code)]
 
 use crr_baselines::BaselinePredictor;
 use crr_core::{LocateStrategy, RuleSet};
@@ -186,6 +193,7 @@ impl IntervalImputation {
 /// Interval imputation: unlike point imputation, carries each answer's
 /// rule-backed error bound — CRRs are constraints, so the bound is a
 /// certificate, not a confidence heuristic.
+#[allow(clippy::expect_used)] // locate returned a reference into this very set
 pub fn impute_interval(table: &Table, rules: &RuleSet, row: usize) -> Option<IntervalImputation> {
     let rule = rules.locate(table, row, LocateStrategy::First)?;
     let value = rule.predict(table, row)?;

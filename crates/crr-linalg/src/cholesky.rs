@@ -65,8 +65,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -74,8 +74,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }

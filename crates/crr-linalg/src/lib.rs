@@ -18,6 +18,8 @@
 //! assert!((beta[0] - 1.0).abs() < 1e-9 && (beta[1] - 2.0).abs() < 1e-9);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod cholesky;
 mod error;
 mod matrix;

@@ -88,13 +88,13 @@ impl Qr {
                 continue;
             }
             let mut s = qtb[k];
-            for i in (k + 1)..m {
-                s += self.packed[(i, k)] * qtb[i];
+            for (i, v) in qtb.iter().enumerate().take(m).skip(k + 1) {
+                s += self.packed[(i, k)] * v;
             }
             s *= self.tau[k];
             qtb[k] -= s;
-            for i in (k + 1)..m {
-                qtb[i] -= s * self.packed[(i, k)];
+            for (i, v) in qtb.iter_mut().enumerate().take(m).skip(k + 1) {
+                *v -= s * self.packed[(i, k)];
             }
         }
         // Back-substitute R x = (Qᵀ b)[..n].
@@ -105,8 +105,8 @@ impl Qr {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = qtb[i];
-            for j in (i + 1)..n {
-                s -= self.packed[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.packed[(i, j)] * xj;
             }
             let r = self.packed[(i, i)];
             if r.abs() <= tol {

@@ -32,6 +32,8 @@
 //! assert!((f1.predict(&[3.0]) - 7.0).abs() < 1e-9);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod constant;
 mod error;
 mod fit;

@@ -263,8 +263,8 @@ impl Regressor for MlpModel {
         let mut out = self.b2;
         for k in 0..h {
             let mut z = self.b1[k];
-            for j in 0..self.d {
-                z += self.w1[k * self.d + j] * (x[j] - self.x_mean[j]) / self.x_std[j];
+            for (j, xj) in x.iter().enumerate().take(self.d) {
+                z += self.w1[k * self.d + j] * (xj - self.x_mean[j]) / self.x_std[j];
             }
             out += self.w2[k] * z.tanh();
         }

@@ -1,6 +1,9 @@
 //! Property-based tests for the regression models and translation
 //! detection — the algebraic laws compaction relies on.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_models::{
     fit_model, ConstantModel, FitConfig, LinearModel, Model, ModelKind, Regressor, RidgeModel,
     Translation,

@@ -16,6 +16,9 @@
 //! there the moments path must *decline* (`None`) rather than return a
 //! different model than the row path would.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr_models::{fit_model, try_fit_from_moments, FitConfig, Model, ModelKind, Moments};
 use proptest::prelude::*;
 
@@ -103,9 +106,9 @@ proptest! {
                 // caller's midrange fallback handles it — here we only
                 // require the decline was legitimate.
                 let d = xs[0].len();
-                let singular_ok = xs.len() >= d + 1;
+                let singular_ok = xs.len() > d;
                 if !singular_ok {
-                    prop_assert!(xs.len() < d + 1);
+                    prop_assert!(xs.len() <= d);
                 }
             }
         }

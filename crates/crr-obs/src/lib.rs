@@ -45,9 +45,13 @@
 //! assert!(off.snapshot().is_empty());
 //! ```
 
+#![deny(unsafe_code)]
+
+mod analysis;
 pub mod json;
 mod sink;
 mod snapshot;
 
+pub use analysis::AnalysisCounters;
 pub use sink::{Counter, Gauge, MetricsSink, Phase, SpanTimer};
 pub use snapshot::{MetricValue, MetricsSnapshot, Section};

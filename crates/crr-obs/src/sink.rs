@@ -119,7 +119,7 @@ metric_enum! {
         /// Injected fit failures surfaced as typed errors
         /// (`DiscoveryError::InjectedFault`).
         InjectedFailures => ("faults", "injected_failures"),
-        /// Panics caught and isolated by `parallel::discover_all`.
+        /// Panics caught and isolated by the parallel multi-target runner.
         TaskPanics => ("faults", "task_panics"),
         /// Shards whose Algorithm 1 run completed (including degraded
         /// shards — every planned shard is eventually run or drained).

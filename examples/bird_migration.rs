@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --release --example bird_migration`
 
+// Example code: unwraps keep the walkthrough focused on the API.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::impute::{impute_interval, impute_with_rules, mask_random};
 use crr::prelude::*;
 

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example csv_workflow`
 
+// Example code: unwraps keep the walkthrough focused on the API.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::core::serialize;
 use crr::data::csv;
 use crr::prelude::*;

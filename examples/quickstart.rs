@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Example code: unwraps keep the walkthrough focused on the API.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::prelude::*;
 
 fn main() {

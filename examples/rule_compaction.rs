@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --release --example rule_compaction`
 
+// Example code: unwraps keep the walkthrough focused on the API.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::baselines::{RegTree, RegTreeConfig};
 use crr::discovery::compact_on_data;
 use crr::discovery::pruning::prune;

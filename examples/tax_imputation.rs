@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example tax_imputation`
 
+// Example code: unwraps keep the walkthrough focused on the API.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::baselines::{evaluate_predictor, BaselinePredictor, RegTree, RegTreeConfig};
 use crr::impute::{impute_with_baseline, impute_with_rules, mask_random};
 use crr::prelude::*;

@@ -1,6 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints (unwrap/expect are warnings in library
-# code — see [workspace.lints] in Cargo.toml), and the full test suite.
+# Local CI gate: formatting, a denying lint wall, and the full test suite.
 # Run from anywhere; operates on the repository that contains it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,10 +7,10 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace --all-targets"
-# Advisory: surfaces warnings (including the workspace unwrap/expect
-# lints) without failing the gate; compilation errors still abort.
-cargo clippy --workspace --all-targets
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+# Denying: any warning (including the workspace unwrap/expect lints) fails
+# the gate. Harness code opts out per file with a justified #![allow].
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -37,7 +36,8 @@ echo "==> tracked benchmark emits and validates"
 # probes), or contains a non-finite number.
 BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_TMP" "$METRICS_TMP"' EXIT
+ANALYSIS_TMP="$(mktemp /tmp/analysis_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
@@ -48,6 +48,20 @@ if [ -f BENCH_discovery.json ]; then
 fi
 if [ -f metrics.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check-metrics metrics.json
+fi
+
+echo "==> static analysis verifies the discovered artifacts"
+# Tiny-scale analyze run: discovery on both datasets (unsharded and
+# sharded), then crr-analyze's five checks over each artifact — the
+# sharded ones against their emitted proof obligations. Any `unsound`
+# finding (dead rule condition, unguarded shard merge, malformed
+# inference artifact) aborts the run; --check-analysis re-applies the
+# same gate to the file, and to the committed full-scale artifact.
+cargo run -q -p crr-bench --bin experiments -- \
+  --scale 0.05 --analysis-json "$ANALYSIS_TMP" analyze >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --check-analysis "$ANALYSIS_TMP"
+if [ -f analysis.json ]; then
+  cargo run -q -p crr-bench --bin experiments -- --check-analysis analysis.json
 fi
 
 echo "CI OK"

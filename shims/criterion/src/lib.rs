@@ -9,6 +9,8 @@
 //! There is no statistical analysis, warm-up calibration, or HTML report;
 //! the numbers are honest but coarse.
 
+#![deny(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier, preventing the optimizer from deleting the

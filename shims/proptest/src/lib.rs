@@ -17,6 +17,8 @@
 //! runs, no `PROPTEST_*` env handling), and failing cases are reported
 //! but not shrunk.
 
+#![deny(unsafe_code)]
+
 pub mod collection;
 pub mod option;
 pub mod strategy;

@@ -9,6 +9,8 @@
 //! from upstream `rand`'s, which is fine here: every consumer treats the
 //! stream as an arbitrary seeded source, never as a reference sequence.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Minimal core trait: a source of uniform `u64`s.

@@ -46,6 +46,8 @@
 //! assert!(stats.rules_out <= stats.rules_in);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use crr_baselines as baselines;
 pub use crr_core as core;
 pub use crr_data as data;
@@ -60,8 +62,6 @@ pub mod prelude {
     pub use crr_core::{Conjunction, Crr, Dnf, LocateStrategy, Op, Predicate, RuleSet};
     pub use crr_data::{AttrId, AttrType, RowSet, Schema, Table, Value};
     pub use crr_datasets::{Dataset, GenConfig};
-    #[allow(deprecated)]
-    pub use crr_discovery::discover;
     pub use crr_discovery::{
         compact, DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, QueueOrder,
         ShardPlan, ShardedDiscovery,

@@ -2,6 +2,9 @@
 //! generate → discover → show → evaluate → check → impute loop through
 //! real process invocations and CSV/rule files on disk.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

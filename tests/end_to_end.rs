@@ -2,14 +2,17 @@
 //! generator → predicate space → discovery → compaction → evaluation →
 //! serialization → imputation.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::baselines::{evaluate_predictor, BaselinePredictor, RegTree, RegTreeConfig};
 use crr::discovery::compact_on_data;
 use crr::discovery::ShardedDiscovery;
 use crr::impute::{impute_with_rules, mask_random};
 use crr::prelude::*;
 
-/// Single-shard discovery through the `DiscoverySession` front door; the
-/// deprecated positional `discover` is pinned equivalent to this in
+/// Single-shard discovery through the `DiscoverySession` front door,
+/// pinned byte-identical to a one-shard sharded run in
 /// `crr-discovery/tests/sharded_equivalence.rs`.
 fn discover_via_session(
     table: &Table,

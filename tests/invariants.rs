@@ -1,12 +1,15 @@
 //! Cross-crate invariant tests: discovery postconditions from Problem 1,
 //! checked on every dataset generator and model family.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::discovery::compact_on_data;
 use crr::discovery::ShardedDiscovery;
 use crr::prelude::*;
 
-/// Single-shard discovery through the `DiscoverySession` front door; the
-/// deprecated positional `discover` is pinned equivalent to this in
+/// Single-shard discovery through the `DiscoverySession` front door,
+/// pinned byte-identical to a one-shard sharded run in
 /// `crr-discovery/tests/sharded_equivalence.rs`.
 fn discover_via_session(
     table: &Table,

@@ -2,12 +2,15 @@
 //! `f : X → Y` with arbitrary |X|, but the paper's headline scenarios are
 //! univariate — these tests exercise the |X| ≥ 2 paths end to end.
 
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crr::discovery::compact_on_data;
 use crr::discovery::ShardedDiscovery;
 use crr::prelude::*;
 
-/// Single-shard discovery through the `DiscoverySession` front door; the
-/// deprecated positional `discover` is pinned equivalent to this in
+/// Single-shard discovery through the `DiscoverySession` front door,
+/// pinned byte-identical to a one-shard sharded run in
 /// `crr-discovery/tests/sharded_equivalence.rs`.
 fn discover_via_session(
     table: &Table,
