@@ -11,15 +11,17 @@
 //!   time**, **evaluation time**, **#rules** and **RMSE**;
 //! * table formatting for paper-style console output.
 //!
-//! Three submodules emit the machine-readable artifacts the tracked
+//! Four submodules emit the machine-readable artifacts the tracked
 //! benchmark writes and CI re-validates: [`bench_json`]
 //! (`BENCH_discovery.json` — engine timings), [`metrics_json`]
 //! (`metrics.json` — observability snapshots from `crr_obs`-instrumented
-//! runs, including a fault-injection harness cell) and [`analysis_json`]
+//! runs, including a fault-injection harness cell), [`analysis_json`]
 //! (`analysis.json` — `crr-analyze` static-verifier reports over the
-//! discovered artifacts, gated on zero `unsound` findings). All schemas
-//! are documented in `EXPERIMENTS.md`, section "Benchmark artifact
-//! schemas".
+//! discovered artifacts, gated on zero `unsound` findings) and
+//! [`serving_json`] (`BENCH_serving.json` — live `crr-serve`
+//! latency/throughput cells plus the hot-swap admission-gate cell). All
+//! schemas are documented in `EXPERIMENTS.md`, section "Benchmark
+//! artifact schemas".
 
 #![deny(unsafe_code)]
 // Bench/experiment harness: panicking on setup failure is the failure mode
@@ -44,6 +46,7 @@ use std::time::{Duration, Instant};
 pub mod analysis_json;
 pub mod bench_json;
 pub mod metrics_json;
+pub mod serving_json;
 
 /// Process-wide discovery budget, set once from the CLI
 /// (`--time-budget`/`--max-fits`) and applied to every scenario a runner

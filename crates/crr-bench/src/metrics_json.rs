@@ -13,13 +13,14 @@ use crr_obs::{MetricValue, MetricsSnapshot};
 use std::fmt::Write as _;
 
 /// Schema tag stamped into the file; bump when the layout changes.
-/// v2 added the `shards` section and the `sharded` engine label.
-pub const SCHEMA: &str = "crr-metrics-v2";
+/// v2 added the `shards` section and the `sharded` engine label; v3 added
+/// the `serve` section (the serving runtime's counters and gauges).
+pub const SCHEMA: &str = "crr-metrics-v3";
 
 /// Sections every enabled-sink snapshot must carry (the sink always emits
 /// the full schema, zeros included, so file shape is run-independent).
-pub const REQUIRED_SECTIONS: [&str; 9] = [
-    "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases", "shards",
+pub const REQUIRED_SECTIONS: [&str; 10] = [
+    "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases", "shards", "serve",
 ];
 
 /// One instrumented discovery run and its frozen snapshot.
@@ -321,7 +322,9 @@ mod tests {
     #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-metrics-v2\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v3\", \"runs\": []}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
+        // The v2 tag is stale now that snapshots carry the serve section.
+        assert!(validate("{\"schema\": \"crr-metrics-v2\", \"runs\": [1]}").is_err());
     }
 }

@@ -41,13 +41,7 @@ pub fn to_text(rules: &RuleSet) -> String {
             for p in c.preds() {
                 out.push_str(if first { " " } else { " ; " });
                 first = false;
-                let _ = write!(
-                    out,
-                    "pred #{} {} {}",
-                    p.attr.0,
-                    p.op,
-                    encode_value(&p.value)
-                );
+                let _ = write!(out, "pred {}", encode_predicate(p));
             }
             if let Some(b) = c.builtin() {
                 out.push_str(if first { " " } else { " ; " });
@@ -65,6 +59,27 @@ pub fn to_text(rules: &RuleSet) -> String {
         out.push_str("end\n");
     }
     out
+}
+
+/// Encodes one predicate in the grammar `conj` lines use: `#idx op value`
+/// (e.g. `#0 >= f:5760`, `#2 is-null n:`). [`decode_predicate`] is the
+/// inverse. Exposed so sibling formats (the serving artifact's shard-guard
+/// obligations) share one predicate grammar with the rule-set format.
+pub fn encode_predicate(p: &Predicate) -> String {
+    format!("#{} {} {}", p.attr.0, p.op, encode_value(&p.value))
+}
+
+/// Parses a predicate in the [`encode_predicate`] grammar.
+pub fn decode_predicate(s: &str) -> Result<Predicate> {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() != 3 {
+        return Err(CoreError::SchemaMismatch(format!("bad predicate: {s}")));
+    }
+    Ok(Predicate::new(
+        parse_attr(parts[0])?,
+        parse_op(parts[1])?,
+        decode_value(parts[2])?,
+    ))
 }
 
 fn write_model(out: &mut String, model: &Model) {
@@ -419,6 +434,25 @@ mod tests {
             set.rules()[0].model().as_ref(),
             back.rules()[0].model().as_ref()
         );
+    }
+
+    #[test]
+    fn predicate_grammar_round_trips() {
+        let preds = vec![
+            Predicate::ge(AttrId(0), Value::Float(5760.0)),
+            Predicate::lt(AttrId(3), Value::Int(-7)),
+            Predicate::eq(AttrId(2), Value::str("maria")),
+            Predicate::is_null(AttrId(1)),
+            Predicate::not_null(AttrId(1)),
+        ];
+        for p in &preds {
+            let enc = encode_predicate(p);
+            let back = decode_predicate(&enc).unwrap();
+            assert_eq!(p, &back, "grammar must round-trip: {enc}");
+        }
+        assert!(decode_predicate("#0 >=").is_err());
+        assert!(decode_predicate("#0 ?? i:1").is_err());
+        assert!(decode_predicate("zero >= i:1").is_err());
     }
 
     #[test]

@@ -109,6 +109,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod artifact;
 mod budget;
 mod compaction;
 mod config;
@@ -121,6 +122,7 @@ mod search;
 mod session;
 pub mod sharded;
 
+pub use artifact::RuleSetArtifact;
 pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
 pub use config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
@@ -141,6 +143,7 @@ pub use crr_obs::{MetricsSink, MetricsSnapshot};
 /// The session-first import surface: everything a typical discovery run
 /// touches, one `use crr_discovery::prelude::*;` away.
 pub mod prelude {
+    pub use crate::artifact::RuleSetArtifact;
     pub use crate::budget::{Budget, CancelToken, DiscoveryOutcome};
     pub use crate::config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
     pub use crate::error::DiscoveryError;

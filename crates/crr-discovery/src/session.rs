@@ -31,8 +31,8 @@
 use crate::parallel::discover_all;
 use crate::sharded::discover_sharded;
 use crate::{
-    Budget, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result, ShardedDiscovery,
-    Task,
+    Budget, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result, RuleSetArtifact,
+    ShardedDiscovery, Task,
 };
 use crr_data::{RowSet, ShardPlan, Table};
 use crr_obs::MetricsSink;
@@ -142,6 +142,29 @@ impl<'a> DiscoverySession<'a> {
         discover_sharded(table, &rows, &cfg, &space, &plan)
     }
 
+    /// Runs discovery, compacts the merged rule set against the data
+    /// (Algorithm 2, data-validated), and bundles schema, rules, and shard
+    /// obligations into the serialized, verifier-ready
+    /// [`RuleSetArtifact`] a serving process loads — the one-call export
+    /// path, so callers no longer hand-assemble artifacts from raw run
+    /// output (which silently drops the obligations the guard-soundness
+    /// check needs).
+    ///
+    /// Returns the full [`ShardedDiscovery`] alongside the artifact so
+    /// stats/metrics remain inspectable.
+    pub fn export(self) -> Result<(ShardedDiscovery, RuleSetArtifact)> {
+        let (table, rows, cfg, space, plan) = self.resolve()?;
+        let rho_max = cfg.rho_max;
+        let out = discover_sharded(table, &rows, &cfg, &space, &plan)?;
+        // Post-merge compaction is idempotent for already-compacted sharded
+        // output and compacts the single-shard fast path, which skips
+        // Algorithm 2 entirely.
+        let (rules, _) = crate::compact_on_data(&out.rules, 1e-6, rho_max, table, &rows)?;
+        let artifact =
+            RuleSetArtifact::new(table.schema().clone(), rules, out.obligations.clone())?;
+        Ok((out, artifact))
+    }
+
     /// Runs many independent per-target tasks over this session's table
     /// and rows, fanned out over up to `threads` workers. Each task carries
     /// its own config and space; the session's predicate space, config,
@@ -236,6 +259,42 @@ mod tests {
             Some(1),
             "metrics override must reach the run"
         );
+    }
+
+    #[test]
+    fn export_bundles_schema_rules_and_obligations() {
+        let t = table();
+        let (cfg, space) = parts(&t);
+        let k = t.attr("x").unwrap();
+        let (out, artifact) = DiscoverySession::on(&t)
+            .predicates(space)
+            .config(cfg)
+            .sharded(ShardPlan::by_key_range(k, 2))
+            .export()
+            .unwrap();
+        assert!(out.outcome.is_complete());
+        assert_eq!(artifact.schema, *t.schema());
+        assert!(!artifact.rules.is_empty());
+        let ob = artifact.obligations.as_ref().expect("sharded run obliges");
+        assert_eq!(ob.shard_key, k);
+        // The artifact survives its own text round-trip ...
+        let back = RuleSetArtifact::from_text(&artifact.to_text()).unwrap();
+        assert_eq!(back.rules.len(), artifact.rules.len());
+        // ... and still covers the instance.
+        assert!(back.rules.uncovered(&t, &t.all_rows()).is_empty());
+    }
+
+    #[test]
+    fn export_on_single_shard_has_no_obligations() {
+        let t = table();
+        let (cfg, space) = parts(&t);
+        let (_, artifact) = DiscoverySession::on(&t)
+            .predicates(space)
+            .config(cfg)
+            .export()
+            .unwrap();
+        assert!(artifact.obligations.is_none());
+        assert!(artifact.check_refs().is_ok());
     }
 
     #[test]

@@ -109,6 +109,14 @@ impl ShardedDiscovery {
     pub fn failed_shards(&self) -> impl Iterator<Item = &ShardOutcome> {
         self.shards.iter().filter(|s| s.error.is_some())
     }
+
+    /// Bundles this run's rules and obligations with `schema` into the
+    /// serialized serving artifact (no further compaction; see
+    /// [`crate::DiscoverySession::export`] for the one-call run+compact
+    /// path).
+    pub fn export_artifact(&self, schema: &crr_data::Schema) -> Result<crate::RuleSetArtifact> {
+        crate::RuleSetArtifact::new(schema.clone(), self.rules.clone(), self.obligations.clone())
+    }
 }
 
 /// The guard predicates one shard's rules were wrapped in, kept as a

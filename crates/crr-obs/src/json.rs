@@ -80,6 +80,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Boolean view of the value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {

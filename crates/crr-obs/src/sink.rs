@@ -142,6 +142,37 @@ metric_enum! {
         /// Generalization+Fusion merges applied across shard rule sets
         /// by Algorithm 2.
         MergeFusions => ("shards", "merge_fusions"),
+        /// HTTP requests admitted into the serving worker pool (everything
+        /// past the shed check, whatever status it eventually gets).
+        ServeRequests => ("serve", "requests"),
+        /// Individual rows answered by batched predict/impute handlers.
+        ServePredictions => ("serve", "predictions"),
+        /// Rows inspected by the violation-check handler.
+        ServeChecks => ("serve", "checks"),
+        /// Connections refused with `503` + `Retry-After` because the
+        /// in-flight cap was reached (load shedding).
+        ServeShed => ("serve", "shed"),
+        /// Requests whose per-request deadline tripped mid-batch; the
+        /// response carries the partial prefix with `complete: false`.
+        ServeTimeouts => ("serve", "timeouts"),
+        /// Requests cut short by a cancellation token (shutdown drain or
+        /// injected mid-request cancel).
+        ServeCancelled => ("serve", "cancelled"),
+        /// Malformed requests answered with a well-formed `4xx` (torn
+        /// headers, bad content-lengths, unparseable bodies).
+        ServeBadRequests => ("serve", "bad_requests"),
+        /// Handler panics caught by the per-connection isolation barrier
+        /// and converted into `500` responses.
+        ServeHandlerPanics => ("serve", "handler_panics"),
+        /// Candidate rule sets swapped in after passing the `crr-analyze`
+        /// admission gate.
+        ServeSwapAccepted => ("serve", "swap_accepted"),
+        /// Candidate rule sets rejected by the admission gate (parse
+        /// failure, schema mismatch, or unsound analysis); the previous
+        /// set keeps serving.
+        ServeSwapRejected => ("serve", "swap_rejected"),
+        /// Artificial handler delays injected by the server fault plan.
+        ServeInjectedSlow => ("serve", "injected_slow"),
     }
 }
 
@@ -156,6 +187,13 @@ metric_enum! {
         InputDims => ("run", "input_dims"),
         /// Non-empty shards the shard plan produced for the run.
         ShardsPlanned => ("run", "shards"),
+        /// Requests currently admitted and not yet answered (serving).
+        ServeInFlight => ("serve", "in_flight"),
+        /// Generation of the rule set currently behind the swap pointer;
+        /// increments on every accepted swap.
+        ServeGeneration => ("serve", "generation"),
+        /// Rules in the currently-served set.
+        ServeRules => ("serve", "rules"),
     }
 }
 
@@ -274,6 +312,24 @@ impl MetricsSink {
     /// Freezes the current values into a hierarchical snapshot. A disabled
     /// sink yields an empty snapshot; an enabled one yields every metric of
     /// the schema, zeros included, so consumers see a stable shape.
+    ///
+    /// # Concurrency
+    ///
+    /// Safe to call at any time, concurrently with live recording from any
+    /// number of threads — this is what a `/metrics` endpoint does while
+    /// request handlers are still incrementing. Each metric is read with a
+    /// single relaxed atomic load, which gives per-metric (not cross-metric)
+    /// consistency:
+    ///
+    /// * every value is a real value the metric held at some point during
+    ///   the snapshot — never torn, never out of thin air;
+    /// * each counter is monotone across successive snapshots of the same
+    ///   sink (counters only ever `fetch_add`);
+    /// * values of *different* metrics may be skewed relative to each other
+    ///   by writes that raced the snapshot, so cross-metric invariants
+    ///   (e.g. `hits + misses == probes`) are only guaranteed once the
+    ///   recording side has quiesced. Validators that enforce such
+    ///   invariants must run on post-run snapshots, as `crr-bench` does.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let Some(r) = &self.inner else {
             return MetricsSnapshot::default();
@@ -368,6 +424,51 @@ mod tests {
             let key = format!("{}_secs", p.name());
             assert_eq!(snap.secs(p.section(), &key), Some(0.0));
         }
+    }
+
+    /// Satellite check for the `/metrics` endpoint: snapshots taken while
+    /// writer threads are live must be well-formed (never torn), counters
+    /// must be monotone across successive snapshots, and the final
+    /// post-quiesce snapshot must account for every recorded increment.
+    #[test]
+    fn snapshot_is_safe_and_monotone_under_concurrent_updates() {
+        let sink = MetricsSink::enabled();
+        const WRITERS: usize = 4;
+        const INCRS: u64 = 20_000;
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            let s = sink.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..INCRS {
+                    s.incr(Counter::ServeRequests);
+                    s.incr(Counter::ServePredictions);
+                    s.set_gauge(Gauge::ServeInFlight, i);
+                }
+            }));
+        }
+        let mut last = 0u64;
+        for _ in 0..200 {
+            let snap = sink.snapshot();
+            let v = snap.count("serve", "requests").unwrap_or(0);
+            assert!(v >= last, "counter went backwards: {v} < {last}");
+            assert!(v <= WRITERS as u64 * INCRS, "counter out of thin air: {v}");
+            // The snapshot shape is complete even mid-flight.
+            assert!(snap.count("serve", "in_flight").is_some());
+            last = v;
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let settled = sink.snapshot();
+        assert_eq!(
+            settled.count("serve", "requests"),
+            Some(WRITERS as u64 * INCRS),
+            "post-quiesce snapshot accounts for every increment"
+        );
+        assert_eq!(
+            settled.count("serve", "predictions"),
+            Some(WRITERS as u64 * INCRS)
+        );
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::io` streams.
+//!
+//! The workspace carries no HTTP dependency, so this module implements
+//! exactly the subset the serving runtime needs — one request per
+//! connection, `Content-Length` bodies, `Connection: close` responses —
+//! with hard limits on header and body size so a malformed or hostile
+//! client degrades to a typed [`HttpError`] (which the server answers as
+//! a well-formed `4xx`), never an unbounded allocation or a panic.
+
+use std::io::{self, Read, Write};
+
+/// Parse-time limits; exceeding either is a typed error, not an OOM.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Cap on the request line + headers, bytes.
+    pub max_header_bytes: usize,
+    /// Cap on the declared and actual body size, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … — whatever the request line claimed, upper-cased
+    /// by convention but matched verbatim.
+    pub method: String,
+    /// Request target, verbatim (no query parsing — the API puts every
+    /// parameter in the JSON body).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. Every variant maps to a specific
+/// `4xx` via [`HttpError::status`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection died (or hit its read timeout) before a full
+    /// request arrived — a torn request.
+    Truncated,
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line had no `:` separator or was not UTF-8.
+    BadHeader(String),
+    /// Request line + headers exceeded [`HttpLimits::max_header_bytes`].
+    HeadersTooLarge,
+    /// `Content-Length` was missing on a body-bearing method, repeated,
+    /// or not a base-10 number.
+    BadContentLength(String),
+    /// The declared body length exceeded [`HttpLimits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// Transport error mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this parse failure is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge(_) => 413,
+            _ => 400,
+        }
+    }
+
+    /// One-line human-readable cause, embedded in the error body.
+    pub fn reason(&self) -> String {
+        match self {
+            HttpError::Truncated => "truncated request".to_string(),
+            HttpError::BadRequestLine(l) => format!("bad request line: {l}"),
+            HttpError::BadHeader(l) => format!("bad header: {l}"),
+            HttpError::HeadersTooLarge => "headers too large".to_string(),
+            HttpError::BadContentLength(v) => format!("bad content-length: {v}"),
+            HttpError::BodyTooLarge(n) => format!("declared body of {n} bytes too large"),
+            HttpError::Io(e) => format!("i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        // A timeout or reset mid-read is a torn request, not a server bug.
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::UnexpectedEof => {
+                HttpError::Truncated
+            }
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads until the blank line ending the header block, enforcing the
+/// header byte cap. Accepts both CRLF and bare-LF line endings.
+fn read_head(r: &mut impl Read, limits: &HttpLimits) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::Truncated);
+        }
+        head.push(byte[0]);
+        if head.len() > limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            return Ok(head);
+        }
+    }
+}
+
+/// Parses one request from `r` under `limits`.
+///
+/// Reads byte-at-a-time until the header terminator (callers wrap the
+/// stream in a `BufReader`), then exactly `Content-Length` body bytes.
+/// `GET` requests may omit `Content-Length`; body-bearing methods must
+/// declare it (the server does not accept chunked encoding).
+pub fn read_request(r: &mut impl Read, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let head = read_head(r, limits)?;
+    let head =
+        std::str::from_utf8(&head).map_err(|_| HttpError::BadHeader("non-utf8 header".into()))?;
+    let mut lines = head.lines().filter(|l| !l.is_empty());
+    let request_line = lines.next().ok_or(HttpError::Truncated)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::BadRequestLine(request_line.to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequestLine(request_line.to_string()));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let body_len = match content_lengths.as_slice() {
+        [] if method == "GET" || method == "HEAD" => 0usize,
+        [] => return Err(HttpError::BadContentLength("missing".into())),
+        [v] => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength((*v).to_string()))?,
+        _ => return Err(HttpError::BadContentLength("repeated".into())),
+    };
+    if body_len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge(body_len));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize. Always `Connection: close` — the server
+/// handles exactly one request per connection, which makes pipelined
+/// garbage after the body harmless by construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Media type of the body.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After` on shed responses).
+    pub extra_headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response with a standard `{"error": ...}` body.
+    pub fn error(status: u16, reason: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\": \"{}\"}}", crr_obs::json::esc(reason)),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason_phrase(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes the response onto `w` (headers + body, one write each).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason_phrase(),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_content_length() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let req = parse("GET /health HTTP/1.1\n\n").unwrap();
+        assert_eq!(req.path, "/health");
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        assert!(matches!(
+            parse("POST /v1/predict HTT"),
+            Err(HttpError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        let e = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(e, HttpError::Truncated));
+    }
+
+    #[test]
+    fn bad_content_lengths_rejected() {
+        for cl in ["-1", "nope", "1e3", "18446744073709551616"] {
+            let e =
+                parse(&format!("POST /x HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n")).unwrap_err();
+            assert!(matches!(e, HttpError::BadContentLength(_)), "{cl}: {e:?}");
+            assert_eq!(e.status(), 400);
+        }
+        let e = parse("POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nz")
+            .unwrap_err();
+        assert!(matches!(e, HttpError::BadContentLength(_)));
+        let e = parse("POST /x HTTP/1.1\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpError::BadContentLength(_)));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let limits = HttpLimits {
+            max_body_bytes: 8,
+            ..HttpLimits::default()
+        };
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let e = read_request(&mut Cursor::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(e, HttpError::BodyTooLarge(9)));
+        assert_eq!(e.status(), 413);
+    }
+
+    #[test]
+    fn oversized_headers_are_431() {
+        let raw = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(64 * 1024)
+        );
+        let e = parse(&raw).unwrap_err();
+        assert!(matches!(e, HttpError::HeadersTooLarge));
+        assert_eq!(e.status(), 431);
+    }
+
+    #[test]
+    fn garbage_request_lines_rejected() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "\r\n\r\n",
+        ] {
+            let e = parse(raw).unwrap_err();
+            assert_eq!(e.status(), 400, "{raw:?} -> {e:?}");
+        }
+    }
+
+    #[test]
+    fn headers_without_separator_rejected() {
+        let e = parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpError::BadHeader(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("retry-after", "1".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

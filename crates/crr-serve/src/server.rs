@@ -1,0 +1,274 @@
+//! The server: listener, bounded worker pool, load shedding, panic
+//! isolation, and drain-then-stop shutdown.
+//!
+//! # Shedding policy
+//!
+//! Admission is a single atomic check in the accept loop: when
+//! `in_flight` (admitted, not yet answered) has reached
+//! [`ServeConfig::max_in_flight`], the connection is answered `503` with
+//! a `Retry-After` header straight from the accept thread and closed —
+//! the worker queue never grows beyond the cap, so a traffic spike costs
+//! each shed client one tiny write instead of costing every client
+//! unbounded queueing delay.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] stops admitting (new connections are refused at
+//! the closed listener), fires the server-wide cancel token so oversized
+//! in-flight batches finish early as partial answers, then joins the
+//! workers after they drain every already-admitted connection — admitted
+//! requests are always answered.
+
+use crate::faults::ServeFaultPlan;
+use crate::handlers::{route, RequestCtx};
+use crate::http::{read_request, HttpLimits, Response};
+use crate::store::RuleStore;
+use crr_discovery::CancelToken;
+use crr_obs::{Counter, Gauge, MetricsSink};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables. The defaults suit tests and smoke runs; production
+/// deployments raise the cap and the deadline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port ([`Server::addr`] reports it).
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Cap on admitted-but-unanswered requests; beyond it connections are
+    /// shed with `503`.
+    pub max_in_flight: usize,
+    /// Parser limits (header/body byte caps).
+    pub limits: HttpLimits,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard cap any request-supplied deadline is clamped to.
+    pub max_deadline: Duration,
+    /// Per-connection socket read/write timeout (slow-client guard).
+    pub io_timeout: Duration,
+    /// `Retry-After` seconds on shed responses.
+    pub retry_after_secs: u64,
+    /// Fault-injection schedule (none by default).
+    pub faults: Arc<ServeFaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_in_flight: 64,
+            limits: HttpLimits::default(),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+            faults: Arc::new(ServeFaultPlan::none()),
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    store: Arc<RuleStore>,
+    metrics: MetricsSink,
+    cfg: ServeConfig,
+    in_flight: AtomicUsize,
+    shutting_down: AtomicBool,
+    /// Server-wide token; firing it cuts in-flight batches short.
+    cancel: CancelToken,
+}
+
+/// A running server; dropping without [`Server::shutdown`] aborts the
+/// process-exit way (threads are detached by drop), so call `shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `store` under `cfg`.
+    pub fn start(store: Arc<RuleStore>, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = store.metrics().clone();
+        let shared = Arc::new(Shared {
+            store,
+            metrics,
+            cfg,
+            in_flight: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            cancel: CancelToken::new(),
+        });
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for _ in 0..shared.cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&rx, &shared)));
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics sink (shared with the store).
+    pub fn metrics(&self) -> MetricsSink {
+        self.shared.metrics.clone()
+    }
+
+    /// Drain-then-stop: stop admitting, cancel in-flight budgets, answer
+    /// everything already admitted, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.cancel.cancel();
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept thread dropped the sender on exit; workers drain the
+        // queue and stop on the closed channel.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+        // Admission control: admit up to the cap, shed the rest.
+        let admitted = shared
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < shared.cfg.max_in_flight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            shed(stream, shared);
+            continue;
+        }
+        publish_in_flight(shared);
+        if tx.send(stream).is_err() {
+            // Workers are gone (shutdown); the admission slot dies with us.
+            break;
+        }
+    }
+    // Sender drops here: workers drain the remaining queue, then stop.
+}
+
+/// Sheds one connection. The `503` is written from the accept thread —
+/// it is a few hundred bytes and fits any socket send buffer, so this
+/// cannot stall the accept loop behind a slow client. Closing is handed
+/// to a short-lived drain thread: the client's request bytes are still
+/// unread in our receive buffer, and closing over unread data sends a
+/// `RST` that can destroy the in-flight `503` before the client reads
+/// it. The drain consumes those bytes (capped at 250ms) so the close is
+/// a clean FIN.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.incr(Counter::ServeShed);
+    let resp = Response::error(503, "server at capacity, retry later")
+        .with_header("retry-after", shared.cfg.retry_after_secs.to_string());
+    if resp.write_to(&mut stream).is_err() {
+        return;
+    }
+    std::thread::spawn(move || {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 4096];
+        use std::io::Read as _;
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    });
+}
+
+fn publish_in_flight(shared: &Shared) {
+    shared.metrics.set_gauge(
+        Gauge::ServeInFlight,
+        shared.in_flight.load(Ordering::Acquire) as u64,
+    );
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(stream) = next else { break };
+        handle_connection(stream, shared);
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        publish_in_flight(shared);
+    }
+}
+
+/// Handles one admitted connection end-to-end. Panics anywhere inside the
+/// parse/route path are caught here and answered as `500` — one poisoned
+/// request can never take down a worker, and the serving set (immutable
+/// `Arc` snapshots all the way down) cannot be corrupted mid-flight.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match read_request(&mut reader, &shared.cfg.limits) {
+            Ok(req) => {
+                shared.metrics.incr(Counter::ServeRequests);
+                let started = std::time::Instant::now();
+                let cancel = CancelToken::new();
+                shared.cfg.faults.on_request(&cancel, &shared.metrics);
+                let ctx = RequestCtx {
+                    store: &shared.store,
+                    metrics: &shared.metrics,
+                    cancel,
+                    server_cancel: shared.cancel.clone(),
+                    started,
+                    default_deadline: shared.cfg.default_deadline,
+                    max_deadline: shared.cfg.max_deadline,
+                };
+                route(&req, &ctx)
+            }
+            Err(e) => {
+                shared.metrics.incr(Counter::ServeBadRequests);
+                Response::error(e.status(), &e.reason())
+            }
+        }
+    }));
+    let response = match outcome {
+        Ok(resp) => resp,
+        Err(_) => {
+            shared.metrics.incr(Counter::ServeHandlerPanics);
+            Response::error(500, "internal error: handler panicked")
+        }
+    };
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

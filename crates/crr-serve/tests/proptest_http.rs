@@ -1,0 +1,148 @@
+//! Property tests for the hand-rolled HTTP parser: whatever bytes arrive
+//! — truncated heads, oversized bodies, absurd content-lengths, pipelined
+//! garbage — `read_request` must return `Ok` or a typed error that maps
+//! to a well-formed `4xx`, and must never panic or claim success on a
+//! body it did not fully read.
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_serve::http::{read_request, HttpError, HttpLimits};
+use proptest::prelude::*;
+
+fn parse(bytes: &[u8], limits: &HttpLimits) -> Result<crr_serve::http::Request, HttpError> {
+    let mut reader = std::io::BufReader::new(bytes);
+    read_request(&mut reader, limits)
+}
+
+fn tight_limits() -> HttpLimits {
+    HttpLimits {
+        max_header_bytes: 512,
+        max_body_bytes: 256,
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser, and every error renders a
+    /// 4xx status with a non-empty reason.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        match parse(&bytes, &tight_limits()) {
+            Ok(req) => {
+                // A successful parse promises a fully-read body.
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(!req.path.is_empty());
+            }
+            Err(e) => {
+                let status = e.status();
+                prop_assert!((400..500).contains(&status), "status {status} for {e:?}");
+                prop_assert!(!e.reason().is_empty());
+            }
+        }
+    }
+
+    /// Truncating a valid request at any byte boundary yields an error,
+    /// never a short-read success.
+    #[test]
+    fn truncated_requests_error_cleanly(cut in 0usize..96) {
+        let full = b"POST /v1/predict HTTP/1.1\r\ncontent-length: 14\r\n\r\n{\"rows\": [[]]}";
+        prop_assume!(cut < full.len());
+        let r = parse(&full[..cut], &HttpLimits::default());
+        prop_assert!(r.is_err(), "cut at {cut} parsed: {r:?}");
+    }
+
+    /// Declared content-lengths are honored exactly: a body shorter than
+    /// declared is `Truncated`, equal-or-longer parses the declared
+    /// prefix.
+    #[test]
+    fn content_length_is_exact(declared in 0usize..200, supplied in 0usize..200) {
+        let limits = HttpLimits { max_header_bytes: 512, max_body_bytes: 128 };
+        let mut raw = format!("POST /x HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n").into_bytes();
+        raw.extend(vec![b'a'; supplied]);
+        match parse(&raw, &limits) {
+            Ok(req) => {
+                prop_assert!(declared <= limits.max_body_bytes);
+                prop_assert!(supplied >= declared);
+                prop_assert_eq!(req.body.len(), declared);
+            }
+            Err(HttpError::BodyTooLarge(_)) => prop_assert!(declared > limits.max_body_bytes),
+            Err(HttpError::Truncated) => prop_assert!(supplied < declared),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Non-numeric, negative, or overflowing content-length values are
+    /// `BadContentLength`, whatever garbage digits arrive.
+    #[test]
+    fn bad_content_length_values_rejected(junk in "[a-zA-Z!-,:-@ ]{1,12}") {
+        let raw = format!("POST /x HTTP/1.1\r\ncontent-length: {junk}\r\n\r\nbody");
+        let r = parse(raw.as_bytes(), &HttpLimits::default());
+        prop_assert!(
+            matches!(r, Err(HttpError::BadContentLength(_)) | Err(HttpError::BadHeader(_))),
+            "junk {junk:?} gave {r:?}"
+        );
+    }
+
+    /// Oversized heads trip the header cap (431), never unbounded reads.
+    #[test]
+    fn oversized_heads_hit_the_cap(pad in 512usize..4096) {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(pad));
+        let r = parse(raw.as_bytes(), &tight_limits());
+        prop_assert!(matches!(r, Err(HttpError::HeadersTooLarge)), "{r:?}");
+    }
+
+    /// Pipelined garbage after a complete request does not corrupt the
+    /// parse: the first request comes back intact, trailing bytes are
+    /// ignored (the server answers one request per connection).
+    #[test]
+    fn pipelined_garbage_is_ignored(garbage in proptest::collection::vec(0u8..=255, 0..512)) {
+        let mut raw = b"POST /v1/predict HTTP/1.1\r\ncontent-length: 2\r\n\r\nok".to_vec();
+        raw.extend(&garbage);
+        let req = parse(&raw, &HttpLimits::default()).unwrap();
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), "/v1/predict");
+        prop_assert_eq!(req.body.as_slice(), b"ok");
+    }
+
+    /// Mangling the request line (random token counts and separators)
+    /// either parses as exactly three tokens or errors — never panics,
+    /// never mis-tokenizes.
+    #[test]
+    fn request_line_tokenization(parts in proptest::collection::vec("[A-Za-z/\\.0-9]{0,12}", 0..6)) {
+        let line = parts.join(" ");
+        let raw = format!("{line}\r\n\r\n");
+        match parse(raw.as_bytes(), &HttpLimits::default()) {
+            Ok(req) => {
+                let nonempty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
+                prop_assert_eq!(nonempty.len(), 3);
+                prop_assert!(req.method == *nonempty[0]);
+            }
+            Err(e) => prop_assert!((400..500).contains(&e.status())),
+        }
+    }
+}
+
+/// Deterministic spot checks for the exact boundary the proptests walk.
+#[test]
+fn boundary_cases() {
+    let limits = HttpLimits {
+        max_header_bytes: 512,
+        max_body_bytes: 4,
+    };
+    // Exactly at the body cap parses; one past it is 413.
+    let at = parse(
+        b"POST /x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd",
+        &limits,
+    )
+    .unwrap();
+    assert_eq!(at.body, b"abcd");
+    let over = parse(
+        b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nabcde",
+        &limits,
+    );
+    assert!(matches!(over, Err(HttpError::BodyTooLarge(5))));
+    assert_eq!(HttpError::BodyTooLarge(5).status(), 413);
+    assert_eq!(HttpError::HeadersTooLarge.status(), 431);
+    // The empty connection is a truncation, not a success.
+    assert!(matches!(parse(b"", &limits), Err(HttpError::Truncated)));
+}

@@ -1,0 +1,412 @@
+//! The server fault harness: every injected fault class must degrade to a
+//! well-formed HTTP response with the matching `serve.*` counter
+//! incremented, and must never poison the shared serving set.
+//!
+//! Covered fault classes:
+//! 1. poisoned candidate rule set (`IS NULL` guards stripped) — the
+//!    admission-gate mutation test;
+//! 2. slow handler (injected delay), alone and combined with a deadline;
+//! 3. mid-request cancellation;
+//! 4. torn/malformed requests (raw bytes on the wire);
+//! 5. handler panics (the `catch_unwind` barrier);
+//!
+//! plus load shedding at the in-flight cap and drain-then-stop shutdown.
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_core::Op;
+use crr_data::{AttrType, Schema, Table, Value};
+use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen, RuleSetArtifact, ShardPlan};
+use crr_obs::MetricsSink;
+use crr_serve::client::{raw_roundtrip, roundtrip, run_load, LoadOptions};
+use crr_serve::{RuleStore, ServeConfig, ServeFaultPlan, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The null-key sharded fixture (mirrors `crr-analyze`'s mutation
+/// harness): shard key `k` null on every 6th row, null rows on a
+/// different regime — so the exported artifact carries `IS NULL` guards
+/// worth stripping.
+fn sharded_artifact(rows: usize) -> RuleSetArtifact {
+    let schema = Schema::new(vec![
+        ("k", AttrType::Float),
+        ("x", AttrType::Float),
+        ("y", AttrType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        let x = i as f64;
+        let (k, y) = if i % 6 == 5 {
+            (Value::Null, 2.0 * x)
+        } else {
+            (Value::Float(x), x)
+        };
+        t.push_row(vec![k, Value::Float(x), Value::Float(y)])
+            .unwrap();
+    }
+    let x = t.attr("x").unwrap();
+    let y = t.attr("y").unwrap();
+    let k = t.attr("k").unwrap();
+    let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+    let cfg = DiscoveryConfig::new(vec![x], y, 0.5);
+    let (_, artifact) = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardPlan::by_key_range(k, 2))
+        .export()
+        .unwrap();
+    artifact
+}
+
+fn start_server(cfg: ServeConfig) -> (Server, MetricsSink) {
+    let sink = MetricsSink::enabled();
+    let store = Arc::new(RuleStore::open(sharded_artifact(240), sink.clone()).unwrap());
+    let server = Server::start(store, cfg).unwrap();
+    (server, sink)
+}
+
+/// A predict body over the fixture schema: `n` rows alternating between
+/// the null-key and interval regimes, target column null.
+fn predict_body(n: usize, deadline_ms: Option<u64>) -> String {
+    let mut rows = String::new();
+    for i in 0..n {
+        if i > 0 {
+            rows.push_str(", ");
+        }
+        if i % 6 == 5 {
+            rows.push_str(&format!("[null, {}.0, null]", i));
+        } else {
+            rows.push_str(&format!("[{i}.0, {i}.0, null]"));
+        }
+    }
+    match deadline_ms {
+        Some(ms) => format!("{{\"rows\": [{rows}], \"deadline_ms\": {ms}}}"),
+        None => format!("{{\"rows\": [{rows}]}}"),
+    }
+}
+
+/// Fault class 1 — poisoned candidate set. Reproduces the PR 4 pre-fix
+/// bug (IS NULL shard guards stripped from the merged rules) as a swap
+/// candidate: the admission gate must reject it, the old set must keep
+/// serving identical answers, and `serve.swap_rejected` must increment.
+#[test]
+fn admission_gate_rejects_stripped_null_guards_and_old_set_keeps_serving() {
+    let (server, sink) = start_server(ServeConfig::default());
+    let body = predict_body(24, None);
+    let (status, before) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(before.contains("\"generation\": 0"));
+
+    // Build the poisoned candidate: same artifact, IS NULL guards gone.
+    let mut poisoned = sharded_artifact(240);
+    let mut stripped = 0usize;
+    for rule in poisoned.rules.rules_mut() {
+        for conj in rule.condition_mut().conjuncts_mut() {
+            let kept: Vec<_> = conj
+                .preds()
+                .iter()
+                .filter(|p| p.op != Op::IsNull)
+                .cloned()
+                .collect();
+            stripped += conj.preds().len() - kept.len();
+            *conj = crr_core::Conjunction::of(kept);
+        }
+    }
+    assert!(stripped > 0, "fixture must actually carry IS NULL guards");
+
+    let (status, swap_body) =
+        roundtrip(server.addr(), "POST", "/admin/swap", &poisoned.to_text()).unwrap();
+    assert_eq!(
+        status, 422,
+        "poisoned candidate must be refused: {swap_body}"
+    );
+    assert!(swap_body.contains("\"swapped\": false"));
+    assert!(
+        swap_body.contains("guard-soundness"),
+        "rejection names the failed check: {swap_body}"
+    );
+
+    // The old set keeps serving, byte-identically.
+    let (status, after) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(before, after, "serving answers must be unaffected");
+    let snap = sink.snapshot();
+    assert_eq!(snap.count("serve", "swap_rejected"), Some(1));
+    assert_eq!(snap.count("serve", "swap_accepted"), Some(0));
+    assert_eq!(snap.count("serve", "generation"), Some(0));
+
+    // And a sound candidate still swaps cleanly afterwards.
+    let good = sharded_artifact(240).to_text();
+    let (status, body) = roundtrip(server.addr(), "POST", "/admin/swap", &good).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\": 1"));
+    server.shutdown();
+}
+
+/// Fault class 2 — slow handler: the injected delay is counted and the
+/// request still answers completely when the deadline allows.
+#[test]
+fn slow_handler_is_counted_and_still_answers() {
+    let cfg = ServeConfig {
+        faults: Arc::new(ServeFaultPlan::none().delay_request_every(1, Duration::from_millis(20))),
+        ..ServeConfig::default()
+    };
+    let (server, sink) = start_server(cfg);
+    let (status, body) =
+        roundtrip(server.addr(), "POST", "/v1/predict", &predict_body(6, None)).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"complete\": true"), "{body}");
+    assert_eq!(sink.snapshot().count("serve", "injected_slow"), Some(1));
+    server.shutdown();
+}
+
+/// Fault class 2b — slow handler against a tight deadline: the stall
+/// counts against the request budget, which trips into a partial batch
+/// answer (not a hang, not an error).
+#[test]
+fn slow_handler_with_tight_deadline_times_out_into_partial_answer() {
+    let cfg = ServeConfig {
+        faults: Arc::new(ServeFaultPlan::none().delay_request_every(1, Duration::from_millis(50))),
+        ..ServeConfig::default()
+    };
+    let (server, sink) = start_server(cfg);
+    let (status, body) = roundtrip(
+        server.addr(),
+        "POST",
+        "/v1/predict",
+        &predict_body(12, Some(10)),
+    )
+    .unwrap();
+    assert_eq!(
+        status, 200,
+        "a tripped deadline is a partial answer, not an error"
+    );
+    assert!(body.contains("\"complete\": false"), "{body}");
+    assert!(
+        body.contains("\"outcome\": \"deadline-exceeded\""),
+        "{body}"
+    );
+    assert!(body.contains("\"answered\": 0"), "{body}");
+    assert_eq!(sink.snapshot().count("serve", "timeouts"), Some(1));
+    server.shutdown();
+}
+
+/// Fault class 3 — mid-request cancellation: the token fires before the
+/// walk, the response is a well-formed partial answer, and the serving
+/// set survives for the next (uninjected) request.
+#[test]
+fn mid_request_cancel_degrades_to_partial_answer() {
+    let cfg = ServeConfig {
+        faults: Arc::new(ServeFaultPlan::none().cancel_request_every(2)),
+        ..ServeConfig::default()
+    };
+    let (server, sink) = start_server(cfg);
+    let body = predict_body(24, None);
+    let (status, first) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(first.contains("\"complete\": true"), "{first}");
+    let (status, second) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(second.contains("\"outcome\": \"cancelled\""), "{second}");
+    assert!(second.contains("\"complete\": false"), "{second}");
+    let (status, third) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(first, third, "the serving set is unharmed by the cancel");
+    assert_eq!(sink.snapshot().count("serve", "cancelled"), Some(1));
+    server.shutdown();
+}
+
+/// Fault class 4 — torn and malformed requests: every payload gets a
+/// well-formed 4xx status line, the counter advances, and the server
+/// still answers a good request afterwards.
+#[test]
+fn malformed_requests_answer_4xx_and_never_kill_the_server() {
+    let (server, sink) = start_server(ServeConfig {
+        io_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let torn: Vec<Vec<u8>> = vec![
+        b"GARBAGE\r\n\r\n".to_vec(),
+        b"POST /v1/predict HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+        b"POST /v1/predict HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n".to_vec(),
+        b"POST /v1/predict HTT".to_vec(), // torn mid-request-line
+        b"POST /v1/predict HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"rows\"".to_vec(), // torn body
+        b"\xff\xfe\x00\x01binary junk\r\n\r\n".to_vec(),
+        b"GET /health HTTP/1.1\r\nbroken header line\r\n\r\n".to_vec(),
+    ];
+    let mut four_xx = 0;
+    for payload in &torn {
+        let raw = raw_roundtrip(server.addr(), payload, Duration::from_secs(2)).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(
+            text.starts_with("HTTP/1.1 4"),
+            "payload {payload:?} got: {text}"
+        );
+        four_xx += 1;
+    }
+    // JSON-level garbage through a well-formed HTTP envelope is also 400.
+    for bad_body in ["not json", "{\"rows\": 3}", "{\"rows\": [[1.0]]}", "{}"] {
+        let (status, _) = roundtrip(server.addr(), "POST", "/v1/predict", bad_body).unwrap();
+        assert_eq!(status, 400, "{bad_body}");
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.count("serve", "bad_requests"), Some(four_xx + 4));
+    // The server survived all of it.
+    let (status, body) = roundtrip(server.addr(), "GET", "/health", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""));
+    server.shutdown();
+}
+
+/// Fault class 5 — handler panics: caught per connection, answered 500,
+/// worker and serving set both survive.
+#[test]
+fn handler_panic_is_isolated_and_counted() {
+    let cfg = ServeConfig {
+        workers: 1, // one worker: a leaked panic would kill all serving
+        faults: Arc::new(ServeFaultPlan::none().panic_request_every(2)),
+        ..ServeConfig::default()
+    };
+    let (server, sink) = start_server(cfg);
+    let body = predict_body(6, None);
+    let (status, first) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200);
+    let (status, second) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 500, "the injected panic answers as 500: {second}");
+    assert!(second.contains("panicked"), "{second}");
+    let (status, third) = roundtrip(server.addr(), "POST", "/v1/predict", &body).unwrap();
+    assert_eq!(status, 200, "the single worker survived the panic");
+    assert_eq!(first, third);
+    assert_eq!(sink.snapshot().count("serve", "handler_panics"), Some(1));
+    server.shutdown();
+}
+
+/// Backpressure: beyond the in-flight cap, connections shed with 503 +
+/// Retry-After instead of queueing without bound, and capacity recovers
+/// once the burst passes.
+#[test]
+fn load_is_shed_with_503_beyond_the_in_flight_cap() {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_in_flight: 1,
+        faults: Arc::new(ServeFaultPlan::none().delay_request_every(1, Duration::from_millis(60))),
+        ..ServeConfig::default()
+    };
+    let (server, sink) = start_server(cfg);
+    let report = run_load(
+        server.addr(),
+        &LoadOptions {
+            clients: 6,
+            requests_per_client: 3,
+            path: "/v1/predict".to_string(),
+            body: predict_body(6, None),
+            timeout: Duration::from_secs(10),
+        },
+    );
+    assert_eq!(report.errors, 0, "sheds are responses, not resets");
+    assert!(report.completed() >= 1, "some requests must get through");
+    assert!(
+        report.status_count(503) >= 1,
+        "expected sheds under 6 clients vs cap 1: {report:?}"
+    );
+    let snap = sink.snapshot();
+    assert_eq!(
+        snap.count("serve", "shed"),
+        Some(report.status_count(503) as u64)
+    );
+    // A shed response carries Retry-After on the wire.
+    let shed_until = std::time::Instant::now() + Duration::from_secs(5);
+    let mut saw_retry_after = false;
+    while std::time::Instant::now() < shed_until && !saw_retry_after {
+        let burst: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = server.addr();
+                std::thread::spawn(move || {
+                    raw_roundtrip(
+                        addr,
+                        format!(
+                            "POST /v1/predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+                            predict_body(6, None).len(),
+                            predict_body(6, None)
+                        )
+                        .as_bytes(),
+                        Duration::from_secs(5),
+                    )
+                })
+            })
+            .collect();
+        for h in burst {
+            if let Ok(Ok(raw)) = h
+                .join()
+                .map(|r| r.map(|v| String::from_utf8_lossy(&v).to_string()))
+            {
+                if raw.starts_with("HTTP/1.1 503") {
+                    assert!(raw.contains("retry-after:"), "{raw}");
+                    saw_retry_after = true;
+                }
+            }
+        }
+    }
+    assert!(saw_retry_after, "no shed carried Retry-After");
+    // Capacity recovers: a lone request after the burst succeeds.
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, _) =
+        roundtrip(server.addr(), "POST", "/v1/predict", &predict_body(6, None)).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Drain-then-stop: shutdown answers what was admitted, then the port
+/// refuses new connections.
+#[test]
+fn graceful_shutdown_drains_and_closes() {
+    let (server, sink) = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (status, _) = roundtrip(addr, "GET", "/health", "").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+    // Every admitted request was answered before shutdown returned.
+    let snap = sink.snapshot();
+    assert_eq!(snap.count("serve", "requests"), Some(1));
+    assert_eq!(snap.count("serve", "in_flight"), Some(0));
+    // New connections are refused (or die unanswered) once down.
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    match refused {
+        Err(_) => {}
+        Ok(_) => {
+            // The OS may briefly accept into a dead backlog; a request on
+            // that socket must never be answered.
+            let out = raw_roundtrip(
+                addr,
+                b"GET /health HTTP/1.1\r\n\r\n",
+                Duration::from_millis(500),
+            );
+            assert!(out.map(|v| v.is_empty()).unwrap_or(true));
+        }
+    }
+}
+
+/// Deadlines without faults: `deadline_ms: 0` trips immediately into an
+/// answered-nothing partial response.
+#[test]
+fn zero_deadline_yields_empty_partial_answer() {
+    let (server, sink) = start_server(ServeConfig::default());
+    let (status, body) = roundtrip(
+        server.addr(),
+        "POST",
+        "/v1/predict",
+        &predict_body(40, Some(0)),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"outcome\": \"deadline-exceeded\""),
+        "{body}"
+    );
+    assert!(body.contains("\"answered\": 0"), "{body}");
+    // All 40 slots render as null.
+    assert_eq!(body.matches("null").count(), 40);
+    assert_eq!(sink.snapshot().count("serve", "timeouts"), Some(1));
+    server.shutdown();
+}

@@ -37,7 +37,8 @@ echo "==> tracked benchmark emits and validates"
 BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
 ANALYSIS_TMP="$(mktemp /tmp/analysis_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP"' EXIT
+SERVING_TMP="$(mktemp /tmp/serving_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
@@ -62,6 +63,21 @@ cargo run -q -p crr-bench --bin experiments -- \
 cargo run -q -p crr-bench --bin experiments -- --check-analysis "$ANALYSIS_TMP"
 if [ -f analysis.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check-analysis analysis.json
+fi
+
+echo "==> serving smoke: live server under closed-loop load"
+# Tiny-scale end-to-end serving run: discovery, artifact export, a live
+# crr-serve server driven by the closed-loop load generator. The emitter
+# asserts in-process that smoke cells are loss-free (zero sheds, zero
+# deadline timeouts, every request 200), that the overload cell sheds
+# well-formed 503s, and that hot-swap churn never changes an in-flight
+# answer; --check-serving re-applies the same gates to the file, and to
+# the committed full-scale artifact.
+cargo run -q -p crr-bench --bin experiments -- \
+  --scale 0.05 --serving-json "$SERVING_TMP" serving >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --check-serving "$SERVING_TMP"
+if [ -f BENCH_serving.json ]; then
+  cargo run -q -p crr-bench --bin experiments -- --check-serving BENCH_serving.json
 fi
 
 echo "CI OK"
