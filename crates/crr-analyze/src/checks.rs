@@ -363,6 +363,32 @@ impl<'a> Pass<'a> {
                         format!("conjunct #{k} repeats a predicate"),
                     );
                 }
+                // Distinct same-side interval bounds on one attribute:
+                // the scan compiler folds them to the strictest bound at
+                // compile time, so carrying both is refinement debt the
+                // producer should have collapsed.
+                let mut foldable = false;
+                for a in 0..preds.len() {
+                    for b in (a + 1)..preds.len() {
+                        if preds[a] != preds[b]
+                            && crr_core::compiled::folds_together(&preds[a], &preds[b])
+                        {
+                            foldable = true;
+                        }
+                    }
+                }
+                if foldable {
+                    self.push(
+                        Check::InferenceAudit,
+                        Severity::Hygiene,
+                        Some(i),
+                        None,
+                        format!(
+                            "conjunct #{k} carries redundant same-side bounds on one \
+                             attribute; the scan compiler folds them to the strictest"
+                        ),
+                    );
+                }
             }
             for a in 0..conjs.len() {
                 for b in (a + 1)..conjs.len() {

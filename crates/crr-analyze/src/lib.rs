@@ -21,7 +21,8 @@
 //!   that catches a dropped `IS NULL` guard on null-key rules;
 //! * **A4 inference audit** — ρ finite and non-negative, built-in
 //!   translations composable per Proposition 9 (matching arity, finite
-//!   shifts), no duplicate conjuncts or predicates;
+//!   shifts), no duplicate conjuncts or predicates, and no same-side
+//!   interval bounds the scan compiler would fold to the strictest;
 //! * **A5 ρ-monotonicity** — `C_i ⊢ C_j` with a shared model requires
 //!   `ρ_i ≤ ρ_j`, the invariant Fusion's `max(ρ_1, ρ_2)` output preserves.
 //!
@@ -425,6 +426,38 @@ mod tests {
             .collect();
         assert_eq!(hygiene.len(), 2, "{:?}", report.findings);
         assert!(report.is_sound());
+    }
+
+    #[test]
+    fn foldable_same_side_bounds_are_hygiene() {
+        // Two distinct upper bounds on x: the scan compiler keeps only
+        // lt 5 at compile time, so the displayed rule diverges from what
+        // the kernels evaluate — refinement debt worth one finding.
+        let c = Conjunction::of(vec![
+            Predicate::ge(x(), Value::Float(0.0)),
+            Predicate::lt(x(), Value::Float(10.0)),
+            Predicate::lt(x(), Value::Float(5.0)),
+        ]);
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(c), 0.5, model(1.0)));
+        let report = analyze(&rules, None);
+        let folds: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| {
+                f.check == Check::InferenceAudit
+                    && f.severity == Severity::Hygiene
+                    && f.message.contains("folds")
+            })
+            .collect();
+        assert_eq!(folds.len(), 1, "{:?}", report.findings);
+        assert_eq!(folds[0].rule, Some(0));
+        assert!(report.is_sound());
+        // A lower and an upper bound never fold — the clean interval
+        // stays clean.
+        let mut clean = RuleSet::new();
+        clean.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        assert!(analyze(&clean, None).findings.is_empty());
     }
 
     #[test]

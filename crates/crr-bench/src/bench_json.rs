@@ -15,8 +15,14 @@ use std::fmt::Write as _;
 pub use crr_obs::json::{parse, Json};
 
 /// Schema tag stamped into the file; bump when the layout changes.
-/// v2 added the `sharded` section and the `sharded` engine label.
-pub const SCHEMA: &str = "crr-bench-discovery-v2";
+/// v2 added the `sharded` section and the `sharded` engine label; v3 added
+/// the `interpreted` engine label (moments engine under the interpreted
+/// scan kernel, required at every (dataset, size) cell with results
+/// byte-equal to the `moments` cell) and the per-kernel `kernels` array.
+pub const SCHEMA: &str = "crr-bench-discovery-v3";
+
+/// Kernel labels the `kernels` array may carry; all three must appear.
+pub const KERNEL_CELLS: [&str; 3] = ["predicate_scan", "gram_accumulate", "end_to_end"];
 
 /// One timed discovery run: a (dataset, size, engine) cell.
 #[derive(Debug, Clone)]
@@ -71,6 +77,26 @@ pub struct ShardedEntry {
     pub ratio: f64,
 }
 
+/// Interpreted-vs-compiled scan-kernel throughput at one dataset point.
+#[derive(Debug, Clone)]
+pub struct KernelEntry {
+    /// Dataset label.
+    pub dataset: String,
+    /// Instance size the kernel was measured over.
+    pub rows: usize,
+    /// Which kernel: `predicate_scan` (rows filtered per second),
+    /// `gram_accumulate` (rows accumulated per second) or `end_to_end`
+    /// (whole discovery runs measured as rows per second).
+    pub kernel: String,
+    /// Interpreted (row-at-a-time) throughput, rows/second.
+    pub interpreted_per_sec: f64,
+    /// Compiled (columnar, cache-blocked) throughput, rows/second.
+    pub compiled_per_sec: f64,
+    /// `compiled_per_sec / interpreted_per_sec` — above 1.0 means the
+    /// compiled kernel is faster.
+    pub ratio: f64,
+}
+
 /// The full report the `bench` experiment emits.
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
@@ -80,6 +106,8 @@ pub struct BenchReport {
     pub speedup: Vec<SpeedupEntry>,
     /// Sharded-vs-single comparisons, one per dataset at its largest size.
     pub sharded: Vec<ShardedEntry>,
+    /// Per-kernel interpreted-vs-compiled throughput cells.
+    pub kernels: Vec<KernelEntry>,
 }
 
 /// Renders the report as pretty-printed JSON with a stable key order.
@@ -146,6 +174,26 @@ pub fn render(report: &BenchReport) -> String {
             num(s.ratio),
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"kernels\": [");
+    for (i, k) in report.kernels.iter().enumerate() {
+        let comma = if i + 1 < report.kernels.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"kernel\": \"{}\", \
+             \"interpreted_per_sec\": {}, \"compiled_per_sec\": {}, \"ratio\": {}}}{comma}",
+            esc(&k.dataset),
+            k.rows,
+            esc(&k.kernel),
+            num(k.interpreted_per_sec),
+            num(k.compiled_per_sec),
+            num(k.ratio),
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
@@ -176,9 +224,15 @@ fn str_key<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
 ///
 /// Checks: the schema tag; a non-empty `records` array whose entries carry
 /// every required key with finite numbers and known engine labels; each
-/// dataset measured at ≥ 2 sizes with *both* fit engines at each size; a
-/// non-empty `speedup` array with finite, positive ratios; and a non-empty
-/// `sharded` array whose cells have ≥ 2 shards and positive timings.
+/// dataset measured at ≥ 2 sizes with the `moments`, `rescan` *and*
+/// `interpreted` engines at each size; the `interpreted` cell (moments
+/// engine, interpreted scan kernel) reporting *exactly* the same rules,
+/// trained-model count and RMSE as the `moments` cell — the compiled
+/// kernels must be a pure accelerator, never a semantic change; a
+/// non-empty `speedup` array with finite, positive ratios; a non-empty
+/// `sharded` array whose cells have ≥ 2 shards and positive timings; and a
+/// non-empty `kernels` array covering all of [`KERNEL_CELLS`] with
+/// positive throughputs.
 pub fn validate(text: &str) -> Result<String, String> {
     let doc = parse(text)?;
     let schema = str_key(&doc, "schema", "document")?;
@@ -193,13 +247,19 @@ pub fn validate(text: &str) -> Result<String, String> {
     if records.is_empty() {
         return Err("'records' is empty".to_string());
     }
-    // (dataset, rows) -> set of engines seen there.
-    let mut cells: Vec<(String, u64, Vec<String>)> = Vec::new();
+    // (dataset, rows) -> engines seen there, with the (rules, trained,
+    // rmse) triple each one reported.
+    type Outcome = (String, f64, f64, f64);
+    let mut cells: Vec<(String, u64, Vec<Outcome>)> = Vec::new();
     for (i, r) in records.iter().enumerate() {
         let ctx = format!("records[{i}]");
         let dataset = str_key(r, "dataset", &ctx)?.to_string();
         let engine = str_key(r, "engine", &ctx)?.to_string();
-        if engine != "moments" && engine != "rescan" && engine != "sharded" {
+        if engine != "moments"
+            && engine != "rescan"
+            && engine != "sharded"
+            && engine != "interpreted"
+        {
             return Err(format!("{ctx}: unknown engine '{engine}'"));
         }
         let rows = finite_num(r, "rows", &ctx)?;
@@ -209,23 +269,37 @@ pub fn validate(text: &str) -> Result<String, String> {
         if finite_num(r, "learn_secs", &ctx)? < 0.0 {
             return Err(format!("{ctx}: negative learn_secs"));
         }
-        finite_num(r, "rules", &ctx)?;
-        finite_num(r, "trained", &ctx)?;
-        finite_num(r, "rmse", &ctx)?;
+        let rules = finite_num(r, "rules", &ctx)?;
+        let trained = finite_num(r, "trained", &ctx)?;
+        let rmse = finite_num(r, "rmse", &ctx)?;
         let key = (dataset, rows as u64);
+        let outcome = (engine, rules, trained, rmse);
         match cells
             .iter_mut()
             .find(|(d, n, _)| *d == key.0 && *n == key.1)
         {
-            Some((_, _, engines)) => engines.push(engine),
-            None => cells.push((key.0, key.1, vec![engine])),
+            Some((_, _, engines)) => engines.push(outcome),
+            None => cells.push((key.0, key.1, vec![outcome])),
         }
     }
     let mut datasets: Vec<&str> = Vec::new();
     for (dataset, rows, engines) in &cells {
-        for want in ["moments", "rescan"] {
-            if !engines.iter().any(|e| e == want) {
+        for want in ["moments", "rescan", "interpreted"] {
+            if !engines.iter().any(|(e, ..)| e == want) {
                 return Err(format!("{dataset}@{rows}: engine '{want}' never measured"));
+            }
+        }
+        // The interpreted cell is the oracle run of the same moments
+        // configuration: any divergence means the compiled kernels changed
+        // a search decision.
+        let find = |name: &str| engines.iter().find(|(e, ..)| e == name);
+        if let (Some(m), Some(i)) = (find("moments"), find("interpreted")) {
+            if m.1 != i.1 || m.2 != i.2 || m.3 != i.3 {
+                return Err(format!(
+                    "{dataset}@{rows}: interpreted-kernel cell diverges from the moments cell \
+                     (rules {} vs {}, trained {} vs {}, rmse {} vs {})",
+                    m.1, i.1, m.2, i.2, m.3, i.3
+                ));
             }
         }
         if !datasets.contains(&dataset.as_str()) {
@@ -283,12 +357,44 @@ pub fn validate(text: &str) -> Result<String, String> {
             return Err(format!("{ctx}: non-positive ratio {ratio}"));
         }
     }
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or("document: 'kernels' missing or not an array")?;
+    if kernels.is_empty() {
+        return Err("'kernels' is empty".to_string());
+    }
+    let mut kinds: Vec<String> = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        let ctx = format!("kernels[{i}]");
+        str_key(k, "dataset", &ctx)?;
+        finite_num(k, "rows", &ctx)?;
+        let kind = str_key(k, "kernel", &ctx)?.to_string();
+        if !KERNEL_CELLS.contains(&kind.as_str()) {
+            return Err(format!("{ctx}: unknown kernel '{kind}'"));
+        }
+        for key in ["interpreted_per_sec", "compiled_per_sec", "ratio"] {
+            if finite_num(k, key, &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: non-positive {key}"));
+            }
+        }
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    for want in KERNEL_CELLS {
+        if !kinds.iter().any(|k| k == want) {
+            return Err(format!("kernel cell '{want}' never measured"));
+        }
+    }
     Ok(format!(
-        "ok: {} records over {} dataset(s), {} speedup point(s), {} sharded cell(s)",
+        "ok: {} records over {} dataset(s), {} speedup point(s), {} sharded cell(s), \
+         {} kernel cell(s)",
         records.len(),
         datasets.len(),
         speedup.len(),
-        sharded.len()
+        sharded.len(),
+        kernels.len()
     ))
 }
 
@@ -300,7 +406,7 @@ mod tests {
         let mut report = BenchReport::default();
         for dataset in ["electricity", "tax"] {
             for rows in [1000usize, 2000] {
-                for engine in ["moments", "rescan"] {
+                for engine in ["moments", "rescan", "interpreted"] {
                     report.records.push(BenchRecord {
                         dataset: dataset.into(),
                         rows,
@@ -327,6 +433,16 @@ mod tests {
                 sharded_secs: 0.2,
                 ratio: 2.0,
             });
+            for kernel in KERNEL_CELLS {
+                report.kernels.push(KernelEntry {
+                    dataset: dataset.into(),
+                    rows: 2000,
+                    kernel: kernel.into(),
+                    interpreted_per_sec: 1.0e7,
+                    compiled_per_sec: 3.0e7,
+                    ratio: 3.0,
+                });
+            }
         }
         report
     }
@@ -335,8 +451,53 @@ mod tests {
     fn render_round_trips_through_validate() {
         let text = render(&sample());
         let summary = validate(&text).expect("valid");
-        assert!(summary.contains("8 records"), "{summary}");
+        assert!(summary.contains("12 records"), "{summary}");
         assert!(summary.contains("2 dataset"), "{summary}");
+        assert!(summary.contains("6 kernel cell(s)"), "{summary}");
+    }
+
+    #[test]
+    fn diverging_interpreted_cell_is_rejected() {
+        let mut report = sample();
+        let r = report
+            .records
+            .iter_mut()
+            .find(|r| r.engine == "interpreted")
+            .unwrap();
+        r.rmse += 1e-9;
+        let err = validate(&render(&report)).expect_err("must fail");
+        assert!(err.contains("diverges"), "{err}");
+    }
+
+    #[test]
+    fn missing_interpreted_cell_is_rejected() {
+        let mut report = sample();
+        report.records.retain(|r| r.engine != "interpreted");
+        let err = validate(&render(&report)).expect_err("must fail");
+        assert!(err.contains("interpreted"), "{err}");
+    }
+
+    #[test]
+    fn kernel_cells_are_required_and_checked() {
+        let mut report = sample();
+        report.kernels.clear();
+        let err = validate(&render(&report)).expect_err("empty kernels must fail");
+        assert!(err.contains("kernels"), "{err}");
+
+        let mut report = sample();
+        report.kernels.retain(|k| k.kernel != "end_to_end");
+        let err = validate(&render(&report)).expect_err("must fail");
+        assert!(err.contains("end_to_end"), "{err}");
+
+        let mut report = sample();
+        report.kernels[0].kernel = "warp_scan".into();
+        let err = validate(&render(&report)).expect_err("must fail");
+        assert!(err.contains("warp_scan"), "{err}");
+
+        let mut report = sample();
+        report.kernels[0].compiled_per_sec = 0.0;
+        let err = validate(&render(&report)).expect_err("must fail");
+        assert!(err.contains("compiled_per_sec"), "{err}");
     }
 
     #[test]

@@ -97,7 +97,7 @@ use crr_data::{RowSet, ShardPlan, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig};
 use crr_discovery::{
     compact_on_data, DiscoveryConfig, DiscoveryError, DiscoverySession, FitEngine, PredicateGen,
-    PredicateSpace, QueueOrder, ShardedDiscovery,
+    PredicateSpace, QueueOrder, ScanKernel, ShardedDiscovery,
 };
 use crr_impute::{impute_with_rules, mask_random};
 use crr_models::ModelKind;
@@ -961,10 +961,18 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         for size in sizes {
             let sc = make(scaled(size, scale), 42);
             let rows = sc.rows();
-            let mut secs_by_engine = [f64::INFINITY; 2];
-            for (ei, engine) in [FitEngine::Moments, FitEngine::Rescan]
-                .into_iter()
-                .enumerate()
+            let mut secs_by_engine = [f64::INFINITY; 3];
+            // rules / trained / rmse of the compiled moments cell — the
+            // interpreted cell must reproduce them exactly (the compiled
+            // kernels are accelerators, never a semantic change).
+            let mut moments_outcome: Option<(usize, usize, f64)> = None;
+            for (ei, (label, engine, kernel)) in [
+                ("moments", FitEngine::Moments, ScanKernel::Compiled),
+                ("rescan", FitEngine::Rescan, ScanKernel::Compiled),
+                ("interpreted", FitEngine::Moments, ScanKernel::Interpreted),
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let opts = CrrOptions {
                     engine,
@@ -973,6 +981,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                     ..Default::default()
                 };
                 let (cfg, space) = crr_inputs(&sc, &opts);
+                let cfg = cfg.with_kernel(kernel);
                 let mut found = None;
                 for _ in 0..reps {
                     let session = DiscoverySession::on(sc.table())
@@ -986,10 +995,27 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                 }
                 let d = found.expect("at least one rep");
                 let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
-                let label = match engine {
-                    FitEngine::Moments => "moments",
-                    FitEngine::Rescan => "rescan",
-                };
+                match label {
+                    "moments" => {
+                        moments_outcome = Some((d.rules.len(), d.stats.models_trained, rep.rmse));
+                    }
+                    "interpreted" => {
+                        let (mr, mt, mrmse) = moments_outcome.expect("moments cell measured first");
+                        assert_eq!(
+                            (mr, mt),
+                            (d.rules.len(), d.stats.models_trained),
+                            "{name}@{}: interpreted kernel changed the discovered rules",
+                            rows.len()
+                        );
+                        assert_eq!(
+                            mrmse.to_bits(),
+                            rep.rmse.to_bits(),
+                            "{name}@{}: interpreted kernel changed the RMSE",
+                            rows.len()
+                        );
+                    }
+                    _ => {}
+                }
                 table_rows.push(vec![
                     name.to_string(),
                     rows.len().to_string(),
@@ -1008,11 +1034,13 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                     trained: d.stats.models_trained,
                     rmse: rep.rmse,
                 });
-                if metrics_out.is_some() {
+                if metrics_out.is_some() && label != "interpreted" {
                     // One extra instrumented run per cell, outside the timed
-                    // reps so the tracked numbers stay uninstrumented. The
-                    // in-process asserts pin the invariants --check-metrics
-                    // re-verifies from the file.
+                    // reps so the tracked numbers stay uninstrumented (the
+                    // interpreted oracle cell is not re-instrumented: it is
+                    // the same moments configuration under the slow kernel).
+                    // The in-process asserts pin the invariants
+                    // --check-metrics re-verifies from the file.
                     let cfg = cfg.clone().with_metrics(MetricsSink::enabled());
                     let dm =
                         run_discovery(sc.table(), &rows, &cfg, &space).expect("metered discovery");
@@ -1053,6 +1081,27 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                 rescan_secs: secs_by_engine[1],
                 ratio: secs_by_engine[1] / secs_by_engine[0],
             });
+            if size == sizes[sizes.len() - 1] {
+                // Per-kernel throughput cells at the largest size, plus the
+                // end-to-end cell from the engine timings above
+                // (interpreted kernel vs compiled, both moments engine).
+                let opts = CrrOptions {
+                    compact: false,
+                    predicates_per_attr: per_attr,
+                    ..Default::default()
+                };
+                let (cfg, space) = crr_inputs(&sc, &opts);
+                kernel_microbench(
+                    &mut report,
+                    name,
+                    sc.table(),
+                    &rows,
+                    &cfg,
+                    &space,
+                    secs_by_engine[2],
+                    secs_by_engine[0],
+                );
+            }
         }
     }
 
@@ -1093,6 +1142,43 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         }
         let d = sharded_found.expect("at least one sharded rep");
         let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+        // Acceptance pin: the compiled kernels must be byte-identical under
+        // the N-way shard plan too. One untimed interpreted-kernel run of
+        // the same plan; rule conditions, biases and RMSE must all match.
+        let di = DiscoverySession::on(sc.table())
+            .rows(rows.clone())
+            .predicates(space.clone())
+            .config(
+                cfg.clone()
+                    .with_shard_threads(shards.min(4))
+                    .with_kernel(ScanKernel::Interpreted),
+            )
+            .sharded(ShardPlan::by_key_range(key, shards))
+            .run()
+            .expect("interpreted sharded discovery");
+        assert_eq!(
+            d.rules.len(),
+            di.rules.len(),
+            "{name}: interpreted kernel changed the sharded rule count"
+        );
+        for (ra, rb) in d.rules.rules().iter().zip(di.rules.rules()) {
+            assert_eq!(
+                ra.condition(),
+                rb.condition(),
+                "{name}: interpreted kernel changed a sharded condition"
+            );
+            assert_eq!(
+                ra.rho().to_bits(),
+                rb.rho().to_bits(),
+                "{name}: interpreted kernel changed a sharded rho"
+            );
+        }
+        let repi = di.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
+        assert_eq!(
+            rep.rmse.to_bits(),
+            repi.rmse.to_bits(),
+            "{name}: interpreted kernel changed the sharded RMSE"
+        );
         table_rows.push(vec![
             name.to_string(),
             rows.len().to_string(),
@@ -1223,6 +1309,122 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         std::fs::write(mpath, &mtext).unwrap_or_else(|e| panic!("cannot write {mpath}: {e}"));
         println!("wrote {mpath} ({msummary})");
     }
+}
+
+/// Per-kernel throughput cells for one dataset at one size: times the
+/// interpreted row-at-a-time predicate scan against the compiled
+/// cache-blocked kernel over every space predicate, and the per-row
+/// `Moments::add_row` gather against the batched `Moments::add_rows`
+/// column pass, asserting bit-identical results in-process; the
+/// `end_to_end` cell reuses the engine-cell wall clocks passed in.
+#[allow(clippy::too_many_arguments)]
+fn kernel_microbench(
+    report: &mut bench_json::BenchReport,
+    dataset: &str,
+    table: &Table,
+    rows: &RowSet,
+    cfg: &DiscoveryConfig,
+    space: &PredicateSpace,
+    interpreted_e2e_secs: f64,
+    compiled_e2e_secs: f64,
+) {
+    use crr_core::CompiledConjunction;
+    use crr_data::NumericSnapshot;
+    use crr_models::Moments;
+
+    let n = rows.len();
+    let push = |report: &mut bench_json::BenchReport, kernel: &str, i_sec: f64, c_sec: f64| {
+        let entry = bench_json::KernelEntry {
+            dataset: dataset.to_string(),
+            rows: n,
+            kernel: kernel.to_string(),
+            interpreted_per_sec: i_sec,
+            compiled_per_sec: c_sec,
+            ratio: c_sec / i_sec,
+        };
+        println!(
+            "  {}@{} {}: interpreted {:.3e} rows/s vs compiled {:.3e} rows/s -> {:.2}x",
+            entry.dataset, entry.rows, entry.kernel, i_sec, c_sec, entry.ratio
+        );
+        report.kernels.push(entry);
+    };
+    let reps = 2;
+
+    // Predicate scan: every predicate of the space over the whole instance.
+    let preds = space.predicates();
+    let (mut i_best, mut c_best) = (f64::INFINITY, f64::INFINITY);
+    let (mut i_count, mut c_count) = (0usize, 0usize);
+    for _ in 0..reps {
+        let t = Instant::now();
+        i_count = 0;
+        for p in preds {
+            i_count += rows.iter().filter(|&r| p.eval(table, r)).count();
+        }
+        i_best = i_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        c_count = 0;
+        for p in preds {
+            c_count += CompiledConjunction::from_preds(std::slice::from_ref(p), table)
+                .count(rows.as_slice());
+        }
+        c_best = c_best.min(t.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        i_count, c_count,
+        "{dataset}: compiled predicate scan diverged from the interpreter"
+    );
+    let scanned = (n * preds.len()) as f64;
+    push(
+        report,
+        "predicate_scan",
+        scanned / i_best.max(1e-9),
+        scanned / c_best.max(1e-9),
+    );
+
+    // Gram accumulation over the fit-ready rows.
+    let snap =
+        NumericSnapshot::build(table, &cfg.inputs, cfg.target, rows).expect("bench snapshot");
+    let fit = snap.ready_rows(rows);
+    let d = snap.num_inputs();
+    let cols: Vec<&[f64]> = (0..d).map(|j| snap.input(j)).collect();
+    let (mut i_best, mut c_best) = (f64::INFINITY, f64::INFINITY);
+    let (mut m_i, mut m_c) = (Moments::zeros(d), Moments::zeros(d));
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut m = Moments::zeros(d);
+        let mut x = vec![0.0; d];
+        for &r in &fit {
+            snap.gather_x(r as usize, &mut x);
+            m.add_row(&x, snap.target()[r as usize]);
+        }
+        i_best = i_best.min(t.elapsed().as_secs_f64());
+        m_i = m;
+        let t = Instant::now();
+        let mut m = Moments::zeros(d);
+        m.add_rows(&cols, snap.target(), &fit);
+        c_best = c_best.min(t.elapsed().as_secs_f64());
+        m_c = m;
+    }
+    assert_eq!(
+        m_i, m_c,
+        "{dataset}: batched Gram accumulation diverged from per-row adds"
+    );
+    let accumulated = fit.len() as f64;
+    push(
+        report,
+        "gram_accumulate",
+        accumulated / i_best.max(1e-9),
+        accumulated / c_best.max(1e-9),
+    );
+
+    // End-to-end: whole discovery runs as rows/second, from the engine
+    // cells (moments engine under each kernel, best of reps).
+    push(
+        report,
+        "end_to_end",
+        n as f64 / interpreted_e2e_secs.max(1e-9),
+        n as f64 / compiled_e2e_secs.max(1e-9),
+    );
 }
 
 /// `analyze`: discover on Electricity and Tax — unsharded and under a

@@ -14,13 +14,16 @@ use std::fmt::Write as _;
 
 /// Schema tag stamped into the file; bump when the layout changes.
 /// v2 added the `shards` section and the `sharded` engine label; v3 added
-/// the `serve` section (the serving runtime's counters and gauges).
-pub const SCHEMA: &str = "crr-metrics-v3";
+/// the `serve` section (the serving runtime's counters and gauges); v4
+/// added the `kernels` section (compiled-scan and batched-accumulate
+/// counters) plus the `pred_scan`/`gram_accumulate` phase timers.
+pub const SCHEMA: &str = "crr-metrics-v4";
 
 /// Sections every enabled-sink snapshot must carry (the sink always emits
 /// the full schema, zeros included, so file shape is run-independent).
-pub const REQUIRED_SECTIONS: [&str; 10] = [
+pub const REQUIRED_SECTIONS: [&str; 11] = [
     "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases", "shards", "serve",
+    "kernels",
 ];
 
 /// One instrumented discovery run and its frozen snapshot.
@@ -94,6 +97,10 @@ fn uint(obj: &Json, section: &str, key: &str, ctx: &str) -> Result<u64, String> 
 /// * the cross-shard pool accounting reconciles in **every** run:
 ///   `shards.cross_pool_hits + shards.cross_pool_misses ==
 ///   shards.cross_pool_probes` (all three are zero when unsharded);
+/// * the scan-kernel ledger balances in **every** run: each split filters
+///   both of its sides through exactly one engine, so
+///   `kernels.compiled_scans + kernels.interpreted_scans ==
+///   2 × queue.splits`;
 /// * a `sharded` run actually ran at least two shards (`shards.run >= 2`);
 /// * `faults.injected_failures` equals `expected_fault_events` when the
 ///   run declares one, and zero otherwise;
@@ -145,6 +152,15 @@ pub fn validate(text: &str) -> Result<String, String> {
             return Err(format!(
                 "{ctx}: cross-shard pool accounting does not reconcile \
                  ({hits} hits + {misses} misses != {probes} probes)"
+            ));
+        }
+        let splits = uint(m, "queue", "splits", &ctx)?;
+        let cscans = uint(m, "kernels", "compiled_scans", &ctx)?;
+        let iscans = uint(m, "kernels", "interpreted_scans", &ctx)?;
+        if cscans + iscans != 2 * splits {
+            return Err(format!(
+                "{ctx}: scan-kernel ledger does not balance \
+                 ({cscans} compiled + {iscans} interpreted != 2 x {splits} splits)"
             ));
         }
         match engine {
@@ -320,11 +336,25 @@ mod tests {
     }
 
     #[test]
+    fn unbalanced_scan_ledger_is_rejected() {
+        let mut runs = sample();
+        // A split whose side-filters no kernel accounts for.
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 7);
+        sink.add(Counter::MomentsSolves, 5);
+        sink.add(Counter::Splits, 3);
+        sink.add(Counter::KernelCompiledScans, 5);
+        runs[0].snapshot = sink.snapshot();
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("scan-kernel ledger"), "{err}");
+    }
+
+    #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-metrics-v3\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v4\", \"runs\": []}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
-        // The v2 tag is stale now that snapshots carry the serve section.
-        assert!(validate("{\"schema\": \"crr-metrics-v2\", \"runs\": [1]}").is_err());
+        // The v3 tag is stale now that snapshots carry the kernels section.
+        assert!(validate("{\"schema\": \"crr-metrics-v3\", \"runs\": [1]}").is_err());
     }
 }

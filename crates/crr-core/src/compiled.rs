@@ -1,0 +1,796 @@
+//! Compile-once, evaluate-columnar predicate kernels.
+//!
+//! [`Predicate::eval`] is correct but pays per row: it re-resolves the
+//! column through `table.column(attr)`, branches on the operator *and* the
+//! constant's kind, and produces one `Option<Ordering>` per tuple. During
+//! discovery the same conjunction is evaluated over millions of rows, so
+//! that per-row dispatch — not the model fit — dominates the wall clock.
+//!
+//! [`CompiledPred`] hoists all of that out of the loop. Compilation resolves
+//! `AttrId` → a borrowed column slice and `Value` → a typed comparison
+//! constant exactly once, producing a [`Kernel`]: a branch-free test against
+//! raw columnar storage. String constants become a per-dictionary-code truth
+//! table, so the inner loop is one array load. Null handling is a dedicated
+//! lane: columns without a null mask skip it entirely, and `IS NULL` /
+//! `IS NOT NULL` compile to pure mask reads (or to the constant kernels
+//! [`Kernel::Never`] / [`Kernel::Always`] when the column has no mask),
+//! preserving the shard-guard semantics bit for bit.
+//!
+//! [`CompiledConjunction`] strings kernels together over cache-sized row
+//! blocks ([`BLOCK`]), producing either selection vectors (ascending
+//! `Vec<u32>`, the shape `RowSet` stores) or packed u64 bitmasks. The
+//! compiler also *folds* redundant interval bounds (`x ≤ 5 ∧ x ≤ 3` keeps
+//! only `x ≤ 3`) and short-circuits provably-false conjunctions (cross-kind
+//! comparisons, `NaN`/`Null` constants, equality against a string absent
+//! from the dictionary) to [`Kernel::Never`].
+//!
+//! # Equivalence contract
+//!
+//! Every kernel is byte-identical to the interpreted path: for all tables
+//! (nulls, NaN cells, cross-kind constants included),
+//! `CompiledConjunction::select` equals `Conjunction::select` exactly. The
+//! proptest suite in `tests/proptest_compiled.rs` pins this contract.
+
+use crate::{Conjunction, Op, Predicate};
+use crr_data::{Column, ColumnData, RowSet, Table, Value};
+
+/// Rows per evaluation block: 4096 × 4 bytes of row indices plus the
+/// touched column stripes stay comfortably inside L1/L2 while amortizing
+/// the per-block bookkeeping.
+pub const BLOCK: usize = 4096;
+
+/// A comparison operator with the unary null tests compiled away.
+///
+/// Kernels never see [`Op::IsNull`]/[`Op::NotNull`]: those compile to the
+/// dedicated mask kernels before any ordering is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl CmpOp {
+    fn from_op(op: Op) -> Option<CmpOp> {
+        match op {
+            Op::Eq => Some(CmpOp::Eq),
+            Op::Ne => Some(CmpOp::Ne),
+            Op::Gt => Some(CmpOp::Gt),
+            Op::Ge => Some(CmpOp::Ge),
+            Op::Lt => Some(CmpOp::Lt),
+            Op::Le => Some(CmpOp::Le),
+            Op::IsNull | Op::NotNull => None,
+        }
+    }
+}
+
+/// The compiled form of one predicate: everything the inner loop needs,
+/// resolved against one table's columnar storage.
+#[derive(Debug)]
+enum Kernel<'t> {
+    /// Provably false for every row: cross-kind comparison, `Null`/`NaN`
+    /// constant, `IS NULL` on a mask-free column, or an equality against a
+    /// string that never occurs in the dictionary.
+    Never,
+    /// Provably true for every row: `IS NOT NULL` on a mask-free column.
+    Always,
+    /// `A IS NULL` — a pure mask read.
+    IsNull { nulls: &'t [bool] },
+    /// `A IS NOT NULL` — a negated mask read.
+    NotNull { nulls: &'t [bool] },
+    /// Numeric comparison against a float column.
+    Float {
+        data: &'t [f64],
+        nulls: Option<&'t [bool]>,
+        op: CmpOp,
+        c: f64,
+    },
+    /// Numeric comparison against an int column (compared as `f64`, the
+    /// interpreted semantics of [`Column::cmp_f64`]).
+    Int {
+        data: &'t [i64],
+        nulls: Option<&'t [bool]>,
+        op: CmpOp,
+        c: f64,
+    },
+    /// String comparison as a per-dictionary-code truth table. The null
+    /// check precedes the table load: null rows store the sentinel code
+    /// `u32::MAX`, which must never index the LUT.
+    Str {
+        codes: &'t [u32],
+        nulls: Option<&'t [bool]>,
+        lut: Vec<bool>,
+    },
+}
+
+/// A sink receives the kernel's monomorphized row test exactly once, after
+/// the operator/null/type dispatch has been hoisted out of the loop. Each
+/// evaluation shape (append a selection vector, compact one in place, pack
+/// a bitmask, test one row) is a sink; each `Kernel` arm instantiates the
+/// sink's loop with a closure the optimizer can inline and vectorize.
+trait Sink {
+    fn run(self, test: impl Fn(usize) -> bool);
+}
+
+/// Appends matching rows of `block` to `out` (ascending order preserved).
+struct Append<'a> {
+    block: &'a [u32],
+    out: &'a mut Vec<u32>,
+}
+
+impl Sink for Append<'_> {
+    #[inline]
+    fn run(self, test: impl Fn(usize) -> bool) {
+        self.out
+            .extend(self.block.iter().copied().filter(|&r| test(r as usize)));
+    }
+}
+
+/// Compacts `v[start..]` in place down to the matching rows.
+struct Compact<'a> {
+    v: &'a mut Vec<u32>,
+    start: usize,
+}
+
+impl Sink for Compact<'_> {
+    #[inline]
+    fn run(self, test: impl Fn(usize) -> bool) {
+        let mut w = self.start;
+        for i in self.start..self.v.len() {
+            let r = self.v[i];
+            if test(r as usize) {
+                self.v[w] = r;
+                w += 1;
+            }
+        }
+        self.v.truncate(w);
+    }
+}
+
+/// Assigns `bits[j/64] bit j%64 = test(rows[j])`, word at a time.
+struct MaskAssign<'a> {
+    rows: &'a [u32],
+    bits: &'a mut [u64],
+}
+
+impl Sink for MaskAssign<'_> {
+    #[inline]
+    fn run(self, test: impl Fn(usize) -> bool) {
+        for (word, chunk) in self.bits.iter_mut().zip(self.rows.chunks(64)) {
+            let mut w = 0u64;
+            for (b, &r) in chunk.iter().enumerate() {
+                w |= u64::from(test(r as usize)) << b;
+            }
+            *word = w;
+        }
+    }
+}
+
+/// ANDs the test result into an existing bitmask.
+struct MaskAnd<'a> {
+    rows: &'a [u32],
+    bits: &'a mut [u64],
+}
+
+impl Sink for MaskAnd<'_> {
+    #[inline]
+    fn run(self, test: impl Fn(usize) -> bool) {
+        for (word, chunk) in self.bits.iter_mut().zip(self.rows.chunks(64)) {
+            let mut w = 0u64;
+            for (b, &r) in chunk.iter().enumerate() {
+                w |= u64::from(test(r as usize)) << b;
+            }
+            *word &= w;
+        }
+    }
+}
+
+/// Tests a single row (the per-candidate path of the rule index).
+struct TestOne<'a> {
+    row: usize,
+    out: &'a mut bool,
+}
+
+impl Sink for TestOne<'_> {
+    #[inline]
+    fn run(self, test: impl Fn(usize) -> bool) {
+        *self.out = test(self.row);
+    }
+}
+
+impl<'t> Kernel<'t> {
+    /// Compiles one predicate against one table. Infallible: anything the
+    /// interpreter would reject per row (cross-kind, `Null`/`NaN`
+    /// constants) compiles to [`Kernel::Never`].
+    fn compile(p: &Predicate, table: &'t Table) -> Kernel<'t> {
+        let col: &'t Column = table.column(p.attr);
+        let nulls = col.null_mask();
+        match p.op {
+            // A mask-free column has no nulls: IS NULL never matches and
+            // IS NOT NULL always does.
+            Op::IsNull => {
+                return match nulls {
+                    Some(nulls) => Kernel::IsNull { nulls },
+                    None => Kernel::Never,
+                }
+            }
+            Op::NotNull => {
+                return match nulls {
+                    Some(nulls) => Kernel::NotNull { nulls },
+                    None => Kernel::Always,
+                }
+            }
+            _ => {}
+        }
+        let Some(op) = CmpOp::from_op(p.op) else {
+            return Kernel::Never;
+        };
+        match (&p.value, col.data()) {
+            // A Null constant produces no ordering: no comparison matches.
+            (Value::Null, _) => Kernel::Never,
+            // NaN constants compare as None in the interpreter — for every
+            // operator, including Ne.
+            (Value::Float(c), _) if c.is_nan() => Kernel::Never,
+            (Value::Int(c), ColumnData::Int(data)) => Kernel::Int {
+                data,
+                nulls,
+                op,
+                c: *c as f64,
+            },
+            (Value::Int(c), ColumnData::Float(data)) => Kernel::Float {
+                data,
+                nulls,
+                op,
+                c: *c as f64,
+            },
+            (Value::Float(c), ColumnData::Int(data)) => Kernel::Int {
+                data,
+                nulls,
+                op,
+                c: *c,
+            },
+            (Value::Float(c), ColumnData::Float(data)) => Kernel::Float {
+                data,
+                nulls,
+                op,
+                c: *c,
+            },
+            (Value::Str(s), ColumnData::Str { codes, dict, .. }) => {
+                let lut: Vec<bool> = dict.iter().map(|d| p.op.eval(d.as_ref().cmp(s))).collect();
+                if lut.iter().any(|&b| b) {
+                    Kernel::Str { codes, nulls, lut }
+                } else {
+                    Kernel::Never
+                }
+            }
+            // Cross-kind comparison (number vs string column or vice
+            // versa) is unsatisfied, not an error.
+            _ => Kernel::Never,
+        }
+    }
+
+    /// Runs `sink` with this kernel's row test. The operator / null-lane /
+    /// column-type dispatch happens here, once, outside the sink's loop.
+    // double_comparisons: `v < c || v > c` is NOT `v != c` under IEEE 754 —
+    // it must stay false when `v` is NaN, like the interpreter.
+    #[allow(clippy::double_comparisons)]
+    fn drive<S: Sink>(&self, sink: S) {
+        // Instantiates the numeric loop for one (operator, null-lane)
+        // combination. `Ne` is spelled `v < c || v > c` so NaN cells fail
+        // it, exactly like the interpreter's `partial_cmp → None`; the
+        // other operators already evaluate false on NaN.
+        macro_rules! num {
+            ($data:ident, $nulls:ident, $c:ident, $conv:expr, $cmp:expr) => {{
+                let c = *$c;
+                let t = $cmp;
+                let conv = $conv;
+                match $nulls {
+                    None => sink.run(|i| t(conv($data[i]), c)),
+                    Some(nulls) => sink.run(|i| !nulls[i] && t(conv($data[i]), c)),
+                }
+            }};
+        }
+        macro_rules! num_ops {
+            ($data:ident, $nulls:ident, $op:ident, $c:ident, $conv:expr) => {
+                match $op {
+                    CmpOp::Eq => num!($data, $nulls, $c, $conv, |v, c| v == c),
+                    CmpOp::Ne => num!($data, $nulls, $c, $conv, |v, c| v < c || v > c),
+                    CmpOp::Gt => num!($data, $nulls, $c, $conv, |v, c| v > c),
+                    CmpOp::Ge => num!($data, $nulls, $c, $conv, |v, c| v >= c),
+                    CmpOp::Lt => num!($data, $nulls, $c, $conv, |v, c| v < c),
+                    CmpOp::Le => num!($data, $nulls, $c, $conv, |v, c| v <= c),
+                }
+            };
+        }
+        match self {
+            Kernel::Never => sink.run(|_| false),
+            Kernel::Always => sink.run(|_| true),
+            Kernel::IsNull { nulls } => sink.run(|i| nulls[i]),
+            Kernel::NotNull { nulls } => sink.run(|i| !nulls[i]),
+            Kernel::Float { data, nulls, op, c } => num_ops!(data, nulls, op, c, |v| v),
+            Kernel::Int { data, nulls, op, c } => {
+                num_ops!(data, nulls, op, c, |v: i64| v as f64)
+            }
+            Kernel::Str { codes, nulls, lut } => match nulls {
+                None => sink.run(|i| lut[codes[i] as usize]),
+                // Null rows carry the sentinel code u32::MAX; the mask
+                // check must win before the LUT load.
+                Some(nulls) => sink.run(|i| !nulls[i] && lut[codes[i] as usize]),
+            },
+        }
+    }
+}
+
+/// One predicate, compiled against one table.
+///
+/// Borrows the table's columns for its lifetime; compile once per
+/// (predicate, table) pair and evaluate against any subset of rows.
+#[derive(Debug)]
+pub struct CompiledPred<'t> {
+    kernel: Kernel<'t>,
+}
+
+impl<'t> CompiledPred<'t> {
+    /// Compiles `p` against `table`'s storage.
+    pub fn compile(p: &Predicate, table: &'t Table) -> CompiledPred<'t> {
+        CompiledPred {
+            kernel: Kernel::compile(p, table),
+        }
+    }
+
+    /// Whether row `i` satisfies the predicate. Byte-identical to
+    /// [`Predicate::eval`] on the compiled table.
+    #[inline]
+    pub fn test(&self, i: usize) -> bool {
+        let mut out = false;
+        self.kernel.drive(TestOne {
+            row: i,
+            out: &mut out,
+        });
+        out
+    }
+
+    /// True when compilation proved the predicate false for every row.
+    pub fn is_never(&self) -> bool {
+        matches!(self.kernel, Kernel::Never)
+    }
+}
+
+/// Which side of an interval a numeric bound constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Upper,
+    Lower,
+}
+
+/// The interval side `p` bounds, when `p` is a finite-or-infinite numeric
+/// bound the compiler may fold. NaN constants are excluded: they compile
+/// to [`Kernel::Never`] and must survive folding so the conjunction stays
+/// provably false.
+fn bound_side(p: &Predicate) -> Option<Side> {
+    match &p.value {
+        Value::Int(_) => {}
+        Value::Float(c) if !c.is_nan() => {}
+        _ => return None,
+    }
+    match p.op {
+        Op::Lt | Op::Le => Some(Side::Upper),
+        Op::Gt | Op::Ge => Some(Side::Lower),
+        _ => None,
+    }
+}
+
+fn bound_const(p: &Predicate) -> f64 {
+    match &p.value {
+        Value::Int(c) => *c as f64,
+        Value::Float(c) => *c,
+        // bound_side() has already excluded non-numeric constants.
+        _ => f64::NAN,
+    }
+}
+
+/// Whether `p` is at least as strict as `q` (same attribute, same side).
+fn at_least_as_strict(p: &Predicate, q: &Predicate, side: Side) -> bool {
+    let (cp, cq) = (bound_const(p), bound_const(q));
+    match side {
+        Side::Upper => cp < cq || (cp == cq && (p.op == Op::Lt || q.op == Op::Le)),
+        Side::Lower => cp > cq || (cp == cq && (p.op == Op::Gt || q.op == Op::Ge)),
+    }
+}
+
+/// Whether the compiler folds `a` and `b` into a single bound: both are
+/// numeric interval predicates on the same attribute constraining the same
+/// side. `crr-analyze`'s A4 hygiene check uses this to flag rules whose
+/// displayed form diverges from what the kernels actually evaluate.
+pub fn folds_together(a: &Predicate, b: &Predicate) -> bool {
+    a.attr == b.attr && bound_side(a).is_some() && bound_side(a) == bound_side(b)
+}
+
+/// Drops interval bounds made redundant by a stricter bound on the same
+/// attribute and side. Semantics-preserving for every row: a row passing
+/// the strict bound passes the slack one (NaN cells fail both; NaN
+/// constants never reach here, see [`bound_side`]).
+fn fold_intervals(preds: &[Predicate]) -> Vec<&Predicate> {
+    let mut out: Vec<&Predicate> = Vec::with_capacity(preds.len());
+    for p in preds {
+        let Some(side) = bound_side(p) else {
+            out.push(p);
+            continue;
+        };
+        match out
+            .iter_mut()
+            .find(|q| q.attr == p.attr && bound_side(q) == Some(side))
+        {
+            Some(slot) => {
+                if at_least_as_strict(p, slot, side) {
+                    *slot = p;
+                }
+            }
+            None => out.push(p),
+        }
+    }
+    out
+}
+
+/// A conjunction compiled against one table: folded, `Never`-short-circuited
+/// kernels evaluated in cache-sized blocks.
+#[derive(Debug)]
+pub struct CompiledConjunction<'t> {
+    /// True when some predicate compiled to [`Kernel::Never`]: the whole
+    /// conjunction matches no row and the kernels are dropped.
+    never: bool,
+    /// The surviving kernels ([`Kernel::Always`] entries are elided).
+    preds: Vec<CompiledPred<'t>>,
+}
+
+impl<'t> CompiledConjunction<'t> {
+    /// Compiles `conj`'s data predicates against `table`. Built-in
+    /// predicates do not constrain tuples and are ignored, exactly like
+    /// [`Conjunction::eval`].
+    pub fn compile(conj: &Conjunction, table: &'t Table) -> CompiledConjunction<'t> {
+        CompiledConjunction::from_preds(conj.preds(), table)
+    }
+
+    /// Compiles a raw predicate slice (the conjunction semantics: all must
+    /// hold).
+    pub fn from_preds(preds: &[Predicate], table: &'t Table) -> CompiledConjunction<'t> {
+        let mut compiled = Vec::with_capacity(preds.len());
+        for p in fold_intervals(preds) {
+            let cp = CompiledPred::compile(p, table);
+            match cp.kernel {
+                Kernel::Never => {
+                    return CompiledConjunction {
+                        never: true,
+                        preds: Vec::new(),
+                    }
+                }
+                Kernel::Always => {}
+                _ => compiled.push(cp),
+            }
+        }
+        CompiledConjunction {
+            never: false,
+            preds: compiled,
+        }
+    }
+
+    /// True when compilation proved the conjunction matches no row.
+    pub fn is_never(&self) -> bool {
+        self.never
+    }
+
+    /// Whether row `i` satisfies the conjunction. Byte-identical to
+    /// [`Conjunction::eval`] on the compiled table.
+    #[inline]
+    pub fn eval_row(&self, i: usize) -> bool {
+        !self.never && self.preds.iter().all(|p| p.test(i))
+    }
+
+    /// Writes the subset of `rows` satisfying the conjunction into `out`
+    /// (cleared first; ascending order is preserved). Evaluates in
+    /// [`BLOCK`]-sized row blocks: the first kernel filters the block into
+    /// `out`, each further kernel compacts the block's survivors in place,
+    /// so intermediate selections stay cache-resident.
+    pub fn select_into(&self, rows: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        if self.never {
+            return;
+        }
+        let Some((first, rest)) = self.preds.split_first() else {
+            out.extend_from_slice(rows);
+            return;
+        };
+        out.reserve(rows.len());
+        for block in rows.chunks(BLOCK) {
+            let start = out.len();
+            first.kernel.drive(Append { block, out });
+            for p in rest {
+                if out.len() == start {
+                    break;
+                }
+                p.kernel.drive(Compact { v: out, start });
+            }
+        }
+    }
+
+    /// Selection as a [`RowSet`] (the kernel emits ascending indices, so no
+    /// re-sort happens).
+    pub fn select(&self, rows: &RowSet) -> RowSet {
+        let mut out = Vec::new();
+        self.select_into(rows.as_slice(), &mut out);
+        RowSet::from_sorted(out)
+    }
+
+    /// Number of rows in `rows` satisfying the conjunction.
+    pub fn count(&self, rows: &[u32]) -> usize {
+        let mut out = Vec::new();
+        self.select_into(rows, &mut out);
+        out.len()
+    }
+
+    /// Packs the conjunction's truth over `rows` into a u64 bitmask: bit
+    /// `j % 64` of `bits[j / 64]` is the verdict for `rows[j]`. Bits past
+    /// `rows.len()` in the last word are zero, so popcount equals the
+    /// match count.
+    pub fn bitmask_into(&self, rows: &[u32], bits: &mut Vec<u64>) {
+        bits.clear();
+        bits.resize(rows.len().div_ceil(64), 0);
+        if self.never {
+            return;
+        }
+        match self.preds.split_first() {
+            None => {
+                for (word, chunk) in bits.iter_mut().zip(rows.chunks(64)) {
+                    *word = if chunk.len() == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << chunk.len()) - 1
+                    };
+                }
+            }
+            Some((first, rest)) => {
+                first.kernel.drive(MaskAssign { rows, bits });
+                for p in rest {
+                    p.kernel.drive(MaskAnd { rows, bits });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crr_data::{AttrType, Schema};
+
+    /// A table exercising every lane: nulls, NaN cells, int/float/string
+    /// columns, and a fully-observed (mask-free) column.
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ("f", AttrType::Float),
+            ("i", AttrType::Int),
+            ("s", AttrType::Str),
+            ("dense", AttrType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        let rows: Vec<Vec<Value>> = vec![
+            vec![
+                Value::Float(1.0),
+                Value::Int(10),
+                Value::str("IA"),
+                Value::Float(0.0),
+            ],
+            vec![
+                Value::Null,
+                Value::Int(-3),
+                Value::str("NY"),
+                Value::Float(1.0),
+            ],
+            vec![
+                Value::Float(f64::NAN),
+                Value::Null,
+                Value::str("IA"),
+                Value::Float(2.0),
+            ],
+            vec![
+                Value::Float(-2.5),
+                Value::Int(10),
+                Value::Null,
+                Value::Float(3.0),
+            ],
+            vec![
+                Value::Float(5.0),
+                Value::Int(0),
+                Value::str("TX"),
+                Value::Float(4.0),
+            ],
+        ];
+        for row in rows {
+            t.push_row(row).unwrap();
+        }
+        t
+    }
+
+    fn preds(t: &Table) -> Vec<Predicate> {
+        let f = t.attr("f").unwrap();
+        let i = t.attr("i").unwrap();
+        let s = t.attr("s").unwrap();
+        let dense = t.attr("dense").unwrap();
+        let mut ps = Vec::new();
+        for attr in [f, i, dense] {
+            for op in [Op::Eq, Op::Ne, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+                ps.push(Predicate::new(attr, op, Value::Float(1.0)));
+                ps.push(Predicate::new(attr, op, Value::Int(0)));
+                ps.push(Predicate::new(attr, op, Value::Float(f64::NAN)));
+                ps.push(Predicate::new(attr, op, Value::str("IA"))); // cross-kind
+                ps.push(Predicate::new(attr, op, Value::Null));
+            }
+            ps.push(Predicate::is_null(attr));
+            ps.push(Predicate::not_null(attr));
+        }
+        for op in [Op::Eq, Op::Ne, Op::Gt, Op::Ge, Op::Lt, Op::Le] {
+            ps.push(Predicate::new(s, op, Value::str("IA")));
+            ps.push(Predicate::new(s, op, Value::str("MO"))); // absent from dict
+            ps.push(Predicate::new(s, op, Value::Float(1.0))); // cross-kind
+        }
+        ps.push(Predicate::is_null(s));
+        ps.push(Predicate::not_null(s));
+        ps
+    }
+
+    #[test]
+    fn every_single_predicate_matches_the_interpreter() {
+        let t = table();
+        for p in preds(&t) {
+            let cp = CompiledPred::compile(&p, &t);
+            for row in 0..t.num_rows() {
+                assert_eq!(
+                    cp.test(row),
+                    p.eval(&t, row),
+                    "pred {p:?} row {row} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_select_matches_the_interpreter() {
+        let t = table();
+        let all = RowSet::all(t.num_rows());
+        let ps = preds(&t);
+        // Pair every predicate with every other: 2-predicate conjunctions
+        // cover the first-filter-then-compact path.
+        for a in &ps {
+            for b in &ps {
+                let conj = Conjunction::of(vec![a.clone(), b.clone()]);
+                let compiled = CompiledConjunction::compile(&conj, &t);
+                let expect = conj.select(&t, &all);
+                assert_eq!(
+                    compiled.select(&all),
+                    expect,
+                    "conjunction {a:?} ∧ {b:?} diverged"
+                );
+                let mut bits = Vec::new();
+                compiled.bitmask_into(all.as_slice(), &mut bits);
+                let pop: u32 = bits.iter().map(|w| w.count_ones()).sum();
+                assert_eq!(pop as usize, expect.len(), "popcount {a:?} ∧ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_conjunction_selects_everything() {
+        let t = table();
+        let all = RowSet::all(t.num_rows());
+        let compiled = CompiledConjunction::compile(&Conjunction::top(), &t);
+        assert_eq!(compiled.select(&all), all);
+        let mut bits = Vec::new();
+        compiled.bitmask_into(all.as_slice(), &mut bits);
+        let pop: u32 = bits.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(pop as usize, t.num_rows());
+    }
+
+    #[test]
+    fn interval_bounds_fold_to_the_strictest() {
+        let t = table();
+        let dense = t.attr("dense").unwrap();
+        let conj = Conjunction::of(vec![
+            Predicate::le(dense, Value::Float(5.0)),
+            Predicate::le(dense, Value::Float(3.0)),
+            Predicate::lt(dense, Value::Float(3.0)),
+            Predicate::ge(dense, Value::Int(1)),
+            Predicate::gt(dense, Value::Float(0.5)),
+        ]);
+        let compiled = CompiledConjunction::compile(&conj, &t);
+        // One upper + one lower bound survive.
+        assert_eq!(compiled.preds.len(), 2);
+        let all = RowSet::all(t.num_rows());
+        assert_eq!(compiled.select(&all), conj.select(&t, &all));
+    }
+
+    #[test]
+    fn nan_bound_is_not_folded_away() {
+        let t = table();
+        let dense = t.attr("dense").unwrap();
+        // x <= 3 ∧ x <= NaN is false everywhere; folding must not keep
+        // only the finite bound.
+        let conj = Conjunction::of(vec![
+            Predicate::le(dense, Value::Float(3.0)),
+            Predicate::le(dense, Value::Float(f64::NAN)),
+        ]);
+        let compiled = CompiledConjunction::compile(&conj, &t);
+        assert!(compiled.is_never());
+        let all = RowSet::all(t.num_rows());
+        assert!(compiled.select(&all).is_empty());
+        assert_eq!(conj.select(&t, &all).len(), 0);
+    }
+
+    #[test]
+    fn folds_together_classifies_bound_pairs() {
+        let t = table();
+        let dense = t.attr("dense").unwrap();
+        let f = t.attr("f").unwrap();
+        let le5 = Predicate::le(dense, Value::Float(5.0));
+        let lt3 = Predicate::lt(dense, Value::Float(3.0));
+        let ge1 = Predicate::ge(dense, Value::Int(1));
+        assert!(folds_together(&le5, &lt3));
+        assert!(!folds_together(&le5, &ge1)); // opposite sides
+        assert!(!folds_together(&le5, &Predicate::le(f, Value::Float(3.0)))); // attrs
+        assert!(!folds_together(
+            &le5,
+            &Predicate::le(dense, Value::Float(f64::NAN))
+        ));
+        assert!(!folds_together(
+            &le5,
+            &Predicate::eq(dense, Value::Float(3.0))
+        ));
+        assert!(!folds_together(
+            &le5,
+            &Predicate::le(dense, Value::str("x"))
+        ));
+    }
+
+    #[test]
+    fn never_conjunction_short_circuits() {
+        let t = table();
+        let f = t.attr("f").unwrap();
+        let conj = Conjunction::of(vec![
+            Predicate::le(f, Value::Float(100.0)),
+            Predicate::eq(f, Value::Null),
+        ]);
+        let compiled = CompiledConjunction::compile(&conj, &t);
+        assert!(compiled.is_never());
+        assert_eq!(compiled.count(RowSet::all(t.num_rows()).as_slice()), 0);
+    }
+
+    #[test]
+    fn blocked_evaluation_crosses_block_boundaries() {
+        // A table longer than one block, so select_into exercises the
+        // per-block compaction bookkeeping.
+        let schema = Schema::new(vec![("x", AttrType::Int)]);
+        let mut t = Table::new(schema);
+        let n = BLOCK * 2 + 137;
+        for i in 0..n {
+            if i % 97 == 0 {
+                t.push_row(vec![Value::Null]).unwrap();
+            } else {
+                t.push_row(vec![Value::Int((i % 512) as i64)]).unwrap();
+            }
+        }
+        let x = t.attr("x").unwrap();
+        let conj = Conjunction::of(vec![
+            Predicate::ge(x, Value::Int(100)),
+            Predicate::lt(x, Value::Int(300)),
+        ]);
+        let all = RowSet::all(n);
+        let compiled = CompiledConjunction::compile(&conj, &t);
+        assert_eq!(compiled.select(&all), conj.select(&t, &all));
+        let mut bits = Vec::new();
+        compiled.bitmask_into(all.as_slice(), &mut bits);
+        let pop: u64 = bits.iter().map(|w| u64::from(w.count_ones())).sum();
+        assert_eq!(pop as usize, conj.select(&t, &all).len());
+    }
+}

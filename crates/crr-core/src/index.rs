@@ -18,7 +18,7 @@
 //! by the equivalence tests below and the property tests in
 //! `tests/proptest_index.rs`).
 
-use crate::{Conjunction, Crr, Op, RuleSet};
+use crate::{CompiledConjunction, Conjunction, Crr, Op, RuleSet};
 use crr_data::{AttrId, RowSet, Table};
 use std::collections::HashMap;
 
@@ -184,58 +184,13 @@ impl<'a> RuleIndex<'a> {
     /// Predicts for `row` using the located rule's conjunction built-ins.
     pub fn predict(&self, table: &Table, row: usize) -> Option<f64> {
         let (rule, conj) = self.locate(table, row)?;
-        let x: Vec<f64> = rule
-            .inputs()
-            .iter()
-            .map(|&a| table.value_f64(row, a))
-            .collect::<Option<Vec<f64>>>()?;
-        Some(match conj.builtin() {
-            Some(t) => rule.model().predict_translated(&x, t),
-            None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
-        })
+        predict_at(rule, conj, table, row)
     }
 
     /// RMSE evaluation over `rows` via the index — the accelerated
     /// counterpart of [`RuleSet::evaluate`].
     pub fn evaluate(&self, table: &Table, rows: &RowSet) -> crate::ruleset::EvalReport {
-        let target = self.rules.rules().first().map(Crr::target);
-        let mut sse = 0.0;
-        let mut sae = 0.0;
-        let mut covered = 0usize;
-        let mut scored = 0usize;
-        for row in rows.iter() {
-            let Some((rule, conj)) = self.locate(table, row) else {
-                continue;
-            };
-            covered += 1;
-            let x: Option<Vec<f64>> = rule
-                .inputs()
-                .iter()
-                .map(|&a| table.value_f64(row, a))
-                .collect();
-            let (Some(x), Some(actual)) = (x, target.and_then(|t| table.value_f64(row, t))) else {
-                continue;
-            };
-            let pred = match conj.builtin() {
-                Some(t) => rule.model().predict_translated(&x, t),
-                None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
-            };
-            scored += 1;
-            let e = pred - actual;
-            sse += e * e;
-            sae += e.abs();
-        }
-        crate::ruleset::EvalReport {
-            rmse: if scored > 0 {
-                (sse / scored as f64).sqrt()
-            } else {
-                0.0
-            },
-            mae: if scored > 0 { sae / scored as f64 } else { 0.0 },
-            covered,
-            scored,
-            total: rows.len(),
-        }
+        evaluate_with(self.rules, table, rows, |row| self.locate(table, row))
     }
 
     /// Evaluates two pre-sorted candidate lists in merged rule order.
@@ -246,34 +201,8 @@ impl<'a> RuleIndex<'a> {
         a: &[Candidate],
         b: &[Candidate],
     ) -> Option<(&Crr, &Conjunction)> {
-        let (mut i, mut j) = (0, 0);
-        loop {
-            let next = match (a.get(i), b.get(j)) {
-                (Some(&x), Some(&y)) => {
-                    if x <= y {
-                        i += 1;
-                        x
-                    } else {
-                        j += 1;
-                        y
-                    }
-                }
-                (Some(&x), None) => {
-                    i += 1;
-                    x
-                }
-                (None, Some(&y)) => {
-                    j += 1;
-                    y
-                }
-                (None, None) => return None,
-            };
-            let rule = &self.rules.rules()[next.rule as usize];
-            let conj = &rule.condition().conjuncts()[next.conj as usize];
-            if conj.eval(table, row) {
-                return Some((rule, conj));
-            }
-        }
+        let c = merge_first(a, b, |c| self.conjunction(c).eval(table, row))?;
+        Some(self.resolve(c))
     }
 
     /// Fallback linear scan (used when nothing was worth indexing).
@@ -284,6 +213,194 @@ impl<'a> RuleIndex<'a> {
             }
         }
         None
+    }
+
+    fn conjunction(&self, c: Candidate) -> &Conjunction {
+        &self.rules.rules()[c.rule as usize].condition().conjuncts()[c.conj as usize]
+    }
+
+    fn resolve(&self, c: Candidate) -> (&'a Crr, &'a Conjunction) {
+        let rule = &self.rules.rules()[c.rule as usize];
+        (rule, &rule.condition().conjuncts()[c.conj as usize])
+    }
+
+    /// Compiles every conjunction against `table`'s columns once, yielding
+    /// a locate/evaluate engine whose per-row predicate checks run on the
+    /// [`crate::compiled`] kernels instead of the interpreter. The compiled
+    /// kernels are byte-identical to `Conjunction::eval` (pinned by the
+    /// equivalence tests in `crate::compiled` and below), so every
+    /// `CompiledIndex` answer equals the interpreted [`RuleIndex`] answer.
+    pub fn compile<'t>(&'a self, table: &'t Table) -> CompiledIndex<'a, 't> {
+        let compiled = self
+            .rules
+            .rules()
+            .iter()
+            .map(|rule| {
+                rule.condition()
+                    .conjuncts()
+                    .iter()
+                    .map(|conj| CompiledConjunction::compile(conj, table))
+                    .collect()
+            })
+            .collect();
+        CompiledIndex {
+            index: self,
+            table,
+            compiled,
+        }
+    }
+}
+
+/// First candidate from two pre-sorted lists (merged in `(rule, conj)`
+/// order) whose conjunction satisfies `sat`.
+fn merge_first(
+    a: &[Candidate],
+    b: &[Candidate],
+    mut sat: impl FnMut(Candidate) -> bool,
+) -> Option<Candidate> {
+    let (mut i, mut j) = (0, 0);
+    loop {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => return None,
+        };
+        if sat(next) {
+            return Some(next);
+        }
+    }
+}
+
+/// A [`RuleIndex`] with every conjunction pre-compiled against one table
+/// (see [`RuleIndex::compile`]): attribute → column resolution and constant
+/// typing happen once at build, so the per-row checks inside `locate`,
+/// `predict`, `evaluate` and `covers` are branch-light column reads.
+#[derive(Debug)]
+pub struct CompiledIndex<'a, 't> {
+    index: &'a RuleIndex<'a>,
+    table: &'t Table,
+    /// `compiled[rule][conj]`, parallel to the rule set's conjunctions.
+    compiled: Vec<Vec<CompiledConjunction<'t>>>,
+}
+
+impl<'a> CompiledIndex<'a, '_> {
+    /// Compiled counterpart of [`RuleIndex::locate`] — identical result.
+    pub fn locate(&self, row: usize) -> Option<(&'a Crr, &'a Conjunction)> {
+        let sat = |c: Candidate| self.compiled[c.rule as usize][c.conj as usize].eval_row(row);
+        let Some(attr) = self.index.attr else {
+            // Nothing was worth indexing: scan all conjunctions in rule
+            // order, same as the interpreted fallback.
+            let all: Vec<Candidate> = (0..self.compiled.len() as u32)
+                .flat_map(|rule| {
+                    (0..self.compiled[rule as usize].len() as u32)
+                        .map(move |conj| Candidate { rule, conj })
+                })
+                .collect();
+            return merge_first(&all, &[], sat).map(|c| self.index.resolve(c));
+        };
+        let c = match self.table.value_f64(row, attr) {
+            None => merge_first(&self.index.unbounded, &[], sat)?,
+            Some(v) => {
+                let seg = self.index.boundaries.partition_point(|&b| b <= v);
+                merge_first(&self.index.segments[seg], &self.index.unbounded, sat)?
+            }
+        };
+        Some(self.index.resolve(c))
+    }
+
+    /// Compiled counterpart of [`RuleIndex::predict`].
+    pub fn predict(&self, row: usize) -> Option<f64> {
+        let (rule, conj) = self.locate(row)?;
+        predict_at(rule, conj, self.table, row)
+    }
+
+    /// Whether any rule covers `row` (first-match semantics).
+    pub fn covers(&self, row: usize) -> bool {
+        self.locate(row).is_some()
+    }
+
+    /// Compiled counterpart of [`RuleIndex::evaluate`] — same accumulation
+    /// order, so the report is bitwise identical.
+    pub fn evaluate(&self, rows: &RowSet) -> crate::ruleset::EvalReport {
+        evaluate_with(self.index.rules, self.table, rows, |row| self.locate(row))
+    }
+}
+
+/// One rule's prediction at `row`, applying the conjunction's built-in
+/// translation — shared by the interpreted and compiled locate paths.
+fn predict_at(rule: &Crr, conj: &Conjunction, table: &Table, row: usize) -> Option<f64> {
+    let x: Vec<f64> = rule
+        .inputs()
+        .iter()
+        .map(|&a| table.value_f64(row, a))
+        .collect::<Option<Vec<f64>>>()?;
+    Some(match conj.builtin() {
+        Some(t) => rule.model().predict_translated(&x, t),
+        None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
+    })
+}
+
+/// RMSE/MAE accumulation over `rows` given a locate engine — the single
+/// source of truth both `evaluate` paths share, so interpreted and
+/// compiled reports can only differ if `locate` itself differs.
+fn evaluate_with<'r>(
+    rules: &'r RuleSet,
+    table: &Table,
+    rows: &RowSet,
+    mut locate: impl FnMut(usize) -> Option<(&'r Crr, &'r Conjunction)>,
+) -> crate::ruleset::EvalReport {
+    let target = rules.rules().first().map(Crr::target);
+    let mut sse = 0.0;
+    let mut sae = 0.0;
+    let mut covered = 0usize;
+    let mut scored = 0usize;
+    for row in rows.iter() {
+        let Some((rule, conj)) = locate(row) else {
+            continue;
+        };
+        covered += 1;
+        let x: Option<Vec<f64>> = rule
+            .inputs()
+            .iter()
+            .map(|&a| table.value_f64(row, a))
+            .collect();
+        let (Some(x), Some(actual)) = (x, target.and_then(|t| table.value_f64(row, t))) else {
+            continue;
+        };
+        let pred = match conj.builtin() {
+            Some(t) => rule.model().predict_translated(&x, t),
+            None => crr_models::Regressor::predict(rule.model().as_ref(), &x),
+        };
+        scored += 1;
+        let e = pred - actual;
+        sse += e * e;
+        sae += e.abs();
+    }
+    crate::ruleset::EvalReport {
+        rmse: if scored > 0 {
+            (sse / scored as f64).sqrt()
+        } else {
+            0.0
+        },
+        mae: if scored > 0 { sae / scored as f64 } else { 0.0 },
+        covered,
+        scored,
+        total: rows.len(),
     }
 }
 
@@ -434,5 +551,38 @@ mod tests {
         let idx = RuleIndex::build(&rules, &t);
         assert_eq!(rules.predict(&t, 5, LocateStrategy::First), None);
         assert_eq!(idx.predict(&t, 5), None);
+    }
+
+    #[test]
+    fn compiled_index_matches_interpreted_on_every_row() {
+        let mut t = table(200);
+        t.set_null(7, x());
+        t.set_null(42, x());
+        let rules = segmented_rules(20, 10.0);
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), Some(x()));
+        let fast = idx.compile(&t);
+        for row in 0..t.num_rows() {
+            let a = idx.predict(&t, row);
+            let b = fast.predict(row);
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "row {row}");
+            assert_eq!(idx.locate(&t, row).is_some(), fast.covers(row), "row {row}");
+        }
+        let ea = idx.evaluate(&t, &t.all_rows());
+        let eb = fast.evaluate(&t.all_rows());
+        assert_eq!(ea, eb);
+        assert_eq!(ea.rmse.to_bits(), eb.rmse.to_bits());
+    }
+
+    #[test]
+    fn compiled_index_matches_on_the_scan_fallback() {
+        let t = table(20);
+        let rules = segmented_rules(2, 10.0); // unindexable: linear scan
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), None);
+        let fast = idx.compile(&t);
+        for row in 0..t.num_rows() {
+            assert_eq!(idx.predict(&t, row), fast.predict(row), "row {row}");
+        }
     }
 }

@@ -49,6 +49,7 @@
 #![deny(unsafe_code)]
 
 pub mod check;
+pub mod compiled;
 mod condition;
 mod error;
 pub mod index;
@@ -59,9 +60,10 @@ mod ruleset;
 pub mod serialize;
 
 pub use check::{check, CheckReport, Violation};
+pub use compiled::{CompiledConjunction, CompiledPred};
 pub use condition::{AttrSummary, Bound, Conjunction, Dnf};
 pub use error::CoreError;
-pub use index::RuleIndex;
+pub use index::{CompiledIndex, RuleIndex};
 pub use predicate::{Op, Predicate};
 pub use rule::Crr;
 pub use ruleset::{EvalReport, LocateStrategy, RuleSet};

@@ -247,6 +247,13 @@ impl Column {
         &self.data
     }
 
+    /// Borrow of the null mask, when one exists. `None` means the column is
+    /// fully observed — a compiled kernel can skip the null lane entirely.
+    #[inline]
+    pub fn null_mask(&self) -> Option<&[bool]> {
+        self.nulls.as_deref()
+    }
+
     /// Dictionary of a string column, in code order.
     pub fn dict(&self) -> Option<&[Arc<str>]> {
         match &self.data {

@@ -29,6 +29,14 @@ impl RowSet {
         RowSet { rows }
     }
 
+    /// From indices that are already sorted and deduplicated — the shape
+    /// every selection kernel emits. Skips the re-sort of
+    /// [`RowSet::from_indices`]; the invariant is checked in debug builds.
+    pub fn from_sorted(rows: Vec<u32>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        RowSet { rows }
+    }
+
     /// Number of rows in the set.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -51,20 +59,15 @@ impl RowSet {
 
     /// Keeps only rows satisfying `keep`.
     pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> RowSet {
-        RowSet {
-            rows: self
-                .rows
-                .iter()
-                .copied()
-                .filter(|&r| keep(r as usize))
-                .collect(),
-        }
+        let mut rows = Vec::with_capacity(self.rows.len());
+        rows.extend(self.rows.iter().copied().filter(|&r| keep(r as usize)));
+        RowSet { rows }
     }
 
     /// Splits into `(satisfying, rest)` in one pass.
     pub fn partition(&self, mut pred: impl FnMut(usize) -> bool) -> (RowSet, RowSet) {
-        let mut yes = Vec::new();
-        let mut no = Vec::new();
+        let mut yes = Vec::with_capacity(self.rows.len());
+        let mut no = Vec::with_capacity(self.rows.len());
         for &r in &self.rows {
             if pred(r as usize) {
                 yes.push(r);
@@ -73,6 +76,17 @@ impl RowSet {
             }
         }
         (RowSet { rows: yes }, RowSet { rows: no })
+    }
+
+    /// Writes the rows satisfying `keep` into `out`, clearing it first.
+    ///
+    /// Kernel callers loop over many candidate predicates against the same
+    /// partition; this lets them reuse one scratch buffer instead of
+    /// allocating a fresh `Vec` per candidate.
+    pub fn retain_into(&self, mut keep: impl FnMut(usize) -> bool, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.rows.len());
+        out.extend(self.rows.iter().copied().filter(|&r| keep(r as usize)));
     }
 
     /// Set intersection (both inputs are sorted).
@@ -159,6 +173,23 @@ mod tests {
         let b = RowSet::from_indices(vec![2, 3, 4]);
         assert_eq!(a.intersect(&b).as_slice(), &[2, 4]);
         assert_eq!(a.union(&b).as_slice(), &[0, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn retain_into_reuses_the_buffer() {
+        let s = RowSet::all(6);
+        let mut buf = vec![9, 9, 9];
+        s.retain_into(|r| r % 2 == 0, &mut buf);
+        assert_eq!(buf, vec![0, 2, 4]);
+        s.retain_into(|r| r >= 5, &mut buf);
+        assert_eq!(buf, vec![5]);
+    }
+
+    #[test]
+    fn from_sorted_preserves_indices() {
+        let s = RowSet::from_sorted(vec![1, 4, 7]);
+        assert_eq!(s.as_slice(), &[1, 4, 7]);
+        assert_eq!(s, RowSet::from_indices(vec![7, 4, 1]));
     }
 
     #[test]

@@ -237,15 +237,19 @@ fn reshare_on_data(
     let mut condition = rule.condition().clone();
     let mut rho = 0.0f64;
     let mut scorable = false;
+    let mut covered: Vec<u32> = Vec::new();
     for conj in condition.conjuncts_mut() {
         // Residuals of the raw model (ignoring the stale builtin) on the
-        // rows this conjunct covers.
+        // rows this conjunct covers. Coverage runs on the compiled kernel
+        // (compile once, blocked columnar scan); the selection is ascending
+        // like `rows`, so the min/max fold visits residuals in the same
+        // order the interpreted per-row loop did.
+        crr_core::CompiledConjunction::compile(conj, table)
+            .select_into(rows.as_slice(), &mut covered);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for r in rows.iter() {
-            if !conj.eval(table, r) {
-                continue;
-            }
+        for &r in &covered {
+            let r = r as usize;
             let x: Option<Vec<f64>> = rule
                 .inputs()
                 .iter()

@@ -39,6 +39,27 @@ pub enum FitEngine {
     Rescan,
 }
 
+/// Which predicate-evaluation path the discovery hot loops use.
+///
+/// Both paths are byte-identical by contract — the compiled kernels
+/// reproduce [`crr_core::Predicate::eval`]'s semantics exactly (nulls,
+/// NaN, cross-kind constants included), pinned by the proptest suite in
+/// `crr-core` and the engine-identity invariant of the tracked benchmark.
+/// The interpreted path is kept as the oracle and as the baseline the
+/// per-kernel bench cells measure the compiled speed-up against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanKernel {
+    /// Compile each conjunction/predicate once per (condition, table)
+    /// pair and evaluate columnar in cache-blocked batches
+    /// ([`crr_core::CompiledConjunction`]), with batched Gram
+    /// accumulation (`Moments::add_rows`) during partition builds.
+    #[default]
+    Compiled,
+    /// Row-at-a-time `Predicate::eval` / `Moments::add_row` — the
+    /// pre-kernel behavior, kept as the oracle baseline.
+    Interpreted,
+}
+
 /// How split predicates are chosen when a partition admits no model
 /// (Algorithm 1 line 19).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +121,9 @@ pub struct DiscoveryConfig {
     pub faults: Option<Arc<FaultPlan>>,
     /// Fitting engine for the linear family; see [`FitEngine`].
     pub engine: FitEngine,
+    /// Predicate-evaluation path for the scan hot loops; see
+    /// [`ScanKernel`]. Both settings produce byte-identical rule sets.
+    pub kernel: ScanKernel,
     /// Worker threads for the shared-pool scan at each pop (lines 7–10).
     /// `1` scans sequentially; higher values fan the per-model share tests
     /// out over scoped threads once the pool and partition are large enough
@@ -140,6 +164,7 @@ impl DiscoveryConfig {
             cancel: None,
             faults: None,
             engine: FitEngine::Moments,
+            kernel: ScanKernel::Compiled,
             pool_scan_threads: 1,
             shard_threads: 1,
             metrics: MetricsSink::disabled(),
@@ -149,6 +174,12 @@ impl DiscoveryConfig {
     /// Switches the fitting engine for the linear family.
     pub fn with_engine(mut self, engine: FitEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Switches the predicate-evaluation path for the scan hot loops.
+    pub fn with_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 

@@ -125,7 +125,7 @@ pub mod sharded;
 pub use artifact::RuleSetArtifact;
 pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
-pub use config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
+pub use config::{DiscoveryConfig, FitEngine, QueueOrder, ScanKernel, SplitStrategy};
 pub use error::DiscoveryError;
 pub use faults::{inject_dirty_cells, FaultPlan};
 pub use parallel::Task;
@@ -145,7 +145,7 @@ pub use crr_obs::{MetricsSink, MetricsSnapshot};
 pub mod prelude {
     pub use crate::artifact::RuleSetArtifact;
     pub use crate::budget::{Budget, CancelToken, DiscoveryOutcome};
-    pub use crate::config::{DiscoveryConfig, FitEngine, QueueOrder, SplitStrategy};
+    pub use crate::config::{DiscoveryConfig, FitEngine, QueueOrder, ScanKernel, SplitStrategy};
     pub use crate::error::DiscoveryError;
     pub use crate::faults::FaultPlan;
     pub use crate::session::DiscoverySession;

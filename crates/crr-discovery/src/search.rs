@@ -44,9 +44,9 @@
 
 use crate::{
     DiscoveryConfig, DiscoveryError, DiscoveryOutcome, FitEngine, PredicateSpace, QueueOrder,
-    Result, SplitStrategy,
+    Result, ScanKernel, SplitStrategy,
 };
-use crr_core::{Conjunction, Crr, Dnf, RuleSet};
+use crr_core::{CompiledConjunction, Conjunction, Crr, Dnf, Predicate, RuleSet};
 use crr_data::{AttrId, AttrType, NumericSnapshot, RowSet, Table};
 use crr_models::{
     fit_model, try_fit_from_moments, ConstantModel, Model, ModelKind, Moments, Regressor,
@@ -264,7 +264,7 @@ pub(crate) fn run_search(
     let root_fit = snap.ready_rows(rows);
     let root_moments = if use_moments {
         mx.add(Ctr::MomentsAddRowOps, root_fit.len() as u64);
-        Some(accumulate_moments(&snap, &root_fit))
+        Some(accumulate_moments(&snap, &root_fit, cfg.kernel, mx))
     } else {
         None
     };
@@ -293,6 +293,12 @@ pub(crate) fn run_search(
 
     // Residual scratch, reused across pops.
     let mut resid: Vec<f64> = Vec::new();
+
+    // Compile-once cache for the split chooser: under the compiled kernel
+    // every candidate predicate is compiled against this table exactly
+    // once per run instead of once per (pop, candidate).
+    let split_scratch =
+        (cfg.kernel == ScanKernel::Compiled).then(|| SplitScratch::build(table, space, cfg.target));
 
     // Line 4: main loop.
     while let Some(entry) = queue.pop() {
@@ -605,15 +611,27 @@ pub(crate) fn run_search(
             .map(|(&r, &e)| (r as usize, e))
             .collect();
         let t_split = mx.span();
-        let chosen = choose_split(table, &rows, cfg, space, &avail, &residuals);
+        let chosen = choose_split(
+            table,
+            &rows,
+            cfg,
+            space,
+            &avail,
+            &residuals,
+            split_scratch.as_ref(),
+        );
         mx.record(Phase::SplitSelection, t_split);
         match chosen {
             Some(split_idx) => {
                 mx.incr(Ctr::Splits);
                 let p = space.predicates()[split_idx as usize].clone();
                 let np = p.negate();
-                let yes = rows.filter(|r| p.eval(table, r));
-                let no = rows.filter(|r| np.eval(table, r));
+                // p and ¬p are filtered independently — on a null condition
+                // attribute *both* are false, so this is not a partition.
+                let t_scan = mx.span();
+                let yes = select_side(table, &rows, &p, cfg.kernel, mx);
+                let no = select_side(table, &rows, &np, cfg.kernel, mx);
+                mx.record(Phase::PredScan, t_scan);
                 // Rows satisfying neither side have a null condition
                 // attribute; no condition can ever select them.
                 stats.uncoverable_rows += rows.len() - yes.len() - no.len();
@@ -621,7 +639,8 @@ pub(crate) fn run_search(
                     avail.iter().copied().filter(|&i| i != split_idx).collect();
                 let yes_fit = intersect_sorted(&fit, yes.as_slice());
                 let no_fit = intersect_sorted(&fit, no.as_slice());
-                let (yes_m, no_m) = split_moments(moments, &snap, &fit, &yes_fit, &no_fit, mx);
+                let (yes_m, no_m) =
+                    split_moments(moments, &snap, &fit, &yes_fit, &no_fit, cfg.kernel, mx);
                 for (child_conj, child_rows, child_fit, child_m) in [
                     (conj.and(p), yes, yes_fit, yes_m),
                     (conj.and(np), no, no_fit, no_m),
@@ -677,17 +696,62 @@ pub(crate) fn run_search(
     })
 }
 
+/// Filters one side of a split — [`ScanKernel::Compiled`] runs the
+/// cache-blocked predicate kernel over the partition's row slice,
+/// [`ScanKernel::Interpreted`] the per-row `Predicate::eval` oracle. The two
+/// are byte-identical (pinned by `crr_core::compiled`'s equivalence tests
+/// and the kernel regression tests below).
+fn select_side(
+    table: &Table,
+    rows: &RowSet,
+    p: &Predicate,
+    kernel: ScanKernel,
+    mx: &MetricsSink,
+) -> RowSet {
+    mx.add(Ctr::KernelScanRows, rows.len() as u64);
+    match kernel {
+        ScanKernel::Compiled => {
+            mx.incr(Ctr::KernelCompiledScans);
+            CompiledConjunction::from_preds(std::slice::from_ref(p), table).select(rows)
+        }
+        ScanKernel::Interpreted => {
+            mx.incr(Ctr::KernelInterpretedScans);
+            rows.filter(|r| p.eval(table, r))
+        }
+    }
+}
+
 /// Accumulates the sufficient statistics of `fit` rows from the snapshot
-/// buffers, row by row — the same order a child split re-accumulates in, so
-/// parent = yes-child + no-child holds exactly as floating-point sums.
-fn accumulate_moments(snap: &NumericSnapshot, fit: &[u32]) -> Moments {
+/// buffers. [`ScanKernel::Compiled`] uses the batched cell-major
+/// [`Moments::add_rows`] kernel; [`ScanKernel::Interpreted`] the row-by-row
+/// gather. Both visit rows in ascending order with one accumulator chain
+/// per cell, so the sums are bitwise identical — and either way a child
+/// split re-accumulates in the same order, so parent = yes-child + no-child
+/// holds exactly as floating-point sums.
+fn accumulate_moments(
+    snap: &NumericSnapshot,
+    fit: &[u32],
+    kernel: ScanKernel,
+    mx: &MetricsSink,
+) -> Moments {
+    let t = mx.span();
     let d = snap.num_inputs();
     let mut m = Moments::zeros(d);
-    let mut x = vec![0.0; d];
-    for &r in fit {
-        snap.gather_x(r as usize, &mut x);
-        m.add_row(&x, snap.target()[r as usize]);
+    match kernel {
+        ScanKernel::Compiled => {
+            mx.incr(Ctr::KernelBatchAccumulates);
+            let cols: Vec<&[f64]> = (0..d).map(|j| snap.input(j)).collect();
+            m.add_rows(&cols, snap.target(), fit);
+        }
+        ScanKernel::Interpreted => {
+            let mut x = vec![0.0; d];
+            for &r in fit {
+                snap.gather_x(r as usize, &mut x);
+                m.add_row(&x, snap.target()[r as usize]);
+            }
+        }
     }
+    mx.record(Phase::GramAccumulate, t);
     m
 }
 
@@ -702,6 +766,7 @@ fn split_moments(
     fit: &[u32],
     yes_fit: &[u32],
     no_fit: &[u32],
+    kernel: ScanKernel,
     mx: &MetricsSink,
 ) -> (Option<Moments>, Option<Moments>) {
     let Some(parent) = parent else {
@@ -714,12 +779,12 @@ fn split_moments(
         mx.incr(Ctr::SiblingSubtractions);
         mx.incr(Ctr::MomentsSubtractOps);
         if yes_fit.len() <= no_fit.len() {
-            let small = accumulate_moments(snap, yes_fit);
+            let small = accumulate_moments(snap, yes_fit, kernel, mx);
             let mut large = parent;
             large.subtract(&small);
             (Some(small), Some(large))
         } else {
-            let small = accumulate_moments(snap, no_fit);
+            let small = accumulate_moments(snap, no_fit, kernel, mx);
             let mut large = parent;
             large.subtract(&small);
             (Some(large), Some(small))
@@ -728,8 +793,8 @@ fn split_moments(
         mx.incr(Ctr::FullRebuilds);
         mx.add(Ctr::MomentsAddRowOps, (yes_fit.len() + no_fit.len()) as u64);
         (
-            Some(accumulate_moments(snap, yes_fit)),
-            Some(accumulate_moments(snap, no_fit)),
+            Some(accumulate_moments(snap, yes_fit, kernel, mx)),
+            Some(accumulate_moments(snap, no_fit, kernel, mx)),
         )
     }
 }
@@ -982,6 +1047,31 @@ pub(crate) fn global_midrange(table: &Table, cfg: &DiscoveryConfig, rows: &RowSe
 /// (default) scores each candidate by the weighted variance of the parent
 /// model's residuals per side — the model-tree criterion that surfaces
 /// regime attributes; `BestVariance` is the raw CART criterion \[9\].
+/// Per-run scratch for the compiled split chooser: every candidate
+/// predicate compiled against the table exactly once, plus the target
+/// column densified to a flat f64 buffer. NaN marks a null cell — the
+/// snapshot build already rejected non-finite data cells over the run's
+/// rows, so the sentinel is unambiguous.
+struct SplitScratch<'t> {
+    compiled: Vec<CompiledConjunction<'t>>,
+    target: Vec<f64>,
+}
+
+impl<'t> SplitScratch<'t> {
+    fn build(table: &'t Table, space: &PredicateSpace, target: AttrId) -> SplitScratch<'t> {
+        SplitScratch {
+            compiled: space
+                .predicates()
+                .iter()
+                .map(|p| CompiledConjunction::from_preds(std::slice::from_ref(p), table))
+                .collect(),
+            target: (0..table.num_rows())
+                .map(|r| table.value_f64(r, target).unwrap_or(f64::NAN))
+                .collect(),
+        }
+    }
+}
+
 fn choose_split(
     table: &Table,
     rows: &RowSet,
@@ -989,10 +1079,19 @@ fn choose_split(
     space: &PredicateSpace,
     avail: &[u32],
     residuals: &[(usize, f64)],
+    scratch: Option<&SplitScratch<'_>>,
 ) -> Option<u32> {
     let target = cfg.target;
     let is_numeric_target = table.schema().attribute(target).ty() != AttrType::Str;
     debug_assert!(is_numeric_target);
+    // Under the compiled kernel every candidate is a blocked columnar
+    // select into this reused buffer; a two-pointer merge of the (sorted)
+    // selection against the partition then feeds the *same* accumulators in
+    // the *same* row order as the interpreted per-row branch, so scores —
+    // and therefore the chosen split — are bitwise identical.
+    let mut sel: Vec<u32> = Vec::new();
+    // Rows the BestResidual criterion scores (ascending, mirrors `fit`).
+    let resid_rows: Vec<u32> = residuals.iter().map(|&(r, _)| r as u32).collect();
     // Evaluate at most max_split_candidates, spread evenly over `avail`.
     let stride = (avail.len() / cfg.max_split_candidates.max(1)).max(1);
     let mut best: Option<(f64, u32)> = None;
@@ -1000,7 +1099,10 @@ fn choose_split(
         let p = &space.predicates()[idx as usize];
         if matches!(cfg.split, SplitStrategy::FirstApplicable) {
             // Cheap separation check only.
-            let yes = rows.iter().filter(|&r| p.eval(table, r)).count();
+            let yes = match scratch {
+                Some(sc) => sc.compiled[idx as usize].count(rows.as_slice()),
+                None => rows.iter().filter(|&r| p.eval(table, r)).count(),
+            };
             if yes > 0 && yes < rows.len() {
                 return Some(idx);
             }
@@ -1010,33 +1112,78 @@ fn choose_split(
         // scored quantity chosen by the strategy.
         let (mut n1, mut s1, mut q1) = (0usize, 0.0f64, 0.0f64);
         let (mut n2, mut s2, mut q2) = (0usize, 0.0f64, 0.0f64);
-        match cfg.split {
-            SplitStrategy::BestResidual => {
-                for &(r, resid) in residuals {
-                    if p.eval(table, r) {
-                        n1 += 1;
-                        s1 += resid;
-                        q1 += resid * resid;
-                    } else {
-                        n2 += 1;
-                        s2 += resid;
-                        q2 += resid * resid;
+        if let Some(sc) = scratch {
+            let cp = &sc.compiled[idx as usize];
+            match cfg.split {
+                SplitStrategy::BestResidual => {
+                    cp.select_into(&resid_rows, &mut sel);
+                    let mut j = 0;
+                    for &(r, resid) in residuals {
+                        if j < sel.len() && sel[j] == r as u32 {
+                            j += 1;
+                            n1 += 1;
+                            s1 += resid;
+                            q1 += resid * resid;
+                        } else {
+                            n2 += 1;
+                            s2 += resid;
+                            q2 += resid * resid;
+                        }
+                    }
+                }
+                _ => {
+                    cp.select_into(rows.as_slice(), &mut sel);
+                    let mut j = 0;
+                    for r in rows.iter() {
+                        let hit = j < sel.len() && sel[j] == r as u32;
+                        if hit {
+                            j += 1;
+                        }
+                        let v = sc.target[r];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        if hit {
+                            n1 += 1;
+                            s1 += v;
+                            q1 += v * v;
+                        } else {
+                            n2 += 1;
+                            s2 += v;
+                            q2 += v * v;
+                        }
                     }
                 }
             }
-            _ => {
-                for r in rows.iter() {
-                    let Some(v) = table.value_f64(r, target) else {
-                        continue;
-                    };
-                    if p.eval(table, r) {
-                        n1 += 1;
-                        s1 += v;
-                        q1 += v * v;
-                    } else {
-                        n2 += 1;
-                        s2 += v;
-                        q2 += v * v;
+        } else {
+            match cfg.split {
+                SplitStrategy::BestResidual => {
+                    for &(r, resid) in residuals {
+                        if p.eval(table, r) {
+                            n1 += 1;
+                            s1 += resid;
+                            q1 += resid * resid;
+                        } else {
+                            n2 += 1;
+                            s2 += resid;
+                            q2 += resid * resid;
+                        }
+                    }
+                }
+                _ => {
+                    for r in rows.iter() {
+                        let Some(v) = table.value_f64(r, target) else {
+                            continue;
+                        };
+                        if p.eval(table, r) {
+                            n1 += 1;
+                            s1 += v;
+                            q1 += v * v;
+                        } else {
+                            n2 += 1;
+                            s2 += v;
+                            q2 += v * v;
+                        }
                     }
                 }
             }
@@ -1321,6 +1468,78 @@ mod tests {
             }
             assert_eq!(a.stats.models_shared, b.stats.models_shared, "{order:?}");
             assert_eq!(a.stats.models_trained, b.stats.models_trained, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn scan_kernels_are_byte_identical() {
+        // Nulls in the condition attribute exercise the kernel's null lane:
+        // such rows satisfy neither p nor ¬p, so `uncoverable_rows` must
+        // agree too. Both kernels must make identical search decisions and
+        // emit bitwise-identical rules.
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..300 {
+            let x = i as f64;
+            let y = if x < 150.0 { 2.0 * x } else { 2.0 * x - 70.0 };
+            let xv = if i % 37 == 0 {
+                Value::Null
+            } else {
+                Value::Float(x)
+            };
+            t.push_row(vec![xv, Value::Float(y)]).unwrap();
+        }
+        let space = space_for(&t, 9);
+        for split in [
+            SplitStrategy::BestResidual,
+            SplitStrategy::BestVariance,
+            SplitStrategy::FirstApplicable,
+        ] {
+            let mut c_cfg = cfg_for(&t);
+            c_cfg.split = split;
+            let i_cfg = c_cfg.clone().with_kernel(ScanKernel::Interpreted);
+            let a = discover(&t, &t.all_rows(), &c_cfg, &space).unwrap();
+            let b = discover(&t, &t.all_rows(), &i_cfg, &space).unwrap();
+            assert_eq!(a.rules.len(), b.rules.len(), "{split:?}");
+            for (ra, rb) in a.rules.rules().iter().zip(b.rules.rules()) {
+                assert_eq!(ra.condition(), rb.condition(), "{split:?}");
+                assert_eq!(ra.rho().to_bits(), rb.rho().to_bits(), "{split:?}");
+            }
+            assert_eq!(a.stats.models_trained, b.stats.models_trained, "{split:?}");
+            assert_eq!(a.stats.models_shared, b.stats.models_shared, "{split:?}");
+            assert_eq!(
+                a.stats.uncoverable_rows, b.stats.uncoverable_rows,
+                "{split:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_counters_attribute_scans_to_one_engine() {
+        let t = two_segment_table();
+        let space = space_for(&t, 7);
+        for (kernel, live, dead) in [
+            (ScanKernel::Compiled, "compiled_scans", "interpreted_scans"),
+            (
+                ScanKernel::Interpreted,
+                "interpreted_scans",
+                "compiled_scans",
+            ),
+        ] {
+            let sink = MetricsSink::enabled();
+            let cfg = cfg_for(&t).with_kernel(kernel).with_metrics(sink.clone());
+            let d = discover(&t, &t.all_rows(), &cfg, &space).unwrap();
+            let count = |s, n| d.metrics.count(s, n).unwrap();
+            // Each split filters both sides through exactly one engine.
+            assert_eq!(count("kernels", live), 2 * count("queue", "splits"));
+            assert_eq!(count("kernels", dead), 0);
+            if kernel == ScanKernel::Compiled {
+                // Every moments build goes through the batched kernel:
+                // the root plus one per child re-accumulation/rebuild.
+                assert!(count("kernels", "batch_accumulates") >= 1);
+            } else {
+                assert_eq!(count("kernels", "batch_accumulates"), 0);
+            }
         }
     }
 

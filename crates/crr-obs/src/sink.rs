@@ -173,6 +173,17 @@ metric_enum! {
         ServeSwapRejected => ("serve", "swap_rejected"),
         /// Artificial handler delays injected by the server fault plan.
         ServeInjectedSlow => ("serve", "injected_slow"),
+        /// Conjunction evaluations answered by the compiled columnar
+        /// kernels (selection-vector or bitmask scans).
+        KernelCompiledScans => ("kernels", "compiled_scans"),
+        /// Conjunction evaluations answered by the interpreted row-at-a-
+        /// time path (the oracle engine, `ScanKernel::Interpreted`).
+        KernelInterpretedScans => ("kernels", "interpreted_scans"),
+        /// Candidate rows pushed through predicate scans, either path.
+        KernelScanRows => ("kernels", "scan_rows"),
+        /// `Moments::add_rows` batch accumulations (each replaces
+        /// `rows` row-at-a-time `add_row` calls).
+        KernelBatchAccumulates => ("kernels", "batch_accumulates"),
     }
 }
 
@@ -208,6 +219,12 @@ metric_enum! {
         Fitting => ("phases", "fitting"),
         /// Split-predicate selection (line 19), all pops summed.
         SplitSelection => ("phases", "split_selection"),
+        /// Predicate scans materializing split row sets (line 20's
+        /// `D_C∧p` / `D_C∧¬p` selections), all splits summed.
+        PredScan => ("phases", "pred_scan"),
+        /// Gram accumulation over gathered column slices (root build and
+        /// child re-accumulations), all batches summed.
+        GramAccumulate => ("phases", "gram_accumulate"),
         /// Draining queued partitions into fallbacks after a budget trip.
         Drain => ("phases", "drain"),
         /// Whole `discover` call, entry to return.

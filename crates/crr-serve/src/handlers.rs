@@ -10,7 +10,7 @@
 use crate::http::{Request, Response};
 use crate::store::{RuleStore, ServingSet, SwapError};
 use crate::ServeError;
-use crr_core::RuleIndex;
+use crr_core::{CompiledConjunction, RuleIndex};
 use crr_data::{AttrType, Table, Value};
 use crr_discovery::{Budget, CancelToken, DiscoveryOutcome};
 use crr_obs::json::{self, Json};
@@ -234,11 +234,16 @@ fn batch(req: &Request, ctx: &RequestCtx<'_>, kind: BatchKind) -> Response {
     let table = &input.table;
     let rules = &set.artifact.rules;
     let index = RuleIndex::build(rules, table);
+    // Compile every conjunction against the request table once: the
+    // per-row checks inside the walk run on the columnar predicate
+    // kernels, byte-identical to the interpreted index (pinned by
+    // crr_core's equivalence tests).
+    let fast = index.compile(table);
     match kind {
         BatchKind::Predict => {
             let mut predictions: Vec<Option<f64>> = vec![None; table.num_rows()];
             let (outcome, answered) = budgeted_walk(table.num_rows(), ctx, input.deadline, |row| {
-                predictions[row] = index.predict(table, row);
+                predictions[row] = fast.predict(row);
             });
             ctx.metrics.add(Counter::ServePredictions, answered as u64);
             let mut body = format!("{{{}", outcome_fields(outcome, answered, set.generation));
@@ -258,7 +263,7 @@ fn batch(req: &Request, ctx: &RequestCtx<'_>, kind: BatchKind) -> Response {
                 match table.value_f64(row, target) {
                     Some(actual) => values[row] = Some(actual),
                     None => {
-                        values[row] = index.predict(table, row);
+                        values[row] = fast.predict(row);
                         imputed[row] = values[row].is_some();
                     }
                 }
@@ -280,6 +285,21 @@ fn batch(req: &Request, ctx: &RequestCtx<'_>, kind: BatchKind) -> Response {
         BatchKind::Check => {
             // Violation checking tests *all* covering rules per row, the
             // constraint semantics of crr_core::check, under the budget.
+            // The all-rules × all-rows coverage filter is the hot loop:
+            // compile each rule's conjunctions once, test rows against the
+            // kernels (identical to `Crr::covers`, which ORs the same
+            // conjuncts in the same order).
+            let coverage: Vec<Vec<CompiledConjunction<'_>>> = rules
+                .rules()
+                .iter()
+                .map(|r| {
+                    r.condition()
+                        .conjuncts()
+                        .iter()
+                        .map(|c| CompiledConjunction::compile(c, table))
+                        .collect()
+                })
+                .collect();
             let mut violations = String::new();
             let mut checked = 0usize;
             let mut uncovered = 0usize;
@@ -287,7 +307,7 @@ fn batch(req: &Request, ctx: &RequestCtx<'_>, kind: BatchKind) -> Response {
             let (outcome, answered) = budgeted_walk(table.num_rows(), ctx, input.deadline, |row| {
                 let mut covered = false;
                 for (ri, rule) in rules.rules().iter().enumerate() {
-                    if !rule.covers(table, row) {
+                    if !coverage[ri].iter().any(|c| c.eval_row(row)) {
                         continue;
                     }
                     covered = true;

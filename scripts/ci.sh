@@ -21,11 +21,12 @@ echo "==> cargo doc --workspace --no-deps (broken intra-doc links are errors)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" \
   cargo doc --workspace --no-deps --quiet
 
-echo "==> criterion smoke (perf_fit_engine compiles and runs)"
+echo "==> criterion smoke (perf_fit_engine + perf_scan_kernels compile and run)"
 # The shimmed criterion takes a fast bounded pass (small sample budgets);
 # this catches bit-rot in the tracked benchmark harness without paying
 # for a full statistical measurement.
 cargo bench -p crr-bench --bench perf_fit_engine >/dev/null
+cargo bench -p crr-bench --bench perf_scan_kernels >/dev/null
 
 echo "==> tracked benchmark emits and validates"
 # Tiny-scale end-to-end run of the bench experiment — with metrics
