@@ -83,6 +83,24 @@
 //! result is written as `BENCH_serving.json`; `--check-serving`
 //! re-validates it — the CI gate for the serving runtime.
 //!
+//! The streaming-maintenance benchmark (also excluded from `all`):
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- stream
+//! cargo run --release -p crr-bench --bin experiments -- --stream-json out.json stream
+//! cargo run --release -p crr-bench --bin experiments -- --check-stream BENCH_stream.json
+//! ```
+//!
+//! `stream` discovers on a base slice of Electricity and Tax, replays an
+//! appended tail through a `crr-stream` maintainer (batched appends, then
+//! one partition-scoped repair), and measures the same end state reached
+//! by full rediscovery over base+tail. The repaired artifact must pass
+//! `crr-analyze`, hot-swap into a live `crr-serve` server, and serve
+//! predictions byte-identical to offline evaluation; at the Electricity
+//! headline scale the incremental path must beat rediscovery by the
+//! `crr-stream-v1` speedup floor. The result is written as
+//! `BENCH_stream.json`; `--check-stream` re-validates it.
+//!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-in datasets); the *shape* — who wins, by what factor, where
 //! crossovers fall — is what EXPERIMENTS.md records and compares.
@@ -126,6 +144,7 @@ fn main() {
     let mut bench_json_path = "BENCH_discovery.json".to_string();
     let mut analysis_json_path = "analysis.json".to_string();
     let mut serving_json_path = "BENCH_serving.json".to_string();
+    let mut stream_json_path = "BENCH_stream.json".to_string();
     let mut metrics_out: Option<String> = None;
     let mut shards = 4usize;
     let mut experiments: Vec<String> = Vec::new();
@@ -184,6 +203,28 @@ fn main() {
                 let text = std::fs::read_to_string(path)
                     .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
                 match serving_json::validate(&text) {
+                    Ok(summary) => {
+                        println!("{path}: {summary}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        eprintln!(
+                            "(the expected layout is documented in EXPERIMENTS.md, \
+                             section \"Benchmark artifact schemas\")"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--stream-json" => {
+                stream_json_path = it.next().expect("--stream-json needs a path").clone();
+            }
+            "--check-stream" => {
+                let path = it.next().expect("--check-stream needs a path");
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                match stream_json::validate(&text) {
                     Ok(summary) => {
                         println!("{path}: {summary}");
                         return;
@@ -285,6 +326,7 @@ fn main() {
             "bench" => bench(scale, &bench_json_path, metrics_out.as_deref(), shards),
             "analyze" => analyze_cmd(scale, &analysis_json_path, shards),
             "serving" => serving_cmd(scale, &serving_json_path),
+            "stream" => stream_cmd(scale, &stream_json_path),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -1753,6 +1795,218 @@ fn serving_cmd(scale: f64, path: &str) {
     let text = serving_json::render(&report);
     // Self-check before writing: never persist a report CI would reject.
     let summary = serving_json::validate(&text).expect("emitted serving report must validate");
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({summary})");
+}
+
+/// One dataset's maintenance cell for [`stream_cmd`]: stream the tail of
+/// `sc` (rows `base..`) through a standing `crr-stream` maintainer, repair,
+/// and race the same end state against full rediscovery over base+tail.
+fn stream_cell(
+    dataset: &str,
+    sc: &Scenario,
+    base: usize,
+    batches: usize,
+    opts: &CrrOptions,
+) -> stream_json::StreamRecord {
+    use crr_stream::{StreamConfig, StreamEngine};
+
+    let total = sc.table().num_rows();
+    let tail = total - base;
+    let (cfg, space) = crr_inputs(sc, opts);
+
+    // The maintainer stands on the base slice: base discovery is "yesterday's"
+    // work for both contenders and stays outside either measurement.
+    let mut base_table = Table::new(sc.table().schema().clone());
+    for r in 0..base {
+        base_table.push_row(sc.table().row(r)).expect("base row");
+    }
+    let (_, base_artifact) = DiscoverySession::on(&base_table)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .export()
+        .expect("base discovery");
+    let rules_before = base_artifact.rules.len();
+    let sink = crr_discovery::MetricsSink::enabled();
+    let mut engine = StreamEngine::new(
+        base_table,
+        base_artifact.rules.clone(),
+        cfg.clone(),
+        space.clone(),
+        StreamConfig::default().with_metrics(sink.clone()),
+    )
+    .expect("engine over its own discovery inputs");
+
+    // Incremental path: batched appends, one partition-scoped repair, and
+    // the artifact export — everything the maintainer does for this tail.
+    let mut outcome_sum = crr_stream::BatchOutcome::default();
+    let per = tail.div_ceil(batches);
+    let inc_start = Instant::now();
+    let mut sent = 0usize;
+    while sent < tail {
+        let hi = (sent + per).min(tail);
+        let batch: Vec<Vec<crr_data::Value>> = (base + sent..base + hi)
+            .map(|r| sc.table().row(r))
+            .collect();
+        let out = engine.append(&batch).expect("append batch");
+        outcome_sum.routed_pairs += out.routed_pairs;
+        outcome_sum.uncovered += out.uncovered;
+        outcome_sum.violations += out.violations;
+        sent = hi;
+    }
+    let drifted = engine.drift().drifted.len();
+    let repair = engine.repair().expect("repair");
+    let incremental = inc_start.elapsed();
+    assert_eq!(
+        repair.residual_violations, 0,
+        "{dataset}: repair left live violations"
+    );
+
+    // Full-rediscovery contender over base+tail, same inputs, same export.
+    let session = DiscoverySession::on(sc.table())
+        .predicates(space)
+        .config(cfg);
+    let full_start = Instant::now();
+    let (_, _full_artifact) = session.export().expect("full rediscovery");
+    let full = full_start.elapsed();
+
+    // The repaired artifact must pass the static verifier ...
+    let artifact = repair.artifact.clone();
+    let analysis = crr_analyze::analyze(&artifact.rules, artifact.obligations.as_ref());
+    let sound = analysis.is_sound();
+    assert!(sound, "{dataset}: repaired artifact failed crr-analyze");
+
+    // ... and hot-swap into a live server that keeps serving answers
+    // byte-identical to offline evaluation of the repaired rules.
+    let swap_served_identical = {
+        use crr_serve::client::roundtrip;
+        use crr_serve::{RuleStore, ServeConfig, Server};
+        use std::sync::Arc;
+
+        let store = Arc::new(
+            RuleStore::open(base_artifact, crr_discovery::MetricsSink::disabled())
+                .expect("base artifact admissible"),
+        );
+        let server = Server::start(Arc::clone(&store), ServeConfig::default()).expect("bind");
+        let (status, _) = roundtrip(server.addr(), "POST", "/admin/swap", &artifact.to_text())
+            .expect("swap roundtrip");
+        assert_eq!(status, 200, "{dataset}: repaired artifact was not admitted");
+
+        let probe_step = (engine.table().num_rows() / 240).max(1);
+        let probe_rows: Vec<usize> = (0..engine.table().num_rows())
+            .step_by(probe_step)
+            .take(240)
+            .collect();
+        let mut body = String::from("{\"rows\": [");
+        let mut probe = Table::new(engine.table().schema().clone());
+        for (i, &row) in probe_rows.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push('[');
+            for (j, v) in engine.table().row(row).iter().enumerate() {
+                if j > 0 {
+                    body.push_str(", ");
+                }
+                body.push_str(&match v {
+                    crr_data::Value::Null => "null".to_string(),
+                    crr_data::Value::Int(i) => i.to_string(),
+                    crr_data::Value::Float(x) => crr_obs::json::num(*x),
+                    crr_data::Value::Str(s) => format!("\"{}\"", crr_obs::json::esc(s)),
+                });
+            }
+            body.push(']');
+            probe.push_row(engine.table().row(row)).expect("probe row");
+        }
+        body.push_str("]}");
+        let index = crr_core::RuleIndex::build(&artifact.rules, &probe);
+        let mut expected = String::from("\"predictions\": [");
+        for row in 0..probe.num_rows() {
+            if row > 0 {
+                expected.push_str(", ");
+            }
+            match index.predict(&probe, row) {
+                Some(x) => expected.push_str(&crr_obs::json::num(x)),
+                None => expected.push_str("null"),
+            }
+        }
+        expected.push(']');
+        let (status, resp) =
+            roundtrip(server.addr(), "POST", "/v1/predict", &body).expect("predict roundtrip");
+        server.shutdown();
+        status == 200 && resp.contains(&expected)
+    };
+    assert!(
+        swap_served_identical,
+        "{dataset}: served answers diverged from offline evaluation after the swap"
+    );
+
+    stream_json::StreamRecord {
+        dataset: dataset.into(),
+        base_rows: base,
+        appended_rows: tail,
+        batches,
+        routed_pairs: outcome_sum.routed_pairs as u64,
+        uncovered_rows: outcome_sum.uncovered as u64,
+        violations: outcome_sum.violations as u64,
+        drifted_rules: drifted as u64,
+        repair_affected_rows: repair.affected_rows,
+        rules_before,
+        rules_after: repair.rules,
+        incremental_ms: incremental.as_secs_f64() * 1e3,
+        full_ms: full.as_secs_f64() * 1e3,
+        speedup: full.as_secs_f64() / incremental.as_secs_f64(),
+        sound,
+        swap_served_identical,
+    }
+}
+
+/// `stream`: the incremental-maintenance benchmark — append an unseen tail
+/// through a `crr-stream` maintainer (route + delta + monitor + repair) and
+/// race it against full rediscovery over base+tail. Writes
+/// `BENCH_stream.json` in the `crr-stream-v1` layout that `--check-stream`
+/// / `scripts/ci.sh` re-validate.
+fn stream_cmd(scale: f64, path: &str) {
+    let mut records = Vec::new();
+    let mut table_rows = Vec::new();
+    let cells: [(&str, fn(usize, u64) -> Scenario, usize); 2] = [
+        ("electricity", electricity_scenario, scaled(11_520, scale)),
+        ("tax", tax_scenario, scaled(4_000, scale)),
+    ];
+    for (dataset, make, base) in cells {
+        let tail = (base / 10).max(10);
+        let sc = make(base + tail, 42);
+        let opts = CrrOptions {
+            predicates_per_attr: 255,
+            ..Default::default()
+        };
+        let r = stream_cell(dataset, &sc, base, 8, &opts);
+        table_rows.push(vec![
+            r.dataset.clone(),
+            r.base_rows.to_string(),
+            r.appended_rows.to_string(),
+            r.uncovered_rows.to_string(),
+            r.violations.to_string(),
+            r.drifted_rules.to_string(),
+            format!("{} -> {}", r.rules_before, r.rules_after),
+            format!("{:.1}", r.incremental_ms),
+            format!("{:.1}", r.full_ms),
+            format!("{:.1}x", r.speedup),
+        ]);
+        records.push(r);
+    }
+    print_table(
+        "Streaming maintenance: incremental (crr-stream) vs full rediscovery",
+        &[
+            "Dataset", "Base", "Appended", "Uncov", "Viol", "Drift", "Rules", "Inc(ms)",
+            "Full(ms)", "Speedup",
+        ],
+        &table_rows,
+    );
+    let text = stream_json::render(&records);
+    // Self-check before writing: never persist a report CI would reject.
+    // At smoke scale the speedup gate does not apply (see crr-stream-v1).
+    let summary = stream_json::validate(&text).expect("emitted stream report must validate");
     std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path} ({summary})");
 }

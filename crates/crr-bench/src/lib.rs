@@ -17,9 +17,11 @@
 //! (`metrics.json` — observability snapshots from `crr_obs`-instrumented
 //! runs, including a fault-injection harness cell), [`analysis_json`]
 //! (`analysis.json` — `crr-analyze` static-verifier reports over the
-//! discovered artifacts, gated on zero `unsound` findings) and
-//! [`serving_json`] (`BENCH_serving.json` — live `crr-serve`
-//! latency/throughput cells plus the hot-swap admission-gate cell). All
+//! discovered artifacts, gated on zero `unsound` findings), [`serving_json`]
+//! (`BENCH_serving.json` — live `crr-serve` latency/throughput cells plus
+//! the hot-swap admission-gate cell) and [`stream_json`]
+//! (`BENCH_stream.json` — incremental maintenance via `crr-stream` against
+//! full rediscovery on appended slices, gated on the speedup floor). All
 //! schemas are documented in `EXPERIMENTS.md`, section "Benchmark
 //! artifact schemas".
 
@@ -47,6 +49,7 @@ pub mod analysis_json;
 pub mod bench_json;
 pub mod metrics_json;
 pub mod serving_json;
+pub mod stream_json;
 
 /// Process-wide discovery budget, set once from the CLI
 /// (`--time-budget`/`--max-fits`) and applied to every scenario a runner

@@ -16,14 +16,33 @@ use std::fmt::Write as _;
 /// v2 added the `shards` section and the `sharded` engine label; v3 added
 /// the `serve` section (the serving runtime's counters and gauges); v4
 /// added the `kernels` section (compiled-scan and batched-accumulate
-/// counters) plus the `pred_scan`/`gram_accumulate` phase timers.
-pub const SCHEMA: &str = "crr-metrics-v4";
+/// counters) plus the `pred_scan`/`gram_accumulate` phase timers; v5 added
+/// the `stream` section (the incremental maintainer's counters and drift
+/// gauges) plus the `stream_apply`/`stream_repair` phase timers.
+pub const SCHEMA: &str = "crr-metrics-v5";
 
 /// Sections every enabled-sink snapshot must carry (the sink always emits
 /// the full schema, zeros included, so file shape is run-independent).
-pub const REQUIRED_SECTIONS: [&str; 11] = [
+pub const REQUIRED_SECTIONS: [&str; 12] = [
     "queue", "pool", "fits", "moments", "budget", "faults", "run", "phases", "shards", "serve",
-    "kernels",
+    "kernels", "stream",
+];
+
+/// Streaming-maintainer counters that must stay zero in a batch discovery
+/// run — `metrics.json` captures discovery, and any `stream.*` activity in
+/// it means a maintainer leaked into the wrong instrumentation scope.
+/// (`BENCH_stream.json` is where streaming runs are tracked.)
+const STREAM_COUNTERS: [&str; 10] = [
+    "batches",
+    "append_rows",
+    "delete_rows",
+    "routed_pairs",
+    "uncovered_rows",
+    "moments_updates",
+    "violations",
+    "drifted_rules",
+    "repairs",
+    "repaired_rules",
 ];
 
 /// One instrumented discovery run and its frozen snapshot.
@@ -104,7 +123,9 @@ fn uint(obj: &Json, section: &str, key: &str, ctx: &str) -> Result<u64, String> 
 /// * a `sharded` run actually ran at least two shards (`shards.run >= 2`);
 /// * `faults.injected_failures` equals `expected_fault_events` when the
 ///   run declares one, and zero otherwise;
-/// * every run popped at least one partition.
+/// * every run popped at least one partition;
+/// * every `stream.*` counter is zero — these are batch discovery runs,
+///   and streaming-maintainer activity belongs in `BENCH_stream.json`.
 pub fn validate(text: &str) -> Result<String, String> {
     let doc = parse(text)?;
     let schema = doc
@@ -144,6 +165,14 @@ pub fn validate(text: &str) -> Result<String, String> {
         }
         if uint(m, "queue", "pops", &ctx)? == 0 {
             return Err(format!("{ctx}: run popped no partitions"));
+        }
+        for key in STREAM_COUNTERS {
+            let n = uint(m, "stream", key, &ctx)?;
+            if n != 0 {
+                return Err(format!(
+                    "{ctx}: discovery run recorded {n} 'stream.{key}' event(s)"
+                ));
+            }
         }
         let probes = uint(m, "shards", "cross_pool_probes", &ctx)?;
         let hits = uint(m, "shards", "cross_pool_hits", &ctx)?;
@@ -350,11 +379,23 @@ mod tests {
     }
 
     #[test]
+    fn stream_activity_in_a_discovery_run_is_rejected() {
+        let mut runs = sample();
+        let sink = MetricsSink::enabled();
+        sink.add(Counter::QueuePops, 7);
+        sink.add(Counter::MomentsSolves, 5);
+        sink.add(Counter::StreamBatches, 1);
+        runs[0].snapshot = sink.snapshot();
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("stream.batches"), "{err}");
+    }
+
+    #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-metrics-v4\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v5\", \"runs\": []}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
-        // The v3 tag is stale now that snapshots carry the kernels section.
-        assert!(validate("{\"schema\": \"crr-metrics-v3\", \"runs\": [1]}").is_err());
+        // The v4 tag is stale now that snapshots carry the stream section.
+        assert!(validate("{\"schema\": \"crr-metrics-v4\", \"runs\": [1]}").is_err());
     }
 }

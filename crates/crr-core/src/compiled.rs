@@ -8,12 +8,12 @@
 //!
 //! [`CompiledPred`] hoists all of that out of the loop. Compilation resolves
 //! `AttrId` → a borrowed column slice and `Value` → a typed comparison
-//! constant exactly once, producing a [`Kernel`]: a branch-free test against
+//! constant exactly once, producing a `Kernel`: a branch-free test against
 //! raw columnar storage. String constants become a per-dictionary-code truth
 //! table, so the inner loop is one array load. Null handling is a dedicated
 //! lane: columns without a null mask skip it entirely, and `IS NULL` /
 //! `IS NOT NULL` compile to pure mask reads (or to the constant kernels
-//! [`Kernel::Never`] / [`Kernel::Always`] when the column has no mask),
+//! `Kernel::Never` / `Kernel::Always` when the column has no mask),
 //! preserving the shard-guard semantics bit for bit.
 //!
 //! [`CompiledConjunction`] strings kernels together over cache-sized row
@@ -22,7 +22,7 @@
 //! compiler also *folds* redundant interval bounds (`x ≤ 5 ∧ x ≤ 3` keeps
 //! only `x ≤ 3`) and short-circuits provably-false conjunctions (cross-kind
 //! comparisons, `NaN`/`Null` constants, equality against a string absent
-//! from the dictionary) to [`Kernel::Never`].
+//! from the dictionary) to `Kernel::Never`.
 //!
 //! # Equivalence contract
 //!
@@ -204,7 +204,7 @@ impl Sink for TestOne<'_> {
 impl<'t> Kernel<'t> {
     /// Compiles one predicate against one table. Infallible: anything the
     /// interpreter would reject per row (cross-kind, `Null`/`NaN`
-    /// constants) compiles to [`Kernel::Never`].
+    /// constants) compiles to `Kernel::Never`.
     fn compile(p: &Predicate, table: &'t Table) -> Kernel<'t> {
         let col: &'t Column = table.column(p.attr);
         let nulls = col.null_mask();
@@ -368,7 +368,7 @@ enum Side {
 
 /// The interval side `p` bounds, when `p` is a finite-or-infinite numeric
 /// bound the compiler may fold. NaN constants are excluded: they compile
-/// to [`Kernel::Never`] and must survive folding so the conjunction stays
+/// to `Kernel::Never` and must survive folding so the conjunction stays
 /// provably false.
 fn bound_side(p: &Predicate) -> Option<Side> {
     match &p.value {
@@ -439,10 +439,10 @@ fn fold_intervals(preds: &[Predicate]) -> Vec<&Predicate> {
 /// kernels evaluated in cache-sized blocks.
 #[derive(Debug)]
 pub struct CompiledConjunction<'t> {
-    /// True when some predicate compiled to [`Kernel::Never`]: the whole
+    /// True when some predicate compiled to `Kernel::Never`: the whole
     /// conjunction matches no row and the kernels are dropped.
     never: bool,
-    /// The surviving kernels ([`Kernel::Always`] entries are elided).
+    /// The surviving kernels (`Kernel::Always` entries are elided).
     preds: Vec<CompiledPred<'t>>,
 }
 

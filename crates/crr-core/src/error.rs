@@ -5,12 +5,20 @@ use std::fmt;
 pub enum CoreError {
     /// Definition 1 forbids predicates on the target attribute `Y` inside
     /// the condition.
-    PredicateOnTarget { attr: usize },
+    PredicateOnTarget {
+        /// Index of the offending target attribute.
+        attr: usize,
+    },
     /// Fusion (Proposition 3) needs both rules to use the same regression
     /// model and bias.
     FusionMismatch(String),
     /// Generalization (Proposition 4) requires `ρ₂ ≥ ρ₁`.
-    BiasDecrease { from: f64, to: f64 },
+    BiasDecrease {
+        /// The rule's current bias `ρ₁`.
+        from: f64,
+        /// The requested (smaller) bias `ρ₂`.
+        to: f64,
+    },
     /// Induction (Proposition 2) requires the refined condition to imply
     /// the original one.
     NotImplied,
@@ -19,7 +27,12 @@ pub enum CoreError {
     /// Rules over different `X`/`Y` attribute sets cannot be combined.
     SchemaMismatch(String),
     /// Built-in predicate arity differs from the rule's `X` arity.
-    BuiltinArity { expected: usize, got: usize },
+    BuiltinArity {
+        /// The rule's input arity `|X|`.
+        expected: usize,
+        /// The built-in translation's arity.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoreError {

@@ -187,6 +187,46 @@ impl<'a> RuleIndex<'a> {
         predict_at(rule, conj, table, row)
     }
 
+    /// *All* `(rule, conjunction)` index pairs whose conjunction covers
+    /// `row`, in ascending `(rule, conjunction)` order — the maintenance
+    /// side's coverage query. Where [`RuleIndex::locate`] stops at the
+    /// first match (serving semantics), a write-time monitor must charge a
+    /// changed row to *every* rule whose condition claims it, because each
+    /// such rule's bias bound is a separate obligation on that row.
+    pub fn covering(&self, table: &Table, row: usize) -> Vec<(usize, usize)> {
+        let (bounded, unbounded): (&[Candidate], &[Candidate]) = match self.attr {
+            None => {
+                // Nothing was indexed: evaluate every conjunction in order.
+                let mut out = Vec::new();
+                for (ri, rule) in self.rules.rules().iter().enumerate() {
+                    for (ci, conj) in rule.condition().conjuncts().iter().enumerate() {
+                        if conj.eval(table, row) {
+                            out.push((ri, ci));
+                        }
+                    }
+                }
+                return out;
+            }
+            Some(attr) => match table.value_f64(row, attr) {
+                None => (&[], self.unbounded.as_slice()),
+                Some(v) => {
+                    let seg = self.boundaries.partition_point(|&b| b <= v);
+                    (self.segments[seg].as_slice(), self.unbounded.as_slice())
+                }
+            },
+        };
+        let mut out = Vec::new();
+        merge_all(
+            bounded,
+            unbounded,
+            |c| self.conjunction(c).eval(table, row),
+            |c| {
+                out.push((c.rule as usize, c.conj as usize));
+            },
+        );
+        out
+    }
+
     /// RMSE evaluation over `rows` via the index — the accelerated
     /// counterpart of [`RuleSet::evaluate`].
     pub fn evaluate(&self, table: &Table, rows: &RowSet) -> crate::ruleset::EvalReport {
@@ -282,6 +322,43 @@ fn merge_first(
         };
         if sat(next) {
             return Some(next);
+        }
+    }
+}
+
+/// Visits every candidate of two pre-sorted lists in merged `(rule, conj)`
+/// order, calling `hit` for each one whose conjunction satisfies `sat` —
+/// the exhaustive sibling of [`merge_first`].
+fn merge_all(
+    a: &[Candidate],
+    b: &[Candidate],
+    mut sat: impl FnMut(Candidate) -> bool,
+    mut hit: impl FnMut(Candidate),
+) {
+    let (mut i, mut j) = (0, 0);
+    loop {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => return,
+        };
+        if sat(next) {
+            hit(next);
         }
     }
 }
@@ -572,6 +649,59 @@ mod tests {
         let eb = fast.evaluate(&t.all_rows());
         assert_eq!(ea, eb);
         assert_eq!(ea.rmse.to_bits(), eb.rmse.to_bits());
+    }
+
+    /// Brute-force oracle for `covering`: evaluate every conjunction.
+    fn covering_scan(rules: &RuleSet, t: &Table, row: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (ri, rule) in rules.rules().iter().enumerate() {
+            for (ci, conj) in rule.condition().conjuncts().iter().enumerate() {
+                if conj.eval(t, row) {
+                    out.push((ri, ci));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn covering_matches_exhaustive_scan() {
+        let mut t = table(120);
+        t.set_null(3, x());
+        // Segmented rule + a tautological catch-all: every non-null row is
+        // covered by exactly two conjunctions, null rows by one.
+        let model = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+        let mut rules = segmented_rules(12, 10.0);
+        rules.push(Crr::new(vec![x()], y(), model, 0.5, Dnf::tautology()).unwrap());
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), Some(x()));
+        for row in 0..t.num_rows() {
+            assert_eq!(
+                idx.covering(&t, row),
+                covering_scan(&rules, &t, row),
+                "row {row}"
+            );
+        }
+        assert_eq!(
+            idx.covering(&t, 3),
+            vec![(1, 0)],
+            "null row hits only the catch-all"
+        );
+    }
+
+    #[test]
+    fn covering_matches_on_the_scan_fallback() {
+        let t = table(20);
+        let rules = segmented_rules(2, 10.0); // unindexable: linear scan
+        let idx = RuleIndex::build(&rules, &t);
+        assert_eq!(idx.indexed_attr(), None);
+        for row in 0..t.num_rows() {
+            assert_eq!(
+                idx.covering(&t, row),
+                covering_scan(&rules, &t, row),
+                "row {row}"
+            );
+        }
     }
 
     #[test]

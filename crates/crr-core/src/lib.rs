@@ -47,6 +47,7 @@
 //! ```
 
 #![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod check;
 pub mod compiled;

@@ -108,6 +108,7 @@
 //! ```
 
 #![deny(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod artifact;
 mod budget;

@@ -277,6 +277,43 @@ impl Moments {
         let intercept = y_mean - crate::dot(&weights, &x_mean);
         Ok((weights, intercept))
     }
+
+    /// Residual sum of squares `Σ (y − (w·x + c))²` of a *given* affine
+    /// predictor over the accumulated rows, from the statistics alone.
+    ///
+    /// With the augmented coefficient vector `u = [c | w]`, the expansion
+    /// `Σ (y − uᵀ[1|x])² = yᵀy − 2·uᵀb + uᵀGu` needs only the stored
+    /// `G`, `b` and `yᵀy` — O(d²), no rows. This is how the streaming
+    /// maintainer re-measures a rule's residual bias after deltas without
+    /// rescanning its partition; cancellation can leave a tiny negative
+    /// result in floating point, which callers should clamp at zero.
+    pub fn residual_sse(&self, weights: &[f64], intercept: f64) -> f64 {
+        let d = self.num_features();
+        debug_assert_eq!(weights.len(), d);
+        let mut u = Vec::with_capacity(d + 1);
+        u.push(intercept);
+        u.extend_from_slice(weights);
+        let mut quad = 0.0;
+        let mut lin = 0.0;
+        for (j, &uj) in u.iter().enumerate() {
+            lin += uj * self.b[j];
+            let mut row = 0.0;
+            for (k, &uk) in u.iter().enumerate() {
+                row += self.g[(j, k)] * uk;
+            }
+            quad += uj * row;
+        }
+        self.yy - 2.0 * lin + quad
+    }
+
+    /// Root-mean-square residual of a given affine predictor over the
+    /// accumulated rows (see [`Moments::residual_sse`]); `0.0` when empty.
+    pub fn residual_rms(&self, weights: &[f64], intercept: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (self.residual_sse(weights, intercept).max(0.0) / self.n as f64).sqrt()
+    }
 }
 
 /// Drives `f` over `rows` with a manual 4-wide unroll. All four lanes feed
@@ -450,5 +487,43 @@ mod tests {
         let (w, b) = m.solve_ridge(0.5).unwrap();
         assert!(w.is_empty());
         assert_eq!(b, 2.0);
+    }
+
+    #[test]
+    fn residual_sse_matches_direct_computation() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 0.5 * x[1] + 1.0).collect();
+        let m = Moments::from_rows(&xs, &y);
+        let (w, c) = (vec![2.5, -0.25], 0.75);
+        let direct: f64 = xs
+            .iter()
+            .zip(&y)
+            .map(|(x, &t)| {
+                let r = t - (w[0] * x[0] + w[1] * x[1] + c);
+                r * r
+            })
+            .sum();
+        let via = m.residual_sse(&w, c);
+        assert!(
+            (via - direct).abs() <= 1e-6 * direct.max(1.0),
+            "{via} vs {direct}"
+        );
+        assert!((m.residual_rms(&w, c) - (direct / 20.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_sse_of_the_fitted_model_is_minimal() {
+        let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 0.3).collect();
+        let m = Moments::from_rows(&xs, &y);
+        let beta = m.solve_ols().unwrap();
+        let fitted = m.residual_sse(&beta[1..], beta[0]);
+        assert!(
+            fitted.abs() < 1e-9,
+            "exact fit has ~zero residual: {fitted}"
+        );
+        // Any perturbed predictor does worse.
+        assert!(m.residual_sse(&[2.1], 0.3) > fitted + 1e-3);
+        assert_eq!(Moments::zeros(1).residual_rms(&[1.0], 0.0), 0.0);
     }
 }

@@ -173,6 +173,33 @@ metric_enum! {
         ServeSwapRejected => ("serve", "swap_rejected"),
         /// Artificial handler delays injected by the server fault plan.
         ServeInjectedSlow => ("serve", "injected_slow"),
+        /// Delta batches (appends or deletes) applied by the streaming
+        /// maintainer.
+        StreamBatches => ("stream", "batches"),
+        /// Rows appended through the streaming maintainer.
+        StreamAppendRows => ("stream", "append_rows"),
+        /// Rows deleted (tombstoned) through the streaming maintainer.
+        StreamDeleteRows => ("stream", "delete_rows"),
+        /// `(row, rule-conjunction)` coverage pairs routed through the
+        /// interval index by delta batches.
+        StreamRoutedPairs => ("stream", "routed_pairs"),
+        /// Appended rows no rule condition covers — a coverage gap the
+        /// next repair must close.
+        StreamUncoveredRows => ("stream", "uncovered_rows"),
+        /// Partition-statistics updates: `Moments::add_rows` batches on
+        /// append plus `Moments::subtract` calls on delete.
+        StreamMomentsUpdates => ("stream", "moments_updates"),
+        /// Write-time monitor hits: appended rows whose residual exceeded
+        /// a covering rule's `ρ` plus the drift tolerance.
+        StreamViolations => ("stream", "violations"),
+        /// Rules newly flagged drifted (by the monitor or by the
+        /// moments-recomputed residual bias).
+        StreamDriftedRules => ("stream", "drifted_rules"),
+        /// Repairs run: Algorithm 1 on the affected partitions only,
+        /// re-merged with the kept rules by Algorithm 2.
+        StreamRepairs => ("stream", "repairs"),
+        /// Rules discovered by repair runs (before the re-merge).
+        StreamRepairedRules => ("stream", "repaired_rules"),
         /// Conjunction evaluations answered by the compiled columnar
         /// kernels (selection-vector or bitmask scans).
         KernelCompiledScans => ("kernels", "compiled_scans"),
@@ -205,6 +232,17 @@ metric_enum! {
         ServeGeneration => ("serve", "generation"),
         /// Rules in the currently-served set.
         ServeRules => ("serve", "rules"),
+        /// Live (non-tombstoned) rows in the streaming maintainer's
+        /// relation.
+        StreamLiveRows => ("stream", "live_rows"),
+        /// Rules the streaming maintainer currently tracks statistics for.
+        StreamTrackedRules => ("stream", "tracked_rules"),
+        /// Worst drift ratio across tracked rules, in permille: the
+        /// moments-recomputed residual bias over the rule's declared `ρ`,
+        /// ×1000 (so 1000 = exactly at the bound). Last write wins.
+        StreamMaxDriftPermille => ("stream", "max_drift_permille"),
+        /// Rules currently flagged drifted and awaiting repair.
+        StreamDriftedNow => ("stream", "drifted_now"),
     }
 }
 
@@ -227,6 +265,12 @@ metric_enum! {
         GramAccumulate => ("phases", "gram_accumulate"),
         /// Draining queued partitions into fallbacks after a budget trip.
         Drain => ("phases", "drain"),
+        /// Applying streaming delta batches: routing + moments updates +
+        /// the write-time monitor, all batches summed.
+        StreamApply => ("phases", "stream_apply"),
+        /// Streaming repairs: partition-scoped Algorithm 1 plus the
+        /// Algorithm 2 re-merge and state rebuild, all repairs summed.
+        StreamRepair => ("phases", "stream_repair"),
         /// Whole `discover` call, entry to return.
         Total => ("phases", "total"),
     }

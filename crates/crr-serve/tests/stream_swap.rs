@@ -1,0 +1,145 @@
+//! End-to-end maintenance → serving pin: a `crr-stream` repair must
+//! produce an artifact that passes the `crr-analyze` admission gate,
+//! hot-swaps into a live server over `/admin/swap`, and then serves
+//! `/v1/predict` answers **byte-identical** to offline evaluation of the
+//! repaired rules — the last step of the streaming maintenance contract
+//! (DESIGN.md §13).
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_core::RuleIndex;
+use crr_data::{Table, Value};
+use crr_datasets::{electricity, GenConfig};
+use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen};
+use crr_obs::json;
+use crr_serve::client::roundtrip;
+use crr_serve::{RuleStore, ServeConfig, Server};
+use crr_stream::{StreamConfig, StreamEngine};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Renders one table cell the way a JSON client would send it.
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => json::num(*x),
+        Value::Str(s) => format!("\"{}\"", json::esc(s)),
+    }
+}
+
+#[test]
+fn repaired_artifact_swaps_in_and_serves_identical_answers() {
+    // Yesterday's relation: electricity@2880 (two generator days), with
+    // rules discovered on it standing in a maintainer.
+    let ds = electricity(&GenConfig {
+        rows: 3_168,
+        seed: 7,
+    });
+    let t = ds.table;
+    let minute = t.attr("minute").unwrap();
+    let target = t.attr("global_active_power").unwrap();
+    let space = PredicateGen::binary(64).generate(&t, &[minute], target, 0);
+    let cfg = DiscoveryConfig::new(vec![minute], target, 0.25);
+    let mut base = Table::new(t.schema().clone());
+    for r in 0..2_880 {
+        base.push_row(t.row(r)).unwrap();
+    }
+    let (_, base_artifact) = DiscoverySession::on(&base)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .export()
+        .unwrap();
+    let mut engine = StreamEngine::new(
+        base,
+        base_artifact.rules.clone(),
+        cfg,
+        space,
+        StreamConfig::default(),
+    )
+    .unwrap();
+
+    // Today's appends arrive under a regime change — the generator's tail
+    // with the target rescaled — so covered rows trip the write-time
+    // monitor and uncovered ones queue for repair.
+    let ty = target.0;
+    let tail: Vec<Vec<Value>> = (2_880..t.num_rows())
+        .map(|r| {
+            let mut row = t.row(r);
+            if let Value::Float(y) = row[ty] {
+                row[ty] = Value::Float(3.0 * y + 5.0);
+            }
+            row
+        })
+        .collect();
+    engine.append(&tail).unwrap();
+    assert!(engine.needs_repair(), "regime change must surface as drift");
+    let repair = engine.repair().unwrap();
+    assert_eq!(
+        repair.residual_violations, 0,
+        "repair must clean what it touched"
+    );
+    let artifact = repair.artifact.clone();
+
+    // Gate 1: the repaired artifact passes the static verifier.
+    let analysis = crr_analyze::analyze(&artifact.rules, artifact.obligations.as_ref());
+    assert!(analysis.is_sound(), "{analysis:?}");
+
+    // Gate 2: a server standing on the base artifact admits the repair.
+    let store = Arc::new(RuleStore::open(base_artifact, crr_obs::MetricsSink::disabled()).unwrap());
+    let server = Server::start(Arc::clone(&store), ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let (status, _) = roundtrip(addr, "POST", "/admin/swap", &artifact.to_text()).unwrap();
+    assert_eq!(status, 200, "sound repaired artifact must be admitted");
+    assert_eq!(store.generation(), 1);
+
+    // Gate 3: served answers are byte-identical to offline evaluation of
+    // the repaired rules on a probe spanning base and repaired regions.
+    let probe_rows: Vec<usize> = (0..engine.table().num_rows()).step_by(24).collect();
+    let mut body = String::from("{\"rows\": [");
+    let mut probe = Table::new(engine.table().schema().clone());
+    for (i, &row) in probe_rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push('[');
+        for (j, v) in engine.table().row(row).iter().enumerate() {
+            if j > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&render_cell(v));
+        }
+        body.push(']');
+        probe.push_row(engine.table().row(row)).unwrap();
+    }
+    body.push_str("]}");
+    let index = RuleIndex::build(&artifact.rules, &probe);
+    let mut expected = String::from("\"predictions\": [");
+    let mut answered = 0usize;
+    for row in 0..probe.num_rows() {
+        if row > 0 {
+            expected.push_str(", ");
+        }
+        match index.predict(&probe, row) {
+            Some(x) => {
+                let _ = write!(expected, "{}", json::num(x));
+                answered += 1;
+            }
+            None => expected.push_str("null"),
+        }
+    }
+    expected.push(']');
+    assert!(
+        answered * 2 >= probe.num_rows(),
+        "fixture too weak: offline covers {answered}/{}",
+        probe.num_rows()
+    );
+    let (status, resp) = roundtrip(addr, "POST", "/v1/predict", &body).unwrap();
+    server.shutdown();
+    assert_eq!(status, 200, "{resp}");
+    assert!(
+        resp.contains(&expected),
+        "served answers diverged from offline evaluation after the swap"
+    );
+}

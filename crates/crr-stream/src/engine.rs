@@ -1,0 +1,1152 @@
+//! The incremental maintenance engine (see the crate docs for the
+//! contract and DESIGN.md §13 for the design rationale).
+
+use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleIndex, RuleSet};
+use crr_data::{AttrId, DataError, RowSet, Table, Value};
+use crr_discovery::{
+    compact_on_data, DiscoveryConfig, DiscoveryError, DiscoverySession, PredicateSpace,
+    RuleSetArtifact,
+};
+use crr_models::{Moments, Translation};
+use crr_obs::{Counter as Ctr, Gauge, MetricsSink, Phase};
+use std::collections::BTreeMap;
+
+/// Errors surfaced by the streaming maintainer.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A delta row did not fit the relation schema.
+    Data(DataError),
+    /// The partition-scoped repair run failed.
+    Discovery(DiscoveryError),
+    /// The engine's inputs were inconsistent (a rule set over different
+    /// attributes than the config, a delete of a dead or out-of-range
+    /// row, …).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Data(e) => write!(f, "delta rejected: {e}"),
+            StreamError::Discovery(e) => write!(f, "repair failed: {e}"),
+            StreamError::Mismatch(m) => write!(f, "inconsistent maintenance input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Data(e) => Some(e),
+            StreamError::Discovery(e) => Some(e),
+            StreamError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<DataError> for StreamError {
+    fn from(e: DataError) -> Self {
+        StreamError::Data(e)
+    }
+}
+
+impl From<DiscoveryError> for StreamError {
+    fn from(e: DiscoveryError) -> Self {
+        StreamError::Discovery(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, StreamError>;
+
+/// Tuning knobs of the maintenance loop.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Absolute slack added to each rule's `ρ` before a residual counts
+    /// as drift — both for the per-row write-time monitor and for the
+    /// moments-recomputed partition bias. Keeps float noise on exact-fit
+    /// (`ρ = 0`) rules from flagging spurious drift.
+    pub tolerance: f64,
+    /// Structured metrics sink for the `stream.*` counters and gauges.
+    /// The no-op default records nothing.
+    pub metrics: MetricsSink,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            tolerance: 1e-6,
+            metrics: MetricsSink::disabled(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Attaches an enabled metrics sink.
+    pub fn with_metrics(mut self, sink: MetricsSink) -> Self {
+        self.metrics = sink;
+        self
+    }
+
+    /// Sets the drift tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// What one append/delete batch did to the maintained state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// Rows appended by this batch.
+    pub appended: usize,
+    /// Rows deleted (tombstoned) by this batch.
+    pub deleted: usize,
+    /// `(row, rule)` coverage pairs the interval index routed.
+    pub routed_pairs: usize,
+    /// Appended rows no rule condition covers (queued for repair).
+    pub uncovered: usize,
+    /// Write-time monitor hits: appended rows whose residual exceeded a
+    /// covering rule's `ρ` plus the tolerance.
+    pub violations: usize,
+    /// Rules this batch newly flagged as drifted, ascending.
+    pub newly_drifted: Vec<usize>,
+}
+
+/// The maintainer's current drift picture.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// Indices of rules currently flagged drifted, ascending.
+    pub drifted: Vec<usize>,
+    /// Appended rows currently covered by no rule.
+    pub uncovered_rows: usize,
+    /// Worst moments-recomputed residual bias across tracked partitions,
+    /// as a ratio of the owning rule's declared `ρ` (1.0 = exactly at the
+    /// bound; 0.0 when nothing is tracked).
+    pub max_drift_ratio: f64,
+}
+
+/// What a [`StreamEngine::repair`] run did.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Live rows in the affected region Algorithm 1 was re-run on (0 when
+    /// nothing had drifted — the rule set is re-exported unchanged).
+    pub affected_rows: usize,
+    /// Healthy rules carried over untouched.
+    pub kept_rules: usize,
+    /// Rules the partition-scoped rediscovery produced before the merge.
+    pub discovered_rules: usize,
+    /// Rules in the repaired set after the Algorithm 2 re-merge.
+    pub rules: usize,
+    /// `(row, rule)` residual violations (deviation beyond `ρ` plus the
+    /// drift tolerance) found when the affected rows were re-routed after
+    /// repair — 0 on a clean repair; non-zero re-flags the violated rules
+    /// as drifted.
+    pub residual_violations: usize,
+    /// Affected rows no rule can ever cover (null condition attributes) —
+    /// dropped from the repair queue, mirroring discovery's
+    /// `uncoverable_rows`.
+    pub uncoverable_rows: usize,
+    /// The repaired, serialization-ready artifact (schema + merged rules),
+    /// fit for the `crr-analyze` admission gate and a `crr-serve` swap.
+    pub artifact: RuleSetArtifact,
+}
+
+/// Per-(rule, conjunction) maintained partition state.
+struct PartState {
+    /// The conjunction's effective affine predictor over the rule inputs —
+    /// the model's affine view with the built-in translation folded in
+    /// (`w·(x+Δ) + c + δ = w·x + (c + w·Δ + δ)`). `None` for model
+    /// families without an affine view (the MLP), which fall back to the
+    /// write-time monitor alone.
+    affine: Option<(Vec<f64>, f64)>,
+    /// Sufficient statistics over the partition's live fit-ready rows;
+    /// `None` iff `affine` is `None`.
+    moments: Option<Moments>,
+}
+
+impl PartState {
+    fn new(rule: &Crr, conj: &Conjunction, d: usize) -> PartState {
+        let affine = rule.model().as_affine().map(|(w, c)| {
+            let (w, c) = fold_translation(w, c, conj.builtin());
+            (w, c)
+        });
+        let moments = affine.as_ref().map(|_| Moments::zeros(d));
+        PartState { affine, moments }
+    }
+}
+
+/// Re-ANDs a repair region's guard conjunction onto every conjunction of a
+/// rule rediscovered inside that region, keeping only the rediscovered
+/// rule's built-in translations (the guard's, if any, belonged to the
+/// replaced model). `None` means no guard — the rule passes unchanged.
+fn guard_rule(d: &Crr, guard: Option<&Conjunction>) -> Result<Crr> {
+    let Some(g) = guard else {
+        return Ok(d.clone());
+    };
+    let conjuncts = d
+        .condition()
+        .conjuncts()
+        .iter()
+        .map(|cd| {
+            let mut preds = g.preds().to_vec();
+            preds.extend(cd.preds().iter().cloned());
+            match cd.builtin() {
+                Some(t) => Conjunction::with_builtin(preds, t.clone()),
+                None => Conjunction::of(preds),
+            }
+        })
+        .collect();
+    Crr::new(
+        d.inputs().to_vec(),
+        d.target(),
+        d.model().clone(),
+        d.rho(),
+        Dnf::of(conjuncts),
+    )
+    .map_err(|e| StreamError::Mismatch(format!("guarded repair rule is invalid: {e}")))
+}
+
+/// Folds a built-in translation into an affine predictor.
+fn fold_translation(w: &[f64], c: f64, t: Option<&Translation>) -> (Vec<f64>, f64) {
+    match t {
+        None => (w.to_vec(), c),
+        Some(t) => {
+            let shift: f64 = w.iter().zip(&t.delta_x).map(|(a, b)| a * b).sum();
+            (w.to_vec(), c + shift + t.delta_y)
+        }
+    }
+}
+
+/// Batch-local columnar gather of the rule inputs and target.
+struct BatchCols {
+    /// One full-batch buffer per input attribute; missing/non-finite cells
+    /// hold NaN and are excluded by `ready`.
+    cols: Vec<Vec<f64>>,
+    /// Target buffer, same convention.
+    y: Vec<f64>,
+    /// `ready[i]`: every input and the target of batch row `i` is present
+    /// and finite — the precondition for touching any `Moments`.
+    ready: Vec<bool>,
+}
+
+/// Read-only routing result of one batch, applied in a second phase.
+#[derive(Default)]
+struct Routed {
+    /// Fit-ready batch-local row indices per `(rule, conjunction)`,
+    /// ascending — each row charged to its *first* matching conjunct
+    /// within each covering rule, mirroring `Crr::predict`.
+    buckets: BTreeMap<(usize, usize), Vec<u32>>,
+    /// *Table* row ids per `(rule, conjunction)`, ascending — every routed
+    /// row, fit-ready or not. Feeds the engine's membership lists, which
+    /// is what lets repair find a drifted partition's rows without ever
+    /// scanning the relation.
+    claimed: BTreeMap<(usize, usize), Vec<u32>>,
+    /// `(row, rule)` coverage pairs seen.
+    routed_pairs: usize,
+    /// Table row ids covered by no rule.
+    uncovered: Vec<u32>,
+    /// Monitor hits (appends only).
+    violations: usize,
+    /// Rules with at least one monitor hit.
+    violated_rules: Vec<usize>,
+}
+
+/// An incremental maintainer for one discovered rule set over one evolving
+/// relation. See the crate docs for the maintenance contract.
+pub struct StreamEngine {
+    table: Table,
+    /// Tombstone mask, one entry per table row. Deletes never compact the
+    /// columnar storage — routing needs the deleted values one last time,
+    /// and stable row ids keep the maintained statistics addressable.
+    live: Vec<bool>,
+    live_count: usize,
+    rules: RuleSet,
+    cfg: DiscoveryConfig,
+    space: PredicateSpace,
+    opts: StreamConfig,
+    /// `states[rule][conjunction]`, parallel to the rule set.
+    states: Vec<Vec<PartState>>,
+    /// `members[rule][conjunction]`: the table row ids the partition has
+    /// claimed (ascending, possibly tombstoned — filtered by `live` on
+    /// read). Maintained on rebuild and append so that repair can gather a
+    /// drifted partition's rows in time proportional to the partition.
+    members: Vec<Vec<Vec<u32>>>,
+    drifted: Vec<bool>,
+    /// Appended rows currently covered by no rule, ascending.
+    uncovered: Vec<u32>,
+    metrics: MetricsSink,
+}
+
+impl StreamEngine {
+    /// Builds the maintainer over `table` and its discovered `rules`,
+    /// scanning once to seed every partition's statistics. `cfg` and
+    /// `space` must be the discovery inputs that produced `rules` — the
+    /// repair path re-runs Algorithm 1 with them on affected partitions.
+    pub fn new(
+        table: Table,
+        rules: RuleSet,
+        cfg: DiscoveryConfig,
+        space: PredicateSpace,
+        opts: StreamConfig,
+    ) -> Result<StreamEngine> {
+        for (ri, rule) in rules.rules().iter().enumerate() {
+            if rule.inputs() != cfg.inputs.as_slice() || rule.target() != cfg.target {
+                return Err(StreamError::Mismatch(format!(
+                    "rule {ri} is over different attributes than the discovery config"
+                )));
+            }
+        }
+        let live = vec![true; table.num_rows()];
+        let live_count = table.num_rows();
+        let metrics = opts.metrics.clone();
+        let mut engine = StreamEngine {
+            table,
+            live,
+            live_count,
+            rules,
+            cfg,
+            space,
+            opts,
+            states: Vec::new(),
+            members: Vec::new(),
+            drifted: Vec::new(),
+            uncovered: Vec::new(),
+            metrics,
+        };
+        engine.rebuild_states();
+        Ok(engine)
+    }
+
+    /// The maintained relation (live and tombstoned rows).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The current rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Live (non-tombstoned) rows of the relation, ascending.
+    pub fn live_rows(&self) -> RowSet {
+        let ids: Vec<u32> = (0..self.table.num_rows() as u32)
+            .filter(|&r| self.live[r as usize])
+            .collect();
+        RowSet::from_sorted(ids)
+    }
+
+    /// Number of live rows.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Appends a batch of rows, routing each through the interval index:
+    /// covering partitions absorb the rows into their `Moments`
+    /// (`add_rows`, no rescan), the write-time monitor residual-checks
+    /// every covering rule, and the drift picture is refreshed.
+    pub fn append(&mut self, rows: &[Vec<Value>]) -> Result<BatchOutcome> {
+        let span = self.metrics.span();
+        let start = self.table.num_rows() as u32;
+        for row in rows {
+            self.table.push_row(row.clone())?;
+            self.live.push(true);
+        }
+        self.live_count += rows.len();
+        let ids: Vec<u32> = (start..start + rows.len() as u32).collect();
+        let batch = self.gather(&ids);
+        let routed = self.route(&ids, true);
+        let updates = self.apply_append(&batch, &routed);
+        for (&(ri, ci), rows) in &routed.claimed {
+            self.members[ri][ci].extend_from_slice(rows);
+        }
+        for &ri in &routed.violated_rules {
+            self.drifted[ri] = true;
+        }
+        self.uncovered.extend_from_slice(&routed.uncovered);
+        let newly_drifted = self.refresh_drift(&routed.violated_rules);
+
+        self.metrics.incr(Ctr::StreamBatches);
+        self.metrics.add(Ctr::StreamAppendRows, rows.len() as u64);
+        self.metrics
+            .add(Ctr::StreamRoutedPairs, routed.routed_pairs as u64);
+        self.metrics
+            .add(Ctr::StreamUncoveredRows, routed.uncovered.len() as u64);
+        self.metrics.add(Ctr::StreamMomentsUpdates, updates as u64);
+        self.metrics
+            .add(Ctr::StreamViolations, routed.violations as u64);
+        self.metrics.record(Phase::StreamApply, span);
+        Ok(BatchOutcome {
+            appended: rows.len(),
+            deleted: 0,
+            routed_pairs: routed.routed_pairs,
+            uncovered: routed.uncovered.len(),
+            violations: routed.violations,
+            newly_drifted,
+        })
+    }
+
+    /// Deletes (tombstones) a batch of rows by table row id, subtracting
+    /// each from its covering partitions' `Moments`. Deletes cannot create
+    /// violations — removing rows only shrinks every covered set — but
+    /// they move the recomputed residual bias, so the drift picture is
+    /// still refreshed.
+    pub fn delete(&mut self, rows: &[usize]) -> Result<BatchOutcome> {
+        let span = self.metrics.span();
+        let mut ids: Vec<u32> = Vec::with_capacity(rows.len());
+        for &r in rows {
+            if r >= self.table.num_rows() {
+                return Err(StreamError::Mismatch(format!(
+                    "delete of out-of-range row {r} (relation has {} rows)",
+                    self.table.num_rows()
+                )));
+            }
+            if !self.live[r] {
+                return Err(StreamError::Mismatch(format!(
+                    "delete of already-deleted row {r}"
+                )));
+            }
+            ids.push(r as u32);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let batch = self.gather(&ids);
+        let routed = self.route(&ids, false);
+        let updates = self.apply_delete(&batch, &routed);
+        for &r in &ids {
+            self.live[r as usize] = false;
+        }
+        self.live_count -= ids.len();
+        self.uncovered.retain(|r| ids.binary_search(r).is_err());
+        let newly_drifted = self.refresh_drift(&[]);
+
+        self.metrics.incr(Ctr::StreamBatches);
+        self.metrics.add(Ctr::StreamDeleteRows, ids.len() as u64);
+        self.metrics
+            .add(Ctr::StreamRoutedPairs, routed.routed_pairs as u64);
+        self.metrics.add(Ctr::StreamMomentsUpdates, updates as u64);
+        self.metrics.record(Phase::StreamApply, span);
+        Ok(BatchOutcome {
+            appended: 0,
+            deleted: ids.len(),
+            routed_pairs: routed.routed_pairs,
+            uncovered: 0,
+            violations: 0,
+            newly_drifted,
+        })
+    }
+
+    /// The current drift picture.
+    pub fn drift(&self) -> DriftReport {
+        DriftReport {
+            drifted: (0..self.drifted.len())
+                .filter(|&i| self.drifted[i])
+                .collect(),
+            uncovered_rows: self.uncovered.len(),
+            max_drift_ratio: self.max_drift_ratio(),
+        }
+    }
+
+    /// Whether any rule has drifted or any appended row is uncovered —
+    /// i.e. whether [`StreamEngine::repair`] would do real work.
+    pub fn needs_repair(&self) -> bool {
+        self.drifted.iter().any(|&d| d) || !self.uncovered.is_empty()
+    }
+
+    /// The moments-recomputed residual bias of one rule: the worst
+    /// root-mean-square residual across its maintained partitions. `None`
+    /// for rules without an affine view (MLP) or an out-of-range index.
+    /// Always ≤ the true max-abs residual, so a recomputed bias above the
+    /// declared `ρ` *proves* some covered row violates the rule.
+    pub fn residual_bias(&self, rule: usize) -> Option<f64> {
+        let parts = self.states.get(rule)?;
+        let mut bias: Option<f64> = None;
+        for p in parts {
+            if let (Some((w, c)), Some(m)) = (&p.affine, &p.moments) {
+                let rms = m.residual_rms(w, *c);
+                bias = Some(bias.map_or(rms, |b: f64| b.max(rms)));
+            }
+        }
+        bias
+    }
+
+    /// Re-runs Algorithm 1 on the affected partitions only — each drifted
+    /// conjunction's claimed live rows, plus uncovered appends — keeps
+    /// every healthy rule untouched, re-merges with Algorithm 2
+    /// (`compact_on_data`), and swaps the merged set in as the new
+    /// maintained baseline.
+    ///
+    /// Every rule rediscovered inside a drifted region gets that region's
+    /// conjunction re-ANDed onto its condition — the same refinement
+    /// structure Algorithm 1 itself uses — so a repaired rule can never
+    /// claim rows outside the partition it was learned on (a sub-discovery
+    /// root with a trivially-true condition would otherwise claim the
+    /// whole relation). Rules learned on uncovered appends are guarded by
+    /// the region's per-attribute bounding box instead, since no prior
+    /// condition describes those rows.
+    ///
+    /// Every step is proportional to the *affected* partitions, never the
+    /// relation: regions come from the maintained membership lists, the
+    /// healthy rules keep their live statistics (their moments already
+    /// absorbed every append and shed every delete), Algorithm 2 merges
+    /// the repaired rules over the affected rows only, and the final
+    /// monitored routing — the exactness gate over everything repair
+    /// touched — walks the affected rows alone. The repaired artifact is
+    /// returned ready for the `crr-analyze` gate. With nothing drifted and
+    /// nothing uncovered the rule set is re-exported unchanged
+    /// (`affected_rows == 0`).
+    pub fn repair(&mut self) -> Result<RepairReport> {
+        let span = self.metrics.span();
+        let mut cfg = self.cfg.clone();
+        cfg.metrics = self.metrics.clone();
+
+        // One affected region per drifted conjunction — its claimed live
+        // rows read off the membership lists — each carrying the guard
+        // re-ANDed onto whatever is rediscovered inside it.
+        let mut regions: Vec<(Option<Conjunction>, RowSet)> = Vec::new();
+        for (ri, rule) in self.rules.rules().iter().enumerate() {
+            if !self.drifted[ri] {
+                continue;
+            }
+            for (ci, conj) in rule.condition().conjuncts().iter().enumerate() {
+                let ids: Vec<u32> = self.members[ri][ci]
+                    .iter()
+                    .copied()
+                    .filter(|&r| self.live[r as usize])
+                    .collect();
+                if !ids.is_empty() {
+                    regions.push((Some(conj.clone()), RowSet::from_sorted(ids)));
+                }
+            }
+        }
+        if !self.uncovered.is_empty() {
+            let rows = RowSet::from_sorted(self.uncovered.clone());
+            let guard = self.bounding_guard(&rows);
+            regions.push((guard, rows));
+        }
+        if regions.is_empty() {
+            let artifact = self.artifact()?;
+            self.metrics.record(Phase::StreamRepair, span);
+            return Ok(RepairReport {
+                affected_rows: 0,
+                kept_rules: self.rules.len(),
+                discovered_rules: 0,
+                rules: self.rules.len(),
+                residual_violations: 0,
+                uncoverable_rows: 0,
+                artifact,
+            });
+        }
+
+        // Algorithm 1 inside each region, then Algorithm 2 over the
+        // repaired rules on the affected rows.
+        let mut repaired: Vec<Crr> = Vec::new();
+        let mut affected = RowSet::from_sorted(Vec::new());
+        for (guard, rows) in &regions {
+            affected = affected.union(rows);
+            let sub = DiscoverySession::on(&self.table)
+                .rows(rows.clone())
+                .predicates(self.space.clone())
+                .config(cfg.clone())
+                .run()?;
+            for d in sub.rules.rules() {
+                repaired.push(guard_rule(d, guard.as_ref())?);
+            }
+        }
+        let discovered_rules = repaired.len();
+        self.metrics.incr(Ctr::StreamRepairs);
+        self.metrics
+            .add(Ctr::StreamRepairedRules, discovered_rules as u64);
+        let merged = if repaired.is_empty() {
+            RuleSet::from_rules(Vec::new())
+        } else {
+            compact_on_data(
+                &RuleSet::from_rules(repaired),
+                1e-6,
+                self.cfg.rho_max,
+                &self.table,
+                &affected,
+            )?
+            .0
+        };
+
+        // Splice: healthy rules keep their statistics and memberships;
+        // the repaired rules are appended with fresh partition states.
+        let d = self.cfg.inputs.len();
+        let mut rules_v: Vec<Crr> = Vec::new();
+        let mut states: Vec<Vec<PartState>> = Vec::new();
+        let mut members: Vec<Vec<Vec<u32>>> = Vec::new();
+        for ri in 0..self.rules.len() {
+            if self.drifted[ri] {
+                continue;
+            }
+            rules_v.push(self.rules.rules()[ri].clone());
+            states.push(std::mem::take(&mut self.states[ri]));
+            members.push(std::mem::take(&mut self.members[ri]));
+        }
+        let kept_rules = rules_v.len();
+        for rule in merged.rules() {
+            let conjuncts = rule.condition().conjuncts();
+            states.push(
+                conjuncts
+                    .iter()
+                    .map(|c| PartState::new(rule, c, d))
+                    .collect(),
+            );
+            members.push(vec![Vec::new(); conjuncts.len()]);
+            rules_v.push(rule.clone());
+        }
+        self.rules = RuleSet::from_rules(rules_v);
+        self.states = states;
+        self.members = members;
+        self.drifted = vec![false; self.rules.len()];
+
+        // Route the affected rows through the repaired set with the
+        // monitor on — the exactness gate over everything repair touched.
+        // The guards make over-claiming structurally impossible for
+        // drifted-region rules, but the bounding-box guard on
+        // uncovered-append rules can still admit interior rows — anything
+        // the monitor catches flags its rule drifted for the next round.
+        // Only the repaired rules' partitions accumulate statistics and
+        // membership: the healthy rules already hold these rows.
+        let ids: Vec<u32> = affected.iter().map(|r| r as u32).collect();
+        let batch = self.gather(&ids);
+        let mut routed = self.route(&ids, true);
+        routed.buckets.retain(|&(ri, _), _| ri >= kept_rules);
+        self.apply_append(&batch, &routed);
+        for (&(ri, ci), rows) in &routed.claimed {
+            if ri >= kept_rules {
+                self.members[ri][ci].extend_from_slice(rows);
+            }
+        }
+        for &ri in &routed.violated_rules {
+            self.drifted[ri] = true;
+        }
+        self.uncovered.clear();
+        self.metrics
+            .add(Ctr::StreamDriftedRules, routed.violated_rules.len() as u64);
+        self.refresh_gauges();
+        let artifact = self.artifact()?;
+        self.metrics.record(Phase::StreamRepair, span);
+        Ok(RepairReport {
+            affected_rows: affected.len(),
+            kept_rules,
+            discovered_rules,
+            rules: self.rules.len(),
+            residual_violations: routed.violations,
+            uncoverable_rows: routed.uncovered.len(),
+            artifact,
+        })
+    }
+
+    /// Bundles the current rule set into a serialization-ready artifact
+    /// (no shard obligations — the maintainer is unsharded by design).
+    pub fn artifact(&self) -> Result<RuleSetArtifact> {
+        Ok(RuleSetArtifact::new(
+            self.table.schema().clone(),
+            self.rules.clone(),
+            None,
+        )?)
+    }
+
+    /// A per-attribute bounding box over `rows` for every attribute the
+    /// predicate space mentions — the guard for rules learned on uncovered
+    /// appends, which no prior condition describes. Attributes with
+    /// missing or non-numeric values in the region are left unconstrained
+    /// (a bound there would exclude region rows from their own repair).
+    fn bounding_guard(&self, rows: &RowSet) -> Option<Conjunction> {
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for p in self.space.predicates() {
+            if !attrs.contains(&p.attr) {
+                attrs.push(p.attr);
+            }
+        }
+        let mut preds = Vec::new();
+        for attr in attrs {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut complete = true;
+            for r in rows.iter() {
+                match self.table.value_f64(r, attr) {
+                    Some(v) if v.is_finite() => {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete && lo <= hi {
+                preds.push(Predicate::ge(attr, Value::Float(lo)));
+                preds.push(Predicate::le(attr, Value::Float(hi)));
+            }
+        }
+        if preds.is_empty() {
+            None
+        } else {
+            Some(Conjunction::of(preds))
+        }
+    }
+
+    /// Gathers batch-local columnar buffers for the configured inputs and
+    /// target over `ids`.
+    fn gather(&self, ids: &[u32]) -> BatchCols {
+        let d = self.cfg.inputs.len();
+        let mut cols = vec![vec![f64::NAN; ids.len()]; d];
+        let mut y = vec![f64::NAN; ids.len()];
+        let mut ready = vec![true; ids.len()];
+        let fill = |attr: AttrId, buf: &mut Vec<f64>, ready: &mut Vec<bool>| {
+            for (i, &r) in ids.iter().enumerate() {
+                match self.table.value_f64(r as usize, attr) {
+                    Some(v) if v.is_finite() => buf[i] = v,
+                    _ => ready[i] = false,
+                }
+            }
+        };
+        for (j, &attr) in self.cfg.inputs.iter().enumerate() {
+            fill(attr, &mut cols[j], &mut ready);
+        }
+        fill(self.cfg.target, &mut y, &mut ready);
+        BatchCols { cols, y, ready }
+    }
+
+    /// Routes `ids` through the interval index: buckets each fit-ready row
+    /// under its first matching conjunct per covering rule, and (when
+    /// `monitor` is set) residual-checks every covering rule at write
+    /// time. Pure reads — application happens in a second phase.
+    fn route(&self, ids: &[u32], monitor: bool) -> Routed {
+        let idx = RuleIndex::build(&self.rules, &self.table);
+        let batch = self.gather(ids);
+        let tol = self.opts.tolerance;
+        let mut out = Routed::default();
+        for (i, &r) in ids.iter().enumerate() {
+            let pairs = idx.covering(&self.table, r as usize);
+            if pairs.is_empty() {
+                out.uncovered.push(r);
+                continue;
+            }
+            let mut last_rule = usize::MAX;
+            for (ri, ci) in pairs {
+                if ri == last_rule {
+                    continue; // first matching conjunct per rule wins
+                }
+                last_rule = ri;
+                out.routed_pairs += 1;
+                out.claimed.entry((ri, ci)).or_default().push(r);
+                if batch.ready[i] {
+                    out.buckets.entry((ri, ci)).or_default().push(i as u32);
+                }
+                if !monitor {
+                    continue;
+                }
+                let rule = &self.rules.rules()[ri];
+                let (Some(pred), Some(actual)) = (
+                    rule.predict(&self.table, r as usize),
+                    self.table.value_f64(r as usize, rule.target()),
+                ) else {
+                    continue; // missing values are vacuously satisfied
+                };
+                if (actual - pred).abs() > rule.rho() + tol {
+                    out.violations += 1;
+                    if out.violated_rules.last() != Some(&ri) {
+                        out.violated_rules.push(ri);
+                    }
+                }
+            }
+        }
+        out.violated_rules.dedup();
+        out
+    }
+
+    /// Applies an append routing: each bucket's rows join its partition's
+    /// statistics in one batched accumulation. Returns the update count.
+    fn apply_append(&mut self, batch: &BatchCols, routed: &Routed) -> usize {
+        let cols: Vec<&[f64]> = batch.cols.iter().map(Vec::as_slice).collect();
+        let mut updates = 0;
+        for (&(ri, ci), idxs) in &routed.buckets {
+            if let Some(m) = self.states[ri][ci].moments.as_mut() {
+                m.add_rows(&cols, &batch.y, idxs);
+                updates += 1;
+            }
+        }
+        updates
+    }
+
+    /// Applies a delete routing: each bucket becomes a delta accumulation
+    /// subtracted from its partition's statistics. Returns the update
+    /// count.
+    fn apply_delete(&mut self, batch: &BatchCols, routed: &Routed) -> usize {
+        let cols: Vec<&[f64]> = batch.cols.iter().map(Vec::as_slice).collect();
+        let d = self.cfg.inputs.len();
+        let mut updates = 0;
+        for (&(ri, ci), idxs) in &routed.buckets {
+            if let Some(m) = self.states[ri][ci].moments.as_mut() {
+                let mut delta = Moments::zeros(d);
+                delta.add_rows(&cols, &batch.y, idxs);
+                m.subtract(&delta);
+                updates += 1;
+            }
+        }
+        updates
+    }
+
+    /// Rebuilds every partition's statistics and membership list from the
+    /// live relation (used once, at construction), clearing drift flags
+    /// and the uncovered queue. The rebuild routes every live row with the
+    /// write-time monitor on, so it doubles as a relation-wide residual
+    /// audit of the current rule set: rules caught violating are flagged
+    /// drifted immediately.
+    fn rebuild_states(&mut self) {
+        let d = self.cfg.inputs.len();
+        self.states = self
+            .rules
+            .rules()
+            .iter()
+            .map(|rule| {
+                rule.condition()
+                    .conjuncts()
+                    .iter()
+                    .map(|conj| PartState::new(rule, conj, d))
+                    .collect()
+            })
+            .collect();
+        self.members = self
+            .rules
+            .rules()
+            .iter()
+            .map(|rule| vec![Vec::new(); rule.condition().conjuncts().len()])
+            .collect();
+        self.drifted = vec![false; self.rules.len()];
+        let ids: Vec<u32> = (0..self.table.num_rows() as u32)
+            .filter(|&r| self.live[r as usize])
+            .collect();
+        let batch = self.gather(&ids);
+        let routed = self.route(&ids, true);
+        self.apply_append(&batch, &routed);
+        for (&(ri, ci), rows) in &routed.claimed {
+            self.members[ri][ci].extend_from_slice(rows);
+        }
+        for &ri in &routed.violated_rules {
+            self.drifted[ri] = true;
+        }
+        // Rows no rule covers at (re)build time are uncoverable baseline
+        // rows, not a repair obligation — discovery already covered every
+        // coverable row, so what remains has null condition attributes.
+        self.uncovered.clear();
+        self.refresh_gauges();
+    }
+
+    /// Worst recomputed-bias / declared-ρ ratio across tracked partitions.
+    fn max_drift_ratio(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for (ri, rule) in self.rules.rules().iter().enumerate() {
+            let Some(bias) = self.residual_bias(ri) else {
+                continue;
+            };
+            let floor = rule.rho().max(self.opts.tolerance).max(f64::MIN_POSITIVE);
+            worst = worst.max(bias / floor);
+        }
+        worst
+    }
+
+    /// Re-derives each rule's residual bias from its maintained moments,
+    /// flags rules whose bias exceeds `ρ + tolerance`, merges in monitor
+    /// hits, and refreshes the gauges. Returns the newly drifted rules.
+    fn refresh_drift(&mut self, monitor_hits: &[usize]) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for ri in 0..self.rules.len() {
+            let was = self.drifted[ri];
+            let mut now = was || monitor_hits.contains(&ri);
+            if !now {
+                if let Some(bias) = self.residual_bias(ri) {
+                    let rho = self.rules.rules()[ri].rho();
+                    now = bias > rho + self.opts.tolerance;
+                }
+            }
+            if now && !was {
+                newly.push(ri);
+            }
+            self.drifted[ri] = now;
+        }
+        // Monitor hits flagged before this call also count as new.
+        for &ri in monitor_hits {
+            if !newly.contains(&ri) {
+                newly.push(ri);
+            }
+        }
+        newly.sort_unstable();
+        newly.dedup();
+        newly.retain(|&ri| self.drifted[ri]);
+        self.metrics
+            .add(Ctr::StreamDriftedRules, newly.len() as u64);
+        self.refresh_gauges();
+        newly
+    }
+
+    /// Publishes the live gauges.
+    fn refresh_gauges(&self) {
+        self.metrics
+            .set_gauge(Gauge::StreamLiveRows, self.live_count as u64);
+        self.metrics
+            .set_gauge(Gauge::StreamTrackedRules, self.rules.len() as u64);
+        self.metrics.set_gauge(
+            Gauge::StreamDriftedNow,
+            self.drifted.iter().filter(|&&d| d).count() as u64,
+        );
+        let permille = (self.max_drift_ratio() * 1000.0).min(u64::MAX as f64) as u64;
+        self.metrics
+            .set_gauge(Gauge::StreamMaxDriftPermille, permille);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crr_data::{AttrType, Schema};
+    use crr_discovery::PredicateGen;
+
+    fn seed(n: usize) -> (Table, DiscoveryConfig, PredicateSpace) {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let x = i as f64;
+            t.push_row(vec![Value::Float(x), Value::Float(2.0 * x + 1.0)])
+                .unwrap();
+        }
+        let (x, y) = (t.attr("x").unwrap(), t.attr("y").unwrap());
+        let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+        let cfg = DiscoveryConfig::new(vec![x], y, 0.25);
+        (t, cfg, space)
+    }
+
+    fn engine(n: usize) -> StreamEngine {
+        let (t, cfg, space) = seed(n);
+        let rules = DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone())
+            .run()
+            .unwrap()
+            .rules;
+        StreamEngine::new(t, rules, cfg, space, StreamConfig::default()).unwrap()
+    }
+
+    fn row(x: f64, y: f64) -> Vec<Value> {
+        vec![Value::Float(x), Value::Float(y)]
+    }
+
+    #[test]
+    fn in_distribution_appends_do_not_drift() {
+        let mut e = engine(160);
+        let batch: Vec<Vec<Value>> = (160..200)
+            .map(|i| row(i as f64, 2.0 * i as f64 + 1.0))
+            .collect();
+        let out = e.append(&batch).unwrap();
+        assert_eq!(out.appended, 40);
+        assert_eq!(out.violations, 0);
+        assert!(out.newly_drifted.is_empty());
+        assert_eq!(e.live_count(), 200);
+        // Appends past the last interval may be uncovered; everything in
+        // range must be routed.
+        assert!(out.routed_pairs + out.uncovered >= 40);
+        let d = e.drift();
+        assert!(d.drifted.is_empty());
+        assert!(d.max_drift_ratio < 1.0, "ratio {}", d.max_drift_ratio);
+    }
+
+    #[test]
+    fn corrupt_appends_trip_the_write_time_monitor() {
+        let mut e = engine(160);
+        // In-range x, wildly wrong y: violates the covering rule.
+        let out = e.append(&[row(50.0, 500.0)]).unwrap();
+        assert!(out.violations >= 1, "monitor saw {}", out.violations);
+        assert!(!out.newly_drifted.is_empty());
+        assert!(e.needs_repair());
+    }
+
+    #[test]
+    fn append_then_delete_restores_statistics_exactly() {
+        let mut e = engine(120);
+        let before: Vec<Option<Moments>> = e
+            .states
+            .iter()
+            .flatten()
+            .map(|p| p.moments.clone())
+            .collect();
+        // Integer-valued data keeps every partial sum representable, so
+        // subtraction reverses accumulation bit-exactly.
+        let batch: Vec<Vec<Value>> = (0..30)
+            .map(|i| row(i as f64, 2.0 * i as f64 + 1.0))
+            .collect();
+        let start = e.table().num_rows();
+        e.append(&batch).unwrap();
+        let ids: Vec<usize> = (start..start + 30).collect();
+        e.delete(&ids).unwrap();
+        let after: Vec<Option<Moments>> = e
+            .states
+            .iter()
+            .flatten()
+            .map(|p| p.moments.clone())
+            .collect();
+        assert_eq!(before, after);
+        assert_eq!(e.live_count(), 120);
+    }
+
+    #[test]
+    fn delete_of_dead_or_out_of_range_rows_is_a_typed_error() {
+        let mut e = engine(60);
+        assert!(matches!(
+            e.delete(&[1_000_000]),
+            Err(StreamError::Mismatch(_))
+        ));
+        e.delete(&[5]).unwrap();
+        assert!(matches!(e.delete(&[5]), Err(StreamError::Mismatch(_))));
+    }
+
+    #[test]
+    fn repair_after_regime_change_covers_and_cleans() {
+        let mut e = engine(160);
+        // A new regime: same x range extension with a different slope —
+        // appended rows are either uncovered or violate covering rules.
+        let batch: Vec<Vec<Value>> = (160..240).map(|i| row(i as f64, 5.0 * i as f64)).collect();
+        e.append(&batch).unwrap();
+        assert!(e.needs_repair());
+        let report = e.repair().unwrap();
+        assert!(report.affected_rows > 0);
+        assert!(report.rules > 0);
+        assert_eq!(
+            report.residual_violations, 0,
+            "repair must clean the relation"
+        );
+        assert_eq!(report.uncoverable_rows, 0);
+        assert!(!e.needs_repair());
+        // The repaired artifact passes the static verifier.
+        let a = &report.artifact;
+        let analysis = crr_analyze::analyze(&a.rules, a.obligations.as_ref());
+        assert!(analysis.is_sound(), "{analysis:?}");
+        // And the artifact round-trips through the text format.
+        let text = a.to_text();
+        let back = RuleSetArtifact::from_text(&text).unwrap();
+        assert_eq!(back.rules.len(), a.rules.len());
+    }
+
+    #[test]
+    fn repair_without_drift_reexports_unchanged() {
+        let mut e = engine(120);
+        let before = e.rules().len();
+        let report = e.repair().unwrap();
+        assert_eq!(report.affected_rows, 0);
+        assert_eq!(report.discovered_rules, 0);
+        assert_eq!(report.kept_rules, before);
+        assert_eq!(report.residual_violations, 0);
+    }
+
+    #[test]
+    fn null_and_nan_rows_route_but_never_touch_moments() {
+        let mut e = engine(120);
+        let counts: Vec<usize> = e
+            .states
+            .iter()
+            .flatten()
+            .filter_map(|p| p.moments.as_ref().map(Moments::count))
+            .collect();
+        let out = e
+            .append(&[
+                vec![Value::Null, Value::Float(3.0)],
+                vec![Value::Float(50.0), Value::Null],
+                vec![Value::Float(f64::NAN), Value::Float(1.0)],
+                vec![Value::Float(51.0), Value::Float(f64::NAN)],
+            ])
+            .unwrap();
+        assert_eq!(out.violations, 0, "missing values are vacuously satisfied");
+        let after: Vec<usize> = e
+            .states
+            .iter()
+            .flatten()
+            .filter_map(|p| p.moments.as_ref().map(Moments::count))
+            .collect();
+        assert_eq!(counts, after, "no fit-ready row, no accumulation");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Appending a batch and deleting it again restores every
+            /// partition's maintained statistics *bit*-exactly — including
+            /// batches with null and NaN cells, which route but never touch
+            /// any `Moments`. Integer-valued cells keep every partial sum
+            /// representable in f64, so `subtract` reverses `add_rows`
+            /// without rounding.
+            #[test]
+            fn append_then_delete_is_bit_exact_under_nulls(
+                batch in prop::collection::vec((0i32..200, -400i32..400, 0u8..10), 1..40),
+            ) {
+                let mut e = engine(100);
+                let before: Vec<Option<Moments>> =
+                    e.states.iter().flatten().map(|p| p.moments.clone()).collect();
+                let rows: Vec<Vec<Value>> = batch
+                    .iter()
+                    .map(|&(x, y, kind)| {
+                        let xv = match kind {
+                            0 => Value::Null,
+                            1 => Value::Float(f64::NAN),
+                            _ => Value::Float(f64::from(x)),
+                        };
+                        let yv = match kind {
+                            2 => Value::Null,
+                            3 => Value::Float(f64::NAN),
+                            _ => Value::Float(f64::from(y)),
+                        };
+                        vec![xv, yv]
+                    })
+                    .collect();
+                let start = e.table().num_rows();
+                e.append(&rows).unwrap();
+                let ids: Vec<usize> = (start..start + rows.len()).collect();
+                e.delete(&ids).unwrap();
+                let after: Vec<Option<Moments>> =
+                    e.states.iter().flatten().map(|p| p.moments.clone()).collect();
+                // Debug renders f64 at round-trip precision, so equal
+                // strings mean bit-identical statistics.
+                prop_assert_eq!(format!("{before:?}"), format!("{after:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_metrics_are_recorded() {
+        let sink = MetricsSink::enabled();
+        let (t, cfg, space) = seed(160);
+        let rules = DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone())
+            .run()
+            .unwrap()
+            .rules;
+        let mut e = StreamEngine::new(
+            t,
+            rules,
+            cfg,
+            space,
+            StreamConfig::default().with_metrics(sink.clone()),
+        )
+        .unwrap();
+        let batch: Vec<Vec<Value>> = (160..180)
+            .map(|i| row(i as f64, 2.0 * i as f64 + 1.0))
+            .collect();
+        e.append(&batch).unwrap();
+        e.delete(&[0, 1]).unwrap();
+        let snap = sink.snapshot();
+        assert_eq!(snap.count("stream", "batches"), Some(2));
+        assert_eq!(snap.count("stream", "append_rows"), Some(20));
+        assert_eq!(snap.count("stream", "delete_rows"), Some(2));
+        assert!(snap.count("stream", "routed_pairs").unwrap() > 0);
+        assert!(snap.count("stream", "moments_updates").unwrap() > 0);
+        assert_eq!(snap.count("stream", "live_rows"), Some(178));
+        assert!(snap.secs("phases", "stream_apply_secs").unwrap() > 0.0);
+    }
+}

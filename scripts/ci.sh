@@ -21,6 +21,13 @@ echo "==> cargo doc --workspace --no-deps (broken intra-doc links are errors)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" \
   cargo doc --workspace --no-deps --quiet
 
+echo "==> rustdoc missing-docs wall (crr-core, crr-discovery, crr-stream)"
+# The API-bearing crates additionally deny undocumented public items: a
+# new pub fn without a doc comment fails the build here. (Workspace-wide
+# this would punish the harness crates, so the wall is targeted.)
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links -D missing-docs" \
+  cargo doc -p crr-core -p crr-discovery -p crr-stream --no-deps --quiet
+
 echo "==> criterion smoke (perf_fit_engine + perf_scan_kernels compile and run)"
 # The shimmed criterion takes a fast bounded pass (small sample budgets);
 # this catches bit-rot in the tracked benchmark harness without paying
@@ -39,7 +46,8 @@ BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
 ANALYSIS_TMP="$(mktemp /tmp/analysis_smoke.XXXXXX.json)"
 SERVING_TMP="$(mktemp /tmp/serving_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP"' EXIT
+STREAM_TMP="$(mktemp /tmp/stream_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP" "$STREAM_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
@@ -79,6 +87,22 @@ cargo run -q -p crr-bench --bin experiments -- \
 cargo run -q -p crr-bench --bin experiments -- --check-serving "$SERVING_TMP"
 if [ -f BENCH_serving.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check-serving BENCH_serving.json
+fi
+
+echo "==> streaming maintenance smoke: incremental vs full rediscovery"
+# Tiny-scale maintenance race: append a tail through a crr-stream
+# maintainer (route + delta + monitor + repair), verify the repaired
+# artifact is sound and hot-swaps into a live server byte-identically,
+# and race it against full rediscovery. The emitter asserts in-process
+# that repair leaves no residual violations; --check-stream re-applies
+# the shape/consistency gates to the file, and to the committed
+# full-scale artifact — where the electricity cell at gate scale must
+# also clear the 5x incremental-speedup floor.
+cargo run -q -p crr-bench --bin experiments -- \
+  --scale 0.05 --stream-json "$STREAM_TMP" stream >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --check-stream "$STREAM_TMP"
+if [ -f BENCH_stream.json ]; then
+  cargo run -q -p crr-bench --bin experiments -- --check-stream BENCH_stream.json
 fi
 
 echo "CI OK"

@@ -18,6 +18,9 @@
 //! * [`baselines`] — every comparator of the paper's evaluation;
 //! * [`datasets`] — seeded generators for the five evaluation datasets;
 //! * [`impute`] — the downstream missing-data imputation application;
+//! * [`analyze`] — the static rule-set verifier (soundness checks);
+//! * [`serve`] — the hardened rule-serving runtime;
+//! * [`stream`] — streaming incremental rule maintenance;
 //! * [`linalg`] — the small dense linear-algebra layer underneath.
 //!
 //! # Quickstart
@@ -48,6 +51,7 @@
 
 #![deny(unsafe_code)]
 
+pub use crr_analyze as analyze;
 pub use crr_baselines as baselines;
 pub use crr_core as core;
 pub use crr_data as data;
@@ -56,6 +60,8 @@ pub use crr_discovery as discovery;
 pub use crr_impute as impute;
 pub use crr_linalg as linalg;
 pub use crr_models as models;
+pub use crr_serve as serve;
+pub use crr_stream as stream;
 
 /// The names most applications need, in one import.
 pub mod prelude {
