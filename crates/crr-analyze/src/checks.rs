@@ -169,15 +169,24 @@ impl<'a> Pass<'a> {
     /// * *disjointness* — conjoining two shards' guards is provably
     ///   unsatisfiable, pairwise;
     /// * *coverage* — some shard is unbounded below and some unbounded
-    ///   above, and a `NOT NULL` guard only appears when a null-regime
-    ///   shard exists (a plan legitimately omits the null shard when the
-    ///   instance has no null keys, so a merely-absent null shard is not
-    ///   a finding);
+    ///   above, the interval bounds form one contiguous half-open chain
+    ///   (each shard's upper bound meets the next shard's lower bound —
+    ///   both the equal-width and the quantile planner emit exactly this
+    ///   shape, so a gap like `[.., 10) / [20, ..)` is a planner or
+    ///   tamper bug the open-ends test alone cannot see), and a
+    ///   `NOT NULL` guard only appears when a null-regime shard exists
+    ///   (a plan legitimately omits the null shard when the instance has
+    ///   no null keys, so a merely-absent null shard is not a finding);
     /// * *confinement* — with ≥ 2 shards, every conjunct of every rule
     ///   provably implies some shard's guard conjunction. A merged rule
     ///   whose conjunct is confined to no shard would answer for rows of
     ///   other shards — exactly the pre-fix null-shard bug where
     ///   null-key rules lost their `IS NULL` guard.
+    ///
+    /// The checks are construction-agnostic: quantile-derived boundaries
+    /// and plans executed with work stealing discharge the identical
+    /// obligations (the recorded [`ProofObligations::boundary`] is
+    /// provenance, not a relaxation).
     pub(crate) fn check_guards(&mut self, ob: &ProofObligations) {
         self.counters.shards = ob.guards.len() as u64;
         // Exactness.
@@ -239,6 +248,39 @@ impl<'a> Pass<'a> {
                     "no shard is unbounded above: keys over the largest bound are uncovered"
                         .to_string(),
                 );
+            }
+        }
+        // Chain contiguity: sorted by lower bound, each interval's upper
+        // bound must equal the next interval's lower bound. A gap leaves
+        // keys between the bounds uncovered even when both open ends
+        // exist and every pair is disjoint.
+        if interval.len() >= 2 {
+            let mut chain = interval.clone();
+            chain.sort_by(|a, b| match (a.bounds.lo, b.bounds.lo) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(p), Some(q)) => p.total_cmp(&q),
+            });
+            for w in chain.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let meets = match (a.bounds.hi, b.bounds.lo) {
+                    (Some(hi), Some(lo)) => hi == lo,
+                    _ => false,
+                };
+                if !meets {
+                    self.push(
+                        Check::GuardSoundness,
+                        Severity::Unsound,
+                        None,
+                        Some(b.shard_id),
+                        format!(
+                            "interval chain breaks between shard {} and shard {}: upper \
+                             bound {:?} does not meet the next lower bound {:?}",
+                            a.shard_id, b.shard_id, a.bounds.hi, b.bounds.lo
+                        ),
+                    );
+                }
             }
         }
         let has_null_shard = ob.guards.iter().any(|g| g.bounds.null_keys);

@@ -123,7 +123,7 @@ mod tests {
     use super::*;
     use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
     use crr_data::{AttrId, ShardBounds, Value};
-    use crr_discovery::{guard_predicates, ProofObligations, ShardGuard};
+    use crr_discovery::{guard_predicates, PlanBoundary, ProofObligations, ShardGuard};
     use crr_models::{ConstantModel, LinearModel, Model, Translation};
     use std::sync::Arc;
 
@@ -166,10 +166,12 @@ mod tests {
         }
     }
 
-    /// A canonical two-interval + null-shard obligation set.
+    /// A canonical two-interval + null-shard obligation set. Tagged
+    /// quantile: data-derived boundaries discharge the same checks.
     fn obligations() -> ProofObligations {
         ProofObligations {
             shard_key: x(),
+            boundary: PlanBoundary::Quantile,
             guards: vec![
                 guard(0, bounds(None, Some(10.0), false)),
                 guard(1, bounds(Some(10.0), None, false)),
@@ -307,6 +309,7 @@ mod tests {
     fn overlapping_shards_break_disjointness() {
         let ob = ProofObligations {
             shard_key: x(),
+            boundary: PlanBoundary::EqualWidth,
             guards: vec![
                 guard(0, bounds(None, Some(10.0), false)),
                 guard(1, bounds(Some(5.0), None, false)), // overlaps [5, 10)
@@ -324,6 +327,7 @@ mod tests {
     fn missing_open_ends_are_uncovered() {
         let ob = ProofObligations {
             shard_key: x(),
+            boundary: PlanBoundary::EqualWidth,
             guards: vec![
                 guard(0, bounds(Some(0.0), Some(10.0), false)),
                 guard(1, bounds(Some(10.0), Some(20.0), false)),
@@ -343,9 +347,36 @@ mod tests {
     }
 
     #[test]
+    fn interval_gap_breaks_the_chain() {
+        // Both open ends exist and every pair is disjoint, yet keys in
+        // [10, 20) are covered by no shard: only the chain check sees it.
+        let ob = ProofObligations {
+            shard_key: x(),
+            boundary: PlanBoundary::Quantile,
+            guards: vec![
+                guard(0, bounds(None, Some(10.0), false)),
+                guard(1, bounds(Some(20.0), None, false)),
+            ],
+        };
+        let rules = RuleSet::new();
+        let report = analyze(&rules, Some(&ob));
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::GuardSoundness
+                && f.severity == Severity::Unsound
+                && f.message.contains("chain breaks")));
+        // The canonical contiguous set stays clean.
+        let clean = analyze(&rules, Some(&obligations()));
+        assert!(clean.is_sound(), "{:?}", clean.findings);
+    }
+
+    #[test]
     fn not_null_guard_without_null_shard_is_unsound() {
         let ob = ProofObligations {
             shard_key: x(),
+            boundary: PlanBoundary::EqualWidth,
             guards: vec![
                 guard(0, bounds(None, None, false)), // NOT NULL guard
                 guard(1, bounds(None, Some(0.0), false)),

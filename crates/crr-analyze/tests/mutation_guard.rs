@@ -10,7 +10,7 @@ use crr_analyze::{analyze, analyze_discovery, Check, Severity};
 use crr_core::Op;
 use crr_data::{AttrType, Schema, Table, Value};
 use crr_discovery::{
-    DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, ShardPlan, ShardedDiscovery,
+    DiscoveryConfig, DiscoverySession, PredicateGen, PredicateSpace, ShardSpec, ShardedDiscovery,
 };
 
 /// A table whose shard key `k` is null on every 6th row, with the
@@ -46,7 +46,7 @@ fn sharded_run() -> ShardedDiscovery {
     DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(k, 2))
+        .sharded(ShardSpec::by_key(k).equal_width().shards(2))
         .run()
         .unwrap()
 }

@@ -18,8 +18,16 @@ pub use crr_obs::json::{parse, Json};
 /// v2 added the `sharded` section and the `sharded` engine label; v3 added
 /// the `interpreted` engine label (moments engine under the interpreted
 /// scan kernel, required at every (dataset, size) cell with results
-/// byte-equal to the `moments` cell) and the per-kernel `kernels` array.
-pub const SCHEMA: &str = "crr-bench-discovery-v3";
+/// byte-equal to the `moments` cell) and the per-kernel `kernels` array;
+/// v4 added the `boundary` and `balance_permille` fields on sharded cells
+/// (equal-width vs quantile shard planning, both required per dataset,
+/// each with its plan's min/max shard-size balance).
+pub const SCHEMA: &str = "crr-bench-discovery-v4";
+
+/// Boundary labels a sharded cell may carry; every dataset must measure
+/// both, so the adaptive (quantile) planner is always benchmarked against
+/// the equal-width geometry it replaced as the default.
+pub const BOUNDARY_CELLS: [&str; 2] = ["equal_width", "quantile"];
 
 /// Kernel labels the `kernels` array may carry; all three must appear.
 pub const KERNEL_CELLS: [&str; 3] = ["predicate_scan", "gram_accumulate", "end_to_end"];
@@ -69,6 +77,14 @@ pub struct ShardedEntry {
     pub rows: usize,
     /// Shard count of the sharded run (≥ 2).
     pub shards: usize,
+    /// Boundary placement of the shard plan: `equal_width` or `quantile`.
+    pub boundary: String,
+    /// Shard balance of the plan's interval shards, min/max row count in
+    /// permille (1000 = perfectly even). This is the geometry the
+    /// boundary choice controls: on a single-core host the wall-clock
+    /// ratio measures total work, so balance is where a quantile plan's
+    /// advantage on a skewed key is visible and gated.
+    pub balance_permille: u64,
     /// Single-shard (whole-instance) time, seconds.
     pub single_secs: f64,
     /// N-shard time including the Algorithm 2 merge, seconds.
@@ -164,11 +180,14 @@ pub fn render(report: &BenchReport) -> String {
         };
         let _ = writeln!(
             out,
-            "    {{\"dataset\": \"{}\", \"rows\": {}, \"shards\": {}, \
-             \"single_secs\": {}, \"sharded_secs\": {}, \"ratio\": {}}}{comma}",
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"shards\": {}, \"boundary\": \"{}\", \
+             \"balance_permille\": {}, \"single_secs\": {}, \"sharded_secs\": {}, \
+             \"ratio\": {}}}{comma}",
             esc(&s.dataset),
             s.rows,
             s.shards,
+            esc(&s.boundary),
+            s.balance_permille,
             num(s.single_secs),
             num(s.sharded_secs),
             num(s.ratio),
@@ -230,9 +249,10 @@ fn str_key<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
 /// trained-model count and RMSE as the `moments` cell — the compiled
 /// kernels must be a pure accelerator, never a semantic change; a
 /// non-empty `speedup` array with finite, positive ratios; a non-empty
-/// `sharded` array whose cells have ≥ 2 shards and positive timings; and a
-/// non-empty `kernels` array covering all of [`KERNEL_CELLS`] with
-/// positive throughputs.
+/// `sharded` array whose cells have ≥ 2 shards, positive timings and a
+/// boundary label from [`BOUNDARY_CELLS`], with both boundaries measured
+/// for every sharded dataset; and a non-empty `kernels` array covering
+/// all of [`KERNEL_CELLS`] with positive throughputs.
 pub fn validate(text: &str) -> Result<String, String> {
     let doc = parse(text)?;
     let schema = str_key(&doc, "schema", "document")?;
@@ -338,13 +358,24 @@ pub fn validate(text: &str) -> Result<String, String> {
     if sharded.is_empty() {
         return Err("'sharded' is empty".to_string());
     }
+    let mut sharded_cells: Vec<(String, String)> = Vec::new();
     for (i, s) in sharded.iter().enumerate() {
         let ctx = format!("sharded[{i}]");
-        str_key(s, "dataset", &ctx)?;
+        let dataset = str_key(s, "dataset", &ctx)?.to_string();
         finite_num(s, "rows", &ctx)?;
         let k = finite_num(s, "shards", &ctx)?;
         if k < 2.0 || k.fract() != 0.0 {
             return Err(format!("{ctx}: 'shards' must be an integer >= 2 (got {k})"));
+        }
+        let boundary = str_key(s, "boundary", &ctx)?.to_string();
+        if !BOUNDARY_CELLS.contains(&boundary.as_str()) {
+            return Err(format!("{ctx}: unknown boundary '{boundary}'"));
+        }
+        let balance = finite_num(s, "balance_permille", &ctx)?;
+        if !(1.0..=1000.0).contains(&balance) || balance.fract() != 0.0 {
+            return Err(format!(
+                "{ctx}: 'balance_permille' must be an integer in 1..=1000 (got {balance})"
+            ));
         }
         if finite_num(s, "single_secs", &ctx)? <= 0.0 {
             return Err(format!("{ctx}: non-positive single_secs"));
@@ -355,6 +386,29 @@ pub fn validate(text: &str) -> Result<String, String> {
         let ratio = finite_num(s, "ratio", &ctx)?;
         if ratio <= 0.0 {
             return Err(format!("{ctx}: non-positive ratio {ratio}"));
+        }
+        if !sharded_cells.contains(&(dataset.clone(), boundary.clone())) {
+            sharded_cells.push((dataset, boundary));
+        }
+    }
+    // Every sharded dataset must measure both boundary placements, so the
+    // adaptive plan always has its equal-width baseline next to it.
+    let sharded_datasets: Vec<&str> = {
+        let mut ds: Vec<&str> = Vec::new();
+        for (d, _) in &sharded_cells {
+            if !ds.contains(&d.as_str()) {
+                ds.push(d);
+            }
+        }
+        ds
+    };
+    for d in &sharded_datasets {
+        for want in BOUNDARY_CELLS {
+            if !sharded_cells.iter().any(|(sd, b)| sd == d && b == want) {
+                return Err(format!(
+                    "sharded dataset '{d}': boundary '{want}' never measured"
+                ));
+            }
         }
     }
     let kernels = doc
@@ -425,14 +479,18 @@ mod tests {
                     ratio: 1.5,
                 });
             }
-            report.sharded.push(ShardedEntry {
-                dataset: dataset.into(),
-                rows: 2000,
-                shards: 4,
-                single_secs: 0.4,
-                sharded_secs: 0.2,
-                ratio: 2.0,
-            });
+            for boundary in BOUNDARY_CELLS {
+                report.sharded.push(ShardedEntry {
+                    dataset: dataset.into(),
+                    rows: 2000,
+                    shards: 4,
+                    boundary: boundary.into(),
+                    balance_permille: if boundary == "quantile" { 980 } else { 410 },
+                    single_secs: 0.4,
+                    sharded_secs: 0.2,
+                    ratio: 2.0,
+                });
+            }
             for kernel in KERNEL_CELLS {
                 report.kernels.push(KernelEntry {
                     dataset: dataset.into(),
@@ -527,6 +585,37 @@ mod tests {
         report.sharded[0].shards = 1;
         let err = validate(&render(&report)).expect_err("1 shard is not a sharded cell");
         assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn sharded_boundary_labels_are_required_and_checked() {
+        let mut report = sample();
+        report.sharded[0].boundary = "fibonacci".into();
+        let err = validate(&render(&report)).expect_err("unknown boundary must fail");
+        assert!(err.contains("fibonacci"), "{err}");
+
+        let mut report = sample();
+        report.sharded.retain(|s| s.boundary != "quantile");
+        let err = validate(&render(&report)).expect_err("missing quantile cell must fail");
+        assert!(err.contains("quantile"), "{err}");
+
+        let mut report = sample();
+        report.sharded.retain(|s| s.boundary != "equal_width");
+        let err = validate(&render(&report)).expect_err("missing equal-width cell must fail");
+        assert!(err.contains("equal_width"), "{err}");
+    }
+
+    #[test]
+    fn sharded_balance_must_be_a_permille() {
+        let mut report = sample();
+        report.sharded[0].balance_permille = 0;
+        let err = validate(&render(&report)).expect_err("zero balance must fail");
+        assert!(err.contains("balance_permille"), "{err}");
+
+        let mut report = sample();
+        report.sharded[0].balance_permille = 1001;
+        let err = validate(&render(&report)).expect_err("balance above 1000 must fail");
+        assert!(err.contains("balance_permille"), "{err}");
     }
 
     #[test]

@@ -18,18 +18,23 @@
 //! ```text
 //! cargo run --release -p crr-bench --bin experiments -- bench
 //! cargo run --release -p crr-bench --bin experiments -- --bench-json out.json bench
-//! cargo run --release -p crr-bench --bin experiments -- --check-bench BENCH_discovery.json
+//! cargo run --release -p crr-bench --bin experiments -- --check BENCH_discovery.json
 //! ```
 //!
 //! `bench` times discovery with the sufficient-statistics fit engine
 //! against the row-rescan baseline on Electricity and Tax at three sizes
-//! each, plus a sharded cell per dataset at the largest size (1-shard
-//! baseline vs `--shards N` key-range shards, default 4, through the
-//! cross-shard model pool and the Algorithm 2 merge), and writes the
-//! result to `BENCH_discovery.json` (or the `--bench-json` path).
-//! `--check-bench` re-parses a previously written file and fails the
-//! process unless it is complete and finite — the CI gate for the tracked
-//! benchmark.
+//! each, plus sharded cells per dataset at the largest size (1-shard
+//! baseline vs `--shards N` key-range shards, default 4, under both
+//! equal-width and quantile boundary placement, through the cross-shard
+//! model pool and the Algorithm 2 merge), and writes the result to
+//! `BENCH_discovery.json` (or the `--bench-json` path).
+//!
+//! `--check <path>` re-parses any previously written tracked artifact and
+//! fails the process unless it is complete and finite — the CI gate. The
+//! file's own `schema` tag picks the validator, so one flag covers every
+//! artifact; the legacy spellings (`--check-bench`, `--check-metrics`,
+//! `--check-analysis`, `--check-serving`, `--check-stream`) remain as
+//! aliases that force the artifact kind instead of sniffing it.
 //!
 //! Observability artifacts ride along:
 //!
@@ -111,7 +116,7 @@
 use crr_baselines::{RegTree, RegTreeConfig};
 use crr_bench::*;
 use crr_core::LocateStrategy;
-use crr_data::{RowSet, ShardPlan, Table};
+use crr_data::{RowSet, ShardSpec, Table};
 use crr_datasets::{abalone, airquality, birdmap, electricity, paper_sizes, tax, GenConfig};
 use crr_discovery::{
     compact_on_data, DiscoveryConfig, DiscoveryError, DiscoverySession, FitEngine, PredicateGen,
@@ -137,6 +142,65 @@ fn run_discovery(
         .run()
 }
 
+/// `--check <path>`: one gate for every tracked artifact. The file's own
+/// `schema` tag picks the validator; the legacy per-artifact spellings
+/// (`--check-bench`, `--check-metrics`, `--check-analysis`,
+/// `--check-serving`, `--check-stream`) force `kind` instead of sniffing,
+/// so a mislabeled file can't dodge its intended gate.
+///
+/// Prints the validator's summary and returns on success; prints the first
+/// violation and exits non-zero otherwise.
+fn check_artifact(path: &str, kind: Option<&str>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let sniffed;
+    let kind = match kind {
+        Some(k) => k,
+        None => {
+            let schema = bench_json::parse(&text)
+                .ok()
+                .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+            sniffed = schema;
+            match sniffed.as_deref() {
+                Some(s) if s.starts_with("crr-bench-discovery-") => "bench",
+                Some(s) if s.starts_with("crr-metrics-") => "metrics",
+                Some(s) if s.starts_with("crr-analysis-") => "analysis",
+                Some(s) if s.starts_with("crr-serving-") => "serving",
+                Some(s) if s.starts_with("crr-stream-") => "stream",
+                Some(s) => {
+                    eprintln!("{path}: INVALID: unrecognized artifact schema '{s}'");
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!(
+                        "{path}: INVALID: no 'schema' tag to dispatch on \
+                         (is this a tracked artifact?)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    let result = match kind {
+        "bench" => bench_json::validate(&text),
+        "metrics" => metrics_json::validate(&text),
+        "analysis" => analysis_json::validate(&text),
+        "serving" => serving_json::validate(&text),
+        "stream" => stream_json::validate(&text),
+        other => unreachable!("unknown artifact kind '{other}'"),
+    };
+    match result {
+        Ok(summary) => println!("{path}: {summary}"),
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            eprintln!(
+                "(the expected layout is documented in EXPERIMENTS.md, \
+                 section \"Benchmark artifact schemas\")"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
@@ -154,112 +218,47 @@ fn main() {
             "--bench-json" => {
                 bench_json_path = it.next().expect("--bench-json needs a path").clone();
             }
+            "--check" => {
+                let path = it.next().expect("--check needs an artifact path");
+                check_artifact(path, None);
+                return;
+            }
             "--check-bench" => {
                 let path = it.next().expect("--check-bench needs a path");
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                match bench_json::validate(&text) {
-                    Ok(summary) => {
-                        println!("{path}: {summary}");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID: {e}");
-                        eprintln!(
-                            "(the expected layout is documented in EXPERIMENTS.md, \
-                             section \"Benchmark artifact schemas\")"
-                        );
-                        std::process::exit(1);
-                    }
-                }
+                check_artifact(path, Some("bench"));
+                return;
             }
             "--analysis-json" => {
                 analysis_json_path = it.next().expect("--analysis-json needs a path").clone();
             }
             "--check-analysis" => {
                 let path = it.next().expect("--check-analysis needs a path");
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                match analysis_json::validate(&text) {
-                    Ok(summary) => {
-                        println!("{path}: {summary}");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID: {e}");
-                        eprintln!(
-                            "(the expected layout is documented in EXPERIMENTS.md, \
-                             section \"Benchmark artifact schemas\")"
-                        );
-                        std::process::exit(1);
-                    }
-                }
+                check_artifact(path, Some("analysis"));
+                return;
             }
             "--serving-json" => {
                 serving_json_path = it.next().expect("--serving-json needs a path").clone();
             }
             "--check-serving" => {
                 let path = it.next().expect("--check-serving needs a path");
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                match serving_json::validate(&text) {
-                    Ok(summary) => {
-                        println!("{path}: {summary}");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID: {e}");
-                        eprintln!(
-                            "(the expected layout is documented in EXPERIMENTS.md, \
-                             section \"Benchmark artifact schemas\")"
-                        );
-                        std::process::exit(1);
-                    }
-                }
+                check_artifact(path, Some("serving"));
+                return;
             }
             "--stream-json" => {
                 stream_json_path = it.next().expect("--stream-json needs a path").clone();
             }
             "--check-stream" => {
                 let path = it.next().expect("--check-stream needs a path");
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                match stream_json::validate(&text) {
-                    Ok(summary) => {
-                        println!("{path}: {summary}");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID: {e}");
-                        eprintln!(
-                            "(the expected layout is documented in EXPERIMENTS.md, \
-                             section \"Benchmark artifact schemas\")"
-                        );
-                        std::process::exit(1);
-                    }
-                }
+                check_artifact(path, Some("stream"));
+                return;
             }
             "--metrics-out" => {
                 metrics_out = Some(it.next().expect("--metrics-out needs a path").clone());
             }
             "--check-metrics" => {
                 let path = it.next().expect("--check-metrics needs a path");
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-                match metrics_json::validate(&text) {
-                    Ok(summary) => {
-                        println!("{path}: {summary}");
-                        return;
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: INVALID: {e}");
-                        eprintln!(
-                            "(the expected layout is documented in EXPERIMENTS.md, \
-                             section \"Benchmark artifact schemas\")"
-                        );
-                        std::process::exit(1);
-                    }
-                }
+                check_artifact(path, Some("metrics"));
+                return;
             }
             "--scale" => {
                 scale = it
@@ -1112,6 +1111,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                         rows: rows.len(),
                         engine: label.to_string(),
                         expected_fault_events: None,
+                        shard_rows: Vec::new(),
                         snapshot: dm.metrics,
                     });
                 }
@@ -1147,11 +1147,13 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         }
     }
 
-    // Sharded cell: the largest size per dataset, key-range shards on the
-    // scenario's key attribute. The 1-shard run is the baseline (pinned
-    // byte-identical to classic discovery by the regression tests); the
-    // N-shard run exercises the frozen cross-shard pool and the Algorithm 2
-    // merge, and is the cell the acceptance gate reads.
+    // Sharded cells: the largest size per dataset, key-range shards on the
+    // scenario's key attribute under *both* boundary placements. The
+    // 1-shard run is the baseline (pinned byte-identical to classic
+    // discovery by the regression tests); the N-shard runs exercise the
+    // frozen cross-shard pool and the Algorithm 2 merge. The quantile cell
+    // is the adaptive planner's and is what the acceptance gate reads; the
+    // equal-width cell keeps the old geometry measured beside it.
     for (name, make, sizes, per_attr) in cells {
         let size = *sizes.last().expect("sizes non-empty");
         let sc = make(scaled(size, scale), 42);
@@ -1163,30 +1165,45 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         };
         let (cfg, space) = crr_inputs(&sc, &opts);
         let key = sc.time_attr;
-        let mut best = [f64::INFINITY; 2];
-        let mut sharded_found = None;
-        for (pi, n_shards) in [1usize, shards].into_iter().enumerate() {
-            let plan = ShardPlan::by_key_range(key, n_shards);
-            let cfg = cfg.clone().with_shard_threads(n_shards.min(4));
+        let specs = [
+            ("single", ShardSpec::by_key(key).quantile().shards(1)),
+            (
+                "equal_width",
+                ShardSpec::by_key(key).equal_width().shards(shards),
+            ),
+            ("quantile", ShardSpec::by_key(key).quantile().shards(shards)),
+        ];
+        // Oversubscribing a small box serializes the waves anyway and adds
+        // contention, so shard workers are capped at the hardware's actual
+        // parallelism (the algorithmic sharding gains — smaller per-shard
+        // queues, cross-pool sharing — survive even at one worker).
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut best = [f64::INFINITY; 3];
+        let mut quantile_found = None;
+        for (pi, (_, spec)) in specs.iter().enumerate() {
+            let threads = if pi == 0 { 1 } else { shards.min(4).min(hw) };
+            let cfg = cfg.clone().with_shard_threads(threads);
             for _ in 0..reps {
                 let session = DiscoverySession::on(sc.table())
                     .rows(rows.clone())
                     .predicates(space.clone())
                     .config(cfg.clone())
-                    .sharded(plan.clone());
+                    .sharded(spec.clone());
                 let start = Instant::now();
                 let d = session.run().expect("sharded discovery");
                 best[pi] = best[pi].min(start.elapsed().as_secs_f64());
-                if pi == 1 {
-                    sharded_found = Some(d);
+                if pi == 2 {
+                    quantile_found = Some(d);
                 }
             }
         }
-        let d = sharded_found.expect("at least one sharded rep");
+        let d = quantile_found.expect("at least one quantile rep");
         let rep = d.rules.evaluate(sc.table(), &rows, LocateStrategy::First);
         // Acceptance pin: the compiled kernels must be byte-identical under
-        // the N-way shard plan too. One untimed interpreted-kernel run of
-        // the same plan; rule conditions, biases and RMSE must all match.
+        // the adaptive N-way plan too. One untimed interpreted-kernel run
+        // of the same spec; rule conditions, biases and RMSE must all match.
         let di = DiscoverySession::on(sc.table())
             .rows(rows.clone())
             .predicates(space.clone())
@@ -1195,7 +1212,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                     .with_shard_threads(shards.min(4))
                     .with_kernel(ScanKernel::Interpreted),
             )
-            .sharded(ShardPlan::by_key_range(key, shards))
+            .sharded(ShardSpec::by_key(key).quantile().shards(shards))
             .run()
             .expect("interpreted sharded discovery");
         assert_eq!(
@@ -1224,8 +1241,8 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
         table_rows.push(vec![
             name.to_string(),
             rows.len().to_string(),
-            format!("sharded x{shards}"),
-            format!("{:.4}", best[1]),
+            format!("sharded x{shards} (quantile)"),
+            format!("{:.4}", best[2]),
             d.rules.len().to_string(),
             d.stats.models_trained.to_string(),
             format!("{:.4}", rep.rmse),
@@ -1234,23 +1251,42 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
             dataset: name.to_string(),
             rows: rows.len(),
             engine: "sharded".to_string(),
-            learn_secs: best[1],
+            learn_secs: best[2],
             rules: d.rules.len(),
             trained: d.stats.models_trained,
             rmse: rep.rmse,
         });
-        report.sharded.push(bench_json::ShardedEntry {
-            dataset: name.to_string(),
-            rows: rows.len(),
-            shards,
-            single_secs: best[0],
-            sharded_secs: best[1],
-            ratio: best[0] / best[1],
-        });
+        for (pi, boundary) in [(1usize, "equal_width"), (2, "quantile")] {
+            // Plan geometry for the cell: min/max shard size in permille.
+            // Planning is deterministic, so one untimed plan reproduces
+            // exactly what the timed runs partitioned on.
+            let (plan, _) = specs[pi]
+                .1
+                .plan(
+                    sc.table(),
+                    &rows,
+                    &crr_data::PlannerCost {
+                        predicate_vocab: space.len().max(1),
+                        workers: 1,
+                    },
+                )
+                .expect("bench shard plan");
+            report.sharded.push(bench_json::ShardedEntry {
+                dataset: name.to_string(),
+                rows: rows.len(),
+                shards,
+                boundary: boundary.to_string(),
+                balance_permille: crr_data::balance_permille(&plan),
+                single_secs: best[0],
+                sharded_secs: best[pi],
+                ratio: best[0] / best[pi],
+            });
+        }
         if metrics_out.is_some() {
-            // One instrumented N-shard run, outside the timed reps: the
-            // cross-shard pool counters land in metrics.json's "shards"
-            // section, where --check-metrics re-reconciles them.
+            // One instrumented N-shard run of the adaptive plan, outside
+            // the timed reps: the planner and cross-shard pool counters
+            // land in metrics.json's "shards" section, and the per-shard
+            // row counts ride along for the sum invariant --check re-checks.
             let mcfg = cfg
                 .clone()
                 .with_shard_threads(shards.min(4))
@@ -1259,7 +1295,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                 .rows(rows.clone())
                 .predicates(space.clone())
                 .config(mcfg)
-                .sharded(ShardPlan::by_key_range(key, shards))
+                .sharded(ShardSpec::by_key(key).quantile().shards(shards))
                 .run()
                 .expect("metered sharded discovery");
             let m = &dm.metrics;
@@ -1276,11 +1312,18 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
                 // shared regime, so the hit guarantee only binds full-scale.
                 assert!(hits > 0, "{name}: no cross-shard pool hits at full scale");
             }
+            let shard_rows: Vec<usize> = dm.shards.iter().map(|s| s.rows.len()).collect();
+            assert_eq!(
+                shard_rows.iter().sum::<usize>(),
+                rows.len(),
+                "{name}: shard rows must sum to the table rows"
+            );
             metric_runs.push(metrics_json::MetricsRun {
                 dataset: name.to_string(),
                 rows: rows.len(),
                 engine: "sharded".to_string(),
                 expected_fault_events: None,
+                shard_rows,
                 snapshot: dm.metrics,
             });
         }
@@ -1300,8 +1343,15 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
     }
     for s in &report.sharded {
         println!(
-            "  {}@{}: 1 shard {:.4}s vs {} shards {:.4}s -> {:.2}x",
-            s.dataset, s.rows, s.single_secs, s.shards, s.sharded_secs, s.ratio
+            "  {}@{}: 1 shard {:.4}s vs {} shards ({}, balance {}‰) {:.4}s -> {:.2}x",
+            s.dataset,
+            s.rows,
+            s.single_secs,
+            s.shards,
+            s.boundary,
+            s.balance_permille,
+            s.sharded_secs,
+            s.ratio
         );
     }
     let text = bench_json::render(&report);
@@ -1343,6 +1393,7 @@ fn bench(scale: f64, path: &str, metrics_out: Option<&str>, shards: usize) {
             rows: rows.len(),
             engine: "moments".to_string(),
             expected_fault_events: Some(1),
+            shard_rows: Vec::new(),
             snapshot,
         });
 
@@ -1496,13 +1547,14 @@ fn analyze_cmd(scale: f64, path: &str, shards: usize) {
         // the report covers satisfiability, subsumption, the inference
         // audit and rho-monotonicity.
         let single = run_discovery(sc.table(), &rows, &cfg, &space).expect("discovery");
-        // Sharded artifact: key-range shards over the scenario's key
-        // attribute, verified against the emitted proof obligations.
+        // Sharded artifact: quantile key-range shards (the adaptive
+        // planner's boundary placement) over the scenario's key attribute,
+        // verified against the emitted proof obligations.
         let sharded = DiscoverySession::on(sc.table())
             .rows(rows.clone())
             .predicates(space.clone())
             .config(cfg.clone().with_shard_threads(shards.min(4)))
-            .sharded(ShardPlan::by_key_range(sc.time_attr, shards))
+            .sharded(ShardSpec::by_key(sc.time_attr).quantile().shards(shards))
             .run()
             .expect("sharded discovery");
 

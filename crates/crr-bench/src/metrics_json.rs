@@ -18,8 +18,12 @@ use std::fmt::Write as _;
 /// added the `kernels` section (compiled-scan and batched-accumulate
 /// counters) plus the `pred_scan`/`gram_accumulate` phase timers; v5 added
 /// the `stream` section (the incremental maintainer's counters and drift
-/// gauges) plus the `stream_apply`/`stream_repair` phase timers.
-pub const SCHEMA: &str = "crr-metrics-v5";
+/// gauges) plus the `stream_apply`/`stream_repair` phase timers; v6 added
+/// the planner counters (`shards.plan_*`, `shards.steal_assists`, the
+/// `shards.balance_permille` gauge) and the per-run `shard_rows` array,
+/// whose sum must equal the run's row count — previously sharded runs
+/// never recorded how the rows actually split.
+pub const SCHEMA: &str = "crr-metrics-v6";
 
 /// Sections every enabled-sink snapshot must carry (the sink always emits
 /// the full schema, zeros included, so file shape is run-independent).
@@ -59,6 +63,11 @@ pub struct MetricsRun {
     /// which `metrics.faults.injected_failures` must equal. `None` for
     /// clean runs, which must record zero fault events.
     pub expected_fault_events: Option<u64>,
+    /// Per-shard row counts in shard order for a `sharded` run, empty
+    /// otherwise. The validator enforces that they sum to `rows` — a
+    /// shard plan that loses or duplicates rows is an emitter bug, not a
+    /// tuning matter.
+    pub shard_rows: Vec<usize>,
     /// The run's frozen metrics.
     pub snapshot: MetricsSnapshot,
 }
@@ -76,6 +85,10 @@ pub fn render(runs: &[MetricsRun]) -> String {
         let _ = writeln!(out, "      \"engine\": \"{}\",", esc(&r.engine));
         if let Some(n) = r.expected_fault_events {
             let _ = writeln!(out, "      \"expected_fault_events\": {n},");
+        }
+        if !r.shard_rows.is_empty() {
+            let counts: Vec<String> = r.shard_rows.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "      \"shard_rows\": [{}],", counts.join(", "));
         }
         let _ = writeln!(out, "      \"metrics\": {}", r.snapshot.to_json(6));
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -120,7 +133,11 @@ fn uint(obj: &Json, section: &str, key: &str, ctx: &str) -> Result<u64, String> 
 ///   both of its sides through exactly one engine, so
 ///   `kernels.compiled_scans + kernels.interpreted_scans ==
 ///   2 × queue.splits`;
-/// * a `sharded` run actually ran at least two shards (`shards.run >= 2`);
+/// * a `sharded` run actually ran at least two shards (`shards.run >= 2`),
+///   carries a `shard_rows` array with one entry per shard run whose sum
+///   equals the run's `rows` (no shard plan may lose or duplicate rows),
+///   and reports a `shards.balance_permille` gauge within `[0, 1000]`;
+///   non-sharded runs must not carry `shard_rows`;
 /// * `faults.injected_failures` equals `expected_fault_events` when the
 ///   run declares one, and zero otherwise;
 /// * every run popped at least one partition;
@@ -200,8 +217,49 @@ pub fn validate(text: &str) -> Result<String, String> {
                         "{ctx}: {engine} engine recorded {rescans} row rescans"
                     ));
                 }
-                if engine == "sharded" && uint(m, "shards", "run", &ctx)? < 2 {
-                    return Err(format!("{ctx}: sharded run executed fewer than 2 shards"));
+                if engine == "sharded" {
+                    let run = uint(m, "shards", "run", &ctx)?;
+                    if run < 2 {
+                        return Err(format!("{ctx}: sharded run executed fewer than 2 shards"));
+                    }
+                    let rows = r
+                        .get("rows")
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("{ctx}: missing 'rows'"))?;
+                    let shard_rows = r
+                        .get("shard_rows")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("{ctx}: sharded run missing 'shard_rows'"))?;
+                    if shard_rows.len() as u64 != run {
+                        return Err(format!(
+                            "{ctx}: 'shard_rows' has {} entries but the run executed {run} shards",
+                            shard_rows.len()
+                        ));
+                    }
+                    let mut sum = 0.0f64;
+                    for (j, v) in shard_rows.iter().enumerate() {
+                        let n = v
+                            .as_num()
+                            .ok_or_else(|| format!("{ctx}: shard_rows[{j}] is not a number"))?;
+                        if !n.is_finite() || n < 1.0 || n.fract() != 0.0 {
+                            return Err(format!(
+                                "{ctx}: shard_rows[{j}] is not a positive integer ({n})"
+                            ));
+                        }
+                        sum += n;
+                    }
+                    if sum != rows {
+                        return Err(format!(
+                            "{ctx}: shard rows do not sum to the table rows \
+                             ({sum} != {rows}) — the plan lost or duplicated rows"
+                        ));
+                    }
+                    let balance = uint(m, "shards", "balance_permille", &ctx)?;
+                    if balance > 1000 {
+                        return Err(format!(
+                            "{ctx}: shards.balance_permille gauge out of range ({balance})"
+                        ));
+                    }
                 }
             }
             _ => {
@@ -218,6 +276,11 @@ pub fn validate(text: &str) -> Result<String, String> {
                     ));
                 }
             }
+        }
+        if engine != "sharded" && r.get("shard_rows").is_some() {
+            return Err(format!(
+                "{ctx}: '{engine}' run carries 'shard_rows' (sharded runs only)"
+            ));
         }
         let injected = uint(m, "faults", "injected_failures", &ctx)?;
         match r.get("expected_fault_events").and_then(Json::as_num) {
@@ -274,6 +337,7 @@ mod tests {
                 rows: 2880,
                 engine: "moments".into(),
                 expected_fault_events: None,
+                shard_rows: Vec::new(),
                 snapshot: snap_with(0),
             },
             MetricsRun {
@@ -281,6 +345,7 @@ mod tests {
                 rows: 2880,
                 engine: "moments".into(),
                 expected_fault_events: Some(1),
+                shard_rows: Vec::new(),
                 snapshot: snap_with(1),
             },
         ]
@@ -293,22 +358,59 @@ mod tests {
         assert!(summary.contains("1 fault-harness"), "{summary}");
     }
 
-    #[test]
-    fn sharded_runs_validate_with_reconciled_pool_counters() {
+    fn sharded_sink() -> MetricsSink {
         let sink = MetricsSink::enabled();
         sink.add(Counter::QueuePops, 7);
         sink.add(Counter::ShardsRun, 4);
         sink.add(Counter::CrossShardPoolProbes, 5);
         sink.add(Counter::CrossShardPoolHits, 3);
         sink.add(Counter::CrossShardPoolMisses, 2);
-        let runs = vec![MetricsRun {
+        sink
+    }
+
+    fn sharded_run() -> MetricsRun {
+        MetricsRun {
             dataset: "electricity".into(),
             rows: 11520,
             engine: "sharded".into(),
             expected_fault_events: None,
-            snapshot: sink.snapshot(),
-        }];
-        validate(&render(&runs)).expect("valid sharded run");
+            shard_rows: vec![2880, 2880, 2880, 2880],
+            snapshot: sharded_sink().snapshot(),
+        }
+    }
+
+    #[test]
+    fn sharded_runs_validate_with_reconciled_pool_counters() {
+        validate(&render(&[sharded_run()])).expect("valid sharded run");
+    }
+
+    #[test]
+    fn shard_rows_must_sum_to_the_table_rows() {
+        let mut run = sharded_run();
+        run.shard_rows = vec![2880, 2880, 2880, 2879];
+        let err = validate(&render(&[run])).expect_err("must fail");
+        assert!(err.contains("lost or duplicated"), "{err}");
+    }
+
+    #[test]
+    fn shard_rows_must_cover_every_shard_run() {
+        let mut run = sharded_run();
+        run.shard_rows = vec![5760, 5760];
+        let err = validate(&render(&[run])).expect_err("must fail");
+        assert!(err.contains("2 entries"), "{err}");
+
+        let mut run = sharded_run();
+        run.shard_rows.clear(); // renders as absent
+        let err = validate(&render(&[run])).expect_err("must fail");
+        assert!(err.contains("shard_rows"), "{err}");
+    }
+
+    #[test]
+    fn shard_rows_on_an_unsharded_run_are_rejected() {
+        let mut runs = sample();
+        runs[0].shard_rows = vec![2880];
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("sharded runs only"), "{err}");
     }
 
     #[test]
@@ -393,9 +495,9 @@ mod tests {
     #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-metrics-v5\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-metrics-v6\", \"runs\": []}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
-        // The v4 tag is stale now that snapshots carry the stream section.
-        assert!(validate("{\"schema\": \"crr-metrics-v4\", \"runs\": [1]}").is_err());
+        // The v5 tag is stale now that sharded runs carry shard_rows.
+        assert!(validate("{\"schema\": \"crr-metrics-v5\", \"runs\": [1]}").is_err());
     }
 }

@@ -39,6 +39,7 @@ mod rowset;
 mod schema;
 mod shard;
 mod snapshot;
+mod spec;
 mod stats;
 mod table;
 mod value;
@@ -49,6 +50,7 @@ pub use rowset::RowSet;
 pub use schema::{AttrId, AttrType, Attribute, Schema};
 pub use shard::{Shard, ShardBounds, ShardPlan};
 pub use snapshot::NumericSnapshot;
+pub use spec::{balance_permille, Boundary, PlanReport, PlannerCost, ShardCount, ShardSpec};
 pub use stats::ColumnStats;
 pub use table::Table;
 pub use value::Value;

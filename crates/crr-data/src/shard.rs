@@ -75,16 +75,22 @@ pub struct Shard {
 
 impl ShardPlan {
     /// The trivial one-shard plan.
+    #[deprecated(since = "0.9.0", note = "use `ShardSpec::single()`")]
     pub fn single() -> Self {
         ShardPlan::Single
     }
 
     /// Equal-width key-range plan over `attr`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ShardSpec::by_key(attr).equal_width().shards(n)`"
+    )]
     pub fn by_key_range(attr: AttrId, shards: usize) -> Self {
         ShardPlan::ByKeyRange { attr, shards }
     }
 
     /// Fixed-width time-window plan over `attr`.
+    #[deprecated(since = "0.9.0", note = "use `ShardSpec::by_time(attr, width)`")]
     pub fn by_time_window(attr: AttrId, width: f64) -> Self {
         ShardPlan::ByTimeWindow { attr, width }
     }
@@ -169,7 +175,11 @@ impl ShardPlan {
 /// non-numeric attribute and on any non-finite key (NaN/±Inf cannot be
 /// soundly guarded by interval predicates, so partitioning refuses them
 /// up front — every partitioning path runs this before cutting).
-fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>, Option<f64>)> {
+pub(crate) fn key_extent(
+    table: &Table,
+    attr: AttrId,
+    rows: &RowSet,
+) -> Result<(Option<f64>, Option<f64>)> {
     if !table.schema().attribute(attr).ty().is_numeric() {
         return Err(DataError::NotNumeric(
             table.schema().attribute(attr).name().to_string(),
@@ -199,7 +209,12 @@ fn key_extent(table: &Table, attr: AttrId, rows: &RowSet) -> Result<(Option<f64>
 /// induce, drops empty shards, renumbers ids densely, and appends the
 /// `null_keys` shard when any row's key is null. The first interval is
 /// unbounded below and the last unbounded above.
-fn cut_into_shards(table: &Table, attr: AttrId, rows: &RowSet, cuts: &[f64]) -> Vec<Shard> {
+pub(crate) fn cut_into_shards(
+    table: &Table,
+    attr: AttrId,
+    rows: &RowSet,
+    cuts: &[f64],
+) -> Vec<Shard> {
     let n = cuts.len() + 1;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut nulls: Vec<u32> = Vec::new();
@@ -283,7 +298,7 @@ mod tests {
     #[test]
     fn single_plan_is_one_shard() {
         let (t, _) = table_with_keys(&[Some(1.0), Some(2.0)]);
-        let shards = ShardPlan::single().partition(&t, &t.all_rows()).unwrap();
+        let shards = ShardPlan::Single.partition(&t, &t.all_rows()).unwrap();
         assert_eq!(shards.len(), 1);
         assert_eq!(shards[0].id, 0);
         assert_eq!(shards[0].rows, t.all_rows());
@@ -294,7 +309,7 @@ mod tests {
     fn key_range_splits_evenly_and_covers() {
         let keys: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
         let (t, attr) = table_with_keys(&keys);
-        let shards = ShardPlan::by_key_range(attr, 4)
+        let shards = ShardPlan::ByKeyRange { attr, shards: 4 }
             .partition(&t, &t.all_rows())
             .unwrap();
         assert_eq!(shards.len(), 4);
@@ -315,7 +330,7 @@ mod tests {
     #[test]
     fn null_keys_form_trailing_marked_shard() {
         let (t, attr) = table_with_keys(&[Some(0.0), None, Some(10.0), None, Some(5.0)]);
-        let shards = ShardPlan::by_key_range(attr, 2)
+        let shards = ShardPlan::ByKeyRange { attr, shards: 2 }
             .partition(&t, &t.all_rows())
             .unwrap();
         assert_disjoint_cover(&shards, &t.all_rows());
@@ -336,8 +351,8 @@ mod tests {
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let (t, attr) = table_with_keys(&[Some(0.0), Some(bad), Some(5.0)]);
             for plan in [
-                ShardPlan::by_key_range(attr, 2),
-                ShardPlan::by_time_window(attr, 2.0),
+                ShardPlan::ByKeyRange { attr, shards: 2 },
+                ShardPlan::ByTimeWindow { attr, width: 2.0 },
             ] {
                 match plan.partition(&t, &t.all_rows()) {
                     Err(DataError::NonFiniteCell { row, attribute }) => {
@@ -355,7 +370,7 @@ mod tests {
         // All keys in a narrow band + one far outlier: middle intervals of
         // a 5-way cut are empty.
         let (t, attr) = table_with_keys(&[Some(0.0), Some(0.5), Some(1.0), Some(100.0), Some(0.2)]);
-        let shards = ShardPlan::by_key_range(attr, 5)
+        let shards = ShardPlan::ByKeyRange { attr, shards: 5 }
             .partition(&t, &t.all_rows())
             .unwrap();
         assert_disjoint_cover(&shards, &t.all_rows());
@@ -368,7 +383,7 @@ mod tests {
     #[test]
     fn constant_key_collapses_to_one_shard() {
         let (t, attr) = table_with_keys(&[Some(7.0), Some(7.0), Some(7.0)]);
-        let shards = ShardPlan::by_key_range(attr, 4)
+        let shards = ShardPlan::ByKeyRange { attr, shards: 4 }
             .partition(&t, &t.all_rows())
             .unwrap();
         assert_eq!(shards.len(), 1);
@@ -379,7 +394,7 @@ mod tests {
     fn time_window_cuts_at_fixed_width() {
         let keys: Vec<Option<f64>> = (0..30).map(|i| Some(i as f64)).collect();
         let (t, attr) = table_with_keys(&keys);
-        let shards = ShardPlan::by_time_window(attr, 10.0)
+        let shards = ShardPlan::ByTimeWindow { attr, width: 10.0 }
             .partition(&t, &t.all_rows())
             .unwrap();
         // Cuts at 10 and 20; key 29 < 30 so no fourth window.
@@ -394,12 +409,12 @@ mod tests {
     fn invalid_plans_are_rejected() {
         let (t, attr) = table_with_keys(&[Some(1.0)]);
         assert!(matches!(
-            ShardPlan::by_key_range(attr, 0).partition(&t, &t.all_rows()),
+            ShardPlan::ByKeyRange { attr, shards: 0 }.partition(&t, &t.all_rows()),
             Err(DataError::InvalidShardPlan(_))
         ));
         for width in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(matches!(
-                ShardPlan::by_time_window(attr, width).partition(&t, &t.all_rows()),
+                ShardPlan::ByTimeWindow { attr, width }.partition(&t, &t.all_rows()),
                 Err(DataError::InvalidShardPlan(_))
             ));
         }
@@ -413,7 +428,7 @@ mod tests {
             .unwrap();
         let s = t.attr("s").unwrap();
         assert!(matches!(
-            ShardPlan::by_key_range(s, 2).partition(&t, &t.all_rows()),
+            ShardPlan::ByKeyRange { attr: s, shards: 2 }.partition(&t, &t.all_rows()),
             Err(DataError::NotNumeric(_))
         ));
     }
@@ -423,7 +438,7 @@ mod tests {
         let keys: Vec<Option<f64>> = (0..20).map(|i| Some(i as f64)).collect();
         let (t, attr) = table_with_keys(&keys);
         let rows = RowSet::from_indices((0..20u32).filter(|i| i % 2 == 0).collect());
-        let shards = ShardPlan::by_key_range(attr, 3)
+        let shards = ShardPlan::ByKeyRange { attr, shards: 3 }
             .partition(&t, &rows)
             .unwrap();
         assert_disjoint_cover(&shards, &rows);

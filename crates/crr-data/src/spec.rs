@@ -1,0 +1,702 @@
+//! Typed shard planning: the [`ShardSpec`] builder and the cost-based
+//! planner that turns a spec into concrete [`Shard`]s.
+//!
+//! [`ShardSpec`] replaces the positional [`ShardPlan`] constructors with a
+//! typed builder:
+//!
+//! ```
+//! use crr_data::{PlannerCost, ShardSpec};
+//! # use crr_data::{AttrType, Schema, Table, Value};
+//! # let schema = Schema::new(vec![("k", AttrType::Float)]);
+//! # let mut t = Table::new(schema);
+//! # for i in 0..32 { t.push_row(vec![Value::Float((i * i) as f64)]).unwrap(); }
+//! # let key = t.attr("k").unwrap();
+//! // Four equal-frequency shards on `key`:
+//! let spec = ShardSpec::by_key(key).quantile().shards(4);
+//! let (shards, report) = spec.plan(&t, &t.all_rows(), &PlannerCost::default())?;
+//! assert_eq!(shards.len(), 4);
+//! assert_eq!(report.boundary, Some(crr_data::Boundary::Quantile));
+//! # Ok::<(), crr_data::DataError>(())
+//! ```
+//!
+//! Three decisions are made here rather than by the caller:
+//!
+//! * **Boundary placement** — [`Boundary::Quantile`] picks equal-frequency
+//!   cut points from the sorted key sample, snapped strictly between
+//!   distinct values so repeated-value runs are never split; skewed keys
+//!   yield balanced shards. [`Boundary::EqualWidth`] keeps PR 4's
+//!   equal-width geometry.
+//! * **Shard count** — [`ShardCount::Auto`] estimates per-shard work from
+//!   the row count and the predicate-vocabulary size ([`PlannerCost`]) and
+//!   picks `k` by a wall-clock model instead of requiring a guess.
+//! * **Degeneracy** — null-only, constant and near-constant keys collapse
+//!   to fewer shards; the null regime always lands in its own trailing
+//!   shard exactly as in [`ShardPlan::partition`].
+//!
+//! The planner never invents a new cutting engine: every spec resolves to
+//! ascending cut points fed through the same `cut_into_shards` core as
+//! [`ShardPlan`], so the disjoint/covering/dense-id guarantees (and the
+//! non-finite-key rejection) are shared, not re-proved.
+
+use crate::shard::{cut_into_shards, key_extent};
+use crate::{AttrId, DataError, Result, RowSet, Shard, ShardPlan, Table};
+
+/// How interval boundaries are placed on the shard key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Equal-width geometry over the observed `[min, max]` range.
+    EqualWidth,
+    /// Equal-frequency (equi-depth) cut points from the sorted key sample,
+    /// snapped strictly between distinct values.
+    Quantile,
+}
+
+/// How many interval shards to request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCount {
+    /// Exactly this many intervals (before empty ones are dropped).
+    Fixed(usize),
+    /// Let the planner pick `k` from the cost model in [`PlannerCost`].
+    Auto,
+}
+
+/// Cost-model inputs for [`ShardCount::Auto`]: the planner estimates
+/// per-shard discovery work as `rows × predicate_vocab` and amortizes it
+/// over `workers` concurrent non-seed shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerCost {
+    /// Size of the predicate vocabulary the search will refine over.
+    pub predicate_vocab: usize,
+    /// Worker threads available to run non-seed shards concurrently.
+    pub workers: usize,
+}
+
+impl Default for PlannerCost {
+    fn default() -> Self {
+        PlannerCost {
+            predicate_vocab: 1,
+            workers: 1,
+        }
+    }
+}
+
+/// What the planner decided, for observability and proof obligations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Boundary placement used, `None` for single-shard and time-window
+    /// plans (which have no boundary choice).
+    pub boundary: Option<Boundary>,
+    /// Shard count requested by the spec, `None` when data-dependent
+    /// (time windows).
+    pub requested: Option<usize>,
+    /// Shards actually produced (after empty shards are dropped).
+    pub produced: usize,
+    /// The shard count came from the cost model, not the caller.
+    pub auto_count: bool,
+}
+
+/// A typed, self-describing shard plan: what to cut on, how to place
+/// boundaries, and how many shards to aim for.
+///
+/// Construct with [`ShardSpec::single`], [`ShardSpec::by_key`] or
+/// [`ShardSpec::by_time`]; refine key plans with the chainable
+/// [`quantile`](ShardSpec::quantile) / [`equal_width`](ShardSpec::equal_width) /
+/// [`shards`](ShardSpec::shards) / [`auto`](ShardSpec::auto) modifiers.
+/// Key plans default to quantile boundaries with an auto shard count —
+/// the adaptive configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    kind: SpecKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SpecKind {
+    Single,
+    ByKey {
+        attr: AttrId,
+        boundary: Boundary,
+        count: ShardCount,
+    },
+    ByTime {
+        attr: AttrId,
+        width: f64,
+    },
+}
+
+impl ShardSpec {
+    /// The trivial one-shard spec.
+    pub fn single() -> Self {
+        ShardSpec {
+            kind: SpecKind::Single,
+        }
+    }
+
+    /// Key-range spec over `attr`, defaulting to quantile boundaries and
+    /// an auto shard count.
+    pub fn by_key(attr: AttrId) -> Self {
+        ShardSpec {
+            kind: SpecKind::ByKey {
+                attr,
+                boundary: Boundary::Quantile,
+                count: ShardCount::Auto,
+            },
+        }
+    }
+
+    /// Fixed-width time-window spec over `attr`.
+    pub fn by_time(attr: AttrId, width: f64) -> Self {
+        ShardSpec {
+            kind: SpecKind::ByTime { attr, width },
+        }
+    }
+
+    /// Use equal-frequency (quantile) boundaries. No effect on non-key
+    /// specs, which have no boundary choice.
+    pub fn quantile(mut self) -> Self {
+        if let SpecKind::ByKey { boundary, .. } = &mut self.kind {
+            *boundary = Boundary::Quantile;
+        }
+        self
+    }
+
+    /// Use equal-width boundaries. No effect on non-key specs.
+    pub fn equal_width(mut self) -> Self {
+        if let SpecKind::ByKey { boundary, .. } = &mut self.kind {
+            *boundary = Boundary::EqualWidth;
+        }
+        self
+    }
+
+    /// Request exactly `n` interval shards. No effect on non-key specs.
+    pub fn shards(mut self, n: usize) -> Self {
+        if let SpecKind::ByKey { count, .. } = &mut self.kind {
+            *count = ShardCount::Fixed(n);
+        }
+        self
+    }
+
+    /// Let the cost model pick the shard count. No effect on non-key specs.
+    pub fn auto(mut self) -> Self {
+        if let SpecKind::ByKey { count, .. } = &mut self.kind {
+            *count = ShardCount::Auto;
+        }
+        self
+    }
+
+    /// The shard-key attribute, when the spec cuts on one.
+    pub fn key_attr(&self) -> Option<AttrId> {
+        match self.kind {
+            SpecKind::Single => None,
+            SpecKind::ByKey { attr, .. } | SpecKind::ByTime { attr, .. } => Some(attr),
+        }
+    }
+
+    /// Boundary placement, when the spec has a boundary choice.
+    pub fn boundary(&self) -> Option<Boundary> {
+        match self.kind {
+            SpecKind::ByKey { boundary, .. } => Some(boundary),
+            _ => None,
+        }
+    }
+
+    /// `true` when the shard count is left to the cost model.
+    pub fn is_auto_count(&self) -> bool {
+        matches!(
+            self.kind,
+            SpecKind::ByKey {
+                count: ShardCount::Auto,
+                ..
+            }
+        )
+    }
+
+    /// `true` for the trivial one-shard spec.
+    pub fn is_single(&self) -> bool {
+        matches!(self.kind, SpecKind::Single)
+    }
+
+    /// Shard count the spec requests, `None` when data-dependent
+    /// (auto counts and time windows).
+    pub fn requested_shards(&self) -> Option<usize> {
+        match self.kind {
+            SpecKind::Single => Some(1),
+            SpecKind::ByKey {
+                count: ShardCount::Fixed(n),
+                ..
+            } => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Resolves the spec against `(table, rows)` into concrete shards plus
+    /// a [`PlanReport`] of what the planner decided.
+    ///
+    /// Success guarantees are those of [`ShardPlan::partition`]: shards
+    /// are disjoint, their union is exactly `rows`, no shard is empty, ids
+    /// are dense in emission order (intervals ascending, then the null-key
+    /// shard), and every row with a null key lands in the trailing
+    /// `null_keys` shard. Errors are also shared: zero fixed shards and
+    /// bad window widths are [`DataError::InvalidShardPlan`], non-numeric
+    /// keys [`DataError::NotNumeric`], and NaN/±Inf keys
+    /// [`DataError::NonFiniteCell`].
+    pub fn plan(
+        &self,
+        table: &Table,
+        rows: &RowSet,
+        cost: &PlannerCost,
+    ) -> Result<(Vec<Shard>, PlanReport)> {
+        match self.kind {
+            SpecKind::Single => {
+                let shards = ShardPlan::Single.partition(table, rows)?;
+                Ok((
+                    shards,
+                    PlanReport {
+                        boundary: None,
+                        requested: Some(1),
+                        produced: 1,
+                        auto_count: false,
+                    },
+                ))
+            }
+            SpecKind::ByTime { attr, width } => {
+                let shards = ShardPlan::ByTimeWindow { attr, width }.partition(table, rows)?;
+                let produced = shards.len();
+                Ok((
+                    shards,
+                    PlanReport {
+                        boundary: None,
+                        requested: None,
+                        produced,
+                        auto_count: false,
+                    },
+                ))
+            }
+            SpecKind::ByKey {
+                attr,
+                boundary,
+                count,
+            } => {
+                let (auto_count, k) = match count {
+                    ShardCount::Fixed(0) => {
+                        return Err(DataError::InvalidShardPlan(
+                            "key-range spec requests zero shards".to_string(),
+                        ));
+                    }
+                    ShardCount::Fixed(n) => (false, n),
+                    ShardCount::Auto => (true, auto_shard_count(rows.len(), cost)),
+                };
+                let shards = match boundary {
+                    Boundary::EqualWidth => {
+                        ShardPlan::ByKeyRange { attr, shards: k }.partition(table, rows)?
+                    }
+                    Boundary::Quantile => {
+                        let cuts = quantile_cuts(table, attr, rows, k)?;
+                        cut_into_shards(table, attr, rows, &cuts)
+                    }
+                };
+                let produced = shards.len();
+                Ok((
+                    shards,
+                    PlanReport {
+                        boundary: Some(boundary),
+                        requested: Some(k),
+                        produced,
+                        auto_count,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+impl From<ShardPlan> for ShardSpec {
+    /// Every legacy plan maps onto an equivalent spec: `Single` stays
+    /// single, `ByKeyRange` becomes an equal-width fixed-count key spec,
+    /// `ByTimeWindow` a time spec — so code migrating from the deprecated
+    /// constructors changes behavior only when it opts into the new
+    /// adaptive defaults.
+    fn from(plan: ShardPlan) -> Self {
+        match plan {
+            ShardPlan::Single => ShardSpec::single(),
+            ShardPlan::ByKeyRange { attr, shards } => {
+                ShardSpec::by_key(attr).equal_width().shards(shards)
+            }
+            ShardPlan::ByTimeWindow { attr, width } => ShardSpec::by_time(attr, width),
+        }
+    }
+}
+
+impl From<&ShardPlan> for ShardSpec {
+    fn from(plan: &ShardPlan) -> Self {
+        ShardSpec::from(plan.clone())
+    }
+}
+
+/// Equal-frequency cut points for `k` intervals over the finite keys of
+/// `attr`, snapped strictly between distinct values.
+///
+/// For each target rank `⌈i·n/k⌉` the cut is the midpoint of the key at
+/// that rank and the next *strictly greater* key; when the run of equal
+/// keys extends to the end of the sample, the cut is skipped rather than
+/// split a repeated-value run. Cuts are deduplicated, so heavily repeated
+/// keys yield fewer (possibly zero) cuts — degeneracy collapses shards
+/// instead of producing empty or overlapping ones. Null keys are skipped
+/// here; `cut_into_shards` gives them the trailing shard. Errors mirror
+/// [`ShardPlan::partition`]: non-numeric keys and non-finite keys are
+/// rejected.
+pub(crate) fn quantile_cuts(
+    table: &Table,
+    attr: AttrId,
+    rows: &RowSet,
+    k: usize,
+) -> Result<Vec<f64>> {
+    // Validates the attribute and rejects NaN/±Inf up front (shared with
+    // every other partitioning path).
+    let (lo, hi) = key_extent(table, attr, rows)?;
+    if k <= 1 || lo.is_none() || lo == hi {
+        return Ok(Vec::new());
+    }
+    let mut keys: Vec<f64> = Vec::new();
+    for r in rows.iter() {
+        if let Some(v) = table.value_f64(r, attr) {
+            keys.push(v);
+        }
+    }
+    keys.sort_unstable_by(f64::total_cmp);
+    let n = keys.len();
+    let mut cuts: Vec<f64> = Vec::new();
+    for i in 1..k {
+        // Rank of the first key the i-th interval should NOT contain.
+        let rank = (i * n).div_ceil(k).clamp(1, n - 1);
+        let below = keys[rank - 1];
+        // The next strictly greater key; a run reaching the end of the
+        // sample yields no cut (the run stays whole in the last interval).
+        let Some(&above) = keys[rank..].iter().find(|&&v| v > below) else {
+            continue;
+        };
+        // Snap strictly between the two distinct values. Midpoints of
+        // adjacent floats can round onto an endpoint; `above` is still a
+        // valid half-open cut (`c <= key` sends the upper run right).
+        let mid = below + (above - below) / 2.0;
+        let cut = if mid > below && mid <= above {
+            mid
+        } else {
+            above
+        };
+        if cuts.last() != Some(&cut) {
+            cuts.push(cut);
+        }
+    }
+    Ok(cuts)
+}
+
+/// Picks a shard count from a wall-clock model of sharded discovery.
+///
+/// Per-shard work is estimated as `rows/k × vocab`. The seed shard runs
+/// alone first (it publishes the cross-shard pool), then the `k-1`
+/// remaining shards run in `⌈(k-1)/workers⌉` waves, and each shard adds a
+/// fixed planning/merge overhead proportional to the vocabulary:
+///
+/// `wall(k) = (rows·vocab/k) · (1 + ⌈(k-1)/workers⌉) + k · overhead(vocab)`
+///
+/// The model is deterministic: candidates `1..=min(2·workers, 16)` are
+/// scored, shards are floored at [`MIN_AUTO_SHARD_ROWS`] rows (smaller
+/// shards under-train models and defeat sharing), and ties break toward
+/// fewer shards.
+pub(crate) fn auto_shard_count(rows: usize, cost: &PlannerCost) -> usize {
+    let workers = cost.workers.max(1);
+    let vocab = cost.predicate_vocab.max(1) as f64;
+    let work = rows as f64 * vocab;
+    let overhead = 64.0 * vocab + 1024.0;
+    let cap = (2 * workers).clamp(1, 16);
+    let mut best_k = 1usize;
+    let mut best = f64::INFINITY;
+    for k in 1..=cap {
+        if k > 1 && rows / k < MIN_AUTO_SHARD_ROWS {
+            break;
+        }
+        let waves = 1 + (k - 1).div_ceil(workers);
+        let wall = work / k as f64 * waves as f64 + k as f64 * overhead;
+        if wall < best {
+            best = wall;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Minimum rows per shard the auto planner will accept.
+pub(crate) const MIN_AUTO_SHARD_ROWS: usize = 256;
+
+/// Row balance of a partition in permille: `min(rows)/max(rows) × 1000`,
+/// ignoring the trailing null-key shard (its size is a property of the
+/// data, not the boundary placement). `1000` means perfectly balanced;
+/// degenerate partitions (≤ 1 interval shard) report `1000`.
+pub fn balance_permille(shards: &[Shard]) -> u64 {
+    let sizes: Vec<usize> = shards
+        .iter()
+        .filter(|s| !s.bounds.map(|b| b.null_keys).unwrap_or(false))
+        .map(|s| s.rows.len())
+        .collect();
+    if sizes.len() <= 1 {
+        return 1000;
+    }
+    let min = *sizes.iter().min().unwrap_or(&0) as u64;
+    let max = *sizes.iter().max().unwrap_or(&1) as u64;
+    if max == 0 {
+        return 1000;
+    }
+    min * 1000 / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema, Value};
+
+    fn table_with_keys(keys: &[Option<f64>]) -> (Table, AttrId) {
+        let schema = Schema::new(vec![("k", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (i, k) in keys.iter().enumerate() {
+            let kv = match k {
+                Some(v) => Value::Float(*v),
+                None => Value::Null,
+            };
+            t.push_row(vec![kv, Value::Float(i as f64)]).unwrap();
+        }
+        let attr = t.attr("k").unwrap();
+        (t, attr)
+    }
+
+    fn assert_disjoint_cover(shards: &[Shard], rows: &RowSet) {
+        let mut seen: Vec<u32> = Vec::new();
+        for s in shards {
+            assert!(!s.rows.is_empty(), "empty shard {} survived", s.id);
+            seen.extend_from_slice(s.rows.as_slice());
+        }
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "shards overlap");
+        assert_eq!(seen, rows.as_slice(), "union is not the input rows");
+    }
+
+    #[test]
+    fn quantile_balances_a_skewed_key() {
+        // Quadratic skew: equal-width crams most rows into the first
+        // interval; quantile splits them 25/25/25/25.
+        let keys: Vec<Option<f64>> = (0..100).map(|i| Some((i * i) as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let cost = PlannerCost::default();
+        let (ew, _) = ShardSpec::by_key(attr)
+            .equal_width()
+            .shards(4)
+            .plan(&t, &t.all_rows(), &cost)
+            .unwrap();
+        let (q, report) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(4)
+            .plan(&t, &t.all_rows(), &cost)
+            .unwrap();
+        assert_disjoint_cover(&q, &t.all_rows());
+        assert_eq!(q.len(), 4);
+        for s in &q {
+            assert_eq!(s.rows.len(), 25, "shard {}: {:?}", s.id, s.bounds);
+        }
+        assert!(balance_permille(&q) > balance_permille(&ew));
+        assert_eq!(report.boundary, Some(Boundary::Quantile));
+        assert_eq!(report.requested, Some(4));
+        assert_eq!(report.produced, 4);
+        assert!(!report.auto_count);
+    }
+
+    #[test]
+    fn quantile_keeps_repeated_value_runs_whole() {
+        // 60 copies of 1.0 then 20 each of 2.0 and 3.0: no cut may land
+        // inside the run of 1.0s, so the first shard holds all 60.
+        let mut keys: Vec<Option<f64>> = vec![Some(1.0); 60];
+        keys.extend(vec![Some(2.0); 20]);
+        keys.extend(vec![Some(3.0); 20]);
+        let (t, attr) = table_with_keys(&keys);
+        let (shards, _) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(4)
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        assert_disjoint_cover(&shards, &t.all_rows());
+        assert_eq!(shards[0].rows.len(), 60);
+        for s in &shards {
+            // Every shard's rows share no key with any other shard: cuts
+            // were snapped strictly between distinct values.
+            let mut vals: Vec<f64> = s.rows.iter().filter_map(|r| t.value_f64(r, attr)).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.dedup();
+            assert!(!vals.is_empty());
+        }
+    }
+
+    #[test]
+    fn quantile_handles_nulls_and_constants() {
+        let (t, attr) = table_with_keys(&[Some(5.0), None, Some(5.0), None, Some(5.0)]);
+        let (shards, report) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(3)
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        assert_disjoint_cover(&shards, &t.all_rows());
+        // Constant key collapses to one interval shard + the null shard.
+        assert_eq!(shards.len(), 2);
+        assert!(shards[1].bounds.unwrap().null_keys);
+        assert_eq!(shards[1].rows.as_slice(), &[1, 3]);
+        assert_eq!(report.produced, 2);
+    }
+
+    #[test]
+    fn quantile_all_null_column_is_one_null_shard() {
+        let (t, attr) = table_with_keys(&[None, None, None]);
+        let (shards, _) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(4)
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        assert_eq!(shards.len(), 1);
+        assert!(shards[0].bounds.unwrap().null_keys);
+        assert_eq!(shards[0].rows.len(), 3);
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_keys() {
+        let (t, attr) = table_with_keys(&[Some(0.0), Some(f64::NAN), Some(1.0)]);
+        assert!(matches!(
+            ShardSpec::by_key(attr).quantile().shards(2).plan(
+                &t,
+                &t.all_rows(),
+                &PlannerCost::default()
+            ),
+            Err(DataError::NonFiniteCell { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_fixed_shards_is_rejected() {
+        let (t, attr) = table_with_keys(&[Some(1.0)]);
+        for spec in [
+            ShardSpec::by_key(attr).quantile().shards(0),
+            ShardSpec::by_key(attr).equal_width().shards(0),
+        ] {
+            assert!(matches!(
+                spec.plan(&t, &t.all_rows(), &PlannerCost::default()),
+                Err(DataError::InvalidShardPlan(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn auto_count_scales_with_rows_and_floors_small_inputs() {
+        let cost = PlannerCost {
+            predicate_vocab: 32,
+            workers: 4,
+        };
+        // Too small to shard at all.
+        assert_eq!(auto_shard_count(100, &cost), 1);
+        assert_eq!(auto_shard_count(2 * MIN_AUTO_SHARD_ROWS - 1, &cost), 1);
+        // Large inputs shard, bounded by the candidate cap.
+        let k = auto_shard_count(100_000, &cost);
+        assert!(k > 1 && k <= 16, "k = {k}");
+        // More rows never picks fewer shards (the overhead term is fixed
+        // while the parallelizable term grows).
+        assert!(auto_shard_count(1_000_000, &cost) >= k);
+        // Deterministic.
+        assert_eq!(auto_shard_count(100_000, &cost), k);
+    }
+
+    #[test]
+    fn auto_plan_reports_the_model_choice() {
+        let keys: Vec<Option<f64>> = (0..2048).map(|i| Some((i % 97) as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let cost = PlannerCost {
+            predicate_vocab: 16,
+            workers: 4,
+        };
+        let (shards, report) = ShardSpec::by_key(attr)
+            .plan(&t, &t.all_rows(), &cost)
+            .unwrap();
+        assert!(report.auto_count);
+        assert_eq!(report.boundary, Some(Boundary::Quantile));
+        assert_eq!(report.requested, Some(auto_shard_count(2048, &cost)));
+        assert_disjoint_cover(&shards, &t.all_rows());
+    }
+
+    #[test]
+    fn legacy_plans_convert_to_equivalent_specs() {
+        let keys: Vec<Option<f64>> = (0..50).map(|i| Some(i as f64)).collect();
+        let (t, attr) = table_with_keys(&keys);
+        let rows = t.all_rows();
+        let cost = PlannerCost::default();
+        for plan in [
+            ShardPlan::Single,
+            ShardPlan::ByKeyRange { attr, shards: 3 },
+            ShardPlan::ByTimeWindow { attr, width: 10.0 },
+        ] {
+            let direct = plan.partition(&t, &rows).unwrap();
+            let (via_spec, _) = ShardSpec::from(&plan).plan(&t, &rows, &cost).unwrap();
+            assert_eq!(direct, via_spec, "spec diverged from {plan:?}");
+        }
+    }
+
+    #[test]
+    fn single_spec_is_one_unguarded_shard() {
+        let (t, _) = table_with_keys(&[Some(1.0), Some(2.0)]);
+        let (shards, report) = ShardSpec::single()
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        assert_eq!(shards.len(), 1);
+        assert!(shards[0].bounds.is_none());
+        assert_eq!(report.boundary, None);
+        assert!(ShardSpec::single().is_single());
+    }
+
+    #[test]
+    fn balance_permille_reads_interval_shards_only() {
+        let keys: Vec<Option<f64>> = (0..40)
+            .map(|i| if i < 4 { None } else { Some(i as f64) })
+            .collect();
+        let (t, attr) = table_with_keys(&keys);
+        let (shards, _) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(4)
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        // 36 finite keys over 4 shards: 9 each → perfectly balanced even
+        // though the null shard holds only 4 rows.
+        assert_eq!(balance_permille(&shards), 1000);
+        assert_eq!(balance_permille(&shards[..1]), 1000);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_the_same_plans() {
+        let (t, attr) = table_with_keys(&[Some(1.0), Some(2.0), Some(3.0)]);
+        let _ = &t;
+        assert_eq!(ShardPlan::single(), ShardPlan::Single);
+        assert_eq!(
+            ShardPlan::by_key_range(attr, 2),
+            ShardPlan::ByKeyRange { attr, shards: 2 }
+        );
+        assert_eq!(
+            ShardPlan::by_time_window(attr, 1.5),
+            ShardPlan::ByTimeWindow { attr, width: 1.5 }
+        );
+    }
+
+    #[test]
+    fn builder_modifiers_are_inert_on_non_key_specs() {
+        assert!(ShardSpec::single().quantile().shards(4).is_single());
+        let (t, attr) = table_with_keys(&[Some(1.0), Some(9.0)]);
+        let spec = ShardSpec::by_time(attr, 4.0).equal_width().auto();
+        let (shards, _) = spec
+            .plan(&t, &t.all_rows(), &PlannerCost::default())
+            .unwrap();
+        assert_eq!(shards.len(), 2);
+    }
+}

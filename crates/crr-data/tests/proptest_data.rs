@@ -4,7 +4,7 @@
 // Test harness: panicking on malformed fixtures is the failure mode we want.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use crr_data::{csv, AttrType, RowSet, Schema, Table, Value};
+use crr_data::{csv, AttrType, PlannerCost, RowSet, Schema, ShardPlan, ShardSpec, Table, Value};
 use proptest::prelude::*;
 
 /// An arbitrary cell for a column type. Floats are rounded to a fixed
@@ -151,4 +151,128 @@ proptest! {
         prop_assert!(s.variance >= 0.0);
         prop_assert!(s.variance <= (max - min).powi(2) + 1e-9);
     }
+
+    /// Quantile shard plans are exact on arbitrary keys — skewed, heavily
+    /// repeated, constant, null-ridden or all-null: shards are disjoint,
+    /// their union is the input, no shard is empty, key ranges never
+    /// interleave (cuts land strictly between distinct values) and every
+    /// null-key row sits in the single trailing null-regime shard.
+    #[test]
+    fn quantile_plans_are_disjoint_and_covering(
+        keys in prop::collection::vec(arb_shard_key(), 1..80),
+        k in 1usize..6,
+    ) {
+        let (t, attr) = shard_key_table(&keys);
+        let rows = t.all_rows();
+        let (shards, report) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(k)
+            .plan(&t, &rows, &PlannerCost::default())
+            .unwrap();
+
+        // Disjoint, covering, no empty shards, dense ids.
+        let mut seen: Vec<u32> = Vec::new();
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.id, i, "shard ids not dense");
+            prop_assert!(!s.rows.is_empty(), "empty shard survived");
+            seen.extend_from_slice(s.rows.as_slice());
+        }
+        seen.sort_unstable();
+        let total = seen.len();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), total, "shards overlap");
+        prop_assert_eq!(seen, rows.as_slice().to_vec(), "union is not the input");
+
+        // Null regime: all null-key rows in one trailing null shard.
+        let nulls: Vec<u32> = rows
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&r| t.value_f64(r as usize, attr).is_none())
+            .collect();
+        let null_shards: Vec<_> = shards
+            .iter()
+            .filter(|s| s.bounds.map(|b| b.null_keys).unwrap_or(false))
+            .collect();
+        if nulls.is_empty() {
+            prop_assert!(null_shards.is_empty());
+        } else {
+            prop_assert_eq!(null_shards.len(), 1);
+            prop_assert_eq!(null_shards[0].id, shards.len() - 1, "null shard must trail");
+            prop_assert_eq!(null_shards[0].rows.as_slice().to_vec(), nulls);
+        }
+
+        // Interval shards never split a repeated-value run: max key of one
+        // shard is strictly below the min key of the next.
+        let interval_extents: Vec<(f64, f64)> = shards
+            .iter()
+            .filter(|s| !s.bounds.map(|b| b.null_keys).unwrap_or(false))
+            .map(|s| {
+                let ks: Vec<f64> = s.rows.iter().filter_map(|r| t.value_f64(r, attr)).collect();
+                let lo = ks.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = ks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (lo, hi)
+            })
+            .collect();
+        for w in interval_extents.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "key ranges interleave: {:?}", interval_extents);
+        }
+        prop_assert!(interval_extents.len() <= k, "more interval shards than requested");
+        prop_assert_eq!(report.produced, shards.len());
+    }
+
+    /// A one-shard spec is byte-identical to the classic unsharded
+    /// partition: same ids, same row order, same (absent) bounds.
+    #[test]
+    fn single_shard_spec_matches_classic_partition(
+        keys in prop::collection::vec(arb_shard_key(), 1..60),
+    ) {
+        let (t, attr) = shard_key_table(&keys);
+        let rows = t.all_rows();
+        let classic = ShardPlan::Single.partition(&t, &rows).unwrap();
+        let (via_spec, report) = ShardSpec::single()
+            .plan(&t, &rows, &PlannerCost::default())
+            .unwrap();
+        prop_assert_eq!(via_spec, classic);
+        prop_assert_eq!(report.produced, 1);
+        // And a quantile spec degenerates identically whether asked for
+        // one shard or collapsed by a constant key.
+        let (one, _) = ShardSpec::by_key(attr)
+            .quantile()
+            .shards(1)
+            .plan(&t, &rows, &PlannerCost::default())
+            .unwrap();
+        let mut flat: Vec<u32> = one
+            .iter()
+            .flat_map(|s| s.rows.as_slice().iter().copied())
+            .collect();
+        flat.sort_unstable();
+        prop_assert_eq!(flat, rows.as_slice().to_vec());
+        prop_assert!(one.len() <= 2, "one interval shard plus at most a null shard");
+    }
+}
+
+/// Shard keys for plan proptests: a null regime, a small repeated-value
+/// vocabulary (forces runs and constants) and a skewed wide range.
+fn arb_shard_key() -> BoxedStrategy<Option<f64>> {
+    prop_oneof![
+        1 => Just(None),
+        2 => (0i64..6).prop_map(|v| Some(v as f64)),
+        2 => (-1_000i64..1_000).prop_map(|v| Some((v * v.abs()) as f64 / 16.0)),
+    ]
+    .boxed()
+}
+
+fn shard_key_table(keys: &[Option<f64>]) -> (Table, crr_data::AttrId) {
+    let schema = Schema::new(vec![("k", AttrType::Float)]);
+    let mut t = Table::new(schema);
+    for k in keys {
+        let kv = match k {
+            Some(v) => Value::Float(*v),
+            None => Value::Null,
+        };
+        t.push_row(vec![kv]).unwrap();
+    }
+    let attr = t.attr("k").unwrap();
+    (t, attr)
 }

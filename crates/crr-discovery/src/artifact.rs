@@ -14,7 +14,7 @@
 //! crr-artifact v1
 //! attr float minute
 //! attr float global_active_power
-//! obligations key=#0
+//! obligations key=#0 boundary=quantile
 //! guard shard=0 lo=- hi=5760 null=false pred #0 < f:5760
 //! guard shard=1 lo=5760 hi=- null=false pred #0 >= f:5760
 //! rules
@@ -24,9 +24,12 @@
 //!
 //! The `obligations`/`guard` lines are optional (single-shard runs apply
 //! no guards); guard predicates reuse the rule format's predicate grammar
-//! via [`crr_core::serialize::encode_predicate`].
+//! via [`crr_core::serialize::encode_predicate`]. The `boundary=` token
+//! records how the plan's interval boundaries were derived
+//! ([`crate::sharded::PlanBoundary`]); artifacts predating it parse as
+//! `equal_width`, the only construction that existed then.
 
-use crate::sharded::{ProofObligations, ShardGuard};
+use crate::sharded::{PlanBoundary, ProofObligations, ShardGuard};
 use crate::{DiscoveryError, Result};
 use crr_core::serialize::{decode_predicate, encode_predicate, from_text as rules_from_text};
 use crr_core::{CoreError, RuleSet};
@@ -140,7 +143,12 @@ impl RuleSetArtifact {
             let _ = writeln!(out, "attr {} {}", attr.ty(), attr.name());
         }
         if let Some(ob) = &self.obligations {
-            let _ = writeln!(out, "obligations key=#{}", ob.shard_key.0);
+            let _ = writeln!(
+                out,
+                "obligations key=#{} boundary={}",
+                ob.shard_key.0,
+                ob.boundary.label()
+            );
             for g in &ob.guards {
                 let _ = write!(
                     out,
@@ -187,14 +195,24 @@ impl RuleSetArtifact {
                     .ok_or_else(|| bad(format!("bad attr line: {line}")))?;
                 attrs.push((name.to_string(), decode_attr_type(ty)?));
             } else if let Some(rest) = line.strip_prefix("obligations ") {
-                let key = rest
-                    .trim()
-                    .strip_prefix("key=#")
-                    .and_then(|n| n.parse().ok())
-                    .map(AttrId)
-                    .ok_or_else(|| bad(format!("bad obligations line: {line}")))?;
+                let mut key = None;
+                // Absent in v1 documents written before the planner could
+                // choose: equal-width was the only construction.
+                let mut boundary = PlanBoundary::EqualWidth;
+                for tok in rest.split_whitespace() {
+                    if let Some(n) = tok.strip_prefix("key=#") {
+                        key = n.parse().ok().map(AttrId);
+                    } else if let Some(b) = tok.strip_prefix("boundary=") {
+                        boundary = PlanBoundary::from_label(b)
+                            .ok_or_else(|| bad(format!("bad obligations boundary: {b}")))?;
+                    } else {
+                        return Err(bad(format!("bad obligations token: {tok}")));
+                    }
+                }
+                let key = key.ok_or_else(|| bad(format!("bad obligations line: {line}")))?;
                 obligations = Some(ProofObligations {
                     shard_key: key,
+                    boundary,
                     guards: Vec::new(),
                 });
             } else if let Some(rest) = line.strip_prefix("guard ") {
@@ -325,6 +343,7 @@ mod tests {
             RuleSet::from_rules(vec![rule]),
             Some(ProofObligations {
                 shard_key: k,
+                boundary: PlanBoundary::Quantile,
                 guards,
             }),
         )
@@ -345,6 +364,7 @@ mod tests {
         let oa = a.obligations.as_ref().unwrap();
         let ob = b.obligations.as_ref().unwrap();
         assert_eq!(oa.shard_key, ob.shard_key);
+        assert_eq!(oa.boundary, ob.boundary);
         assert_eq!(oa.guards.len(), ob.guards.len());
         for (ga, gb) in oa.guards.iter().zip(&ob.guards) {
             assert_eq!(ga.shard_id, gb.shard_id);
@@ -353,6 +373,27 @@ mod tests {
         }
         // And the round-trip is a fixed point.
         assert_eq!(text, b.to_text());
+    }
+
+    #[test]
+    fn obligations_line_without_boundary_parses_as_equal_width() {
+        // A v1 document written before the boundary tag existed.
+        let text = sample().to_text().replace(" boundary=quantile", "");
+        let b = RuleSetArtifact::from_text(&text).unwrap();
+        assert_eq!(
+            b.obligations.as_ref().unwrap().boundary,
+            PlanBoundary::EqualWidth
+        );
+        // Re-serializing writes the tag explicitly from here on.
+        assert!(b.to_text().contains("boundary=equal_width"));
+    }
+
+    #[test]
+    fn bad_boundary_token_rejected() {
+        let text = sample()
+            .to_text()
+            .replace("boundary=quantile", "boundary=chaotic");
+        assert!(RuleSetArtifact::from_text(&text).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CRR discovery — the paper's §V.
 //!
 //! The front door is [`DiscoverySession`]: a builder owning the table,
-//! rows, predicate space, config, budget, metrics sink and shard plan.
+//! rows, predicate space, config, budget, metrics sink and shard spec.
 //! Two phases underneath, matching the paper's two algorithms:
 //!
 //! 1. **Searching with model sharing** (Algorithm 1): a
@@ -35,11 +35,14 @@
 //! [`DiscoverySession::run_all`], and the [`faults`] module injects
 //! failures deterministically to prove every degradation path under test.
 //!
-//! Large instances can be *sharded* ([`sharded`], [`crr_data::ShardPlan`]):
-//! Algorithm 1 runs per shard — concurrently, probing a frozen cross-shard
-//! model pool published by the seed shard — and per-shard rule sets are
-//! merged by Algorithm 2, with per-shard sufficient statistics combined
-//! instead of refit.
+//! Large instances can be *sharded* ([`sharded`], [`crr_data::ShardSpec`]):
+//! a typed spec — `ShardSpec::by_key(attr).quantile().shards(4)`, or
+//! `.auto()` to let the cost-based planner pick the count — is resolved
+//! into balanced shards; Algorithm 1 runs per shard — concurrently,
+//! largest shards first, probing a frozen cross-shard model pool published
+//! by the seed shard, with idle workers stolen to fan a straggler's probe
+//! scans — and per-shard rule sets are merged by Algorithm 2, with
+//! per-shard sufficient statistics combined instead of refit.
 //!
 //! Every run can be *observed*: attach a [`MetricsSink`] (from the
 //! zero-dependency `crr-obs` crate) via [`DiscoveryConfig::with_metrics`]
@@ -133,10 +136,15 @@ pub use parallel::Task;
 pub use predicates::{PredicateGen, PredicateSpace};
 pub use search::{share_fit_rows, share_fit_snapshot, Discovery, DiscoveryStats};
 pub use session::DiscoverySession;
-pub use sharded::{guard_predicates, ProofObligations, ShardGuard, ShardOutcome, ShardedDiscovery};
-// Shard plans live in crr-data (they cut tables, not searches); re-exported
-// so sharded sessions need only this crate.
-pub use crr_data::{Shard, ShardBounds, ShardPlan};
+pub use sharded::{
+    guard_predicates, PlanBoundary, ProofObligations, ShardGuard, ShardOutcome, ShardedDiscovery,
+};
+// Shard specs live in crr-data (they cut tables, not searches); re-exported
+// so sharded sessions need only this crate. `ShardPlan` stays exported for
+// the deprecation window of its constructors.
+pub use crr_data::{
+    balance_permille, Boundary, PlannerCost, Shard, ShardBounds, ShardCount, ShardPlan, ShardSpec,
+};
 // Observability surface, re-exported so callers configuring a metered run
 // need only this crate.
 pub use crr_obs::{MetricsSink, MetricsSnapshot};
@@ -151,7 +159,7 @@ pub mod prelude {
     pub use crate::faults::FaultPlan;
     pub use crate::session::DiscoverySession;
     pub use crate::sharded::{ShardOutcome, ShardedDiscovery};
-    pub use crr_data::ShardPlan;
+    pub use crr_data::{Boundary, ShardCount, ShardSpec};
     pub use crr_obs::{MetricsSink, MetricsSnapshot};
 }
 

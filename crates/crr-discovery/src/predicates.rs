@@ -160,6 +160,74 @@ impl PredicateSpace {
     pub fn mentions(&self, attr: AttrId) -> bool {
         self.preds.iter().any(|p| p.attr == attr)
     }
+
+    /// Confines the space to one shard of a key-partitioned instance:
+    /// drops every predicate on the shard-key attribute that is *constant*
+    /// over the shard's rows — always-false ones (the key interval lies
+    /// entirely outside the constant) and always-true ones alike. A
+    /// constant predicate can never separate a partition, so Algorithm 1
+    /// never places it in a rule condition; dropping it changes no
+    /// discovered rule, only the per-split candidate scans the shard pays.
+    ///
+    /// Membership is exact (see [`crr_data::ShardBounds`]): an interval
+    /// shard holds exactly the rows with a finite key in `[lo, hi)`, the
+    /// null shard exactly the rows with a null key — on which every
+    /// comparison is false and the unary null tests are constant too.
+    ///
+    /// Returns `None` when every predicate survives, so callers keep the
+    /// original space (and its indices) without a rebuild. The full-range
+    /// shard of a one-shard plan always lands here: nothing is out of
+    /// range, which is what keeps the single-shard path byte-identical to
+    /// classic discovery.
+    pub fn confined_to(&self, bounds: &crr_data::ShardBounds) -> Option<PredicateSpace> {
+        use crr_core::Op;
+        let constant_on_shard = |p: &Predicate| -> bool {
+            if p.attr != bounds.attr {
+                return false;
+            }
+            if bounds.null_keys {
+                // Null keys satisfy no comparison; IS [NOT] NULL is
+                // uniform across the shard. Every key predicate is
+                // constant here.
+                return true;
+            }
+            if matches!(p.op, Op::IsNull | Op::NotNull) {
+                // Interval shards hold finite keys only: IS NULL is
+                // always false, IS NOT NULL always true.
+                return true;
+            }
+            let c = match &p.value {
+                Value::Int(v) => *v as f64,
+                Value::Float(v) => *v,
+                // A string or null constant against the numeric key is
+                // degenerate; leave it alone.
+                _ => return false,
+            };
+            if !c.is_finite() {
+                return false;
+            }
+            // Keys lie in [lo, hi). `A < c` and `A ≥ c` are constant
+            // already at c == lo; the rest need c strictly below it.
+            let strict = matches!(p.op, Op::Lt | Op::Ge);
+            let under = bounds
+                .lo
+                .map(|l| if strict { c <= l } else { c < l })
+                .unwrap_or(false);
+            let over = bounds.hi.map(|h| c >= h).unwrap_or(false);
+            under || over
+        };
+        if self.preds.iter().any(&constant_on_shard) {
+            let kept: Vec<Predicate> = self
+                .preds
+                .iter()
+                .filter(|p| !constant_on_shard(p))
+                .cloned()
+                .collect();
+            Some(PredicateSpace::from_predicates(kept))
+        } else {
+            None
+        }
+    }
 }
 
 /// A predicate-space generator (Table III's Expert / Binary / Random).

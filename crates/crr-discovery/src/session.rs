@@ -1,6 +1,6 @@
 //! The `DiscoverySession` front door: one builder owning everything a
 //! discovery run needs — table, rows, predicate space, configuration,
-//! budget, metrics sink, shard plan — replacing the positional free
+//! budget, metrics sink, shard spec — replacing the positional free
 //! functions as the primary entry point.
 //!
 //! ```
@@ -34,12 +34,12 @@ use crate::{
     Budget, Discovery, DiscoveryConfig, DiscoveryError, PredicateSpace, Result, RuleSetArtifact,
     ShardedDiscovery, Task,
 };
-use crr_data::{RowSet, ShardPlan, Table};
+use crr_data::{RowSet, ShardSpec, Table};
 use crr_obs::MetricsSink;
 
 /// Builder for one discovery run over a table.
 ///
-/// Defaults: all rows, no sharding ([`ShardPlan::Single`] — a run
+/// Defaults: all rows, no sharding ([`ShardSpec::single`] — a run
 /// byte-identical to the classic `discover`), the config's own budget and
 /// metrics sink. [`Self::predicates`] and [`Self::config`] are required;
 /// [`Self::run`] rejects a session missing either with
@@ -52,7 +52,7 @@ pub struct DiscoverySession<'a> {
     config: Option<DiscoveryConfig>,
     budget: Option<Budget>,
     metrics: Option<MetricsSink>,
-    plan: ShardPlan,
+    spec: ShardSpec,
 }
 
 impl<'a> DiscoverySession<'a> {
@@ -65,7 +65,7 @@ impl<'a> DiscoverySession<'a> {
             config: None,
             budget: None,
             metrics: None,
-            plan: ShardPlan::Single,
+            spec: ShardSpec::single(),
         }
     }
 
@@ -99,10 +99,15 @@ impl<'a> DiscoverySession<'a> {
         self
     }
 
-    /// Shards the run under `plan`; per-shard rule sets are merged with
-    /// Algorithm 2. The default [`ShardPlan::Single`] runs unsharded.
-    pub fn sharded(mut self, plan: ShardPlan) -> Self {
-        self.plan = plan;
+    /// Shards the run under `spec`; per-shard rule sets are merged with
+    /// Algorithm 2. The default [`ShardSpec::single`] runs unsharded.
+    ///
+    /// Accepts anything convertible into a [`ShardSpec`] — including a
+    /// legacy [`crr_data::ShardPlan`], which maps onto the equivalent
+    /// spec — so `sharded(ShardSpec::by_key(k).quantile().shards(4))`
+    /// and existing `sharded(plan)` call sites both compile.
+    pub fn sharded(mut self, spec: impl Into<ShardSpec>) -> Self {
+        self.spec = spec.into();
         self
     }
 
@@ -115,7 +120,7 @@ impl<'a> DiscoverySession<'a> {
         RowSet,
         DiscoveryConfig,
         PredicateSpace,
-        ShardPlan,
+        ShardSpec,
     )> {
         let rows = self.rows.unwrap_or_else(|| self.table.all_rows());
         let space = self.space.ok_or_else(|| {
@@ -130,7 +135,7 @@ impl<'a> DiscoverySession<'a> {
         if let Some(m) = self.metrics {
             cfg.metrics = m;
         }
-        Ok((self.table, rows, cfg, space, self.plan))
+        Ok((self.table, rows, cfg, space, self.spec))
     }
 
     /// Runs discovery. Unsharded (or one-shard) sessions behave exactly
@@ -138,8 +143,8 @@ impl<'a> DiscoverySession<'a> {
     /// shard with the frozen cross-shard pool and merge with Algorithm 2
     /// (see [`crate::sharded`]).
     pub fn run(self) -> Result<ShardedDiscovery> {
-        let (table, rows, cfg, space, plan) = self.resolve()?;
-        discover_sharded(table, &rows, &cfg, &space, &plan)
+        let (table, rows, cfg, space, spec) = self.resolve()?;
+        discover_sharded(table, &rows, &cfg, &space, &spec)
     }
 
     /// Runs discovery, compacts the merged rule set against the data
@@ -153,9 +158,9 @@ impl<'a> DiscoverySession<'a> {
     /// Returns the full [`ShardedDiscovery`] alongside the artifact so
     /// stats/metrics remain inspectable.
     pub fn export(self) -> Result<(ShardedDiscovery, RuleSetArtifact)> {
-        let (table, rows, cfg, space, plan) = self.resolve()?;
+        let (table, rows, cfg, space, spec) = self.resolve()?;
         let rho_max = cfg.rho_max;
-        let out = discover_sharded(table, &rows, &cfg, &space, &plan)?;
+        let out = discover_sharded(table, &rows, &cfg, &space, &spec)?;
         // Post-merge compaction is idempotent for already-compacted sharded
         // output and compacts the single-shard fast path, which skips
         // Algorithm 2 entirely.
@@ -168,7 +173,7 @@ impl<'a> DiscoverySession<'a> {
     /// Runs many independent per-target tasks over this session's table
     /// and rows, fanned out over up to `threads` workers. Each task carries
     /// its own config and space; the session's predicate space, config,
-    /// budget, metrics and shard plan are not consulted.
+    /// budget, metrics and shard spec are not consulted.
     pub fn run_all(self, tasks: &[Task], threads: usize) -> Vec<Result<Discovery>> {
         let rows = self.rows.unwrap_or_else(|| self.table.all_rows());
         discover_all(self.table, &rows, tasks, threads)
@@ -269,7 +274,7 @@ mod tests {
         let (out, artifact) = DiscoverySession::on(&t)
             .predicates(space)
             .config(cfg)
-            .sharded(ShardPlan::by_key_range(k, 2))
+            .sharded(ShardSpec::by_key(k).equal_width().shards(2))
             .export()
             .unwrap();
         assert!(out.outcome.is_complete());

@@ -1,17 +1,22 @@
 //! Sharded discovery: Algorithm 1 per shard with a frozen cross-shard
 //! model pool, then Algorithm 2 as the cross-shard merge.
 //!
-//! The instance is cut by a [`ShardPlan`] (key range or time window —
-//! `crr-data`). Shard 0 — the *seed* — runs plain Algorithm 1 first; the
-//! models it trains, in publication order keyed `(shard_id, seq)`, freeze
-//! into a read-only cross-shard pool. The remaining shards then run
-//! concurrently (up to [`crate::DiscoveryConfig::shard_threads`] at a
-//! time), each probing that frozen pool sequentially after a complete
-//! local-pool miss with the first match winning. Because the pool never
-//! changes while they run and each shard is a pure function of its own
-//! rows, the result is byte-identical whatever the thread schedule — the
-//! same first-match determinism contract the within-run parallel pool
-//! scan gives.
+//! The instance is cut by a [`ShardSpec`] resolved through the
+//! cost-based planner in `crr-data` (quantile or equal-width key
+//! boundaries, fixed or cost-model shard count, or time windows). Shard
+//! 0 — the *seed* — runs plain Algorithm 1 first; the models it trains,
+//! in publication order keyed `(shard_id, seq)`, freeze into a read-only
+//! cross-shard pool. The remaining shards then run concurrently (up to
+//! [`crate::DiscoveryConfig::shard_threads`] at a time, largest shards
+//! claimed first), each probing that frozen pool in deterministic
+//! `(shard, seq)` order after a complete local-pool miss with the first
+//! match winning. Threads with no shards left to claim retire into an
+//! idle ledger, and straggler shards borrow them to fan their cross-pool
+//! probe scans (work stealing) — the probe *order* never changes, only
+//! how fast it resolves. Because the pool never changes while shards run
+//! and each shard is a pure function of its own rows, the result is
+//! byte-identical whatever the thread schedule — the same first-match
+//! determinism contract the within-run parallel pool scan gives.
 //!
 //! Per-shard rule sets are made sound outside their shard by guarding
 //! every conjunction with an exact membership predicate for the shard:
@@ -39,7 +44,10 @@ use crate::{
     PredicateSpace, Result,
 };
 use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
-use crr_data::{AttrId, RowSet, Shard, ShardBounds, ShardPlan, Table, Value};
+use crr_data::{
+    balance_permille, AttrId, Boundary, PlannerCost, RowSet, Shard, ShardBounds, ShardSpec, Table,
+    Value,
+};
 use crr_models::{ConstantModel, Model, Moments};
 use crr_obs::{Counter as Ctr, Gauge, MetricsSnapshot};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -134,14 +142,57 @@ pub struct ShardGuard {
     pub guards: Vec<Predicate>,
 }
 
+/// How a plan's interval boundaries were derived, recorded in
+/// [`ProofObligations`] so the verifier can state *which* construction it
+/// audited. All constructions discharge the same four checks — exactness,
+/// disjointness, coverage, confinement — quantile-derived and stolen-work
+/// guards included; the tag is provenance, never a relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanBoundary {
+    /// Equal-width geometry over the observed key range (PR 4's
+    /// construction, and the default for artifacts predating the tag).
+    #[default]
+    EqualWidth,
+    /// Equal-frequency (quantile) boundaries snapped between distinct
+    /// key values.
+    Quantile,
+    /// Fixed-width time windows from the observed minimum.
+    TimeWindow,
+}
+
+impl PlanBoundary {
+    /// Stable lowercase label used in artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanBoundary::EqualWidth => "equal_width",
+            PlanBoundary::Quantile => "quantile",
+            PlanBoundary::TimeWindow => "time_window",
+        }
+    }
+
+    /// Parses [`Self::label`] back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "equal_width" => Some(PlanBoundary::EqualWidth),
+            "quantile" => Some(PlanBoundary::Quantile),
+            "time_window" => Some(PlanBoundary::TimeWindow),
+            _ => None,
+        }
+    }
+}
+
 /// Proof obligations a sharded run discharges onto its verifier: the
-/// shard key and, per shard, the guard predicates actually applied.
-/// Emitted by every multi-shard run; the single-shard fast path applies
-/// no guards and emits none.
+/// shard key, how its boundaries were derived, and, per shard, the guard
+/// predicates actually applied. Emitted by every multi-shard run; the
+/// single-shard fast path applies no guards and emits none. Work-stolen
+/// runs emit exactly the same obligations as unassisted ones — stealing
+/// reorders probe *execution*, never probe *order* or shard membership.
 #[derive(Debug, Clone)]
 pub struct ProofObligations {
     /// The attribute the instance was sharded on.
     pub shard_key: AttrId,
+    /// How the plan's interval boundaries were derived.
+    pub boundary: PlanBoundary,
     /// One entry per shard, in shard order.
     pub guards: Vec<ShardGuard>,
 }
@@ -152,20 +203,33 @@ enum ShardRun {
     Failed(DiscoveryError),
 }
 
-/// Runs sharded discovery over `rows` of `table` under `plan`.
+/// Minimum cross-pool probes an auto-count spec needs on the sink before
+/// the planner trusts the hit rate enough to fall back to single-shard.
+const CROSS_POOL_FALLBACK_MIN_PROBES: u64 = 64;
+
+/// Runs sharded discovery over `rows` of `table` under `spec`.
 ///
-/// With a plan that yields one shard this is byte-identical to plain
-/// an unsharded run (no guards, no merge) and errors propagate
-/// directly. With more shards, per-shard failures degrade to constant
-/// fallbacks and never abort siblings; only instance-level problems
-/// (trivial target, empty instance, a non-finite shard key, an invalid
-/// plan or config) error out — all detected before any shard runs.
+/// The spec is resolved by the cost-based planner ([`ShardSpec::plan`])
+/// into concrete shards: quantile or equal-width boundaries, a fixed or
+/// cost-model shard count. An auto-count spec additionally consults this
+/// sink's own `shards.cross_pool_*` history — when at least
+/// [`CROSS_POOL_FALLBACK_MIN_PROBES`] probes have resolved and fewer than
+/// one in five hit, cross-shard sharing demonstrably isn't paying on this
+/// workload and the planner falls back to a single shard
+/// (`shards.plan_fallback_single`).
+///
+/// With a spec that yields one shard this is byte-identical to a plain
+/// unsharded run (no guards, no merge) and errors propagate directly.
+/// With more shards, per-shard failures degrade to constant fallbacks
+/// and never abort siblings; only instance-level problems (trivial
+/// target, empty instance, a non-finite shard key, an invalid spec or
+/// config) error out — all detected before any shard runs.
 pub(crate) fn discover_sharded(
     table: &Table,
     rows: &RowSet,
     cfg: &DiscoveryConfig,
     space: &PredicateSpace,
-    plan: &ShardPlan,
+    spec: &ShardSpec,
 ) -> Result<ShardedDiscovery> {
     cfg.validate()?;
     // Instance-level preconditions, identical to `discover`'s preamble:
@@ -188,8 +252,51 @@ pub(crate) fn discover_sharded(
 
     let start = Instant::now();
     let mx = &cfg.metrics;
-    let shards = plan.partition(table, rows)?;
+
+    // Auto-fallback: an auto-count spec defers not just *how many* shards
+    // but *whether* sharding pays. The sink's cumulative cross-pool
+    // counters are the evidence — a cold or disabled sink (zero probes)
+    // never triggers this.
+    let resolved;
+    let spec = if spec.is_auto_count() {
+        let snap = mx.snapshot();
+        let probes = snap.count("shards", "cross_pool_probes").unwrap_or(0);
+        let hits = snap.count("shards", "cross_pool_hits").unwrap_or(0);
+        if probes >= CROSS_POOL_FALLBACK_MIN_PROBES && hits * 5 < probes {
+            mx.incr(Ctr::PlanFallbackSingle);
+            resolved = ShardSpec::single();
+            &resolved
+        } else {
+            spec
+        }
+    } else {
+        spec
+    };
+
+    let cost = PlannerCost {
+        predicate_vocab: space.len().max(1),
+        workers: cfg.shard_threads.max(1),
+    };
+    let (shards, report) = spec.plan(table, rows, &cost)?;
+    if report.auto_count {
+        mx.incr(Ctr::PlanAutoK);
+    }
+    if shards.len() > 1 {
+        match report.boundary {
+            Some(Boundary::Quantile) => mx.incr(Ctr::PlanQuantile),
+            Some(Boundary::EqualWidth) => mx.incr(Ctr::PlanEqualWidth),
+            None => {}
+        }
+    }
     mx.set_gauge(Gauge::ShardsPlanned, shards.len() as u64);
+    mx.set_gauge(Gauge::ShardBalancePermille, balance_permille(&shards));
+    let boundary = match report.boundary {
+        Some(Boundary::Quantile) => PlanBoundary::Quantile,
+        Some(Boundary::EqualWidth) => PlanBoundary::EqualWidth,
+        // Multi-shard plans without a boundary choice are time windows;
+        // the single-shard case emits no obligations at all.
+        None => PlanBoundary::TimeWindow,
+    };
 
     if shards.len() == 1 {
         // Fast path: one shard is plain Algorithm 1 — no guards, no
@@ -231,7 +338,19 @@ pub(crate) fn discover_sharded(
 
     // Seed phase: shard 0 runs alone with no cross pool. Its published
     // models freeze into the pool every later shard probes.
+    let rest = &shards[1..];
     let seed_run = run_shard_isolated(table, &shards[0], cfg, space, None);
+    // Work-stealing ledger: threads the config reserved but this plan
+    // cannot occupy start out idle, and every worker that retires (no
+    // shards left to claim) adds itself. Stragglers borrow idle threads
+    // to fan their cross-pool probe scans (see `run_search`) — by the
+    // first-match-scan contract that never changes which model wins,
+    // only how fast the scan resolves.
+    let workers = if cfg.shard_threads <= 1 || rest.len() <= 1 {
+        1
+    } else {
+        cfg.shard_threads.min(rest.len())
+    };
     let frozen = CrossShardPool {
         models: match &seed_run {
             ShardRun::Ok(r) => r
@@ -242,12 +361,12 @@ pub(crate) fn discover_sharded(
                 .collect(),
             ShardRun::Failed(_) => Vec::new(),
         },
+        idle: AtomicUsize::new(cfg.shard_threads.saturating_sub(workers)),
     };
 
     // Parallel phase: shards 1.. claim work over a shared index, bounded
     // by `shard_threads`. Each is a pure function of (its rows, cfg,
     // space, frozen pool), so the schedule cannot change any result.
-    let rest = &shards[1..];
     let mut runs: Vec<Option<ShardRun>> = Vec::with_capacity(rest.len());
     if cfg.shard_threads <= 1 || rest.len() <= 1 {
         for shard in rest {
@@ -260,18 +379,33 @@ pub(crate) fn discover_sharded(
             )));
         }
     } else {
+        // Skew-aware claim order (longest processing time first): the
+        // largest shards are claimed first so the schedule's tail is
+        // short shards, not one straggler holding the run open. Claim
+        // order cannot change any result — each shard is a pure function
+        // of its own rows and the frozen pool — and results land in
+        // slots by original shard index, so output order is unaffected.
+        let mut order: Vec<usize> = (0..rest.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(rest[i].rows.len()));
         let slots: Vec<Mutex<Option<ShardRun>>> = rest.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let (next, slots, frozen) = (&next, &slots, &frozen);
-            for _ in 0..cfg.shard_threads.min(rest.len()) {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= rest.len() {
-                        break;
+            let (next, slots, frozen, order) = (&next, &slots, &frozen, &order);
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    loop {
+                        let oi = next.fetch_add(1, Ordering::Relaxed);
+                        if oi >= order.len() {
+                            break;
+                        }
+                        let i = order[oi];
+                        let out = run_shard_isolated(table, &rest[i], cfg, space, Some(frozen));
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     }
-                    let out = run_shard_isolated(table, &rest[i], cfg, space, Some(frozen));
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    // Retire into the steal ledger: this thread is done
+                    // claiming shards, so stragglers may count it as an
+                    // available probe-scan helper.
+                    frozen.idle.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
@@ -383,6 +517,7 @@ pub(crate) fn discover_sharded(
 
     let obligations = shard_guards.first().map(|g| ProofObligations {
         shard_key: g.bounds.attr,
+        boundary,
         guards: shard_guards.clone(),
     });
     Ok(ShardedDiscovery {
@@ -408,6 +543,14 @@ fn run_shard_isolated(
     cross: Option<&CrossShardPool>,
 ) -> ShardRun {
     catch_unwind(AssertUnwindSafe(|| {
+        // Confine the predicate space to the shard's key interval:
+        // predicates constant over the shard (always-false *or*
+        // always-true on its key range) can never separate a partition,
+        // so dropping them changes no discovered rule — it only spares
+        // every split step a scan over candidates the planner already
+        // knows are dead. A full-range shard keeps the original space.
+        let confined = shard.bounds.as_ref().and_then(|b| space.confined_to(b));
+        let space = confined.as_ref().unwrap_or(space);
         run_search(table, &shard.rows, cfg, space, cross)
     }))
     .unwrap_or_else(|payload| {
@@ -517,4 +660,87 @@ fn sum_stats(total: &mut DiscoveryStats, s: &DiscoveryStats) {
     total.drained_partitions += s.drained_partitions;
     total.drained_rows += s.drained_rows;
     total.cross_shard_shares += s.cross_shard_shares;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::run_search;
+    use crate::{DiscoveryConfig, PredicateGen};
+    use crr_data::{AttrType, Schema};
+    use crr_models::LinearModel;
+    use crr_obs::MetricsSink;
+
+    /// Work stealing must never change which frozen model a probe scan
+    /// adopts: a scan fanned over idle helpers returns byte-identical
+    /// rules to the sequential walk, with identical probe accounting, and
+    /// the assist itself is counted.
+    #[test]
+    #[allow(clippy::unwrap_used)]
+    fn stolen_probe_scans_match_sequential_byte_for_byte() {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..120 {
+            let x = i as f64;
+            t.push_row(vec![Value::Float(x), Value::Float(x)]).unwrap();
+        }
+        let x = t.attr("x").unwrap();
+        let y = t.attr("y").unwrap();
+        let space = PredicateGen::binary(7).generate(&t, &[x], y, 1);
+        // Frozen pool: a decoy that misses every row at index 0, then the
+        // exact model — first-match must land on index 1 in both modes.
+        let models = || {
+            vec![
+                (
+                    0usize,
+                    0u64,
+                    Arc::new(Model::Linear(LinearModel::new(vec![1.0], 1000.0))),
+                ),
+                (
+                    0usize,
+                    1u64,
+                    Arc::new(Model::Linear(LinearModel::new(vec![1.0], 0.0))),
+                ),
+            ]
+        };
+        let run = |idle: usize| {
+            let sink = MetricsSink::enabled();
+            let cfg = DiscoveryConfig::new(vec![x], y, 0.5).with_metrics(sink.clone());
+            let pool = CrossShardPool {
+                models: models(),
+                idle: AtomicUsize::new(idle),
+            };
+            let out = run_search(&t, &t.all_rows(), &cfg, &space, Some(&pool)).unwrap();
+            (
+                crr_core::serialize::to_text(&out.discovery.rules),
+                sink.snapshot(),
+            )
+        };
+        let (seq, m0) = run(0);
+        let (stolen, m2) = run(2);
+        assert_eq!(seq, stolen, "stealing changed the adopted rules");
+        assert_eq!(m0.count("shards", "steal_assists"), Some(0));
+        assert!(m2.count("shards", "steal_assists").unwrap() > 0);
+        assert_eq!(
+            m0.count("shards", "cross_pool_probes"),
+            m2.count("shards", "cross_pool_probes"),
+            "per-consultation probe accounting must not depend on stealing"
+        );
+        assert_eq!(
+            m0.count("shards", "cross_pool_hits"),
+            m2.count("shards", "cross_pool_hits")
+        );
+    }
+
+    #[test]
+    fn plan_boundary_labels_round_trip() {
+        for b in [
+            PlanBoundary::EqualWidth,
+            PlanBoundary::Quantile,
+            PlanBoundary::TimeWindow,
+        ] {
+            assert_eq!(PlanBoundary::from_label(b.label()), Some(b));
+        }
+        assert_eq!(PlanBoundary::from_label("nope"), None);
+    }
 }

@@ -95,7 +95,9 @@ fn one_shard_is_byte_identical_to_unsharded_on_electricity() {
         .config(cfg.clone())
         .run()
         .unwrap();
-    let plan = ShardPlan::by_key_range(key_of(&t, "minute"), 1);
+    let plan = ShardSpec::by_key(key_of(&t, "minute"))
+        .equal_width()
+        .shards(1);
     let sharded = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
@@ -117,7 +119,11 @@ fn one_shard_is_byte_identical_to_unsharded_on_tax() {
     let sharded = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(key_of(&t, "salary"), 1))
+        .sharded(
+            ShardSpec::by_key(key_of(&t, "salary"))
+                .equal_width()
+                .shards(1),
+        )
         .run()
         .unwrap();
     assert_eq!(sharded_fingerprint(&classic), sharded_fingerprint(&sharded));
@@ -126,7 +132,9 @@ fn one_shard_is_byte_identical_to_unsharded_on_tax() {
 #[test]
 fn multi_shard_runs_are_deterministic_across_thread_counts() {
     let (t, cfg, space) = electricity_setup(4000);
-    let plan = ShardPlan::by_key_range(key_of(&t, "minute"), 4);
+    let plan = ShardSpec::by_key(key_of(&t, "minute"))
+        .equal_width()
+        .shards(4);
     let run = |threads: usize| {
         DiscoverySession::on(&t)
             .predicates(space.clone())
@@ -151,7 +159,7 @@ fn cross_shard_pool_shares_models_and_merge_compacts() {
         .predicates(space)
         .config(cfg.with_shard_threads(2))
         .metrics(sink.clone())
-        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).equal_width().shards(4))
         .run()
         .unwrap();
     // Shard 1 (x ∈ [50,100)) obeys the seed shard's y = x model exactly,
@@ -198,7 +206,7 @@ fn shard_moments_merge_to_whole_table_moments() {
     let sharded = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).equal_width().shards(4))
         .run()
         .unwrap();
     let w = whole.global_moments.expect("whole-table moments");
@@ -250,7 +258,7 @@ fn null_key_shard_rules_are_guarded_and_sound_instance_wide() {
     let out = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(k, 2))
+        .sharded(ShardSpec::by_key(k).equal_width().shards(2))
         .run()
         .unwrap();
     // The trailing shard holds exactly the null-key rows and is marked so.
@@ -303,7 +311,7 @@ fn constant_key_with_nulls_guards_the_unbounded_shard() {
     let out = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(key_of(&t, "k"), 3))
+        .sharded(ShardSpec::by_key(key_of(&t, "k")).equal_width().shards(3))
         .run()
         .unwrap();
     assert_eq!(
@@ -335,7 +343,7 @@ fn non_finite_shard_keys_error_before_any_shard_runs() {
         DiscoverySession::on(&t)
             .predicates(space)
             .config(cfg)
-            .sharded(ShardPlan::by_key_range(x, 4))
+            .sharded(ShardSpec::by_key(x).equal_width().shards(4))
             .run(),
         Err(DiscoveryError::Data(crr_data::DataError::NonFiniteCell {
             row: 50,
@@ -356,7 +364,7 @@ fn failed_shard_degrades_without_aborting_siblings() {
         .predicates(space)
         .config(cfg.with_shard_threads(2))
         .metrics(sink.clone())
-        .sharded(ShardPlan::by_key_range(key_of(&t, "x"), 4))
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).equal_width().shards(4))
         .run()
         .unwrap();
     assert_eq!(out.shards.len(), 4);
@@ -398,7 +406,7 @@ fn invalid_plan_and_config_error_before_any_shard_runs() {
         DiscoverySession::on(&t)
             .predicates(space.clone())
             .config(cfg.clone())
-            .sharded(ShardPlan::by_key_range(x, 0))
+            .sharded(ShardSpec::by_key(x).shards(0))
             .run(),
         Err(DiscoveryError::Data(crr_data::DataError::InvalidShardPlan(
             _
@@ -408,8 +416,191 @@ fn invalid_plan_and_config_error_before_any_shard_runs() {
         DiscoverySession::on(&t)
             .predicates(space)
             .config(cfg.with_pool_scan_threads(0))
-            .sharded(ShardPlan::by_key_range(x, 4))
+            .sharded(ShardSpec::by_key(x).equal_width().shards(4))
             .run(),
         Err(DiscoveryError::InvalidConfig(_))
     ));
+}
+
+// ---- Adaptive planning (ISSUE 9) ----------------------------------------
+
+#[test]
+fn quantile_one_shard_is_byte_identical_to_classic() {
+    let (t, cfg, space) = tax_setup(2000);
+    let classic = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    let quantile = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardSpec::by_key(key_of(&t, "salary")).quantile().shards(1))
+        .run()
+        .unwrap();
+    assert_eq!(
+        sharded_fingerprint(&classic),
+        sharded_fingerprint(&quantile)
+    );
+    assert!(quantile.merge.is_none(), "one shard must skip the merge");
+}
+
+#[test]
+fn quantile_multi_shard_is_deterministic_across_thread_counts() {
+    // With 8 threads and 3 non-seed shards the steal ledger is non-zero
+    // from the start, so any stealing exercised here must not perturb the
+    // single-thread fingerprint.
+    let (t, cfg, space) = electricity_setup(4000);
+    let spec = ShardSpec::by_key(key_of(&t, "minute")).quantile().shards(4);
+    let run = |threads: usize| {
+        DiscoverySession::on(&t)
+            .predicates(space.clone())
+            .config(cfg.clone().with_shard_threads(threads))
+            .sharded(spec.clone())
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    let c = run(8);
+    assert_eq!(sharded_fingerprint(&a), sharded_fingerprint(&b));
+    assert_eq!(sharded_fingerprint(&b), sharded_fingerprint(&c));
+    assert_eq!(a.shards.len(), 4);
+}
+
+#[test]
+fn quantile_balances_the_skewed_tax_key() {
+    // Salaries are right-skewed: equal-width shards pile most rows into
+    // the low intervals, quantile shards split them near-evenly.
+    let (t, cfg, space) = tax_setup(10000);
+    let balance = |out: &ShardedDiscovery| {
+        let sizes: Vec<usize> = out.shards.iter().map(|s| s.rows.len()).collect();
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        min / max
+    };
+    let ew = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .sharded(
+            ShardSpec::by_key(key_of(&t, "salary"))
+                .equal_width()
+                .shards(4),
+        )
+        .run()
+        .unwrap();
+    let q = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardSpec::by_key(key_of(&t, "salary")).quantile().shards(4))
+        .run()
+        .unwrap();
+    assert_eq!(q.shards.len(), 4);
+    assert!(
+        balance(&q) > balance(&ew),
+        "quantile balance {:.3} must beat equal-width {:.3}",
+        balance(&q),
+        balance(&ew)
+    );
+    assert!(balance(&q) > 0.9, "quantile shards stay near-even");
+    // Both runs stay sound and covering whatever the boundary placement.
+    assert!(q.rules.uncovered(&t, &t.all_rows()).is_empty());
+    for rule in q.rules.rules() {
+        assert!(rule.find_violation(&t, &t.all_rows()).is_none());
+    }
+}
+
+#[test]
+fn obligations_record_the_boundary_construction() {
+    use crr_discovery::PlanBoundary;
+    let (t, cfg, space) = two_regime_table(200);
+    let x = key_of(&t, "x");
+    let q = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .sharded(ShardSpec::by_key(x).quantile().shards(4))
+        .run()
+        .unwrap();
+    assert_eq!(
+        q.obligations.as_ref().unwrap().boundary,
+        PlanBoundary::Quantile
+    );
+    let ew = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .sharded(ShardSpec::by_key(x).equal_width().shards(4))
+        .run()
+        .unwrap();
+    assert_eq!(
+        ew.obligations.as_ref().unwrap().boundary,
+        PlanBoundary::EqualWidth
+    );
+    // The boundary survives the artifact round-trip.
+    let artifact = q.export_artifact(t.schema()).unwrap();
+    let back = crr_discovery::RuleSetArtifact::from_text(&artifact.to_text()).unwrap();
+    assert_eq!(back.obligations.unwrap().boundary, PlanBoundary::Quantile);
+}
+
+#[test]
+fn auto_count_plans_from_the_cost_model() {
+    let (t, cfg, space) = two_regime_table(4096);
+    let sink = MetricsSink::enabled();
+    let out = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg.with_shard_threads(4))
+        .metrics(sink.clone())
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).auto())
+        .run()
+        .unwrap();
+    let m = sink.snapshot();
+    assert_eq!(m.count("shards", "plan_auto_k"), Some(1));
+    assert!(out.shards.len() > 1, "4096 rows should shard");
+    assert_eq!(
+        m.count("shards", "plan_quantile"),
+        Some(1),
+        "auto specs default to quantile boundaries"
+    );
+    let balance = m.count("shards", "balance_permille").unwrap();
+    assert!(balance > 900, "balance gauge reads {balance}");
+    assert!(out.rules.uncovered(&t, &t.all_rows()).is_empty());
+}
+
+#[test]
+fn auto_count_falls_back_to_single_shard_on_poor_sharing() {
+    use crr_obs::Counter;
+    let (t, cfg, space) = two_regime_table(4096);
+    // A sink whose history says cross-shard sharing never pays: plenty of
+    // probes, no hits.
+    let sink = MetricsSink::enabled();
+    sink.add(Counter::CrossShardPoolProbes, 100);
+    sink.add(Counter::CrossShardPoolMisses, 100);
+    let out = DiscoverySession::on(&t)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .metrics(sink.clone())
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).auto())
+        .run()
+        .unwrap();
+    assert_eq!(out.shards.len(), 1, "planner must fall back to one shard");
+    assert!(out.obligations.is_none());
+    assert_eq!(
+        sink.snapshot().count("shards", "plan_fallback_single"),
+        Some(1)
+    );
+    // A fixed-count spec is a caller decision: never overridden.
+    let sink2 = MetricsSink::enabled();
+    sink2.add(Counter::CrossShardPoolProbes, 100);
+    sink2.add(Counter::CrossShardPoolMisses, 100);
+    let fixed = DiscoverySession::on(&t)
+        .predicates(space)
+        .config(cfg)
+        .metrics(sink2.clone())
+        .sharded(ShardSpec::by_key(key_of(&t, "x")).quantile().shards(4))
+        .run()
+        .unwrap();
+    assert_eq!(fixed.shards.len(), 4);
+    assert_eq!(
+        sink2.snapshot().count("shards", "plan_fallback_single"),
+        Some(0)
+    );
 }

@@ -136,6 +136,21 @@ metric_enum! {
         /// Cross-shard consultations that scanned the whole frozen pool
         /// without a hit. Hits + misses == probes, always.
         CrossShardPoolMisses => ("shards", "cross_pool_misses"),
+        /// Adaptive plans resolved with quantile (equal-frequency)
+        /// boundaries.
+        PlanQuantile => ("shards", "plan_quantile"),
+        /// Plans resolved with equal-width boundaries.
+        PlanEqualWidth => ("shards", "plan_equal_width"),
+        /// Plans whose shard count came from the cost model rather than
+        /// the caller.
+        PlanAutoK => ("shards", "plan_auto_k"),
+        /// Auto plans resolved to a single shard because prior cross-shard
+        /// hit/miss evidence showed sharing does not pay on this workload.
+        PlanFallbackSingle => ("shards", "plan_fallback_single"),
+        /// Cross-shard pool consultations whose probe scan was fanned out
+        /// over idle shard workers (work stealing). Each assisted
+        /// consultation still counts exactly once in `cross_pool_probes`.
+        StealAssists => ("shards", "steal_assists"),
         /// Translation rewrites applied while merging per-shard rule
         /// sets with Algorithm 2.
         MergeTranslations => ("shards", "merge_translations"),
@@ -225,6 +240,10 @@ metric_enum! {
         InputDims => ("run", "input_dims"),
         /// Non-empty shards the shard plan produced for the run.
         ShardsPlanned => ("run", "shards"),
+        /// Row balance of the resolved partition's interval shards, in
+        /// permille: `min(rows)/max(rows) × 1000` (1000 = perfectly
+        /// balanced; single-shard and degenerate plans report 1000).
+        ShardBalancePermille => ("shards", "balance_permille"),
         /// Requests currently admitted and not yet answered (serving).
         ServeInFlight => ("serve", "in_flight"),
         /// Generation of the rule set currently behind the swap pointer;

@@ -17,7 +17,7 @@
 
 use crr_core::Op;
 use crr_data::{AttrType, Schema, Table, Value};
-use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen, RuleSetArtifact, ShardPlan};
+use crr_discovery::{DiscoveryConfig, DiscoverySession, PredicateGen, RuleSetArtifact, ShardSpec};
 use crr_obs::MetricsSink;
 use crr_serve::client::{raw_roundtrip, roundtrip, run_load, LoadOptions};
 use crr_serve::{RuleStore, ServeConfig, ServeFaultPlan, Server};
@@ -53,7 +53,7 @@ fn sharded_artifact(rows: usize) -> RuleSetArtifact {
     let (_, artifact) = DiscoverySession::on(&t)
         .predicates(space)
         .config(cfg)
-        .sharded(ShardPlan::by_key_range(k, 2))
+        .sharded(ShardSpec::by_key(k).equal_width().shards(2))
         .export()
         .unwrap();
     artifact

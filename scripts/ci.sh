@@ -35,13 +35,29 @@ echo "==> criterion smoke (perf_fit_engine + perf_scan_kernels compile and run)"
 cargo bench -p crr-bench --bench perf_fit_engine >/dev/null
 cargo bench -p crr-bench --bench perf_scan_kernels >/dev/null
 
+echo "==> deprecation wall (no calls to the positional ShardPlan constructors)"
+# The typed ShardSpec builder replaced ShardPlan::{single, by_key_range,
+# by_time_window}; the deprecated wrappers exist only for downstream
+# callers during the deprecation window. In-repo use fails the gate.
+# (crr-data itself is excluded: the wrappers, their From<ShardPlan>
+# conversion and their regression tests live there.)
+if grep -rn --include='*.rs' -E 'ShardPlan::(single|by_key_range|by_time_window)\(' crates \
+  | grep -v 'crates/crr-data/src/shard.rs' \
+  | grep -v 'crates/crr-data/src/spec.rs'; then
+  echo 'ERROR: deprecated ShardPlan constructor called outside crr-data' >&2
+  exit 1
+fi
+
 echo "==> tracked benchmark emits and validates"
 # Tiny-scale end-to-end run of the bench experiment — with metrics
-# instrumentation on, including the sharded cell (1-shard baseline vs
-# 4-shard run with the cross-shard pool) — then the validator gates: the
-# build fails if BENCH_discovery.json or metrics.json output ever loses a
-# key, breaks a counter invariant (e.g. cross-shard pool hits + misses !=
-# probes), or contains a non-finite number.
+# instrumentation on, including the sharded cells (1-shard baseline vs
+# 4-shard equal-width and quantile plans through the cross-shard pool) —
+# then the validator gates: the build fails if BENCH_discovery.json or
+# metrics.json output ever loses a key, breaks a counter invariant (e.g.
+# cross-shard pool hits + misses != probes, per-shard row counts not
+# summing to the table rows), or contains a non-finite number. The
+# unified `--check` flag dispatches on the file's own schema tag; one
+# legacy alias is exercised below so the old spellings keep working.
 BENCH_TMP="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
 ANALYSIS_TMP="$(mktemp /tmp/analysis_smoke.XXXXXX.json)"
@@ -50,14 +66,55 @@ STREAM_TMP="$(mktemp /tmp/stream_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP" "$STREAM_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --check "$BENCH_TMP"
+# Legacy alias smoke: --check-bench must keep gating the same file.
 cargo run -q -p crr-bench --bin experiments -- --check-bench "$BENCH_TMP"
-cargo run -q -p crr-bench --bin experiments -- --check-metrics "$METRICS_TMP"
+cargo run -q -p crr-bench --bin experiments -- --check "$METRICS_TMP"
 # The committed artifacts must satisfy the same gates.
 if [ -f BENCH_discovery.json ]; then
-  cargo run -q -p crr-bench --bin experiments -- --check-bench BENCH_discovery.json
+  cargo run -q -p crr-bench --bin experiments -- --check BENCH_discovery.json
 fi
 if [ -f metrics.json ]; then
-  cargo run -q -p crr-bench --bin experiments -- --check-metrics metrics.json
+  cargo run -q -p crr-bench --bin experiments -- --check metrics.json
+fi
+
+echo "==> adaptive shard-planning gates on the committed artifacts"
+# Perf gates read the committed full-scale benchmark only (smoke-scale
+# timings are noise): on the skewed tax salary key the quantile plan must
+# clear the 1.6x speedup floor, and its shard balance must beat the
+# equal-width geometry it replaced (wall clock on a single-core host
+# measures total work, so the boundary choice is gated on the geometry it
+# actually controls — equal-width crowds ~60% of the skewed key's rows
+# into one interval). The balance invariant re-checks, from the committed
+# metrics.json, that every sharded run's per-shard row counts sum to the
+# table rows.
+if [ -f BENCH_discovery.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open('BENCH_discovery.json'))
+cells = {(s['dataset'], s['boundary']): s for s in doc['sharded']}
+q = cells[('tax', 'quantile')]
+ew = cells[('tax', 'equal_width')]
+assert q['ratio'] >= 1.6, f"tax quantile sharding speedup {q['ratio']:.3f}x is below the 1.6x floor"
+assert q['balance_permille'] > ew['balance_permille'], (
+    f"quantile plan balance ({q['balance_permille']}) does not beat "
+    f"equal-width ({ew['balance_permille']}) on the skewed tax key")
+print(f"tax quantile {q['ratio']:.2f}x >= 1.6x floor; "
+      f"balance {q['balance_permille']} > equal-width {ew['balance_permille']}")
+EOF
+fi
+if [ -f metrics.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open('metrics.json'))
+sharded = [r for r in doc['runs'] if r['engine'] == 'sharded']
+assert sharded, 'committed metrics.json has no sharded run'
+for run in sharded:
+    total = sum(run['shard_rows'])
+    assert total == run['rows'], (
+        f"{run['dataset']}@{run['rows']}: shard rows sum to {total}, not the table rows")
+print(f"{len(sharded)} sharded run(s): per-shard row counts sum to the table rows")
+EOF
 fi
 
 echo "==> static analysis verifies the discovered artifacts"
@@ -69,9 +126,9 @@ echo "==> static analysis verifies the discovered artifacts"
 # same gate to the file, and to the committed full-scale artifact.
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --analysis-json "$ANALYSIS_TMP" analyze >/dev/null
-cargo run -q -p crr-bench --bin experiments -- --check-analysis "$ANALYSIS_TMP"
+cargo run -q -p crr-bench --bin experiments -- --check "$ANALYSIS_TMP"
 if [ -f analysis.json ]; then
-  cargo run -q -p crr-bench --bin experiments -- --check-analysis analysis.json
+  cargo run -q -p crr-bench --bin experiments -- --check analysis.json
 fi
 
 echo "==> serving smoke: live server under closed-loop load"
@@ -84,9 +141,9 @@ echo "==> serving smoke: live server under closed-loop load"
 # the committed full-scale artifact.
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --serving-json "$SERVING_TMP" serving >/dev/null
-cargo run -q -p crr-bench --bin experiments -- --check-serving "$SERVING_TMP"
+cargo run -q -p crr-bench --bin experiments -- --check "$SERVING_TMP"
 if [ -f BENCH_serving.json ]; then
-  cargo run -q -p crr-bench --bin experiments -- --check-serving BENCH_serving.json
+  cargo run -q -p crr-bench --bin experiments -- --check BENCH_serving.json
 fi
 
 echo "==> streaming maintenance smoke: incremental vs full rediscovery"
@@ -100,9 +157,9 @@ echo "==> streaming maintenance smoke: incremental vs full rediscovery"
 # also clear the 5x incremental-speedup floor.
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --stream-json "$STREAM_TMP" stream >/dev/null
-cargo run -q -p crr-bench --bin experiments -- --check-stream "$STREAM_TMP"
+cargo run -q -p crr-bench --bin experiments -- --check "$STREAM_TMP"
 if [ -f BENCH_stream.json ]; then
-  cargo run -q -p crr-bench --bin experiments -- --check-stream BENCH_stream.json
+  cargo run -q -p crr-bench --bin experiments -- --check BENCH_stream.json
 fi
 
 echo "CI OK"
