@@ -1,14 +1,17 @@
-//! The five static checks (A1–A5), all powered by `crr-core`'s
-//! implication engine — no row is ever scanned.
+//! The seven static checks (A1–A7), all powered by `crr-core`'s
+//! implication engine and abstract domain — no row is ever scanned.
 //!
 //! Every check is *conservative*: the engine proves implication and
 //! unsatisfiability but never refutes them, so a finding is only emitted
 //! on a positive proof. Absence of findings means "nothing provable",
-//! not "nothing wrong".
+//! not "nothing wrong". The one exception to "prove, never refute" is
+//! A6, which compares two *exact* canonical abstract states — there a
+//! mismatch is itself the proof of divergence.
 
 use crate::report::{AnalysisReport, Check, Finding, Severity};
-use crr_core::{Conjunction, Dnf, Op, RuleSet};
-use crr_discovery::{guard_predicates, ProofObligations};
+use crr_core::{AbsState, CompiledConjunction, Conjunction, Dnf, Op, RuleSet, TableFacts};
+use crr_data::Table;
+use crr_discovery::{guard_predicates, ProofObligations, RepairObligations};
 use crr_obs::AnalysisCounters;
 use std::sync::Arc;
 
@@ -112,8 +115,15 @@ impl<'a> Pass<'a> {
     /// A2 — subsumption: rule `i` is redundant when another rule `j` on
     /// the same target provably covers everything `i` covers
     /// (`C_i ⊢ C_j`, Definition 2) with a no-worse bias (`ρ_j ≤ ρ_i`).
-    /// For mutually-implying rules with equal ρ only the higher index is
-    /// flagged, so one survivor always remains.
+    ///
+    /// **Tie-break determinism.** For mutually-implying rules with equal
+    /// ρ only the higher *rule index* is flagged, so exactly one
+    /// survivor — the lowest-indexed duplicate — always remains. The
+    /// index is the rule's position in the analyzed set, which is its
+    /// serialization order in a `crr-artifact` text; the tie-break never
+    /// consults pointer identity, hash order or model addresses, so
+    /// re-serializing an artifact and re-analyzing it yields
+    /// byte-identical findings.
     pub(crate) fn check_subsumption(&mut self) {
         let n = self.rules.len();
         for i in 0..n {
@@ -141,7 +151,10 @@ impl<'a> Pass<'a> {
                 if !self.dnf_implies(&ci, &cj) {
                     continue;
                 }
-                // Equal-ρ mutual implication: keep the earlier rule.
+                // Equal-ρ mutual implication: keep the earlier rule. The
+                // `j > i` comparison is on rule indices (serialization
+                // order), so the survivor is stable across artifact
+                // round-trips — see the tie-break note in the rustdoc.
                 if (ri - rj).abs() <= self.eps && j > i && self.dnf_implies(&cj, &ci) {
                     continue;
                 }
@@ -493,6 +506,163 @@ impl<'a> Pass<'a> {
                         ),
                     );
                     break; // one monotonicity finding per rule
+                }
+            }
+        }
+    }
+
+    /// A6 — compile equivalence: for every conjunct, the compiled scan
+    /// kernels ([`CompiledConjunction`]) must be *symbolically* equal to
+    /// the source predicates over the abstract domain
+    /// ([`crr_core::absdom`]). Both sides start from the same ⊤ state
+    /// derived from `table`'s column facts (kinds, nullability, string
+    /// dictionaries); the source side applies each predicate's transfer
+    /// function, the compiled side applies each kernel shape's, and the
+    /// two canonical states must be equal. Divergence — a bad interval
+    /// fold, a constant coerced during compilation, a NaN-lane mismatch,
+    /// a string-LUT gap — is unsound: the served kernels answer for a
+    /// different predicate than the artifact displays.
+    ///
+    /// Row-free: only `table`'s *facts* are consulted (an empty table of
+    /// the artifact schema works — that is exactly what the swap gate
+    /// passes). Conjuncts referencing attributes outside the schema are
+    /// skipped; `check_refs` rejects those artifacts before analysis.
+    pub(crate) fn check_compile_equivalence(&mut self, table: &Table) {
+        let facts = TableFacts::of(table);
+        for i in 0..self.rules.len() {
+            let conjs = self.rules.rules()[i].condition().conjuncts().to_vec();
+            for (k, conj) in conjs.iter().enumerate() {
+                if conj.preds().iter().any(|p| p.attr.0 >= facts.len()) {
+                    continue; // uncompilable against this schema
+                }
+                let mut src = AbsState::top(&facts);
+                for p in conj.preds() {
+                    src.assume(p, &facts);
+                    self.counters.absdom_transfers += 1;
+                }
+                let compiled = CompiledConjunction::compile(conj, table);
+                let mut cmp = AbsState::top(&facts);
+                for shape in compiled.kernel_shapes() {
+                    cmp.assume_shape(&shape);
+                    self.counters.absdom_transfers += 1;
+                }
+                self.counters.compile_equiv_checks += 1;
+                if src != cmp {
+                    self.push(
+                        Check::CompileEquivalence,
+                        Severity::Unsound,
+                        Some(i),
+                        None,
+                        format!(
+                            "conjunct #{k}: compiled kernels diverge from the source \
+                             predicates over the abstract domain ({})",
+                            src.divergence(&cmp)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A7 — repair-obligation audit, against the [`RepairObligations`] a
+    /// proof-carrying stream repair bundles:
+    ///
+    /// * *kept prefix* — the kept-rule count must not exceed the rule
+    ///   count (the splice layout is `kept` untouched rules followed by
+    ///   the repaired ones);
+    /// * *region identity* — region ids must be dense and in order, so
+    ///   the artifact's region list is the repair's, not a truncation;
+    /// * *under-claim* — a region whose guard conjunction is provably
+    ///   unsatisfiable claims an empty region: rows that drifted are
+    ///   then attributed to no region at all;
+    /// * *over-claim* — every conjunct of every repaired rule (index ≥
+    ///   `kept`) must provably imply some region's guard conjunction;
+    ///   a repaired rule reaching outside every affected region would
+    ///   overwrite healthy coverage the repair had no license to touch.
+    ///
+    /// A guard-free region (an uncovered-append region with no bounding
+    /// box) makes confinement vacuous for the rules it absorbs; that is
+    /// flagged as hygiene, not unsoundness — the repair still tells the
+    /// auditor it claimed everything.
+    pub(crate) fn check_repair(&mut self, ob: &RepairObligations) {
+        self.counters.repair_regions = ob.regions.len() as u64;
+        let n = self.rules.len();
+        if ob.kept > n {
+            self.push(
+                Check::RepairObligations,
+                Severity::Unsound,
+                None,
+                None,
+                format!(
+                    "repair claims {} kept rule(s) but the artifact has only {n}; \
+                     the splice layout cannot be audited",
+                    ob.kept
+                ),
+            );
+            return;
+        }
+        let mut guard_conjs: Vec<Conjunction> = Vec::with_capacity(ob.regions.len());
+        for (k, region) in ob.regions.iter().enumerate() {
+            if region.region_id != k {
+                self.push(
+                    Check::RepairObligations,
+                    Severity::Unsound,
+                    None,
+                    None,
+                    format!(
+                        "region ids are not dense: position {k} carries id {}",
+                        region.region_id
+                    ),
+                );
+            }
+            if region.guards.is_empty() {
+                self.push(
+                    Check::RepairObligations,
+                    Severity::Hygiene,
+                    None,
+                    None,
+                    format!("region {k} carries no guard predicates; confinement is vacuous"),
+                );
+                guard_conjs.push(Conjunction::top());
+            } else {
+                let g = Conjunction::of(region.guards.clone());
+                if self.unsat(&g) {
+                    self.push(
+                        Check::RepairObligations,
+                        Severity::Unsound,
+                        None,
+                        None,
+                        format!(
+                            "region {k}'s guard is provably unsatisfiable; the repair \
+                             under-claims its affected rows"
+                        ),
+                    );
+                }
+                guard_conjs.push(g);
+            }
+        }
+        for i in ob.kept..n {
+            if self.dead[i] {
+                continue;
+            }
+            let conjs = self.rules.rules()[i].condition().conjuncts().to_vec();
+            for (k, conj) in conjs.iter().enumerate() {
+                // Coverage question, built-ins stripped — same rationale
+                // as A3 confinement.
+                let coverage = Conjunction::of(conj.preds().to_vec());
+                let confined = guard_conjs.iter().any(|g| self.conj_implies(&coverage, g));
+                if !confined {
+                    self.push(
+                        Check::RepairObligations,
+                        Severity::Unsound,
+                        Some(i),
+                        None,
+                        format!(
+                            "repaired conjunct #{k} is not confined to any repair \
+                             region's guard; the splice over-claims rows outside \
+                             the affected regions"
+                        ),
+                    );
                 }
             }
         }

@@ -6,8 +6,9 @@
 //! a single row**, using only `crr-core`'s implication engine
 //! ([`crr_core::Conjunction::implies`], Definition 2's
 //! [`crr_core::Dnf::implies`], [`crr_core::Conjunction::is_provably_unsat`]
-//! and the per-attribute [`crr_core::AttrSummary`] they are built on).
-//! Five checks:
+//! and the per-attribute [`crr_core::AttrSummary`] they are built on),
+//! plus `crr-core`'s abstract domain ([`crr_core::absdom`]) for symbolic
+//! compile-time semantics. Seven checks:
 //!
 //! * **A1 satisfiability** — a condition that is provably unsatisfiable
 //!   (empty implied interval, `IS NULL` conjoined with a comparison, …)
@@ -24,7 +25,17 @@
 //!   shifts), no duplicate conjuncts or predicates, and no same-side
 //!   interval bounds the scan compiler would fold to the strictest;
 //! * **A5 ρ-monotonicity** — `C_i ⊢ C_j` with a shared model requires
-//!   `ρ_i ≤ ρ_j`, the invariant Fusion's `max(ρ_1, ρ_2)` output preserves.
+//!   `ρ_i ≤ ρ_j`, the invariant Fusion's `max(ρ_1, ρ_2)` output preserves;
+//! * **A6 compile equivalence** ([`analyze_artifact`] and friends) —
+//!   each conjunction's compiled scan kernels must reach exactly the
+//!   source predicates' canonical abstract state; a bad interval fold, a
+//!   coerced constant, a NaN-lane mismatch or a string-LUT gap is
+//!   unsound, proven without evaluating a single row;
+//! * **A7 repair obligations** ([`analyze_artifact`] on artifacts whose
+//!   [`crr_discovery::RepairObligations`] are present) — a
+//!   proof-carrying stream repair's splice must keep a valid prefix,
+//!   carry dense region ids, claim no provably-empty region, and confine
+//!   every repaired rule to some region's guard.
 //!
 //! The engine is conservative — it proves, never refutes — so every
 //! finding is a positive proof and a clean report means "nothing
@@ -67,7 +78,8 @@ pub use report::{AnalysisReport, Check, Finding, Severity, Summary};
 
 use checks::Pass;
 use crr_core::RuleSet;
-use crr_discovery::{ProofObligations, ShardedDiscovery};
+use crr_data::Table;
+use crr_discovery::{ProofObligations, RuleSetArtifact, ShardedDiscovery};
 pub use crr_obs::AnalysisCounters;
 
 /// Tunables of an analysis pass.
@@ -84,14 +96,16 @@ impl Default for AnalyzeConfig {
     }
 }
 
-/// Runs all five checks over `rules` (and, when given, the sharded run's
-/// guard obligations) with default tolerances. See [`analyze_with`].
+/// Runs the rule-level checks (A1–A5) over `rules` (and, when given, the
+/// sharded run's guard obligations) with default tolerances. See
+/// [`analyze_with`]. The schema-aware checks A6 and A7 need an artifact;
+/// use [`analyze_artifact`] for the full battery.
 pub fn analyze(rules: &RuleSet, obligations: Option<&ProofObligations>) -> AnalysisReport {
     analyze_with(rules, obligations, &AnalyzeConfig::default())
 }
 
-/// Runs all five checks with explicit tolerances. Pure and read-only:
-/// the rule set is never modified and no table is consulted.
+/// Runs the rule-level checks (A1–A5) with explicit tolerances. Pure and
+/// read-only: the rule set is never modified and no table is consulted.
 pub fn analyze_with(
     rules: &RuleSet,
     obligations: Option<&ProofObligations>,
@@ -114,6 +128,59 @@ pub fn analyze_discovery(d: &ShardedDiscovery) -> AnalysisReport {
     analyze(&d.rules, d.obligations.as_ref())
 }
 
+/// Runs **all seven checks** (A1–A7) over an artifact, with no table at
+/// hand: A6 compiles against an empty table of the artifact's own schema,
+/// which fixes every column's kind, nullability and string dictionary —
+/// exactly the context `crr-serve`'s swap gate has. A7 runs when the
+/// artifact carries [`crr_discovery::RepairObligations`]. Row-free like
+/// every other check.
+pub fn analyze_artifact(artifact: &RuleSetArtifact) -> AnalysisReport {
+    let empty = Table::new(artifact.schema.clone());
+    analyze_artifact_with(artifact, &empty, &AnalyzeConfig::default())
+}
+
+/// Runs all seven checks with `table` as A6's compile context (its
+/// column facts — kinds, nullability, string dictionaries — seed the
+/// abstract ⊤ state; its rows are never read). Falls back to an empty
+/// table of the artifact's schema when `table`'s schema differs.
+pub fn analyze_artifact_on(artifact: &RuleSetArtifact, table: &Table) -> AnalysisReport {
+    analyze_artifact_with(artifact, table, &AnalyzeConfig::default())
+}
+
+/// Runs all seven checks with explicit tolerances. See
+/// [`analyze_artifact_on`].
+pub fn analyze_artifact_with(
+    artifact: &RuleSetArtifact,
+    table: &Table,
+    cfg: &AnalyzeConfig,
+) -> AnalysisReport {
+    let fallback;
+    let ctx = if table.schema() == &artifact.schema {
+        table
+    } else {
+        fallback = Table::new(artifact.schema.clone());
+        &fallback
+    };
+    let mut pass = Pass::new(&artifact.rules, cfg.eps);
+    pass.check_satisfiability();
+    pass.check_subsumption();
+    if let Some(ob) = artifact.obligations.as_ref() {
+        pass.check_guards(ob);
+    }
+    pass.check_inference();
+    pass.check_rho_monotonicity();
+    pass.check_compile_equivalence(ctx);
+    if let Some(rep) = artifact.repair.as_ref() {
+        pass.check_repair(rep);
+    }
+    pass.into_report(
+        artifact
+            .obligations
+            .as_ref()
+            .map_or(0, |ob| ob.guards.len()),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     // Test fixtures: panicking on malformed fixtures is the failure mode
@@ -121,9 +188,13 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
 
     use super::*;
+    use crr_core::compiled::{set_miscompile, Miscompile};
     use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
-    use crr_data::{AttrId, ShardBounds, Value};
-    use crr_discovery::{guard_predicates, PlanBoundary, ProofObligations, ShardGuard};
+    use crr_data::{AttrId, AttrType, Schema, ShardBounds, Value};
+    use crr_discovery::{
+        guard_predicates, PlanBoundary, ProofObligations, RegionOrigin, RepairObligations,
+        RepairRegion, ShardGuard,
+    };
     use crr_models::{ConstantModel, LinearModel, Model, Translation};
     use std::sync::Arc;
 
@@ -504,6 +575,260 @@ mod tests {
             .any(|f| f.check == Check::RhoMonotonicity
                 && f.rule == Some(0)
                 && f.severity == Severity::Hygiene));
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)])
+    }
+
+    fn artifact(rules: RuleSet) -> crr_discovery::RuleSetArtifact {
+        crr_discovery::RuleSetArtifact::new(schema(), rules, None).unwrap()
+    }
+
+    fn one_rule_artifact(c: Conjunction) -> crr_discovery::RuleSetArtifact {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(c), 0.5, model(1.0)));
+        artifact(rules)
+    }
+
+    /// Runs A6 with `mode` armed and returns the report; always disarms.
+    fn analyze_miscompiled(a: &crr_discovery::RuleSetArtifact, mode: Miscompile) -> AnalysisReport {
+        set_miscompile(Some(mode));
+        let report = analyze_artifact(a);
+        set_miscompile(None);
+        report
+    }
+
+    fn a6_unsound(report: &AnalysisReport) -> bool {
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::CompileEquivalence && f.severity == Severity::Unsound)
+    }
+
+    #[test]
+    fn faithful_compilation_passes_compile_equivalence() {
+        let a = one_rule_artifact(interval(0.0, 10.0));
+        let report = analyze_artifact(&a);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.counters.compile_equiv_checks, 1);
+        assert!(report.counters.absdom_transfers >= 4);
+        assert_eq!(report.counters.repair_regions, 0);
+    }
+
+    #[test]
+    fn bad_interval_fold_is_unsound() {
+        // Two upper bounds: the faithful compiler keeps `< 5`, the mutant
+        // keeps the slack `< 10` — symbolically distinguishable states.
+        let c = Conjunction::of(vec![
+            Predicate::ge(x(), Value::Float(0.0)),
+            Predicate::lt(x(), Value::Float(10.0)),
+            Predicate::lt(x(), Value::Float(5.0)),
+        ]);
+        let a = one_rule_artifact(c);
+        assert!(!a6_unsound(&analyze_artifact(&a)), "clean compile accused");
+        let report = analyze_miscompiled(&a, Miscompile::KeepSlackBound);
+        assert!(a6_unsound(&report), "{:?}", report.findings);
+        assert!(!report.is_sound());
+    }
+
+    #[test]
+    fn nan_lane_mismatch_is_unsound() {
+        // The mutant compiles `≠ 3` to `v != c`, which accepts NaN cells
+        // the source predicate rejects — only the NaN lane differs.
+        let a = one_rule_artifact(Conjunction::of(vec![Predicate::ne(x(), Value::Float(3.0))]));
+        let clean = analyze_artifact(&a);
+        assert!(!a6_unsound(&clean), "{:?}", clean.findings);
+        let report = analyze_miscompiled(&a, Miscompile::NeMatchesNan);
+        assert!(a6_unsound(&report), "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::CompileEquivalence && f.message.contains("may_nan")));
+    }
+
+    #[test]
+    fn constant_coercion_drift_is_unsound() {
+        let a = one_rule_artifact(Conjunction::of(vec![Predicate::ge(x(), Value::Float(2.5))]));
+        assert!(!a6_unsound(&analyze_artifact(&a)));
+        let report = analyze_miscompiled(&a, Miscompile::TruncateConst);
+        assert!(a6_unsound(&report), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn string_lut_gap_is_unsound() {
+        // A populated table gives the dictionary the LUT indexes; the
+        // rows themselves are never evaluated.
+        let s = Schema::new(vec![
+            ("x", AttrType::Float),
+            ("y", AttrType::Float),
+            ("color", AttrType::Str),
+        ]);
+        let mut t = crr_data::Table::new(s.clone());
+        for (i, w) in ["red", "green", "blue"].iter().enumerate() {
+            t.push_row(vec![
+                Value::Float(i as f64),
+                Value::Float(0.0),
+                Value::str(*w),
+            ])
+            .unwrap();
+        }
+        let mut rules = RuleSet::new();
+        let c = Conjunction::of(vec![Predicate::eq(AttrId(2), Value::str("red"))]);
+        rules.push(rule(Dnf::single(c), 0.5, model(1.0)));
+        let a = crr_discovery::RuleSetArtifact::new(s, rules, None).unwrap();
+        assert!(!a6_unsound(&analyze_artifact_on(&a, &t)));
+        set_miscompile(Some(Miscompile::LutGap));
+        let report = analyze_artifact_on(&a, &t);
+        set_miscompile(None);
+        assert!(a6_unsound(&report), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn mismatched_context_schema_falls_back_to_the_artifact_schema() {
+        let a = one_rule_artifact(interval(0.0, 10.0));
+        let other = crr_data::Table::new(Schema::new(vec![("z", AttrType::Int)]));
+        let report = analyze_artifact_on(&a, &other);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.counters.compile_equiv_checks, 1);
+    }
+
+    fn repaired_artifact(
+        kept: usize,
+        regions: Vec<RepairRegion>,
+        rules: RuleSet,
+    ) -> crr_discovery::RuleSetArtifact {
+        artifact(rules)
+            .with_repair(RepairObligations { kept, regions })
+            .unwrap()
+    }
+
+    fn region(id: usize, guards: Vec<Predicate>) -> RepairRegion {
+        RepairRegion {
+            region_id: id,
+            origin: RegionOrigin::Uncovered,
+            guards,
+        }
+    }
+
+    #[test]
+    fn confined_repair_is_sound() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(10.0, 20.0)), 0.4, model(2.0)));
+        let guards = vec![
+            Predicate::ge(x(), Value::Float(10.0)),
+            Predicate::lt(x(), Value::Float(20.0)),
+        ];
+        let a = repaired_artifact(1, vec![region(0, guards)], rules);
+        let report = analyze_artifact(&a);
+        assert!(report.is_sound(), "{:?}", report.findings);
+        assert_eq!(report.counters.repair_regions, 1);
+    }
+
+    #[test]
+    fn overclaiming_repair_is_unsound() {
+        // The repaired rule covers [0, 10) but the only region claims
+        // [10, 20): the splice touched rows outside its license.
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(10.0, 20.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.4, model(2.0)));
+        let guards = vec![
+            Predicate::ge(x(), Value::Float(10.0)),
+            Predicate::lt(x(), Value::Float(20.0)),
+        ];
+        let a = repaired_artifact(1, vec![region(0, guards)], rules);
+        let report = analyze_artifact(&a);
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RepairObligations
+                && f.rule == Some(1)
+                && f.message.contains("over-claims")));
+    }
+
+    #[test]
+    fn unsatisfiable_region_guard_underclaims() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        let guards = vec![
+            Predicate::ge(x(), Value::Float(10.0)),
+            Predicate::lt(x(), Value::Float(5.0)),
+        ];
+        let a = repaired_artifact(1, vec![region(0, guards)], rules);
+        let report = analyze_artifact(&a);
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RepairObligations && f.message.contains("under-claims")));
+    }
+
+    #[test]
+    fn kept_count_beyond_the_rule_set_is_unsound() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        let a = repaired_artifact(5, Vec::new(), rules);
+        let report = analyze_artifact(&a);
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RepairObligations && f.message.contains("kept")));
+    }
+
+    #[test]
+    fn non_dense_region_ids_are_unsound() {
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        let guards = vec![Predicate::ge(x(), Value::Float(0.0))];
+        let a = repaired_artifact(1, vec![region(3, guards)], rules);
+        let report = analyze_artifact(&a);
+        assert!(!report.is_sound());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RepairObligations && f.message.contains("dense")));
+    }
+
+    #[test]
+    fn guard_free_region_is_hygiene_not_unsound() {
+        // An uncovered-append region may carry no bounding box; every
+        // repaired rule is then vacuously confined.
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(50.0, 60.0)), 0.4, model(2.0)));
+        let a = repaired_artifact(1, vec![region(0, Vec::new())], rules);
+        let report = analyze_artifact(&a);
+        assert!(report.is_sound(), "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == Check::RepairObligations
+                && f.severity == Severity::Hygiene
+                && f.message.contains("vacuous")));
+    }
+
+    #[test]
+    fn equal_rho_tie_break_is_stable_across_serialization() {
+        // Two mutually-implying equal-ρ rules: the survivor must be the
+        // lower index before and after an artifact text round-trip.
+        let mut rules = RuleSet::new();
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(1.0)));
+        rules.push(rule(Dnf::single(interval(0.0, 10.0)), 0.5, model(2.0)));
+        let a = artifact(rules);
+        let before = analyze_artifact(&a);
+        let b = crr_discovery::RuleSetArtifact::from_text(&a.to_text()).unwrap();
+        let after = analyze_artifact(&b);
+        assert_eq!(before.findings, after.findings);
+        let sub: Vec<_> = after
+            .findings
+            .iter()
+            .filter(|f| f.check == Check::Subsumption)
+            .collect();
+        assert_eq!(sub.len(), 1, "{:?}", after.findings);
+        assert_eq!(sub[0].rule, Some(1), "survivor is the lowest index");
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl Severity {
     }
 }
 
-/// Which of the five static checks produced a finding.
+/// Which of the seven static checks produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Check {
     /// A1 — per-rule condition satisfiability.
@@ -46,6 +46,11 @@ pub enum Check {
     InferenceAudit,
     /// A5 — ρ-monotonicity across rules sharing a model.
     RhoMonotonicity,
+    /// A6 — compile equivalence: each conjunction's compiled scan kernels
+    /// must reach the same abstract state as its source predicates.
+    CompileEquivalence,
+    /// A7 — repair-obligation audit on proof-carrying stream repairs.
+    RepairObligations,
 }
 
 impl Check {
@@ -57,6 +62,8 @@ impl Check {
             Check::GuardSoundness => "guard-soundness",
             Check::InferenceAudit => "inference-audit",
             Check::RhoMonotonicity => "rho-monotonicity",
+            Check::CompileEquivalence => "compile-equivalence",
+            Check::RepairObligations => "repair-obligations",
         }
     }
 }

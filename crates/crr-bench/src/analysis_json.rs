@@ -12,18 +12,23 @@ use crr_obs::json::{esc, parse, Json};
 use std::fmt::Write as _;
 
 /// Schema tag stamped into the file; bump when the layout changes.
-pub const SCHEMA: &str = "crr-analysis-v1";
+/// `v2` added the A6/A7 check labels and the `absdom_transfers` /
+/// `compile_equiv_checks` / `repair_regions` counters, plus the `repair`
+/// source for artifacts coming out of a stream repair.
+pub const SCHEMA: &str = "crr-analysis-v2";
 
 /// Severity labels the validator accepts, worst first.
 pub const SEVERITIES: [&str; 3] = ["unsound", "redundant", "hygiene"];
 
 /// Check labels the validator accepts.
-pub const CHECKS: [&str; 5] = [
+pub const CHECKS: [&str; 7] = [
     "satisfiability",
     "subsumption",
     "guard-soundness",
     "inference-audit",
     "rho-monotonicity",
+    "compile-equivalence",
+    "repair-obligations",
 ];
 
 /// One analyzed artifact and its verification report.
@@ -34,7 +39,9 @@ pub struct AnalysisRun {
     /// Instance size |I| the rules were discovered on.
     pub rows: usize,
     /// `single` for an unsharded run (no guard obligations), `sharded`
-    /// for a multi-shard run verified against its [`crr_discovery::ProofObligations`].
+    /// for a multi-shard run verified against its
+    /// [`crr_discovery::ProofObligations`], `repair` for a stream-repaired
+    /// artifact audited against its [`crr_discovery::RepairObligations`].
     pub source: String,
     /// The analyzer's report.
     pub report: AnalysisReport,
@@ -117,10 +124,14 @@ fn uint(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
 /// * the per-severity `summary` tallies equal the findings actually
 ///   listed, and the analyzer's `counters.findings_*` agree with both;
 /// * `counters.rules` / `counters.conjuncts` equal the run's `rules` /
-///   `conjuncts`, and every rule's conjuncts were satisfiability-checked
-///   (`counters.unsat_checks ≥ conjuncts`);
+///   `conjuncts`, every rule's conjuncts were satisfiability-checked
+///   (`counters.unsat_checks ≥ conjuncts`), and every conjunct went
+///   through the A6 compile-equivalence comparison
+///   (`counters.compile_equiv_checks == conjuncts`);
 /// * a `sharded` run verified at least two shard guards, a `single` run
-///   none.
+///   none; a `repair` run audited at least one repair region
+///   (`counters.repair_regions ≥ 1`) while `single` / `sharded` runs
+///   audited none.
 pub fn validate(text: &str) -> Result<String, String> {
     let doc = parse(text)?;
     let schema = doc
@@ -147,7 +158,7 @@ pub fn validate(text: &str) -> Result<String, String> {
             .get("source")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("{ctx}: missing 'source'"))?;
-        if source != "single" && source != "sharded" {
+        if source != "single" && source != "sharded" && source != "repair" {
             return Err(format!("{ctx}: unknown source '{source}'"));
         }
         let rules = uint(r, "rules", &ctx)?;
@@ -162,8 +173,10 @@ pub fn validate(text: &str) -> Result<String, String> {
                     "{ctx}: sharded run verified only {shards} shard guard(s)"
                 ));
             }
-            "single" if shards != 0 => {
-                return Err(format!("{ctx}: single run claims {shards} shard guard(s)"));
+            "single" | "repair" if shards != 0 => {
+                return Err(format!(
+                    "{ctx}: {source} run claims {shards} shard guard(s)"
+                ));
             }
             _ => {}
         }
@@ -182,6 +195,23 @@ pub fn validate(text: &str) -> Result<String, String> {
             return Err(format!(
                 "{ctx}: not every conjunct was satisfiability-checked"
             ));
+        }
+        if uint(counters, "compile_equiv_checks", &ctx)? != conjuncts {
+            return Err(format!(
+                "{ctx}: not every conjunct went through the compile-equivalence check"
+            ));
+        }
+        let repair_regions = uint(counters, "repair_regions", &ctx)?;
+        match source {
+            "repair" if repair_regions == 0 => {
+                return Err(format!("{ctx}: repair run audited no repair regions"));
+            }
+            "single" | "sharded" if repair_regions != 0 => {
+                return Err(format!(
+                    "{ctx}: {source} run claims {repair_regions} repair region(s)"
+                ));
+            }
+            _ => {}
         }
         let findings = r
             .get("findings")
@@ -243,9 +273,10 @@ pub fn validate(text: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crr_analyze::analyze;
+    use crr_analyze::analyze_artifact;
     use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleSet};
-    use crr_data::{AttrId, Value};
+    use crr_data::{AttrId, AttrType, Schema, Value};
+    use crr_discovery::{RegionOrigin, RepairObligations, RepairRegion, RuleSetArtifact};
     use crr_models::{ConstantModel, Model};
     use std::sync::Arc;
 
@@ -265,6 +296,11 @@ mod tests {
         .expect("rule")
     }
 
+    fn artifact_of(rules: RuleSet) -> RuleSetArtifact {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        RuleSetArtifact::new(schema, rules, None).expect("artifact")
+    }
+
     fn sample() -> Vec<AnalysisRun> {
         let mut clean = RuleSet::new();
         clean.push(interval_rule(0.0, 10.0, 0.5));
@@ -272,18 +308,46 @@ mod tests {
         let mut redundant = RuleSet::new();
         redundant.push(interval_rule(2.0, 4.0, 0.5));
         redundant.push(interval_rule(0.0, 10.0, 0.5));
+        // A confined repair: one kept rule, one repaired rule whose
+        // conjunct matches the claimed region's guard.
+        let mut repaired = RuleSet::new();
+        repaired.push(interval_rule(0.0, 10.0, 0.5));
+        repaired.push(interval_rule(10.0, 20.0, 0.4));
+        let x = AttrId(0);
+        let repaired_artifact = artifact_of(repaired)
+            .with_repair(RepairObligations {
+                kept: 1,
+                regions: vec![RepairRegion {
+                    region_id: 0,
+                    origin: RegionOrigin::Drifted {
+                        rule: 1,
+                        conjunct: 0,
+                    },
+                    guards: vec![
+                        Predicate::ge(x, Value::Float(10.0)),
+                        Predicate::lt(x, Value::Float(20.0)),
+                    ],
+                }],
+            })
+            .expect("repair obligations");
         vec![
             AnalysisRun {
                 dataset: "electricity".into(),
                 rows: 2880,
                 source: "single".into(),
-                report: analyze(&clean, None),
+                report: analyze_artifact(&artifact_of(clean)),
             },
             AnalysisRun {
                 dataset: "tax".into(),
                 rows: 2500,
                 source: "single".into(),
-                report: analyze(&redundant, None),
+                report: analyze_artifact(&artifact_of(redundant)),
+            },
+            AnalysisRun {
+                dataset: "electricity".into(),
+                rows: 3168,
+                source: "repair".into(),
+                report: analyze_artifact(&repaired_artifact),
             },
         ]
     }
@@ -291,9 +355,22 @@ mod tests {
     #[test]
     fn render_round_trips_through_validate() {
         let summary = validate(&render(&sample())).expect("valid");
-        assert!(summary.contains("2 run(s)"), "{summary}");
+        assert!(summary.contains("3 run(s)"), "{summary}");
         assert!(summary.contains("0 unsound"), "{summary}");
         assert!(summary.contains("1 non-blocking"), "{summary}");
+    }
+
+    #[test]
+    fn repair_runs_must_audit_regions() {
+        let mut runs = sample();
+        runs[0].source = "repair".into(); // but counters.repair_regions == 0
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("repair region"), "{err}");
+        // And the converse: a repair report mislabeled as single.
+        let mut runs = sample();
+        runs[2].source = "single".into();
+        let err = validate(&render(&runs)).expect_err("must fail");
+        assert!(err.contains("repair region"), "{err}");
     }
 
     #[test]
@@ -309,7 +386,7 @@ mod tests {
                 Arc::new(Model::Constant(ConstantModel::new(1.0, 1))),
                 f64::NAN,
             );
-            analyze(&tampered, None)
+            analyze_artifact(&artifact_of(tampered))
         };
         assert!(!report.is_sound());
         runs[0].report = report;
@@ -338,7 +415,9 @@ mod tests {
     #[test]
     fn empty_or_mislabeled_documents_are_rejected() {
         assert!(validate("{}").is_err());
-        assert!(validate("{\"schema\": \"crr-analysis-v1\", \"runs\": []}").is_err());
+        assert!(validate("{\"schema\": \"crr-analysis-v2\", \"runs\": []}").is_err());
+        // The previous schema generation is refused, not silently accepted.
+        assert!(validate("{\"schema\": \"crr-analysis-v1\", \"runs\": [1]}").is_err());
         assert!(validate("{\"schema\": \"other\", \"runs\": [1]}").is_err());
     }
 }

@@ -61,13 +61,33 @@
 //! ```
 //!
 //! `analyze` discovers rules on Electricity and Tax — once unsharded,
-//! once under a key-range shard plan — and runs `crr-analyze`'s five
-//! static checks (satisfiability, subsumption, shard-guard soundness,
-//! inference audit, ρ-monotonicity) over each artifact, the sharded ones
-//! against their emitted proof obligations. The reports are written as
-//! `analysis.json` (or the `--analysis-json` path); any `unsound` finding
-//! aborts in-process. `--check-analysis` re-validates such a file — the
-//! CI gate refusing artifacts that fail their own verification.
+//! once under a key-range shard plan — plus one stream-repaired
+//! Electricity artifact (a regime-changed tail driven through
+//! `crr-stream`'s repair), and runs `crr-analyze`'s seven static checks
+//! (satisfiability, subsumption, shard-guard soundness, inference audit,
+//! ρ-monotonicity, compile equivalence, repair obligations) over each
+//! artifact — the sharded ones against their emitted proof obligations,
+//! the repaired one against its bundled repair obligations. The reports
+//! are written as `analysis.json` (or the `--analysis-json` path); any
+//! `unsound` finding aborts in-process. `--check-analysis` re-validates
+//! such a file — the CI gate refusing artifacts that fail their own
+//! verification.
+//!
+//! Artifact-level verification rides along:
+//!
+//! ```text
+//! cargo run --release -p crr-bench --bin experiments -- --artifact-out repaired.crr analyze
+//! cargo run --release -p crr-bench --bin experiments -- --analyze-artifact repaired.crr
+//! cargo run --release -p crr-bench --bin experiments -- --mutate-repair-guard repaired.crr
+//! ```
+//!
+//! `--artifact-out <path>` makes `analyze` (and `stream`) persist the
+//! stream-repaired artifact text. `--analyze-artifact <path>` re-runs the
+//! full A1–A7 battery over such a file and fails unless it is sound.
+//! `--mutate-repair-guard <path>` is the A7 mutation smoke: it strips the
+//! guards off every repaired rule and fails unless the verifier refuses
+//! the result with an `unsound` repair-obligations finding — proving the
+//! gate actually bites.
 //!
 //! The serving benchmark (also excluded from `all`):
 //!
@@ -201,6 +221,115 @@ fn check_artifact(path: &str, kind: Option<&str>) {
     }
 }
 
+/// Rebuilds `a` with every repaired rule's (index ≥ `kept`) conjuncts
+/// stripped of their predicates: the spliced rules then claim
+/// unconditional coverage while the bundled obligations still claim
+/// bounded regions — the over-claim the verifier's A7 check exists to
+/// catch. Returns `None` when the mutation cannot be caught (no repair
+/// obligations, no regions, no repaired rules, or a guard-free region
+/// that would confine any conjunct vacuously).
+fn strip_repair_guards(
+    a: &crr_discovery::RuleSetArtifact,
+) -> Option<crr_discovery::RuleSetArtifact> {
+    use crr_core::{Conjunction, Crr, Dnf, RuleSet};
+    let repair = a.repair.clone()?;
+    if repair.regions.is_empty()
+        || repair.kept >= a.rules.len()
+        || repair.regions.iter().any(|r| r.guards.is_empty())
+    {
+        return None;
+    }
+    let mut rules = RuleSet::new();
+    for (i, r) in a.rules.rules().iter().enumerate() {
+        if i < repair.kept {
+            rules.push(r.clone());
+            continue;
+        }
+        let conjs: Vec<Conjunction> = r
+            .condition()
+            .conjuncts()
+            .iter()
+            .map(|c| match c.builtin() {
+                Some(t) => Conjunction::with_builtin(Vec::new(), t.clone()),
+                None => Conjunction::top(),
+            })
+            .collect();
+        let stripped = Crr::new(
+            r.inputs().to_vec(),
+            r.target(),
+            std::sync::Arc::clone(r.model()),
+            r.rho(),
+            Dnf::of(conjs),
+        )
+        .expect("stripped rule stays well-formed");
+        rules.push(stripped);
+    }
+    Some(
+        crr_discovery::RuleSetArtifact::new(a.schema.clone(), rules, a.obligations.clone())
+            .expect("mutated artifact keeps valid references")
+            .with_repair(repair)
+            .expect("repair guards keep valid references"),
+    )
+}
+
+/// `--analyze-artifact <path>`: parse a `crr-artifact v1` file, run the
+/// full verifier battery (A1–A7) and fail the process unless the artifact
+/// is sound. The row-free analogue of `--check` for rule-set artifacts.
+fn analyze_artifact_cmd(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let artifact = crr_discovery::RuleSetArtifact::from_text(&text)
+        .unwrap_or_else(|e| panic!("{path}: not a rule-set artifact: {e}"));
+    let report = crr_analyze::analyze_artifact(&artifact);
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    let s = report.summary();
+    println!(
+        "{path}: rules={} conjuncts={} compile-equiv={} repair-regions={} \
+         findings: {} unsound, {} redundant, {} hygiene",
+        report.rules,
+        report.conjuncts,
+        report.counters.compile_equiv_checks,
+        report.counters.repair_regions,
+        s.unsound,
+        s.redundant,
+        s.hygiene
+    );
+    if !report.is_sound() {
+        eprintln!("{path}: INVALID: artifact fails its own static verification");
+        std::process::exit(1);
+    }
+}
+
+/// `--mutate-repair-guard <path>`: the A7 mutation smoke. Strips the
+/// guards off every repaired rule of the artifact and requires the
+/// verifier to refuse the mutant with an `unsound` repair-obligations
+/// finding. Exits non-zero when the artifact has nothing to mutate or —
+/// the regression this gate exists for — when the mutant slips through.
+fn mutate_repair_guard_cmd(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let artifact = crr_discovery::RuleSetArtifact::from_text(&text)
+        .unwrap_or_else(|e| panic!("{path}: not a rule-set artifact: {e}"));
+    let Some(mutated) = strip_repair_guards(&artifact) else {
+        eprintln!("{path}: INVALID: artifact carries no strippable repair guards to mutate");
+        std::process::exit(1);
+    };
+    let report = crr_analyze::analyze_artifact(&mutated);
+    let caught = report.findings.iter().any(|f| {
+        f.check == crr_analyze::Check::RepairObligations
+            && f.severity == crr_analyze::Severity::Unsound
+    });
+    if caught {
+        println!("{path}: mutation caught — stripped repair guard flagged unsound by A7");
+    } else {
+        eprintln!(
+            "{path}: INVALID: stripped repair guard was NOT caught ({:?})",
+            report.findings
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
@@ -210,6 +339,7 @@ fn main() {
     let mut serving_json_path = "BENCH_serving.json".to_string();
     let mut stream_json_path = "BENCH_stream.json".to_string();
     let mut metrics_out: Option<String> = None;
+    let mut artifact_out: Option<String> = None;
     let mut shards = 4usize;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -234,6 +364,19 @@ fn main() {
             "--check-analysis" => {
                 let path = it.next().expect("--check-analysis needs a path");
                 check_artifact(path, Some("analysis"));
+                return;
+            }
+            "--artifact-out" => {
+                artifact_out = Some(it.next().expect("--artifact-out needs a path").clone());
+            }
+            "--analyze-artifact" => {
+                let path = it.next().expect("--analyze-artifact needs a path");
+                analyze_artifact_cmd(path);
+                return;
+            }
+            "--mutate-repair-guard" => {
+                let path = it.next().expect("--mutate-repair-guard needs a path");
+                mutate_repair_guard_cmd(path);
                 return;
             }
             "--serving-json" => {
@@ -323,9 +466,9 @@ fn main() {
             "table4" => table4(scale),
             "ablation" => ablation(scale),
             "bench" => bench(scale, &bench_json_path, metrics_out.as_deref(), shards),
-            "analyze" => analyze_cmd(scale, &analysis_json_path, shards),
+            "analyze" => analyze_cmd(scale, &analysis_json_path, shards, artifact_out.as_deref()),
             "serving" => serving_cmd(scale, &serving_json_path),
-            "stream" => stream_cmd(scale, &stream_json_path),
+            "stream" => stream_cmd(scale, &stream_json_path, artifact_out.as_deref()),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{exp} took {:?}]", start.elapsed());
@@ -1521,13 +1664,17 @@ fn kernel_microbench(
 }
 
 /// `analyze`: discover on Electricity and Tax — unsharded and under a
-/// key-range shard plan — and run the `crr-analyze` static verifier over
-/// each artifact, the sharded ones against their emitted proof
-/// obligations. Any `unsound` finding aborts here; redundant/hygiene
-/// findings are reported and land in the artifact. The runs are written
-/// to `path` in the `crr-analysis-v1` layout that `--check-analysis`
-/// (and CI) re-validates.
-fn analyze_cmd(scale: f64, path: &str, shards: usize) {
+/// key-range shard plan — plus one stream-repaired Electricity artifact,
+/// and run the full `crr-analyze` battery (A1–A7) over each exported
+/// artifact: the sharded ones against their emitted proof obligations,
+/// the repaired one against its bundled repair obligations, and every
+/// conjunct through the A6 compile-equivalence comparison. Any `unsound`
+/// finding aborts here; redundant/hygiene findings are reported and land
+/// in the artifact. The runs are written to `path` in the
+/// `crr-analysis-v2` layout that `--check-analysis` (and CI)
+/// re-validates. With `artifact_out`, the repaired artifact's text is
+/// persisted for `--analyze-artifact` / `--mutate-repair-guard`.
+fn analyze_cmd(scale: f64, path: &str, shards: usize, artifact_out: Option<&str>) {
     let cells: [(&str, fn(usize, u64) -> Scenario, usize, usize); 2] = [
         ("electricity", electricity_scenario, 11_520, 255),
         ("tax", tax_scenario, 10_000, 15),
@@ -1559,31 +1706,37 @@ fn analyze_cmd(scale: f64, path: &str, shards: usize) {
             .expect("sharded discovery");
 
         for (source, d) in [("single", &single), ("sharded", &sharded)] {
-            let report = crr_analyze::analyze_discovery(d);
+            // Analysis runs over the *exported artifact*, not the raw
+            // rules: A6 re-compiles every conjunct against the schema the
+            // artifact declares, A7 would audit repair obligations if any.
+            let artifact = d
+                .export_artifact(sc.table().schema())
+                .expect("export artifact");
+            let report = crr_analyze::analyze_artifact_on(&artifact, sc.table());
             assert!(
                 report.is_sound(),
                 "{name}/{source}: analyzer found unsound artifacts: {:#?}",
                 report.findings
             );
-            let s = report.summary();
-            table_rows.push(vec![
-                name.to_string(),
-                rows.len().to_string(),
-                source.to_string(),
-                report.rules.to_string(),
-                report.conjuncts.to_string(),
-                report.shards.to_string(),
-                report.counters.implication_checks.to_string(),
-                s.redundant.to_string(),
-                s.hygiene.to_string(),
-            ]);
-            runs.push(analysis_json::AnalysisRun {
-                dataset: name.to_string(),
-                rows: rows.len(),
-                source: source.to_string(),
-                report,
-            });
+            push_analysis_run(&mut runs, &mut table_rows, name, rows.len(), source, report);
         }
+    }
+
+    // The repaired cell: a regime-changed Electricity tail driven through
+    // crr-stream's repair, analyzed against its bundled obligations.
+    let (repaired_rows, repaired_artifact, repaired_report) = repaired_artifact_cell();
+    push_analysis_run(
+        &mut runs,
+        &mut table_rows,
+        "electricity",
+        repaired_rows,
+        "repair",
+        repaired_report,
+    );
+    if let Some(out) = artifact_out {
+        std::fs::write(out, repaired_artifact.to_text())
+            .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!("wrote {out} (stream-repaired artifact, proof-carrying)");
     }
     print_table(
         "Static analysis: crr-analyze over discovered artifacts",
@@ -1602,6 +1755,100 @@ fn analyze_cmd(scale: f64, path: &str, shards: usize) {
     let summary = analysis_json::validate(&text).expect("emitted analysis must validate");
     std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path} ({summary})");
+}
+
+/// Appends one analysis run to both the printed table and the JSON runs.
+fn push_analysis_run(
+    runs: &mut Vec<analysis_json::AnalysisRun>,
+    table_rows: &mut Vec<Vec<String>>,
+    name: &str,
+    rows: usize,
+    source: &str,
+    report: crr_analyze::AnalysisReport,
+) {
+    let s = report.summary();
+    table_rows.push(vec![
+        name.to_string(),
+        rows.to_string(),
+        source.to_string(),
+        report.rules.to_string(),
+        report.conjuncts.to_string(),
+        report.shards.to_string(),
+        report.counters.implication_checks.to_string(),
+        s.redundant.to_string(),
+        s.hygiene.to_string(),
+    ]);
+    runs.push(analysis_json::AnalysisRun {
+        dataset: name.to_string(),
+        rows,
+        source: source.to_string(),
+        report,
+    });
+}
+
+/// Builds the proof-carrying repaired artifact for the `analyze` repair
+/// cell: discover on an Electricity base slice, append the generator's
+/// tail under a deliberate regime change (`y → 3y + 5`) so covered rows
+/// drift, repair, and verify the exported artifact (A1–A7) against its
+/// bundled repair obligations. The fixture is fixed-size (3168 rows, two
+/// generator days + one tail) so the drift — and therefore at least one
+/// claimed repair region — is deterministic at every `--scale`.
+fn repaired_artifact_cell() -> (
+    usize,
+    crr_discovery::RuleSetArtifact,
+    crr_analyze::AnalysisReport,
+) {
+    use crr_stream::{StreamConfig, StreamEngine};
+
+    let ds = electricity(&GenConfig {
+        rows: 3_168,
+        seed: 7,
+    });
+    let t = ds.table;
+    let minute = t.attr("minute").expect("minute attr");
+    let target = t.attr("global_active_power").expect("target attr");
+    let space = PredicateGen::binary(64).generate(&t, &[minute], target, 0);
+    let cfg = DiscoveryConfig::new(vec![minute], target, 0.25);
+    let mut base = Table::new(t.schema().clone());
+    for r in 0..2_880 {
+        base.push_row(t.row(r)).expect("base row");
+    }
+    let (_, base_artifact) = DiscoverySession::on(&base)
+        .predicates(space.clone())
+        .config(cfg.clone())
+        .export()
+        .expect("base discovery");
+    let mut engine = StreamEngine::new(
+        base,
+        base_artifact.rules.clone(),
+        cfg,
+        space,
+        StreamConfig::default(),
+    )
+    .expect("stream engine");
+    let ty = target.0;
+    let batch: Vec<Vec<crr_data::Value>> = (2_880..t.num_rows())
+        .map(|r| {
+            let mut row = t.row(r);
+            if let crr_data::Value::Float(y) = row[ty] {
+                row[ty] = crr_data::Value::Float(3.0 * y + 5.0);
+            }
+            row
+        })
+        .collect();
+    engine.append(&batch).expect("append regime-changed tail");
+    assert!(engine.needs_repair(), "regime change must surface as drift");
+    let repair = engine.repair().expect("repair");
+    let artifact = repair.artifact.clone();
+    let regions = artifact.repair.as_ref().map_or(0, |rep| rep.regions.len());
+    assert!(regions >= 1, "repair must claim at least one region");
+    let report = crr_analyze::analyze_artifact_on(&artifact, engine.table());
+    assert!(
+        report.is_sound(),
+        "repair cell: analyzer found unsound artifacts: {:#?}",
+        report.findings
+    );
+    (engine.table().num_rows(), artifact, report)
 }
 
 /// `serving`: stand up a live `crr-serve` server over an exported
@@ -1854,13 +2101,15 @@ fn serving_cmd(scale: f64, path: &str) {
 /// One dataset's maintenance cell for [`stream_cmd`]: stream the tail of
 /// `sc` (rows `base..`) through a standing `crr-stream` maintainer, repair,
 /// and race the same end state against full rediscovery over base+tail.
+/// Returns the benchmark record plus the proof-carrying repaired artifact
+/// (for `--artifact-out`).
 fn stream_cell(
     dataset: &str,
     sc: &Scenario,
     base: usize,
     batches: usize,
     opts: &CrrOptions,
-) -> stream_json::StreamRecord {
+) -> (stream_json::StreamRecord, crr_discovery::RuleSetArtifact) {
     use crr_stream::{StreamConfig, StreamEngine};
 
     let total = sc.table().num_rows();
@@ -1922,11 +2171,20 @@ fn stream_cell(
     let (_, _full_artifact) = session.export().expect("full rediscovery");
     let full = full_start.elapsed();
 
-    // The repaired artifact must pass the static verifier ...
+    // The repaired artifact must be proof-carrying and pass the full
+    // verifier battery (A1–A7) including the repair-obligation audit ...
     let artifact = repair.artifact.clone();
-    let analysis = crr_analyze::analyze(&artifact.rules, artifact.obligations.as_ref());
+    assert!(
+        artifact.repair.is_some(),
+        "{dataset}: a stream repair must bundle its obligations"
+    );
+    let analysis = crr_analyze::analyze_artifact_on(&artifact, engine.table());
     let sound = analysis.is_sound();
-    assert!(sound, "{dataset}: repaired artifact failed crr-analyze");
+    assert!(
+        sound,
+        "{dataset}: repaired artifact failed crr-analyze: {:#?}",
+        analysis.findings
+    );
 
     // ... and hot-swap into a live server that keeps serving answers
     // byte-identical to offline evaluation of the repaired rules.
@@ -1943,6 +2201,19 @@ fn stream_cell(
         let (status, _) = roundtrip(server.addr(), "POST", "/admin/swap", &artifact.to_text())
             .expect("swap roundtrip");
         assert_eq!(status, 200, "{dataset}: repaired artifact was not admitted");
+
+        // When the splice is strippable (non-trivial region guards), the
+        // same artifact with its repaired rules widened to unconditional
+        // coverage must be bounced by the gate's A7 audit.
+        if let Some(mutated) = strip_repair_guards(&artifact) {
+            let (status, resp) =
+                roundtrip(server.addr(), "POST", "/admin/swap", &mutated.to_text())
+                    .expect("mutated swap roundtrip");
+            assert_eq!(
+                status, 422,
+                "{dataset}: stripped repair guard must be refused: {resp}"
+            );
+        }
 
         let probe_step = (engine.table().num_rows() / 240).max(1);
         let probe_rows: Vec<usize> = (0..engine.table().num_rows())
@@ -1993,7 +2264,7 @@ fn stream_cell(
         "{dataset}: served answers diverged from offline evaluation after the swap"
     );
 
-    stream_json::StreamRecord {
+    let record = stream_json::StreamRecord {
         dataset: dataset.into(),
         base_rows: base,
         appended_rows: tail,
@@ -2010,17 +2281,20 @@ fn stream_cell(
         speedup: full.as_secs_f64() / incremental.as_secs_f64(),
         sound,
         swap_served_identical,
-    }
+    };
+    (record, artifact)
 }
 
 /// `stream`: the incremental-maintenance benchmark — append an unseen tail
 /// through a `crr-stream` maintainer (route + delta + monitor + repair) and
 /// race it against full rediscovery over base+tail. Writes
 /// `BENCH_stream.json` in the `crr-stream-v1` layout that `--check-stream`
-/// / `scripts/ci.sh` re-validate.
-fn stream_cmd(scale: f64, path: &str) {
+/// / `scripts/ci.sh` re-validate. With `--artifact-out`, also writes the
+/// electricity cell's proof-carrying repaired artifact.
+fn stream_cmd(scale: f64, path: &str, artifact_out: Option<&str>) {
     let mut records = Vec::new();
     let mut table_rows = Vec::new();
+    let mut exported: Option<String> = None;
     let cells: [(&str, fn(usize, u64) -> Scenario, usize); 2] = [
         ("electricity", electricity_scenario, scaled(11_520, scale)),
         ("tax", tax_scenario, scaled(4_000, scale)),
@@ -2032,7 +2306,10 @@ fn stream_cmd(scale: f64, path: &str) {
             predicates_per_attr: 255,
             ..Default::default()
         };
-        let r = stream_cell(dataset, &sc, base, 8, &opts);
+        let (r, artifact) = stream_cell(dataset, &sc, base, 8, &opts);
+        if exported.is_none() {
+            exported = Some(artifact.to_text());
+        }
         table_rows.push(vec![
             r.dataset.clone(),
             r.base_rows.to_string(),
@@ -2061,4 +2338,9 @@ fn stream_cmd(scale: f64, path: &str) {
     let summary = stream_json::validate(&text).expect("emitted stream report must validate");
     std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path} ({summary})");
+    if let Some(out) = artifact_out {
+        let text = exported.expect("stream ran at least one cell");
+        std::fs::write(out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!("wrote {out} (stream-repaired artifact, proof-carrying)");
+    }
 }

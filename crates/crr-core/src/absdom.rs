@@ -1,0 +1,691 @@
+//! Typed abstract domain for row-free predicate verification.
+//!
+//! `crr-analyze`'s A6 check proves each [`crate::CompiledConjunction`]
+//! equivalent to its source [`crate::Conjunction`] without scanning a
+//! single row: both sides are *symbolically executed* over the lattices in
+//! this module and the resulting abstract states compared for equality.
+//! The domain tracks, per column, exactly the distinctions the concrete
+//! predicate semantics can observe:
+//!
+//! * **numeric columns** ([`NumAbs`]): an interval with open/closed ends,
+//!   a finite set of excluded points (`Ne` holes), and three value
+//!   *lanes* — may the cell be null, may it be NaN, may it be an ordinary
+//!   number;
+//! * **string columns** ([`StrAbs`]): a truth table over the dictionary
+//!   codes plus the null lane.
+//!
+//! Transfer functions mirror the concrete semantics pinned by the
+//! `proptest_compiled` suite: a null cell satisfies no comparison, a NaN
+//! cell fails every comparison **including `Ne`**, `Null`/`NaN` constants
+//! and cross-kind comparisons are unsatisfiable, and `IS NULL` on a
+//! mask-free column is provably empty. States are kept *canonical* after
+//! every transfer (holes absorbed into strict bounds, empty intervals
+//! collapsed to lane emptiness, any fully-empty column collapsing the
+//! whole state to bottom), so two pipelines that admit the same concrete
+//! rows reach **equal** states — the property A6's equality check rests
+//! on. Soundness (every concretely-satisfying row is admitted by the
+//! abstract state) is pinned by `tests/proptest_absdom.rs`.
+
+use crate::compiled::KernelShape;
+use crate::{Op, Predicate};
+use crr_data::{AttrId, ColumnData, Table, Value};
+use std::sync::Arc;
+
+/// The value kind of one column, as the abstract domain sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    /// 64-bit integers (compared as `f64`, like the concrete semantics).
+    Int,
+    /// 64-bit floats — the only kind with a NaN lane.
+    Float,
+    /// Dictionary-encoded strings.
+    Str,
+}
+
+/// Static facts about one column that the transfer functions consult.
+#[derive(Debug, Clone)]
+pub struct ColumnFacts {
+    /// Value kind of the column.
+    pub kind: ColKind,
+    /// Whether the column carries a null mask. When `false`, `IS NULL` is
+    /// provably empty and `IS NOT NULL` provably total — exactly the
+    /// folds the kernel compiler performs.
+    pub nullable: bool,
+    /// Dictionary of a string column in code order (empty otherwise).
+    pub dict: Vec<Arc<str>>,
+}
+
+/// Per-column facts for a whole table: the shared compile context both a
+/// source conjunction and its compiled kernels are interpreted against.
+#[derive(Debug, Clone)]
+pub struct TableFacts {
+    cols: Vec<ColumnFacts>,
+}
+
+impl TableFacts {
+    /// Extracts the facts of every column of `table`.
+    pub fn of(table: &Table) -> TableFacts {
+        let cols = (0..table.schema().len())
+            .map(|i| {
+                let col = table.column(AttrId(i));
+                let (kind, dict) = match col.data() {
+                    ColumnData::Int(_) => (ColKind::Int, Vec::new()),
+                    ColumnData::Float(_) => (ColKind::Float, Vec::new()),
+                    ColumnData::Str { dict, .. } => (ColKind::Str, dict.clone()),
+                };
+                ColumnFacts {
+                    kind,
+                    nullable: col.null_mask().is_some(),
+                    dict,
+                }
+            })
+            .collect();
+        TableFacts { cols }
+    }
+
+    /// Facts of one column, when the attribute is in range.
+    pub fn col(&self, attr: AttrId) -> Option<&ColumnFacts> {
+        self.cols.get(attr.0)
+    }
+
+    /// Number of columns covered.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no columns are covered.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// One end of a numeric interval: the constant and whether the end is
+/// open (the bound value itself excluded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsBound {
+    /// The bounding constant (never NaN).
+    pub value: f64,
+    /// `true` for `<` / `>`, `false` for `<=` / `>=`.
+    pub strict: bool,
+}
+
+/// Abstract value of a numeric (Int or Float) column under a conjunction:
+/// which value lanes survive and, for the numeric lane, which interval
+/// (minus excluded points) the cell may lie in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumAbs {
+    /// The cell may still be null.
+    pub may_null: bool,
+    /// The cell may still be NaN (Float columns only).
+    pub may_nan: bool,
+    /// The cell may still hold an ordinary (non-null, non-NaN) number.
+    pub may_num: bool,
+    /// Lower interval end, when bounded below. `None` when unbounded or
+    /// when the numeric lane is empty.
+    pub lo: Option<AbsBound>,
+    /// Upper interval end, when bounded above.
+    pub hi: Option<AbsBound>,
+    /// Excluded points (`Ne` transfers): sorted ascending, deduplicated,
+    /// all strictly inside the interval after canonicalization.
+    pub holes: Vec<f64>,
+}
+
+impl NumAbs {
+    /// Narrows the lower bound (lattice meet: the stricter bound wins).
+    fn meet_lo(&mut self, b: AbsBound) {
+        self.lo = Some(match self.lo {
+            Some(cur) if cur.value > b.value || (cur.value == b.value && cur.strict) => cur,
+            _ => b,
+        });
+    }
+
+    /// Narrows the upper bound.
+    fn meet_hi(&mut self, b: AbsBound) {
+        self.hi = Some(match self.hi {
+            Some(cur) if cur.value < b.value || (cur.value == b.value && cur.strict) => cur,
+            _ => b,
+        });
+    }
+
+    /// Applies one numeric comparison against constant `c` (not NaN; the
+    /// caller folds NaN constants to bottom). Null tests are no-ops here.
+    fn apply_cmp(&mut self, op: Op, c: f64) {
+        match op {
+            Op::Eq => {
+                self.meet_lo(AbsBound {
+                    value: c,
+                    strict: false,
+                });
+                self.meet_hi(AbsBound {
+                    value: c,
+                    strict: false,
+                });
+            }
+            Op::Ne => self.holes.push(c),
+            Op::Gt => self.meet_lo(AbsBound {
+                value: c,
+                strict: true,
+            }),
+            Op::Ge => self.meet_lo(AbsBound {
+                value: c,
+                strict: false,
+            }),
+            Op::Lt => self.meet_hi(AbsBound {
+                value: c,
+                strict: true,
+            }),
+            Op::Le => self.meet_hi(AbsBound {
+                value: c,
+                strict: false,
+            }),
+            Op::IsNull | Op::NotNull => {}
+        }
+        self.normalize();
+    }
+
+    /// Collapses the numeric lane to empty.
+    fn empty_num_lane(&mut self) {
+        self.may_num = false;
+        self.lo = None;
+        self.hi = None;
+        self.holes.clear();
+    }
+
+    /// Restores the canonical form: holes sorted/deduped and strictly
+    /// inside the interval (holes on an inclusive end tighten the end to
+    /// strict), an empty interval collapsing the numeric lane.
+    fn normalize(&mut self) {
+        if !self.may_num {
+            self.empty_num_lane();
+            return;
+        }
+        self.holes.sort_by(f64::total_cmp);
+        self.holes.dedup();
+        loop {
+            if let (Some(lo), Some(hi)) = (self.lo, self.hi) {
+                if lo.value > hi.value || (lo.value == hi.value && (lo.strict || hi.strict)) {
+                    self.empty_num_lane();
+                    return;
+                }
+            }
+            let (lo, hi) = (self.lo, self.hi);
+            self.holes.retain(|&h| {
+                let below = lo.is_some_and(|b| h < b.value || (h == b.value && b.strict));
+                let above = hi.is_some_and(|b| h > b.value || (h == b.value && b.strict));
+                !(below || above)
+            });
+            let mut changed = false;
+            if let Some(b) = self.lo {
+                if !b.strict && self.holes.first() == Some(&b.value) {
+                    self.lo = Some(AbsBound {
+                        value: b.value,
+                        strict: true,
+                    });
+                    self.holes.remove(0);
+                    changed = true;
+                }
+            }
+            if let Some(b) = self.hi {
+                if !b.strict && self.holes.last() == Some(&b.value) {
+                    self.hi = Some(AbsBound {
+                        value: b.value,
+                        strict: true,
+                    });
+                    self.holes.pop();
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// True when no cell value of any lane can satisfy the constraints.
+    fn is_empty(&self) -> bool {
+        !self.may_null && !self.may_nan && !self.may_num
+    }
+}
+
+/// Abstract value of a dictionary-string column: a truth table over the
+/// dictionary codes plus the null lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrAbs {
+    /// The cell may still be null.
+    pub may_null: bool,
+    /// Per-dictionary-code admissibility, in code order.
+    pub lut: Vec<bool>,
+}
+
+impl StrAbs {
+    /// True when no cell value of any lane can satisfy the constraints.
+    fn is_empty(&self) -> bool {
+        !self.may_null && !self.lut.iter().any(|&b| b)
+    }
+}
+
+/// Abstract value of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsValue {
+    /// A numeric (Int or Float) column.
+    Num(NumAbs),
+    /// A string column.
+    Str(StrAbs),
+}
+
+impl AbsValue {
+    fn is_empty(&self) -> bool {
+        match self {
+            AbsValue::Num(n) => n.is_empty(),
+            AbsValue::Str(s) => s.is_empty(),
+        }
+    }
+}
+
+/// The abstract state of one conjunction over a table's columns.
+///
+/// Start from [`AbsState::top`], apply [`AbsState::assume`] once per
+/// source predicate or [`AbsState::assume_shape`] once per compiled
+/// kernel, then compare the two states with `==`. States are kept
+/// canonical, so equality means "the two pipelines admit exactly the same
+/// rows" over the distinctions the domain tracks; `bottom` (no row can
+/// satisfy the conjunction) compares equal regardless of how it was
+/// reached.
+#[derive(Debug, Clone)]
+pub struct AbsState {
+    cols: Vec<AbsValue>,
+    bottom: bool,
+}
+
+impl PartialEq for AbsState {
+    fn eq(&self, other: &AbsState) -> bool {
+        if self.bottom || other.bottom {
+            return self.bottom && other.bottom;
+        }
+        self.cols == other.cols
+    }
+}
+
+impl AbsState {
+    /// The unconstrained state: every lane a column's facts allow.
+    pub fn top(facts: &TableFacts) -> AbsState {
+        let cols = facts
+            .cols
+            .iter()
+            .map(|c| match c.kind {
+                ColKind::Int | ColKind::Float => AbsValue::Num(NumAbs {
+                    may_null: c.nullable,
+                    may_nan: c.kind == ColKind::Float,
+                    may_num: true,
+                    lo: None,
+                    hi: None,
+                    holes: Vec::new(),
+                }),
+                ColKind::Str => AbsValue::Str(StrAbs {
+                    may_null: c.nullable,
+                    lut: vec![true; c.dict.len()],
+                }),
+            })
+            .collect();
+        AbsState {
+            cols,
+            bottom: false,
+        }
+    }
+
+    /// True when the state proves no row satisfies the conjunction.
+    pub fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    /// The abstract value of one column, when the attribute is in range
+    /// and the state is not bottom.
+    pub fn value(&self, attr: AttrId) -> Option<&AbsValue> {
+        if self.bottom {
+            return None;
+        }
+        self.cols.get(attr.0)
+    }
+
+    /// Transfer function for one *source* predicate, mirroring the
+    /// interpreted row semantics: comparisons clear the null and NaN
+    /// lanes (both cell kinds fail every comparison, `Ne` included),
+    /// `Null`/`NaN` constants and cross-kind comparisons collapse to
+    /// bottom, and null tests keep or kill whole lanes. Out-of-range
+    /// attributes are ignored — callers pre-check references.
+    pub fn assume(&mut self, p: &Predicate, facts: &TableFacts) {
+        if self.bottom {
+            return;
+        }
+        let Some(cf) = facts.col(p.attr) else {
+            return;
+        };
+        let Some(av) = self.cols.get_mut(p.attr.0) else {
+            return;
+        };
+        match p.op {
+            Op::IsNull => match av {
+                AbsValue::Num(n) => {
+                    n.may_nan = false;
+                    n.empty_num_lane();
+                }
+                AbsValue::Str(s) => s.lut.iter_mut().for_each(|b| *b = false),
+            },
+            Op::NotNull => match av {
+                AbsValue::Num(n) => n.may_null = false,
+                AbsValue::Str(s) => s.may_null = false,
+            },
+            _ => match av {
+                AbsValue::Num(n) => {
+                    let c = match &p.value {
+                        Value::Int(i) => *i as f64,
+                        Value::Float(x) => *x,
+                        // Null constant or cross-kind string comparison.
+                        _ => {
+                            self.bottom = true;
+                            return;
+                        }
+                    };
+                    if c.is_nan() {
+                        self.bottom = true;
+                        return;
+                    }
+                    n.may_null = false;
+                    n.may_nan = false;
+                    n.apply_cmp(p.op, c);
+                }
+                AbsValue::Str(s) => {
+                    let Value::Str(sv) = &p.value else {
+                        // Null or numeric constant against a string column.
+                        self.bottom = true;
+                        return;
+                    };
+                    s.may_null = false;
+                    for (i, d) in cf.dict.iter().enumerate() {
+                        if i < s.lut.len() && !p.op.eval(d.as_ref().cmp(sv)) {
+                            s.lut[i] = false;
+                        }
+                    }
+                }
+            },
+        }
+        if self.cols[p.attr.0].is_empty() {
+            self.bottom = true;
+        }
+    }
+
+    /// Transfer function for one *compiled* kernel shape. A faithful
+    /// compilation reaches exactly the state [`AbsState::assume`] reaches
+    /// for the source predicates; any divergence (a slack fold, a drifted
+    /// constant, a kernel matching the NaN lane, a LUT gap) lands the two
+    /// states on different canonical forms.
+    pub fn assume_shape(&mut self, shape: &KernelShape) {
+        if self.bottom {
+            return;
+        }
+        let attr = match shape {
+            KernelShape::Never => {
+                self.bottom = true;
+                return;
+            }
+            KernelShape::Always => return,
+            KernelShape::IsNull { attr }
+            | KernelShape::NotNull { attr }
+            | KernelShape::Num { attr, .. }
+            | KernelShape::Str { attr, .. } => *attr,
+        };
+        let Some(av) = self.cols.get_mut(attr.0) else {
+            return;
+        };
+        match (shape, av) {
+            (KernelShape::IsNull { .. }, AbsValue::Num(n)) => {
+                n.may_nan = false;
+                n.empty_num_lane();
+            }
+            (KernelShape::IsNull { .. }, AbsValue::Str(s)) => {
+                s.lut.iter_mut().for_each(|b| *b = false);
+            }
+            (KernelShape::NotNull { .. }, AbsValue::Num(n)) => n.may_null = false,
+            (KernelShape::NotNull { .. }, AbsValue::Str(s)) => s.may_null = false,
+            (
+                KernelShape::Num {
+                    op, c, matches_nan, ..
+                },
+                AbsValue::Num(n),
+            ) => {
+                n.may_null = false;
+                if !matches_nan {
+                    n.may_nan = false;
+                }
+                n.apply_cmp(*op, *c);
+            }
+            (KernelShape::Str { lut, .. }, AbsValue::Str(s)) => {
+                s.may_null = false;
+                for (b, &k) in s.lut.iter_mut().zip(lut.iter()) {
+                    *b = *b && k;
+                }
+            }
+            // A numeric kernel on a string column (or vice versa) cannot
+            // be produced by compiling against the same table the facts
+            // came from; treat it as unsatisfiable.
+            _ => {
+                self.bottom = true;
+                return;
+            }
+        }
+        if self.cols[attr.0].is_empty() {
+            self.bottom = true;
+        }
+    }
+
+    /// Concretization oracle: does the state admit the cells of `row`?
+    /// Sound transfer functions guarantee every row satisfying the
+    /// concrete conjunction is admitted (concrete ⊆ abstract) — the
+    /// property `tests/proptest_absdom.rs` pins.
+    pub fn admits(&self, table: &Table, row: usize) -> bool {
+        if self.bottom {
+            return false;
+        }
+        self.cols.iter().enumerate().all(|(i, v)| {
+            let attr = AttrId(i);
+            let col = table.column(attr);
+            let is_null = col.null_mask().is_some_and(|m| m[row]);
+            match v {
+                AbsValue::Num(n) => {
+                    if is_null {
+                        return n.may_null;
+                    }
+                    let Some(x) = table.value_f64(row, attr) else {
+                        return true;
+                    };
+                    if x.is_nan() {
+                        return n.may_nan;
+                    }
+                    let above_lo = match n.lo {
+                        None => true,
+                        Some(b) if b.strict => x > b.value,
+                        Some(b) => x >= b.value,
+                    };
+                    let below_hi = match n.hi {
+                        None => true,
+                        Some(b) if b.strict => x < b.value,
+                        Some(b) => x <= b.value,
+                    };
+                    n.may_num && above_lo && below_hi && !n.holes.contains(&x)
+                }
+                AbsValue::Str(s) => {
+                    if is_null {
+                        return s.may_null;
+                    }
+                    match col.data() {
+                        ColumnData::Str { codes, .. } => {
+                            s.lut.get(codes[row] as usize).copied().unwrap_or(false)
+                        }
+                        _ => true,
+                    }
+                }
+            }
+        })
+    }
+
+    /// A human-readable description of the first difference against
+    /// `other`, for A6 findings — `self` is read as the source-side
+    /// state, `other` as the compiled-side state.
+    pub fn divergence(&self, other: &AbsState) -> String {
+        if self == other {
+            return "equal".to_string();
+        }
+        if self.bottom != other.bottom {
+            return if self.bottom {
+                "source conjunction is provably empty but the compiled form is satisfiable"
+                    .to_string()
+            } else {
+                "compiled form is provably empty but the source conjunction is satisfiable"
+                    .to_string()
+            };
+        }
+        for (i, (a, b)) in self.cols.iter().zip(&other.cols).enumerate() {
+            if a != b {
+                return format!("attribute #{i}: source {a:?} vs compiled {b:?}");
+            }
+        }
+        "equal".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledConjunction;
+    use crr_data::{AttrType, Schema, Table};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ("f", AttrType::Float),
+            ("i", AttrType::Int),
+            ("s", AttrType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Float(1.5), Value::Int(3), Value::str("red")])
+            .unwrap();
+        t.push_row(vec![Value::Null, Value::Int(7), Value::str("blue")])
+            .unwrap();
+        t.push_row(vec![Value::Float(f64::NAN), Value::Null, Value::Null])
+            .unwrap();
+        t
+    }
+
+    fn state_of(preds: &[Predicate], facts: &TableFacts) -> AbsState {
+        let mut s = AbsState::top(facts);
+        for p in preds {
+            s.assume(p, facts);
+        }
+        s
+    }
+
+    #[test]
+    fn hole_on_inclusive_bound_tightens_to_strict() {
+        let t = table();
+        let facts = TableFacts::of(&t);
+        let f = AttrId(0);
+        let ge_ne = state_of(
+            &[
+                Predicate::new(f, Op::Ge, Value::Float(3.0)),
+                Predicate::new(f, Op::Ne, Value::Float(3.0)),
+            ],
+            &facts,
+        );
+        let gt = state_of(&[Predicate::new(f, Op::Gt, Value::Float(3.0))], &facts);
+        assert_eq!(ge_ne, gt);
+    }
+
+    #[test]
+    fn contradictory_bounds_reach_bottom() {
+        let t = table();
+        let facts = TableFacts::of(&t);
+        let f = AttrId(0);
+        let s = state_of(
+            &[
+                Predicate::new(f, Op::Gt, Value::Float(5.0)),
+                Predicate::new(f, Op::Lt, Value::Float(5.0)),
+            ],
+            &facts,
+        );
+        assert!(s.is_bottom());
+        // Equality pinched by a hole is bottom too.
+        let s = state_of(
+            &[
+                Predicate::new(f, Op::Eq, Value::Float(2.0)),
+                Predicate::new(f, Op::Ne, Value::Float(2.0)),
+            ],
+            &facts,
+        );
+        assert!(s.is_bottom());
+    }
+
+    #[test]
+    fn null_and_nan_constants_are_bottom() {
+        let t = table();
+        let facts = TableFacts::of(&t);
+        let f = AttrId(0);
+        for v in [Value::Null, Value::Float(f64::NAN), Value::str("x")] {
+            let s = state_of(&[Predicate::new(f, Op::Le, v)], &facts);
+            assert!(s.is_bottom());
+        }
+    }
+
+    #[test]
+    fn is_null_on_mask_free_column_is_bottom() {
+        let schema = Schema::new(vec![("x", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        let facts = TableFacts::of(&t);
+        let s = state_of(
+            &[Predicate::new(AttrId(0), Op::IsNull, Value::Null)],
+            &facts,
+        );
+        assert!(s.is_bottom());
+        // NOT NULL on the same column is a no-op, like the compiler's
+        // Always elision.
+        let s = state_of(
+            &[Predicate::new(AttrId(0), Op::NotNull, Value::Null)],
+            &facts,
+        );
+        assert_eq!(s, AbsState::top(&facts));
+    }
+
+    #[test]
+    fn source_and_compiled_reach_equal_states() {
+        let t = table();
+        let facts = TableFacts::of(&t);
+        let f = AttrId(0);
+        let i = AttrId(1);
+        let s = AttrId(2);
+        let grids: Vec<Vec<Predicate>> = vec![
+            vec![
+                Predicate::new(f, Op::Le, Value::Float(5.0)),
+                Predicate::new(f, Op::Le, Value::Float(3.0)),
+            ],
+            vec![
+                Predicate::new(i, Op::Ge, Value::Int(2)),
+                Predicate::new(i, Op::Ne, Value::Float(4.0)),
+            ],
+            vec![Predicate::new(s, Op::Eq, Value::str("red"))],
+            vec![Predicate::new(s, Op::Eq, Value::str("absent"))],
+            vec![Predicate::new(f, Op::IsNull, Value::Null)],
+            vec![
+                Predicate::new(f, Op::NotNull, Value::Null),
+                Predicate::new(f, Op::Gt, Value::Int(0)),
+            ],
+        ];
+        for preds in &grids {
+            let src = state_of(preds, &facts);
+            let cc = CompiledConjunction::from_preds(preds, &t);
+            let mut cmp = AbsState::top(&facts);
+            for shape in cc.kernel_shapes() {
+                cmp.assume_shape(&shape);
+            }
+            assert_eq!(src, cmp, "diverged on {preds:?}: {}", src.divergence(&cmp));
+        }
+    }
+}

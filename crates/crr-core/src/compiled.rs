@@ -32,7 +32,8 @@
 //! proptest suite in `tests/proptest_compiled.rs` pins this contract.
 
 use crate::{Conjunction, Op, Predicate};
-use crr_data::{Column, ColumnData, RowSet, Table, Value};
+use crr_data::{AttrId, Column, ColumnData, RowSet, Table, Value};
+use std::cell::Cell;
 
 /// Rows per evaluation block: 4096 × 4 bytes of row indices plus the
 /// touched column stripes stay comfortably inside L1/L2 while amortizing
@@ -51,6 +52,11 @@ enum CmpOp {
     Ge,
     Lt,
     Le,
+    /// `v != c` evaluated naively — **true on NaN cells**, unlike `Ne`.
+    /// Never produced by a faithful compilation: it exists only as the
+    /// [`Miscompile::NeMatchesNan`] mutant that the A6 compile-equivalence
+    /// check must catch through the NaN lane of the abstract domain.
+    NeAny,
 }
 
 impl CmpOp {
@@ -64,6 +70,79 @@ impl CmpOp {
             Op::Le => Some(CmpOp::Le),
             Op::IsNull | Op::NotNull => None,
         }
+    }
+
+    /// The source operator this kernel op evaluates.
+    fn source_op(self) -> Op {
+        match self {
+            CmpOp::Eq => Op::Eq,
+            CmpOp::Ne | CmpOp::NeAny => Op::Ne,
+            CmpOp::Gt => Op::Gt,
+            CmpOp::Ge => Op::Ge,
+            CmpOp::Lt => Op::Lt,
+            CmpOp::Le => Op::Le,
+        }
+    }
+
+    /// Whether the kernel's row test evaluates true on a NaN cell. Always
+    /// `false` for faithful compilations.
+    fn matches_nan(self) -> bool {
+        self == CmpOp::NeAny
+    }
+}
+
+/// Deliberate miscompilation modes for mutation-testing the static
+/// compile-equivalence verifier (`crr-analyze` A6). This is a test-only
+/// hook: nothing in the production paths ever sets it, and each mode
+/// reproduces one real class of compiler bug the verifier must flag.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Miscompile {
+    /// Interval folding keeps the *slack* bound instead of the strictest
+    /// (`x ≤ 5 ∧ x ≤ 3` keeps `x ≤ 5`).
+    KeepSlackBound,
+    /// `Ne` kernels evaluate `v != c`, which is true on NaN cells, instead
+    /// of the NaN-rejecting `v < c ∨ v > c`.
+    NeMatchesNan,
+    /// Numeric comparison constants are truncated toward zero
+    /// (constant-coercion drift).
+    TruncateConst,
+    /// String truth tables lose their first matching dictionary entry.
+    LutGap,
+}
+
+thread_local! {
+    /// Active miscompilation mode for this thread, if any.
+    static MISCOMPILE: Cell<Option<Miscompile>> = const { Cell::new(None) };
+}
+
+/// Arms (or clears, with `None`) the deliberate-miscompilation hook for
+/// the current thread. Test-only; see [`Miscompile`].
+#[doc(hidden)]
+pub fn set_miscompile(mode: Option<Miscompile>) {
+    MISCOMPILE.with(|c| c.set(mode));
+}
+
+/// The currently armed miscompilation mode, if any.
+fn miscompile() -> Option<Miscompile> {
+    MISCOMPILE.with(|c| c.get())
+}
+
+/// Applies the constant-drift mutant to a resolved comparison constant.
+fn mutate_const(c: f64) -> f64 {
+    if miscompile() == Some(Miscompile::TruncateConst) {
+        c.trunc()
+    } else {
+        c
+    }
+}
+
+/// Applies the NaN-lane mutant to a resolved comparison operator.
+fn mutate_op(op: CmpOp) -> CmpOp {
+    if op == CmpOp::Ne && miscompile() == Some(Miscompile::NeMatchesNan) {
+        CmpOp::NeAny
+    } else {
+        op
     }
 }
 
@@ -228,6 +307,7 @@ impl<'t> Kernel<'t> {
         let Some(op) = CmpOp::from_op(p.op) else {
             return Kernel::Never;
         };
+        let op = mutate_op(op);
         match (&p.value, col.data()) {
             // A Null constant produces no ordering: no comparison matches.
             (Value::Null, _) => Kernel::Never,
@@ -238,28 +318,34 @@ impl<'t> Kernel<'t> {
                 data,
                 nulls,
                 op,
-                c: *c as f64,
+                c: mutate_const(*c as f64),
             },
             (Value::Int(c), ColumnData::Float(data)) => Kernel::Float {
                 data,
                 nulls,
                 op,
-                c: *c as f64,
+                c: mutate_const(*c as f64),
             },
             (Value::Float(c), ColumnData::Int(data)) => Kernel::Int {
                 data,
                 nulls,
                 op,
-                c: *c,
+                c: mutate_const(*c),
             },
             (Value::Float(c), ColumnData::Float(data)) => Kernel::Float {
                 data,
                 nulls,
                 op,
-                c: *c,
+                c: mutate_const(*c),
             },
             (Value::Str(s), ColumnData::Str { codes, dict, .. }) => {
-                let lut: Vec<bool> = dict.iter().map(|d| p.op.eval(d.as_ref().cmp(s))).collect();
+                let mut lut: Vec<bool> =
+                    dict.iter().map(|d| p.op.eval(d.as_ref().cmp(s))).collect();
+                if miscompile() == Some(Miscompile::LutGap) {
+                    if let Some(slot) = lut.iter_mut().find(|b| **b) {
+                        *slot = false;
+                    }
+                }
                 if lut.iter().any(|&b| b) {
                     Kernel::Str { codes, nulls, lut }
                 } else {
@@ -298,6 +384,8 @@ impl<'t> Kernel<'t> {
                 match $op {
                     CmpOp::Eq => num!($data, $nulls, $c, $conv, |v, c| v == c),
                     CmpOp::Ne => num!($data, $nulls, $c, $conv, |v, c| v < c || v > c),
+                    // The deliberate NaN-lane mutant: true on NaN cells.
+                    CmpOp::NeAny => num!($data, $nulls, $c, $conv, |v, c| v != c),
                     CmpOp::Gt => num!($data, $nulls, $c, $conv, |v, c| v > c),
                     CmpOp::Ge => num!($data, $nulls, $c, $conv, |v, c| v >= c),
                     CmpOp::Lt => num!($data, $nulls, $c, $conv, |v, c| v < c),
@@ -324,12 +412,58 @@ impl<'t> Kernel<'t> {
     }
 }
 
+/// A table-independent description of one compiled kernel: the resolved
+/// operator, coerced constant, and null/NaN-lane behaviour, with the raw
+/// column borrows stripped. `crr-analyze`'s A6 check feeds shapes to
+/// [`crate::absdom::AbsState::assume_shape`] to symbolically re-evaluate
+/// the compiled form against its source conjunction — no rows touched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelShape {
+    /// Provably false for every row.
+    Never,
+    /// Provably true for every row (elided from conjunctions).
+    Always,
+    /// `A IS NULL` — a pure mask read.
+    IsNull {
+        /// The tested attribute.
+        attr: AttrId,
+    },
+    /// `A IS NOT NULL` — a negated mask read.
+    NotNull {
+        /// The tested attribute.
+        attr: AttrId,
+    },
+    /// Numeric comparison `A op c` (Int columns compare as `f64`).
+    Num {
+        /// The compared attribute.
+        attr: AttrId,
+        /// The source operator the kernel evaluates.
+        op: Op,
+        /// The resolved, coerced comparison constant.
+        c: f64,
+        /// Whether the kernel's row test is true on NaN cells. Always
+        /// `false` for a faithful compilation — every comparison rejects
+        /// NaN — so a `true` here exposes a miscompiled `Ne`.
+        matches_nan: bool,
+    },
+    /// String comparison as a per-dictionary-code truth table.
+    Str {
+        /// The compared attribute.
+        attr: AttrId,
+        /// Truth per dictionary code, in code order.
+        lut: Vec<bool>,
+    },
+}
+
 /// One predicate, compiled against one table.
 ///
 /// Borrows the table's columns for its lifetime; compile once per
 /// (predicate, table) pair and evaluate against any subset of rows.
 #[derive(Debug)]
 pub struct CompiledPred<'t> {
+    /// The attribute the source predicate tests, kept for introspection
+    /// ([`CompiledPred::shape`]).
+    attr: AttrId,
     kernel: Kernel<'t>,
 }
 
@@ -337,6 +471,7 @@ impl<'t> CompiledPred<'t> {
     /// Compiles `p` against `table`'s storage.
     pub fn compile(p: &Predicate, table: &'t Table) -> CompiledPred<'t> {
         CompiledPred {
+            attr: p.attr,
             kernel: Kernel::compile(p, table),
         }
     }
@@ -356,6 +491,26 @@ impl<'t> CompiledPred<'t> {
     /// True when compilation proved the predicate false for every row.
     pub fn is_never(&self) -> bool {
         matches!(self.kernel, Kernel::Never)
+    }
+
+    /// The kernel's table-independent shape, for symbolic re-evaluation.
+    pub fn shape(&self) -> KernelShape {
+        match &self.kernel {
+            Kernel::Never => KernelShape::Never,
+            Kernel::Always => KernelShape::Always,
+            Kernel::IsNull { .. } => KernelShape::IsNull { attr: self.attr },
+            Kernel::NotNull { .. } => KernelShape::NotNull { attr: self.attr },
+            Kernel::Float { op, c, .. } | Kernel::Int { op, c, .. } => KernelShape::Num {
+                attr: self.attr,
+                op: op.source_op(),
+                c: *c,
+                matches_nan: op.matches_nan(),
+            },
+            Kernel::Str { lut, .. } => KernelShape::Str {
+                attr: self.attr,
+                lut: lut.clone(),
+            },
+        }
     }
 }
 
@@ -425,7 +580,15 @@ fn fold_intervals(preds: &[Predicate]) -> Vec<&Predicate> {
             .find(|q| q.attr == p.attr && bound_side(q) == Some(side))
         {
             Some(slot) => {
-                if at_least_as_strict(p, slot, side) {
+                let stricter = at_least_as_strict(p, slot, side);
+                // The slack-fold mutant inverts the choice, keeping the
+                // looser bound — the bad-interval-fold bug A6 must catch.
+                let keep_new = if miscompile() == Some(Miscompile::KeepSlackBound) {
+                    !stricter
+                } else {
+                    stricter
+                };
+                if keep_new {
                     *slot = p;
                 }
             }
@@ -480,6 +643,18 @@ impl<'t> CompiledConjunction<'t> {
     /// True when compilation proved the conjunction matches no row.
     pub fn is_never(&self) -> bool {
         self.never
+    }
+
+    /// The table-independent shapes of the surviving kernels, in
+    /// evaluation order. A `Never`-short-circuited conjunction reports
+    /// the single shape [`KernelShape::Never`] — the kernels themselves
+    /// were dropped at compile time.
+    pub fn kernel_shapes(&self) -> Vec<KernelShape> {
+        if self.never {
+            vec![KernelShape::Never]
+        } else {
+            self.preds.iter().map(CompiledPred::shape).collect()
+        }
     }
 
     /// Whether row `i` satisfies the conjunction. Byte-identical to

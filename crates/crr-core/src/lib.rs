@@ -22,7 +22,9 @@
 //! * the five inference rules of §IV as executable operations
 //!   ([`inference`]),
 //! * rule sets with rule locating, prediction and RMSE ([`RuleSet`]),
-//! * a text serialization for rule interchange ([`serialize`]).
+//! * a text serialization for rule interchange ([`serialize`]),
+//! * a typed abstract domain over which source conjunctions and their
+//!   compiled kernels are symbolically compared, row-free ([`absdom`]).
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absdom;
 pub mod check;
 pub mod compiled;
 mod condition;
@@ -60,8 +63,9 @@ mod rule;
 mod ruleset;
 pub mod serialize;
 
+pub use absdom::{AbsState, TableFacts};
 pub use check::{check, CheckReport, Violation};
-pub use compiled::{CompiledConjunction, CompiledPred};
+pub use compiled::{CompiledConjunction, CompiledPred, KernelShape};
 pub use condition::{AttrSummary, Bound, Conjunction, Dnf};
 pub use error::CoreError;
 pub use index::{CompiledIndex, RuleIndex};

@@ -1,0 +1,150 @@
+//! Property tests for the abstract domain (`crr_core::absdom`).
+//!
+//! Two properties over null/NaN-laden mini-tables and arbitrary
+//! conjunctions drawn from every `Op`:
+//!
+//! 1. **Soundness (concrete ⊆ abstract):** every row that concretely
+//!    satisfies a conjunction is admitted by the abstract state reached
+//!    by its transfer functions — for the source-predicate transfers and
+//!    for the compiled-kernel-shape transfers alike.
+//! 2. **Compile equivalence:** a faithful compilation reaches exactly the
+//!    same canonical abstract state as the source conjunction — the
+//!    invariant `crr-analyze`'s A6 check rests on.
+
+// Test harness: panicking on malformed fixtures is the failure mode we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crr_core::absdom::{AbsState, TableFacts};
+use crr_core::{CompiledConjunction, Op, Predicate};
+use crr_data::{AttrId, AttrType, Schema, Table, Value};
+use proptest::prelude::*;
+
+const F: AttrId = AttrId(0); // float with nulls and NaN cells
+const I: AttrId = AttrId(1); // int with nulls
+const S: AttrId = AttrId(2); // dictionary string with nulls
+
+const WORDS: [&str; 4] = ["red", "green", "blue", "red "];
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    // Float cells cluster around the constants the predicate generator
+    // draws from so Eq/Ne/bound edges are exercised; the NaN arm stresses
+    // the NaN lane the domain tracks separately from null.
+    let float_cell = prop_oneof![
+        4 => (-4i64..4).prop_map(|k| Some(k as f64)),
+        2 => (-100.0f64..100.0).prop_map(Some),
+        1 => Just(Some(f64::NAN)),
+        1 => Just(None),
+    ];
+    let int_cell = prop_oneof![
+        8 => (-5i64..5).prop_map(Some),
+        1 => Just(None),
+    ];
+    let str_cell = prop_oneof![
+        8 => (0usize..WORDS.len()).prop_map(Some),
+        1 => Just(None),
+    ];
+    prop::collection::vec((float_cell, int_cell, str_cell), 1..40).prop_map(|cells| {
+        let schema = Schema::new(vec![
+            ("f", AttrType::Float),
+            ("i", AttrType::Int),
+            ("s", AttrType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for (f, i, s) in cells {
+            t.push_row(vec![
+                f.map_or(Value::Null, Value::Float),
+                i.map_or(Value::Null, Value::Int),
+                s.map_or(Value::Null, |k| Value::str(WORDS[k])),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::IsNull),
+        Just(Op::NotNull),
+    ]
+}
+
+/// Predicates over any column, including the degenerate constants the
+/// transfer functions must fold to bottom (null constants, NaN constants,
+/// cross-kind comparisons, strings absent from the dictionary).
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    let attr = prop_oneof![Just(F), Just(I), Just(S)];
+    let constant = prop_oneof![
+        3 => (-4i64..4).prop_map(|k| Value::Float(k as f64)),
+        2 => (-5i64..5).prop_map(Value::Int),
+        2 => (0usize..WORDS.len()).prop_map(|k| Value::str(WORDS[k])),
+        1 => Just(Value::str("unseen")),
+        1 => Just(Value::Float(f64::NAN)),
+        1 => Just(Value::Null),
+    ];
+    (attr, arb_op(), constant).prop_map(|(a, op, c)| Predicate::new(a, op, c))
+}
+
+fn arb_conj() -> impl Strategy<Value = Vec<Predicate>> {
+    prop::collection::vec(arb_pred(), 0..5)
+}
+
+/// The source-side abstract state of a conjunction.
+fn source_state(preds: &[Predicate], facts: &TableFacts) -> AbsState {
+    let mut s = AbsState::top(facts);
+    for p in preds {
+        s.assume(p, facts);
+    }
+    s
+}
+
+/// The compiled-side abstract state of a conjunction.
+fn compiled_state(preds: &[Predicate], table: &Table, facts: &TableFacts) -> AbsState {
+    let cc = CompiledConjunction::from_preds(preds, table);
+    let mut s = AbsState::top(facts);
+    for shape in cc.kernel_shapes() {
+        s.assume_shape(&shape);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn abstract_states_admit_every_concretely_satisfying_row(
+        table in arb_table(),
+        preds in arb_conj(),
+    ) {
+        let facts = TableFacts::of(&table);
+        let src = source_state(&preds, &facts);
+        let cmp = compiled_state(&preds, &table, &facts);
+        for r in 0..table.num_rows() {
+            if preds.iter().all(|p| p.eval(&table, r)) {
+                prop_assert!(src.admits(&table, r), "source state rejects satisfying row {r}");
+                prop_assert!(cmp.admits(&table, r), "compiled state rejects satisfying row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn faithful_compilation_reaches_the_source_state(
+        table in arb_table(),
+        preds in arb_conj(),
+    ) {
+        let facts = TableFacts::of(&table);
+        let src = source_state(&preds, &facts);
+        let cmp = compiled_state(&preds, &table, &facts);
+        prop_assert!(
+            src == cmp,
+            "states diverged on a faithful compile: {}",
+            src.divergence(&cmp)
+        );
+    }
+}

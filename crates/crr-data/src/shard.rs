@@ -74,26 +74,10 @@ pub struct Shard {
 }
 
 impl ShardPlan {
-    /// The trivial one-shard plan.
-    #[deprecated(since = "0.9.0", note = "use `ShardSpec::single()`")]
-    pub fn single() -> Self {
-        ShardPlan::Single
-    }
-
-    /// Equal-width key-range plan over `attr`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `ShardSpec::by_key(attr).equal_width().shards(n)`"
-    )]
-    pub fn by_key_range(attr: AttrId, shards: usize) -> Self {
-        ShardPlan::ByKeyRange { attr, shards }
-    }
-
-    /// Fixed-width time-window plan over `attr`.
-    #[deprecated(since = "0.9.0", note = "use `ShardSpec::by_time(attr, width)`")]
-    pub fn by_time_window(attr: AttrId, width: f64) -> Self {
-        ShardPlan::ByTimeWindow { attr, width }
-    }
+    // The 0.9.0 positional constructors (`single`, `by_key_range`,
+    // `by_time_window`) are gone; build plans through `ShardSpec`, which
+    // names the strategy and boundary placement explicitly. The ci.sh
+    // deprecation wall keeps them from creeping back.
 
     /// How many shards the plan *requests* (before empty ones are dropped).
     /// Time-window plans are data-dependent and report `None`.

@@ -312,9 +312,9 @@ impl ShardSpec {
 impl From<ShardPlan> for ShardSpec {
     /// Every legacy plan maps onto an equivalent spec: `Single` stays
     /// single, `ByKeyRange` becomes an equal-width fixed-count key spec,
-    /// `ByTimeWindow` a time spec — so code migrating from the deprecated
-    /// constructors changes behavior only when it opts into the new
-    /// adaptive defaults.
+    /// `ByTimeWindow` a time spec — so code migrating from the removed
+    /// positional constructors changes behavior only when it opts into
+    /// the new adaptive defaults.
     fn from(plan: ShardPlan) -> Self {
         match plan {
             ShardPlan::Single => ShardSpec::single(),
@@ -671,22 +671,6 @@ mod tests {
         // though the null shard holds only 4 rows.
         assert_eq!(balance_permille(&shards), 1000);
         assert_eq!(balance_permille(&shards[..1]), 1000);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_the_same_plans() {
-        let (t, attr) = table_with_keys(&[Some(1.0), Some(2.0), Some(3.0)]);
-        let _ = &t;
-        assert_eq!(ShardPlan::single(), ShardPlan::Single);
-        assert_eq!(
-            ShardPlan::by_key_range(attr, 2),
-            ShardPlan::ByKeyRange { attr, shards: 2 }
-        );
-        assert_eq!(
-            ShardPlan::by_time_window(attr, 1.5),
-            ShardPlan::ByTimeWindow { attr, width: 1.5 }
-        );
     }
 
     #[test]

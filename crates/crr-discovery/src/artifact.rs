@@ -28,13 +28,76 @@
 //! records how the plan's interval boundaries were derived
 //! ([`crate::sharded::PlanBoundary`]); artifacts predating it parse as
 //! `equal_width`, the only construction that existed then.
+//!
+//! A repaired artifact produced by `crr-stream` additionally carries
+//! [`RepairObligations`] — the splice's machine-checkable claims — as a
+//! `repair` line plus one `region` line per affected region, between the
+//! shard guards and the rules:
+//!
+//! ```text
+//! repair kept=12
+//! region id=0 origin=drifted rule=4 conj=0 pred #0 >= f:10 ; pred #0 < f:20
+//! region id=1 origin=uncovered pred #0 >= f:5760 ; pred #0 <= f:6048
+//! ```
+//!
+//! `kept` counts the healthy rules carried over unchanged (they occupy
+//! the set's leading indices); every later rule was rediscovered inside
+//! one of the claimed regions, under the region's guard predicates. The
+//! static verifier's A7 check audits these claims row-free, so a splice
+//! that over- or under-claims is refused at `crr-serve`'s swap gate.
 
 use crate::sharded::{PlanBoundary, ProofObligations, ShardGuard};
 use crate::{DiscoveryError, Result};
 use crr_core::serialize::{decode_predicate, encode_predicate, from_text as rules_from_text};
-use crr_core::{CoreError, RuleSet};
+use crr_core::{CoreError, Predicate, RuleSet};
 use crr_data::{AttrId, AttrType, Schema, ShardBounds};
 use std::fmt::Write as _;
+
+/// Where one repair region came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionOrigin {
+    /// A drifted conjunct of the pre-repair rule set. `rule`/`conjunct`
+    /// index the set the repair *replaced* — provenance for operators,
+    /// not references into the spliced set.
+    Drifted {
+        /// Index of the drifted rule in the pre-repair set.
+        rule: usize,
+        /// Index of the drifted conjunct within that rule's condition.
+        conjunct: usize,
+    },
+    /// The uncovered-append region: rows no pre-repair rule claimed,
+    /// guarded by their bounding box when one was derivable.
+    Uncovered,
+}
+
+/// One affected region a repair re-ran discovery inside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairRegion {
+    /// Dense region index, in emission order.
+    pub region_id: usize,
+    /// Provenance of the region.
+    pub origin: RegionOrigin,
+    /// The guard predicates re-ANDed onto every rule rediscovered in
+    /// this region (a drifted conjunct's own predicates, or the bounding
+    /// box of the uncovered appends). May be empty when no guard was
+    /// derivable — the verifier then treats confinement as vacuous and
+    /// flags the region as a hygiene finding.
+    pub guards: Vec<Predicate>,
+}
+
+/// Proof obligations of a `crr-stream` repair splice: which rules were
+/// kept verbatim and which regions the replacement rules are confined
+/// to. Audited row-free by `crr-analyze`'s A7 check, exactly like the
+/// shard [`ProofObligations`] are by A3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairObligations {
+    /// Healthy rules carried over unchanged; they occupy indices
+    /// `0..kept` of the spliced set, and every rule at `kept..` was
+    /// rediscovered inside some claimed region.
+    pub kept: usize,
+    /// The affected regions, dense by `region_id`.
+    pub regions: Vec<RepairRegion>,
+}
 
 /// A schema + compacted rule set + obligations bundle — everything a
 /// serving process needs to verify and answer from one rule set.
@@ -49,6 +112,9 @@ pub struct RuleSetArtifact {
     /// sharded. Without them the verifier's guard-soundness check (A3)
     /// cannot run, so producers should always carry them through.
     pub obligations: Option<ProofObligations>,
+    /// Repair-splice obligations, when the artifact came out of a
+    /// `crr-stream` repair. Audited by the verifier's A7 check.
+    pub repair: Option<RepairObligations>,
 }
 
 fn bad(what: impl Into<String>) -> DiscoveryError {
@@ -93,9 +159,18 @@ impl RuleSetArtifact {
             schema,
             rules,
             obligations,
+            repair: None,
         };
         artifact.check_refs()?;
         Ok(artifact)
+    }
+
+    /// Attaches repair-splice obligations, re-checking every attribute
+    /// reference (the region guards add new ones).
+    pub fn with_repair(mut self, repair: RepairObligations) -> Result<Self> {
+        self.repair = Some(repair);
+        self.check_refs()?;
+        Ok(self)
     }
 
     /// Verifies every attribute reference in the rules and obligations is
@@ -133,6 +208,13 @@ impl RuleSetArtifact {
                 }
             }
         }
+        if let Some(rep) = &self.repair {
+            for r in &rep.regions {
+                for p in &r.guards {
+                    check(p.attr, &format!("repair region {} guard", r.region_id))?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -165,6 +247,23 @@ impl RuleSetArtifact {
                 out.push('\n');
             }
         }
+        if let Some(rep) = &self.repair {
+            let _ = writeln!(out, "repair kept={}", rep.kept);
+            for r in &rep.regions {
+                let _ = write!(out, "region id={}", r.region_id);
+                match r.origin {
+                    RegionOrigin::Drifted { rule, conjunct } => {
+                        let _ = write!(out, " origin=drifted rule={rule} conj={conjunct}");
+                    }
+                    RegionOrigin::Uncovered => out.push_str(" origin=uncovered"),
+                }
+                for (i, p) in r.guards.iter().enumerate() {
+                    out.push_str(if i == 0 { " " } else { " ; " });
+                    let _ = write!(out, "pred {}", encode_predicate(p));
+                }
+                out.push('\n');
+            }
+        }
         out.push_str("rules\n");
         out.push_str(&crr_core::serialize::to_text(&self.rules));
         out
@@ -180,6 +279,7 @@ impl RuleSetArtifact {
         }
         let mut attrs: Vec<(String, AttrType)> = Vec::new();
         let mut obligations: Option<ProofObligations> = None;
+        let mut repair: Option<RepairObligations> = None;
         let mut saw_rules_marker = false;
         for line in lines.by_ref() {
             if line == "rules" {
@@ -220,6 +320,25 @@ impl RuleSetArtifact {
                     .as_mut()
                     .ok_or_else(|| bad("guard line before obligations line"))?;
                 ob.guards.push(parse_guard(rest, ob.shard_key)?);
+            } else if let Some(rest) = line.strip_prefix("repair ") {
+                let mut kept = None;
+                for tok in rest.split_whitespace() {
+                    if let Some(n) = tok.strip_prefix("kept=") {
+                        kept = n.parse::<usize>().ok();
+                    } else {
+                        return Err(bad(format!("bad repair token: {tok}")));
+                    }
+                }
+                let kept = kept.ok_or_else(|| bad(format!("bad repair line: {line}")))?;
+                repair = Some(RepairObligations {
+                    kept,
+                    regions: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("region ") {
+                let rep = repair
+                    .as_mut()
+                    .ok_or_else(|| bad("region line before repair line"))?;
+                rep.regions.push(parse_region(rest)?);
             } else {
                 return Err(bad(format!("unexpected artifact line: {line}")));
             }
@@ -236,8 +355,61 @@ impl RuleSetArtifact {
             None => return Err(bad("artifact lacks a rules section")),
         };
         let rules = rules_from_text(&text[rest_offset..]).map_err(DiscoveryError::Core)?;
-        RuleSetArtifact::new(schema, rules, obligations)
+        let artifact = RuleSetArtifact::new(schema, rules, obligations)?;
+        match repair {
+            Some(rep) => artifact.with_repair(rep),
+            None => Ok(artifact),
+        }
     }
+}
+
+/// Parses one `region` line body (after the `region ` prefix).
+fn parse_region(rest: &str) -> Result<RepairRegion> {
+    // Fixed head fields, then the predicate list in `;`-separated grammar.
+    let (head, preds_part) = match rest.find(" pred ") {
+        Some(i) => (&rest[..i], Some(&rest[i..])),
+        None => (rest, None),
+    };
+    let mut region_id = None;
+    let mut origin_tok = None;
+    let mut rule = None;
+    let mut conjunct = None;
+    for tok in head.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("id=") {
+            region_id = v.parse::<usize>().ok();
+        } else if let Some(v) = tok.strip_prefix("origin=") {
+            origin_tok = Some(v.to_string());
+        } else if let Some(v) = tok.strip_prefix("rule=") {
+            rule = v.parse::<usize>().ok();
+        } else if let Some(v) = tok.strip_prefix("conj=") {
+            conjunct = v.parse::<usize>().ok();
+        } else {
+            return Err(bad(format!("bad region token: {tok}")));
+        }
+    }
+    let region_id = region_id.ok_or_else(|| bad(format!("region line lacks an id: {rest}")))?;
+    let origin = match origin_tok.as_deref() {
+        Some("drifted") => match (rule, conjunct) {
+            (Some(rule), Some(conjunct)) => RegionOrigin::Drifted { rule, conjunct },
+            _ => return Err(bad(format!("drifted region lacks rule/conj: {rest}"))),
+        },
+        Some("uncovered") => RegionOrigin::Uncovered,
+        _ => return Err(bad(format!("bad region origin: {rest}"))),
+    };
+    let mut guards = Vec::new();
+    if let Some(part) = preds_part {
+        for item in part.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let p = item
+                .strip_prefix("pred ")
+                .ok_or_else(|| bad(format!("bad region predicate item: {item}")))?;
+            guards.push(decode_predicate(p).map_err(DiscoveryError::Core)?);
+        }
+    }
+    Ok(RepairRegion {
+        region_id,
+        origin,
+        guards,
+    })
 }
 
 fn parse_guard(rest: &str, shard_key: AttrId) -> Result<ShardGuard> {
@@ -416,6 +588,84 @@ mod tests {
             .map(|l| format!("{l}\n"))
             .collect();
         assert!(RuleSetArtifact::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn repair_obligations_round_trip_as_a_fixed_point() {
+        let k = AttrId(0);
+        let a = sample()
+            .with_repair(RepairObligations {
+                kept: 1,
+                regions: vec![
+                    RepairRegion {
+                        region_id: 0,
+                        origin: RegionOrigin::Drifted {
+                            rule: 4,
+                            conjunct: 1,
+                        },
+                        guards: vec![
+                            Predicate::ge(k, Value::Float(10.0)),
+                            Predicate::lt(k, Value::Float(20.0)),
+                        ],
+                    },
+                    RepairRegion {
+                        region_id: 1,
+                        origin: RegionOrigin::Uncovered,
+                        guards: vec![Predicate::ge(k, Value::Float(5760.0))],
+                    },
+                    RepairRegion {
+                        region_id: 2,
+                        origin: RegionOrigin::Uncovered,
+                        guards: Vec::new(),
+                    },
+                ],
+            })
+            .unwrap();
+        let text = a.to_text();
+        let b = RuleSetArtifact::from_text(&text).unwrap();
+        assert_eq!(a.repair, b.repair);
+        // And the round-trip is a fixed point.
+        assert_eq!(text, b.to_text());
+    }
+
+    #[test]
+    fn repair_region_guard_references_are_checked() {
+        let err = sample().with_repair(RepairObligations {
+            kept: 0,
+            regions: vec![RepairRegion {
+                region_id: 0,
+                origin: RegionOrigin::Uncovered,
+                guards: vec![Predicate::ge(AttrId(9), Value::Float(0.0))],
+            }],
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn malformed_repair_lines_rejected() {
+        let good = sample()
+            .with_repair(RepairObligations {
+                kept: 1,
+                regions: vec![RepairRegion {
+                    region_id: 0,
+                    origin: RegionOrigin::Drifted {
+                        rule: 0,
+                        conjunct: 0,
+                    },
+                    guards: Vec::new(),
+                }],
+            })
+            .unwrap()
+            .to_text();
+        // A region line before any repair line.
+        let reordered = good.replace("repair kept=1\n", "");
+        assert!(RuleSetArtifact::from_text(&reordered).is_err());
+        // Unknown origins and missing provenance are rejected.
+        assert!(
+            RuleSetArtifact::from_text(&good.replace("origin=drifted", "origin=mystery")).is_err()
+        );
+        assert!(RuleSetArtifact::from_text(&good.replace(" rule=0", "")).is_err());
+        assert!(RuleSetArtifact::from_text(&good.replace("kept=1", "kept=x")).is_err());
     }
 
     #[test]

@@ -126,7 +126,7 @@ mod search;
 mod session;
 pub mod sharded;
 
-pub use artifact::RuleSetArtifact;
+pub use artifact::{RegionOrigin, RepairObligations, RepairRegion, RuleSetArtifact};
 pub use budget::{Budget, CancelToken, DiscoveryOutcome};
 pub use compaction::{compact, compact_on_data, CompactionStats};
 pub use config::{DiscoveryConfig, FitEngine, QueueOrder, ScanKernel, SplitStrategy};
@@ -140,8 +140,8 @@ pub use sharded::{
     guard_predicates, PlanBoundary, ProofObligations, ShardGuard, ShardOutcome, ShardedDiscovery,
 };
 // Shard specs live in crr-data (they cut tables, not searches); re-exported
-// so sharded sessions need only this crate. `ShardPlan` stays exported for
-// the deprecation window of its constructors.
+// so sharded sessions need only this crate. `ShardPlan` stays exported as
+// the planner's output type (`ShardSpec` is the only way to build one).
 pub use crr_data::{
     balance_permille, Boundary, PlannerCost, Shard, ShardBounds, ShardCount, ShardPlan, ShardSpec,
 };

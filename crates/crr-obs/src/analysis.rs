@@ -23,6 +23,15 @@ pub struct AnalysisCounters {
     /// Calls into the satisfiability engine
     /// (`Conjunction::is_provably_unsat`).
     pub unsat_checks: u64,
+    /// Abstract-domain transfer-function evaluations during the
+    /// compile-equivalence check (A6).
+    pub absdom_transfers: u64,
+    /// Conjunctions symbolically compared against their compiled form
+    /// (A6).
+    pub compile_equiv_checks: u64,
+    /// Repair-splice regions audited (A7; 0 for artifacts that did not
+    /// come out of a stream repair).
+    pub repair_regions: u64,
     /// Findings emitted at severity `unsound`.
     pub findings_unsound: u64,
     /// Findings emitted at severity `redundant`.
@@ -48,6 +57,9 @@ impl AnalysisCounters {
             ("shards", self.shards),
             ("implication_checks", self.implication_checks),
             ("unsat_checks", self.unsat_checks),
+            ("absdom_transfers", self.absdom_transfers),
+            ("compile_equiv_checks", self.compile_equiv_checks),
+            ("repair_regions", self.repair_regions),
             ("findings_unsound", self.findings_unsound),
             ("findings_redundant", self.findings_redundant),
             ("findings_hygiene", self.findings_hygiene),
@@ -74,6 +86,9 @@ mod tests {
             shards: 2,
             implication_checks: 40,
             unsat_checks: 9,
+            absdom_transfers: 21,
+            compile_equiv_checks: 7,
+            repair_regions: 2,
             findings_unsound: 1,
             findings_redundant: 2,
             findings_hygiene: 3,
@@ -81,6 +96,14 @@ mod tests {
         assert_eq!(c.findings(), 6);
         let doc = crate::json::parse(&c.to_json(0)).expect("valid json");
         assert_eq!(doc.get("conjuncts").and_then(|v| v.as_num()), Some(7.0));
+        assert_eq!(
+            doc.get("compile_equiv_checks").and_then(|v| v.as_num()),
+            Some(7.0)
+        );
+        assert_eq!(
+            doc.get("repair_regions").and_then(|v| v.as_num()),
+            Some(2.0)
+        );
         assert_eq!(
             doc.get("findings_unsound").and_then(|v| v.as_num()),
             Some(1.0)

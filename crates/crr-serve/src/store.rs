@@ -17,13 +17,20 @@
 //! [`RuleStore::try_swap`] only admits a candidate when the in-process
 //! `crr-analyze` run reports [`crr_analyze::AnalysisReport::is_sound`] —
 //! the same verifier CI runs on committed artifacts, now standing between
-//! a bad deploy and live traffic. Candidates that fail to parse, change
-//! the serving schema, dangle attribute references, or carry unsound
-//! findings (e.g. shard guards with stripped `IS NULL` arms) are counted
-//! in `serve.swap_rejected` and never observed by any reader.
+//! a bad deploy and live traffic. The gate runs the full artifact battery
+//! ([`crr_analyze::analyze_artifact`], checks A1–A7): on top of the rule
+//! and shard-guard checks, every conjunction is symbolically re-compiled
+//! and compared against its source over the abstract domain (A6), and a
+//! repaired artifact's [`crr_discovery::RepairObligations`] are audited
+//! (A7) — a stream repair whose splice over- or under-claims its affected
+//! regions is refused. Candidates that fail to parse, change the serving
+//! schema, dangle attribute references, or carry unsound findings (e.g.
+//! shard guards with stripped `IS NULL` arms, or repair regions with
+//! stripped guards) are counted in `serve.swap_rejected` and never
+//! observed by any reader.
 
 use crate::Result;
-use crr_analyze::{analyze, AnalysisReport};
+use crr_analyze::{analyze_artifact, AnalysisReport};
 use crr_discovery::RuleSetArtifact;
 use crr_obs::{Counter, Gauge, MetricsSink};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,8 +58,9 @@ pub enum SwapError {
     /// refused.
     SchemaMismatch(String),
     /// The verifier found unsound findings; the report travels with the
-    /// error so the caller can render them.
-    Unsound(AnalysisReport),
+    /// error so the caller can render them. Boxed: the report (seven
+    /// checks' counters + findings) dwarfs the happy path.
+    Unsound(Box<AnalysisReport>),
 }
 
 impl SwapError {
@@ -186,16 +194,19 @@ impl RuleStore {
 }
 
 /// The admission gate itself: reference hygiene plus the full static
-/// verification, in-process.
+/// verification (A1–A7), in-process. A6 compiles against an empty table
+/// of the artifact's own schema, so the gate stays row-free.
 fn admit(artifact: &RuleSetArtifact) -> Result<()> {
     artifact
         .check_refs()
         .map_err(|e| crate::ServeError::Swap(SwapError::Parse(e.to_string())))?;
-    let report = analyze(&artifact.rules, artifact.obligations.as_ref());
+    let report = analyze_artifact(artifact);
     if report.is_sound() {
         Ok(())
     } else {
-        Err(crate::ServeError::Swap(SwapError::Unsound(report)))
+        Err(crate::ServeError::Swap(SwapError::Unsound(Box::new(
+            report,
+        ))))
     }
 }
 
@@ -262,6 +273,80 @@ mod tests {
         let text = "crr-artifact v1\nattr float x\nattr float y\nrules\ncrr-ruleset v1\nrule target=#7 inputs=#0 rho=0.5 model=const 1\nconj pred #0 not-null n:\nend\n";
         assert!(store.try_swap_text(text).is_err());
         assert_eq!(store.generation(), 0);
+    }
+
+    #[test]
+    fn repair_with_stripped_region_guard_is_refused() {
+        use crr_data::Value;
+        use crr_discovery::{RegionOrigin, RepairObligations, RepairRegion};
+
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let x = AttrId(0);
+        let m = Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0)));
+        let conj = |lo: f64, hi: f64| {
+            Conjunction::of(vec![
+                Predicate::ge(x, Value::Float(lo)),
+                Predicate::lt(x, Value::Float(hi)),
+            ])
+        };
+        let rule = |c: Conjunction, rho: f64| {
+            Crr::new(vec![x], AttrId(1), Arc::clone(&m), rho, Dnf::single(c)).unwrap()
+        };
+        let kept = rule(conj(0.0, 10.0), 0.5);
+        let repaired = rule(conj(10.0, 20.0), 0.4);
+        let guards = repaired.condition().conjuncts()[0].preds().to_vec();
+        let obligations = RepairObligations {
+            kept: 1,
+            regions: vec![RepairRegion {
+                region_id: 0,
+                origin: RegionOrigin::Uncovered,
+                guards,
+            }],
+        };
+
+        // The honest repair swaps in ...
+        let honest = RuleSetArtifact::new(
+            schema.clone(),
+            RuleSet::from_rules(vec![kept.clone(), repaired]),
+            None,
+        )
+        .unwrap()
+        .with_repair(obligations.clone())
+        .unwrap();
+        let store = RuleStore::open(artifact2(schema.clone()), MetricsSink::enabled()).unwrap();
+        store.try_swap_text(&honest.to_text()).unwrap();
+
+        // ... but the same splice with its repaired rule widened past the
+        // claimed region (the stripped-guard mutant) is refused.
+        let mutated = RuleSetArtifact::new(
+            schema,
+            RuleSet::from_rules(vec![kept, rule(Conjunction::top(), 0.4)]),
+            None,
+        )
+        .unwrap()
+        .with_repair(obligations)
+        .unwrap();
+        let err = store.try_swap_text(&mutated.to_text()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsound"),
+            "expected unsound rejection, got: {err}"
+        );
+        assert_eq!(store.generation(), 1, "the honest repair keeps serving");
+    }
+
+    /// An open-ended seed artifact over `schema` the repair fixtures can
+    /// swap away from.
+    fn artifact2(schema: Schema) -> RuleSetArtifact {
+        let x = AttrId(0);
+        let rule = Crr::new(
+            vec![x],
+            AttrId(1),
+            Arc::new(Model::Linear(LinearModel::new(vec![2.0], 0.0))),
+            0.5,
+            Dnf::single(Conjunction::of(vec![Predicate::not_null(x)])),
+        )
+        .unwrap();
+        RuleSetArtifact::new(schema, RuleSet::from_rules(vec![rule]), None).unwrap()
     }
 
     #[test]

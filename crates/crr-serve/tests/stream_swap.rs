@@ -19,6 +19,48 @@ use crr_stream::{StreamConfig, StreamEngine};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// Rebuilds `a` with every repaired rule's (index ≥ `kept`) conjuncts
+/// stripped of their predicates — the spliced rules then claim
+/// unconditional coverage while the bundled obligations still claim
+/// bounded regions, exactly the over-claim A7 exists to catch.
+fn strip_repair_guards(a: &crr_discovery::RuleSetArtifact) -> crr_discovery::RuleSetArtifact {
+    use crr_core::{Conjunction, Crr, Dnf, RuleSet};
+    let repair = a.repair.clone().unwrap();
+    assert!(
+        repair.regions.iter().all(|r| !r.guards.is_empty()),
+        "fixture too weak: a guard-free region would confine vacuously"
+    );
+    let mut rules = RuleSet::new();
+    for (i, r) in a.rules.rules().iter().enumerate() {
+        if i < repair.kept {
+            rules.push(r.clone());
+            continue;
+        }
+        let conjs: Vec<Conjunction> = r
+            .condition()
+            .conjuncts()
+            .iter()
+            .map(|c| match c.builtin() {
+                Some(t) => Conjunction::with_builtin(Vec::new(), t.clone()),
+                None => Conjunction::top(),
+            })
+            .collect();
+        let stripped = Crr::new(
+            r.inputs().to_vec(),
+            r.target(),
+            Arc::clone(r.model()),
+            r.rho(),
+            Dnf::of(conjs),
+        )
+        .unwrap();
+        rules.push(stripped);
+    }
+    crr_discovery::RuleSetArtifact::new(a.schema.clone(), rules, a.obligations.clone())
+        .unwrap()
+        .with_repair(repair)
+        .unwrap()
+}
+
 /// Renders one table cell the way a JSON client would send it.
 fn render_cell(v: &Value) -> String {
     match v {
@@ -82,9 +124,19 @@ fn repaired_artifact_swaps_in_and_serves_identical_answers() {
     );
     let artifact = repair.artifact.clone();
 
-    // Gate 1: the repaired artifact passes the static verifier.
-    let analysis = crr_analyze::analyze(&artifact.rules, artifact.obligations.as_ref());
+    // Gate 1: the repaired artifact is proof-carrying and passes the
+    // full verifier battery (A1–A7), including the repair audit.
+    let repair_ob = artifact
+        .repair
+        .as_ref()
+        .expect("a stream repair must bundle its obligations");
+    assert!(
+        !repair_ob.regions.is_empty(),
+        "drift produced repaired rules, so regions must be claimed"
+    );
+    let analysis = crr_analyze::analyze_artifact_on(&artifact, engine.table());
     assert!(analysis.is_sound(), "{analysis:?}");
+    assert!(analysis.counters.repair_regions >= 1);
 
     // Gate 2: a server standing on the base artifact admits the repair.
     let store = Arc::new(RuleStore::open(base_artifact, crr_obs::MetricsSink::disabled()).unwrap());
@@ -93,6 +145,16 @@ fn repaired_artifact_swaps_in_and_serves_identical_answers() {
     let (status, _) = roundtrip(addr, "POST", "/admin/swap", &artifact.to_text()).unwrap();
     assert_eq!(status, 200, "sound repaired artifact must be admitted");
     assert_eq!(store.generation(), 1);
+
+    // Gate 2b: the same splice with its repaired rules' guards stripped —
+    // every repaired conjunct widened to unconditional coverage — must be
+    // bounced by the swap gate's A7 audit with a 422, leaving the honest
+    // repair serving.
+    let mutated = strip_repair_guards(&artifact);
+    let (status, resp) = roundtrip(addr, "POST", "/admin/swap", &mutated.to_text()).unwrap();
+    assert_eq!(status, 422, "stripped repair guard must be refused: {resp}");
+    assert!(resp.contains("unsound"), "{resp}");
+    assert_eq!(store.generation(), 1, "the honest repair keeps serving");
 
     // Gate 3: served answers are byte-identical to offline evaluation of
     // the repaired rules on a probe spanning base and repaired regions.

@@ -5,7 +5,7 @@ use crr_core::{Conjunction, Crr, Dnf, Predicate, RuleIndex, RuleSet};
 use crr_data::{AttrId, DataError, RowSet, Table, Value};
 use crr_discovery::{
     compact_on_data, DiscoveryConfig, DiscoveryError, DiscoverySession, PredicateSpace,
-    RuleSetArtifact,
+    RegionOrigin, RepairObligations, RepairRegion, RuleSetArtifact,
 };
 use crr_models::{Moments, Translation};
 use crr_obs::{Counter as Ctr, Gauge, MetricsSink, Phase};
@@ -491,9 +491,11 @@ impl StreamEngine {
     /// the repaired rules over the affected rows only, and the final
     /// monitored routing — the exactness gate over everything repair
     /// touched — walks the affected rows alone. The repaired artifact is
-    /// returned ready for the `crr-analyze` gate. With nothing drifted and
-    /// nothing uncovered the rule set is re-exported unchanged
-    /// (`affected_rows == 0`).
+    /// returned ready for the `crr-analyze` gate, carrying
+    /// [`RepairObligations`] (kept-rule count plus per-region guards) so
+    /// the verifier's A7 check can re-prove the splice's confinement
+    /// row-free. With nothing drifted and nothing uncovered the rule set
+    /// is re-exported unchanged (`affected_rows == 0`, zero regions).
     pub fn repair(&mut self) -> Result<RepairReport> {
         let span = self.metrics.span();
         let mut cfg = self.cfg.clone();
@@ -501,8 +503,9 @@ impl StreamEngine {
 
         // One affected region per drifted conjunction — its claimed live
         // rows read off the membership lists — each carrying the guard
-        // re-ANDed onto whatever is rediscovered inside it.
-        let mut regions: Vec<(Option<Conjunction>, RowSet)> = Vec::new();
+        // re-ANDed onto whatever is rediscovered inside it, plus its
+        // provenance for the exported repair obligations.
+        let mut regions: Vec<(Option<Conjunction>, RowSet, RegionOrigin)> = Vec::new();
         for (ri, rule) in self.rules.rules().iter().enumerate() {
             if !self.drifted[ri] {
                 continue;
@@ -514,17 +517,29 @@ impl StreamEngine {
                     .filter(|&r| self.live[r as usize])
                     .collect();
                 if !ids.is_empty() {
-                    regions.push((Some(conj.clone()), RowSet::from_sorted(ids)));
+                    regions.push((
+                        Some(conj.clone()),
+                        RowSet::from_sorted(ids),
+                        RegionOrigin::Drifted {
+                            rule: ri,
+                            conjunct: ci,
+                        },
+                    ));
                 }
             }
         }
         if !self.uncovered.is_empty() {
             let rows = RowSet::from_sorted(self.uncovered.clone());
             let guard = self.bounding_guard(&rows);
-            regions.push((guard, rows));
+            regions.push((guard, rows, RegionOrigin::Uncovered));
         }
         if regions.is_empty() {
-            let artifact = self.artifact()?;
+            // Nothing repaired: the obligations still travel, claiming
+            // every rule kept and no regions touched.
+            let artifact = self.artifact()?.with_repair(RepairObligations {
+                kept: self.rules.len(),
+                regions: Vec::new(),
+            })?;
             self.metrics.record(Phase::StreamRepair, span);
             return Ok(RepairReport {
                 affected_rows: 0,
@@ -541,7 +556,7 @@ impl StreamEngine {
         // repaired rules on the affected rows.
         let mut repaired: Vec<Crr> = Vec::new();
         let mut affected = RowSet::from_sorted(Vec::new());
-        for (guard, rows) in &regions {
+        for (guard, rows, _) in &regions {
             affected = affected.union(rows);
             let sub = DiscoverySession::on(&self.table)
                 .rows(rows.clone())
@@ -625,7 +640,25 @@ impl StreamEngine {
         self.metrics
             .add(Ctr::StreamDriftedRules, routed.violated_rules.len() as u64);
         self.refresh_gauges();
-        let artifact = self.artifact()?;
+        // Export the splice's machine-checkable claims: which indices
+        // were kept verbatim and which guards confine the rest. Every
+        // repaired rule's conjuncts carry their region's guard predicates
+        // (re-ANDed by `guard_rule`, preserved verbatim through the
+        // compaction merge), so `crr-analyze`'s A7 check can re-prove the
+        // confinement row-free at the serving swap gate.
+        let repair_obligations = RepairObligations {
+            kept: kept_rules,
+            regions: regions
+                .iter()
+                .enumerate()
+                .map(|(k, (guard, _, origin))| RepairRegion {
+                    region_id: k,
+                    origin: *origin,
+                    guards: guard.as_ref().map_or(Vec::new(), |g| g.preds().to_vec()),
+                })
+                .collect(),
+        };
+        let artifact = self.artifact()?.with_repair(repair_obligations)?;
         self.metrics.record(Phase::StreamRepair, span);
         Ok(RepairReport {
             affected_rows: affected.len(),
@@ -639,7 +672,9 @@ impl StreamEngine {
     }
 
     /// Bundles the current rule set into a serialization-ready artifact
-    /// (no shard obligations — the maintainer is unsharded by design).
+    /// (no shard obligations — the maintainer is unsharded by design;
+    /// repair obligations are attached by [`StreamEngine::repair`], which
+    /// is the only place splice claims exist).
     pub fn artifact(&self) -> Result<RuleSetArtifact> {
         Ok(RuleSetArtifact::new(
             self.table.schema().clone(),

@@ -26,7 +26,11 @@
 //!    every healthy rule untouched, re-merges with Algorithm 2
 //!    (`compact_on_data`), and emits a fresh
 //!    [`crr_discovery::RuleSetArtifact`] ready for the `crr-analyze`
-//!    admission gate and a `crr-serve` hot swap.
+//!    admission gate and a `crr-serve` hot swap. Repaired artifacts are
+//!    *proof-carrying*: they bundle [`RepairObligations`] (the kept-rule
+//!    count plus each affected region's guard predicates and provenance),
+//!    which the verifier's A7 check re-proves row-free — a splice that
+//!    over- or under-claims its regions is rejected at the swap gate.
 //!
 //! Everything is observable through the `stream.*` counters and gauges of
 //! [`crr_obs`] (metrics schema v5), and the whole loop is benchmarked in
@@ -78,6 +82,9 @@ mod engine;
 pub use engine::{
     BatchOutcome, DriftReport, RepairReport, StreamConfig, StreamEngine, StreamError,
 };
+// The obligation types repaired artifacts carry, re-exported so stream
+// consumers need not depend on `crr-discovery` directly.
+pub use crr_discovery::{RegionOrigin, RepairObligations, RepairRegion};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, StreamError>;

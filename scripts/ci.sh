@@ -37,14 +37,11 @@ cargo bench -p crr-bench --bench perf_scan_kernels >/dev/null
 
 echo "==> deprecation wall (no calls to the positional ShardPlan constructors)"
 # The typed ShardSpec builder replaced ShardPlan::{single, by_key_range,
-# by_time_window}; the deprecated wrappers exist only for downstream
-# callers during the deprecation window. In-repo use fails the gate.
-# (crr-data itself is excluded: the wrappers, their From<ShardPlan>
-# conversion and their regression tests live there.)
-if grep -rn --include='*.rs' -E 'ShardPlan::(single|by_key_range|by_time_window)\(' crates \
-  | grep -v 'crates/crr-data/src/shard.rs' \
-  | grep -v 'crates/crr-data/src/spec.rs'; then
-  echo 'ERROR: deprecated ShardPlan constructor called outside crr-data' >&2
+# by_time_window}. The deprecated wrappers have since been deleted; this
+# wall stays as a tombstone so the positional spellings cannot creep back
+# in anywhere — crr-data included.
+if grep -rn --include='*.rs' -E 'ShardPlan::(single|by_key_range|by_time_window)\(' crates; then
+  echo 'ERROR: the positional ShardPlan constructors were removed; use ShardSpec' >&2
   exit 1
 fi
 
@@ -63,7 +60,9 @@ METRICS_TMP="$(mktemp /tmp/metrics_smoke.XXXXXX.json)"
 ANALYSIS_TMP="$(mktemp /tmp/analysis_smoke.XXXXXX.json)"
 SERVING_TMP="$(mktemp /tmp/serving_smoke.XXXXXX.json)"
 STREAM_TMP="$(mktemp /tmp/stream_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP" "$STREAM_TMP"' EXIT
+ARTIFACT_TMP="$(mktemp /tmp/repaired_smoke.XXXXXX.crr)"
+STREAM_ARTIFACT_TMP="$(mktemp /tmp/stream_repaired_smoke.XXXXXX.crr)"
+trap 'rm -f "$BENCH_TMP" "$METRICS_TMP" "$ANALYSIS_TMP" "$SERVING_TMP" "$STREAM_TMP" "$ARTIFACT_TMP" "$STREAM_ARTIFACT_TMP"' EXIT
 cargo run -q -p crr-bench --bin experiments -- \
   --scale 0.05 --bench-json "$BENCH_TMP" --metrics-out "$METRICS_TMP" bench >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check "$BENCH_TMP"
@@ -119,17 +118,28 @@ fi
 
 echo "==> static analysis verifies the discovered artifacts"
 # Tiny-scale analyze run: discovery on both datasets (unsharded and
-# sharded), then crr-analyze's five checks over each artifact — the
-# sharded ones against their emitted proof obligations. Any `unsound`
-# finding (dead rule condition, unguarded shard merge, malformed
-# inference artifact) aborts the run; --check-analysis re-applies the
-# same gate to the file, and to the committed full-scale artifact.
+# sharded) plus one stream-repaired electricity cell, then crr-analyze's
+# seven checks (A1–A7) over each exported artifact — the sharded ones
+# against their emitted proof obligations, the repaired one against its
+# bundled repair obligations. Any `unsound` finding (dead rule condition,
+# unguarded shard merge, malformed inference artifact, compiled-kernel
+# divergence, over-/under-claiming splice) aborts the run;
+# --check-analysis re-applies the same gate to the file, and to the
+# committed full-scale artifact.
 cargo run -q -p crr-bench --bin experiments -- \
-  --scale 0.05 --analysis-json "$ANALYSIS_TMP" analyze >/dev/null
+  --scale 0.05 --analysis-json "$ANALYSIS_TMP" --artifact-out "$ARTIFACT_TMP" analyze >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check "$ANALYSIS_TMP"
 if [ -f analysis.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check analysis.json
 fi
+
+echo "==> repair-obligation mutation smoke (the A7 gate bites)"
+# The exported stream-repaired artifact must (a) re-verify from its text
+# form under the full A1–A7 battery, and (b) be *refused* once its repair
+# guards are stripped — a verifier that admits the mutant has lost the
+# proof-carrying repair property, and the build fails.
+cargo run -q -p crr-bench --bin experiments -- --analyze-artifact "$ARTIFACT_TMP" >/dev/null
+cargo run -q -p crr-bench --bin experiments -- --mutate-repair-guard "$ARTIFACT_TMP"
 
 echo "==> serving smoke: live server under closed-loop load"
 # Tiny-scale end-to-end serving run: discovery, artifact export, a live
@@ -154,10 +164,13 @@ echo "==> streaming maintenance smoke: incremental vs full rediscovery"
 # that repair leaves no residual violations; --check-stream re-applies
 # the shape/consistency gates to the file, and to the committed
 # full-scale artifact — where the electricity cell at gate scale must
-# also clear the 5x incremental-speedup floor.
+# also clear the 5x incremental-speedup floor. The repaired artifact is
+# exported and re-verified from its text form (stream → analyze), closing
+# the maintenance → verification loop on a second, independent fixture.
 cargo run -q -p crr-bench --bin experiments -- \
-  --scale 0.05 --stream-json "$STREAM_TMP" stream >/dev/null
+  --scale 0.05 --stream-json "$STREAM_TMP" --artifact-out "$STREAM_ARTIFACT_TMP" stream >/dev/null
 cargo run -q -p crr-bench --bin experiments -- --check "$STREAM_TMP"
+cargo run -q -p crr-bench --bin experiments -- --analyze-artifact "$STREAM_ARTIFACT_TMP" >/dev/null
 if [ -f BENCH_stream.json ]; then
   cargo run -q -p crr-bench --bin experiments -- --check BENCH_stream.json
 fi
